@@ -1,0 +1,35 @@
+//! End-to-end pipeline benchmark: a compact field test through the full
+//! stack (phones → wire → server → features → ranking), the compute
+//! budget behind one §V field experiment.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sor_sim::scenario::{david, run_coffee_field_test, FieldTestConfig};
+
+fn bench_field_test(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("quick_coffee_field_test", |b| {
+        b.iter(|| black_box(run_coffee_field_test(FieldTestConfig::quick(3)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_rank_after_collection(c: &mut Criterion) {
+    let out = run_coffee_field_test(FieldTestConfig::quick(5)).unwrap();
+    let prefs = david();
+    c.bench_function("pipeline/rank_category", |b| {
+        b.iter(|| black_box(out.server.rank("coffee-shop", &prefs).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_field_test, bench_rank_after_collection
+}
+criterion_main!(benches);

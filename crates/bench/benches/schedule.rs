@@ -1,0 +1,72 @@
+//! Scheduling benchmarks: the compute cost behind Fig. 14, plus the
+//! plain-vs-lazy greedy ablation and the interval baseline.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sor_core::coverage::GaussianCoverage;
+use sor_core::schedule::{baseline, greedy, lazy_greedy, ScheduleProblem};
+use sor_core::time::TimeGrid;
+use sor_sim::scenario::{draw_participants, SchedulingConfig};
+
+fn problem(users: usize, budget: usize) -> ScheduleProblem {
+    let cfg = SchedulingConfig::paper(users, budget, 99);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let grid = TimeGrid::new(0.0, cfg.period, cfg.instants).unwrap();
+    ScheduleProblem::new(
+        grid,
+        GaussianCoverage::new(cfg.sigma),
+        draw_participants(&cfg, &mut rng),
+    )
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule/solvers");
+    g.sample_size(10);
+    for users in [10usize, 25, 40] {
+        let p = problem(users, 17);
+        g.bench_with_input(BenchmarkId::new("greedy", users), &p, |b, p| {
+            b.iter(|| black_box(greedy(p)))
+        });
+        g.bench_with_input(BenchmarkId::new("lazy_greedy", users), &p, |b, p| {
+            b.iter(|| black_box(lazy_greedy(p)))
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", users), &p, |b, p| {
+            b.iter(|| black_box(baseline(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_budget_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule/budget");
+    g.sample_size(10);
+    for budget in [15usize, 20, 25] {
+        let p = problem(40, budget);
+        g.bench_with_input(BenchmarkId::new("lazy_greedy", budget), &p, |b, p| {
+            b.iter(|| black_box(lazy_greedy(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let p = problem(40, 17);
+    let s = lazy_greedy(&p);
+    c.bench_function("schedule/evaluate", |b| b.iter(|| black_box(p.evaluate(&s))));
+    c.bench_function("schedule/coverage_profile", |b| {
+        b.iter(|| black_box(p.coverage_profile(&s)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_solvers, bench_budget_scaling, bench_evaluation
+}
+criterion_main!(benches);

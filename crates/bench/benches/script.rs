@@ -1,0 +1,74 @@
+//! SenseScript interpreter throughput: parse cost, loop throughput, and
+//! a representative sensing task with host-function calls.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sor_script::{Interpreter, Value};
+
+const SENSING_TASK: &str = r#"
+    local samples = {}
+    for i = 1, 10 do
+        local batch = get_light_readings(5)
+        insert(samples, mean(batch))
+        sleep(1)
+    end
+    return stddev(samples)
+"#;
+
+fn interpreter_with_host() -> Interpreter {
+    let mut interp = Interpreter::new();
+    interp.host_mut().register("get_light_readings", |ctx, args| {
+        let n = args.first().and_then(Value::as_number).unwrap_or(1.0) as usize;
+        ctx.virtual_time += 0.1 * n as f64;
+        Ok(Value::number_array(
+            &(0..n).map(|i| 400.0 + (i as f64) * 3.5).collect::<Vec<_>>(),
+        ))
+    });
+    interp
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("script/parse_sensing_task", |b| {
+        b.iter(|| black_box(sor_script::parser::parse(SENSING_TASK).unwrap()))
+    });
+}
+
+fn bench_run(c: &mut Criterion) {
+    let mut interp = interpreter_with_host();
+    c.bench_function("script/run_sensing_task", |b| {
+        b.iter(|| black_box(interp.run(SENSING_TASK).unwrap()))
+    });
+}
+
+fn bench_arithmetic_loop(c: &mut Criterion) {
+    let src = "local s = 0\nfor i = 1, 10000 do s = s + i * 2 - 1 end\nreturn s";
+    let mut interp = Interpreter::new();
+    interp.set_budget(10_000_000);
+    c.bench_function("script/arithmetic_10k_iters", |b| {
+        b.iter(|| black_box(interp.run(src).unwrap()))
+    });
+}
+
+fn bench_recursion(c: &mut Criterion) {
+    let src = r#"
+        local function fib(n)
+            if n < 2 then return n end
+            return fib(n - 1) + fib(n - 2)
+        end
+        return fib(15)
+    "#;
+    let mut interp = Interpreter::new();
+    interp.set_budget(10_000_000);
+    c.bench_function("script/fib15", |b| b.iter(|| black_box(interp.run(src).unwrap())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_parse, bench_run, bench_arithmetic_loop, bench_recursion
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Sensor-stack benchmarks: environment sampling cost per sensor kind
+//! and the buffered-provider fast path.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sor_sensors::environment::presets;
+use sor_sensors::{BufferedProvider, Provider, SensorKind, SensorManager, SimulatedProvider};
+
+fn bench_environment_sampling(c: &mut Criterion) {
+    let shop = Arc::new(presets::starbucks(1));
+    let trail = Arc::new(presets::cliff_trail(2));
+    let mut g = c.benchmark_group("sensors/sample");
+    for kind in [SensorKind::Temperature, SensorKind::Microphone, SensorKind::WifiRssi] {
+        let shop = shop.clone();
+        g.bench_with_input(BenchmarkId::new("shop", kind.name()), &kind, move |b, &k| {
+            use sor_sensors::Environment;
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                black_box(shop.sample(k, t).unwrap())
+            })
+        });
+    }
+    for kind in [SensorKind::Gps, SensorKind::Accelerometer, SensorKind::Compass] {
+        let trail = trail.clone();
+        g.bench_with_input(BenchmarkId::new("trail", kind.name()), &kind, move |b, &k| {
+            use sor_sensors::Environment;
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                black_box(trail.sample(k, t).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_manager_dispatch(c: &mut Criterion) {
+    let env = Arc::new(presets::bn_cafe(3));
+    let mut mgr = SensorManager::new();
+    for kind in [SensorKind::Temperature, SensorKind::Light, SensorKind::Microphone] {
+        mgr.register(SimulatedProvider::new(kind, env.clone()));
+    }
+    let mut t = 0.0;
+    c.bench_function("sensors/manager_acquire_5", |b| {
+        b.iter(|| {
+            t += 1.0;
+            black_box(mgr.acquire(SensorKind::Light, 5, t).unwrap())
+        })
+    });
+}
+
+fn bench_buffer_fast_path(c: &mut Criterion) {
+    let env = Arc::new(presets::bn_cafe(4));
+    let p = BufferedProvider::new(
+        SimulatedProvider::new(SensorKind::Temperature, env),
+        1e9, // never stale: pure cache-hit path
+    );
+    p.acquire(8, 0.0, 0.5).unwrap();
+    c.bench_function("sensors/buffer_hit_8", |b| {
+        b.iter(|| black_box(p.acquire(8, 0.0, 0.5).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_environment_sampling, bench_manager_dispatch, bench_buffer_fast_path
+}
+criterion_main!(benches);

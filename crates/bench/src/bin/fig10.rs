@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 10**: feature data for the three coffee shops —
+//! (a) temperature, (b) brightness, (c) background noise, (d) WiFi.
+//!
+//! ```sh
+//! cargo run --release -p sor-bench --bin fig10
+//! ```
+
+use sor_bench::panels_of;
+use sor_server::viz::to_csv;
+use sor_sim::scenario::{run_coffee_field_test, FieldTestConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# Fig. 10 — coffee-shop feature data (3 shops × 12 phones × 3 h)");
+    let out = run_coffee_field_test(FieldTestConfig::coffee())?;
+    eprintln!(
+        "# uploads accepted: {}, decode failures: {}",
+        out.stats.uploads_accepted, out.stats.decode_failures
+    );
+    eprintln!(
+        "# sensing energy per place (mJ): {:?}",
+        out.energy_mj_per_place.iter().map(|e| e.round()).collect::<Vec<_>>()
+    );
+    let panels = panels_of(&out.matrix);
+    for (tag, p) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(&panels) {
+        println!("Fig. 10{tag} {}", p.render(40));
+    }
+    println!("CSV:\n{}", to_csv(&panels));
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 6**: feature data for the three hiking trails —
+//! (a) temperature, (b) humidity, (c) roughness of road surface,
+//! (d) curvature, (e) altitude change.
+//!
+//! ```sh
+//! cargo run --release -p sor-bench --bin fig6
+//! ```
+
+use sor_bench::panels_of;
+use sor_server::viz::to_csv;
+use sor_sim::scenario::{run_trail_field_test, FieldTestConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# Fig. 6 — hiking-trail feature data (3 trails × 7 phones × 3 h)");
+    let out = run_trail_field_test(FieldTestConfig::trails())?;
+    eprintln!(
+        "# uploads accepted: {}, decode failures: {}",
+        out.stats.uploads_accepted, out.stats.decode_failures
+    );
+    eprintln!(
+        "# sensing energy per place (mJ): {:?}",
+        out.energy_mj_per_place.iter().map(|e| e.round()).collect::<Vec<_>>()
+    );
+    let panels = panels_of(&out.matrix);
+    for (tag, p) in ["(a)", "(b)", "(c)", "(d)", "(e)"].iter().zip(&panels) {
+        println!("Fig. 6{tag} {}", p.render(40));
+    }
+    println!("CSV:\n{}", to_csv(&panels));
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table I**: rankings of the hiking trails computed by
+//! SOR for the three virtual hikers (Alice, Bob, Chris).
+//!
+//! Paper's expected output:
+//!
+//! | User  | No. 1            | No. 2      | No. 3            |
+//! |-------|------------------|------------|------------------|
+//! | Alice | Cliff Trail      | Long Trail | Green Lake Trail |
+//! | Bob   | Long Trail       | Cliff Trail| Green Lake Trail |
+//! | Chris | Green Lake Trail | Long Trail | Cliff Trail      |
+//!
+//! ```sh
+//! cargo run --release -p sor-bench --bin table1
+//! ```
+
+use sor_bench::print_ranking_table;
+use sor_sim::scenario::{alice, bob, chris, run_trail_field_test, FieldTestConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# Table I — running the hiking-trail field test…");
+    let out = run_trail_field_test(FieldTestConfig::trails())?;
+    let mut rows = Vec::new();
+    for prefs in [alice(), bob(), chris()] {
+        let ranking = out.server.rank("hiking-trail", &prefs)?;
+        rows.push((prefs.name.clone(), ranking.order));
+    }
+    print_ranking_table("Table I — rankings of hiking trails computed by SOR", &rows);
+    Ok(())
+}

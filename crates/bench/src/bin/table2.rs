@@ -1,0 +1,28 @@
+//! Regenerates **Table II**: rankings of the coffee shops computed by
+//! SOR for the two virtual customers (David, Emma).
+//!
+//! Paper's expected output:
+//!
+//! | User  | No. 1     | No. 2       | No. 3       |
+//! |-------|-----------|-------------|-------------|
+//! | David | Starbucks | B&N Cafe    | Tim Hortons |
+//! | Emma  | B&N Cafe  | Tim Hortons | Starbucks   |
+//!
+//! ```sh
+//! cargo run --release -p sor-bench --bin table2
+//! ```
+
+use sor_bench::print_ranking_table;
+use sor_sim::scenario::{david, emma, run_coffee_field_test, FieldTestConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# Table II — running the coffee-shop field test…");
+    let out = run_coffee_field_test(FieldTestConfig::coffee())?;
+    let mut rows = Vec::new();
+    for prefs in [david(), emma()] {
+        let ranking = out.server.rank("coffee-shop", &prefs)?;
+        rows.push((prefs.name.clone(), ranking.order));
+    }
+    print_ranking_table("Table II — rankings of coffee shops computed by SOR", &rows);
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Time-domain sensing coverage (§III of the paper).
+//!
+//! "If a sensing feature is measured at time `ti`, then we say time
+//! instant `tj` is covered with a probability of `p(ti, tj)` … The closer
+//! `tj` is to `ti`, the higher the probability becomes. So a bell-shaped
+//! Gaussian distribution `N(μ, σ)` is used to model these probabilities.
+//! … Note that our algorithm is general enough such that other
+//! distribution models can also be applied here."
+//!
+//! The trait [`CoverageModel`] captures that generality; the Gaussian
+//! kernel of the paper plus two alternates (exponential, triangular) are
+//! provided. [`CoverageState`] implements the set-function coverage of a
+//! schedule (eq. 1) and its incremental evaluation used by the greedy
+//! schedulers.
+
+mod model;
+mod objective;
+
+pub use model::{
+    CompositeCoverage, CoverageModel, ExponentialCoverage, GaussianCoverage, TriangularCoverage,
+};
+pub use objective::{coverage_of_instants, CoverageState};

@@ -1,0 +1,317 @@
+//! Coverage kernels `p(ti, tj)`.
+
+/// A time-domain coverage kernel.
+///
+/// `p(ti, tj)` is the probability that a reading taken at `ti` still
+/// describes the sensed quantity at `tj`. Implementations must be
+/// symmetric in `|ti - tj|`, equal to 1 at zero lag, and non-increasing
+/// in lag. The paper's default is [`GaussianCoverage`]; "different
+/// variance σ can be used to model different sensing features" — slowly
+/// varying features (temperature, humidity) get a large σ, fast ones
+/// (acceleration, orientation) a small σ.
+pub trait CoverageModel: Send + Sync {
+    /// Coverage probability contributed by a measurement at `ti` to the
+    /// instant `tj`.
+    fn p(&self, ti: f64, tj: f64) -> f64;
+
+    /// A lag beyond which `p` is negligible (used to truncate inner
+    /// loops). Implementations return `f64::INFINITY` when no useful
+    /// bound exists; callers then evaluate every pair.
+    fn support_radius(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+/// Bell-shaped Gaussian kernel `exp(-(tj-ti)² / (2σ²))` — the paper's
+/// model, with `μ = 0`. The kernel is the *unnormalised* Gaussian so that
+/// a reading fully covers its own instant (`p = 1` at zero lag).
+///
+/// # Example
+///
+/// ```
+/// use sor_core::coverage::{CoverageModel, GaussianCoverage};
+/// let g = GaussianCoverage::new(10.0); // σ = 10 s, the paper's §V-C value
+/// assert_eq!(g.p(50.0, 50.0), 1.0);
+/// assert!(g.p(50.0, 60.0) < 1.0);
+/// assert!(g.p(50.0, 60.0) > g.p(50.0, 70.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianCoverage {
+    sigma: f64,
+}
+
+impl GaussianCoverage {
+    /// Creates a Gaussian kernel with standard deviation `sigma` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive, got {sigma}");
+        GaussianCoverage { sigma }
+    }
+
+    /// The kernel's standard deviation (seconds).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl CoverageModel for GaussianCoverage {
+    fn p(&self, ti: f64, tj: f64) -> f64 {
+        let d = tj - ti;
+        (-d * d / (2.0 * self.sigma * self.sigma)).exp()
+    }
+
+    fn support_radius(&self) -> f64 {
+        // exp(-8²/2) ≈ 1.3e-14: beyond 8σ contributions are noise.
+        8.0 * self.sigma
+    }
+}
+
+/// Exponential (Laplace-shaped) kernel `exp(-|tj-ti| / λ)`, an alternate
+/// model demonstrating the "other distribution models" extensibility
+/// claimed in §III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialCoverage {
+    lambda: f64,
+}
+
+impl ExponentialCoverage {
+    /// Creates an exponential kernel with decay length `lambda` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive, got {lambda}"
+        );
+        ExponentialCoverage { lambda }
+    }
+}
+
+impl CoverageModel for ExponentialCoverage {
+    fn p(&self, ti: f64, tj: f64) -> f64 {
+        (-(tj - ti).abs() / self.lambda).exp()
+    }
+
+    fn support_radius(&self) -> f64 {
+        32.0 * self.lambda
+    }
+}
+
+/// Triangular kernel: linear decay to zero at lag `width`, exactly zero
+/// beyond. Useful in tests because its finite support makes hand
+/// computation easy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangularCoverage {
+    width: f64,
+}
+
+impl TriangularCoverage {
+    /// Creates a triangular kernel hitting zero at lag `width` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive and finite.
+    pub fn new(width: f64) -> Self {
+        assert!(width.is_finite() && width > 0.0, "width must be positive, got {width}");
+        TriangularCoverage { width }
+    }
+}
+
+impl CoverageModel for TriangularCoverage {
+    fn p(&self, ti: f64, tj: f64) -> f64 {
+        (1.0 - (tj - ti).abs() / self.width).max(0.0)
+    }
+
+    fn support_radius(&self) -> f64 {
+        self.width
+    }
+}
+
+/// A weighted blend of kernels: one application schedules a single set
+/// of sense times that must serve *several* features with different
+/// validity horizons (§III pairs a σ with each feature). The composite
+/// coverage of a lag is the weighted mean of the member kernels, so the
+/// greedy optimises all features jointly instead of only the most
+/// demanding one.
+pub struct CompositeCoverage {
+    members: Vec<(f64, Box<dyn CoverageModel>)>,
+    weight_sum: f64,
+}
+
+impl std::fmt::Debug for CompositeCoverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeCoverage")
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl CompositeCoverage {
+    /// Builds a composite from `(weight, kernel)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or any weight is non-positive.
+    pub fn new(members: Vec<(f64, Box<dyn CoverageModel>)>) -> Self {
+        assert!(!members.is_empty(), "composite needs at least one member");
+        assert!(
+            members.iter().all(|(w, _)| w.is_finite() && *w > 0.0),
+            "weights must be positive"
+        );
+        let weight_sum = members.iter().map(|(w, _)| w).sum();
+        CompositeCoverage { members, weight_sum }
+    }
+
+    /// Equal-weight composite of Gaussian kernels, one per feature σ —
+    /// the common case for an application's feature list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigmas` is empty or any σ is non-positive.
+    pub fn of_sigmas(sigmas: &[f64]) -> Self {
+        Self::new(
+            sigmas
+                .iter()
+                .map(|&s| (1.0, Box::new(GaussianCoverage::new(s)) as Box<dyn CoverageModel>))
+                .collect(),
+        )
+    }
+}
+
+impl CoverageModel for CompositeCoverage {
+    fn p(&self, ti: f64, tj: f64) -> f64 {
+        self.members.iter().map(|(w, m)| w * m.p(ti, tj)).sum::<f64>() / self.weight_sum
+    }
+
+    fn support_radius(&self) -> f64 {
+        self.members
+            .iter()
+            .map(|(_, m)| m.support_radius())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_kernel_axioms<M: CoverageModel>(m: &M) {
+        // p(t,t) = 1
+        assert!((m.p(42.0, 42.0) - 1.0).abs() < 1e-12);
+        // symmetry
+        assert!((m.p(10.0, 25.0) - m.p(25.0, 10.0)).abs() < 1e-12);
+        // monotone non-increasing in lag
+        let mut prev = m.p(0.0, 0.0);
+        for lag in 1..100 {
+            let cur = m.p(0.0, lag as f64);
+            assert!(cur <= prev + 1e-12, "kernel increased at lag {lag}");
+            assert!((0.0..=1.0).contains(&cur));
+            prev = cur;
+        }
+        // negligible beyond the support radius
+        let r = m.support_radius();
+        if r.is_finite() {
+            assert!(m.p(0.0, r * 1.01) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaussian_axioms() {
+        check_kernel_axioms(&GaussianCoverage::new(10.0));
+        check_kernel_axioms(&GaussianCoverage::new(0.5));
+    }
+
+    #[test]
+    fn exponential_axioms() {
+        check_kernel_axioms(&ExponentialCoverage::new(10.0));
+    }
+
+    #[test]
+    fn triangular_axioms() {
+        check_kernel_axioms(&TriangularCoverage::new(30.0));
+    }
+
+    #[test]
+    fn gaussian_sigma_orders_coverage() {
+        // Larger σ (slow feature) covers distant instants better.
+        let slow = GaussianCoverage::new(60.0);
+        let fast = GaussianCoverage::new(5.0);
+        assert!(slow.p(0.0, 30.0) > fast.p(0.0, 30.0));
+    }
+
+    #[test]
+    fn gaussian_known_value() {
+        let g = GaussianCoverage::new(10.0);
+        // One σ away: exp(-0.5)
+        assert!((g.p(0.0, 10.0) - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_zero_outside_support() {
+        let t = TriangularCoverage::new(20.0);
+        assert_eq!(t.p(0.0, 20.0), 0.0);
+        assert_eq!(t.p(0.0, 50.0), 0.0);
+        assert!((t.p(0.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_axioms_and_blending() {
+        let c = CompositeCoverage::of_sigmas(&[5.0, 60.0]);
+        check_kernel_axioms(&c);
+        // The blend sits strictly between the fast and slow kernels at a
+        // mid-range lag.
+        let fast = GaussianCoverage::new(5.0);
+        let slow = GaussianCoverage::new(60.0);
+        let lag = 30.0;
+        let p = c.p(0.0, lag);
+        assert!(p > fast.p(0.0, lag) && p < slow.p(0.0, lag), "{p}");
+    }
+
+    #[test]
+    fn composite_weights_tilt_the_blend() {
+        let fast_heavy = CompositeCoverage::new(vec![
+            (10.0, Box::new(GaussianCoverage::new(5.0))),
+            (1.0, Box::new(GaussianCoverage::new(60.0))),
+        ]);
+        let slow_heavy = CompositeCoverage::new(vec![
+            (1.0, Box::new(GaussianCoverage::new(5.0))),
+            (10.0, Box::new(GaussianCoverage::new(60.0))),
+        ]);
+        assert!(fast_heavy.p(0.0, 30.0) < slow_heavy.p(0.0, 30.0));
+    }
+
+    #[test]
+    fn composite_support_is_widest_member() {
+        let c = CompositeCoverage::of_sigmas(&[5.0, 60.0]);
+        assert_eq!(c.support_radius(), 8.0 * 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn composite_rejects_empty() {
+        CompositeCoverage::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn composite_rejects_zero_weight() {
+        CompositeCoverage::new(vec![(0.0, Box::new(GaussianCoverage::new(5.0)))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gaussian_rejects_zero_sigma() {
+        GaussianCoverage::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_negative_lambda() {
+        ExponentialCoverage::new(-3.0);
+    }
+}

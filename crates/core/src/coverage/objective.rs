@@ -1,0 +1,264 @@
+//! The coverage objective (eq. 1 and 4 of the paper) and its incremental
+//! evaluation.
+//!
+//! For a set `Φ` of measurement instants, instant `tj` is covered with
+//! probability `p(tj, Φ) = 1 − Π_{ti∈Φ} (1 − p(ti, tj))` (eq. 1). The
+//! objective of the scheduling problem (eq. 4) is `f(Ψ) = Σ_j p(tj, Ψ)` —
+//! a non-negative, monotone, submodular set function.
+//!
+//! [`CoverageState`] maintains `q_j = Π (1 − p(ti, tj))` per instant so
+//! that marginal gains evaluate in `O(window)` instead of `O(N)` per
+//! candidate, where `window` is the kernel's support radius expressed in
+//! grid cells.
+
+use crate::coverage::CoverageModel;
+use crate::time::{InstantId, TimeGrid};
+
+/// Incrementally maintained coverage of a growing measurement set.
+///
+/// # Example
+///
+/// ```
+/// use sor_core::coverage::{CoverageState, GaussianCoverage};
+/// use sor_core::time::{InstantId, TimeGrid};
+///
+/// let grid = TimeGrid::new(0.0, 100.0, 10).unwrap();
+/// let model = GaussianCoverage::new(10.0);
+/// let mut state = CoverageState::new(&grid, &model);
+/// let gain = state.marginal_gain(InstantId(4));
+/// state.add(InstantId(4));
+/// assert!((state.total() - gain).abs() < 1e-9);
+/// // Diminishing returns: re-measuring the same instant gains less.
+/// assert!(state.marginal_gain(InstantId(4)) < gain);
+/// ```
+#[derive(Clone)]
+pub struct CoverageState<'a> {
+    grid: &'a TimeGrid,
+    model: &'a dyn CoverageModel,
+    /// `q_j = Π (1 − p(ti, tj))` over measurements added so far.
+    uncovered: Vec<f64>,
+    /// Σ_j (1 − q_j), the objective value.
+    total: f64,
+    /// Kernel support radius in whole grid cells (None = unbounded).
+    window: Option<usize>,
+}
+
+impl std::fmt::Debug for CoverageState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoverageState")
+            .field("instants", &self.uncovered.len())
+            .field("total", &self.total)
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl<'a> CoverageState<'a> {
+    /// Fresh state with no measurements.
+    pub fn new(grid: &'a TimeGrid, model: &'a dyn CoverageModel) -> Self {
+        let r = model.support_radius();
+        let window = if r.is_finite() {
+            Some((r / grid.spacing()).ceil() as usize)
+        } else {
+            None
+        };
+        CoverageState {
+            grid,
+            model,
+            uncovered: vec![1.0; grid.len()],
+            total: 0.0,
+            window,
+        }
+    }
+
+    /// Range of instant indexes the kernel can reach from `i`.
+    fn reach(&self, i: usize) -> std::ops::Range<usize> {
+        match self.window {
+            Some(w) => i.saturating_sub(w)..(i + w + 1).min(self.grid.len()),
+            None => 0..self.grid.len(),
+        }
+    }
+
+    /// Objective increase from adding a measurement at instant `i`
+    /// (without committing it): `Σ_j q_j · p(ti, tj)`.
+    pub fn marginal_gain(&self, i: InstantId) -> f64 {
+        let ti = self.grid.time_of(i);
+        let mut gain = 0.0;
+        for j in self.reach(i.0) {
+            let q = self.uncovered[j];
+            if q > 0.0 {
+                gain += q * self.model.p(ti, self.grid.time_of(InstantId(j)));
+            }
+        }
+        gain
+    }
+
+    /// Commits a measurement at instant `i`, updating coverage. Duplicate
+    /// instants are allowed (as produced by the paper's baseline
+    /// scheduler when several users sense simultaneously); each repeat
+    /// multiplies the miss probabilities again.
+    pub fn add(&mut self, i: InstantId) {
+        let ti = self.grid.time_of(i);
+        for j in self.reach(i.0) {
+            let p = self.model.p(ti, self.grid.time_of(InstantId(j)));
+            if p > 0.0 {
+                let before = self.uncovered[j];
+                let after = before * (1.0 - p);
+                self.uncovered[j] = after;
+                self.total += before - after;
+            }
+        }
+    }
+
+    /// Current objective value `f(Ψ) = Σ_j p(tj, Ψ)`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Coverage probability of a single instant under the current set.
+    pub fn coverage_of(&self, j: InstantId) -> f64 {
+        1.0 - self.uncovered[j.0]
+    }
+
+    /// Average coverage probability (objective / N) — the evaluation
+    /// metric of §V-C.
+    pub fn average(&self) -> f64 {
+        self.total / self.grid.len() as f64
+    }
+}
+
+/// One-shot evaluation of the objective for a finished set of measurement
+/// instants (duplicates allowed). Used as the reference implementation in
+/// tests; `O(|instants| · window)`.
+pub fn coverage_of_instants(
+    grid: &TimeGrid,
+    model: &dyn CoverageModel,
+    instants: &[InstantId],
+) -> f64 {
+    let mut state = CoverageState::new(grid, model);
+    for &i in instants {
+        state.add(i);
+    }
+    state.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{GaussianCoverage, TriangularCoverage};
+
+    fn grid100() -> TimeGrid {
+        TimeGrid::new(0.0, 100.0, 10).unwrap()
+    }
+
+    /// Naive O(N·|Φ|) objective, no incremental tricks, no windowing.
+    fn naive_objective(grid: &TimeGrid, model: &dyn CoverageModel, instants: &[InstantId]) -> f64 {
+        let mut total = 0.0;
+        for (_, tj) in grid.iter() {
+            let mut miss = 1.0;
+            for &i in instants {
+                miss *= 1.0 - model.p(grid.time_of(i), tj);
+            }
+            total += 1.0 - miss;
+        }
+        total
+    }
+
+    #[test]
+    fn empty_set_has_zero_coverage() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let state = CoverageState::new(&grid, &model);
+        assert_eq!(state.total(), 0.0);
+        assert_eq!(state.average(), 0.0);
+    }
+
+    #[test]
+    fn incremental_matches_naive() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let picks = vec![InstantId(0), InstantId(3), InstantId(3), InstantId(9)];
+        let inc = coverage_of_instants(&grid, &model, &picks);
+        let naive = naive_objective(&grid, &model, &picks);
+        assert!((inc - naive).abs() < 1e-9, "inc={inc} naive={naive}");
+    }
+
+    #[test]
+    fn windowed_kernel_matches_naive() {
+        let grid = TimeGrid::new(0.0, 1000.0, 100).unwrap();
+        let model = TriangularCoverage::new(25.0);
+        let picks: Vec<_> = (0..100).step_by(7).map(InstantId).collect();
+        let inc = coverage_of_instants(&grid, &model, &picks);
+        let naive = naive_objective(&grid, &model, &picks);
+        assert!((inc - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_gain_equals_delta_total() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(15.0);
+        let mut state = CoverageState::new(&grid, &model);
+        state.add(InstantId(2));
+        let before = state.total();
+        let gain = state.marginal_gain(InstantId(5));
+        state.add(InstantId(5));
+        assert!((state.total() - before - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_and_submodular_on_chain() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        // Submodularity spot check: gain of x after a small set >= gain
+        // of x after a superset.
+        let x = InstantId(5);
+        let mut small = CoverageState::new(&grid, &model);
+        small.add(InstantId(1));
+        let gain_small = small.marginal_gain(x);
+
+        let mut big = CoverageState::new(&grid, &model);
+        big.add(InstantId(1));
+        big.add(InstantId(4));
+        big.add(InstantId(6));
+        let gain_big = big.marginal_gain(x);
+
+        assert!(gain_small >= gain_big - 1e-12);
+        // Monotone: every add increases the total.
+        assert!(big.total() >= small.total());
+    }
+
+    #[test]
+    fn coverage_of_reports_per_instant() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let mut state = CoverageState::new(&grid, &model);
+        state.add(InstantId(4));
+        assert!((state.coverage_of(InstantId(4)) - 1.0).abs() < 1e-12);
+        assert!(state.coverage_of(InstantId(5)) > state.coverage_of(InstantId(9)));
+    }
+
+    #[test]
+    fn average_is_total_over_n() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let mut state = CoverageState::new(&grid, &model);
+        for i in 0..10 {
+            state.add(InstantId(i));
+        }
+        assert!((state.average() - state.total() / 10.0).abs() < 1e-12);
+        assert!(state.average() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn saturation_approaches_full_coverage() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let mut state = CoverageState::new(&grid, &model);
+        for _ in 0..5 {
+            for i in 0..10 {
+                state.add(InstantId(i));
+            }
+        }
+        assert!(state.average() > 0.999);
+    }
+}

@@ -1,0 +1,250 @@
+//! Matroid abstraction (Definition 1 / Theorem 1 of the paper).
+//!
+//! The scheduling feasibility structure `Λ = {Ψ ⊆ T : |Ψ ∩ Tk| ≤ NBk}`
+//! is shown to be a matroid in Theorem 1. When each selected instant is
+//! attributed to exactly one participating user (which is how a schedule
+//! is actually executed — a specific phone takes the reading), the
+//! structure is the **partition matroid** over (user, instant) elements
+//! implemented here. The generic [`Matroid`] trait exists so the greedy
+//! machinery and the property tests can also exercise other matroids
+//! (e.g. uniform) and verify the axioms directly.
+
+use crate::schedule::UserId;
+
+/// A matroid over elements of type `E`, presented by an independence
+/// oracle.
+///
+/// Implementations must satisfy the three axioms of Definition 1:
+/// the empty set is independent; independence is hereditary; and the
+/// exchange property holds.
+pub trait Matroid<E> {
+    /// Whether `set` is independent (a member of the matroid's family).
+    fn is_independent(&self, set: &[E]) -> bool;
+
+    /// Whether `set ∪ {x}` stays independent, assuming `set` already is.
+    /// The default recomputes from scratch; implementations usually
+    /// override with an `O(1)` counter check.
+    fn can_extend(&self, set: &[E], x: &E) -> bool
+    where
+        E: Clone,
+    {
+        let mut bigger: Vec<E> = set.to_vec();
+        bigger.push(x.clone());
+        self.is_independent(&bigger)
+    }
+}
+
+/// The uniform matroid `U(k, n)`: any set of at most `k` elements is
+/// independent. Used by tests as the simplest non-trivial matroid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformMatroid {
+    /// Maximum independent-set size.
+    pub rank: usize,
+}
+
+impl<E> Matroid<E> for UniformMatroid {
+    fn is_independent(&self, set: &[E]) -> bool {
+        set.len() <= self.rank
+    }
+}
+
+/// The scheduling element: user `k` takes a reading at grid instant `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SenseAction {
+    /// The participating mobile user.
+    pub user: UserId,
+    /// Index of the time instant in the scheduling grid.
+    pub instant: usize,
+}
+
+/// Partition matroid over [`SenseAction`]s: a set is independent iff each
+/// user `k` contributes at most `budget[k]` actions. This is exactly the
+/// constraint family `Λ` of §III with per-user attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetMatroid {
+    budgets: Vec<usize>,
+}
+
+impl BudgetMatroid {
+    /// Creates the matroid from per-user sensing budgets `NBk`, indexed
+    /// by `UserId`.
+    pub fn new(budgets: Vec<usize>) -> Self {
+        BudgetMatroid { budgets }
+    }
+
+    /// Budget of a user, or 0 for unknown users.
+    pub fn budget_of(&self, user: UserId) -> usize {
+        self.budgets.get(user.0).copied().unwrap_or(0)
+    }
+}
+
+impl Matroid<SenseAction> for BudgetMatroid {
+    fn is_independent(&self, set: &[SenseAction]) -> bool {
+        let mut counts = vec![0usize; self.budgets.len()];
+        for a in set {
+            match counts.get_mut(a.user.0) {
+                Some(c) => {
+                    *c += 1;
+                    if *c > self.budgets[a.user.0] {
+                        return false;
+                    }
+                }
+                None => return false, // unknown user has budget 0
+            }
+        }
+        true
+    }
+
+    fn can_extend(&self, set: &[SenseAction], x: &SenseAction) -> bool {
+        let budget = self.budget_of(x.user);
+        if budget == 0 {
+            return false;
+        }
+        let used = set.iter().filter(|a| a.user == x.user).count();
+        used < budget
+    }
+}
+
+/// Verifies the three matroid axioms on an explicit small ground set by
+/// exhaustive enumeration. Exposed (not test-only) so that property
+/// tests in dependent crates can reuse it. Exponential — keep
+/// `ground.len()` under ~12.
+pub fn verify_axioms<E: Clone + PartialEq, M: Matroid<E>>(matroid: &M, ground: &[E]) -> bool {
+    let n = ground.len();
+    assert!(n <= 16, "axiom verification is exponential; ground set too large");
+    let subsets: Vec<Vec<E>> = (0u32..(1 << n))
+        .map(|mask| {
+            (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| ground[i].clone())
+                .collect()
+        })
+        .collect();
+    // Axiom 1: ∅ independent.
+    if !matroid.is_independent(&[]) {
+        return false;
+    }
+    for x in &subsets {
+        if !matroid.is_independent(x) {
+            continue;
+        }
+        // Axiom 2 (hereditary): every subset of x independent. Check by
+        // removing one element at a time (sufficient by induction).
+        for skip in 0..x.len() {
+            let smaller: Vec<E> = x
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, e)| e.clone())
+                .collect();
+            if !matroid.is_independent(&smaller) {
+                return false;
+            }
+        }
+        // Axiom 3 (exchange): for any independent y with |x| > |y| there
+        // is an element of x \ y extending y.
+        for y in &subsets {
+            if !matroid.is_independent(y) || x.len() <= y.len() {
+                continue;
+            }
+            let found = x
+                .iter()
+                .filter(|e| !y.contains(e))
+                .any(|e| matroid.can_extend(y, e));
+            if !found {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actions(spec: &[(usize, usize)]) -> Vec<SenseAction> {
+        spec.iter()
+            .map(|&(u, i)| SenseAction { user: UserId(u), instant: i })
+            .collect()
+    }
+
+    #[test]
+    fn empty_set_is_independent() {
+        let m = BudgetMatroid::new(vec![1, 2]);
+        assert!(m.is_independent(&[]));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let m = BudgetMatroid::new(vec![2, 1]);
+        assert!(m.is_independent(&actions(&[(0, 1), (0, 2), (1, 3)])));
+        assert!(!m.is_independent(&actions(&[(0, 1), (0, 2), (0, 3)])));
+    }
+
+    #[test]
+    fn zero_budget_user_blocked() {
+        let m = BudgetMatroid::new(vec![0, 5]);
+        assert!(!m.is_independent(&actions(&[(0, 1)])));
+        assert!(!m.can_extend(&[], &SenseAction { user: UserId(0), instant: 1 }));
+    }
+
+    #[test]
+    fn unknown_user_blocked() {
+        let m = BudgetMatroid::new(vec![1]);
+        assert!(!m.is_independent(&actions(&[(7, 1)])));
+        assert!(!m.can_extend(&[], &SenseAction { user: UserId(7), instant: 1 }));
+    }
+
+    #[test]
+    fn can_extend_matches_is_independent() {
+        let m = BudgetMatroid::new(vec![2, 1, 0]);
+        let base = actions(&[(0, 1), (1, 2)]);
+        for u in 0..3 {
+            let x = SenseAction { user: UserId(u), instant: 9 };
+            let mut bigger = base.clone();
+            bigger.push(x);
+            assert_eq!(m.can_extend(&base, &x), m.is_independent(&bigger), "user {u}");
+        }
+    }
+
+    #[test]
+    fn budget_matroid_satisfies_axioms() {
+        // Theorem 1 of the paper, checked exhaustively on a small case.
+        let m = BudgetMatroid::new(vec![2, 1]);
+        let ground = actions(&[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+        assert!(verify_axioms(&m, &ground));
+    }
+
+    #[test]
+    fn uniform_matroid_satisfies_axioms() {
+        let m = UniformMatroid { rank: 2 };
+        let ground: Vec<u8> = vec![1, 2, 3, 4, 5];
+        assert!(verify_axioms(&m, &ground));
+    }
+
+    #[test]
+    fn non_matroid_fails_axioms() {
+        // "At most one of {1,2} AND at most one of {2,3}" as sets —
+        // actually a matroid intersection, which is generally NOT a
+        // matroid. Encode directly via an ad-hoc oracle.
+        struct Weird;
+        impl Matroid<u8> for Weird {
+            fn is_independent(&self, set: &[u8]) -> bool {
+                // Independent iff set is one of: {}, {1}, {2}, {1,2}, {3}
+                // Violates exchange: |{1,2}| > |{3}| but neither 1 nor 2
+                // extends {3}.
+                matches!(set.len(), 0 | 1) && set != [4]
+                    || (set.len() == 2 && set.contains(&1) && set.contains(&2))
+            }
+        }
+        assert!(!verify_axioms(&Weird, &[1u8, 2, 3]));
+    }
+
+    #[test]
+    fn budget_of_unknown_is_zero() {
+        let m = BudgetMatroid::new(vec![3]);
+        assert_eq!(m.budget_of(UserId(0)), 3);
+        assert_eq!(m.budget_of(UserId(9)), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The §V-C comparison baseline.
+//!
+//! "A simple scheduling algorithm served as the baseline: a mobile phone
+//! starts to sense every 10 s since its arrival for `NBk` times, where
+//! `NBk` is the corresponding budget."
+//!
+//! Each phone acts independently, so several phones routinely sense at
+//! the same instants — exactly the clustering the greedy scheduler is
+//! designed to avoid.
+
+use crate::matroid::SenseAction;
+use crate::schedule::{Schedule, ScheduleProblem};
+
+/// Runs the baseline with the paper's 10-second interval (i.e. one grid
+/// cell when the grid spacing is 10 s, as in §V-C).
+pub fn baseline(problem: &ScheduleProblem) -> Schedule {
+    baseline_with_interval(problem, 10.0)
+}
+
+/// Runs the baseline with a custom sensing interval in seconds. Readings
+/// are snapped to the scheduling grid (the nearest instant at or after
+/// the nominal time) and stop at the user's departure or budget,
+/// whichever comes first.
+pub fn baseline_with_interval(problem: &ScheduleProblem, interval: f64) -> Schedule {
+    assert!(interval > 0.0, "interval must be positive, got {interval}");
+    let grid = problem.grid();
+    let mut schedule = Schedule::new();
+    for p in problem.participants() {
+        let mut taken = 0usize;
+        let mut next_time = p.arrival.max(grid.start());
+        let mut last_instant: Option<usize> = None;
+        while taken < p.budget && next_time <= p.departure.min(grid.end()) {
+            let range = grid.instants_within(next_time, p.departure.min(grid.end()));
+            let Some(i) = range.clone().next() else { break };
+            // Never schedule the same user twice on one instant (can
+            // happen when the interval is shorter than the grid spacing).
+            if last_instant != Some(i) {
+                schedule.push(SenseAction { user: p.user, instant: i });
+                taken += 1;
+                last_instant = Some(i);
+            }
+            next_time += interval;
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::GaussianCoverage;
+    use crate::schedule::{greedy, Participant, UserId};
+    use crate::time::{InstantId, TimeGrid};
+
+    fn paper_like_problem(users: &[(f64, f64, usize)]) -> ScheduleProblem {
+        let grid = TimeGrid::new(0.0, 1000.0, 100).unwrap(); // 10 s spacing
+        let participants = users
+            .iter()
+            .enumerate()
+            .map(|(k, &(a, d, b))| Participant::new(UserId(k), a, d, b))
+            .collect();
+        ScheduleProblem::new(grid, GaussianCoverage::new(10.0), participants)
+    }
+
+    #[test]
+    fn senses_every_ten_seconds_from_arrival() {
+        let p = paper_like_problem(&[(0.0, 1000.0, 4)]);
+        let s = baseline(&p);
+        assert_eq!(
+            s.for_user(UserId(0)),
+            vec![InstantId(0), InstantId(1), InstantId(2), InstantId(3)]
+        );
+    }
+
+    #[test]
+    fn stops_at_departure() {
+        // Stay [0, 35]: instants at 10,20,30 only.
+        let p = paper_like_problem(&[(0.0, 35.0, 10)]);
+        let s = baseline(&p);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn consecutive_users_cluster_on_same_instants() {
+        // Two users with the same arrival: the baseline stacks them on
+        // identical instants (the inefficiency the paper highlights).
+        let p = paper_like_problem(&[(0.0, 1000.0, 3), (0.0, 1000.0, 3)]);
+        let s = baseline(&p);
+        assert_eq!(s.for_user(UserId(0)), s.for_user(UserId(1)));
+    }
+
+    #[test]
+    fn is_feasible_even_with_duplicates() {
+        let p = paper_like_problem(&[(0.0, 1000.0, 3), (0.0, 1000.0, 3)]);
+        let s = baseline(&p);
+        assert!(p.is_feasible(&s));
+    }
+
+    #[test]
+    fn greedy_beats_baseline_on_clustered_arrivals() {
+        // All users arrive together: the baseline wastes readings on the
+        // same instants while the greedy spreads them out.
+        let users: Vec<(f64, f64, usize)> = (0..5).map(|_| (0.0, 1000.0, 5)).collect();
+        let p = paper_like_problem(&users);
+        let cov_base = p.average_coverage(&baseline(&p));
+        let cov_greedy = p.average_coverage(&greedy(&p));
+        assert!(
+            cov_greedy > cov_base * 1.2,
+            "greedy {cov_greedy} vs baseline {cov_base}"
+        );
+    }
+
+    #[test]
+    fn custom_interval_spreads_readings() {
+        let p = paper_like_problem(&[(0.0, 1000.0, 3)]);
+        let s = baseline_with_interval(&p, 100.0);
+        let picks = s.for_user(UserId(0));
+        // Arrival 0 snaps to instant 0 (t=10); 100 s and 200 s later the
+        // nominal times land exactly on instants 9 (t=100) and 19 (t=200).
+        assert_eq!(picks, vec![InstantId(0), InstantId(9), InstantId(19)]);
+    }
+
+    #[test]
+    fn interval_below_spacing_does_not_double_book() {
+        let p = paper_like_problem(&[(0.0, 1000.0, 4)]);
+        let s = baseline_with_interval(&p, 3.0);
+        let picks = s.for_user(UserId(0));
+        let mut unique = picks.clone();
+        unique.dedup();
+        assert_eq!(picks, unique);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_interval() {
+        let p = paper_like_problem(&[(0.0, 1000.0, 1)]);
+        baseline_with_interval(&p, 0.0);
+    }
+
+    #[test]
+    fn late_arrival_snaps_forward() {
+        // Arrival at 15 s: first instant at or after is 20 s (id 1).
+        let p = paper_like_problem(&[(15.0, 1000.0, 2)]);
+        let s = baseline(&p);
+        let picks = s.for_user(UserId(0));
+        assert_eq!(picks[0], InstantId(1));
+    }
+}

@@ -1,0 +1,218 @@
+//! Exhaustive optimal scheduling for tiny instances.
+//!
+//! Used only to validate the greedy's 1/2-approximation guarantee in
+//! tests and the approximation-ratio ablation bench. Exponential in the
+//! number of grid instants — keep instances small.
+
+use crate::matroid::SenseAction;
+use crate::schedule::{Schedule, ScheduleProblem, UserId};
+
+/// Finds an optimal feasible schedule by exhaustive search over subsets
+/// of grid instants with optimal user attribution.
+///
+/// Instant-set semantics match the greedy solvers: each instant is used
+/// at most once. For a fixed instant set, a feasible attribution exists
+/// iff the bipartite instant→user matching saturates all instants
+/// (checked with a small augmenting-path matcher), so the search is over
+/// instant subsets only.
+///
+/// # Panics
+///
+/// Panics if the grid has more than 20 instants (2^20 subsets is the
+/// sanity limit for test use).
+pub fn brute_force(problem: &ScheduleProblem) -> Schedule {
+    let n = problem.grid().len();
+    assert!(n <= 20, "brute force limited to 20 instants, got {n}");
+
+    // users_at[i]: users that can take instant i.
+    let mut users_at: Vec<Vec<UserId>> = vec![Vec::new(); n];
+    for p in problem.participants() {
+        for i in problem.tk(p.user) {
+            users_at[i].push(p.user);
+        }
+    }
+    let max_user = problem
+        .participants()
+        .iter()
+        .map(|p| p.user.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let budgets: Vec<usize> = {
+        let m = problem.matroid();
+        (0..max_user).map(|u| m.budget_of(UserId(u))).collect()
+    };
+
+    let mut best: Option<(f64, Schedule)> = None;
+    for mask in 0u32..(1 << n) {
+        let instants: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let Some(attribution) = attribute(&instants, &users_at, &budgets) else {
+            continue;
+        };
+        let schedule: Schedule = instants
+            .iter()
+            .zip(attribution.iter())
+            .map(|(&i, &u)| SenseAction { user: u, instant: i })
+            .collect();
+        let value = problem.evaluate(&schedule);
+        let better = match &best {
+            None => true,
+            Some((bv, _)) => value > *bv + 1e-12,
+        };
+        if better {
+            best = Some((value, schedule));
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or_default()
+}
+
+/// Bipartite matching instants → users under budgets. Each user is
+/// expanded into `budget` slots and Kuhn's augmenting-path matching is
+/// run from every instant. Returns one user per instant, or `None` if
+/// the set is infeasible.
+fn attribute(
+    instants: &[usize],
+    users_at: &[Vec<UserId>],
+    budgets: &[usize],
+) -> Option<Vec<UserId>> {
+    // Expand users into capacity slots.
+    let mut slot_user: Vec<UserId> = Vec::new();
+    let mut slots_of: Vec<Vec<usize>> = vec![Vec::new(); budgets.len()];
+    for (u, &b) in budgets.iter().enumerate() {
+        for _ in 0..b {
+            slots_of[u].push(slot_user.len());
+            slot_user.push(UserId(u));
+        }
+    }
+    // adj[idx] = slots reachable from instant idx.
+    let adj: Vec<Vec<usize>> = instants
+        .iter()
+        .map(|&i| {
+            users_at[i]
+                .iter()
+                .flat_map(|u| slots_of[u.0].iter().copied())
+                .collect()
+        })
+        .collect();
+
+    fn augment(
+        idx: usize,
+        adj: &[Vec<usize>],
+        slot_match: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &s in &adj[idx] {
+            if visited[s] {
+                continue;
+            }
+            visited[s] = true;
+            if slot_match[s].is_none()
+                || augment(slot_match[s].unwrap(), adj, slot_match, visited)
+            {
+                slot_match[s] = Some(idx);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut slot_match: Vec<Option<usize>> = vec![None; slot_user.len()];
+    for idx in 0..instants.len() {
+        let mut visited = vec![false; slot_user.len()];
+        if !augment(idx, &adj, &mut slot_match, &mut visited) {
+            return None;
+        }
+    }
+    let mut owner: Vec<Option<UserId>> = vec![None; instants.len()];
+    for (s, m) in slot_match.iter().enumerate() {
+        if let Some(idx) = m {
+            owner[*idx] = Some(slot_user[s]);
+        }
+    }
+    Some(owner.into_iter().map(|o| o.expect("matched")).collect())
+}
+
+/// Convenience: optimal objective value of a tiny instance.
+pub fn optimal_value(problem: &ScheduleProblem) -> f64 {
+    problem.evaluate(&brute_force(problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{GaussianCoverage, TriangularCoverage};
+    use crate::schedule::{greedy, Participant};
+    use crate::time::TimeGrid;
+
+    fn tiny(n: usize, users: &[(f64, f64, usize)]) -> ScheduleProblem {
+        let grid = TimeGrid::new(0.0, 10.0 * n as f64, n).unwrap();
+        let participants = users
+            .iter()
+            .enumerate()
+            .map(|(k, &(a, d, b))| Participant::new(UserId(k), a, d, b))
+            .collect();
+        ScheduleProblem::new(grid, GaussianCoverage::new(10.0), participants)
+    }
+
+    #[test]
+    fn optimal_is_feasible() {
+        let p = tiny(6, &[(0.0, 60.0, 2), (20.0, 60.0, 1)]);
+        let s = brute_force(&p);
+        assert!(p.is_feasible(&s));
+    }
+
+    #[test]
+    fn optimal_at_least_greedy() {
+        let cases: Vec<Vec<(f64, f64, usize)>> = vec![
+            vec![(0.0, 60.0, 2)],
+            vec![(0.0, 60.0, 2), (20.0, 60.0, 1)],
+            vec![(0.0, 30.0, 1), (30.0, 60.0, 1), (0.0, 60.0, 2)],
+        ];
+        for users in cases {
+            let p = tiny(6, &users);
+            let g = p.evaluate(&greedy(&p));
+            let opt = optimal_value(&p);
+            assert!(opt >= g - 1e-9, "opt {opt} < greedy {g} for {users:?}");
+            // The theoretical guarantee (with slack for float noise):
+            assert!(g >= 0.5 * opt - 1e-9, "greedy below 1/2·opt for {users:?}");
+        }
+    }
+
+    #[test]
+    fn exhausts_budget_when_useful() {
+        let p = tiny(5, &[(0.0, 50.0, 3)]);
+        let s = brute_force(&p);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = tiny(4, &[]);
+        assert!(brute_force(&p).is_empty());
+    }
+
+    #[test]
+    fn attribution_uses_eviction() {
+        // User 0 covers instants {0,1}, budget 1; user 1 covers {0} only,
+        // budget 1. Selecting {0,1} requires giving 0 to user 1 and 1 to
+        // user 0 — the naive first-fit would deadlock without eviction.
+        let grid = TimeGrid::new(0.0, 20.0, 2).unwrap();
+        let p = ScheduleProblem::new(
+            grid,
+            TriangularCoverage::new(5.0),
+            vec![
+                Participant::new(UserId(0), 0.0, 20.0, 1),
+                Participant::new(UserId(1), 0.0, 10.0, 1),
+            ],
+        );
+        let s = brute_force(&p);
+        assert_eq!(s.len(), 2, "both instants should be schedulable: {s:?}");
+        assert!(p.is_feasible(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 20")]
+    fn refuses_large_grids() {
+        let p = tiny(21, &[(0.0, 210.0, 1)]);
+        brute_force(&p);
+    }
+}

@@ -1,0 +1,35 @@
+//! The sensing-scheduling problem and its solvers (§III of the paper).
+//!
+//! A *sensing schedule* selects, for each participating mobile user `k`
+//! with stay `[tSk, tEk]` and sensing budget `NBk`, a set of grid
+//! instants at which that user's phone takes readings. The objective is
+//! the total time-domain coverage (eq. 4), a monotone submodular
+//! function; feasibility is the budget (partition) matroid of
+//! [`crate::matroid`].
+//!
+//! Solvers:
+//! - [`greedy`]: the paper's Algorithm 1 — plain greedy, `O(N²)` with
+//!   kernel windowing, 1/2-approximate.
+//! - [`lazy_greedy`]: identical output, accelerated with lazy marginal
+//!   evaluation (valid because gains only shrink as the solution grows).
+//! - [`baseline`]: the §V-C comparison — each phone senses every
+//!   `interval` seconds from its arrival until its budget is exhausted.
+//! - [`brute_force`]: exact optimum by exhaustive search, for tiny
+//!   instances only; used to validate the 1/2 approximation bound.
+//! - [`online::OnlineScheduler`]: arrival/departure-driven rescheduling
+//!   in the style of the deployed Sensing Scheduler (§II-B).
+
+mod baseline;
+mod brute;
+mod greedy;
+mod lazy;
+pub mod online;
+mod problem;
+mod types;
+
+pub use baseline::{baseline, baseline_with_interval};
+pub use brute::{brute_force, optimal_value};
+pub use greedy::{greedy, greedy_seeded};
+pub use lazy::lazy_greedy;
+pub use problem::ScheduleProblem;
+pub use types::{Participant, Schedule, UserId};

@@ -1,0 +1,332 @@
+//! Online (arrival-driven) scheduling.
+//!
+//! §II-B: "the Sensing Scheduler applies an online algorithm to
+//! calculate a sensing schedule … based on runtime participation
+//! information (such as current participating users, their sensing
+//! budgets, etc)". Users scan the 2D barcode and join at arbitrary
+//! times; the scheduler must revise the future portion of the schedule
+//! while honouring readings that have already been taken.
+//!
+//! [`OnlineScheduler`] keeps the executed prefix immutable and re-runs
+//! the seeded greedy over the remaining future instants with the
+//! remaining budgets on every participation change.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::coverage::CoverageModel;
+use crate::matroid::SenseAction;
+use crate::schedule::greedy::greedy_seeded;
+use crate::schedule::{Participant, Schedule, ScheduleProblem, UserId};
+use crate::time::{InstantId, TimeGrid};
+
+/// Event log entry for observability / tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEvent {
+    /// A user joined at the given time.
+    Arrived(UserId, f64),
+    /// A user left at the given time (their future readings are dropped).
+    Departed(UserId, f64),
+    /// The future schedule was recomputed at the given time.
+    Rescheduled {
+        /// Wall-clock time of the recompute.
+        at: f64,
+        /// Number of future actions in the new plan.
+        future_actions: usize,
+    },
+}
+
+/// Arrival-driven wrapper around the greedy scheduler.
+///
+/// # Example
+///
+/// ```
+/// use sor_core::coverage::GaussianCoverage;
+/// use sor_core::schedule::online::OnlineScheduler;
+/// use sor_core::schedule::UserId;
+/// use sor_core::time::TimeGrid;
+///
+/// let grid = TimeGrid::new(0.0, 600.0, 60).unwrap();
+/// let mut sched = OnlineScheduler::new(grid, GaussianCoverage::new(10.0));
+/// sched.arrive(UserId(0), 0.0, 600.0, 4);
+/// sched.advance_to(300.0);
+/// sched.arrive(UserId(1), 300.0, 600.0, 4); // late joiner
+/// let plan = sched.current_schedule();
+/// assert!(plan.len() <= 8);
+/// ```
+pub struct OnlineScheduler {
+    grid: TimeGrid,
+    model: Arc<dyn CoverageModel>,
+    participants: Vec<Participant>,
+    /// Actions whose instant time is already in the past — immutable.
+    executed: Vec<SenseAction>,
+    /// Planned future actions (re-derived on every change).
+    planned: Vec<SenseAction>,
+    now: f64,
+    events: Vec<OnlineEvent>,
+}
+
+impl std::fmt::Debug for OnlineScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineScheduler")
+            .field("now", &self.now)
+            .field("participants", &self.participants.len())
+            .field("executed", &self.executed.len())
+            .field("planned", &self.planned.len())
+            .finish()
+    }
+}
+
+impl OnlineScheduler {
+    /// Creates an online scheduler for one scheduling period.
+    pub fn new<M: CoverageModel + 'static>(grid: TimeGrid, model: M) -> Self {
+        Self::from_arc(grid, Arc::new(model))
+    }
+
+    /// Creates an online scheduler sharing an existing model handle.
+    pub fn from_arc(grid: TimeGrid, model: Arc<dyn CoverageModel>) -> Self {
+        OnlineScheduler {
+            grid,
+            model,
+            participants: Vec::new(),
+            executed: Vec::new(),
+            planned: Vec::new(),
+            now: grid.start(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The scheduling grid.
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
+    /// Registered participants (past and present).
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// The combined schedule: executed prefix plus current future plan.
+    pub fn current_schedule(&self) -> Schedule {
+        let mut all = self.executed.clone();
+        all.extend(self.planned.iter().copied());
+        Schedule::from_actions(all)
+    }
+
+    /// Actions already executed (instant time ≤ now).
+    pub fn executed(&self) -> &[SenseAction] {
+        &self.executed
+    }
+
+    /// Event log.
+    pub fn events(&self) -> &[OnlineEvent] {
+        &self.events
+    }
+
+    /// Objective value of the combined schedule under this period's
+    /// coverage model.
+    pub fn coverage(&self) -> f64 {
+        let problem = ScheduleProblem::from_arc(
+            self.grid,
+            Arc::clone(&self.model),
+            self.participants.clone(),
+        );
+        problem.evaluate(&self.current_schedule())
+    }
+
+    /// Advances the clock to `t`, moving any planned actions whose
+    /// instant time has passed into the executed prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.now, "time went backwards: {} -> {t}", self.now);
+        self.now = t;
+        let grid = self.grid;
+        let (done, future): (Vec<_>, Vec<_>) = self
+            .planned
+            .drain(..)
+            .partition(|a| grid.time_of(InstantId(a.instant)) <= t);
+        self.executed.extend(done);
+        self.planned = future;
+    }
+
+    /// A user scans the barcode at time `t`, announcing departure time
+    /// and sensing budget. Triggers a reschedule. Re-arrival of a known
+    /// user replaces their previous registration (their executed readings
+    /// still count against the new budget).
+    pub fn arrive(&mut self, user: UserId, t: f64, departure: f64, budget: usize) {
+        self.advance_to(t);
+        self.participants.retain(|p| p.user != user);
+        self.participants.push(Participant::new(user, t, departure, budget));
+        self.events.push(OnlineEvent::Arrived(user, t));
+        self.reschedule();
+    }
+
+    /// A user leaves at time `t` (detected by the Participation Manager
+    /// via location, §II-B). Their future readings are cancelled and the
+    /// rest of the plan is recomputed.
+    pub fn depart(&mut self, user: UserId, t: f64) {
+        self.advance_to(t);
+        if let Some(p) = self.participants.iter_mut().find(|p| p.user == user) {
+            p.departure = p.departure.min(t);
+        }
+        self.events.push(OnlineEvent::Departed(user, t));
+        self.reschedule();
+    }
+
+    /// Recomputes the future plan: remaining budgets over remaining
+    /// instants, seeded with the executed prefix.
+    fn reschedule(&mut self) {
+        let mut executed_counts: HashMap<UserId, usize> = HashMap::new();
+        for a in &self.executed {
+            *executed_counts.entry(a.user).or_insert(0) += 1;
+        }
+        let future_participants: Vec<Participant> = self
+            .participants
+            .iter()
+            .filter_map(|p| {
+                let used = executed_counts.get(&p.user).copied().unwrap_or(0);
+                let left = p.budget.saturating_sub(used);
+                if left == 0 || p.departure <= self.now {
+                    return None;
+                }
+                Some(Participant::new(p.user, p.arrival.max(self.now), p.departure, left))
+            })
+            .collect();
+
+        let problem = ScheduleProblem::from_arc(
+            self.grid,
+            Arc::clone(&self.model),
+            future_participants,
+        );
+        let seed: Vec<InstantId> =
+            self.executed.iter().map(|a| InstantId(a.instant)).collect();
+        self.planned = greedy_seeded(&problem, &seed).assignments().to_vec();
+        self.events.push(OnlineEvent::Rescheduled {
+            at: self.now,
+            future_actions: self.planned.len(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::GaussianCoverage;
+
+    fn scheduler() -> OnlineScheduler {
+        let grid = TimeGrid::new(0.0, 1000.0, 100).unwrap();
+        OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+    }
+
+    #[test]
+    fn single_arrival_plans_full_budget() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 5);
+        assert_eq!(s.current_schedule().len(), 5);
+        assert_eq!(s.executed().len(), 0);
+    }
+
+    #[test]
+    fn advance_freezes_past_actions() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 10);
+        s.advance_to(500.0);
+        let frozen = s.executed().len();
+        // All frozen actions are in the past.
+        for a in s.executed() {
+            assert!(s.grid.time_of(InstantId(a.instant)) <= 500.0);
+        }
+        // A later arrival cannot change the executed prefix.
+        s.arrive(UserId(1), 500.0, 1000.0, 3);
+        assert_eq!(s.executed().len(), frozen);
+    }
+
+    #[test]
+    fn late_joiner_schedules_only_future_instants() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 3);
+        s.arrive(UserId(1), 600.0, 1000.0, 4);
+        let plan = s.current_schedule();
+        for i in plan.for_user(UserId(1)) {
+            assert!(s.grid.time_of(i) >= 600.0, "instant {i} before arrival");
+        }
+    }
+
+    #[test]
+    fn departure_cancels_future_readings() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 10);
+        s.advance_to(300.0);
+        let executed_before = s.executed().len();
+        s.depart(UserId(0), 300.0);
+        let plan = s.current_schedule();
+        assert_eq!(plan.len(), executed_before, "future readings must be dropped");
+    }
+
+    #[test]
+    fn budgets_respected_across_reschedules() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 4);
+        s.advance_to(400.0);
+        s.arrive(UserId(1), 400.0, 900.0, 3);
+        s.advance_to(700.0);
+        s.arrive(UserId(2), 700.0, 1000.0, 2);
+        let plan = s.current_schedule();
+        assert!(plan.load_of(UserId(0)) <= 4);
+        assert!(plan.load_of(UserId(1)) <= 3);
+        assert!(plan.load_of(UserId(2)) <= 2);
+    }
+
+    #[test]
+    fn rearrival_counts_executed_readings() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 400.0, 4);
+        s.advance_to(400.0);
+        let used = s.executed().len();
+        assert!(used > 0);
+        // Re-register with budget 5: only 5 - used more readings allowed.
+        s.arrive(UserId(0), 400.0, 1000.0, 5);
+        let plan = s.current_schedule();
+        assert!(plan.load_of(UserId(0)) <= 5);
+    }
+
+    #[test]
+    fn events_logged_in_order() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 500.0, 1);
+        s.depart(UserId(0), 100.0);
+        let kinds: Vec<_> = s
+            .events()
+            .iter()
+            .map(|e| match e {
+                OnlineEvent::Arrived(..) => "arrive",
+                OnlineEvent::Departed(..) => "depart",
+                OnlineEvent::Rescheduled { .. } => "resched",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["arrive", "resched", "depart", "resched"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_go_backwards() {
+        let mut s = scheduler();
+        s.advance_to(100.0);
+        s.advance_to(50.0);
+    }
+
+    #[test]
+    fn coverage_nonzero_after_plan() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 5);
+        assert!(s.coverage() > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Square assignment problem facade.
+//!
+//! The SOR ranking aggregation (§IV-B) reduces to assigning `N` target
+//! places to `N` rank positions at minimum total cost. The paper solves
+//! it as a min-cost `s`–`z` flow on a unit-capacity bipartite graph; the
+//! Hungarian algorithm solves the identical problem directly. Both
+//! backends are exposed so `sor-core` can cross-validate them.
+
+use crate::graph::{Graph, NodeId};
+use crate::hungarian;
+use crate::mincost::MinCostFlow;
+use crate::FlowError;
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Min-cost flow on the auxiliary bipartite graph (the paper's
+    /// construction, §IV-B).
+    #[default]
+    MinCostFlow,
+    /// Hungarian algorithm (independent `O(n³)` cross-check).
+    Hungarian,
+}
+
+/// Solution to an assignment instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignmentSolution {
+    /// `assignment[i] = j`: row `i` (target place) goes to column `j`
+    /// (rank position).
+    pub assignment: Vec<usize>,
+    /// Total cost of the matching.
+    pub total_cost: i64,
+}
+
+/// Solves the square assignment problem `cost[i][j]` with the chosen
+/// backend.
+///
+/// # Errors
+///
+/// - [`FlowError::MalformedMatrix`] if the matrix is empty or not square.
+/// - Flow backend errors surface unchanged (they indicate a bug in the
+///   graph construction rather than bad input, since the bipartite graph
+///   is always feasible).
+///
+/// # Example
+///
+/// ```
+/// use sor_flow::assignment::{solve, Backend};
+/// let cost = vec![vec![1, 10], vec![10, 1]];
+/// let flow = solve(&cost, Backend::MinCostFlow).unwrap();
+/// let hung = solve(&cost, Backend::Hungarian).unwrap();
+/// assert_eq!(flow.total_cost, hung.total_cost);
+/// assert_eq!(flow.assignment, vec![0, 1]);
+/// ```
+pub fn solve(cost: &[Vec<i64>], backend: Backend) -> Result<AssignmentSolution, FlowError> {
+    let n = cost.len();
+    if n == 0 {
+        return Err(FlowError::MalformedMatrix { rows: 0, cols: 0 });
+    }
+    for row in cost {
+        if row.len() != n {
+            return Err(FlowError::MalformedMatrix { rows: n, cols: row.len() });
+        }
+    }
+    match backend {
+        Backend::Hungarian => {
+            let (assignment, total_cost) = hungarian::solve(cost)?;
+            Ok(AssignmentSolution { assignment, total_cost })
+        }
+        Backend::MinCostFlow => solve_via_flow(cost),
+    }
+}
+
+/// Builds the paper's auxiliary graph: source `s`, one node per place,
+/// one node per rank, sink `z`; all capacities 1; place→rank arcs carry
+/// the assignment cost; then routes `n` units of min-cost flow.
+fn solve_via_flow(cost: &[Vec<i64>]) -> Result<AssignmentSolution, FlowError> {
+    let n = cost.len();
+    // Layout: 0 = s, 1..=n places, n+1..=2n ranks, 2n+1 = z.
+    let mut g = Graph::new(2 * n + 2);
+    let s = NodeId(0);
+    let z = NodeId(2 * n + 1);
+    for i in 0..n {
+        g.add_edge(s, NodeId(1 + i), 1, 0);
+        g.add_edge(NodeId(n + 1 + i), z, 1, 0);
+    }
+    let mut place_rank_edges = Vec::with_capacity(n * n);
+    for (i, row) in cost.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            let e = g.add_edge(NodeId(1 + i), NodeId(n + 1 + j), 1, c);
+            place_rank_edges.push((i, j, e));
+        }
+    }
+    let mut solver = MinCostFlow::new(g);
+    let res = solver.solve_exact(s, z, n as i64)?;
+    let g = solver.graph();
+    let mut assignment = vec![usize::MAX; n];
+    for &(i, j, e) in &place_rank_edges {
+        if g.flow_on(e) > 0 {
+            debug_assert_eq!(assignment[i], usize::MAX, "place {i} matched twice");
+            assignment[i] = j;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&j| j != usize::MAX));
+    Ok(AssignmentSolution { assignment, total_cost: res.cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_agree_on_total_cost() {
+        let cost = vec![
+            vec![7, 2, 1, 9],
+            vec![4, 3, 6, 0],
+            vec![5, 8, 2, 2],
+            vec![1, 1, 4, 3],
+        ];
+        let a = solve(&cost, Backend::MinCostFlow).unwrap();
+        let b = solve(&cost, Backend::Hungarian).unwrap();
+        assert_eq!(a.total_cost, b.total_cost);
+    }
+
+    #[test]
+    fn flow_backend_produces_permutation() {
+        let cost = vec![vec![5, 5, 5], vec![5, 5, 5], vec![5, 5, 5]];
+        let sol = solve(&cost, Backend::MinCostFlow).unwrap();
+        let mut seen = [false; 3];
+        for &j in &sol.assignment {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+        assert_eq!(sol.total_cost, 15);
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let sol = solve(&[vec![42]], Backend::MinCostFlow).unwrap();
+        assert_eq!(sol.assignment, vec![0]);
+        assert_eq!(sol.total_cost, 42);
+    }
+
+    #[test]
+    fn malformed_matrices_rejected_by_both() {
+        for backend in [Backend::MinCostFlow, Backend::Hungarian] {
+            assert!(solve(&[], backend).is_err());
+            assert!(solve(&[vec![1, 2], vec![3]], backend).is_err());
+        }
+    }
+
+    #[test]
+    fn default_backend_is_flow() {
+        assert_eq!(Backend::default(), Backend::MinCostFlow);
+    }
+}

@@ -1,0 +1,190 @@
+//! Compact adjacency-list directed flow network.
+//!
+//! Edges are stored in a single arena with the residual (reverse) edge
+//! interleaved at `id ^ 1`, the classic pairing trick that makes residual
+//! lookups branch-free.
+
+/// Identifier of a node in a [`Graph`]. Plain index newtype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a *forward* edge returned by [`Graph::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub usize);
+
+/// One directed arc in the edge arena (forward or residual).
+#[derive(Debug, Clone)]
+pub(crate) struct Arc {
+    /// Head of the arc.
+    pub to: usize,
+    /// Remaining capacity.
+    pub cap: i64,
+    /// Cost per unit of flow. Residual arcs carry the negated cost.
+    pub cost: i64,
+}
+
+/// A directed graph with capacities and costs, suitable for min-cost flow.
+///
+/// # Example
+///
+/// ```
+/// use sor_flow::{Graph, NodeId};
+///
+/// let mut g = Graph::new(2);
+/// let s = NodeId(0);
+/// let t = NodeId(1);
+/// g.add_edge(s, t, 3, 7);
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    pub(crate) arcs: Vec<Arc>,
+    /// Per-node list of indexes into `arcs`.
+    pub(crate) adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Creates a graph with `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        Graph { arcs: Vec::new(), adj: vec![Vec::new(); nodes] }
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId(self.adj.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of *forward* edges (residual twins are not counted).
+    pub fn edge_count(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity and
+    /// per-unit cost, plus its zero-capacity residual twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `cap` is negative.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64, cost: i64) -> EdgeId {
+        assert!(from.0 < self.adj.len(), "from node {from} out of range");
+        assert!(to.0 < self.adj.len(), "to node {to} out of range");
+        assert!(cap >= 0, "capacity must be non-negative, got {cap}");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to: to.0, cap, cost });
+        self.arcs.push(Arc { to: from.0, cap: 0, cost: -cost });
+        self.adj[from.0].push(id);
+        self.adj[to.0].push(id ^ 1);
+        EdgeId(id)
+    }
+
+    /// Flow currently routed through forward edge `e` (i.e. the capacity
+    /// accumulated on its residual twin).
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        self.arcs[e.0 ^ 1].cap
+    }
+
+    /// Remaining capacity on forward edge `e`.
+    pub fn residual_on(&self, e: EdgeId) -> i64 {
+        self.arcs[e.0].cap
+    }
+
+    /// Cost per unit on forward edge `e`.
+    pub fn cost_on(&self, e: EdgeId) -> i64 {
+        self.arcs[e.0].cost
+    }
+
+    /// Endpoints `(from, to)` of forward edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let to = self.arcs[e.0].to;
+        let from = self.arcs[e.0 ^ 1].to;
+        (NodeId(from), NodeId(to))
+    }
+
+    /// Iterates over the forward-edge ids in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.arcs.len()).step_by(2).map(EdgeId)
+    }
+
+    /// Resets all flow, restoring every forward edge to its original
+    /// capacity. Costs are untouched.
+    pub fn reset_flow(&mut self) {
+        for i in (0..self.arcs.len()).step_by(2) {
+            let back = self.arcs[i ^ 1].cap;
+            self.arcs[i].cap += back;
+            self.arcs[i ^ 1].cap = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_creates_residual_twin() {
+        let mut g = Graph::new(3);
+        let e = g.add_edge(NodeId(0), NodeId(2), 5, 9);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.residual_on(e), 5);
+        assert_eq!(g.flow_on(e), 0);
+        assert_eq!(g.cost_on(e), 9);
+        assert_eq!(g.endpoints(e), (NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = Graph::new(1);
+        let n = g.add_node();
+        assert_eq!(n, NodeId(1));
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_rejects_bad_endpoint() {
+        let mut g = Graph::new(1);
+        g.add_edge(NodeId(0), NodeId(7), 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn add_edge_rejects_negative_capacity() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), -1, 1);
+    }
+
+    #[test]
+    fn reset_flow_restores_capacity() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 4, 1);
+        // Manually push 3 units.
+        g.arcs[e.0].cap -= 3;
+        g.arcs[e.0 ^ 1].cap += 3;
+        assert_eq!(g.flow_on(e), 3);
+        g.reset_flow();
+        assert_eq!(g.flow_on(e), 0);
+        assert_eq!(g.residual_on(e), 4);
+    }
+
+    #[test]
+    fn edges_iterates_forward_only() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1, 1);
+        g.add_edge(NodeId(1), NodeId(2), 1, 1);
+        let ids: Vec<_> = g.edges().collect();
+        assert_eq!(ids, vec![EdgeId(0), EdgeId(2)]);
+    }
+}

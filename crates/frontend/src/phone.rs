@@ -1,0 +1,502 @@
+//! The phone: message handling, the task manager loop, and the binding
+//! of SenseScript data-acquisition functions to the sensor manager.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use sor_proto::{Message, SensedRecord};
+use sor_script::{Interpreter, Value};
+use sor_sensors::{SensorKind, SensorManager};
+
+use crate::preferences::LocalPreferenceManager;
+use crate::task::{TaskInstance, TaskStatus};
+
+/// A simulated participating smartphone.
+pub struct MobileFrontend {
+    token: u64,
+    manager: Arc<SensorManager>,
+    prefs: LocalPreferenceManager,
+    tasks: Vec<TaskInstance>,
+    now: f64,
+}
+
+impl std::fmt::Debug for MobileFrontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobileFrontend")
+            .field("token", &self.token)
+            .field("now", &self.now)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl MobileFrontend {
+    /// A phone with the given device token and sensor stack.
+    pub fn new(token: u64, manager: SensorManager) -> Self {
+        MobileFrontend {
+            token,
+            manager: Arc::new(manager),
+            prefs: LocalPreferenceManager::new(),
+            tasks: Vec::new(),
+            now: 0.0,
+        }
+    }
+
+    /// The device token.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Current phone clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The phone owner's sensor preferences.
+    pub fn preferences_mut(&mut self) -> &mut LocalPreferenceManager {
+        &mut self.prefs
+    }
+
+    /// All task instances.
+    pub fn tasks(&self) -> &[TaskInstance] {
+        &self.tasks
+    }
+
+    /// Looks up a task.
+    pub fn task(&self, task_id: u64) -> Option<&TaskInstance> {
+        self.tasks.iter().find(|t| t.task_id == task_id)
+    }
+
+    /// The user scans a 2D barcode: produce the participation request
+    /// that the Message Handler would POST to the sensing server. The
+    /// reported location honours the GPS privacy preference (a
+    /// disallowed GPS reports `(0, 0)`, which the server's Participation
+    /// Manager will reject as unverifiable).
+    pub fn scan_barcode(&self, app_id: u64, budget: u32, stay_seconds: f64) -> Message {
+        let (latitude, longitude) = if self.prefs.is_allowed(SensorKind::Gps) {
+            match self.manager.acquire(SensorKind::Gps, 1, self.now) {
+                Ok(fix) if fix[0].len() >= 2 => (fix[0][0], fix[0][1]),
+                _ => (0.0, 0.0),
+            }
+        } else {
+            (0.0, 0.0)
+        };
+        Message::ParticipationRequest {
+            token: self.token,
+            app_id,
+            latitude,
+            longitude,
+            budget,
+            stay_seconds,
+        }
+    }
+
+    /// Dispatches one incoming message (the Message Handler's job) and
+    /// returns any immediate replies.
+    pub fn handle_message(&mut self, msg: &Message) -> Vec<Message> {
+        match msg {
+            Message::ScheduleAssignment { task_id, script, sense_times } => {
+                // A re-assignment for a live task replaces its remaining
+                // schedule (the server re-plans when participation
+                // changes); finished tasks stay finished.
+                let fresh = TaskInstance::new(*task_id, script.clone(), sense_times.clone());
+                match self.tasks.iter_mut().find(|t| t.task_id == *task_id) {
+                    Some(existing) if !existing.is_done() => *existing = fresh,
+                    Some(_) => {}
+                    None => self.tasks.push(fresh),
+                }
+                Vec::new()
+            }
+            Message::WakeUp { token } if *token == self.token => {
+                vec![Message::Ping { token: self.token, uptime_ms: (self.now * 1000.0) as u64 }]
+            }
+            Message::PreferenceUpdate { token, permissions } if *token == self.token => {
+                self.prefs.apply(permissions);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Advances the phone clock to `t`, executing every task sense time
+    /// that falls due; returns the outgoing messages (uploads and
+    /// completion notices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards.
+    pub fn advance_to(&mut self, t: f64) -> Vec<Message> {
+        assert!(t >= self.now, "phone time went backwards: {} -> {t}", self.now);
+        self.now = t;
+        let mut out = Vec::new();
+        let manager = Arc::clone(&self.manager);
+        let allowed: HashSet<SensorKind> = SensorKind::ALL
+            .iter()
+            .copied()
+            .filter(|&k| self.prefs.is_allowed(k))
+            .collect();
+        for task in &mut self.tasks {
+            if task.is_done() {
+                continue;
+            }
+            while let Some(due) = task.next_due() {
+                if due > t {
+                    break;
+                }
+                match execute_script(&task.script, due, &manager, &allowed) {
+                    Ok(records) => {
+                        task.pending_records.extend(records);
+                        task.advance();
+                        let records = task.drain_records();
+                        if !records.is_empty() {
+                            out.push(Message::SensedDataUpload {
+                                task_id: task.task_id,
+                                records,
+                            });
+                        }
+                    }
+                    Err(message) => {
+                        task.status = TaskStatus::Error(message);
+                        out.push(Message::TaskComplete { task_id: task.task_id, status: 1 });
+                        break;
+                    }
+                }
+            }
+            if task.status == TaskStatus::Finished {
+                out.push(Message::TaskComplete { task_id: task.task_id, status: 0 });
+                // Mark so we do not re-announce completion next sweep.
+                task.status = TaskStatus::Finished;
+            }
+            // Empty schedules complete immediately.
+            if task.status == TaskStatus::Pending && task.sense_times.is_empty() {
+                task.status = TaskStatus::Finished;
+                out.push(Message::TaskComplete { task_id: task.task_id, status: 0 });
+            }
+        }
+        // Drop finished tasks that have announced completion... keep them
+        // for inspection but avoid duplicate TaskComplete by tracking the
+        // announced state through `next`.
+        out
+    }
+}
+
+/// Data-acquisition vocabulary: script function name → sensor kind.
+/// This is the whitelist the interpreter enforces (§II-A).
+const ACQUISITION_FNS: &[(&str, SensorKind)] = &[
+    ("get_temperature_readings", SensorKind::Temperature),
+    ("get_humidity_readings", SensorKind::Humidity),
+    ("get_light_readings", SensorKind::Light),
+    ("get_noise_readings", SensorKind::Microphone),
+    ("get_wifi_readings", SensorKind::WifiRssi),
+    ("get_pressure_readings", SensorKind::Pressure),
+    ("get_accel_readings", SensorKind::Accelerometer),
+    ("get_gps_readings", SensorKind::Gps),
+    ("get_compass_readings", SensorKind::Compass),
+];
+
+/// Runs one script execution at wall-clock `base_time`, returning the
+/// records it acquired.
+fn execute_script(
+    script: &str,
+    base_time: f64,
+    manager: &Arc<SensorManager>,
+    allowed: &HashSet<SensorKind>,
+) -> Result<Vec<SensedRecord>, String> {
+    let records: Rc<RefCell<Vec<SensedRecord>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut interp = Interpreter::new();
+
+    for &(name, kind) in ACQUISITION_FNS {
+        let manager = Arc::clone(manager);
+        let records = Rc::clone(&records);
+        let permitted = allowed.contains(&kind);
+        let sample_interval = manager.sample_interval();
+        interp.host_mut().register(name, move |ctx, args| {
+            if !permitted {
+                // Privacy veto: the phone silently returns no data.
+                return Ok(Value::Nil);
+            }
+            let n = args
+                .first()
+                .and_then(Value::as_number)
+                .map(|v| v.max(1.0) as usize)
+                .unwrap_or(1);
+            let start = base_time + ctx.virtual_time;
+            let readings = manager
+                .acquire(kind, n, start)
+                .map_err(|e| e.to_string())?;
+            let window = n as f64 * sample_interval;
+            ctx.virtual_time += window;
+            // Record the paper's (t, Δt, d) tuple.
+            let flat: Vec<f64> = readings.iter().flatten().copied().collect();
+            records.borrow_mut().push(SensedRecord {
+                timestamp: start,
+                window,
+                sensor: kind.wire_id(),
+                values: flat,
+            });
+            // Scripts see scalar streams; multi-axis sensors are exposed
+            // as per-sample magnitudes (GPS as altitudes).
+            let script_view: Vec<f64> = match kind {
+                SensorKind::Accelerometer => readings
+                    .iter()
+                    .map(|r| (r[0] * r[0] + r[1] * r[1] + r[2] * r[2]).sqrt())
+                    .collect(),
+                SensorKind::Gps => readings.iter().map(|r| r[2]).collect(),
+                _ => readings.iter().map(|r| r[0]).collect(),
+            };
+            Ok(Value::number_array(&script_view))
+        });
+    }
+
+    // get_location(): one GPS fix as a {lat, lon, alt} table.
+    {
+        let manager = Arc::clone(manager);
+        let records = Rc::clone(&records);
+        let permitted = allowed.contains(&SensorKind::Gps);
+        interp.host_mut().register("get_location", move |ctx, _args| {
+            if !permitted {
+                return Ok(Value::Nil);
+            }
+            let start = base_time + ctx.virtual_time;
+            let fix = manager
+                .acquire(SensorKind::Gps, 1, start)
+                .map_err(|e| e.to_string())?;
+            records.borrow_mut().push(SensedRecord {
+                timestamp: start,
+                window: 0.0,
+                sensor: SensorKind::Gps.wire_id(),
+                values: fix[0].clone(),
+            });
+            let mut hash = std::collections::HashMap::new();
+            hash.insert("lat".to_string(), Value::Number(fix[0][0]));
+            hash.insert("lon".to_string(), Value::Number(fix[0][1]));
+            hash.insert("alt".to_string(), Value::Number(fix[0][2]));
+            Ok(Value::table(Vec::new(), hash))
+        });
+    }
+
+    let run_result = interp.run(script).map_err(|e| e.to_string());
+    drop(interp); // releases the host closures' Rc clones
+    run_result?;
+    Ok(Rc::try_unwrap(records)
+        .expect("all other Rc holders dropped with the interpreter")
+        .into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_sensors::environment::presets;
+    use sor_sensors::SimulatedProvider;
+
+    fn phone() -> MobileFrontend {
+        let env = Arc::new(presets::bn_cafe(3));
+        let mut mgr = SensorManager::new();
+        for kind in [
+            SensorKind::Temperature,
+            SensorKind::Light,
+            SensorKind::Microphone,
+            SensorKind::WifiRssi,
+            SensorKind::Gps,
+            SensorKind::Accelerometer,
+        ] {
+            mgr.register(SimulatedProvider::new(kind, env.clone()));
+        }
+        MobileFrontend::new(42, mgr)
+    }
+
+    fn assign(phone: &mut MobileFrontend, id: u64, script: &str, times: Vec<f64>) {
+        phone.handle_message(&Message::ScheduleAssignment {
+            task_id: id,
+            script: script.into(),
+            sense_times: times,
+        });
+    }
+
+    #[test]
+    fn schedule_creates_task() {
+        let mut p = phone();
+        assign(&mut p, 1, "get_light_readings(2)", vec![5.0]);
+        assert_eq!(p.tasks().len(), 1);
+        assert_eq!(p.task(1).unwrap().status, TaskStatus::Pending);
+    }
+
+    #[test]
+    fn due_times_produce_uploads_and_completion() {
+        let mut p = phone();
+        assign(&mut p, 1, "get_light_readings(3)", vec![10.0, 20.0]);
+        let out = p.advance_to(15.0);
+        assert_eq!(out.len(), 1, "one sense time due: {out:?}");
+        let Message::SensedDataUpload { task_id, records } = &out[0] else {
+            panic!("expected upload, got {out:?}")
+        };
+        assert_eq!(*task_id, 1);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].values.len(), 3);
+        assert_eq!(records[0].sensor, SensorKind::Light.wire_id());
+
+        let out = p.advance_to(30.0);
+        assert_eq!(out.len(), 2, "second upload + completion: {out:?}");
+        assert!(matches!(out[1], Message::TaskComplete { task_id: 1, status: 0 }));
+        assert_eq!(p.task(1).unwrap().status, TaskStatus::Finished);
+    }
+
+    #[test]
+    fn multi_sensor_script_collects_all_records() {
+        let mut p = phone();
+        let script = r#"
+            get_temperature_readings(2)
+            get_noise_readings(4)
+            get_location()
+        "#;
+        assign(&mut p, 7, script, vec![1.0]);
+        let out = p.advance_to(2.0);
+        let Message::SensedDataUpload { records, .. } = &out[0] else { panic!() };
+        assert_eq!(records.len(), 3);
+        let kinds: Vec<u16> = records.iter().map(|r| r.sensor).collect();
+        assert!(kinds.contains(&SensorKind::Temperature.wire_id()));
+        assert!(kinds.contains(&SensorKind::Microphone.wire_id()));
+        assert!(kinds.contains(&SensorKind::Gps.wire_id()));
+    }
+
+    #[test]
+    fn script_can_process_readings() {
+        let mut p = phone();
+        let script = r#"
+            local t = get_temperature_readings(5)
+            assert(#t == 5)
+            local m = mean(t)
+            assert(m > 50 and m < 90, "implausible cafe temperature: " .. m)
+        "#;
+        assign(&mut p, 2, script, vec![3.0]);
+        let out = p.advance_to(5.0);
+        assert!(matches!(out.last(), Some(Message::TaskComplete { status: 0, .. })));
+        assert_eq!(p.task(2).unwrap().status, TaskStatus::Finished);
+    }
+
+    #[test]
+    fn privacy_veto_suppresses_gps_data() {
+        let mut p = phone();
+        p.preferences_mut().disallow(SensorKind::Gps);
+        let script = r#"
+            local loc = get_location()
+            assert(loc == nil, "location must be vetoed")
+            get_light_readings(1)
+        "#;
+        assign(&mut p, 3, script, vec![1.0]);
+        let out = p.advance_to(2.0);
+        let Message::SensedDataUpload { records, .. } = &out[0] else {
+            panic!("{out:?}")
+        };
+        assert!(records.iter().all(|r| r.sensor != SensorKind::Gps.wire_id()));
+    }
+
+    #[test]
+    fn barcode_scan_reports_location_unless_vetoed() {
+        let mut p = phone();
+        let Message::ParticipationRequest { latitude, token, budget, .. } =
+            p.scan_barcode(5, 17, 1800.0)
+        else {
+            panic!()
+        };
+        assert_eq!(token, 42);
+        assert_eq!(budget, 17);
+        assert!((latitude - 43.0445).abs() < 0.01);
+
+        p.preferences_mut().disallow(SensorKind::Gps);
+        let Message::ParticipationRequest { latitude, .. } = p.scan_barcode(5, 17, 1800.0)
+        else {
+            panic!()
+        };
+        assert_eq!(latitude, 0.0);
+    }
+
+    #[test]
+    fn script_error_marks_task_failed() {
+        let mut p = phone();
+        assign(&mut p, 4, "error('sensor exploded')", vec![1.0]);
+        let out = p.advance_to(2.0);
+        assert!(matches!(out[0], Message::TaskComplete { task_id: 4, status: 1 }));
+        assert!(matches!(p.task(4).unwrap().status, TaskStatus::Error(_)));
+    }
+
+    #[test]
+    fn unsupported_sensor_fails_the_task() {
+        let mut p = phone();
+        // Humidity has no provider in this phone's stack.
+        assign(&mut p, 5, "get_humidity_readings(1)", vec![1.0]);
+        let out = p.advance_to(2.0);
+        assert!(matches!(out[0], Message::TaskComplete { task_id: 5, status: 1 }));
+    }
+
+    #[test]
+    fn forbidden_function_fails_the_task() {
+        let mut p = phone();
+        assign(&mut p, 6, "steal_contacts()", vec![1.0]);
+        let out = p.advance_to(2.0);
+        assert!(matches!(out[0], Message::TaskComplete { status: 1, .. }));
+        let TaskStatus::Error(msg) = &p.task(6).unwrap().status else { panic!() };
+        assert!(msg.contains("non-whitelisted"), "{msg}");
+    }
+
+    #[test]
+    fn reassignment_replaces_live_task_schedule() {
+        let mut p = phone();
+        assign(&mut p, 20, "get_light_readings(1)", vec![10.0, 20.0, 30.0]);
+        p.advance_to(12.0);
+        // Server replans: only one future reading now.
+        assign(&mut p, 20, "get_light_readings(1)", vec![25.0]);
+        let out = p.advance_to(40.0);
+        let uploads = out
+            .iter()
+            .filter(|m| matches!(m, Message::SensedDataUpload { task_id: 20, .. }))
+            .count();
+        assert_eq!(uploads, 1, "{out:?}");
+        assert_eq!(p.task(20).unwrap().status, TaskStatus::Finished);
+    }
+
+    #[test]
+    fn wakeup_gets_ping_for_matching_token() {
+        let mut p = phone();
+        let replies = p.handle_message(&Message::WakeUp { token: 42 });
+        assert!(matches!(replies[0], Message::Ping { token: 42, .. }));
+        assert!(p.handle_message(&Message::WakeUp { token: 99 }).is_empty());
+    }
+
+    #[test]
+    fn concurrent_tasks_execute_independently() {
+        let mut p = phone();
+        assign(&mut p, 10, "get_light_readings(1)", vec![5.0, 15.0]);
+        assign(&mut p, 11, "get_noise_readings(1)", vec![7.0]);
+        let out = p.advance_to(20.0);
+        let uploads_10 = out
+            .iter()
+            .filter(|m| matches!(m, Message::SensedDataUpload { task_id: 10, .. }))
+            .count();
+        let uploads_11 = out
+            .iter()
+            .filter(|m| matches!(m, Message::SensedDataUpload { task_id: 11, .. }))
+            .count();
+        assert_eq!(uploads_10, 2);
+        assert_eq!(uploads_11, 1);
+    }
+
+    #[test]
+    fn records_are_time_stamped_at_due_time() {
+        let mut p = phone();
+        assign(&mut p, 12, "get_light_readings(1)", vec![33.0]);
+        let out = p.advance_to(50.0);
+        let Message::SensedDataUpload { records, .. } = &out[0] else { panic!() };
+        assert_eq!(records[0].timestamp, 33.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn phone_time_monotonic() {
+        let mut p = phone();
+        p.advance_to(10.0);
+        p.advance_to(5.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The Local Preference Manager (§II-A).
+//!
+//! "SOR also allows a user to specify how sensors on his/her phone can
+//! be used to participate in sensing activities. For example, a user may
+//! not want to expose his/her exact locations to our system, then he/she
+//! can disallow the phone to return locations provided by GPS."
+
+use std::collections::HashSet;
+
+use sor_proto::SensorPermission;
+use sor_sensors::SensorKind;
+
+/// Per-sensor opt-outs. Everything is allowed unless disallowed.
+#[derive(Debug, Clone, Default)]
+pub struct LocalPreferenceManager {
+    disallowed: HashSet<SensorKind>,
+}
+
+impl LocalPreferenceManager {
+    /// All sensors allowed.
+    pub fn new() -> Self {
+        LocalPreferenceManager::default()
+    }
+
+    /// Disallows a sensor.
+    pub fn disallow(&mut self, kind: SensorKind) {
+        self.disallowed.insert(kind);
+    }
+
+    /// Re-allows a sensor.
+    pub fn allow(&mut self, kind: SensorKind) {
+        self.disallowed.remove(&kind);
+    }
+
+    /// Whether the user permits this sensor.
+    pub fn is_allowed(&self, kind: SensorKind) -> bool {
+        !self.disallowed.contains(&kind)
+    }
+
+    /// The current opt-out list, for transmission to the server as a
+    /// [`sor_proto::Message::PreferenceUpdate`].
+    pub fn permissions(&self) -> Vec<SensorPermission> {
+        let mut v: Vec<SensorPermission> = SensorKind::ALL
+            .iter()
+            .map(|&k| SensorPermission { sensor: k.wire_id(), allowed: self.is_allowed(k) })
+            .collect();
+        v.sort_by_key(|p| p.sensor);
+        v
+    }
+
+    /// Applies permissions received in a preference message (e.g. the
+    /// phone owner edited settings in the app UI).
+    pub fn apply(&mut self, permissions: &[SensorPermission]) {
+        for p in permissions {
+            if let Some(kind) = SensorKind::from_wire_id(p.sensor) {
+                if p.allowed {
+                    self.allow(kind);
+                } else {
+                    self.disallow(kind);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allows_everything() {
+        let p = LocalPreferenceManager::new();
+        for k in SensorKind::ALL {
+            assert!(p.is_allowed(k));
+        }
+    }
+
+    #[test]
+    fn disallow_and_reallow() {
+        let mut p = LocalPreferenceManager::new();
+        p.disallow(SensorKind::Gps);
+        assert!(!p.is_allowed(SensorKind::Gps));
+        assert!(p.is_allowed(SensorKind::Light));
+        p.allow(SensorKind::Gps);
+        assert!(p.is_allowed(SensorKind::Gps));
+    }
+
+    #[test]
+    fn permissions_roundtrip_through_apply() {
+        let mut a = LocalPreferenceManager::new();
+        a.disallow(SensorKind::Gps);
+        a.disallow(SensorKind::Microphone);
+        let mut b = LocalPreferenceManager::new();
+        b.apply(&a.permissions());
+        assert!(!b.is_allowed(SensorKind::Gps));
+        assert!(!b.is_allowed(SensorKind::Microphone));
+        assert!(b.is_allowed(SensorKind::Light));
+    }
+
+    #[test]
+    fn apply_ignores_unknown_wire_ids() {
+        let mut p = LocalPreferenceManager::new();
+        p.apply(&[SensorPermission { sensor: 999, allowed: false }]);
+        for k in SensorKind::ALL {
+            assert!(p.is_allowed(k));
+        }
+    }
+}

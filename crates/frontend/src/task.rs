@@ -1,0 +1,118 @@
+//! Task instances (§II-A).
+//!
+//! "Each incoming task will be served by a task instance … A task
+//! instance is a self-contained component, which maintains its own
+//! status (e.g, running, waiting for data, etc), call proper API
+//! functions to acquire data from sensors, and manages data collected
+//! from sensors."
+
+use sor_proto::SensedRecord;
+
+/// Lifecycle of a task instance, mirroring the paper's status list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Created, waiting for its first sense time.
+    Pending,
+    /// At least one sense time executed, more remain.
+    Running,
+    /// All sense times executed.
+    Finished,
+    /// Script or sensor failure; the message records why.
+    Error(String),
+}
+
+/// One scheduled sensing task on the phone.
+#[derive(Debug, Clone)]
+pub struct TaskInstance {
+    /// Server-assigned task id.
+    pub task_id: u64,
+    /// The SenseScript source.
+    pub script: String,
+    /// Wall-clock times at which to run the script (ascending).
+    pub sense_times: Vec<f64>,
+    /// Index of the next sense time to execute.
+    pub next: usize,
+    /// Current status.
+    pub status: TaskStatus,
+    /// Records collected so far but not yet uploaded.
+    pub pending_records: Vec<SensedRecord>,
+}
+
+impl TaskInstance {
+    /// New pending task; sense times are sorted defensively.
+    pub fn new(task_id: u64, script: String, mut sense_times: Vec<f64>) -> Self {
+        sense_times.sort_by(f64::total_cmp);
+        TaskInstance {
+            task_id,
+            script,
+            sense_times,
+            next: 0,
+            status: TaskStatus::Pending,
+            pending_records: Vec::new(),
+        }
+    }
+
+    /// The next due sense time, if any.
+    pub fn next_due(&self) -> Option<f64> {
+        self.sense_times.get(self.next).copied()
+    }
+
+    /// Whether the task has executed everything.
+    pub fn is_done(&self) -> bool {
+        matches!(self.status, TaskStatus::Finished | TaskStatus::Error(_))
+    }
+
+    /// Marks one sense time executed and updates status.
+    pub fn advance(&mut self) {
+        self.next += 1;
+        self.status = if self.next >= self.sense_times.len() {
+            TaskStatus::Finished
+        } else {
+            TaskStatus::Running
+        };
+    }
+
+    /// Takes the pending records for upload.
+    pub fn drain_records(&mut self) -> Vec<SensedRecord> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = TaskInstance::new(1, "x = 1".into(), vec![20.0, 10.0]);
+        assert_eq!(t.status, TaskStatus::Pending);
+        assert_eq!(t.next_due(), Some(10.0)); // sorted
+        t.advance();
+        assert_eq!(t.status, TaskStatus::Running);
+        assert_eq!(t.next_due(), Some(20.0));
+        t.advance();
+        assert_eq!(t.status, TaskStatus::Finished);
+        assert!(t.is_done());
+        assert_eq!(t.next_due(), None);
+    }
+
+    #[test]
+    fn empty_schedule_finishes_on_first_advance_check() {
+        let t = TaskInstance::new(2, "".into(), vec![]);
+        assert_eq!(t.next_due(), None);
+        assert!(!t.is_done()); // still Pending until the manager sweeps it
+    }
+
+    #[test]
+    fn drain_takes_all_records() {
+        let mut t = TaskInstance::new(3, "".into(), vec![1.0]);
+        t.pending_records.push(SensedRecord {
+            timestamp: 1.0,
+            window: 0.5,
+            sensor: 0,
+            values: vec![1.0],
+        });
+        assert_eq!(t.drain_records().len(), 1);
+        assert!(t.pending_records.is_empty());
+    }
+}

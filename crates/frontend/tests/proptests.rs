@@ -1,0 +1,113 @@
+//! Property tests for the mobile frontend: whatever schedule the server
+//! sends, the phone executes each sense time at most once, never
+//! exceeds its task list, and always reports completion exactly once.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sor_frontend::{MobileFrontend, TaskStatus};
+use sor_proto::Message;
+use sor_sensors::environment::presets;
+use sor_sensors::{SensorKind, SensorManager, SimulatedProvider};
+
+fn phone(seed: u64) -> MobileFrontend {
+    let env = Arc::new(presets::bn_cafe(seed));
+    let mut mgr = SensorManager::new();
+    for kind in [SensorKind::Temperature, SensorKind::Light, SensorKind::Microphone] {
+        mgr.register(SimulatedProvider::new(kind, env.clone()));
+    }
+    MobileFrontend::new(seed, mgr)
+}
+
+proptest! {
+    /// Arbitrary sense-time lists (unsorted, duplicated, out of range)
+    /// produce exactly one upload per *executed* time and exactly one
+    /// completion, regardless of how the clock advances.
+    #[test]
+    fn uploads_match_executed_times(
+        times in proptest::collection::vec(0.0f64..1000.0, 0..12),
+        steps in proptest::collection::vec(1.0f64..400.0, 1..6),
+    ) {
+        let mut p = phone(7);
+        p.handle_message(&Message::ScheduleAssignment {
+            task_id: 1,
+            script: "get_light_readings(2)".into(),
+            sense_times: times.clone(),
+        });
+        let mut uploads = 0usize;
+        let mut completions = 0usize;
+        let mut now = 0.0;
+        for step in steps {
+            now += step;
+            for m in p.advance_to(now) {
+                match m {
+                    Message::SensedDataUpload { .. } => uploads += 1,
+                    Message::TaskComplete { .. } => completions += 1,
+                    _ => {}
+                }
+            }
+        }
+        let executed = times.iter().filter(|&&t| t <= now).count();
+        prop_assert_eq!(uploads, executed, "times {:?} now {}", times, now);
+        let all_done = executed == times.len();
+        prop_assert_eq!(completions, usize::from(all_done));
+        if all_done {
+            prop_assert_eq!(&p.task(1).unwrap().status, &TaskStatus::Finished);
+        }
+    }
+
+    /// Replacing a live task never causes double execution of a sense
+    /// time that already ran.
+    #[test]
+    fn reassignment_never_reexecutes(
+        first in proptest::collection::vec(0.0f64..500.0, 1..8),
+        second in proptest::collection::vec(500.0f64..1000.0, 0..8),
+        split in 1.0f64..499.0,
+    ) {
+        let mut p = phone(9);
+        p.handle_message(&Message::ScheduleAssignment {
+            task_id: 1,
+            script: "get_light_readings(1)".into(),
+            sense_times: first.clone(),
+        });
+        let early: usize = p
+            .advance_to(split)
+            .iter()
+            .filter(|m| matches!(m, Message::SensedDataUpload { .. }))
+            .count();
+        // Server replans with strictly-future times.
+        p.handle_message(&Message::ScheduleAssignment {
+            task_id: 1,
+            script: "get_light_readings(1)".into(),
+            sense_times: second.clone(),
+        });
+        let late: usize = p
+            .advance_to(1500.0)
+            .iter()
+            .filter(|m| matches!(m, Message::SensedDataUpload { .. }))
+            .count();
+        let expected_early = first.iter().filter(|&&t| t <= split).count();
+        prop_assert_eq!(early, expected_early);
+        // If the whole first schedule already executed, the task is
+        // Finished and the reassignment is (intentionally) ignored —
+        // the server would mint a fresh task id for a re-arrival.
+        let finished_before_replan = expected_early == first.len();
+        let expected_late = if finished_before_replan { 0 } else { second.len() };
+        prop_assert_eq!(late, expected_late);
+    }
+
+    /// Preference updates through the wire always roundtrip.
+    #[test]
+    fn preference_updates_apply(disallowed in proptest::collection::vec(0u16..12, 0..12)) {
+        let mut p = phone(11);
+        let permissions: Vec<sor_proto::SensorPermission> = disallowed
+            .iter()
+            .map(|&s| sor_proto::SensorPermission { sensor: s, allowed: false })
+            .collect();
+        p.handle_message(&Message::PreferenceUpdate { token: 11, permissions });
+        for &s in &disallowed {
+            let kind = SensorKind::from_wire_id(s).unwrap();
+            prop_assert!(!p.preferences_mut().is_allowed(kind));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! CRC-32 (IEEE 802.3 polynomial) for frame integrity.
+//!
+//! Sensed-data uploads cross a lossy simulated transport in `sor-sim`;
+//! the checksum lets the server discard corrupted bodies instead of
+//! feeding garbage to the Data Processor.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Example
+///
+/// ```
+/// // The canonical CRC-32 check value.
+/// assert_eq!(sor_proto::checksum::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 for streaming use.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xff) as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"sensor readings from the field test";
+        let mut inc = Crc32::new();
+        inc.update(&data[..10]);
+        inc.update(&data[10..]);
+        assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = b"temperature 71.5F humidity 40%".to_vec();
+        let original = crc32(&data);
+        data[7] ^= 0x01;
+        assert_ne!(crc32(&data), original);
+    }
+
+    #[test]
+    fn byte_swap_changes_checksum() {
+        let a = crc32(b"ab");
+        let b = crc32(b"ba");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Binary wire protocol of the SOR system.
+//!
+//! §II-A of the paper: "HTTP is used as the communication protocol. All
+//! SOR-specific information is encoded as binary data and stored in the
+//! message body of an HTTP message. In this way, we can minimize traffic
+//! load and enhance security (since the third party system does not know
+//! how to decode it). The Message Handler is responsible for
+//! encoding/decoding the message body."
+//!
+//! This crate is that codec:
+//!
+//! - [`varint`]: LEB128 unsigned varints and zigzag signed varints.
+//! - [`wire`]: a cursor-style [`wire::Writer`]/[`wire::Reader`] pair for
+//!   primitives, strings and length-prefixed blobs.
+//! - [`checksum`]: CRC-32 (IEEE) integrity check over frame payloads.
+//! - [`message`]: the typed [`Message`] set exchanged between the mobile
+//!   frontend and the sensing server, with [`Message::encode`] /
+//!   [`Message::decode`] producing self-describing, checksummed frames.
+//!
+//! # Example
+//!
+//! ```
+//! use sor_proto::{Message, SensedRecord};
+//!
+//! let msg = Message::SensedDataUpload {
+//!     task_id: 42,
+//!     records: vec![SensedRecord {
+//!         timestamp: 1_384_700_000.0,
+//!         window: 3.0,
+//!         sensor: 2,
+//!         values: vec![20.1, 20.3, 19.9],
+//!     }],
+//! };
+//! let frame = msg.encode();
+//! let back = Message::decode(&frame)?;
+//! assert_eq!(msg, back);
+//! # Ok::<(), sor_proto::ProtoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod message;
+pub mod varint;
+pub mod wire;
+
+pub use message::{Message, SensedRecord, SensorPermission};
+
+/// Errors produced while decoding SOR frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the expected data.
+    UnexpectedEof {
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// The frame did not start with the SOR magic bytes.
+    BadMagic([u8; 4]),
+    /// Unknown message discriminant.
+    UnknownMessageType(u8),
+    /// A varint ran over its maximum encoded length.
+    VarintOverflow,
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// The CRC in the frame trailer did not match the payload.
+    ChecksumMismatch {
+        /// CRC computed over the received payload.
+        computed: u32,
+        /// CRC carried in the frame.
+        stored: u32,
+    },
+    /// The frame declared a payload length inconsistent with the buffer.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Trailing bytes after a complete frame.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::UnexpectedEof { needed } => {
+                write!(f, "unexpected end of buffer, {needed} more bytes needed")
+            }
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtoError::UnknownMessageType(t) => write!(f, "unknown message type {t}"),
+            ProtoError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            ProtoError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtoError::ChecksumMismatch { computed, stored } => {
+                write!(f, "checksum mismatch: computed {computed:08x}, stored {stored:08x}")
+            }
+            ProtoError::LengthMismatch { declared, available } => {
+                write!(f, "declared payload length {declared} but {available} bytes available")
+            }
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}

@@ -1,0 +1,129 @@
+//! Property tests: every structurally valid message survives an
+//! encode/decode roundtrip; corrupted frames never decode to a different
+//! message silently.
+
+use proptest::prelude::*;
+use sor_proto::{Message, ProtoError, SensedRecord, SensorPermission};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1.0e12f64..1.0e12).prop_map(|v| v)
+}
+
+fn record() -> impl Strategy<Value = SensedRecord> {
+    (
+        finite_f64(),
+        0.0f64..60.0,
+        any::<u16>(),
+        proptest::collection::vec(finite_f64(), 0..8),
+    )
+        .prop_map(|(timestamp, window, sensor, values)| SensedRecord {
+            timestamp,
+            window,
+            sensor,
+            values,
+        })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), finite_f64(), finite_f64(), any::<u32>(), 0.0f64..1e6)
+            .prop_map(|(token, app_id, latitude, longitude, budget, stay_seconds)| {
+                Message::ParticipationRequest {
+                    token,
+                    app_id,
+                    latitude,
+                    longitude,
+                    budget,
+                    stay_seconds,
+                }
+            }),
+        (any::<u64>(), ".{0,60}", proptest::collection::vec(finite_f64(), 0..16))
+            .prop_map(|(task_id, script, sense_times)| Message::ScheduleAssignment {
+                task_id,
+                script,
+                sense_times,
+            }),
+        (any::<u64>(), proptest::collection::vec(record(), 0..6))
+            .prop_map(|(task_id, records)| Message::SensedDataUpload { task_id, records }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(
+                (any::<u16>(), any::<bool>())
+                    .prop_map(|(sensor, allowed)| SensorPermission { sensor, allowed }),
+                0..8
+            )
+        )
+            .prop_map(|(token, permissions)| Message::PreferenceUpdate { token, permissions }),
+        any::<u64>().prop_map(|token| Message::WakeUp { token }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(token, uptime_ms)| Message::Ping { token, uptime_ms }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(task_id, status)| Message::TaskComplete { task_id, status }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(msg in message()) {
+        let frame = msg.encode();
+        let back = Message::decode(&frame).unwrap();
+        prop_assert_eq!(msg, back);
+    }
+
+    /// Flipping any single bit must not decode into a *different* valid
+    /// message (decoding may fail — that's the point of the CRC — but a
+    /// silent wrong decode would corrupt the database).
+    #[test]
+    fn single_bit_flips_never_silently_alter(msg in message(), byte_idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut frame = msg.encode();
+        let idx = byte_idx.index(frame.len());
+        frame[idx] ^= 1 << bit;
+        if let Ok(decoded) = Message::decode(&frame) {
+            prop_assert_eq!(decoded, msg);
+        } // rejection is the expected outcome
+    }
+
+    /// Every truncation fails loudly.
+    #[test]
+    fn truncations_fail(msg in message(), cut in any::<prop::sample::Index>()) {
+        let frame = msg.encode();
+        let len = cut.index(frame.len().max(1));
+        if len < frame.len() {
+            prop_assert!(Message::decode(&frame[..len]).is_err());
+        }
+    }
+
+    /// Garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// The varint primitives roundtrip over the full u64/i64 range.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>(), s in any::<i64>()) {
+        let mut buf = Vec::new();
+        sor_proto::varint::write_u64(&mut buf, v);
+        prop_assert_eq!(sor_proto::varint::read_u64(&buf).unwrap().0, v);
+        let mut buf2 = Vec::new();
+        sor_proto::varint::write_i64(&mut buf2, s);
+        prop_assert_eq!(sor_proto::varint::read_i64(&buf2).unwrap().0, s);
+    }
+}
+
+#[test]
+fn decode_error_types_are_displayable() {
+    let errs: Vec<ProtoError> = vec![
+        ProtoError::UnexpectedEof { needed: 3 },
+        ProtoError::BadMagic(*b"XXXX"),
+        ProtoError::UnknownMessageType(200),
+        ProtoError::VarintOverflow,
+        ProtoError::InvalidUtf8,
+        ProtoError::ChecksumMismatch { computed: 1, stored: 2 },
+        ProtoError::LengthMismatch { declared: 10, available: 5 },
+        ProtoError::TrailingBytes(4),
+    ];
+    for e in errs {
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! The SenseScript abstract syntax tree.
+
+use crate::Pos;
+
+/// A block: a sequence of statements.
+pub type Block = Vec<Stmt>;
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `local name = expr` (expr optional: defaults to nil).
+    Local {
+        /// Variable name.
+        name: String,
+        /// Initialiser (None = nil).
+        init: Option<Expr>,
+        /// Position of the `local` keyword.
+        pos: Pos,
+    },
+    /// Assignment to a variable or an index target.
+    Assign {
+        /// The assignment target.
+        target: Target,
+        /// The value expression.
+        value: Expr,
+        /// Position of the `=`.
+        pos: Pos,
+    },
+    /// An expression evaluated for side effects (function call).
+    ExprStmt(Expr),
+    /// `if cond then block {elseif cond then block} [else block] end`.
+    If {
+        /// (condition, block) arms — the first matching arm runs.
+        arms: Vec<(Expr, Block)>,
+        /// The `else` block, if present.
+        otherwise: Option<Block>,
+    },
+    /// `while cond do block end`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// Numeric `for name = start, stop [, step] do block end`.
+    NumericFor {
+        /// Loop variable (fresh scope per iteration).
+        var: String,
+        /// Start expression.
+        start: Expr,
+        /// Inclusive stop expression.
+        stop: Expr,
+        /// Step (None = 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// Generic `for k, v in expr do block end` — `expr` must evaluate
+    /// to a table; iterates the array part as (1-based index, value),
+    /// then (for `pairs`-style iteration) the hash part as (key, value)
+    /// in sorted key order.
+    GenericFor {
+        /// First loop variable (index / key).
+        key_var: String,
+        /// Second loop variable (value); optional in the source.
+        value_var: Option<String>,
+        /// The iterable expression.
+        iterable: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `break`.
+    Break(Pos),
+    /// `return [expr]`.
+    Return(Option<Expr>, Pos),
+    /// `local function name(params) body end` — sugar kept explicit so
+    /// recursion works (the name is in scope inside the body).
+    LocalFunction {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body block.
+        body: Block,
+        /// Position of `function`.
+        pos: Pos,
+    },
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A plain variable.
+    Name(String),
+    /// `table[key]` or `table.field`.
+    Index {
+        /// The table expression.
+        table: Expr,
+        /// The key expression.
+        key: Expr,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `nil`
+    Nil(Pos),
+    /// `true` / `false`
+    Bool(bool, Pos),
+    /// Numeric literal.
+    Number(f64, Pos),
+    /// String literal.
+    Str(String, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Operator position.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Operator position.
+        pos: Pos,
+    },
+    /// Function call `f(a, b)`.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position of the `(`.
+        pos: Pos,
+    },
+    /// Indexing `t[k]` / `t.k`.
+    Index {
+        /// The table.
+        table: Box<Expr>,
+        /// The key.
+        key: Box<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Table constructor `{a, b, key = v, [expr] = v}`.
+    Table {
+        /// Positional entries (array part, 1-based at runtime).
+        array: Vec<Expr>,
+        /// Keyed entries.
+        hash: Vec<(TableKey, Expr)>,
+        /// Position of `{`.
+        pos: Pos,
+    },
+    /// Anonymous function `function(params) body end`.
+    Function {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body block.
+        body: Block,
+        /// Position of `function`.
+        pos: Pos,
+    },
+}
+
+/// Keys in table constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableKey {
+    /// `name = value`.
+    Name(String),
+    /// `[expr] = value`.
+    Expr(Expr),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical `not`.
+    Not,
+    /// Length `#`.
+    Len,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^`
+    Pow,
+    /// `..`
+    Concat,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+}
+
+impl Expr {
+    /// Source position of the expression (for error messages).
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Nil(p)
+            | Expr::Bool(_, p)
+            | Expr::Number(_, p)
+            | Expr::Str(_, p)
+            | Expr::Var(_, p) => *p,
+            Expr::Unary { pos, .. }
+            | Expr::Binary { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::Table { pos, .. }
+            | Expr::Function { pos, .. } => *pos,
+        }
+    }
+}

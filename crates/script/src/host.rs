@@ -1,0 +1,141 @@
+//! The host-function whitelist.
+//!
+//! §II-A: "security can be enforced here by only allowing a white list
+//! of unharmful functions to be called." A [`HostRegistry`] *is* that
+//! whitelist: scripts can only reach host functionality registered here
+//! (plus the pure [`crate::stdlib`] builtins). The mobile frontend
+//! registers its data-acquisition functions (`get_light_readings`,
+//! `get_location`, …) and a `report` sink; everything else is a
+//! [`crate::ScriptError::ForbiddenFunction`].
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::value::Value;
+
+/// Context handed to host functions during a call.
+#[derive(Debug)]
+pub struct HostContext {
+    /// The script's virtual clock in seconds. `sleep()` advances it; host
+    /// acquisition functions may too (a 5-sample light read takes time).
+    pub virtual_time: f64,
+    /// Captured `print` output (one entry per call).
+    pub output: Vec<String>,
+}
+
+impl HostContext {
+    /// A context at time zero with no output.
+    pub fn new() -> Self {
+        HostContext { virtual_time: 0.0, output: Vec::new() }
+    }
+}
+
+impl Default for HostContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A host (native) function callable from scripts.
+///
+/// Returns `Ok(value)` or a descriptive error string, surfaced to the
+/// script runner as [`crate::ScriptError::HostError`].
+pub type HostFn = Rc<dyn Fn(&mut HostContext, &[Value]) -> Result<Value, String>>;
+
+/// The whitelist of host functions.
+#[derive(Default, Clone)]
+pub struct HostRegistry {
+    fns: HashMap<String, HostFn>,
+}
+
+impl std::fmt::Debug for HostRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&String> = self.fns.keys().collect();
+        names.sort();
+        f.debug_struct("HostRegistry").field("functions", &names).finish()
+    }
+}
+
+impl HostRegistry {
+    /// An empty whitelist.
+    pub fn new() -> Self {
+        HostRegistry::default()
+    }
+
+    /// Registers (or replaces) a host function under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&mut HostContext, &[Value]) -> Result<Value, String> + 'static,
+    {
+        self.fns.insert(name.into(), Rc::new(f));
+    }
+
+    /// Removes a function from the whitelist. Returns whether it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        self.fns.remove(name).is_some()
+    }
+
+    /// Looks up a function.
+    pub fn get(&self, name: &str) -> Option<HostFn> {
+        self.fns.get(name).cloned()
+    }
+
+    /// Whether `name` is whitelisted.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Sorted names, for diagnostics.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.fns.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = HostRegistry::new();
+        reg.register("double", |_ctx, args| {
+            let n = args[0].as_number().ok_or("expected number")?;
+            Ok(Value::Number(n * 2.0))
+        });
+        assert!(reg.contains("double"));
+        let f = reg.get("double").unwrap();
+        let mut ctx = HostContext::new();
+        assert_eq!(f(&mut ctx, &[Value::Number(4.0)]).unwrap(), Value::Number(8.0));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut reg = HostRegistry::new();
+        reg.register("f", |_, _| Ok(Value::Nil));
+        assert!(reg.unregister("f"));
+        assert!(!reg.contains("f"));
+        assert!(!reg.unregister("f"));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut reg = HostRegistry::new();
+        reg.register("zeta", |_, _| Ok(Value::Nil));
+        reg.register("alpha", |_, _| Ok(Value::Nil));
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn host_fn_can_advance_clock() {
+        let mut reg = HostRegistry::new();
+        reg.register("slow_read", |ctx, _| {
+            ctx.virtual_time += 3.0;
+            Ok(Value::Number(42.0))
+        });
+        let mut ctx = HostContext::new();
+        reg.get("slow_read").unwrap()(&mut ctx, &[]).unwrap();
+        assert_eq!(ctx.virtual_time, 3.0);
+    }
+}

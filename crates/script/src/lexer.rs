@@ -1,0 +1,381 @@
+//! The SenseScript lexer.
+
+use crate::token::{Token, TokenKind};
+use crate::{Pos, ScriptError};
+
+/// Lexes a whole source string into tokens (ending with
+/// [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// [`ScriptError::UnexpectedChar`], [`ScriptError::UnterminatedString`]
+/// or [`ScriptError::BadNumber`] with positions.
+pub fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'a str>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src: std::marker::PhantomData,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ScriptError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, pos });
+                return Ok(out);
+            };
+            let kind = match c {
+                '0'..='9' => self.number(pos)?,
+                '"' | '\'' => self.string(pos)?,
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                _ => self.operator(pos)?,
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    /// Skips whitespace and `--` line comments (including Lua-style
+    /// comment headers on the sample scripts of Fig. 4).
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<TokenKind, ScriptError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+                // Don't swallow `..` (concat) after an integer: `1..x`.
+                if c == '.' && self.peek2() == Some('.') {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+                // Exponent sign.
+                if (c == 'e' || c == 'E') && matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.bump().expect("peeked"));
+                }
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>()
+            .map(TokenKind::Number)
+            .map_err(|_| ScriptError::BadNumber { text, at: pos })
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<TokenKind, ScriptError> {
+        let quote = self.bump().expect("peeked");
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(ScriptError::UnterminatedString { at: pos }),
+                Some(c) if c == quote => return Ok(TokenKind::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some('\'') => s.push('\''),
+                    Some(other) => s.push(other),
+                    None => return Err(ScriptError::UnterminatedString { at: pos }),
+                },
+                Some('\n') => return Err(ScriptError::UnterminatedString { at: pos }),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "local" => TokenKind::Local,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "elseif" => TokenKind::Elseif,
+            "end" => TokenKind::End,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "do" => TokenKind::Do,
+            "break" => TokenKind::Break,
+            "return" => TokenKind::Return,
+            "function" => TokenKind::Function,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "nil" => TokenKind::Nil,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            _ => TokenKind::Ident(s),
+        }
+    }
+
+    fn operator(&mut self, pos: Pos) -> Result<TokenKind, ScriptError> {
+        let c = self.bump().expect("peeked");
+        let kind = match c {
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '^' => TokenKind::Caret,
+            '#' => TokenKind::Hash,
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ',' => TokenKind::Comma,
+            ';' => TokenKind::Semi,
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '~' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(ScriptError::UnexpectedChar { ch: '~', at: pos });
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '.' => {
+                if self.peek() == Some('.') {
+                    self.bump();
+                    TokenKind::Concat
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            other => return Err(ScriptError::UnexpectedChar { ch: other, at: pos }),
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_fig4_style_script() {
+        let src = r#"
+            -- sample the light sensor
+            local readings = get_light_readings(5)
+            report("light", readings)
+        "#;
+        let k = kinds(src);
+        assert!(k.contains(&TokenKind::Local));
+        assert!(k.contains(&TokenKind::Ident("get_light_readings".into())));
+        assert!(k.contains(&TokenKind::Str("light".into())));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_including_floats_and_exponents() {
+        assert_eq!(
+            kinds("1 2.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn concat_after_number_not_swallowed() {
+        assert_eq!(
+            kinds("1 .. 2")[1],
+            TokenKind::Concat
+        );
+        assert_eq!(
+            kinds("1..2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Concat,
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb" 'c\'d'"#),
+            vec![
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Str("c'd".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("-- whole line\n1 -- trailing"), vec![
+            TokenKind::Number(1.0),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= == ~= ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Assign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_resolved() {
+        assert_eq!(
+            kinds("while do end localx"),
+            vec![
+                TokenKind::While,
+                TokenKind::Do,
+                TokenKind::End,
+                TokenKind::Ident("localx".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            lex("\"abc"),
+            Err(ScriptError::UnterminatedString { .. })
+        ));
+        assert!(matches!(
+            lex("\"abc\ndef\""),
+            Err(ScriptError::UnterminatedString { .. })
+        ));
+    }
+
+    #[test]
+    fn lone_tilde_errors() {
+        assert!(matches!(lex("~"), Err(ScriptError::UnexpectedChar { ch: '~', .. })));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(lex("@"), Err(ScriptError::UnexpectedChar { ch: '@', .. })));
+    }
+
+    #[test]
+    fn empty_source_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   -- only a comment"), vec![TokenKind::Eof]);
+    }
+}

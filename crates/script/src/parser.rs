@@ -1,0 +1,581 @@
+//! Recursive-descent parser with Pratt-style expression parsing.
+
+use crate::ast::{BinOp, Block, Expr, Stmt, TableKey, Target, UnOp};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use crate::{Pos, ScriptError};
+
+/// Parses a full SenseScript source into a block.
+///
+/// # Errors
+///
+/// Lexer errors, or [`ScriptError::UnexpectedToken`] with position and
+/// expectation.
+pub fn parse(src: &str) -> Result<Block, ScriptError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    let block = p.block(&[TokenKind::Eof])?;
+    p.expect_kind(&TokenKind::Eof, "end of input")?;
+    Ok(block)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, expected: &'static str) -> Result<Token, ScriptError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn unexpected(&self, expected: &'static str) -> ScriptError {
+        ScriptError::UnexpectedToken {
+            found: self.peek().kind.to_string(),
+            expected,
+            at: self.peek().pos,
+        }
+    }
+
+    fn expect_ident(&mut self, expected: &'static str) -> Result<(String, Pos), ScriptError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(s) => Ok((s, t.pos)),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    /// Parses statements until one of the terminator kinds (not
+    /// consumed).
+    fn block(&mut self, terminators: &[TokenKind]) -> Result<Block, ScriptError> {
+        let mut stmts = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semi) {}
+            if terminators.iter().any(|t| self.at(t)) {
+                return Ok(stmts);
+            }
+            stmts.push(self.statement()?);
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ScriptError> {
+        match self.peek().kind.clone() {
+            TokenKind::Local => self.local_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Break => {
+                let t = self.bump();
+                Ok(Stmt::Break(t.pos))
+            }
+            TokenKind::Return => {
+                let t = self.bump();
+                let value = if self.at(&TokenKind::End)
+                    || self.at(&TokenKind::Eof)
+                    || self.at(&TokenKind::Else)
+                    || self.at(&TokenKind::Elseif)
+                    || self.at(&TokenKind::Semi)
+                {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                Ok(Stmt::Return(value, t.pos))
+            }
+            _ => self.expr_or_assign(),
+        }
+    }
+
+    fn local_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        let local = self.bump(); // `local`
+        if self.at(&TokenKind::Function) {
+            self.bump();
+            let (name, _) = self.expect_ident("function name")?;
+            let (params, body) = self.function_rest()?;
+            return Ok(Stmt::LocalFunction { name, params, body, pos: local.pos });
+        }
+        let (name, _) = self.expect_ident("variable name after `local`")?;
+        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        Ok(Stmt::Local { name, init, pos: local.pos })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.bump(); // `if`
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        self.expect_kind(&TokenKind::Then, "`then`")?;
+        let body = self.block(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End])?;
+        arms.push((cond, body));
+        let mut otherwise = None;
+        loop {
+            if self.eat(&TokenKind::Elseif) {
+                let cond = self.expr()?;
+                self.expect_kind(&TokenKind::Then, "`then`")?;
+                let body = self.block(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End])?;
+                arms.push((cond, body));
+            } else if self.eat(&TokenKind::Else) {
+                otherwise = Some(self.block(&[TokenKind::End])?);
+                self.expect_kind(&TokenKind::End, "`end`")?;
+                break;
+            } else {
+                self.expect_kind(&TokenKind::End, "`end`")?;
+                break;
+            }
+        }
+        Ok(Stmt::If { arms, otherwise })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.bump(); // `while`
+        let cond = self.expr()?;
+        self.expect_kind(&TokenKind::Do, "`do`")?;
+        let body = self.block(&[TokenKind::End])?;
+        self.expect_kind(&TokenKind::End, "`end`")?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.bump(); // `for`
+        let (var, _) = self.expect_ident("loop variable")?;
+        // Generic for: `for k in expr` or `for k, v in expr`.
+        if self.at(&TokenKind::Comma) || self.at(&TokenKind::Ident("in".into())) {
+            let value_var = if self.eat(&TokenKind::Comma) {
+                Some(self.expect_ident("second loop variable")?.0)
+            } else {
+                None
+            };
+            match self.bump() {
+                Token { kind: TokenKind::Ident(kw), .. } if kw == "in" => {}
+                _ => return Err(self.unexpected("`in`")),
+            }
+            let iterable = self.expr()?;
+            self.expect_kind(&TokenKind::Do, "`do`")?;
+            let body = self.block(&[TokenKind::End])?;
+            self.expect_kind(&TokenKind::End, "`end`")?;
+            return Ok(Stmt::GenericFor { key_var: var, value_var, iterable, body });
+        }
+        self.expect_kind(&TokenKind::Assign, "`=` in numeric for")?;
+        let start = self.expr()?;
+        self.expect_kind(&TokenKind::Comma, "`,` in numeric for")?;
+        let stop = self.expr()?;
+        let step = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+        self.expect_kind(&TokenKind::Do, "`do`")?;
+        let body = self.block(&[TokenKind::End])?;
+        self.expect_kind(&TokenKind::End, "`end`")?;
+        Ok(Stmt::NumericFor { var, start, stop, step, body })
+    }
+
+    /// Either `target = expr` or a bare call expression.
+    fn expr_or_assign(&mut self) -> Result<Stmt, ScriptError> {
+        let expr = self.expr()?;
+        if self.at(&TokenKind::Assign) {
+            let eq = self.bump();
+            let value = self.expr()?;
+            let target = match expr {
+                Expr::Var(name, _) => Target::Name(name),
+                Expr::Index { table, key, .. } => Target::Index { table: *table, key: *key },
+                other => {
+                    return Err(ScriptError::UnexpectedToken {
+                        found: "expression".to_string(),
+                        expected: "assignable target (variable or index)",
+                        at: other.pos(),
+                    })
+                }
+            };
+            return Ok(Stmt::Assign { target, value, pos: eq.pos });
+        }
+        match &expr {
+            Expr::Call { .. } => Ok(Stmt::ExprStmt(expr)),
+            other => Err(ScriptError::UnexpectedToken {
+                found: "expression".to_string(),
+                expected: "statement (calls are the only bare expressions)",
+                at: other.pos(),
+            }),
+        }
+    }
+
+    fn function_rest(&mut self) -> Result<(Vec<String>, Block), ScriptError> {
+        self.expect_kind(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (name, _) = self.expect_ident("parameter name")?;
+                params.push(name);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(&TokenKind::RParen, "`)`")?;
+        let body = self.block(&[TokenKind::End])?;
+        self.expect_kind(&TokenKind::End, "`end`")?;
+        Ok((params, body))
+    }
+
+    // --- expressions (precedence climbing) ---
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_bp: u8) -> Result<Expr, ScriptError> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, l_bp, r_bp)) = binop_of(&self.peek().kind) {
+            if l_bp < min_bp {
+                break;
+            }
+            let tok = self.bump();
+            let rhs = self.binary_expr(r_bp)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos: tok.pos };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ScriptError> {
+        let op = match self.peek().kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Not => Some(UnOp::Not),
+            TokenKind::Hash => Some(UnOp::Len),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let tok = self.bump();
+            // Unary binds tighter than any binary op except `^`.
+            let expr = self.binary_expr(UNARY_BP)?;
+            return Ok(Expr::Unary { op, expr: Box::new(expr), pos: tok.pos });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            match self.peek().kind {
+                TokenKind::LParen => {
+                    let tok = self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_kind(&TokenKind::RParen, "`)`")?;
+                    expr = Expr::Call { callee: Box::new(expr), args, pos: tok.pos };
+                }
+                TokenKind::LBracket => {
+                    let tok = self.bump();
+                    let key = self.expr()?;
+                    self.expect_kind(&TokenKind::RBracket, "`]`")?;
+                    expr = Expr::Index { table: Box::new(expr), key: Box::new(key), pos: tok.pos };
+                }
+                TokenKind::Dot => {
+                    let tok = self.bump();
+                    let (name, npos) = self.expect_ident("field name after `.`")?;
+                    expr = Expr::Index {
+                        table: Box::new(expr),
+                        key: Box::new(Expr::Str(name, npos)),
+                        pos: tok.pos,
+                    };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ScriptError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Nil => {
+                self.bump();
+                Ok(Expr::Nil(tok.pos))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true, tok.pos))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false, tok.pos))
+            }
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n, tok.pos))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, tok.pos))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name, tok.pos))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::LBrace => self.table_expr(),
+            TokenKind::Function => {
+                self.bump();
+                let (params, body) = self.function_rest()?;
+                Ok(Expr::Function { params, body, pos: tok.pos })
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+
+    fn table_expr(&mut self) -> Result<Expr, ScriptError> {
+        let brace = self.bump(); // `{`
+        let mut array = Vec::new();
+        let mut hash = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::LBracket) {
+                self.bump();
+                let key = self.expr()?;
+                self.expect_kind(&TokenKind::RBracket, "`]`")?;
+                self.expect_kind(&TokenKind::Assign, "`=` in table entry")?;
+                let value = self.expr()?;
+                hash.push((TableKey::Expr(key), value));
+            } else if matches!(self.peek().kind, TokenKind::Ident(_))
+                && matches!(
+                    self.tokens.get(self.i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Assign)
+                )
+            {
+                let (name, _) = self.expect_ident("field name")?;
+                self.bump(); // `=`
+                let value = self.expr()?;
+                hash.push((TableKey::Name(name), value));
+            } else {
+                array.push(self.expr()?);
+            }
+            if !self.eat(&TokenKind::Comma) && !self.eat(&TokenKind::Semi) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RBrace, "`}`")?;
+        Ok(Expr::Table { array, hash, pos: brace.pos })
+    }
+}
+
+/// Binding power just above every binary operator except `^`.
+const UNARY_BP: u8 = 21;
+
+/// `(op, left bp, right bp)`; right > left gives left associativity.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8, u8)> {
+    Some(match kind {
+        TokenKind::Or => (BinOp::Or, 1, 2),
+        TokenKind::And => (BinOp::And, 3, 4),
+        TokenKind::Lt => (BinOp::Lt, 5, 6),
+        TokenKind::Le => (BinOp::Le, 5, 6),
+        TokenKind::Gt => (BinOp::Gt, 5, 6),
+        TokenKind::Ge => (BinOp::Ge, 5, 6),
+        TokenKind::EqEq => (BinOp::Eq, 5, 6),
+        TokenKind::NotEq => (BinOp::Ne, 5, 6),
+        // `..` is right associative in Lua.
+        TokenKind::Concat => (BinOp::Concat, 9, 8),
+        TokenKind::Plus => (BinOp::Add, 11, 12),
+        TokenKind::Minus => (BinOp::Sub, 11, 12),
+        TokenKind::Star => (BinOp::Mul, 13, 14),
+        TokenKind::Slash => (BinOp::Div, 13, 14),
+        TokenKind::Percent => (BinOp::Mod, 13, 14),
+        // `^` is right associative and binds tighter than unary.
+        TokenKind::Caret => (BinOp::Pow, 23, 22),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_local_and_call() {
+        let b = parse("local x = f(1, 2)\ng(x)").unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(matches!(&b[0], Stmt::Local { name, .. } if name == "x"));
+        assert!(matches!(&b[1], Stmt::ExprStmt(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let b = parse("local x = 1 + 2 * 3").unwrap();
+        let Stmt::Local { init: Some(Expr::Binary { op, rhs, .. }), .. } = &b[0] else {
+            panic!("{b:?}")
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn concat_is_right_associative() {
+        let b = parse(r#"local x = "a" .. "b" .. "c""#).unwrap();
+        let Stmt::Local { init: Some(Expr::Binary { op, lhs, .. }), .. } = &b[0] else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Concat);
+        assert!(matches!(**lhs, Expr::Str(..)), "right assoc means lhs is the leaf");
+    }
+
+    #[test]
+    fn pow_binds_tighter_than_unary_minus() {
+        // -2^2 parses as -(2^2) in Lua.
+        let b = parse("local x = -2^2").unwrap();
+        let Stmt::Local { init: Some(Expr::Unary { op: UnOp::Neg, expr, .. }), .. } = &b[0]
+        else {
+            panic!("{b:?}")
+        };
+        assert!(matches!(**expr, Expr::Binary { op: BinOp::Pow, .. }));
+    }
+
+    #[test]
+    fn if_elseif_else_chain() {
+        let b = parse(
+            "if a then f() elseif b then g() elseif c then h() else i() end",
+        )
+        .unwrap();
+        let Stmt::If { arms, otherwise } = &b[0] else { panic!() };
+        assert_eq!(arms.len(), 3);
+        assert!(otherwise.is_some());
+    }
+
+    #[test]
+    fn numeric_for_with_step() {
+        let b = parse("for i = 10, 1, -1 do f(i) end").unwrap();
+        let Stmt::NumericFor { var, step, .. } = &b[0] else { panic!() };
+        assert_eq!(var, "i");
+        assert!(step.is_some());
+    }
+
+    #[test]
+    fn table_constructor_mixed() {
+        let b = parse("local t = {1, 2, x = 3, [4] = 5}").unwrap();
+        let Stmt::Local { init: Some(Expr::Table { array, hash, .. }), .. } = &b[0] else {
+            panic!()
+        };
+        assert_eq!(array.len(), 2);
+        assert_eq!(hash.len(), 2);
+    }
+
+    #[test]
+    fn index_and_dot_chains() {
+        let b = parse("local x = t.a[1].b").unwrap();
+        let Stmt::Local { init: Some(expr), .. } = &b[0] else { panic!() };
+        // Outermost is .b index.
+        assert!(matches!(expr, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn assignment_to_index_target() {
+        let b = parse("t[1] = 5\nt.x = 6").unwrap();
+        assert!(matches!(&b[0], Stmt::Assign { target: Target::Index { .. }, .. }));
+        assert!(matches!(&b[1], Stmt::Assign { target: Target::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn local_function_and_anonymous() {
+        let b = parse(
+            "local function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end\nlocal f = function(x) return x end",
+        )
+        .unwrap();
+        assert!(matches!(&b[0], Stmt::LocalFunction { name, .. } if name == "fib"));
+        assert!(matches!(
+            &b[1],
+            Stmt::Local { init: Some(Expr::Function { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn bare_non_call_expression_rejected() {
+        assert!(matches!(
+            parse("1 + 2"),
+            Err(ScriptError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn assignment_to_literal_rejected() {
+        assert!(parse("5 = 3").is_err());
+        assert!(parse("f() = 3").is_err());
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        // The parser keeps consuming statements looking for `end` and
+        // trips on EOF: either diagnostic is an UnexpectedToken.
+        assert!(matches!(
+            parse("while true do f()"),
+            Err(ScriptError::UnexpectedToken { .. })
+        ));
+        assert!(matches!(
+            parse("if x then f() else g()"),
+            Err(ScriptError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn return_without_value() {
+        let b = parse("return").unwrap();
+        assert!(matches!(&b[0], Stmt::Return(None, _)));
+        let b = parse("return 5").unwrap();
+        assert!(matches!(&b[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn semicolons_are_separators() {
+        let b = parse("f();; g();").unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn fig4_style_script_parses() {
+        let src = r#"
+            -- acquire 5 light readings and the location, then report
+            local light = get_light_readings(5)
+            local loc = get_location()
+            if #light > 0 then
+                report("light", light, loc)
+            end
+        "#;
+        let b = parse(src).unwrap();
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,387 @@
+//! Pure builtin functions available to every script.
+//!
+//! These are the "Lua's own functions" side of the paper's interpreter:
+//! safe, side-effect-free helpers (plus `print`, which writes to the
+//! captured output, and `sleep`, which advances the *virtual* clock —
+//! no real blocking, so a task thread can simulate paced sampling).
+
+use crate::host::HostContext;
+use crate::value::Value;
+use crate::ScriptError;
+
+/// Dispatches a builtin by name. Returns `None` if `name` is not a
+/// builtin (the interpreter then consults the host whitelist).
+pub fn call(
+    name: &str,
+    args: &[Value],
+    ctx: &mut HostContext,
+) -> Option<Result<Value, ScriptError>> {
+    let r = match name {
+        "print" => {
+            let line = args.iter().map(Value::display).collect::<Vec<_>>().join("\t");
+            ctx.output.push(line);
+            Ok(Value::Nil)
+        }
+        "tostring" => Ok(Value::str(arg(args, 0).display())),
+        "tonumber" => Ok(match arg(args, 0) {
+            Value::Number(n) => Value::Number(n),
+            Value::Str(s) => s.trim().parse::<f64>().map(Value::Number).unwrap_or(Value::Nil),
+            _ => Value::Nil,
+        }),
+        "type" => Ok(Value::str(arg(args, 0).type_name())),
+        "abs" => num1(name, args, f64::abs),
+        "floor" => num1(name, args, f64::floor),
+        "ceil" => num1(name, args, f64::ceil),
+        "sqrt" => num1(name, args, f64::sqrt),
+        "exp" => num1(name, args, f64::exp),
+        "log" => num1(name, args, f64::ln),
+        "min" => fold_nums(name, args, f64::INFINITY, f64::min),
+        "max" => fold_nums(name, args, f64::NEG_INFINITY, f64::max),
+        "sum" => array_stat(name, args, |xs| xs.iter().sum()),
+        "mean" => array_stat(name, args, |xs| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        }),
+        "stddev" => array_stat(name, args, |xs| {
+            if xs.len() < 2 {
+                0.0
+            } else {
+                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+            }
+        }),
+        "insert" => match (arg(args, 0), args.get(1)) {
+            (Value::Table(t), Some(v)) => {
+                t.borrow_mut().array.push(v.clone());
+                Ok(Value::Nil)
+            }
+            _ => bad(name, "expected (table, value)"),
+        },
+        "remove" => match arg(args, 0) {
+            Value::Table(t) => Ok(t.borrow_mut().array.pop().unwrap_or(Value::Nil)),
+            _ => bad(name, "expected (table)"),
+        },
+        "sort" => match arg(args, 0) {
+            Value::Table(t) => {
+                let mut b = t.borrow_mut();
+                if b.array.iter().any(|v| v.as_number().is_none()) {
+                    return Some(bad(name, "table must contain only numbers"));
+                }
+                b.array.sort_by(|a, b| {
+                    a.as_number()
+                        .expect("checked")
+                        .total_cmp(&b.as_number().expect("checked"))
+                });
+                Ok(Value::Nil)
+            }
+            _ => bad(name, "expected (table)"),
+        },
+        "sleep" => match arg(args, 0).as_number() {
+            Some(s) if s >= 0.0 => {
+                ctx.virtual_time += s;
+                Ok(Value::Nil)
+            }
+            _ => bad(name, "expected non-negative seconds"),
+        },
+        "clock" => Ok(Value::Number(ctx.virtual_time)),
+        "assert" => {
+            if arg(args, 0).truthy() {
+                Ok(arg(args, 0))
+            } else {
+                let msg = args
+                    .get(1)
+                    .map(Value::display)
+                    .unwrap_or_else(|| "assertion failed".to_string());
+                Err(ScriptError::Explicit { message: msg })
+            }
+        }
+        "error" => Err(ScriptError::Explicit { message: arg(args, 0).display() }),
+        "round" => num1(name, args, f64::round),
+        "clamp" => match (
+            arg(args, 0).as_number(),
+            arg(args, 1).as_number(),
+            arg(args, 2).as_number(),
+        ) {
+            (Some(x), Some(lo), Some(hi)) if lo <= hi => Ok(Value::Number(x.clamp(lo, hi))),
+            _ => bad(name, "expected (x, lo, hi) with lo <= hi"),
+        },
+        "upper" => str1(name, args, |s| s.to_uppercase()),
+        "lower" => str1(name, args, |s| s.to_lowercase()),
+        "trim" => str1(name, args, |s| s.trim().to_string()),
+        "substr" => match (arg(args, 0), arg(args, 1).as_number(), arg(args, 2).as_number()) {
+            (Value::Str(s), Some(i), Some(j)) if i >= 1.0 && j >= i - 1.0 => {
+                let chars: Vec<char> = s.chars().collect();
+                let lo = (i as usize - 1).min(chars.len());
+                let hi = (j as usize).min(chars.len());
+                Ok(Value::str(chars[lo..hi].iter().collect::<String>()))
+            }
+            _ => bad(name, "expected (string, i, j) with 1-based inclusive bounds"),
+        },
+        "contains" => match (arg(args, 0), arg(args, 1)) {
+            (Value::Str(s), Value::Str(needle)) => {
+                Ok(Value::Bool(s.contains(needle.as_ref())))
+            }
+            _ => bad(name, "expected (string, string)"),
+        },
+        "keys" => match arg(args, 0) {
+            Value::Table(t) => {
+                let t = t.borrow();
+                let mut ks: Vec<String> = t.hash.keys().cloned().collect();
+                ks.sort();
+                Ok(Value::table(
+                    ks.into_iter().map(Value::str).collect(),
+                    std::collections::HashMap::new(),
+                ))
+            }
+            _ => bad(name, "expected (table)"),
+        },
+        "values" => match arg(args, 0) {
+            Value::Table(t) => {
+                let t = t.borrow();
+                let mut ks: Vec<&String> = t.hash.keys().collect();
+                ks.sort();
+                let vs: Vec<Value> = ks.into_iter().map(|k| t.hash[k].clone()).collect();
+                Ok(Value::table(vs, std::collections::HashMap::new()))
+            }
+            _ => bad(name, "expected (table)"),
+        },
+        _ => return None,
+    };
+    Some(r)
+}
+
+/// Whether `name` is a builtin (used by diagnostics).
+pub fn is_builtin(name: &str) -> bool {
+    const NAMES: &[&str] = &[
+        "print", "tostring", "tonumber", "type", "abs", "floor", "ceil", "sqrt", "exp",
+        "log", "min", "max", "sum", "mean", "stddev", "insert", "remove", "sort", "sleep",
+        "clock", "assert", "error", "round", "clamp", "upper", "lower", "trim", "substr",
+        "contains", "keys", "values",
+    ];
+    NAMES.contains(&name)
+}
+
+fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).cloned().unwrap_or(Value::Nil)
+}
+
+fn bad(function: &str, message: &str) -> Result<Value, ScriptError> {
+    Err(ScriptError::BadArguments {
+        function: function.to_string(),
+        message: message.to_string(),
+    })
+}
+
+fn str1(
+    name: &str,
+    args: &[Value],
+    f: impl Fn(&str) -> String,
+) -> Result<Value, ScriptError> {
+    match arg(args, 0) {
+        Value::Str(s) => Ok(Value::str(f(&s))),
+        _ => bad(name, "expected a string"),
+    }
+}
+
+fn num1(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> Result<Value, ScriptError> {
+    match arg(args, 0).as_number() {
+        Some(n) => Ok(Value::Number(f(n))),
+        None => bad(name, "expected a number"),
+    }
+}
+
+fn fold_nums(
+    name: &str,
+    args: &[Value],
+    init: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value, ScriptError> {
+    if args.is_empty() {
+        return bad(name, "expected at least one number");
+    }
+    // Accept either varargs of numbers or a single numeric table.
+    let nums: Vec<f64> = if args.len() == 1 {
+        match &args[0] {
+            Value::Table(_) => match args[0].as_number_array() {
+                Some(v) if !v.is_empty() => v,
+                _ => return bad(name, "table must be a non-empty numeric array"),
+            },
+            v => vec![match v.as_number() {
+                Some(n) => n,
+                None => return bad(name, "expected numbers"),
+            }],
+        }
+    } else {
+        match args.iter().map(|v| v.as_number()).collect::<Option<Vec<_>>>() {
+            Some(v) => v,
+            None => return bad(name, "expected numbers"),
+        }
+    };
+    Ok(Value::Number(nums.into_iter().fold(init, f)))
+}
+
+fn array_stat(
+    name: &str,
+    args: &[Value],
+    f: impl Fn(&[f64]) -> f64,
+) -> Result<Value, ScriptError> {
+    match arg(args, 0).as_number_array() {
+        Some(xs) => Ok(Value::Number(f(&xs))),
+        None => bad(name, "expected a numeric array table"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        let mut ctx = HostContext::new();
+        call(name, args, &mut ctx).expect("builtin exists")
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert_eq!(run("abs", &[Value::Number(-3.0)]).unwrap(), Value::Number(3.0));
+        assert_eq!(run("floor", &[Value::Number(2.7)]).unwrap(), Value::Number(2.0));
+        assert_eq!(run("sqrt", &[Value::Number(9.0)]).unwrap(), Value::Number(3.0));
+        assert_eq!(
+            run("min", &[Value::Number(3.0), Value::Number(1.0)]).unwrap(),
+            Value::Number(1.0)
+        );
+        assert_eq!(
+            run("max", &[Value::number_array(&[1.0, 9.0, 4.0])]).unwrap(),
+            Value::Number(9.0)
+        );
+    }
+
+    #[test]
+    fn statistics_builtins() {
+        let xs = Value::number_array(&[2.0, 4.0, 6.0]);
+        assert_eq!(run("sum", std::slice::from_ref(&xs)).unwrap(), Value::Number(12.0));
+        assert_eq!(run("mean", std::slice::from_ref(&xs)).unwrap(), Value::Number(4.0));
+        let sd = run("stddev", &[xs]).unwrap().as_number().unwrap();
+        assert!((sd - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // Degenerate arrays.
+        assert_eq!(run("mean", &[Value::number_array(&[])]).unwrap(), Value::Number(0.0));
+        assert_eq!(
+            run("stddev", &[Value::number_array(&[5.0])]).unwrap(),
+            Value::Number(0.0)
+        );
+    }
+
+    #[test]
+    fn table_builtins() {
+        let t = Value::number_array(&[3.0, 1.0]);
+        run("insert", &[t.clone(), Value::Number(2.0)]).unwrap();
+        run("sort", std::slice::from_ref(&t)).unwrap();
+        assert_eq!(t.as_number_array().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(run("remove", std::slice::from_ref(&t)).unwrap(), Value::Number(3.0));
+    }
+
+    #[test]
+    fn print_captures_output() {
+        let mut ctx = HostContext::new();
+        call("print", &[Value::str("a"), Value::Number(1.0)], &mut ctx).unwrap().unwrap();
+        assert_eq!(ctx.output, vec!["a\t1".to_string()]);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock() {
+        let mut ctx = HostContext::new();
+        call("sleep", &[Value::Number(2.5)], &mut ctx).unwrap().unwrap();
+        let t = call("clock", &[], &mut ctx).unwrap().unwrap();
+        assert_eq!(t, Value::Number(2.5));
+    }
+
+    #[test]
+    fn sleep_rejects_negative() {
+        let mut ctx = HostContext::new();
+        assert!(call("sleep", &[Value::Number(-1.0)], &mut ctx).unwrap().is_err());
+    }
+
+    #[test]
+    fn conversion_builtins() {
+        assert_eq!(run("tostring", &[Value::Number(5.0)]).unwrap(), Value::str("5"));
+        assert_eq!(run("tonumber", &[Value::str(" 2.5 ")]).unwrap(), Value::Number(2.5));
+        assert_eq!(run("tonumber", &[Value::str("abc")]).unwrap(), Value::Nil);
+        assert_eq!(run("type", &[Value::Nil]).unwrap(), Value::str("nil"));
+    }
+
+    #[test]
+    fn assert_and_error() {
+        assert!(run("assert", &[Value::Bool(true)]).is_ok());
+        assert!(matches!(
+            run("assert", &[Value::Bool(false), Value::str("boom")]),
+            Err(ScriptError::Explicit { message }) if message == "boom"
+        ));
+        assert!(matches!(
+            run("error", &[Value::str("bad")]),
+            Err(ScriptError::Explicit { .. })
+        ));
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(run("upper", &[Value::str("abc")]).unwrap(), Value::str("ABC"));
+        assert_eq!(run("lower", &[Value::str("ABC")]).unwrap(), Value::str("abc"));
+        assert_eq!(run("trim", &[Value::str("  x  ")]).unwrap(), Value::str("x"));
+        assert_eq!(
+            run("substr", &[Value::str("sensor"), Value::Number(2.0), Value::Number(4.0)])
+                .unwrap(),
+            Value::str("ens")
+        );
+        assert_eq!(
+            run("contains", &[Value::str("temperature"), Value::str("era")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(run("upper", &[Value::Number(1.0)]).is_err());
+        assert!(run(
+            "substr",
+            &[Value::str("x"), Value::Number(0.0), Value::Number(1.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn numeric_extras() {
+        assert_eq!(run("round", &[Value::Number(2.6)]).unwrap(), Value::Number(3.0));
+        assert_eq!(
+            run(
+                "clamp",
+                &[Value::Number(9.0), Value::Number(0.0), Value::Number(5.0)]
+            )
+            .unwrap(),
+            Value::Number(5.0)
+        );
+        assert!(run(
+            "clamp",
+            &[Value::Number(1.0), Value::Number(5.0), Value::Number(0.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn keys_and_values_builtins() {
+        let mut hash = std::collections::HashMap::new();
+        hash.insert("b".to_string(), Value::Number(2.0));
+        hash.insert("a".to_string(), Value::Number(1.0));
+        let t = Value::table(vec![Value::Number(9.0)], hash);
+        let ks = run("keys", std::slice::from_ref(&t)).unwrap();
+        assert_eq!(ks.display(), "{a, b}");
+        let vs = run("values", &[t]).unwrap();
+        assert_eq!(vs.as_number_array().unwrap(), vec![1.0, 2.0]);
+        assert!(run("keys", &[Value::Number(1.0)]).is_err());
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        let mut ctx = HostContext::new();
+        assert!(call("launch_missiles", &[], &mut ctx).is_none());
+        assert!(!is_builtin("launch_missiles"));
+        assert!(is_builtin("mean"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Tokens of the SenseScript lexer.
+
+use crate::Pos;
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Token kinds. Keywords are distinct kinds (the lexer resolves them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal (all numbers are f64, as in Lua 5.1).
+    Number(f64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords
+    /// `local`
+    Local,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `elseif`
+    Elseif,
+    /// `end`
+    End,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `do`
+    Do,
+    /// `break`
+    Break,
+    /// `return`
+    Return,
+    /// `function`
+    Function,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+
+    // Operators / punctuation
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `#`
+    Hash,
+    /// `==`
+    EqEq,
+    /// `~=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `..`
+    Concat,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Local => write!(f, "`local`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Then => write!(f, "`then`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::Elseif => write!(f, "`elseif`"),
+            TokenKind::End => write!(f, "`end`"),
+            TokenKind::While => write!(f, "`while`"),
+            TokenKind::For => write!(f, "`for`"),
+            TokenKind::Do => write!(f, "`do`"),
+            TokenKind::Break => write!(f, "`break`"),
+            TokenKind::Return => write!(f, "`return`"),
+            TokenKind::Function => write!(f, "`function`"),
+            TokenKind::True => write!(f, "`true`"),
+            TokenKind::False => write!(f, "`false`"),
+            TokenKind::Nil => write!(f, "`nil`"),
+            TokenKind::And => write!(f, "`and`"),
+            TokenKind::Or => write!(f, "`or`"),
+            TokenKind::Not => write!(f, "`not`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Hash => write!(f, "`#`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`~=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Concat => write!(f, "`..`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Runtime values of SenseScript.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::Block;
+
+/// A SenseScript runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `nil`.
+    Nil,
+    /// Booleans.
+    Bool(bool),
+    /// All numbers are f64 (Lua 5.1 semantics).
+    Number(f64),
+    /// Immutable interned-ish strings.
+    Str(Rc<str>),
+    /// Mutable shared tables (array part + string-keyed hash part).
+    Table(Rc<RefCell<Table>>),
+    /// Script-defined functions (closures).
+    Function(Rc<Closure>),
+}
+
+/// A table: contiguous 1-based array part plus string-keyed hash part,
+/// the two halves of Lua's associative arrays that sensing scripts use.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Array part; index 1 in script = index 0 here.
+    pub array: Vec<Value>,
+    /// Hash part (string keys).
+    pub hash: HashMap<String, Value>,
+}
+
+/// A script closure: parameters, body, and the captured environment.
+pub struct Closure {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Block,
+    /// Captured lexical scope.
+    pub env: crate::interp::ScopeRef,
+}
+
+impl std::fmt::Debug for Closure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Closure")
+            .field("params", &self.params)
+            .field("body_stmts", &self.body.len())
+            .finish()
+    }
+}
+
+impl Value {
+    /// Makes a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Makes a table value from parts.
+    pub fn table(array: Vec<Value>, hash: HashMap<String, Value>) -> Value {
+        Value::Table(Rc::new(RefCell::new(Table { array, hash })))
+    }
+
+    /// Makes an array-only table from numbers (the common shape of
+    /// sensor readings handed to scripts).
+    pub fn number_array(values: &[f64]) -> Value {
+        Value::table(values.iter().map(|&v| Value::Number(v)).collect(), HashMap::new())
+    }
+
+    /// Lua truthiness: everything except `nil` and `false` is true.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// The type name used in error messages and by `type()`.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::Str(_) => "string",
+            Value::Table(_) => "table",
+            Value::Function(_) => "function",
+        }
+    }
+
+    /// Numeric view, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts `[f64]` from an array-shaped table.
+    pub fn as_number_array(&self) -> Option<Vec<f64>> {
+        match self {
+            Value::Table(t) => t
+                .borrow()
+                .array
+                .iter()
+                .map(|v| v.as_number())
+                .collect::<Option<Vec<f64>>>(),
+            _ => None,
+        }
+    }
+
+    /// Renders the value the way `tostring`/`print` do.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Nil => "nil".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Str(s) => s.to_string(),
+            Value::Table(t) => {
+                let t = t.borrow();
+                let mut parts: Vec<String> = t.array.iter().map(|v| v.display()).collect();
+                let mut keys: Vec<&String> = t.hash.keys().collect();
+                keys.sort();
+                for k in keys {
+                    parts.push(format!("{k}={}", t.hash[k].display()));
+                }
+                format!("{{{}}}", parts.join(", "))
+            }
+            Value::Function(_) => "function".to_string(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Reference equality, as in Lua.
+            (Value::Table(a), Value::Table(b)) => Rc::ptr_eq(a, b),
+            (Value::Function(a), Value::Function(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_lua() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Number(0.0).truthy()); // 0 is truthy in Lua!
+        assert!(Value::str("").truthy());
+    }
+
+    #[test]
+    fn tables_compare_by_reference() {
+        let a = Value::number_array(&[1.0]);
+        let b = Value::number_array(&[1.0]);
+        assert_ne!(a, b);
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn display_renders_integers_without_fraction() {
+        assert_eq!(Value::Number(5.0).display(), "5");
+        assert_eq!(Value::Number(5.5).display(), "5.5");
+        assert_eq!(Value::Nil.display(), "nil");
+    }
+
+    #[test]
+    fn number_array_roundtrip() {
+        let v = Value::number_array(&[1.5, 2.5]);
+        assert_eq!(v.as_number_array().unwrap(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn mixed_table_is_not_number_array() {
+        let v = Value::table(vec![Value::Number(1.0), Value::str("x")], HashMap::new());
+        assert!(v.as_number_array().is_none());
+    }
+
+    #[test]
+    fn table_display_sorted_keys() {
+        let mut hash = HashMap::new();
+        hash.insert("b".into(), Value::Number(2.0));
+        hash.insert("a".into(), Value::Number(1.0));
+        let v = Value::table(vec![Value::Number(9.0)], hash);
+        assert_eq!(v.display(), "{9, a=1, b=2}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for SenseScript: the toolchain must never panic on
+//! arbitrary input, and evaluation must be deterministic.
+
+use proptest::prelude::*;
+use sor_script::{Interpreter, Value};
+
+proptest! {
+    /// The lexer+parser never panic, whatever bytes arrive (scripts come
+    /// over the network from the sensing server).
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = sor_script::parser::parse(&src);
+    }
+
+    /// Structured-ish garbage: random tokens glued together.
+    #[test]
+    fn token_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("local".to_string()),
+                Just("if".to_string()),
+                Just("then".to_string()),
+                Just("end".to_string()),
+                Just("while".to_string()),
+                Just("do".to_string()),
+                Just("for".to_string()),
+                Just("return".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("=".to_string()),
+                Just("==".to_string()),
+                Just("..".to_string()),
+                Just("+".to_string()),
+                Just("x".to_string()),
+                Just("1".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..30
+        )
+    ) {
+        let src = parts.join(" ");
+        let mut interp = Interpreter::new();
+        interp.set_budget(100_000);
+        let _ = interp.run(&src);
+    }
+
+    /// Arithmetic evaluation is correct and deterministic for a
+    /// generated family of expressions.
+    #[test]
+    fn arithmetic_matches_rust(a in -1000i32..1000, b in -1000i32..1000, c in 1i32..1000) {
+        let src = format!("return {a} + {b} * {c} - {a} / {c}");
+        let expected = a as f64 + b as f64 * c as f64 - a as f64 / c as f64;
+        let mut interp = Interpreter::new();
+        let v1 = interp.run(&src).unwrap();
+        let v2 = interp.run(&src).unwrap();
+        prop_assert_eq!(v1.clone(), v2);
+        let got = v1.as_number().unwrap();
+        prop_assert!((got - expected).abs() < 1e-9 * expected.abs().max(1.0));
+    }
+
+    /// Loops accumulate exactly as Rust does.
+    #[test]
+    fn loop_sums_match(n in 0u32..200) {
+        let src = format!("local s = 0\nfor i = 1, {n} do s = s + i end\nreturn s");
+        let expected = (n as f64) * (n as f64 + 1.0) / 2.0;
+        let v = Interpreter::new().run(&src).unwrap();
+        prop_assert_eq!(v, Value::Number(expected));
+    }
+
+    /// Table roundtrip: building an array in-script preserves order and
+    /// values.
+    #[test]
+    fn table_roundtrip(values in proptest::collection::vec(-1e6f64..1e6, 0..20)) {
+        let literals: Vec<String> = values.iter().map(|v| format!("{v:?}")).collect();
+        let src = format!("return {{{}}}", literals.join(", "));
+        let v = Interpreter::new().run(&src).unwrap();
+        let arr = v.as_number_array().unwrap();
+        prop_assert_eq!(arr.len(), values.len());
+        for (got, want) in arr.iter().zip(&values) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    /// Whatever the script does, the instruction budget bounds runtime.
+    #[test]
+    fn budget_always_terminates(cond_n in 0u32..5) {
+        let src = format!(
+            "local i = 0\nwhile i >= {cond_n} or true do i = i + 1 end\nreturn i"
+        );
+        let mut interp = Interpreter::new();
+        interp.set_budget(20_000);
+        let r = interp.run(&src);
+        prop_assert!(r.is_err());
+    }
+}

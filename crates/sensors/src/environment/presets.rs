@@ -1,0 +1,292 @@
+//! The six field-test places of §V, parameterised to the feature levels
+//! of Fig. 6 (hiking trails) and Fig. 10 (coffee shops).
+//!
+//! Ground-truth anchors from the paper:
+//! - Green Lake Trail: "almost entirely flat", around a lake → humid and
+//!   a little cooler, smooth, low curvature, negligible altitude change.
+//! - Long Trail: flat-ish and fairly easy, a little harder than Green
+//!   Lake; drier.
+//! - Cliff Trail: rocky and difficult → high roughness, sharp
+//!   switchbacks, big altitude change; driest of the three.
+//! - Tim Hortons: quiet, very bright (big window), a little colder.
+//! - B&N Cafe: quiet, bright, comfortable temperature.
+//! - Starbucks: crowded, noisy and dark; warm.
+
+use crate::environment::place::{PlaceEnvironment, PlaceSpec};
+use crate::environment::trail::{Segment, TrailEnvironment, TrailSpec};
+use crate::environment::Level;
+
+// ---------------------------------------------------------------------
+// Coffee shops (§V-B, Fig. 10)
+// ---------------------------------------------------------------------
+
+/// Tim Hortons, 985 East Brighton Avenue: cold-ish, extremely bright,
+/// quiet, strong WiFi.
+pub fn tim_hortons(seed: u64) -> PlaceEnvironment {
+    PlaceEnvironment::new(
+        PlaceSpec {
+            name: "Tim Hortons".into(),
+            latitude: 42.9951,
+            longitude: -76.1299,
+            temperature_f: Level::drifting(66.0, 0.8, 0.4),
+            humidity_pct: Level::steady(32.0, 1.0),
+            light_lux: Level::drifting(1100.0, 120.0, 40.0),
+            noise_level: Level::steady(0.10, 0.02),
+            wifi_dbm: Level::steady(-55.0, 1.5),
+            pressure_hpa: Level::steady(1013.2, 0.3),
+        },
+        seed,
+    )
+}
+
+/// Barnes & Noble Cafe, 3454 E. Erie Blvd: comfortable, bright, quiet.
+pub fn bn_cafe(seed: u64) -> PlaceEnvironment {
+    PlaceEnvironment::new(
+        PlaceSpec {
+            name: "B&N Cafe".into(),
+            latitude: 43.0445,
+            longitude: -76.0749,
+            temperature_f: Level::drifting(71.0, 0.6, 0.4),
+            humidity_pct: Level::steady(35.0, 1.0),
+            light_lux: Level::drifting(520.0, 60.0, 20.0),
+            noise_level: Level::steady(0.12, 0.02),
+            wifi_dbm: Level::steady(-60.0, 1.5),
+            pressure_hpa: Level::steady(1013.0, 0.3),
+        },
+        seed,
+    )
+}
+
+/// Starbucks, 177 Marshall St: warm, dark, crowded and noisy.
+pub fn starbucks(seed: u64) -> PlaceEnvironment {
+    PlaceEnvironment::new(
+        PlaceSpec {
+            name: "Starbucks".into(),
+            latitude: 43.0417,
+            longitude: -76.1339,
+            temperature_f: Level::drifting(74.0, 0.6, 0.4),
+            humidity_pct: Level::steady(40.0, 1.0),
+            light_lux: Level::drifting(180.0, 25.0, 10.0),
+            noise_level: Level::drifting(0.40, 0.06, 0.04),
+            wifi_dbm: Level::steady(-65.0, 2.0),
+            pressure_hpa: Level::steady(1013.1, 0.3),
+        },
+        seed,
+    )
+}
+
+/// All three coffee shops, in the paper's Fig. 10 order.
+pub fn coffee_shops(seed: u64) -> Vec<PlaceEnvironment> {
+    vec![tim_hortons(seed), bn_cafe(seed.wrapping_add(1)), starbucks(seed.wrapping_add(2))]
+}
+
+// ---------------------------------------------------------------------
+// Hiking trails (§V-A, Fig. 6)
+// ---------------------------------------------------------------------
+
+/// Green Lake Trail (Green Lake State Park): a flat, smooth, gently
+/// curving loop around the lake; humid and a little cooler.
+pub fn green_lake_trail(seed: u64) -> TrailEnvironment {
+    let segments: Vec<Segment> = (0..30)
+        .map(|i| Segment {
+            length_m: 100.0,
+            // A gentle lake loop: steady mild turns.
+            turn_deg: if i % 2 == 0 { 14.0 } else { 10.0 },
+            // "This trail is almost entirely flat".
+            grade: if i % 3 == 0 { 0.004 } else { -0.002 },
+        })
+        .collect();
+    TrailEnvironment::new(
+        TrailSpec {
+            name: "Green Lake Trail".into(),
+            latitude: 43.0549,
+            longitude: -75.9704,
+            altitude_m: 130.0,
+            segments,
+            walk_speed: 1.3,
+            roughness: 0.12,
+            temperature_f: Level::drifting(44.0, 1.0, 0.4),
+            humidity_pct: Level::drifting(56.0, 2.0, 1.0),
+        },
+        seed,
+    )
+}
+
+/// Long Trail (Clark Reservation): fairly easy but a little more varied
+/// than Green Lake; drier.
+pub fn long_trail(seed: u64) -> TrailEnvironment {
+    let segments: Vec<Segment> = (0..24)
+        .map(|i| Segment {
+            length_m: 80.0,
+            turn_deg: match i % 4 {
+                0 => 35.0,
+                1 => -20.0,
+                2 => 30.0,
+                _ => -25.0,
+            },
+            grade: match i % 6 {
+                0 | 1 => 0.035,
+                2 => -0.03,
+                3 => 0.02,
+                _ => -0.02,
+            },
+        })
+        .collect();
+    TrailEnvironment::new(
+        TrailSpec {
+            name: "Long Trail".into(),
+            latitude: 42.9936,
+            longitude: -76.0907,
+            altitude_m: 180.0,
+            segments,
+            walk_speed: 1.2,
+            roughness: 0.32,
+            temperature_f: Level::drifting(48.0, 1.0, 0.4),
+            humidity_pct: Level::drifting(42.0, 2.0, 1.0),
+        },
+        seed,
+    )
+}
+
+/// Cliff Trail (Clark Reservation): rocky switchbacks along the cliff —
+/// difficult, steep and dry.
+pub fn cliff_trail(seed: u64) -> TrailEnvironment {
+    let segments: Vec<Segment> = (0..28)
+        .map(|i| Segment {
+            length_m: 60.0,
+            // Switchbacks: hard alternating turns.
+            turn_deg: if i % 2 == 0 { 70.0 } else { -55.0 },
+            grade: match i % 4 {
+                0 => 0.14,
+                1 => 0.10,
+                2 => -0.12,
+                _ => -0.06,
+            },
+        })
+        .collect();
+    TrailEnvironment::new(
+        TrailSpec {
+            name: "Cliff Trail".into(),
+            latitude: 42.9921,
+            longitude: -76.0884,
+            altitude_m: 190.0,
+            segments,
+            walk_speed: 0.9,
+            roughness: 0.68,
+            temperature_f: Level::drifting(50.0, 1.0, 0.4),
+            humidity_pct: Level::drifting(38.0, 2.0, 1.0),
+        },
+        seed,
+    )
+}
+
+/// All three trails, in the paper's Fig. 6 order (Green Lake, Long,
+/// Cliff).
+pub fn hiking_trails(seed: u64) -> Vec<TrailEnvironment> {
+    vec![
+        green_lake_trail(seed),
+        long_trail(seed.wrapping_add(1)),
+        cliff_trail(seed.wrapping_add(2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::Environment;
+    use crate::kind::SensorKind;
+
+    fn mean_of(env: &dyn Environment, kind: SensorKind, n: usize) -> f64 {
+        (0..n).map(|i| env.sample(kind, i as f64 * 2.0).unwrap()[0]).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn coffee_temperature_ordering_matches_fig10() {
+        let th = tim_hortons(1);
+        let bn = bn_cafe(2);
+        let sb = starbucks(3);
+        let t_th = mean_of(&th, SensorKind::Temperature, 200);
+        let t_bn = mean_of(&bn, SensorKind::Temperature, 200);
+        let t_sb = mean_of(&sb, SensorKind::Temperature, 200);
+        assert!(t_th < t_bn && t_bn < t_sb, "{t_th} {t_bn} {t_sb}");
+    }
+
+    #[test]
+    fn coffee_brightness_ordering_matches_fig10() {
+        let l_th = mean_of(&tim_hortons(1), SensorKind::Light, 200);
+        let l_bn = mean_of(&bn_cafe(2), SensorKind::Light, 200);
+        let l_sb = mean_of(&starbucks(3), SensorKind::Light, 200);
+        assert!(l_th > l_bn && l_bn > l_sb, "{l_th} {l_bn} {l_sb}");
+    }
+
+    #[test]
+    fn starbucks_is_noisiest() {
+        let n_th = mean_of(&tim_hortons(1), SensorKind::Microphone, 400);
+        let n_bn = mean_of(&bn_cafe(2), SensorKind::Microphone, 400);
+        let n_sb = mean_of(&starbucks(3), SensorKind::Microphone, 400);
+        assert!(n_sb > 2.0 * n_th.max(n_bn), "{n_th} {n_bn} {n_sb}");
+    }
+
+    #[test]
+    fn trail_roughness_ordering_matches_fig6() {
+        let std_z = |env: &TrailEnvironment| {
+            let vals: Vec<f64> = (0..600)
+                .map(|i| env.sample(SensorKind::Accelerometer, i as f64 * 0.25).unwrap()[2])
+                .collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let g = std_z(&green_lake_trail(1));
+        let l = std_z(&long_trail(2));
+        let c = std_z(&cliff_trail(3));
+        assert!(g < l && l < c, "{g} {l} {c}");
+    }
+
+    #[test]
+    fn green_lake_is_most_humid_and_coolest() {
+        let h_g = mean_of(&green_lake_trail(1), SensorKind::Humidity, 200);
+        let h_l = mean_of(&long_trail(2), SensorKind::Humidity, 200);
+        let h_c = mean_of(&cliff_trail(3), SensorKind::Humidity, 200);
+        assert!(h_g > h_l && h_l > h_c);
+        let t_g = mean_of(&green_lake_trail(1), SensorKind::Temperature, 200);
+        let t_c = mean_of(&cliff_trail(3), SensorKind::Temperature, 200);
+        assert!(t_g < t_c);
+    }
+
+    #[test]
+    fn cliff_trail_climbs_most() {
+        // Window-average altitudes (as the server's feature extractor
+        // does) so white GPS noise doesn't mask the terrain.
+        let alt_range = |env: &TrailEnvironment| {
+            let window_means: Vec<f64> = (0..40)
+                .map(|w| {
+                    (0..10)
+                        .map(|i| {
+                            let t = (w * 10 + i) as f64 * 4.0;
+                            env.sample(SensorKind::Gps, t).unwrap()[2]
+                        })
+                        .sum::<f64>()
+                        / 10.0
+                })
+                .collect();
+            window_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - window_means.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        let g = alt_range(&green_lake_trail(1));
+        let c = alt_range(&cliff_trail(3));
+        assert!(c > 2.0 * g, "green {g} cliff {c}");
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = starbucks(9).sample(SensorKind::Temperature, 5.0);
+        let b = starbucks(9).sample(SensorKind::Temperature, 5.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collections_have_three_each() {
+        assert_eq!(coffee_shops(1).len(), 3);
+        assert_eq!(hiking_trails(1).len(), 3);
+    }
+}

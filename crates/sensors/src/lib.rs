@@ -1,0 +1,89 @@
+//! Simulated sensor stack for the SOR reproduction.
+//!
+//! The paper's mobile frontend (§II-A) reaches physical hardware through
+//! a *Sensor Manager* that dispatches data-acquisition calls to
+//! per-sensor *Providers* ("a software component which actually operates
+//! embedded and external sensors using APIs provided by the Android
+//! system and third party"). New sensors integrate by registering a new
+//! Provider — that is the paper's scalability claim.
+//!
+//! Without phones or a Sensordrone, the hardware layer is replaced by
+//! **environment models**: deterministic, seedable synthetic generators
+//! for the places of the paper's field tests (three Syracuse coffee
+//! shops, three hiking trails) that produce raw readings with realistic
+//! structure — diurnal drift, noise bursts, WiFi fading, GPS tracks with
+//! curvature and elevation, accelerometer traces whose windowed standard
+//! deviation encodes surface roughness. Everything *above* the hardware
+//! line (providers, data buffers, manager, registration, timeouts) is
+//! implemented as described in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use sor_sensors::environment::presets;
+//! use sor_sensors::manager::SensorManager;
+//! use sor_sensors::provider::SimulatedProvider;
+//! use sor_sensors::SensorKind;
+//! use std::sync::Arc;
+//!
+//! let shop = Arc::new(presets::bn_cafe(7));
+//! let mut mgr = SensorManager::new();
+//! mgr.register(SimulatedProvider::new(SensorKind::Temperature, shop));
+//! let readings = mgr.acquire(SensorKind::Temperature, 3, 120.0)?;
+//! assert_eq!(readings.len(), 3);
+//! # Ok::<(), sor_sensors::SensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod environment;
+pub mod kind;
+pub mod manager;
+pub mod noise;
+pub mod provider;
+
+pub use energy::EnergyMeter;
+pub use environment::Environment;
+pub use kind::{Reading, SensorClass, SensorKind};
+pub use manager::SensorManager;
+pub use provider::{BufferedProvider, FlakyProvider, Provider, SimulatedProvider};
+
+/// Errors from the sensor stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorError {
+    /// No provider is registered for the requested sensor kind.
+    Unsupported(SensorKind),
+    /// The provider did not deliver within the manager's timeout
+    /// (the manager "can cancel data acquisition if timeout", §II-A).
+    Timeout {
+        /// The sensor that timed out.
+        kind: SensorKind,
+        /// Simulated acquisition latency in seconds.
+        latency: f64,
+        /// The manager's configured timeout in seconds.
+        timeout: f64,
+    },
+    /// The environment cannot produce this quantity (e.g. GPS indoors
+    /// per user privacy preference, or a trail asked for WiFi).
+    Unavailable(SensorKind),
+    /// Zero readings were requested.
+    EmptyRequest,
+}
+
+impl std::fmt::Display for SensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorError::Unsupported(k) => write!(f, "no provider registered for {k}"),
+            SensorError::Timeout { kind, latency, timeout } => write!(
+                f,
+                "{kind} acquisition took {latency:.2}s, over the {timeout:.2}s timeout"
+            ),
+            SensorError::Unavailable(k) => write!(f, "{k} is unavailable in this environment"),
+            SensorError::EmptyRequest => write!(f, "requested zero readings"),
+        }
+    }
+}
+
+impl std::error::Error for SensorError {}

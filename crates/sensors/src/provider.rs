@@ -1,0 +1,366 @@
+//! Providers: the per-sensor software components of §II-A.
+//!
+//! "A Provider is basically a software component which actually operates
+//! embedded and external sensors … Note that each Provider maintains a
+//! data buffer which buffers data collected from its sensor and can even
+//! share them with multiple different tasks. In this way, energy
+//! consumed for sensing can be reduced."
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::energy::EnergyMeter;
+use crate::environment::Environment;
+use crate::kind::{Reading, SensorKind};
+use crate::SensorError;
+
+/// A source of readings for one sensor kind.
+pub trait Provider: Send + Sync {
+    /// Which sensor this provider operates.
+    fn kind(&self) -> SensorKind;
+
+    /// Acquires `n` readings starting at time `start`, spaced
+    /// `interval` seconds apart.
+    ///
+    /// # Errors
+    ///
+    /// [`SensorError::EmptyRequest`] for `n == 0`; environment errors
+    /// pass through.
+    fn acquire(&self, n: usize, start: f64, interval: f64) -> Result<Vec<Reading>, SensorError>;
+
+    /// Simulated hardware latency for acquiring `n` readings (seconds).
+    /// The manager compares this against its timeout.
+    fn latency(&self, n: usize) -> f64 {
+        0.05 * n as f64
+    }
+}
+
+/// A provider that samples a synthetic [`Environment`].
+#[derive(Clone)]
+pub struct SimulatedProvider {
+    kind: SensorKind,
+    env: Arc<dyn Environment>,
+    per_sample_latency: f64,
+    meter: Option<Arc<EnergyMeter>>,
+}
+
+impl std::fmt::Debug for SimulatedProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedProvider")
+            .field("kind", &self.kind)
+            .field("environment", &self.env.name())
+            .finish()
+    }
+}
+
+impl SimulatedProvider {
+    /// Provider for `kind` backed by `env`, with the default 50 ms
+    /// per-sample latency.
+    pub fn new(kind: SensorKind, env: Arc<dyn Environment>) -> Self {
+        SimulatedProvider { kind, env, per_sample_latency: 0.05, meter: None }
+    }
+
+    /// Attaches an energy meter: every real acquisition charges it
+    /// (see [`crate::energy`]).
+    pub fn with_meter(mut self, meter: Arc<EnergyMeter>) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// Overrides the simulated per-sample latency (e.g. a slow GPS cold
+    /// fix), letting tests exercise the manager's timeout path.
+    pub fn with_latency(mut self, per_sample: f64) -> Self {
+        self.per_sample_latency = per_sample;
+        self
+    }
+}
+
+impl Provider for SimulatedProvider {
+    fn kind(&self) -> SensorKind {
+        self.kind
+    }
+
+    fn acquire(&self, n: usize, start: f64, interval: f64) -> Result<Vec<Reading>, SensorError> {
+        if n == 0 {
+            return Err(SensorError::EmptyRequest);
+        }
+        let readings: Result<Vec<Reading>, SensorError> = (0..n)
+            .map(|i| self.env.sample(self.kind, start + i as f64 * interval))
+            .collect();
+        if readings.is_ok() {
+            if let Some(meter) = &self.meter {
+                meter.record(self.kind, n);
+            }
+        }
+        readings
+    }
+
+    fn latency(&self, n: usize) -> f64 {
+        self.per_sample_latency * n as f64
+    }
+}
+
+/// Decorator adding the paper's shared data buffer: results are cached
+/// and served to later requests that fall inside the freshness window,
+/// saving (simulated) sensing energy. Counts real acquisitions so tests
+/// and benches can quantify the saving.
+pub struct BufferedProvider<P> {
+    inner: P,
+    freshness: f64,
+    cache: Mutex<Option<CacheEntry>>,
+    real_acquisitions: AtomicUsize,
+    served_from_cache: AtomicUsize,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    start: f64,
+    interval: f64,
+    readings: Vec<Reading>,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for BufferedProvider<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferedProvider")
+            .field("inner", &self.inner)
+            .field("freshness", &self.freshness)
+            .field("real_acquisitions", &self.real_acquisitions.load(Ordering::Relaxed))
+            .field("served_from_cache", &self.served_from_cache.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<P: Provider> BufferedProvider<P> {
+    /// Wraps `inner`, serving repeat requests within `freshness` seconds
+    /// from the buffer.
+    pub fn new(inner: P, freshness: f64) -> Self {
+        BufferedProvider {
+            inner,
+            freshness,
+            cache: Mutex::new(None),
+            real_acquisitions: AtomicUsize::new(0),
+            served_from_cache: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of times the hardware was actually driven.
+    pub fn real_acquisitions(&self) -> usize {
+        self.real_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests satisfied from the shared buffer.
+    pub fn served_from_cache(&self) -> usize {
+        self.served_from_cache.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: Provider> Provider for BufferedProvider<P> {
+    fn kind(&self) -> SensorKind {
+        self.inner.kind()
+    }
+
+    fn acquire(&self, n: usize, start: f64, interval: f64) -> Result<Vec<Reading>, SensorError> {
+        if n == 0 {
+            return Err(SensorError::EmptyRequest);
+        }
+        let mut cache = self.cache.lock();
+        if let Some(entry) = cache.as_ref() {
+            let fresh = (start - entry.start).abs() <= self.freshness;
+            let compatible = (entry.interval - interval).abs() < 1e-9 || n == 1;
+            if fresh && compatible && entry.readings.len() >= n {
+                self.served_from_cache.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.readings[..n].to_vec());
+            }
+        }
+        let readings = self.inner.acquire(n, start, interval)?;
+        self.real_acquisitions.fetch_add(1, Ordering::Relaxed);
+        *cache = Some(CacheEntry { start, interval, readings: readings.clone() });
+        Ok(readings)
+    }
+
+    fn latency(&self, n: usize) -> f64 {
+        self.inner.latency(n)
+    }
+}
+
+/// Failure-injection decorator: every `period`-th acquisition fails with
+/// a timeout-shaped error. Deterministic, so tests of the error paths
+/// (task error status, server-side `TaskComplete { status: 1 }`, world
+/// resilience) are reproducible.
+pub struct FlakyProvider<P> {
+    inner: P,
+    period: usize,
+    calls: AtomicUsize,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for FlakyProvider<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlakyProvider")
+            .field("inner", &self.inner)
+            .field("period", &self.period)
+            .field("calls", &self.calls.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<P: Provider> FlakyProvider<P> {
+    /// Wraps `inner`; the `period`-th, `2·period`-th, … acquisitions
+    /// fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn every(inner: P, period: usize) -> Self {
+        assert!(period > 0, "period must be at least 1");
+        FlakyProvider { inner, period, calls: AtomicUsize::new(0) }
+    }
+
+    /// Acquisitions attempted so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: Provider> Provider for FlakyProvider<P> {
+    fn kind(&self) -> SensorKind {
+        self.inner.kind()
+    }
+
+    fn acquire(&self, n: usize, start: f64, interval: f64) -> Result<Vec<Reading>, SensorError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if call.is_multiple_of(self.period) {
+            return Err(SensorError::Timeout {
+                kind: self.inner.kind(),
+                latency: f64::INFINITY,
+                timeout: 0.0,
+            });
+        }
+        self.inner.acquire(n, start, interval)
+    }
+
+    fn latency(&self, n: usize) -> f64 {
+        self.inner.latency(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::presets;
+
+    fn provider() -> SimulatedProvider {
+        SimulatedProvider::new(SensorKind::Temperature, Arc::new(presets::bn_cafe(5)))
+    }
+
+    #[test]
+    fn acquire_returns_requested_count_and_arity() {
+        let p = provider();
+        let r = p.acquire(4, 100.0, 1.0).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|v| v.len() == 1));
+    }
+
+    #[test]
+    fn zero_request_rejected() {
+        assert_eq!(provider().acquire(0, 0.0, 1.0), Err(SensorError::EmptyRequest));
+    }
+
+    #[test]
+    fn samples_are_time_indexed() {
+        let p = provider();
+        let a = p.acquire(2, 0.0, 5.0).unwrap();
+        let b = p.acquire(2, 0.0, 5.0).unwrap();
+        assert_eq!(a, b, "same request, same data");
+        let c = p.acquire(2, 1000.0, 5.0).unwrap();
+        assert_ne!(a, c, "different time, different data");
+    }
+
+    #[test]
+    fn buffer_serves_repeat_requests() {
+        let p = BufferedProvider::new(provider(), 5.0);
+        let a = p.acquire(3, 100.0, 1.0).unwrap();
+        let b = p.acquire(3, 102.0, 1.0).unwrap(); // within freshness
+        assert_eq!(a, b);
+        assert_eq!(p.real_acquisitions(), 1);
+        assert_eq!(p.served_from_cache(), 1);
+    }
+
+    #[test]
+    fn buffer_expires_after_freshness() {
+        let p = BufferedProvider::new(provider(), 5.0);
+        p.acquire(3, 100.0, 1.0).unwrap();
+        p.acquire(3, 200.0, 1.0).unwrap(); // stale
+        assert_eq!(p.real_acquisitions(), 2);
+        assert_eq!(p.served_from_cache(), 0);
+    }
+
+    #[test]
+    fn buffer_serves_prefix_of_larger_acquisition() {
+        let p = BufferedProvider::new(provider(), 5.0);
+        let five = p.acquire(5, 100.0, 1.0).unwrap();
+        let two = p.acquire(2, 100.0, 1.0).unwrap();
+        assert_eq!(&five[..2], &two[..]);
+        assert_eq!(p.real_acquisitions(), 1);
+    }
+
+    #[test]
+    fn buffer_refetches_for_more_samples() {
+        let p = BufferedProvider::new(provider(), 5.0);
+        p.acquire(2, 100.0, 1.0).unwrap();
+        p.acquire(5, 100.0, 1.0).unwrap();
+        assert_eq!(p.real_acquisitions(), 2);
+    }
+
+    #[test]
+    fn flaky_provider_fails_periodically() {
+        let f = FlakyProvider::every(provider(), 3);
+        assert!(f.acquire(1, 0.0, 1.0).is_ok());
+        assert!(f.acquire(1, 1.0, 1.0).is_ok());
+        assert!(matches!(
+            f.acquire(1, 2.0, 1.0),
+            Err(SensorError::Timeout { .. })
+        ));
+        assert!(f.acquire(1, 3.0, 1.0).is_ok());
+        assert_eq!(f.calls(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn flaky_provider_rejects_zero_period() {
+        FlakyProvider::every(provider(), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_sample_count() {
+        let p = provider().with_latency(0.5);
+        assert_eq!(p.latency(4), 2.0);
+    }
+
+    #[test]
+    fn meter_charges_real_acquisitions_only() {
+        let meter = crate::energy::EnergyMeter::new();
+        let p = BufferedProvider::new(provider().with_meter(meter.clone()), 5.0);
+        p.acquire(4, 100.0, 1.0).unwrap();
+        let after_first = meter.total_mj();
+        assert!(after_first > 0.0);
+        // Served from the shared buffer: no extra energy.
+        p.acquire(4, 101.0, 1.0).unwrap();
+        assert_eq!(meter.total_mj(), after_first);
+        // A stale request pays again.
+        p.acquire(4, 500.0, 1.0).unwrap();
+        assert!(meter.total_mj() > after_first);
+    }
+
+    #[test]
+    fn failed_acquisition_costs_nothing() {
+        let meter = crate::energy::EnergyMeter::new();
+        // Place environments do not support GasCo.
+        let env: Arc<dyn crate::environment::Environment> =
+            Arc::new(crate::environment::presets::bn_cafe(1));
+        let p = SimulatedProvider::new(SensorKind::GasCo, env).with_meter(meter.clone());
+        assert!(p.acquire(3, 0.0, 1.0).is_err());
+        assert_eq!(meter.total_mj(), 0.0);
+    }
+}

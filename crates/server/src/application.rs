@@ -1,0 +1,137 @@
+//! The Application Manager (§II-B).
+//!
+//! "An application is defined as a procedure of acquiring data from
+//! sensors for a target place … The Application Manager manages all
+//! necessary information related to each application, including its
+//! AppID, its creator (which could be the owner/manager/operator of the
+//! corresponding target place), and the Lua scripts defining the
+//! corresponding data acquisition procedure."
+
+use std::collections::BTreeMap;
+
+use crate::feature::FeatureSpec;
+
+/// Everything the server needs to run sensing for one target place.
+#[derive(Debug, Clone)]
+pub struct ApplicationSpec {
+    /// The AppID printed in the 2D barcode.
+    pub app_id: u64,
+    /// Place display name.
+    pub name: String,
+    /// Creator (owner/manager/operator of the place).
+    pub creator: String,
+    /// Category for ranking, e.g. "coffee-shop" or "hiking-trail".
+    pub category: String,
+    /// Place latitude (degrees) — checked against participation
+    /// requests.
+    pub latitude: f64,
+    /// Place longitude (degrees).
+    pub longitude: f64,
+    /// Admission radius for the location check (metres).
+    pub radius_m: f64,
+    /// The SenseScript sent to participating phones.
+    pub script: String,
+    /// Scheduling period length (seconds) — "the duration of a
+    /// scheduling period can be specified by the creator".
+    pub period_seconds: f64,
+    /// Number of grid instants `N` in a period.
+    pub instants: usize,
+    /// The features extracted for this place.
+    pub features: Vec<FeatureSpec>,
+}
+
+/// In-memory registry of applications.
+#[derive(Debug, Clone, Default)]
+pub struct ApplicationManager {
+    apps: BTreeMap<u64, ApplicationSpec>,
+}
+
+impl ApplicationManager {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ApplicationManager::default()
+    }
+
+    /// Registers (or replaces) an application.
+    pub fn register(&mut self, spec: ApplicationSpec) {
+        self.apps.insert(spec.app_id, spec);
+    }
+
+    /// Looks up an application.
+    pub fn get(&self, app_id: u64) -> Option<&ApplicationSpec> {
+        self.apps.get(&app_id)
+    }
+
+    /// All registered application ids.
+    pub fn ids(&self) -> Vec<u64> {
+        self.apps.keys().copied().collect()
+    }
+
+    /// Applications of one category, in id order — the unit of ranking
+    /// ("we focus on places belonging to a certain category").
+    pub fn by_category(&self, category: &str) -> Vec<&ApplicationSpec> {
+        self.apps.values().filter(|a| a.category == category).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Extractor;
+
+    fn spec(id: u64, category: &str) -> ApplicationSpec {
+        ApplicationSpec {
+            app_id: id,
+            name: format!("place-{id}"),
+            creator: "owner".into(),
+            category: category.into(),
+            latitude: 43.0,
+            longitude: -76.0,
+            radius_m: 150.0,
+            script: "get_light_readings(3)".into(),
+            period_seconds: 10800.0,
+            instants: 1080,
+            features: vec![FeatureSpec::new(
+                "brightness",
+                "lux",
+                Extractor::Mean { sensor: 3 },
+                60.0,
+            )],
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut m = ApplicationManager::new();
+        m.register(spec(1, "coffee-shop"));
+        m.register(spec(2, "coffee-shop"));
+        m.register(spec(3, "hiking-trail"));
+        assert_eq!(m.ids(), vec![1, 2, 3]);
+        assert_eq!(m.get(2).unwrap().name, "place-2");
+        assert!(m.get(9).is_none());
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut m = ApplicationManager::new();
+        m.register(spec(1, "coffee-shop"));
+        m.register(spec(2, "hiking-trail"));
+        m.register(spec(3, "coffee-shop"));
+        let coffee = m.by_category("coffee-shop");
+        assert_eq!(coffee.len(), 2);
+        assert_eq!(coffee[0].app_id, 1);
+        assert_eq!(coffee[1].app_id, 3);
+        assert!(m.by_category("museum").is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut m = ApplicationManager::new();
+        m.register(spec(1, "a"));
+        let mut updated = spec(1, "b");
+        updated.name = "renamed".into();
+        m.register(updated);
+        assert_eq!(m.get(1).unwrap().name, "renamed");
+        assert_eq!(m.ids().len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! The Participation Manager (§II-B).
+//!
+//! "Every time when a mobile user scans a 2D barcode, the Participation
+//! Manager will first verify whether the user is actually in the target
+//! place by acquiring its location and comparing it against the location
+//! stored in the Application Manager, and then create a task for it if
+//! the user is considered as a truthful user. Moreover, a mobile user's
+//! status … will be changed to 'finished' if according to his/her
+//! location, he/she leaves the target place."
+
+use std::collections::BTreeMap;
+
+use crate::application::ApplicationSpec;
+use crate::{haversine_m, ServerError};
+
+/// Task lifecycle, mirroring the paper's status list ("running, waiting
+/// for sensing schedule, finished, error").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticipantStatus {
+    /// Admitted, waiting for the scheduler to assign sense times.
+    WaitingForSchedule,
+    /// Sensing according to an assigned schedule.
+    Running,
+    /// Left the place or completed the schedule.
+    Finished,
+    /// The phone reported a failure.
+    Error,
+}
+
+/// One admitted participant (a *task* in the paper's terminology).
+#[derive(Debug, Clone)]
+pub struct ParticipantTask {
+    /// Server-minted task id.
+    pub task_id: u64,
+    /// The application being sensed.
+    pub app_id: u64,
+    /// The participating device.
+    pub token: u64,
+    /// Remaining sensing budget.
+    pub budget: u32,
+    /// Admission time.
+    pub arrival: f64,
+    /// Expected departure time.
+    pub departure: f64,
+    /// Status.
+    pub status: ParticipantStatus,
+}
+
+/// Tracks all sensing tasks.
+#[derive(Debug, Clone, Default)]
+pub struct ParticipationManager {
+    tasks: BTreeMap<u64, ParticipantTask>,
+    next_task_id: u64,
+}
+
+impl ParticipationManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        ParticipationManager::default()
+    }
+
+    /// Verifies the claimed location and admits the user, minting a task.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::LocationMismatch`] if the claimed fix is outside
+    /// the application's admission radius.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message fields
+    pub fn admit(
+        &mut self,
+        app: &ApplicationSpec,
+        token: u64,
+        latitude: f64,
+        longitude: f64,
+        budget: u32,
+        now: f64,
+        stay_seconds: f64,
+    ) -> Result<&ParticipantTask, ServerError> {
+        let distance_m = haversine_m(latitude, longitude, app.latitude, app.longitude);
+        if !distance_m.is_finite() || distance_m > app.radius_m {
+            return Err(ServerError::LocationMismatch { distance_m, radius_m: app.radius_m });
+        }
+        let task_id = self.next_task_id;
+        self.next_task_id += 1;
+        let departure = if stay_seconds > 0.0 { now + stay_seconds } else { f64::INFINITY };
+        let task = ParticipantTask {
+            task_id,
+            app_id: app.app_id,
+            token,
+            budget,
+            arrival: now,
+            departure,
+            status: ParticipantStatus::WaitingForSchedule,
+        };
+        self.tasks.insert(task_id, task);
+        Ok(self.tasks.get(&task_id).expect("just inserted"))
+    }
+
+    /// Looks a task up.
+    pub fn task(&self, task_id: u64) -> Option<&ParticipantTask> {
+        self.tasks.get(&task_id)
+    }
+
+    /// Mutable lookup.
+    pub fn task_mut(&mut self, task_id: u64) -> Option<&mut ParticipantTask> {
+        self.tasks.get_mut(&task_id)
+    }
+
+    /// Tasks of one application that are still active.
+    pub fn active_for(&self, app_id: u64) -> Vec<&ParticipantTask> {
+        self.tasks
+            .values()
+            .filter(|t| {
+                t.app_id == app_id
+                    && matches!(
+                        t.status,
+                        ParticipantStatus::WaitingForSchedule | ParticipantStatus::Running
+                    )
+            })
+            .collect()
+    }
+
+    /// Marks departures: any active task whose expected departure has
+    /// passed becomes Finished. Returns the affected task ids.
+    pub fn sweep_departures(&mut self, now: f64) -> Vec<u64> {
+        let mut gone = Vec::new();
+        for t in self.tasks.values_mut() {
+            if t.departure <= now
+                && matches!(
+                    t.status,
+                    ParticipantStatus::WaitingForSchedule | ParticipantStatus::Running
+                )
+            {
+                t.status = ParticipantStatus::Finished;
+                gone.push(t.task_id);
+            }
+        }
+        gone
+    }
+
+    /// All tasks (for reporting).
+    pub fn all(&self) -> impl Iterator<Item = &ParticipantTask> {
+        self.tasks.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{Extractor, FeatureSpec};
+
+    fn app() -> ApplicationSpec {
+        ApplicationSpec {
+            app_id: 1,
+            name: "cafe".into(),
+            creator: "owner".into(),
+            category: "coffee-shop".into(),
+            latitude: 43.0500,
+            longitude: -76.1500,
+            radius_m: 150.0,
+            script: String::new(),
+            period_seconds: 10800.0,
+            instants: 1080,
+            features: vec![FeatureSpec::new(
+                "noise",
+                "",
+                Extractor::Mean { sensor: 2 },
+                20.0,
+            )],
+        }
+    }
+
+    #[test]
+    fn admits_truthful_users() {
+        let mut m = ParticipationManager::new();
+        let a = app();
+        let t = m.admit(&a, 7, 43.0501, -76.1501, 17, 100.0, 3600.0).unwrap();
+        assert_eq!(t.task_id, 0);
+        assert_eq!(t.status, ParticipantStatus::WaitingForSchedule);
+        assert_eq!(t.departure, 3700.0);
+    }
+
+    #[test]
+    fn rejects_far_away_claims() {
+        let mut m = ParticipationManager::new();
+        let a = app();
+        // ~1.1 km north.
+        let err = m.admit(&a, 7, 43.0600, -76.1500, 17, 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, ServerError::LocationMismatch { .. }));
+        // The (0,0) privacy sentinel is also rejected.
+        assert!(m.admit(&a, 7, 0.0, 0.0, 17, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn task_ids_are_unique_and_increasing() {
+        let mut m = ParticipationManager::new();
+        let a = app();
+        let id0 = m.admit(&a, 1, 43.05, -76.15, 5, 0.0, 100.0).unwrap().task_id;
+        let id1 = m.admit(&a, 2, 43.05, -76.15, 5, 0.0, 100.0).unwrap().task_id;
+        assert!(id1 > id0);
+    }
+
+    #[test]
+    fn departure_sweep_finishes_tasks() {
+        let mut m = ParticipationManager::new();
+        let a = app();
+        m.admit(&a, 1, 43.05, -76.15, 5, 0.0, 100.0).unwrap();
+        m.admit(&a, 2, 43.05, -76.15, 5, 0.0, 500.0).unwrap();
+        let gone = m.sweep_departures(200.0);
+        assert_eq!(gone, vec![0]);
+        assert_eq!(m.task(0).unwrap().status, ParticipantStatus::Finished);
+        assert_eq!(m.active_for(1).len(), 1);
+        // Sweeping again reports nothing new.
+        assert!(m.sweep_departures(200.0).is_empty());
+    }
+
+    #[test]
+    fn unknown_stay_means_open_ended() {
+        // stay_seconds == 0 means "unknown": the sweep never ends it.
+        let mut m = ParticipationManager::new();
+        let a = app();
+        m.admit(&a, 1, 43.05, -76.15, 5, 0.0, 0.0).unwrap();
+        assert!(m.sweep_departures(1e12).is_empty());
+    }
+
+    #[test]
+    fn active_filter_ignores_other_apps() {
+        let mut m = ParticipationManager::new();
+        let a = app();
+        let mut b = app();
+        b.app_id = 2;
+        m.admit(&a, 1, 43.05, -76.15, 5, 0.0, 100.0).unwrap();
+        m.admit(&b, 2, 43.05, -76.15, 5, 0.0, 100.0).unwrap();
+        assert_eq!(m.active_for(1).len(), 1);
+        assert_eq!(m.active_for(2).len(), 1);
+    }
+}

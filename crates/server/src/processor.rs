@@ -1,0 +1,290 @@
+//! The Data Processor (§II-B / §IV-A).
+//!
+//! "if it detects that the received message includes sensed data, it
+//! will directly store the binary message body into the database, which
+//! will be processed later by the Data Processor. … The Data Processor
+//! periodically checks if there are any binary sensed data in the
+//! database, and if any, it decodes the data and stores useful
+//! information into corresponding tables … it also processes raw data
+//! to generate more meaningful data for various sensing features …
+//! which will then be stored into the database to serve as input for
+//! the Personalizable Ranker."
+
+use sor_proto::Message;
+use sor_store::{ColumnType, Database, Predicate, Schema, Value};
+
+use crate::feature::{FeatureSpec, RawRecord};
+use crate::ServerError;
+
+/// Binary inbox table: whole frames stored untouched.
+pub const INBOX_TABLE: &str = "raw_inbox";
+/// Decoded record table.
+pub const RECORDS_TABLE: &str = "records";
+/// Feature-data table.
+pub const FEATURES_TABLE: &str = "features";
+
+/// The data processor. Stateless; all state is in the database.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataProcessor;
+
+impl DataProcessor {
+    /// Creates the inbox/records/features tables.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn install(db: &mut Database) -> Result<(), ServerError> {
+        db.create_table(
+            Schema::new(INBOX_TABLE)
+                .column("app_id", ColumnType::Int)
+                .column("body", ColumnType::Bytes),
+        )?;
+        db.create_table(
+            Schema::new(RECORDS_TABLE)
+                .column("app_id", ColumnType::Int)
+                .column("task_id", ColumnType::Int)
+                .column("sensor", ColumnType::Int)
+                .column("t", ColumnType::Float)
+                .column("dt", ColumnType::Float)
+                .column("values", ColumnType::Bytes),
+        )?;
+        db.table_mut(RECORDS_TABLE)?.create_index("app_id")?;
+        db.create_table(
+            Schema::new(FEATURES_TABLE)
+                .column("app_id", ColumnType::Int)
+                .column("feature", ColumnType::Text)
+                .column("value", ColumnType::Float),
+        )?;
+        Ok(())
+    }
+
+    /// Stores an encoded upload frame in the inbox, untouched — the
+    /// Message Handler's fast path.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn enqueue_raw(
+        &self,
+        db: &mut Database,
+        app_id: u64,
+        frame: &[u8],
+    ) -> Result<(), ServerError> {
+        db.insert(
+            INBOX_TABLE,
+            vec![Value::Int(app_id as i64), Value::Bytes(frame.to_vec())],
+        )?;
+        Ok(())
+    }
+
+    /// The periodic pass: decodes every inbox blob into typed records
+    /// and clears the inbox. Returns how many records landed. Corrupt
+    /// blobs are dropped (and counted in the second tuple field) — a
+    /// poisoned upload must not wedge the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn process_inbox(&self, db: &mut Database) -> Result<(usize, usize), ServerError> {
+        let blobs = db.scan(INBOX_TABLE, &Predicate::True)?;
+        let mut stored = 0usize;
+        let mut dropped = 0usize;
+        for row in &blobs {
+            let app_id = row.values[0].as_int().expect("schema");
+            let body = row.values[1].as_bytes().expect("schema");
+            match Message::decode(body) {
+                Ok(Message::SensedDataUpload { task_id, records }) => {
+                    for r in records {
+                        let mut enc = sor_proto::wire::Writer::new();
+                        enc.put_f64_seq(&r.values);
+                        db.insert(
+                            RECORDS_TABLE,
+                            vec![
+                                Value::Int(app_id),
+                                Value::Int(task_id as i64),
+                                Value::Int(r.sensor as i64),
+                                Value::Float(r.timestamp),
+                                Value::Float(r.window),
+                                Value::Bytes(enc.into_bytes()),
+                            ],
+                        )?;
+                        stored += 1;
+                    }
+                }
+                _ => dropped += 1,
+            }
+        }
+        db.delete_where(INBOX_TABLE, &Predicate::True)?;
+        Ok((stored, dropped))
+    }
+
+    /// Loads the decoded records of one application.
+    ///
+    /// # Errors
+    ///
+    /// Storage or decode errors.
+    pub fn records_of(&self, db: &Database, app_id: u64) -> Result<Vec<RawRecord>, ServerError> {
+        let rows = db.scan(
+            RECORDS_TABLE,
+            &Predicate::eq("app_id", Value::Int(app_id as i64)),
+        )?;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let bytes = row.values[5].as_bytes().expect("schema");
+            let mut r = sor_proto::wire::Reader::new(bytes);
+            let values = r.get_f64_seq()?;
+            out.push(RawRecord {
+                timestamp: row.values[3].as_float().expect("schema"),
+                window: row.values[4].as_float().expect("schema"),
+                sensor: row.values[2].as_int().expect("schema") as u16,
+                values,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Computes all features of one application from its records and
+    /// upserts them into the features table. Features without enough
+    /// data are skipped (returned in the error list).
+    ///
+    /// # Errors
+    ///
+    /// Storage errors. Extraction failures do not abort the pass.
+    pub fn compute_features(
+        &self,
+        db: &mut Database,
+        app_id: u64,
+        specs: &[FeatureSpec],
+    ) -> Result<Vec<(String, ServerError)>, ServerError> {
+        let records = self.records_of(db, app_id)?;
+        let mut failures = Vec::new();
+        for spec in specs {
+            match spec.extract(&records) {
+                Ok(value) => {
+                    // Upsert: delete the stale value first.
+                    db.delete_where(
+                        FEATURES_TABLE,
+                        &Predicate::eq("app_id", Value::Int(app_id as i64))
+                            .and(Predicate::eq("feature", Value::text(&spec.name))),
+                    )?;
+                    db.insert(
+                        FEATURES_TABLE,
+                        vec![
+                            Value::Int(app_id as i64),
+                            Value::text(&spec.name),
+                            Value::Float(value),
+                        ],
+                    )?;
+                }
+                Err(e) => failures.push((spec.name.clone(), e)),
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Reads one feature value.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors; `Ok(None)` when not yet computed.
+    pub fn feature_value(
+        &self,
+        db: &Database,
+        app_id: u64,
+        feature: &str,
+    ) -> Result<Option<f64>, ServerError> {
+        let rows = db.scan(
+            FEATURES_TABLE,
+            &Predicate::eq("app_id", Value::Int(app_id as i64))
+                .and(Predicate::eq("feature", Value::text(feature))),
+        )?;
+        Ok(rows.first().map(|r| r.values[2].as_float().expect("schema")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Extractor;
+    use sor_proto::SensedRecord;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        DataProcessor::install(&mut db).unwrap();
+        db
+    }
+
+    fn upload(task_id: u64, sensor: u16, values: Vec<f64>) -> Vec<u8> {
+        Message::SensedDataUpload {
+            task_id,
+            records: vec![SensedRecord { timestamp: 10.0, window: 3.0, sensor, values }],
+        }
+        .encode()
+    }
+
+    #[test]
+    fn inbox_to_records_pipeline() {
+        let mut db = db();
+        let p = DataProcessor;
+        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0, 71.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![72.0])).unwrap();
+        p.enqueue_raw(&mut db, 2, &upload(6, 7, vec![60.0])).unwrap();
+        let (stored, dropped) = p.process_inbox(&mut db).unwrap();
+        assert_eq!((stored, dropped), (3, 0));
+        // Inbox cleared.
+        assert_eq!(db.table(INBOX_TABLE).unwrap().len(), 0);
+        // Records partitioned per app.
+        assert_eq!(p.records_of(&db, 1).unwrap().len(), 2);
+        assert_eq!(p.records_of(&db, 2).unwrap().len(), 1);
+        let r = &p.records_of(&db, 1).unwrap()[0];
+        assert_eq!(r.values, vec![70.0, 71.0]);
+        assert_eq!(r.sensor, 7);
+    }
+
+    #[test]
+    fn corrupt_blobs_are_dropped_not_fatal() {
+        let mut db = db();
+        let p = DataProcessor;
+        p.enqueue_raw(&mut db, 1, b"garbage").unwrap();
+        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0])).unwrap();
+        // A non-upload message in the inbox is also dropped.
+        p.enqueue_raw(&mut db, 1, &Message::WakeUp { token: 1 }.encode()).unwrap();
+        let (stored, dropped) = p.process_inbox(&mut db).unwrap();
+        assert_eq!((stored, dropped), (1, 2));
+    }
+
+    #[test]
+    fn features_computed_and_upserted() {
+        let mut db = db();
+        let p = DataProcessor;
+        let spec = FeatureSpec::new("temp", "°F", Extractor::Mean { sensor: 7 }, 60.0);
+        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0, 72.0])).unwrap();
+        p.process_inbox(&mut db).unwrap();
+        let failures = p.compute_features(&mut db, 1, std::slice::from_ref(&spec)).unwrap();
+        assert!(failures.is_empty());
+        assert_eq!(p.feature_value(&db, 1, "temp").unwrap(), Some(71.0));
+
+        // More data arrives; recompute replaces the value.
+        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![80.0])).unwrap();
+        p.process_inbox(&mut db).unwrap();
+        p.compute_features(&mut db, 1, &[spec]).unwrap();
+        assert_eq!(p.feature_value(&db, 1, "temp").unwrap(), Some(74.0));
+        // Exactly one row per (app, feature).
+        assert_eq!(db.table(FEATURES_TABLE).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_data_reports_failure_without_abort() {
+        let mut db = db();
+        let p = DataProcessor;
+        let good = FeatureSpec::new("temp", "°F", Extractor::Mean { sensor: 7 }, 60.0);
+        let bad = FeatureSpec::new("noise", "", Extractor::Mean { sensor: 2 }, 20.0);
+        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0])).unwrap();
+        p.process_inbox(&mut db).unwrap();
+        let failures = p.compute_features(&mut db, 1, &[good, bad]).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "noise");
+        assert_eq!(p.feature_value(&db, 1, "temp").unwrap(), Some(70.0));
+        assert_eq!(p.feature_value(&db, 1, "noise").unwrap(), None);
+    }
+}

@@ -1,0 +1,663 @@
+//! The sensing-server facade: one object wiring every Fig. 5 component.
+
+use std::collections::BTreeMap;
+
+use sor_core::coverage::{CompositeCoverage, GaussianCoverage};
+use sor_core::schedule::online::OnlineScheduler;
+use sor_core::schedule::UserId;
+use sor_core::time::TimeGrid;
+use sor_core::UserPreferences;
+use sor_proto::Message;
+use sor_store::{ColumnType, Database, Predicate, Schema, Value};
+
+use crate::application::{ApplicationManager, ApplicationSpec};
+use crate::participation::{ParticipantStatus, ParticipationManager};
+use crate::processor::DataProcessor;
+use crate::ranker::{rank_category, CategoryRanking};
+use crate::user_info::UserInfoManager;
+use crate::ServerError;
+
+/// Database table holding distributed schedules (§II-B).
+pub const SCHEDULES_TABLE: &str = "schedules";
+
+/// The sensing server.
+pub struct SensingServer {
+    db: Database,
+    users: UserInfoManager,
+    apps: ApplicationManager,
+    participation: ParticipationManager,
+    processor: DataProcessor,
+    /// One online scheduler per application.
+    schedulers: BTreeMap<u64, OnlineScheduler>,
+    /// Last time each device token was heard from (liveness, §II-A's
+    /// Google-Cloud-Messaging fallback).
+    last_contact: BTreeMap<u64, f64>,
+    now: f64,
+}
+
+impl std::fmt::Debug for SensingServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensingServer")
+            .field("now", &self.now)
+            .field("applications", &self.apps.ids())
+            .finish()
+    }
+}
+
+impl SensingServer {
+    /// A fresh server with empty storage.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors during table installation.
+    pub fn new() -> Result<Self, ServerError> {
+        let mut db = Database::new();
+        UserInfoManager::install(&mut db)?;
+        DataProcessor::install(&mut db)?;
+        // §II-B: distributed schedules are also stored in the database.
+        db.create_table(
+            Schema::new(SCHEDULES_TABLE)
+                .column("task_id", ColumnType::Int)
+                .column("token", ColumnType::Int)
+                .column("sense_time", ColumnType::Float),
+        )?;
+        db.table_mut(SCHEDULES_TABLE)?.create_index("task_id")?;
+        Ok(SensingServer {
+            db,
+            users: UserInfoManager,
+            apps: ApplicationManager::new(),
+            participation: ParticipationManager::new(),
+            processor: DataProcessor,
+            schedulers: BTreeMap::new(),
+            last_contact: BTreeMap::new(),
+            now: 0.0,
+        })
+    }
+
+    /// Current server clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Read access to the database (reports, tests).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The application registry.
+    pub fn applications(&self) -> &ApplicationManager {
+        &self.apps
+    }
+
+    /// The participation manager.
+    pub fn participation(&self) -> &ParticipationManager {
+        &self.participation
+    }
+
+    /// Registers an application and creates its scheduler. One schedule
+    /// serves every feature of the application, so the coverage kernel
+    /// is the equal-weight composite of the per-feature Gaussian σ
+    /// kernels (§III: "different variance σ can be used to model
+    /// different sensing features").
+    ///
+    /// # Errors
+    ///
+    /// Core errors for a degenerate grid configuration.
+    pub fn register_application(&mut self, spec: ApplicationSpec) -> Result<(), ServerError> {
+        let grid = TimeGrid::new(0.0, spec.period_seconds, spec.instants)?;
+        let sigmas: Vec<f64> = spec
+            .features
+            .iter()
+            .map(|f| f.sigma.max(1e-6))
+            .filter(|s| s.is_finite())
+            .collect();
+        let scheduler = if sigmas.is_empty() {
+            OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+        } else {
+            OnlineScheduler::new(grid, CompositeCoverage::of_sigmas(&sigmas))
+        };
+        self.schedulers.insert(spec.app_id, scheduler);
+        self.apps.register(spec);
+        Ok(())
+    }
+
+    /// Advances the server clock: departure sweep plus scheduler time.
+    pub fn tick(&mut self, now: f64) {
+        assert!(now >= self.now, "server time went backwards");
+        self.now = now;
+        let gone = self.participation.sweep_departures(now);
+        for task_id in gone {
+            let task = self.participation.task(task_id).expect("just swept");
+            let (app_id, token) = (task.app_id, task.token);
+            if let Ok(Some(user)) = self.users.by_token(&self.db, token) {
+                if let Some(sched) = self.schedulers.get_mut(&app_id) {
+                    sched.depart(UserId(user.user_id as usize), now);
+                }
+            }
+        }
+        for sched in self.schedulers.values_mut() {
+            if now > sched.now() {
+                sched.advance_to(now);
+            }
+        }
+    }
+
+    /// Handles one decoded message from a phone, returning the replies
+    /// to send (each tagged with the destination token).
+    ///
+    /// # Errors
+    ///
+    /// Application/participation/storage errors. A location-mismatch on
+    /// admission is an error the caller may surface to the phone.
+    pub fn handle_message(&mut self, msg: &Message) -> Result<Vec<(u64, Message)>, ServerError> {
+        if let Some(token) = message_token(msg, &self.participation) {
+            self.last_contact.insert(token, self.now);
+        }
+        match msg {
+            Message::ParticipationRequest {
+                token,
+                app_id,
+                latitude,
+                longitude,
+                budget,
+                stay_seconds,
+            } => self.handle_participation(
+                *token,
+                *app_id,
+                *latitude,
+                *longitude,
+                *budget,
+                *stay_seconds,
+            ),
+            Message::SensedDataUpload { task_id, .. } => {
+                let task = self
+                    .participation
+                    .task(*task_id)
+                    .ok_or(ServerError::UnknownTask(*task_id))?;
+                let app_id = task.app_id;
+                // "directly store the binary message body into the
+                // database, which will be processed later".
+                self.processor.enqueue_raw(&mut self.db, app_id, &msg.encode())?;
+                Ok(Vec::new())
+            }
+            Message::TaskComplete { task_id, status } => {
+                let Some(task) = self.participation.task_mut(*task_id) else {
+                    return Err(ServerError::UnknownTask(*task_id));
+                };
+                task.status = if *status == 0 {
+                    ParticipantStatus::Finished
+                } else {
+                    ParticipantStatus::Error
+                };
+                let app_id = task.app_id;
+                let token = task.token;
+                let now = self.now;
+                if let Ok(Some(user)) = self.users.by_token(&self.db, token) {
+                    if let Some(sched) = self.schedulers.get_mut(&app_id) {
+                        sched.depart(UserId(user.user_id as usize), now);
+                    }
+                }
+                Ok(Vec::new())
+            }
+            Message::Ping { .. } | Message::PreferenceUpdate { .. } => Ok(Vec::new()),
+            Message::ScheduleAssignment { .. } | Message::WakeUp { .. } => Ok(Vec::new()),
+        }
+    }
+
+    fn handle_participation(
+        &mut self,
+        token: u64,
+        app_id: u64,
+        latitude: f64,
+        longitude: f64,
+        budget: u32,
+        stay_seconds: f64,
+    ) -> Result<Vec<(u64, Message)>, ServerError> {
+        let app = self
+            .apps
+            .get(app_id)
+            .ok_or(ServerError::UnknownApplication(app_id))?
+            .clone();
+        let user = self.users.register(&mut self.db, token, "participant")?;
+        let task = self.participation.admit(
+            &app,
+            token,
+            latitude,
+            longitude,
+            budget,
+            self.now,
+            stay_seconds,
+        )?;
+        let departure = task.departure;
+        let sched = self.schedulers.get_mut(&app_id).expect("registered with app");
+        let clamped_departure = departure.min(sched.grid().end());
+        sched.arrive(
+            UserId(user.user_id as usize),
+            self.now,
+            clamped_departure,
+            budget as usize,
+        );
+        // Distribute updated schedules to every active participant of
+        // this application (§II-B: "will also distribute the calculated
+        // schedules along with the corresponding Lua scripts").
+        self.distribute_schedules(app_id)
+    }
+
+    /// Builds ScheduleAssignment messages for all active tasks of one
+    /// application from the scheduler's current plan.
+    fn distribute_schedules(&mut self, app_id: u64) -> Result<Vec<(u64, Message)>, ServerError> {
+        let app = self
+            .apps
+            .get(app_id)
+            .ok_or(ServerError::UnknownApplication(app_id))?
+            .clone();
+        let sched = self.schedulers.get(&app_id).expect("registered with app");
+        let plan = sched.current_schedule();
+        let grid = *sched.grid();
+        let mut out = Vec::new();
+        let active: Vec<(u64, u64)> = self
+            .participation
+            .active_for(app_id)
+            .iter()
+            .map(|t| (t.task_id, t.token))
+            .collect();
+        for (task_id, token) in active {
+            let user = self
+                .users
+                .by_token(&self.db, token)?
+                .ok_or(ServerError::UnknownTask(task_id))?;
+            let times: Vec<f64> = plan
+                .for_user(UserId(user.user_id as usize))
+                .into_iter()
+                .map(|i| grid.time_of(i))
+                .filter(|&t| t > self.now) // only future readings travel
+                .collect();
+            if let Some(t) = self.participation.task_mut(task_id) {
+                t.status = ParticipantStatus::Running;
+            }
+            // Replace this task's stored schedule with the new plan.
+            self.db.delete_where(
+                SCHEDULES_TABLE,
+                &Predicate::eq("task_id", Value::Int(task_id as i64)),
+            )?;
+            for &t in &times {
+                self.db.insert(
+                    SCHEDULES_TABLE,
+                    vec![
+                        Value::Int(task_id as i64),
+                        Value::Int(token as i64),
+                        Value::Float(t),
+                    ],
+                )?;
+            }
+            out.push((
+                token,
+                Message::ScheduleAssignment {
+                    task_id,
+                    script: app.script.clone(),
+                    sense_times: times,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Runs the Data Processor pass: decode inbox, recompute features
+    /// for every application. Returns (records stored, blobs dropped).
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn process_data(&mut self) -> Result<(usize, usize), ServerError> {
+        let counts = self.processor.process_inbox(&mut self.db)?;
+        for app_id in self.apps.ids() {
+            let specs = self.apps.get(app_id).expect("listed").features.clone();
+            // Missing features are fine mid-experiment.
+            let _ = self.processor.compute_features(&mut self.db, app_id, &specs)?;
+        }
+        Ok(counts)
+    }
+
+    /// Ranks the places of one category for one user (§IV).
+    ///
+    /// # Errors
+    ///
+    /// Ranking/assembly errors.
+    pub fn rank(&self, category: &str, prefs: &UserPreferences) -> Result<CategoryRanking, ServerError> {
+        rank_category(&self.db, &self.apps, category, prefs)
+    }
+
+    /// The sense times stored in the database for a task, ascending —
+    /// the §II-B audit trail of what was distributed.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn stored_schedule(&self, task_id: u64) -> Result<Vec<f64>, ServerError> {
+        let rows = self.db.scan(
+            SCHEDULES_TABLE,
+            &Predicate::eq("task_id", Value::Int(task_id as i64)),
+        )?;
+        let mut times: Vec<f64> = rows
+            .iter()
+            .map(|r| r.values[2].as_float().expect("schema"))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        Ok(times)
+    }
+
+    /// Pages phones that have not been heard from for more than
+    /// `silence_threshold` seconds while still owning an active task —
+    /// the paper's "ask the mobile device to ping it via a Google Cloud
+    /// Messaging server" fallback. Returns the WakeUp messages to send.
+    pub fn page_quiet_phones(&mut self, silence_threshold: f64) -> Vec<(u64, Message)> {
+        let now = self.now;
+        let active_tokens: std::collections::BTreeSet<u64> = self
+            .participation
+            .all()
+            .filter(|t| {
+                matches!(
+                    t.status,
+                    crate::participation::ParticipantStatus::Running
+                        | crate::participation::ParticipantStatus::WaitingForSchedule
+                )
+            })
+            .map(|t| t.token)
+            .collect();
+        let mut pages = Vec::new();
+        for token in active_tokens {
+            let last = self.last_contact.get(&token).copied().unwrap_or(0.0);
+            if now - last > silence_threshold {
+                // Re-arm the timer so we do not page every tick.
+                self.last_contact.insert(token, now);
+                pages.push((token, Message::WakeUp { token }));
+            }
+        }
+        pages
+    }
+
+    /// Reads one computed feature value (reports, tests).
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn feature_value(&self, app_id: u64, feature: &str) -> Result<Option<f64>, ServerError> {
+        self.processor.feature_value(&self.db, app_id, feature)
+    }
+}
+
+/// The device token a message came from, when the message carries one
+/// (uploads and completions are resolved through their task).
+fn message_token(msg: &Message, participation: &ParticipationManager) -> Option<u64> {
+    match msg {
+        Message::ParticipationRequest { token, .. }
+        | Message::Ping { token, .. }
+        | Message::PreferenceUpdate { token, .. } => Some(*token),
+        Message::SensedDataUpload { task_id, .. } | Message::TaskComplete { task_id, .. } => {
+            participation.task(*task_id).map(|t| t.token)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{Extractor, FeatureSpec};
+    use sor_proto::SensedRecord;
+    use sor_sensors::SensorKind;
+
+    fn cafe_app(app_id: u64, name: &str) -> ApplicationSpec {
+        ApplicationSpec {
+            app_id,
+            name: name.into(),
+            creator: "owner".into(),
+            category: "coffee-shop".into(),
+            latitude: 43.05,
+            longitude: -76.15,
+            radius_m: 150.0,
+            script: "get_temperature_readings(3)".into(),
+            period_seconds: 3600.0,
+            instants: 360,
+            features: vec![FeatureSpec::new(
+                "temperature",
+                "°F",
+                Extractor::Mean { sensor: SensorKind::Temperature.wire_id() },
+                60.0,
+            )],
+        }
+    }
+
+    fn server_with_app() -> SensingServer {
+        let mut s = SensingServer::new().unwrap();
+        s.register_application(cafe_app(1, "cafe")).unwrap();
+        s
+    }
+
+    fn join(s: &mut SensingServer, token: u64, budget: u32) -> Vec<(u64, Message)> {
+        s.handle_message(&Message::ParticipationRequest {
+            token,
+            app_id: 1,
+            latitude: 43.0501,
+            longitude: -76.1501,
+            budget,
+            stay_seconds: 1800.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn participation_produces_schedule_assignment() {
+        let mut s = server_with_app();
+        let replies = join(&mut s, 7, 5);
+        assert_eq!(replies.len(), 1);
+        let (token, Message::ScheduleAssignment { task_id, script, sense_times }) = &replies[0]
+        else {
+            panic!("{replies:?}")
+        };
+        assert_eq!(*token, 7);
+        assert_eq!(*task_id, 0);
+        assert_eq!(script, "get_temperature_readings(3)");
+        assert_eq!(sense_times.len(), 5, "budget fully scheduled");
+        // All times in the future, inside the stay.
+        for &t in sense_times {
+            assert!(t > 0.0 && t <= 1800.0);
+        }
+    }
+
+    #[test]
+    fn unknown_app_rejected() {
+        let mut s = server_with_app();
+        let err = s
+            .handle_message(&Message::ParticipationRequest {
+                token: 7,
+                app_id: 99,
+                latitude: 43.05,
+                longitude: -76.15,
+                budget: 5,
+                stay_seconds: 0.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, ServerError::UnknownApplication(99));
+    }
+
+    #[test]
+    fn far_away_user_rejected() {
+        let mut s = server_with_app();
+        let err = s
+            .handle_message(&Message::ParticipationRequest {
+                token: 7,
+                app_id: 1,
+                latitude: 44.0,
+                longitude: -76.15,
+                budget: 5,
+                stay_seconds: 0.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServerError::LocationMismatch { .. }));
+    }
+
+    #[test]
+    fn second_arrival_redistributes_both_schedules() {
+        let mut s = server_with_app();
+        join(&mut s, 7, 5);
+        s.tick(600.0);
+        let replies = join(&mut s, 8, 4);
+        // Both active participants get (re)assignments.
+        assert_eq!(replies.len(), 2);
+        let tokens: Vec<u64> = replies.iter().map(|(t, _)| *t).collect();
+        assert!(tokens.contains(&7) && tokens.contains(&8));
+        // The late joiner's times are all after its arrival.
+        for (token, m) in &replies {
+            if *token == 8 {
+                let Message::ScheduleAssignment { sense_times, .. } = m else { panic!() };
+                assert!(sense_times.iter().all(|&t| t > 600.0));
+            }
+        }
+    }
+
+    #[test]
+    fn upload_flows_to_features() {
+        let mut s = server_with_app();
+        join(&mut s, 7, 5);
+        let upload = Message::SensedDataUpload {
+            task_id: 0,
+            records: vec![SensedRecord {
+                timestamp: 100.0,
+                window: 1.5,
+                sensor: SensorKind::Temperature.wire_id(),
+                values: vec![70.0, 72.0],
+            }],
+        };
+        s.handle_message(&upload).unwrap();
+        let (stored, dropped) = s.process_data().unwrap();
+        assert_eq!((stored, dropped), (1, 0));
+        assert_eq!(s.feature_value(1, "temperature").unwrap(), Some(71.0));
+    }
+
+    #[test]
+    fn upload_for_unknown_task_rejected() {
+        let mut s = server_with_app();
+        let upload = Message::SensedDataUpload { task_id: 42, records: vec![] };
+        assert_eq!(
+            s.handle_message(&upload).unwrap_err(),
+            ServerError::UnknownTask(42)
+        );
+    }
+
+    #[test]
+    fn task_complete_finishes_participant() {
+        let mut s = server_with_app();
+        join(&mut s, 7, 5);
+        s.handle_message(&Message::TaskComplete { task_id: 0, status: 0 }).unwrap();
+        assert_eq!(
+            s.participation().task(0).unwrap().status,
+            ParticipantStatus::Finished
+        );
+        let mut s2 = server_with_app();
+        join(&mut s2, 7, 5);
+        s2.handle_message(&Message::TaskComplete { task_id: 0, status: 3 }).unwrap();
+        assert_eq!(s2.participation().task(0).unwrap().status, ParticipantStatus::Error);
+    }
+
+    #[test]
+    fn departure_sweep_ends_participation() {
+        let mut s = server_with_app();
+        join(&mut s, 7, 5); // stay 1800 s
+        s.tick(2000.0);
+        assert_eq!(
+            s.participation().task(0).unwrap().status,
+            ParticipantStatus::Finished
+        );
+    }
+
+    #[test]
+    fn distributed_schedules_are_stored() {
+        let mut s = server_with_app();
+        let replies = join(&mut s, 7, 5);
+        let (_, Message::ScheduleAssignment { task_id, sense_times, .. }) = &replies[0]
+        else {
+            panic!()
+        };
+        let mut sent = sense_times.clone();
+        sent.sort_by(f64::total_cmp);
+        assert_eq!(s.stored_schedule(*task_id).unwrap(), sent);
+        // A replan replaces the stored rows rather than appending.
+        s.tick(300.0);
+        join(&mut s, 8, 4);
+        let stored = s.stored_schedule(*task_id).unwrap();
+        let expected: Vec<f64> = stored.clone(); // must stay deduplicated
+        assert_eq!(stored, expected);
+        assert!(stored.len() <= 5);
+    }
+
+    #[test]
+    fn quiet_phone_is_paged_once() {
+        let mut s = server_with_app();
+        join(&mut s, 7, 5);
+        // No contact for 10 minutes.
+        s.tick(600.0);
+        let pages = s.page_quiet_phones(300.0);
+        assert_eq!(pages.len(), 1);
+        assert!(matches!(pages[0], (7, Message::WakeUp { token: 7 })));
+        // Immediately asking again: timer was re-armed.
+        assert!(s.page_quiet_phones(300.0).is_empty());
+        // A ping resets it for real.
+        s.tick(700.0);
+        s.handle_message(&Message::Ping { token: 7, uptime_ms: 1 }).unwrap();
+        s.tick(800.0);
+        assert!(s.page_quiet_phones(300.0).is_empty());
+        s.tick(1200.0);
+        assert_eq!(s.page_quiet_phones(300.0).len(), 1);
+    }
+
+    #[test]
+    fn finished_tasks_are_not_paged() {
+        let mut s = server_with_app();
+        join(&mut s, 7, 5);
+        s.handle_message(&Message::TaskComplete { task_id: 0, status: 0 }).unwrap();
+        s.tick(5_000.0);
+        assert!(s.page_quiet_phones(300.0).is_empty());
+    }
+
+    #[test]
+    fn rank_over_two_cafes() {
+        let mut s = SensingServer::new().unwrap();
+        s.register_application(cafe_app(1, "cold cafe")).unwrap();
+        s.register_application(cafe_app(2, "warm cafe")).unwrap();
+        for (app_id, temp) in [(1u64, 64.0), (2, 74.0)] {
+            // Admit someone so uploads have a task.
+            let replies = s
+                .handle_message(&Message::ParticipationRequest {
+                    token: app_id * 10,
+                    app_id,
+                    latitude: 43.0501,
+                    longitude: -76.1501,
+                    budget: 3,
+                    stay_seconds: 600.0,
+                })
+                .unwrap();
+            let (_, Message::ScheduleAssignment { task_id, .. }) = &replies[replies.len() - 1]
+            else {
+                panic!()
+            };
+            s.handle_message(&Message::SensedDataUpload {
+                task_id: *task_id,
+                records: vec![SensedRecord {
+                    timestamp: 10.0,
+                    window: 1.0,
+                    sensor: SensorKind::Temperature.wire_id(),
+                    values: vec![temp],
+                }],
+            })
+            .unwrap();
+        }
+        s.process_data().unwrap();
+        let prefs = sor_core::UserPreferences::new(
+            "warm-lover",
+            vec![sor_core::ranking::Preference::value(75.0, 5)],
+        );
+        let ranking = s.rank("coffee-shop", &prefs).unwrap();
+        assert_eq!(ranking.order, vec!["warm cafe", "cold cafe"]);
+    }
+}

@@ -1,0 +1,134 @@
+//! The User Info Manager (§II-B): "userID, name, token (used to
+//! uniquely identify a mobile device)".
+
+use sor_store::{ColumnType, Database, Predicate, Schema, Value};
+
+use crate::ServerError;
+
+/// Table name in the database.
+pub const USERS_TABLE: &str = "users";
+
+/// Manages user records in the shared database.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UserInfoManager;
+
+/// A registered user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserRecord {
+    /// Dense user id.
+    pub user_id: u64,
+    /// Device token.
+    pub token: u64,
+    /// Display name.
+    pub name: String,
+}
+
+impl UserInfoManager {
+    /// Creates the backing table.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors (duplicate table).
+    pub fn install(db: &mut Database) -> Result<(), ServerError> {
+        db.create_table(
+            Schema::new(USERS_TABLE)
+                .column("user_id", ColumnType::Int)
+                .column("token", ColumnType::Int)
+                .column("name", ColumnType::Text),
+        )?;
+        db.table_mut(USERS_TABLE)?.create_index("token")?;
+        Ok(())
+    }
+
+    /// Registers a device token, minting a user id; idempotent per
+    /// token (re-registration returns the existing record).
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn register(
+        &self,
+        db: &mut Database,
+        token: u64,
+        name: &str,
+    ) -> Result<UserRecord, ServerError> {
+        if let Some(existing) = self.by_token(db, token)? {
+            return Ok(existing);
+        }
+        let user_id = db.table(USERS_TABLE)?.len() as u64;
+        db.insert(
+            USERS_TABLE,
+            vec![
+                Value::Int(user_id as i64),
+                Value::Int(token as i64),
+                Value::text(name),
+            ],
+        )?;
+        Ok(UserRecord { user_id, token, name: name.to_string() })
+    }
+
+    /// Looks a user up by device token.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn by_token(&self, db: &Database, token: u64) -> Result<Option<UserRecord>, ServerError> {
+        let rows = db.scan(USERS_TABLE, &Predicate::eq("token", Value::Int(token as i64)))?;
+        Ok(rows.first().map(|r| UserRecord {
+            user_id: r.values[0].as_int().expect("schema") as u64,
+            token: r.values[1].as_int().expect("schema") as u64,
+            name: r.values[2].as_text().expect("schema").to_string(),
+        }))
+    }
+
+    /// Number of registered users.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn count(&self, db: &Database) -> Result<usize, ServerError> {
+        Ok(db.table(USERS_TABLE)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        UserInfoManager::install(&mut db).unwrap();
+        db
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut db = db();
+        let mgr = UserInfoManager;
+        let u = mgr.register(&mut db, 777, "alice").unwrap();
+        assert_eq!(u.user_id, 0);
+        let found = mgr.by_token(&db, 777).unwrap().unwrap();
+        assert_eq!(found, u);
+        assert!(mgr.by_token(&db, 999).unwrap().is_none());
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_token() {
+        let mut db = db();
+        let mgr = UserInfoManager;
+        let a = mgr.register(&mut db, 5, "bob").unwrap();
+        let b = mgr.register(&mut db, 5, "robert").unwrap();
+        assert_eq!(a, b, "re-registration returns the original record");
+        assert_eq!(mgr.count(&db).unwrap(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut db = db();
+        let mgr = UserInfoManager;
+        for (i, token) in [100, 200, 300].iter().enumerate() {
+            let u = mgr.register(&mut db, *token, "u").unwrap();
+            assert_eq!(u.user_id, i as u64);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The "simple Visualization module" (§II-B): renders feature data as
+//! ASCII bar charts and CSV so "users can view them easily" — and so the
+//! experiment binaries can print Fig. 6 / Fig. 10 style panels.
+
+/// One bar-chart series: a label per place and one value each.
+#[derive(Debug, Clone)]
+pub struct FeaturePanel {
+    /// Panel title, e.g. "Temperature (°F)".
+    pub title: String,
+    /// (place, value) pairs.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl FeaturePanel {
+    /// Builds a panel.
+    pub fn new(title: impl Into<String>, bars: Vec<(String, f64)>) -> Self {
+        FeaturePanel { title: title.into(), bars }
+    }
+
+    /// Renders as a fixed-width ASCII bar chart. Bars scale to the
+    /// maximum absolute value; negative values (e.g. dBm) grow leftward
+    /// conceptually but are drawn by magnitude with the sign in the
+    /// number column.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let n = ((value.abs() / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {label:<label_w$} |{} {value:.2}\n",
+                "#".repeat(n.min(width)),
+            ));
+        }
+        out
+    }
+}
+
+/// Renders a numeric series as a one-line Unicode sparkline — used for
+/// coverage profiles (which instants of the period are covered) and
+/// quick feature timelines.
+///
+/// # Example
+///
+/// ```
+/// let s = sor_server::viz::sparkline(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+/// assert_eq!(s.chars().count(), 5);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Downsamples a long series to `width` buckets (bucket mean) before
+/// sparklining — a 1080-instant coverage profile fits in a terminal row.
+pub fn sparkline_fit(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    if values.len() <= width {
+        return sparkline(values);
+    }
+    let bucket = values.len() as f64 / width as f64;
+    let compact: Vec<f64> = (0..width)
+        .map(|i| {
+            let lo = (i as f64 * bucket) as usize;
+            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len()).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    sparkline(&compact)
+}
+
+/// Renders panels side by side as CSV: one row per place, one column per
+/// panel (a Fig. 6/Fig. 10 table).
+pub fn to_csv(panels: &[FeaturePanel]) -> String {
+    let mut out = String::from("place");
+    for p in panels {
+        out.push(',');
+        out.push_str(&p.title.replace(',', ";"));
+    }
+    out.push('\n');
+    let places: Vec<&String> = panels
+        .first()
+        .map(|p| p.bars.iter().map(|(l, _)| l).collect())
+        .unwrap_or_default();
+    for (i, place) in places.iter().enumerate() {
+        out.push_str(place);
+        for p in panels {
+            out.push(',');
+            out.push_str(&format!("{:.4}", p.bars[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel() -> FeaturePanel {
+        FeaturePanel::new(
+            "Temperature (°F)",
+            vec![
+                ("Green Lake Trail".into(), 44.0),
+                ("Long Trail".into(), 48.0),
+                ("Cliff Trail".into(), 50.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let s = panel().render(20);
+        assert!(s.contains("Temperature"));
+        assert!(s.contains("Green Lake Trail"));
+        assert!(s.contains("50.00"));
+    }
+
+    #[test]
+    fn longest_bar_is_the_maximum() {
+        let s = panel().render(20);
+        let bars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert_eq!(bars.len(), 3);
+        assert_eq!(*bars.iter().max().unwrap(), bars[2]); // Cliff hottest
+        assert_eq!(bars[2], 20);
+    }
+
+    #[test]
+    fn negative_values_render_by_magnitude() {
+        let p = FeaturePanel::new(
+            "WiFi (dBm)",
+            vec![("A".into(), -50.0), ("B".into(), -70.0)],
+        );
+        let s = p.render(10);
+        assert!(s.contains("-50.00"));
+        let bars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert!(bars[1] > bars[0], "stronger magnitude draws longer");
+    }
+
+    #[test]
+    fn csv_rows_per_place() {
+        let csv = to_csv(&[panel()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("place,"));
+        assert!(lines[1].starts_with("Green Lake Trail,44.0000"));
+    }
+
+    #[test]
+    fn sparkline_levels_track_values() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        assert!(chars[2] != '▁' && chars[2] != '█');
+        assert_eq!(sparkline(&[]), "");
+        // Constant series renders without NaN panic.
+        assert_eq!(sparkline(&[5.0, 5.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn sparkline_fit_downsamples() {
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = sparkline_fit(&long, 40);
+        assert_eq!(s.chars().count(), 40);
+        // Monotone input → non-decreasing glyph levels.
+        let glyphs: Vec<char> = s.chars().collect();
+        let level = |c: char| "▁▂▃▄▅▆▇█".chars().position(|g| g == c).unwrap();
+        for w in glyphs.windows(2) {
+            assert!(level(w[1]) >= level(w[0]));
+        }
+        // Short input passes through.
+        assert_eq!(sparkline_fit(&[1.0, 2.0], 40).chars().count(), 2);
+        assert_eq!(sparkline_fit(&long, 0), "");
+    }
+
+    #[test]
+    fn empty_panels_are_fine() {
+        assert_eq!(to_csv(&[]), "place\n");
+        let p = FeaturePanel::new("empty", vec![]);
+        assert!(p.render(10).contains("empty"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the server's feature extraction and the
+//! inbox-to-features pipeline.
+
+use proptest::prelude::*;
+use sor_proto::{Message, SensedRecord};
+use sor_server::processor::DataProcessor;
+use sor_server::{Extractor, FeatureSpec};
+use sor_store::Database;
+
+fn mean_spec() -> FeatureSpec {
+    FeatureSpec::new("m", "", Extractor::Mean { sensor: 1 }, 10.0)
+}
+
+proptest! {
+    /// Mean extraction equals the arithmetic mean of every value of the
+    /// matching sensor, whatever the record layout.
+    #[test]
+    fn mean_matches_naive(
+        groups in proptest::collection::vec(
+            (0u16..3, proptest::collection::vec(-1e6f64..1e6, 1..6)),
+            1..10
+        )
+    ) {
+        let records: Vec<sor_server::feature::RawRecord> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, (sensor, values))| sor_server::feature::RawRecord {
+                timestamp: i as f64,
+                window: 1.0,
+                sensor: *sensor,
+                values: values.clone(),
+            })
+            .collect();
+        let matching: Vec<f64> = groups
+            .iter()
+            .filter(|(s, _)| *s == 1)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        let result = mean_spec().extract(&records);
+        if matching.is_empty() {
+            prop_assert!(result.is_err());
+        } else {
+            let expected = matching.iter().sum::<f64>() / matching.len() as f64;
+            let got = result.unwrap();
+            prop_assert!((got - expected).abs() < 1e-6_f64.max(expected.abs() * 1e-12));
+        }
+    }
+
+    /// Windowed deviation is translation-invariant (adding a constant to
+    /// every sample of a window does not change the magnitude spread for
+    /// arity 1) and zero for constant windows.
+    #[test]
+    fn windowed_deviation_properties(
+        window in proptest::collection::vec(0.0f64..1e3, 2..12),
+        shift in 0.0f64..100.0,
+    ) {
+        let spec = FeatureSpec::new(
+            "d",
+            "",
+            Extractor::WindowedDeviation { sensor: 1, arity: 1 },
+            5.0,
+        );
+        let rec = |values: Vec<f64>| sor_server::feature::RawRecord {
+            timestamp: 0.0,
+            window: 1.0,
+            sensor: 1,
+            values,
+        };
+        let base = spec.extract(&[rec(window.clone())]).unwrap();
+        let shifted: Vec<f64> = window.iter().map(|v| v + shift).collect();
+        let moved = spec.extract(&[rec(shifted)]).unwrap();
+        // Magnitude of scalars is |x|; for non-negative windows the
+        // shift must not change the deviation.
+        prop_assert!((base - moved).abs() < 1e-6, "{base} vs {moved}");
+        let constant = spec.extract(&[rec(vec![42.0; window.len()])]).unwrap();
+        prop_assert!(constant.abs() < 1e-9);
+    }
+
+    /// The inbox pipeline stores exactly the uploaded records — across
+    /// arbitrary batching — and corrupt interleaved blobs never abort it.
+    #[test]
+    fn inbox_pipeline_is_lossless(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u16..4, -1e3f64..1e3), 0..5),
+            0..6
+        ),
+        garbage_positions in proptest::collection::vec(any::<bool>(), 0..6),
+    ) {
+        let mut db = Database::new();
+        DataProcessor::install(&mut db).unwrap();
+        let p = DataProcessor;
+        let mut expected = 0usize;
+        for (i, batch) in batches.iter().enumerate() {
+            if garbage_positions.get(i).copied().unwrap_or(false) {
+                p.enqueue_raw(&mut db, 1, b"not a frame").unwrap();
+            }
+            let records: Vec<SensedRecord> = batch
+                .iter()
+                .map(|&(sensor, v)| SensedRecord {
+                    timestamp: i as f64,
+                    window: 1.0,
+                    sensor,
+                    values: vec![v],
+                })
+                .collect();
+            expected += records.len();
+            let frame = Message::SensedDataUpload { task_id: 1, records }.encode();
+            p.enqueue_raw(&mut db, 1, &frame).unwrap();
+        }
+        let (stored, _dropped) = p.process_inbox(&mut db).unwrap();
+        prop_assert_eq!(stored, expected);
+        prop_assert_eq!(p.records_of(&db, 1).unwrap().len(), expected);
+        // Idempotent: a second pass finds an empty inbox.
+        let (again, dropped_again) = p.process_inbox(&mut db).unwrap();
+        prop_assert_eq!((again, dropped_again), (0, 0));
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulation harness for the SOR reproduction (§V).
+//!
+//! - [`engine`]: a small generic discrete-event simulator (time-ordered
+//!   event queue with stable FIFO tie-breaking).
+//! - [`transport`]: an in-memory message channel with latency, loss and
+//!   optional corruption — every hop round-trips through the real
+//!   `sor-proto` binary codec, so the CRC path is exercised end to end.
+//! - [`world`]: [`world::SorWorld`] wires real [`sor_server`] and
+//!   [`sor_frontend`] instances over the transport and drives them from
+//!   the event queue.
+//! - [`scenario`]: the paper's experiments as reusable builders — the
+//!   coffee-shop and hiking-trail field tests (§V-A/B) and the
+//!   large-scale scheduling simulation (§V-C), plus the five virtual
+//!   user profiles (Alice, Bob, Chris, David, Emma) of Fig. 7/Fig. 11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod scenario;
+pub mod transport;
+pub mod world;
+
+pub use engine::EventQueue;
+pub use transport::{Endpoint, Transport, TransportConfig};
+pub use world::SorWorld;

@@ -1,0 +1,133 @@
+//! The five virtual users of §V (Fig. 7 hiker profiles, Fig. 11
+//! customer profiles).
+//!
+//! Preferred values and weights follow the paper's narratives:
+//!
+//! - **Alice** — "an experienced hiker who prefers difficult trails. So
+//!   she sets all the preferred values for the roughness, curvature and
+//!   altitude change to MAX, and sets all their weights to 5."
+//! - **Bob** — "a beginner who likes dry and even trails"; he prefers a
+//!   mild Long-Trail-like temperature, weighs dryness heavily, and
+//!   de-emphasises (but does not ignore) difficulty.
+//! - **Chris** — "a beginner who likes jogging near a lake/sea/river":
+//!   high humidity preferred, easy terrain.
+//! - **David** — "a social person who likes to hang out with friends in
+//!   coffee shops so he prefers a not-so-bright and warm place but does
+//!   not really care about noise."
+//! - **Emma** — "a student who likes to read and study in relatively
+//!   warm coffee shops": warmth first, quiet second.
+//!
+//! Feature orders must match the category definitions in
+//! [`crate::scenario::fieldtest`]: trails are
+//! `[temperature, humidity, roughness, curvature, altitude-change]`,
+//! coffee shops `[temperature, brightness, noise, wifi]`.
+
+use sor_core::ranking::Preference;
+use sor_core::UserPreferences;
+
+/// Alice (Fig. 7a): difficulty maxed at weight 5.
+pub fn alice() -> UserPreferences {
+    UserPreferences::new(
+        "Alice",
+        vec![
+            Preference::largest(0), // temperature: don't care
+            Preference::largest(0), // humidity: don't care
+            Preference::largest(5), // roughness: MAX, weight 5
+            Preference::largest(5), // curvature: MAX, weight 5
+            Preference::largest(5), // altitude change: MAX, weight 5
+        ],
+    )
+}
+
+/// Bob (Fig. 7b): dry and even, mild temperatures.
+pub fn bob() -> UserPreferences {
+    UserPreferences::new(
+        "Bob",
+        vec![
+            Preference::value(48.0, 5), // mild late-fall hiking weather
+            Preference::smallest(4),    // dry matters a lot
+            Preference::smallest(1),    // gentle surface
+            Preference::smallest(1),    // gentle curves
+            Preference::smallest(1),    // little climbing
+        ],
+    )
+}
+
+/// Chris (Fig. 7c): jogging near water, easy terrain.
+pub fn chris() -> UserPreferences {
+    UserPreferences::new(
+        "Chris",
+        vec![
+            Preference::largest(0),  // temperature: don't care
+            Preference::largest(5),  // near water → humid
+            Preference::smallest(3), // smooth for jogging
+            Preference::smallest(2),
+            Preference::smallest(3), // flat for jogging
+        ],
+    )
+}
+
+/// David (Fig. 11a): warm, not-so-bright, noise-indifferent.
+pub fn david() -> UserPreferences {
+    UserPreferences::new(
+        "David",
+        vec![
+            Preference::value(75.0, 4), // warm
+            Preference::smallest(4),    // not-so-bright
+            Preference::largest(0),     // noise: don't care
+            Preference::largest(1),     // wifi: nice to have
+        ],
+    )
+}
+
+/// Emma (Fig. 11b): relatively warm, quiet enough to study.
+pub fn emma() -> UserPreferences {
+    UserPreferences::new(
+        "Emma",
+        vec![
+            Preference::value(69.5, 5), // relatively warm
+            Preference::largest(1),     // decent light to read
+            Preference::smallest(2),    // quiet
+            Preference::largest(1),     // wifi for studying
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trail_profiles_cover_five_features() {
+        for p in [alice(), bob(), chris()] {
+            assert_eq!(p.len(), 5, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn coffee_profiles_cover_four_features() {
+        for p in [david(), emma()] {
+            assert_eq!(p.len(), 4, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn alice_ignores_weather() {
+        let a = alice();
+        assert!(a.preferences[0].weight.is_zero());
+        assert!(a.preferences[1].weight.is_zero());
+        assert!(!a.preferences[2].weight.is_zero());
+    }
+
+    #[test]
+    fn profiles_have_distinct_names() {
+        let names: Vec<String> = [alice(), bob(), chris(), david(), emma()]
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! In-memory lossy transport.
+//!
+//! The paper ships binary message bodies over HTTP; here each hop
+//! serialises the [`sor_proto::Message`] to its checksummed frame,
+//! optionally drops or corrupts it, and delivers the *bytes* — the
+//! receiver must decode and may reject. This makes the codec's
+//! integrity machinery load-bearing in every simulation.
+
+use sor_proto::Message;
+use sor_sensors::noise::HashNoise;
+
+/// Who a frame is addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The sensing server.
+    Server,
+    /// Phone `i` (index into the world's phone list).
+    Phone(usize),
+}
+
+/// Transport behaviour knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// One-way delivery latency (seconds).
+    pub latency: f64,
+    /// Probability a frame is silently dropped.
+    pub loss_rate: f64,
+    /// Probability a delivered frame has one bit flipped (the CRC should
+    /// catch it downstream).
+    pub corruption_rate: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig { latency: 0.05, loss_rate: 0.0, corruption_rate: 0.0, seed: 1 }
+    }
+}
+
+/// A frame in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlight {
+    /// Delivery time.
+    pub deliver_at: f64,
+    /// Destination.
+    pub to: Endpoint,
+    /// The (possibly corrupted) frame bytes.
+    pub frame: Vec<u8>,
+}
+
+/// The transport: stateless beyond its RNG counter; the caller owns the
+/// event queue and schedules deliveries.
+#[derive(Debug)]
+pub struct Transport {
+    cfg: TransportConfig,
+    noise: HashNoise,
+    counter: u64,
+    sent: u64,
+    dropped: u64,
+    corrupted: u64,
+}
+
+impl Transport {
+    /// A transport with the given behaviour.
+    pub fn new(cfg: TransportConfig) -> Self {
+        Transport {
+            cfg,
+            noise: HashNoise::new(cfg.seed),
+            counter: 0,
+            sent: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Perfect transport (no loss, no corruption, default latency).
+    pub fn perfect() -> Self {
+        Transport::new(TransportConfig::default())
+    }
+
+    /// Sends a message at time `now`; returns the in-flight frame, or
+    /// `None` if the network dropped it.
+    pub fn send(&mut self, now: f64, to: Endpoint, msg: &Message) -> Option<InFlight> {
+        self.counter += 1;
+        self.sent += 1;
+        if self.noise.uniform(self.counter, now) < self.cfg.loss_rate {
+            self.dropped += 1;
+            return None;
+        }
+        let mut frame = msg.encode();
+        if self.noise.uniform(self.counter ^ 0xC0, now) < self.cfg.corruption_rate {
+            let idx =
+                (self.noise.uniform(self.counter ^ 0xC1, now) * frame.len() as f64) as usize;
+            let bit = (self.noise.uniform(self.counter ^ 0xC2, now) * 8.0) as u32 % 8;
+            let idx = idx.min(frame.len() - 1);
+            frame[idx] ^= 1 << bit;
+            self.corrupted += 1;
+        }
+        Some(InFlight { deliver_at: now + self.cfg.latency, to, frame })
+    }
+
+    /// Frames handed to `send` so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames the network dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames delivered with injected corruption.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Message {
+        Message::Ping { token: 9, uptime_ms: 100 }
+    }
+
+    #[test]
+    fn perfect_transport_delivers_decodable_frames() {
+        let mut t = Transport::perfect();
+        let f = t.send(10.0, Endpoint::Server, &msg()).unwrap();
+        assert_eq!(f.deliver_at, 10.05);
+        assert_eq!(Message::decode(&f.frame).unwrap(), msg());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut t = Transport::new(TransportConfig { loss_rate: 1.0, ..Default::default() });
+        for i in 0..50 {
+            assert!(t.send(i as f64, Endpoint::Server, &msg()).is_none());
+        }
+        assert_eq!(t.dropped(), 50);
+    }
+
+    #[test]
+    fn partial_loss_is_roughly_proportional() {
+        let mut t = Transport::new(TransportConfig { loss_rate: 0.3, ..Default::default() });
+        let mut delivered = 0;
+        for i in 0..2000 {
+            if t.send(i as f64, Endpoint::Server, &msg()).is_some() {
+                delivered += 1;
+            }
+        }
+        let rate = delivered as f64 / 2000.0;
+        assert!((rate - 0.7).abs() < 0.05, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn corruption_is_caught_by_crc() {
+        let mut t = Transport::new(TransportConfig {
+            corruption_rate: 1.0,
+            ..Default::default()
+        });
+        let mut rejected = 0;
+        for i in 0..100 {
+            let f = t.send(i as f64, Endpoint::Server, &msg()).unwrap();
+            if Message::decode(&f.frame).is_err() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 100, "every single-bit flip must be detected");
+        assert_eq!(t.corrupted(), 100);
+    }
+
+    #[test]
+    fn transport_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = Transport::new(TransportConfig {
+                loss_rate: 0.5,
+                seed,
+                ..Default::default()
+            });
+            (0..100)
+                .map(|i| t.send(i as f64, Endpoint::Server, &msg()).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

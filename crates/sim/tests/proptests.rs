@@ -1,0 +1,119 @@
+//! World-level property tests: whatever the event schedule and network
+//! conditions, the simulation never panics and its counters stay
+//! consistent.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sor_frontend::MobileFrontend;
+use sor_sensors::environment::presets;
+use sor_sensors::{SensorKind, SensorManager, SimulatedProvider};
+use sor_server::{ApplicationSpec, SensingServer};
+use sor_sim::scenario::{coffee_features, COFFEE_SCRIPT};
+use sor_sim::{SorWorld, Transport, TransportConfig};
+
+fn build_world(
+    loss: f64,
+    corruption: f64,
+    seed: u64,
+    phones: usize,
+) -> (SorWorld, (f64, f64)) {
+    let env = Arc::new(presets::starbucks(seed));
+    use sor_sensors::Environment;
+    let (lat, lon) = env.location();
+    let mut server = SensingServer::new().unwrap();
+    server
+        .register_application(ApplicationSpec {
+            app_id: 1,
+            name: "shop".into(),
+            creator: "pt".into(),
+            category: "coffee-shop".into(),
+            latitude: lat,
+            longitude: lon,
+            radius_m: 300.0,
+            script: COFFEE_SCRIPT.into(),
+            period_seconds: 900.0,
+            instants: 90,
+            features: coffee_features(),
+        })
+        .unwrap();
+    let mut world = SorWorld::new(
+        server,
+        Transport::new(TransportConfig {
+            loss_rate: loss,
+            corruption_rate: corruption,
+            seed,
+            ..Default::default()
+        }),
+    );
+    for p in 0..phones {
+        let mut mgr = SensorManager::new();
+        for kind in [
+            SensorKind::Temperature,
+            SensorKind::Light,
+            SensorKind::Microphone,
+            SensorKind::WifiRssi,
+            SensorKind::Gps,
+        ] {
+            mgr.register(SimulatedProvider::new(kind, env.clone() as Arc<dyn Environment>));
+        }
+        world.add_phone(MobileFrontend::new(p as u64 + 1, mgr));
+    }
+    (world, (lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random scan times / budgets / stays over a lossy, corrupting
+    /// network: no panics, consistent counters, and every accepted
+    /// upload decodable downstream.
+    #[test]
+    fn chaotic_worlds_stay_consistent(
+        loss in 0.0f64..0.5,
+        corruption in 0.0f64..0.3,
+        seed in 0u64..10_000,
+        scans in proptest::collection::vec(
+            (0usize..3, 0.0f64..600.0, 0u32..8, 0.0f64..900.0),
+            0..8
+        ),
+    ) {
+        let (mut world, _) = build_world(loss, corruption, seed, 3);
+        for &(phone, at, budget, stay) in &scans {
+            world.schedule_scan(at, phone, 1, budget, stay);
+        }
+        for phone in 0..3 {
+            world.schedule_sweeps(phone, 1.0, 45.0, 900.0);
+        }
+        world.run_until(960.0);
+        let mut server = world.server;
+        server.process_data().unwrap();
+        // Counters are consistent with the event volume.
+        prop_assert!(world.stats.uploads_accepted as usize <= scans.len() * 8 + 8);
+        // The records table only holds decodable content (process_data
+        // would have dropped garbage; re-reading must succeed).
+        for app in [1u64] {
+            for f in ["temperature", "brightness", "noise", "wifi"] {
+                // Value may be absent (everything may have been lost),
+                // but reading must never error.
+                let _ = server.feature_value(app, f).unwrap();
+            }
+        }
+    }
+
+    /// A perfect network with at least one generous scan always yields
+    /// features.
+    #[test]
+    fn perfect_network_always_converges(seed in 0u64..5_000) {
+        let (mut world, _) = build_world(0.0, 0.0, seed, 2);
+        world.schedule_scan(5.0, 0, 1, 10, 800.0);
+        world.schedule_sweeps(0, 6.0, 30.0, 900.0);
+        world.run_until(960.0);
+        world.server.process_data().unwrap();
+        prop_assert!(world.stats.uploads_accepted > 0);
+        prop_assert_eq!(world.stats.decode_failures, 0);
+        for f in ["temperature", "brightness", "noise", "wifi"] {
+            prop_assert!(world.server.feature_value(1, f).unwrap().is_some());
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The multi-table database facade plus binary snapshots.
+
+use std::collections::BTreeMap;
+
+use sor_proto::wire::{Reader, Writer};
+
+use crate::predicate::Predicate;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::table::{Row, RowId, Table};
+use crate::value::Value;
+use crate::StoreError;
+
+/// A named collection of tables — the sensing server's "PostgreSQL".
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DuplicateTable`] if the name is taken.
+    pub fn create_table(&mut self, schema: Schema) -> Result<(), StoreError> {
+        let name = schema.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::DuplicateTable(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drops a table. Returns whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Borrows a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownTable`].
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables.get(name).ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutably borrows a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownTable`].
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Inserts a row.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table or schema mismatch.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<RowId, StoreError> {
+        self.table_mut(table)?.insert(values)
+    }
+
+    /// Scans a table.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table/column.
+    pub fn scan(&self, table: &str, pred: &Predicate) -> Result<Vec<Row>, StoreError> {
+        self.table(table)?.scan(pred)
+    }
+
+    /// Deletes matching rows, returning the count.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table/column.
+    pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> Result<usize, StoreError> {
+        self.table_mut(table)?.delete_where(pred)
+    }
+
+    /// Serialises every table (schema + rows, not indexes — they are
+    /// rebuilt on load... by the caller re-issuing `create_index`) into
+    /// a self-contained binary snapshot.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(b"SORD");
+        w.put_uvar(self.tables.len() as u64);
+        for (name, table) in &self.tables {
+            w.put_str(name);
+            let schema = table.schema();
+            w.put_uvar(schema.columns().len() as u64);
+            for c in schema.columns() {
+                w.put_str(&c.name);
+                w.put_u8(type_tag(c.ty));
+                w.put_u8(c.nullable as u8);
+            }
+            let rows: Vec<Row> = table.iter().collect();
+            w.put_uvar(rows.len() as u64);
+            for row in rows {
+                for v in &row.values {
+                    write_value(&mut w, v);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a database from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptSnapshot`] on any structural problem.
+    pub fn restore(bytes: &[u8]) -> Result<Database, StoreError> {
+        let corrupt = |d: &str| StoreError::CorruptSnapshot(d.to_string());
+        let mut r = Reader::new(bytes);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.get_u8().map_err(|e| corrupt(&e.to_string()))?;
+        }
+        if &magic != b"SORD" {
+            return Err(corrupt("bad magic"));
+        }
+        let n_tables = r.get_uvar().map_err(|e| corrupt(&e.to_string()))? as usize;
+        let mut db = Database::new();
+        for _ in 0..n_tables {
+            let name = r.get_str().map_err(|e| corrupt(&e.to_string()))?.to_string();
+            let n_cols = r.get_uvar().map_err(|e| corrupt(&e.to_string()))? as usize;
+            let mut schema = Schema::new(&name);
+            let mut col_defs: Vec<Column> = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let cname = r.get_str().map_err(|e| corrupt(&e.to_string()))?.to_string();
+                let ty = type_from_tag(r.get_u8().map_err(|e| corrupt(&e.to_string()))?)
+                    .ok_or_else(|| corrupt("bad column type tag"))?;
+                let nullable = r.get_u8().map_err(|e| corrupt(&e.to_string()))? != 0;
+                col_defs.push(Column { name: cname, ty, nullable });
+            }
+            for c in &col_defs {
+                schema = if c.nullable {
+                    schema.nullable_column(&c.name, c.ty)
+                } else {
+                    schema.column(&c.name, c.ty)
+                };
+            }
+            db.create_table(schema).map_err(|e| corrupt(&e.to_string()))?;
+            let n_rows = r.get_uvar().map_err(|e| corrupt(&e.to_string()))? as usize;
+            for _ in 0..n_rows {
+                let mut values = Vec::with_capacity(n_cols);
+                for _ in 0..n_cols {
+                    values.push(read_value(&mut r).map_err(|e| corrupt(&e.to_string()))?);
+                }
+                db.insert(&name, values).map_err(|e| corrupt(&e.to_string()))?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+fn type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Text => 2,
+        ColumnType::Bytes => 3,
+        ColumnType::Bool => 4,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Option<ColumnType> {
+    Some(match tag {
+        0 => ColumnType::Int,
+        1 => ColumnType::Float,
+        2 => ColumnType::Text,
+        3 => ColumnType::Bytes,
+        4 => ColumnType::Bool,
+        _ => return None,
+    })
+}
+
+fn write_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Int(i) => {
+            w.put_u8(1);
+            w.put_ivar(*i);
+        }
+        Value::Float(x) => {
+            w.put_u8(2);
+            w.put_f64(*x);
+        }
+        Value::Text(s) => {
+            w.put_u8(3);
+            w.put_str(s);
+        }
+        Value::Bytes(b) => {
+            w.put_u8(4);
+            w.put_bytes(b);
+        }
+        Value::Bool(b) => {
+            w.put_u8(5);
+            w.put_u8(*b as u8);
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<Value, sor_proto::ProtoError> {
+    Ok(match r.get_u8()? {
+        0 => Value::Null,
+        1 => Value::Int(r.get_ivar()?),
+        2 => Value::Float(r.get_f64()?),
+        3 => Value::Text(r.get_str()?.to_string()),
+        4 => Value::Bytes(r.get_bytes()?.to_vec()),
+        5 => Value::Bool(r.get_u8()? != 0),
+        _ => return Err(sor_proto::ProtoError::UnknownMessageType(255)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::new("users")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .nullable_column("email", ColumnType::Text),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::new("blobs")
+                .column("id", ColumnType::Int)
+                .column("body", ColumnType::Bytes)
+                .column("flag", ColumnType::Bool)
+                .column("score", ColumnType::Float),
+        )
+        .unwrap();
+        db.insert("users", vec![Value::Int(1), Value::text("alice"), Value::Null]).unwrap();
+        db.insert(
+            "users",
+            vec![Value::Int(2), Value::text("bob"), Value::text("b@x.io")],
+        )
+        .unwrap();
+        db.insert(
+            "blobs",
+            vec![
+                Value::Int(1),
+                Value::Bytes(vec![1, 2, 3]),
+                Value::Bool(true),
+                Value::Float(0.5),
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_scan() {
+        let db = sample_db();
+        let rows = db.scan("users", &Predicate::eq("name", Value::text("bob"))).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[2], Value::text("b@x.io"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = sample_db();
+        assert_eq!(
+            db.create_table(Schema::new("users").column("x", ColumnType::Int)),
+            Err(StoreError::DuplicateTable("users".to_string()))
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::new();
+        assert!(matches!(
+            db.scan("ghost", &Predicate::True),
+            Err(StoreError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = sample_db();
+        assert!(db.drop_table("users"));
+        assert!(!db.drop_table("users"));
+        assert_eq!(db.table_names(), vec!["blobs"]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let db = sample_db();
+        let bytes = db.snapshot();
+        let back = Database::restore(&bytes).unwrap();
+        assert_eq!(back.table_names(), db.table_names());
+        let rows_a = db.scan("users", &Predicate::True).unwrap();
+        let rows_b = back.scan("users", &Predicate::True).unwrap();
+        assert_eq!(
+            rows_a.iter().map(|r| &r.values).collect::<Vec<_>>(),
+            rows_b.iter().map(|r| &r.values).collect::<Vec<_>>()
+        );
+        let blob = back.scan("blobs", &Predicate::True).unwrap();
+        assert_eq!(blob[0].values[1], Value::Bytes(vec![1, 2, 3]));
+        assert_eq!(blob[0].values[3], Value::Float(0.5));
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let db = sample_db();
+        let mut bytes = db.snapshot();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Database::restore(&bytes),
+            Err(StoreError::CorruptSnapshot(_))
+        ));
+        // Truncations.
+        for cut in [3, bytes.len() / 2] {
+            assert!(Database::restore(&db.snapshot()[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn delete_through_facade() {
+        let mut db = sample_db();
+        let n = db.delete_where("users", &Predicate::eq("id", Value::Int(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.table("users").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_database_snapshot() {
+        let db = Database::new();
+        let back = Database::restore(&db.snapshot()).unwrap();
+        assert!(back.table_names().is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Row predicates for scans and deletes.
+
+use crate::table::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::StoreError;
+
+/// A boolean expression over one row's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// Column equals value.
+    Eq(String, Value),
+    /// Column differs from value.
+    Ne(String, Value),
+    /// Column strictly less than value.
+    Lt(String, Value),
+    /// Column less than or equal to value.
+    Le(String, Value),
+    /// Column strictly greater than value.
+    Gt(String, Value),
+    /// Column greater than or equal to value.
+    Ge(String, Value),
+    /// Both sides hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either side holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The inner predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: impl Into<String>, value: Value) -> Predicate {
+        Predicate::Eq(column.into(), value)
+    }
+
+    /// `column < value`.
+    pub fn lt(column: impl Into<String>, value: Value) -> Predicate {
+        Predicate::Lt(column.into(), value)
+    }
+
+    /// `column > value`.
+    pub fn gt(column: impl Into<String>, value: Value) -> Predicate {
+        Predicate::Gt(column.into(), value)
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates against a row.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownColumn`] if a referenced column does not
+    /// exist in the schema.
+    pub fn matches(&self, schema: &Schema, row: &Row) -> Result<bool, StoreError> {
+        let col = |name: &str| -> Result<&Value, StoreError> {
+            let idx = schema.column_index(name).ok_or_else(|| StoreError::UnknownColumn {
+                table: schema.name().to_string(),
+                column: name.to_string(),
+            })?;
+            Ok(&row.values[idx])
+        };
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => col(c)?.total_cmp(v).is_eq(),
+            Predicate::Ne(c, v) => !col(c)?.total_cmp(v).is_eq(),
+            Predicate::Lt(c, v) => col(c)?.total_cmp(v).is_lt(),
+            Predicate::Le(c, v) => col(c)?.total_cmp(v).is_le(),
+            Predicate::Gt(c, v) => col(c)?.total_cmp(v).is_gt(),
+            Predicate::Ge(c, v) => col(c)?.total_cmp(v).is_ge(),
+            Predicate::And(a, b) => a.matches(schema, row)? && b.matches(schema, row)?,
+            Predicate::Or(a, b) => a.matches(schema, row)? || b.matches(schema, row)?,
+            Predicate::Not(p) => !p.matches(schema, row)?,
+        })
+    }
+
+    /// If this predicate is exactly `column = value`, returns the pair —
+    /// the shape the index fast-path accelerates.
+    pub fn as_point_lookup(&self) -> Option<(&str, &Value)> {
+        match self {
+            Predicate::Eq(c, v) => Some((c.as_str(), v)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::table::RowId;
+
+    fn schema() -> Schema {
+        Schema::new("t")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("score", ColumnType::Float)
+    }
+
+    fn row(id: i64, name: &str, score: f64) -> Row {
+        Row {
+            id: RowId(0),
+            values: vec![Value::Int(id), Value::text(name), Value::Float(score)],
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row(5, "bob", 1.5);
+        assert!(Predicate::eq("id", Value::Int(5)).matches(&s, &r).unwrap());
+        assert!(Predicate::lt("score", Value::Float(2.0)).matches(&s, &r).unwrap());
+        assert!(Predicate::gt("name", Value::text("alice")).matches(&s, &r).unwrap());
+        assert!(!Predicate::eq("id", Value::Int(6)).matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let r = row(5, "bob", 1.5);
+        let p = Predicate::eq("id", Value::Int(5))
+            .and(Predicate::gt("score", Value::Float(1.0)));
+        assert!(p.matches(&s, &r).unwrap());
+        let q = Predicate::eq("id", Value::Int(9)).or(Predicate::eq("name", Value::text("bob")));
+        assert!(q.matches(&s, &r).unwrap());
+        assert!(!q.clone().negate().matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let s = schema();
+        let r = row(1, "a", 0.0);
+        assert!(matches!(
+            Predicate::eq("nope", Value::Int(1)).matches(&s, &r),
+            Err(StoreError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn point_lookup_detection() {
+        let p = Predicate::eq("id", Value::Int(5));
+        assert!(p.as_point_lookup().is_some());
+        let q = p.clone().and(Predicate::True);
+        assert!(q.as_point_lookup().is_none());
+    }
+
+    #[test]
+    fn cross_type_int_float_equality() {
+        let s = schema();
+        let r = row(5, "bob", 2.0);
+        assert!(Predicate::eq("score", Value::Int(2)).matches(&s, &r).unwrap());
+    }
+}

@@ -1,0 +1,222 @@
+//! Richer read queries: projection, ordering, limits.
+//!
+//! The visualization module and report binaries want "the latest N
+//! feature rows ordered by value" style reads; this keeps that logic
+//! out of every call site while staying a thin layer over
+//! [`Table::scan`].
+
+use crate::predicate::Predicate;
+use crate::table::{Row, Table};
+use crate::value::Value;
+use crate::StoreError;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Smallest first.
+    Asc,
+    /// Largest first.
+    Desc,
+}
+
+/// A read query: filter, optional order-by column, optional limit,
+/// optional projection.
+///
+/// # Example
+///
+/// ```
+/// use sor_store::{ColumnType, Predicate, Query, Schema, Table, Value};
+///
+/// let mut t = Table::new(
+///     Schema::new("scores").column("name", ColumnType::Text).column("s", ColumnType::Int),
+/// );
+/// for (n, s) in [("a", 3), ("b", 1), ("c", 2)] {
+///     t.insert(vec![Value::text(n), Value::Int(s)])?;
+/// }
+/// let rows = Query::new().order_by("s", sor_store::query::Order::Desc).limit(2).run(&t)?;
+/// assert_eq!(rows[0].values[0], Value::text("a"));
+/// assert_eq!(rows.len(), 2);
+/// # Ok::<(), sor_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    predicate: Predicate,
+    order: Option<(String, Order)>,
+    limit: Option<usize>,
+    projection: Option<Vec<String>>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Query {
+    /// Matches everything, unordered, unlimited.
+    pub fn new() -> Self {
+        Query { predicate: Predicate::True, order: None, limit: None, projection: None }
+    }
+
+    /// Sets the filter.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Orders by a column.
+    pub fn order_by(mut self, column: impl Into<String>, order: Order) -> Self {
+        self.order = Some((column.into(), order));
+        self
+    }
+
+    /// Caps the result count.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Projects to the named columns (in the given order).
+    pub fn select(mut self, columns: Vec<String>) -> Self {
+        self.projection = Some(columns);
+        self
+    }
+
+    /// Runs against a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownColumn`] for unknown filter/order/projection
+    /// columns.
+    pub fn run(&self, table: &Table) -> Result<Vec<Row>, StoreError> {
+        let mut rows = table.scan(&self.predicate)?;
+        if let Some((column, order)) = &self.order {
+            let idx = table.schema().column_index(column).ok_or_else(|| {
+                StoreError::UnknownColumn {
+                    table: table.schema().name().to_string(),
+                    column: column.clone(),
+                }
+            })?;
+            rows.sort_by(|a, b| {
+                let cmp = a.values[idx].total_cmp(&b.values[idx]);
+                match order {
+                    Order::Asc => cmp,
+                    Order::Desc => cmp.reverse(),
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        if let Some(cols) = &self.projection {
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|c| {
+                    table.schema().column_index(c).ok_or_else(|| StoreError::UnknownColumn {
+                        table: table.schema().name().to_string(),
+                        column: c.clone(),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            for row in &mut rows {
+                row.values = idxs.iter().map(|&i| row.values[i].clone()).collect();
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Convenience: the single f64 of the first result row (for
+    /// "latest value of feature X" reads).
+    ///
+    /// # Errors
+    ///
+    /// Query errors; `Ok(None)` for an empty result or non-numeric cell.
+    pub fn scalar(&self, table: &Table) -> Result<Option<f64>, StoreError> {
+        let rows = self.run(table)?;
+        Ok(rows.first().and_then(|r| r.values.first()).and_then(Value::as_float))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            Schema::new("features")
+                .column("app", ColumnType::Int)
+                .column("feature", ColumnType::Text)
+                .column("value", ColumnType::Float),
+        );
+        for (app, f, v) in [
+            (1, "temp", 66.0),
+            (2, "temp", 71.0),
+            (3, "temp", 74.0),
+            (1, "noise", 0.1),
+            (2, "noise", 0.12),
+            (3, "noise", 0.4),
+        ] {
+            t.insert(vec![Value::Int(app), Value::text(f), Value::Float(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filter_order_limit() {
+        let t = table();
+        let rows = Query::new()
+            .filter(Predicate::eq("feature", Value::text("temp")))
+            .order_by("value", Order::Desc)
+            .limit(2)
+            .run(&t)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values[0], Value::Int(3));
+        assert_eq!(rows[1].values[0], Value::Int(2));
+    }
+
+    #[test]
+    fn projection_reorders_columns() {
+        let t = table();
+        let rows = Query::new()
+            .filter(Predicate::eq("app", Value::Int(1)))
+            .select(vec!["value".into(), "feature".into()])
+            .order_by("feature", Order::Asc)
+            .run(&t)
+            .unwrap();
+        assert_eq!(rows[0].values.len(), 2);
+        assert_eq!(rows[0].values[1], Value::text("noise"));
+        assert_eq!(rows[0].values[0], Value::Float(0.1));
+    }
+
+    #[test]
+    fn scalar_shortcut() {
+        let t = table();
+        let v = Query::new()
+            .filter(Predicate::eq("feature", Value::text("noise")))
+            .order_by("value", Order::Desc)
+            .select(vec!["value".into()])
+            .scalar(&t)
+            .unwrap();
+        assert_eq!(v, Some(0.4));
+        let none = Query::new()
+            .filter(Predicate::eq("feature", Value::text("ghost")))
+            .scalar(&t)
+            .unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = table();
+        assert!(Query::new().order_by("ghost", Order::Asc).run(&t).is_err());
+        assert!(Query::new().select(vec!["ghost".into()]).run(&t).is_err());
+    }
+
+    #[test]
+    fn default_query_returns_everything() {
+        let t = table();
+        assert_eq!(Query::default().run(&t).unwrap().len(), 6);
+    }
+}

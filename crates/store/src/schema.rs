@@ -1,0 +1,176 @@
+//! Table schemas.
+
+use crate::value::Value;
+use crate::StoreError;
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Opaque bytes.
+    Bytes,
+    /// Boolean.
+    Bool,
+}
+
+impl ColumnType {
+    fn matches(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_)) // ints widen into float columns
+                | (ColumnType::Text, Value::Text(_))
+                | (ColumnType::Bytes, Value::Bytes(_))
+                | (ColumnType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+/// A table schema (builder-style construction).
+///
+/// # Example
+///
+/// ```
+/// use sor_store::{ColumnType, Schema};
+/// let s = Schema::new("users")
+///     .column("id", ColumnType::Int)
+///     .nullable_column("nickname", ColumnType::Text);
+/// assert_eq!(s.columns().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// A schema with no columns yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Schema { name: name.into(), columns: Vec::new() }
+    }
+
+    /// Adds a NOT NULL column.
+    pub fn column(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.columns.push(Column { name: name.into(), ty, nullable: false });
+        self
+    }
+
+    /// Adds a nullable column.
+    pub fn nullable_column(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.columns.push(Column { name: name.into(), ty, nullable: true });
+        self
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validates a row against this schema.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SchemaMismatch`] describing the first violation.
+    pub fn validate(&self, row: &[Value]) -> Result<(), StoreError> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::SchemaMismatch {
+                table: self.name.clone(),
+                detail: format!("expected {} values, got {}", self.columns.len(), row.len()),
+            });
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(StoreError::SchemaMismatch {
+                        table: self.name.clone(),
+                        detail: format!("column `{}` is NOT NULL", col.name),
+                    });
+                }
+            } else if !col.ty.matches(v) {
+                return Err(StoreError::SchemaMismatch {
+                    table: self.name.clone(),
+                    detail: format!(
+                        "column `{}` expects {:?}, got {v}",
+                        col.name, col.ty
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("t")
+            .column("id", ColumnType::Int)
+            .column("score", ColumnType::Float)
+            .nullable_column("note", ColumnType::Text)
+    }
+
+    #[test]
+    fn valid_rows_pass() {
+        let s = schema();
+        s.validate(&[Value::Int(1), Value::Float(0.5), Value::text("hi")]).unwrap();
+        s.validate(&[Value::Int(1), Value::Float(0.5), Value::Null]).unwrap();
+        // Int widens into Float columns.
+        s.validate(&[Value::Int(1), Value::Int(2), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(matches!(
+            schema().validate(&[Value::Int(1)]),
+            Err(StoreError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(schema()
+            .validate(&[Value::text("x"), Value::Float(0.5), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn null_in_not_null_column_rejected() {
+        assert!(schema().validate(&[Value::Null, Value::Float(0.5), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("score"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+    }
+}

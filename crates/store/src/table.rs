@@ -1,0 +1,359 @@
+//! Tables: schema + rows + indexes.
+
+use std::collections::BTreeMap;
+
+use crate::index::HashIndex;
+use crate::predicate::Predicate;
+use crate::schema::{ColumnType, Schema};
+use crate::value::Value;
+use crate::StoreError;
+
+/// Stable identifier of a row within its table (survives deletions of
+/// other rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+/// One stored row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The row's id.
+    pub id: RowId,
+    /// Cell values, in schema column order.
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// The value of a named column.
+    pub fn get<'a>(&'a self, schema: &Schema, column: &str) -> Option<&'a Value> {
+        schema.column_index(column).map(|i| &self.values[i])
+    }
+}
+
+/// A table with optional hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_id: u64,
+    /// column index -> hash index
+    indexes: BTreeMap<usize, HashIndex>,
+}
+
+impl Table {
+    /// Empty table for a schema.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: BTreeMap::new(), next_id: 0, indexes: BTreeMap::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a validated row, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SchemaMismatch`] from validation.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId, StoreError> {
+        self.schema.validate(&values)?;
+        let id = RowId(self.next_id);
+        self.next_id += 1;
+        for (&col, idx) in self.indexes.iter_mut() {
+            idx.insert(&values[col], id);
+        }
+        self.rows.insert(id, values);
+        Ok(id)
+    }
+
+    /// Creates a hash index on `column`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::UnknownColumn`] if the column does not exist.
+    /// - [`StoreError::NotIndexable`] for Float/Bytes columns.
+    /// - [`StoreError::DuplicateIndex`] if already indexed.
+    pub fn create_index(&mut self, column: &str) -> Result<(), StoreError> {
+        let col = self.schema.column_index(column).ok_or_else(|| StoreError::UnknownColumn {
+            table: self.schema.name().to_string(),
+            column: column.to_string(),
+        })?;
+        let ty = self.schema.columns()[col].ty;
+        if matches!(ty, ColumnType::Float | ColumnType::Bytes) {
+            return Err(StoreError::NotIndexable { column: column.to_string(), ty });
+        }
+        if self.indexes.contains_key(&col) {
+            return Err(StoreError::DuplicateIndex(column.to_string()));
+        }
+        let mut idx = HashIndex::new();
+        for (&id, values) in &self.rows {
+            idx.insert(&values[col], id);
+        }
+        self.indexes.insert(col, idx);
+        Ok(())
+    }
+
+    /// Whether `column` has an index.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.schema
+            .column_index(column)
+            .is_some_and(|c| self.indexes.contains_key(&c))
+    }
+
+    /// Rows matching a predicate, using the index fast-path for pure
+    /// point lookups on indexed columns.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownColumn`] from predicate evaluation.
+    pub fn scan(&self, pred: &Predicate) -> Result<Vec<Row>, StoreError> {
+        if let Some((column, value)) = pred.as_point_lookup() {
+            if let Some(col) = self.schema.column_index(column) {
+                if let Some(idx) = self.indexes.get(&col) {
+                    if let Some(ids) = idx.lookup(value) {
+                        return Ok(ids
+                            .into_iter()
+                            .filter_map(|id| {
+                                self.rows
+                                    .get(&id)
+                                    .map(|values| Row { id, values: values.clone() })
+                            })
+                            .collect());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (&id, values) in &self.rows {
+            let row = Row { id, values: values.clone() };
+            if pred.matches(&self.schema, &row)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetches one row by id.
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        self.rows.get(&id).map(|values| Row { id, values: values.clone() })
+    }
+
+    /// Deletes rows matching the predicate; returns how many went away.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownColumn`] from predicate evaluation.
+    pub fn delete_where(&mut self, pred: &Predicate) -> Result<usize, StoreError> {
+        let doomed: Vec<RowId> = self.scan(pred)?.into_iter().map(|r| r.id).collect();
+        for id in &doomed {
+            if let Some(values) = self.rows.remove(id) {
+                for (&col, idx) in self.indexes.iter_mut() {
+                    idx.remove(&values[col], *id);
+                }
+            }
+        }
+        Ok(doomed.len())
+    }
+
+    /// Updates the named column of all rows matching the predicate;
+    /// returns how many rows changed.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::UnknownColumn`] if the column does not exist.
+    /// - [`StoreError::SchemaMismatch`] if the new value's type is wrong.
+    pub fn update_where(
+        &mut self,
+        pred: &Predicate,
+        column: &str,
+        new_value: Value,
+    ) -> Result<usize, StoreError> {
+        let col = self.schema.column_index(column).ok_or_else(|| StoreError::UnknownColumn {
+            table: self.schema.name().to_string(),
+            column: column.to_string(),
+        })?;
+        let hits: Vec<RowId> = self.scan(pred)?.into_iter().map(|r| r.id).collect();
+        for id in &hits {
+            let values = self.rows.get_mut(id).expect("row just scanned");
+            let mut candidate = values.clone();
+            candidate[col] = new_value.clone();
+            self.schema.validate(&candidate)?;
+            if let Some(idx) = self.indexes.get_mut(&col) {
+                idx.remove(&values[col], *id);
+                idx.insert(&new_value, *id);
+            }
+            *values = candidate;
+        }
+        Ok(hits.len())
+    }
+
+    /// Iterates over all rows in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.rows.iter().map(|(&id, values)| Row { id, values: values.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let schema = Schema::new("tasks")
+            .column("id", ColumnType::Int)
+            .column("status", ColumnType::Text)
+            .column("score", ColumnType::Float);
+        Table::new(schema)
+    }
+
+    fn fill(t: &mut Table) {
+        for (i, (status, score)) in
+            [("running", 0.1), ("done", 0.9), ("running", 0.5)].iter().enumerate()
+        {
+            t.insert(vec![Value::Int(i as i64), Value::text(*status), Value::Float(*score)])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids() {
+        let mut t = table();
+        fill(&mut t);
+        let ids: Vec<RowId> = t.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![RowId(0), RowId(1), RowId(2)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn scan_filters_rows() {
+        let mut t = table();
+        fill(&mut t);
+        let rows = t.scan(&Predicate::eq("status", Value::text("running"))).unwrap();
+        assert_eq!(rows.len(), 2);
+        let all = t.scan(&Predicate::True).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn index_accelerated_scan_equals_full_scan() {
+        let mut indexed = table();
+        fill(&mut indexed);
+        indexed.create_index("status").unwrap();
+        let mut plain = table();
+        fill(&mut plain);
+        let p = Predicate::eq("status", Value::text("running"));
+        assert_eq!(indexed.scan(&p).unwrap(), plain.scan(&p).unwrap());
+    }
+
+    #[test]
+    fn index_on_float_rejected() {
+        let mut t = table();
+        assert!(matches!(
+            t.create_index("score"),
+            Err(StoreError::NotIndexable { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut t = table();
+        t.create_index("status").unwrap();
+        assert_eq!(
+            t.create_index("status"),
+            Err(StoreError::DuplicateIndex("status".to_string()))
+        );
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut t = table();
+        fill(&mut t);
+        t.create_index("id").unwrap();
+        let rows = t.scan(&Predicate::eq("id", Value::Int(1))).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[1], Value::text("done"));
+    }
+
+    #[test]
+    fn delete_where_updates_indexes() {
+        let mut t = table();
+        fill(&mut t);
+        t.create_index("status").unwrap();
+        let n = t.delete_where(&Predicate::eq("status", Value::text("running"))).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.len(), 1);
+        assert!(t
+            .scan(&Predicate::eq("status", Value::text("running")))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn update_where_changes_values_and_indexes() {
+        let mut t = table();
+        fill(&mut t);
+        t.create_index("status").unwrap();
+        let n = t
+            .update_where(
+                &Predicate::eq("status", Value::text("running")),
+                "status",
+                Value::text("finished"),
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            t.scan(&Predicate::eq("status", Value::text("finished"))).unwrap().len(),
+            2
+        );
+        assert!(t
+            .scan(&Predicate::eq("status", Value::text("running")))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn update_validates_type() {
+        let mut t = table();
+        fill(&mut t);
+        assert!(t
+            .update_where(&Predicate::True, "status", Value::Int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn get_by_row_id() {
+        let mut t = table();
+        fill(&mut t);
+        assert!(t.get(RowId(1)).is_some());
+        assert!(t.get(RowId(99)).is_none());
+    }
+
+    #[test]
+    fn row_get_by_column_name() {
+        let mut t = table();
+        fill(&mut t);
+        let row = t.get(RowId(0)).unwrap();
+        assert_eq!(row.get(t.schema(), "status"), Some(&Value::text("running")));
+        assert_eq!(row.get(t.schema(), "missing"), None);
+    }
+
+    #[test]
+    fn ids_not_reused_after_delete() {
+        let mut t = table();
+        fill(&mut t);
+        t.delete_where(&Predicate::True).unwrap();
+        let id = t
+            .insert(vec![Value::Int(9), Value::text("new"), Value::Float(0.0)])
+            .unwrap();
+        assert_eq!(id, RowId(3));
+    }
+}

@@ -1,0 +1,177 @@
+//! Cell values.
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Opaque bytes (the binary sensed-data inbox of §II-B).
+    Bytes(Vec<u8>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience text constructor.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float view (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bytes view.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total order used by comparison predicates: NULL < everything;
+    /// numeric types compare numerically across Int/Float; mismatched
+    /// non-numeric types compare by type rank (deterministic, like
+    /// SQLite's cross-type ordering).
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        let rank = |v: &Value| match v {
+            Null => 0,
+            Int(_) | Float(_) => 1,
+            Text(_) => 2,
+            Bytes(_) => 3,
+            Bool(_) => 4,
+        };
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// An exact hash key for indexing. Floats are excluded (equality on
+    /// floats is a bug farm); `None` marks unindexable values.
+    pub fn index_key(&self) -> Option<IndexKey> {
+        match self {
+            Value::Int(i) => Some(IndexKey::Int(*i)),
+            Value::Text(s) => Some(IndexKey::Text(s.clone())),
+            Value::Bool(b) => Some(IndexKey::Bool(*b)),
+            Value::Null => Some(IndexKey::Null),
+            _ => None,
+        }
+    }
+}
+
+/// Hashable projection of indexable values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// NULL bucket.
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// Text key.
+    Text(String),
+    /// Bool key.
+    Bool(bool),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bytes(b) => write!(f, "x'{}B'", b.len()),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn views_and_widening() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn total_cmp_numeric_cross_type() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn index_keys_exclude_floats_and_bytes() {
+        assert!(Value::Int(1).index_key().is_some());
+        assert!(Value::text("a").index_key().is_some());
+        assert!(Value::Float(1.0).index_key().is_none());
+        assert!(Value::Bytes(vec![1]).index_key().is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::text("hi").to_string(), "'hi'");
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "x'3B'");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: index-accelerated scans must agree with naive scans,
+//! and snapshots must roundtrip arbitrary contents.
+
+use proptest::prelude::*;
+use sor_store::{ColumnType, Database, Predicate, Schema, Table, Value};
+
+fn row_strategy() -> impl Strategy<Value = Vec<Value>> {
+    (
+        any::<i64>(),
+        "[a-e]{0,4}",
+        prop_oneof![Just(Value::Null), (-1e9f64..1e9).prop_map(Value::Float)],
+        any::<bool>(),
+    )
+        .prop_map(|(i, s, f, b)| vec![Value::Int(i), Value::text(s), f, Value::Bool(b)])
+}
+
+fn schema() -> Schema {
+    Schema::new("t")
+        .column("id", ColumnType::Int)
+        .column("tag", ColumnType::Text)
+        .nullable_column("score", ColumnType::Float)
+        .column("flag", ColumnType::Bool)
+}
+
+proptest! {
+    /// Point lookups through the index equal full scans, for every
+    /// value that appears and a few that don't.
+    #[test]
+    fn index_matches_scan(rows in proptest::collection::vec(row_strategy(), 0..40)) {
+        let mut indexed = Table::new(schema());
+        let mut plain = Table::new(schema());
+        for r in &rows {
+            indexed.insert(r.clone()).unwrap();
+            plain.insert(r.clone()).unwrap();
+        }
+        indexed.create_index("tag").unwrap();
+        indexed.create_index("id").unwrap();
+        let mut probes: Vec<Value> = rows.iter().map(|r| r[1].clone()).collect();
+        probes.push(Value::text("zz-missing"));
+        for probe in probes {
+            let p = Predicate::eq("tag", probe);
+            let mut a = indexed.scan(&p).unwrap();
+            let mut b = plain.scan(&p).unwrap();
+            a.sort_by_key(|r| r.id);
+            b.sort_by_key(|r| r.id);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Deleting then scanning never shows deleted rows, with or without
+    /// indexes.
+    #[test]
+    fn delete_is_complete(rows in proptest::collection::vec(row_strategy(), 1..30), flag in any::<bool>()) {
+        let mut t = Table::new(schema());
+        for r in &rows {
+            t.insert(r.clone()).unwrap();
+        }
+        t.create_index("flag").unwrap();
+        t.delete_where(&Predicate::eq("flag", Value::Bool(flag))).unwrap();
+        prop_assert!(t.scan(&Predicate::eq("flag", Value::Bool(flag))).unwrap().is_empty());
+        // Survivors all carry the other flag.
+        for row in t.scan(&Predicate::True).unwrap() {
+            prop_assert_eq!(&row.values[3], &Value::Bool(!flag));
+        }
+    }
+
+    /// Snapshot/restore preserves every row bit-for-bit.
+    #[test]
+    fn snapshot_roundtrip(rows in proptest::collection::vec(row_strategy(), 0..30)) {
+        let mut db = Database::new();
+        db.create_table(schema()).unwrap();
+        for r in &rows {
+            db.insert("t", r.clone()).unwrap();
+        }
+        let restored = Database::restore(&db.snapshot()).unwrap();
+        let a: Vec<_> = db.scan("t", &Predicate::True).unwrap();
+        let b: Vec<_> = restored.scan("t", &Predicate::True).unwrap();
+        prop_assert_eq!(
+            a.iter().map(|r| &r.values).collect::<Vec<_>>(),
+            b.iter().map(|r| &r.values).collect::<Vec<_>>()
+        );
+    }
+
+    /// Garbage never panics the snapshot decoder.
+    #[test]
+    fn restore_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let _ = Database::restore(&bytes);
+    }
+}

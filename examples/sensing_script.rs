@@ -1,0 +1,64 @@
+//! SenseScript, the Lua-like sensing-task language (§II-A): custom host
+//! functions, the security whitelist, the privacy veto, and the
+//! instruction budget.
+//!
+//! ```sh
+//! cargo run --example sensing_script
+//! ```
+
+use sor::script::{Interpreter, ScriptError, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // A task description like the paper's Fig. 4: sample, process,
+    // report — paced with a *virtual* sleep.
+    // ------------------------------------------------------------------
+    let mut interp = Interpreter::new();
+    interp.host_mut().register("get_light_readings", |ctx, args| {
+        let n = args.first().and_then(Value::as_number).unwrap_or(1.0) as usize;
+        ctx.virtual_time += 0.2 * n as f64;
+        // A fake noisy sensor.
+        Ok(Value::number_array(
+            &(0..n).map(|i| 400.0 + 7.0 * ((i * 37) % 10) as f64).collect::<Vec<_>>(),
+        ))
+    });
+    interp.host_mut().register("report", |ctx, args| {
+        ctx.output.push(format!("REPORT {}", args[0].display()));
+        Ok(Value::Nil)
+    });
+
+    let script = r#"
+        -- take three paced samples of ambient light and report stats
+        local samples = {}
+        for i = 1, 3 do
+            local batch = get_light_readings(5)
+            insert(samples, mean(batch))
+            sleep(2)
+        end
+        report("light mean=" .. mean(samples) .. " sd=" .. stddev(samples))
+        return #samples
+    "#;
+    let result = interp.run(script)?;
+    println!("script returned {}", result.display());
+    println!("virtual time elapsed: {:.1}s", interp.virtual_time());
+    for line in interp.output() {
+        println!("output: {line}");
+    }
+
+    // ------------------------------------------------------------------
+    // The whitelist: anything unregistered is refused.
+    // ------------------------------------------------------------------
+    let err = interp.run("read_sms_inbox()").unwrap_err();
+    println!("\nwhitelist rejection: {err}");
+    assert!(matches!(err, ScriptError::ForbiddenFunction { .. }));
+
+    // ------------------------------------------------------------------
+    // The instruction budget stops runaway tasks.
+    // ------------------------------------------------------------------
+    let mut bounded = Interpreter::new();
+    bounded.set_budget(50_000);
+    let err = bounded.run("while true do end").unwrap_err();
+    println!("runaway script: {err}");
+    assert!(matches!(err, ScriptError::BudgetExhausted { .. }));
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration: the full SOR pipeline from barcode scan to
+//! ranking, through the real codec, script interpreter, sensor stack,
+//! store, scheduler and ranker.
+
+use std::sync::Arc;
+
+use sor::frontend::MobileFrontend;
+use sor::proto::Message;
+use sor::sensors::environment::presets;
+use sor::sensors::{SensorKind, SensorManager, SimulatedProvider};
+use sor::server::{ApplicationSpec, SensingServer};
+use sor::sim::scenario::{coffee_features, COFFEE_SCRIPT};
+use sor::sim::{SorWorld, Transport, TransportConfig};
+
+fn shop_app(app_id: u64, name: &str, lat: f64, lon: f64) -> ApplicationSpec {
+    ApplicationSpec {
+        app_id,
+        name: name.into(),
+        creator: "it".into(),
+        category: "coffee-shop".into(),
+        latitude: lat,
+        longitude: lon,
+        radius_m: 300.0,
+        script: COFFEE_SCRIPT.into(),
+        period_seconds: 1800.0,
+        instants: 180,
+        features: coffee_features(),
+    }
+}
+
+fn build_world(transport: Transport) -> SorWorld {
+    let mut server = SensingServer::new().unwrap();
+    let shops = presets::coffee_shops(5);
+    for (i, shop) in shops.iter().enumerate() {
+        use sor::sensors::Environment;
+        let (lat, lon) = shop.location();
+        server
+            .register_application(shop_app(i as u64 + 1, shop.name(), lat, lon))
+            .unwrap();
+    }
+    let mut world = SorWorld::new(server, transport);
+    for (i, shop) in shops.into_iter().enumerate() {
+        let env = Arc::new(shop);
+        for p in 0..3u64 {
+            let mut mgr = SensorManager::new();
+            for kind in [
+                SensorKind::Temperature,
+                SensorKind::Light,
+                SensorKind::Microphone,
+                SensorKind::WifiRssi,
+                SensorKind::Gps,
+            ] {
+                mgr.register(SimulatedProvider::new(kind, env.clone()));
+            }
+            let idx = world.add_phone(MobileFrontend::new((i as u64 + 1) * 100 + p, mgr));
+            world.schedule_scan(p as f64 * 120.0, idx, i as u64 + 1, 10, 1500.0);
+            world.schedule_sweeps(idx, 1.0, 15.0, 1800.0);
+        }
+    }
+    world
+}
+
+#[test]
+fn full_pipeline_scan_to_ranking() {
+    let mut world = build_world(Transport::perfect());
+    world.run_until(1900.0);
+    world.server.process_data().unwrap();
+
+    assert!(world.stats.uploads_accepted > 0);
+    assert_eq!(world.stats.decode_failures, 0);
+    assert_eq!(world.stats.server_rejections, 0);
+
+    // Every shop has every feature.
+    for app_id in 1..=3u64 {
+        for f in ["temperature", "brightness", "noise", "wifi"] {
+            assert!(
+                world.server.feature_value(app_id, f).unwrap().is_some(),
+                "missing {f} for app {app_id}"
+            );
+        }
+    }
+
+    // Ranking works and differs by preference.
+    use sor::core::ranking::Preference;
+    use sor::core::UserPreferences;
+    let warm = UserPreferences::new(
+        "warm",
+        vec![
+            Preference::value(75.0, 5),
+            Preference::largest(0),
+            Preference::largest(0),
+            Preference::largest(0),
+        ],
+    );
+    let bright = UserPreferences::new(
+        "bright",
+        vec![
+            Preference::value(75.0, 0),
+            Preference::largest(5),
+            Preference::largest(0),
+            Preference::largest(0),
+        ],
+    );
+    let rw = world.server.rank("coffee-shop", &warm).unwrap();
+    let rb = world.server.rank("coffee-shop", &bright).unwrap();
+    assert_eq!(rw.order[0], "Starbucks", "warmest shop: {:?}", rw.order);
+    assert_eq!(rb.order[0], "Tim Hortons", "brightest shop: {:?}", rb.order);
+}
+
+#[test]
+fn pipeline_survives_lossy_network() {
+    let mut world = build_world(Transport::new(TransportConfig {
+        loss_rate: 0.25,
+        corruption_rate: 0.05,
+        seed: 11,
+        ..Default::default()
+    }));
+    world.run_until(1900.0);
+    world.server.process_data().unwrap();
+    // Corruption must be detected, never ingested silently.
+    assert!(world.stats.decode_failures > 0);
+    assert!(world.stats.uploads_accepted > 0);
+    // With three phones per shop something still gets through for the
+    // robust mean features.
+    assert!(world
+        .server
+        .feature_value(1, "temperature")
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn schedule_times_respect_budget_and_stay() {
+    let mut world = build_world(Transport::perfect());
+    world.run_until(1900.0);
+    // Phones never execute more sense times than their budget.
+    for phone in &world.phones {
+        for task in phone.tasks() {
+            assert!(
+                task.sense_times.len() <= 10,
+                "schedule exceeds budget: {} times",
+                task.sense_times.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_roundtrip_preserves_upload_payloads() {
+    // End-to-end check that record payloads survive phone→server.
+    let env = Arc::new(presets::starbucks(9));
+    let mut mgr = SensorManager::new();
+    mgr.register(SimulatedProvider::new(SensorKind::Microphone, env));
+    let mut phone = MobileFrontend::new(50, mgr);
+    phone.handle_message(&Message::ScheduleAssignment {
+        task_id: 1,
+        script: "get_noise_readings(4)".into(),
+        sense_times: vec![5.0],
+    });
+    let out = phone.advance_to(10.0);
+    let Message::SensedDataUpload { records, .. } = &out[0] else { panic!("{out:?}") };
+    let original = records.clone();
+    // Encode/decode across the "network".
+    let frame = out[0].encode();
+    let Message::SensedDataUpload { records: decoded, .. } = Message::decode(&frame).unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(original, decoded);
+    assert_eq!(decoded[0].values.len(), 4);
+}

@@ -1,0 +1,278 @@
+//! Privacy and robustness behaviours of the full system.
+
+use std::sync::Arc;
+
+use sor::frontend::MobileFrontend;
+use sor::proto::Message;
+use sor::sensors::environment::presets;
+use sor::sensors::{Environment, SensorKind, SensorManager, SimulatedProvider};
+use sor::server::{ApplicationSpec, SensingServer, ServerError};
+use sor::sim::scenario::{coffee_features, trail_features, COFFEE_SCRIPT, TRAIL_SCRIPT};
+
+fn coffee_manager(env: &Arc<sor::sensors::environment::place::PlaceEnvironment>) -> SensorManager {
+    let mut mgr = SensorManager::new();
+    for kind in [
+        SensorKind::Temperature,
+        SensorKind::Light,
+        SensorKind::Microphone,
+        SensorKind::WifiRssi,
+        SensorKind::Gps,
+    ] {
+        mgr.register(SimulatedProvider::new(kind, env.clone() as Arc<dyn Environment>));
+    }
+    mgr
+}
+
+fn cafe_server(env: &Arc<sor::sensors::environment::place::PlaceEnvironment>) -> SensingServer {
+    let mut server = SensingServer::new().unwrap();
+    let (lat, lon) = env.location();
+    server
+        .register_application(ApplicationSpec {
+            app_id: 1,
+            name: env.name().to_string(),
+            creator: "t".into(),
+            category: "coffee-shop".into(),
+            latitude: lat,
+            longitude: lon,
+            radius_m: 200.0,
+            script: COFFEE_SCRIPT.into(),
+            period_seconds: 1200.0,
+            instants: 120,
+            features: coffee_features(),
+        })
+        .unwrap();
+    server
+}
+
+#[test]
+fn gps_veto_blocks_participation() {
+    // A user who refuses to share location cannot be verified as
+    // actually being at the place — the Participation Manager must
+    // refuse them (§II-B's truthfulness check).
+    let env = Arc::new(presets::bn_cafe(31));
+    let mut server = cafe_server(&env);
+    let mut phone = MobileFrontend::new(1, coffee_manager(&env));
+    phone.preferences_mut().disallow(SensorKind::Gps);
+    let scan = phone.scan_barcode(1, 5, 600.0);
+    let err = server.handle_message(&scan).unwrap_err();
+    assert!(matches!(err, ServerError::LocationMismatch { .. }), "{err:?}");
+}
+
+#[test]
+fn gps_veto_still_allows_non_location_sensing() {
+    // Once admitted (e.g. scanned before changing preferences), a
+    // GPS-vetoing phone still contributes every other sensor; the GPS
+    // records simply never appear.
+    let env = Arc::new(presets::bn_cafe(32));
+    let mut server = cafe_server(&env);
+    let mut phone = MobileFrontend::new(1, coffee_manager(&env));
+    let scan = phone.scan_barcode(1, 5, 1200.0);
+    let replies = server.handle_message(&scan).unwrap();
+    phone.preferences_mut().disallow(SensorKind::Gps);
+    for (_, m) in &replies {
+        phone.handle_message(m);
+    }
+    let out = phone.advance_to(1200.0);
+    let mut saw_upload = false;
+    for m in &out {
+        if let Message::SensedDataUpload { records, .. } = m {
+            saw_upload = true;
+            assert!(records.iter().all(|r| r.sensor != SensorKind::Gps.wire_id()));
+            server.tick(1200.0);
+            server.handle_message(m).unwrap();
+        }
+    }
+    assert!(saw_upload);
+    server.process_data().unwrap();
+    assert!(server.feature_value(1, "temperature").unwrap().is_some());
+}
+
+#[test]
+fn early_departure_cancels_future_sensing() {
+    let env = Arc::new(presets::starbucks(33));
+    let mut server = cafe_server(&env);
+    let phone = MobileFrontend::new(2, coffee_manager(&env));
+    let scan = phone.scan_barcode(1, 10, 300.0); // stays 5 minutes only
+    let replies = server.handle_message(&scan).unwrap();
+    let (_, Message::ScheduleAssignment { sense_times, .. }) = &replies[0] else {
+        panic!()
+    };
+    // All scheduled readings are inside the declared stay.
+    for &t in sense_times {
+        assert!(t <= 300.0 + 1e-9, "reading at {t} after departure");
+    }
+    // After the stay, the participation manager finishes the task.
+    server.tick(400.0);
+    assert!(matches!(
+        server.participation().task(0).unwrap().status,
+        sor::server::ParticipantStatus::Finished
+    ));
+}
+
+#[test]
+fn one_server_hosts_multiple_categories() {
+    // §IV-A: "SOR can certainly deal with multiple categories by using
+    // multiple such matrices."
+    let mut server = SensingServer::new().unwrap();
+    let shop = presets::bn_cafe(41);
+    let trail = presets::green_lake_trail(42);
+    let (slat, slon) = shop.location();
+    let (tlat, tlon) = trail.location();
+    server
+        .register_application(ApplicationSpec {
+            app_id: 1,
+            name: shop.name().to_string(),
+            creator: "t".into(),
+            category: "coffee-shop".into(),
+            latitude: slat,
+            longitude: slon,
+            radius_m: 200.0,
+            script: COFFEE_SCRIPT.into(),
+            period_seconds: 600.0,
+            instants: 60,
+            features: coffee_features(),
+        })
+        .unwrap();
+    server
+        .register_application(ApplicationSpec {
+            app_id: 2,
+            name: trail.name().to_string(),
+            creator: "t".into(),
+            category: "hiking-trail".into(),
+            latitude: tlat,
+            longitude: tlon,
+            radius_m: 5000.0,
+            script: TRAIL_SCRIPT.into(),
+            period_seconds: 600.0,
+            instants: 60,
+            features: trail_features(),
+        })
+        .unwrap();
+    assert_eq!(server.applications().by_category("coffee-shop").len(), 1);
+    assert_eq!(server.applications().by_category("hiking-trail").len(), 1);
+    // Category isolation: ranking an unknown category errors, known
+    // categories do not leak each other's apps.
+    let prefs = sor::core::UserPreferences::new("x", vec![]);
+    assert!(server.rank("museum", &prefs).is_err());
+}
+
+#[test]
+fn wakeup_roundtrip_reestablishes_contact() {
+    // The Google-Cloud-Messaging fallback (§II-A): the server pages a
+    // quiet phone; the phone pings back.
+    let env = Arc::new(presets::tim_hortons(51));
+    let mut phone = MobileFrontend::new(77, coffee_manager(&env));
+    phone.advance_to(120.0);
+    let replies = phone.handle_message(&Message::WakeUp { token: 77 });
+    let [Message::Ping { token, uptime_ms }] = replies.as_slice() else {
+        panic!("{replies:?}")
+    };
+    assert_eq!(*token, 77);
+    assert_eq!(*uptime_ms, 120_000);
+}
+
+#[test]
+fn flaky_sensor_fails_task_but_not_the_system() {
+    use sor::sensors::FlakyProvider;
+    let env = Arc::new(presets::bn_cafe(71));
+    let mut server = cafe_server(&env);
+
+    // Phone A: microphone dies on its second acquisition.
+    let mut mgr_a = SensorManager::new();
+    for kind in [SensorKind::Temperature, SensorKind::Light, SensorKind::WifiRssi, SensorKind::Gps]
+    {
+        mgr_a.register(SimulatedProvider::new(kind, env.clone() as Arc<dyn Environment>));
+    }
+    mgr_a.register(FlakyProvider::every(
+        SimulatedProvider::new(SensorKind::Microphone, env.clone() as Arc<dyn Environment>),
+        2,
+    ));
+    let mut phone_a = MobileFrontend::new(1, mgr_a);
+    // Phone B: healthy.
+    let mut phone_b = MobileFrontend::new(2, coffee_manager(&env));
+
+    for phone in [&mut phone_a, &mut phone_b] {
+        let scan = phone.scan_barcode(1, 6, 1200.0);
+        let replies = server.handle_message(&scan).unwrap();
+        for (token, m) in &replies {
+            if *token == phone.token() {
+                phone.handle_message(m);
+            }
+        }
+    }
+    let mut a_failed = false;
+    for m in phone_a.advance_to(1200.0) {
+        server.tick(1200.0);
+        if let Message::TaskComplete { status, .. } = m {
+            a_failed |= status != 0;
+        }
+        let _ = server.handle_message(&m);
+    }
+    assert!(a_failed, "the flaky phone must report a task error");
+    for m in phone_b.advance_to(1200.0) {
+        server.tick(1200.0);
+        server.handle_message(&m).unwrap();
+    }
+    server.process_data().unwrap();
+    // The healthy phone's data still yields every feature.
+    for f in ["temperature", "brightness", "noise", "wifi"] {
+        assert!(server.feature_value(1, f).unwrap().is_some(), "missing {f}");
+    }
+}
+
+#[test]
+fn rescan_after_finish_starts_a_fresh_task() {
+    let env = Arc::new(presets::bn_cafe(81));
+    let mut server = cafe_server(&env);
+    let mut phone = MobileFrontend::new(3, coffee_manager(&env));
+
+    // First visit: short stay, small budget.
+    let scan = phone.scan_barcode(1, 2, 200.0);
+    let replies = server.handle_message(&scan).unwrap();
+    let first_task = match &replies[0] {
+        (_, Message::ScheduleAssignment { task_id, .. }) => *task_id,
+        other => panic!("{other:?}"),
+    };
+    for (_, m) in &replies {
+        phone.handle_message(m);
+    }
+    for m in phone.advance_to(250.0) {
+        server.tick(250.0);
+        let _ = server.handle_message(&m);
+    }
+    server.tick(300.0); // departure sweep ends the first task
+
+    // Second visit, same device token.
+    let scan = phone.scan_barcode(1, 3, 600.0);
+    let replies = server.handle_message(&scan).unwrap();
+    let second_task = replies
+        .iter()
+        .find_map(|(t, m)| match m {
+            Message::ScheduleAssignment { task_id, .. } if *t == 3 => Some(*task_id),
+            _ => None,
+        })
+        .expect("re-scan must produce a fresh assignment");
+    assert_ne!(first_task, second_task, "re-arrival mints a new task id");
+    for (_, m) in &replies {
+        phone.handle_message(m);
+    }
+    let uploads = phone
+        .advance_to(1000.0)
+        .iter()
+        .filter(|m| matches!(m, Message::SensedDataUpload { .. }))
+        .count();
+    assert!(uploads > 0, "the second visit senses again");
+}
+
+#[test]
+fn budget_zero_user_contributes_nothing_but_is_admitted() {
+    let env = Arc::new(presets::bn_cafe(61));
+    let mut server = cafe_server(&env);
+    let phone = MobileFrontend::new(9, coffee_manager(&env));
+    let scan = phone.scan_barcode(1, 0, 600.0);
+    let replies = server.handle_message(&scan).unwrap();
+    let (_, Message::ScheduleAssignment { sense_times, .. }) = &replies[0] else {
+        panic!()
+    };
+    assert!(sense_times.is_empty());
+}
