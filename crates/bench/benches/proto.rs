@@ -26,11 +26,9 @@ fn bench_encode(c: &mut Criterion) {
     for (records, values) in [(1usize, 5usize), (10, 10), (100, 40)] {
         let msg = upload(records, values);
         let size = msg.encode().len();
-        g.bench_with_input(
-            BenchmarkId::new(format!("upload_{size}B"), records),
-            &msg,
-            |b, msg| b.iter(|| black_box(msg.encode())),
-        );
+        g.bench_with_input(BenchmarkId::new(format!("upload_{size}B"), records), &msg, |b, msg| {
+            b.iter(|| black_box(msg.encode()))
+        });
     }
     g.finish();
 }

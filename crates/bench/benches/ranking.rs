@@ -36,9 +36,7 @@ fn bench_aggregation_methods(c: &mut Criterion) {
         ("kemeny_exact", AggregationMethod::KemenyExact),
         ("borda", AggregationMethod::Borda),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(aggregate(&r, &w, method).unwrap()))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(aggregate(&r, &w, method).unwrap())));
     }
     g.finish();
 }
@@ -51,9 +49,7 @@ fn bench_place_scaling(c: &mut Criterion) {
             b.iter(|| black_box(aggregate(&r, &w, AggregationMethod::FootruleFlow).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("footrule_hungarian", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(aggregate(&r, &w, AggregationMethod::FootruleHungarian).unwrap())
-            })
+            b.iter(|| black_box(aggregate(&r, &w, AggregationMethod::FootruleHungarian).unwrap()))
         });
     }
     g.finish();

@@ -15,11 +15,7 @@ fn problem(users: usize, budget: usize) -> ScheduleProblem {
     let cfg = SchedulingConfig::paper(users, budget, 99);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let grid = TimeGrid::new(0.0, cfg.period, cfg.instants).unwrap();
-    ScheduleProblem::new(
-        grid,
-        GaussianCoverage::new(cfg.sigma),
-        draw_participants(&cfg, &mut rng),
-    )
+    ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), draw_participants(&cfg, &mut rng))
 }
 
 fn bench_solvers(c: &mut Criterion) {
@@ -56,9 +52,7 @@ fn bench_evaluation(c: &mut Criterion) {
     let p = problem(40, 17);
     let s = lazy_greedy(&p);
     c.bench_function("schedule/evaluate", |b| b.iter(|| black_box(p.evaluate(&s))));
-    c.bench_function("schedule/coverage_profile", |b| {
-        b.iter(|| black_box(p.coverage_profile(&s)))
-    });
+    c.bench_function("schedule/coverage_profile", |b| b.iter(|| black_box(p.coverage_profile(&s))));
 }
 
 criterion_group! {

@@ -21,9 +21,7 @@ fn interpreter_with_host() -> Interpreter {
     interp.host_mut().register("get_light_readings", |ctx, args| {
         let n = args.first().and_then(Value::as_number).unwrap_or(1.0) as usize;
         ctx.virtual_time += 0.1 * n as f64;
-        Ok(Value::number_array(
-            &(0..n).map(|i| 400.0 + (i as f64) * 3.5).collect::<Vec<_>>(),
-        ))
+        Ok(Value::number_array(&(0..n).map(|i| 400.0 + (i as f64) * 3.5).collect::<Vec<_>>()))
     });
     interp
 }

@@ -32,9 +32,7 @@ fn filled_table(rows: usize, indexed: bool) -> Table {
 }
 
 fn bench_insert(c: &mut Criterion) {
-    c.bench_function("store/insert_1k_rows", |b| {
-        b.iter(|| black_box(filled_table(1000, false)))
-    });
+    c.bench_function("store/insert_1k_rows", |b| b.iter(|| black_box(filled_table(1000, false))));
     c.bench_function("store/insert_1k_rows_indexed", |b| {
         b.iter(|| black_box(filled_table(1000, true)))
     });

@@ -53,11 +53,8 @@ fn sigma_sensitivity() {
     let participants = draw_participants(&cfg, &mut rng);
     let grid = TimeGrid::new(0.0, cfg.period, cfg.instants).unwrap();
     for sigma in [2.0, 5.0, 10.0, 20.0, 60.0] {
-        let problem = ScheduleProblem::new(
-            grid,
-            GaussianCoverage::new(sigma),
-            participants.clone(),
-        );
+        let problem =
+            ScheduleProblem::new(grid, GaussianCoverage::new(sigma), participants.clone());
         let cov = problem.average_coverage(&lazy_greedy(&problem));
         println!("  σ = {sigma:>4.0} s  → average coverage {cov:.3}");
     }
@@ -118,8 +115,7 @@ fn aggregation_quality() {
         let weights: Vec<f64> = (0..5).map(|_| rng.random_range(1..=5) as f64).collect();
         let exact = aggregate(&rankings, &weights, AggregationMethod::KemenyExact).unwrap();
         let foot = aggregate(&rankings, &weights, AggregationMethod::FootruleFlow).unwrap();
-        let kem =
-            aggregate(&rankings, &weights, AggregationMethod::FootruleKemenized).unwrap();
+        let kem = aggregate(&rankings, &weights, AggregationMethod::FootruleKemenized).unwrap();
         let borda = aggregate(&rankings, &weights, AggregationMethod::Borda).unwrap();
         let opt = weighted_kemeny(&exact, &rankings, &weights).max(1e-9);
         ratios_foot.push(weighted_kemeny(&foot, &rankings, &weights) / opt);
@@ -152,11 +148,8 @@ fn online_vs_oracle() {
     participants.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
 
     // Oracle: sees everyone up front.
-    let oracle_problem = ScheduleProblem::new(
-        grid,
-        GaussianCoverage::new(cfg.sigma),
-        participants.clone(),
-    );
+    let oracle_problem =
+        ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants.clone());
     let oracle_cov = oracle_problem.average_coverage(&lazy_greedy(&oracle_problem));
 
     // Online: learns of each user at their arrival instant.
@@ -182,8 +175,7 @@ fn buffer_energy() {
     for (label, freshness) in [("no buffer", 0.0f64), ("5 s buffer", 5.0)] {
         let meter = EnergyMeter::new();
         let provider = BufferedProvider::new(
-            SimulatedProvider::new(SensorKind::WifiRssi, env.clone())
-                .with_meter(meter.clone()),
+            SimulatedProvider::new(SensorKind::WifiRssi, env.clone()).with_meter(meter.clone()),
             freshness.max(1e-9),
         );
         // Three tasks sampling at (almost) the same times — the sharing
@@ -215,8 +207,7 @@ fn fairness() {
         let grid = TimeGrid::new(0.0, cfg.period, cfg.instants).unwrap();
         let participants = draw_participants(&cfg, &mut rng);
         let ids: Vec<UserId> = participants.iter().map(|p| p.user).collect();
-        let problem =
-            ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
+        let problem = ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
         let g = lazy_greedy(&problem);
         let b = baseline(&problem);
         println!(

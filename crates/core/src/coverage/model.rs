@@ -84,10 +84,7 @@ impl ExponentialCoverage {
     ///
     /// Panics if `lambda` is not strictly positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(
-            lambda.is_finite() && lambda > 0.0,
-            "lambda must be positive, got {lambda}"
-        );
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive, got {lambda}");
         ExponentialCoverage { lambda }
     }
 }
@@ -145,9 +142,7 @@ pub struct CompositeCoverage {
 
 impl std::fmt::Debug for CompositeCoverage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompositeCoverage")
-            .field("members", &self.members.len())
-            .finish()
+        f.debug_struct("CompositeCoverage").field("members", &self.members.len()).finish()
     }
 }
 
@@ -159,10 +154,7 @@ impl CompositeCoverage {
     /// Panics if `members` is empty or any weight is non-positive.
     pub fn new(members: Vec<(f64, Box<dyn CoverageModel>)>) -> Self {
         assert!(!members.is_empty(), "composite needs at least one member");
-        assert!(
-            members.iter().all(|(w, _)| w.is_finite() && *w > 0.0),
-            "weights must be positive"
-        );
+        assert!(members.iter().all(|(w, _)| w.is_finite() && *w > 0.0), "weights must be positive");
         let weight_sum = members.iter().map(|(w, _)| w).sum();
         CompositeCoverage { members, weight_sum }
     }
@@ -189,10 +181,7 @@ impl CoverageModel for CompositeCoverage {
     }
 
     fn support_radius(&self) -> f64 {
-        self.members
-            .iter()
-            .map(|(_, m)| m.support_radius())
-            .fold(0.0, f64::max)
+        self.members.iter().map(|(_, m)| m.support_radius()).fold(0.0, f64::max)
     }
 }
 

@@ -57,18 +57,8 @@ impl<'a> CoverageState<'a> {
     /// Fresh state with no measurements.
     pub fn new(grid: &'a TimeGrid, model: &'a dyn CoverageModel) -> Self {
         let r = model.support_radius();
-        let window = if r.is_finite() {
-            Some((r / grid.spacing()).ceil() as usize)
-        } else {
-            None
-        };
-        CoverageState {
-            grid,
-            model,
-            uncovered: vec![1.0; grid.len()],
-            total: 0.0,
-            window,
-        }
+        let window = if r.is_finite() { Some((r / grid.spacing()).ceil() as usize) } else { None };
+        CoverageState { grid, model, uncovered: vec![1.0; grid.len()], total: 0.0, window }
     }
 
     /// Range of instant indexes the kernel can reach from `i`.

@@ -77,7 +77,7 @@ pub enum CoreError {
     /// A participant's stay is empty or outside the scheduling period.
     InvalidStay {
         /// The offending user.
-        user: schedule::UserId,
+        user: UserId,
     },
     /// A feature matrix dimension mismatch (places × features).
     DimensionMismatch {
@@ -108,10 +108,9 @@ pub enum CoreError {
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CoreError::InvalidGrid { start, end, instants } => write!(
-                f,
-                "invalid time grid: [{start}, {end}] with {instants} instants"
-            ),
+            CoreError::InvalidGrid { start, end, instants } => {
+                write!(f, "invalid time grid: [{start}, {end}] with {instants} instants")
+            }
             CoreError::InvalidStay { user } => {
                 write!(f, "participant {user:?} has an empty or out-of-period stay")
             }

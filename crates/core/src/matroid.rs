@@ -113,12 +113,7 @@ pub fn verify_axioms<E: Clone + PartialEq, M: Matroid<E>>(matroid: &M, ground: &
     let n = ground.len();
     assert!(n <= 16, "axiom verification is exponential; ground set too large");
     let subsets: Vec<Vec<E>> = (0u32..(1 << n))
-        .map(|mask| {
-            (0..n)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| ground[i].clone())
-                .collect()
-        })
+        .map(|mask| (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| ground[i].clone()).collect())
         .collect();
     // Axiom 1: ∅ independent.
     if !matroid.is_independent(&[]) {
@@ -131,12 +126,8 @@ pub fn verify_axioms<E: Clone + PartialEq, M: Matroid<E>>(matroid: &M, ground: &
         // Axiom 2 (hereditary): every subset of x independent. Check by
         // removing one element at a time (sufficient by induction).
         for skip in 0..x.len() {
-            let smaller: Vec<E> = x
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != skip)
-                .map(|(_, e)| e.clone())
-                .collect();
+            let smaller: Vec<E> =
+                x.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, e)| e.clone()).collect();
             if !matroid.is_independent(&smaller) {
                 return false;
             }
@@ -147,10 +138,7 @@ pub fn verify_axioms<E: Clone + PartialEq, M: Matroid<E>>(matroid: &M, ground: &
             if !matroid.is_independent(y) || x.len() <= y.len() {
                 continue;
             }
-            let found = x
-                .iter()
-                .filter(|e| !y.contains(e))
-                .any(|e| matroid.can_extend(y, e));
+            let found = x.iter().filter(|e| !y.contains(e)).any(|e| matroid.can_extend(y, e));
             if !found {
                 return false;
             }
@@ -164,9 +152,7 @@ mod tests {
     use super::*;
 
     fn actions(spec: &[(usize, usize)]) -> Vec<SenseAction> {
-        spec.iter()
-            .map(|&(u, i)| SenseAction { user: UserId(u), instant: i })
-            .collect()
+        spec.iter().map(|&(u, i)| SenseAction { user: UserId(u), instant: i }).collect()
     }
 
     #[test]

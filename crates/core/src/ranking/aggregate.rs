@@ -49,11 +49,7 @@ pub enum AggregationMethod {
 /// are inconsistent.
 pub fn weighted_footrule(r: &Ranking, rankings: &[Ranking], weights: &[f64]) -> f64 {
     assert_eq!(rankings.len(), weights.len(), "one weight per ranking");
-    rankings
-        .iter()
-        .zip(weights)
-        .map(|(rj, &w)| w * footrule_distance(r, rj) as f64)
-        .sum()
+    rankings.iter().zip(weights).map(|(rj, &w)| w * footrule_distance(r, rj) as f64).sum()
 }
 
 /// The weighted K-ranking distance `κ_K(R, Ω)` (eq. 7).
@@ -64,11 +60,7 @@ pub fn weighted_footrule(r: &Ranking, rankings: &[Ranking], weights: &[f64]) -> 
 /// are inconsistent.
 pub fn weighted_kemeny(r: &Ranking, rankings: &[Ranking], weights: &[f64]) -> f64 {
     assert_eq!(rankings.len(), weights.len(), "one weight per ranking");
-    rankings
-        .iter()
-        .zip(weights)
-        .map(|(rj, &w)| w * kemeny_distance(r, rj) as f64)
-        .sum()
+    rankings.iter().zip(weights).map(|(rj, &w)| w * kemeny_distance(r, rj) as f64).sum()
 }
 
 /// Aggregates individual rankings under user weights with the chosen
@@ -94,11 +86,7 @@ pub fn aggregate(
         });
     }
     let Some(first) = rankings.first() else {
-        return Err(CoreError::DimensionMismatch {
-            expected: 1,
-            actual: 0,
-            what: "rankings",
-        });
+        return Err(CoreError::DimensionMismatch { expected: 1, actual: 0, what: "rankings" });
     };
     let n = first.len();
     if rankings.iter().any(|r| r.len() != n) {
@@ -112,7 +100,9 @@ pub fn aggregate(
         return Ok(Ranking::identity(0));
     }
     match method {
-        AggregationMethod::FootruleFlow => footrule_optimal(rankings, weights, n, Backend::MinCostFlow),
+        AggregationMethod::FootruleFlow => {
+            footrule_optimal(rankings, weights, n, Backend::MinCostFlow)
+        }
         AggregationMethod::FootruleHungarian => {
             footrule_optimal(rankings, weights, n, Backend::Hungarian)
         }
@@ -388,8 +378,7 @@ mod tests {
         // behaviour: majority preference wins on adjacent pairs.
         let rankings = vec![rk(&[1, 0, 2]), rk(&[1, 0, 2]), rk(&[0, 1, 2])];
         let weights = vec![1.0, 1.0, 1.0];
-        let refined =
-            aggregate(&rankings, &weights, AggregationMethod::FootruleKemenized).unwrap();
+        let refined = aggregate(&rankings, &weights, AggregationMethod::FootruleKemenized).unwrap();
         // 1 must precede 0 in the refined output (2:1 majority).
         assert!(
             refined.position_of(crate::ranking::feature::PlaceId(1))
@@ -413,12 +402,9 @@ mod tests {
     fn zero_weight_rankings_are_ignored() {
         let dominant = rk(&[2, 1, 0]);
         let noise = rk(&[0, 1, 2]);
-        let agg = aggregate(
-            &[dominant.clone(), noise],
-            &[5.0, 0.0],
-            AggregationMethod::FootruleFlow,
-        )
-        .unwrap();
+        let agg =
+            aggregate(&[dominant.clone(), noise], &[5.0, 0.0], AggregationMethod::FootruleFlow)
+                .unwrap();
         assert_eq!(agg, dominant);
     }
 
@@ -426,8 +412,7 @@ mod tests {
     fn heavier_weight_dominates() {
         let a = rk(&[0, 1, 2]);
         let b = rk(&[2, 1, 0]);
-        let agg = aggregate(&[a.clone(), b], &[5.0, 1.0], AggregationMethod::FootruleFlow)
-            .unwrap();
+        let agg = aggregate(&[a.clone(), b], &[5.0, 1.0], AggregationMethod::FootruleFlow).unwrap();
         assert_eq!(agg, a);
     }
 

@@ -127,9 +127,7 @@ pub fn kemeny_distance(r1: &Ranking, r2: &Ranking) -> usize {
 /// Panics if the rankings have different lengths.
 pub fn footrule_distance(r1: &Ranking, r2: &Ranking) -> usize {
     assert_eq!(r1.len(), r2.len(), "rankings must rank the same places");
-    (0..r1.len())
-        .map(|i| r1.positions[i].abs_diff(r2.positions[i]))
-        .sum()
+    (0..r1.len()).map(|i| r1.positions[i].abs_diff(r2.positions[i])).sum()
 }
 
 #[cfg(test)]

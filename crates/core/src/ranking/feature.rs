@@ -9,15 +9,11 @@ use serde::{Deserialize, Serialize};
 use crate::CoreError;
 
 /// Index of a target place (row of `H`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PlaceId(pub usize);
 
 /// Index of a sensing feature (column of `H`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FeatureId(pub usize);
 
 /// A humanly-understandable sensing feature, e.g. "temperature (°F)" or
@@ -221,12 +217,9 @@ mod tests {
 
     #[test]
     fn rejects_nan_values() {
-        let err = FeatureMatrix::new(
-            vec!["A".into()],
-            vec![Feature::new("x", "")],
-            vec![vec![f64::NAN]],
-        )
-        .unwrap_err();
+        let err =
+            FeatureMatrix::new(vec!["A".into()], vec![Feature::new("x", "")], vec![vec![f64::NAN]])
+                .unwrap_err();
         assert!(matches!(err, CoreError::DimensionMismatch { .. }));
     }
 

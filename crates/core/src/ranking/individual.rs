@@ -18,18 +18,11 @@ use crate::ranking::distance::Ranking;
 pub fn individual_rankings(gamma: &[Vec<f64>]) -> Vec<Ranking> {
     let n = gamma.len();
     let m = gamma.first().map_or(0, |r| r.len());
-    assert!(
-        gamma.iter().all(|r| r.len() == m),
-        "distance matrix must be rectangular"
-    );
+    assert!(gamma.iter().all(|r| r.len() == m), "distance matrix must be rectangular");
     (0..m)
         .map(|j| {
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                gamma[a][j]
-                    .total_cmp(&gamma[b][j])
-                    .then_with(|| a.cmp(&b))
-            });
+            order.sort_by(|&a, &b| gamma[a][j].total_cmp(&gamma[b][j]).then_with(|| a.cmp(&b)));
             Ranking::from_order(order).expect("sorted indexes form a permutation")
         })
         .collect()
@@ -42,11 +35,7 @@ mod tests {
 
     #[test]
     fn ranks_each_column_ascending() {
-        let gamma = vec![
-            vec![3.0, 0.0],
-            vec![1.0, 2.0],
-            vec![2.0, 1.0],
-        ];
+        let gamma = vec![vec![3.0, 0.0], vec![1.0, 2.0], vec![2.0, 1.0]];
         let rankings = individual_rankings(&gamma);
         assert_eq!(rankings.len(), 2);
         assert_eq!(rankings[0].order(), &[1, 2, 0]);

@@ -191,10 +191,8 @@ mod tests {
 
     #[test]
     fn concrete_preference_distances() {
-        let prefs = UserPreferences::new(
-            "u",
-            vec![Preference::value(72.0, 3), Preference::largest(2)],
-        );
+        let prefs =
+            UserPreferences::new("u", vec![Preference::value(72.0, 3), Preference::largest(2)]);
         let gamma = distance_matrix(&matrix(), &prefs).unwrap();
         assert_eq!(gamma[0][0], 2.0);
         assert_eq!(gamma[1][0], 7.0);
@@ -203,10 +201,8 @@ mod tests {
 
     #[test]
     fn largest_prefers_column_max() {
-        let prefs = UserPreferences::new(
-            "u",
-            vec![Preference::value(70.0, 1), Preference::largest(5)],
-        );
+        let prefs =
+            UserPreferences::new("u", vec![Preference::value(70.0, 1), Preference::largest(5)]);
         let gamma = distance_matrix(&matrix(), &prefs).unwrap();
         // WiFi column: max is -40 (place B): distance 0 for B.
         assert_eq!(gamma[1][1], 0.0);
@@ -216,10 +212,8 @@ mod tests {
 
     #[test]
     fn smallest_prefers_column_min() {
-        let prefs = UserPreferences::new(
-            "u",
-            vec![Preference::smallest(1), Preference::value(-50.0, 1)],
-        );
+        let prefs =
+            UserPreferences::new("u", vec![Preference::smallest(1), Preference::value(-50.0, 1)]);
         let gamma = distance_matrix(&matrix(), &prefs).unwrap();
         // Temp column min is 65 (place B).
         assert_eq!(gamma[1][0], 0.0);
@@ -257,10 +251,8 @@ mod tests {
 
     #[test]
     fn preferences_weights_vector() {
-        let prefs = UserPreferences::new(
-            "u",
-            vec![Preference::value(0.0, 3), Preference::largest(0)],
-        );
+        let prefs =
+            UserPreferences::new("u", vec![Preference::value(0.0, 3), Preference::largest(0)]);
         assert_eq!(prefs.weights(), vec![3.0, 0.0]);
         assert_eq!(prefs.len(), 2);
     }

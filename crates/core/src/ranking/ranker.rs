@@ -23,10 +23,7 @@ pub struct RankingOutcome {
 impl RankingOutcome {
     /// Place names best-to-worst, resolved against the feature matrix.
     pub fn named_order<'a>(&self, h: &'a FeatureMatrix) -> Vec<&'a str> {
-        self.final_ranking
-            .iter()
-            .map(|p| h.place_name(p))
-            .collect()
+        self.final_ranking.iter().map(|p| h.place_name(p)).collect()
     }
 
     /// Explains the final ranking: for every place (best first), the
@@ -307,8 +304,8 @@ mod tests {
 
     #[test]
     fn no_features_yields_identity() {
-        let h = FeatureMatrix::new(vec!["A".into(), "B".into()], vec![], vec![vec![], vec![]])
-            .unwrap();
+        let h =
+            FeatureMatrix::new(vec!["A".into(), "B".into()], vec![], vec![vec![], vec![]]).unwrap();
         let prefs = UserPreferences::new("x", vec![]);
         let out = PersonalizableRanker::new().rank(&h, &prefs).unwrap();
         assert_eq!(out.final_ranking.order(), &[0, 1]);

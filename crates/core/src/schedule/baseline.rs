@@ -104,10 +104,7 @@ mod tests {
         let p = paper_like_problem(&users);
         let cov_base = p.average_coverage(&baseline(&p));
         let cov_greedy = p.average_coverage(&greedy(&p));
-        assert!(
-            cov_greedy > cov_base * 1.2,
-            "greedy {cov_greedy} vs baseline {cov_base}"
-        );
+        assert!(cov_greedy > cov_base * 1.2, "greedy {cov_greedy} vs baseline {cov_base}");
     }
 
     #[test]

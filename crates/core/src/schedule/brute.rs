@@ -31,12 +31,7 @@ pub fn brute_force(problem: &ScheduleProblem) -> Schedule {
             users_at[i].push(p.user);
         }
     }
-    let max_user = problem
-        .participants()
-        .iter()
-        .map(|p| p.user.0 + 1)
-        .max()
-        .unwrap_or(0);
+    let max_user = problem.participants().iter().map(|p| p.user.0 + 1).max().unwrap_or(0);
     let budgets: Vec<usize> = {
         let m = problem.matroid();
         (0..max_user).map(|u| m.budget_of(UserId(u))).collect()
@@ -86,12 +81,7 @@ fn attribute(
     // adj[idx] = slots reachable from instant idx.
     let adj: Vec<Vec<usize>> = instants
         .iter()
-        .map(|&i| {
-            users_at[i]
-                .iter()
-                .flat_map(|u| slots_of[u.0].iter().copied())
-                .collect()
-        })
+        .map(|&i| users_at[i].iter().flat_map(|u| slots_of[u.0].iter().copied()).collect())
         .collect();
 
     fn augment(
@@ -105,8 +95,7 @@ fn attribute(
                 continue;
             }
             visited[s] = true;
-            if slot_match[s].is_none()
-                || augment(slot_match[s].unwrap(), adj, slot_match, visited)
+            if slot_match[s].is_none() || augment(slot_match[s].unwrap(), adj, slot_match, visited)
             {
                 slot_match[s] = Some(idx);
                 return true;

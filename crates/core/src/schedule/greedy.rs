@@ -32,14 +32,10 @@ pub fn greedy_seeded(problem: &ScheduleProblem, seed: &[InstantId]) -> Schedule 
     let n = problem.grid().len();
     // Remaining budget per user id (dense).
     let matroid = problem.matroid();
-    let mut remaining: Vec<usize> = (0..problem
-        .participants()
-        .iter()
-        .map(|p| p.user.0 + 1)
-        .max()
-        .unwrap_or(0))
-        .map(|u| matroid.budget_of(UserId(u)))
-        .collect();
+    let mut remaining: Vec<usize> =
+        (0..problem.participants().iter().map(|p| p.user.0 + 1).max().unwrap_or(0))
+            .map(|u| matroid.budget_of(UserId(u)))
+            .collect();
 
     // users_at[i]: participants whose stay covers instant i.
     let mut users_at: Vec<Vec<UserId>> = vec![Vec::new(); n];

@@ -37,9 +37,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on gain; break ties toward the earlier instant so the
         // result matches plain greedy exactly.
-        self.gain
-            .total_cmp(&other.gain)
-            .then_with(|| other.instant.cmp(&self.instant))
+        self.gain.total_cmp(&other.gain).then_with(|| other.instant.cmp(&self.instant))
     }
 }
 
@@ -49,14 +47,10 @@ impl Ord for Entry {
 pub fn lazy_greedy(problem: &ScheduleProblem) -> Schedule {
     let n = problem.grid().len();
     let matroid = problem.matroid();
-    let mut remaining: Vec<usize> = (0..problem
-        .participants()
-        .iter()
-        .map(|p| p.user.0 + 1)
-        .max()
-        .unwrap_or(0))
-        .map(|u| matroid.budget_of(UserId(u)))
-        .collect();
+    let mut remaining: Vec<usize> =
+        (0..problem.participants().iter().map(|p| p.user.0 + 1).max().unwrap_or(0))
+            .map(|u| matroid.budget_of(UserId(u)))
+            .collect();
 
     let mut users_at: Vec<Vec<UserId>> = vec![Vec::new(); n];
     for p in problem.participants() {
@@ -124,15 +118,8 @@ mod tests {
 
     #[test]
     fn matches_plain_greedy_medium() {
-        let p = problem(
-            60,
-            &[
-                (0.0, 600.0, 5),
-                (100.0, 400.0, 4),
-                (250.0, 600.0, 6),
-                (0.0, 150.0, 2),
-            ],
-        );
+        let p =
+            problem(60, &[(0.0, 600.0, 5), (100.0, 400.0, 4), (250.0, 600.0, 6), (0.0, 150.0, 2)]);
         let lazy = lazy_greedy(&p);
         let plain = greedy(&p);
         // The objective values must agree exactly; the schedules should too
@@ -156,8 +143,7 @@ mod tests {
 
     #[test]
     fn heavily_overlapping_users_match_plain() {
-        let users: Vec<(f64, f64, usize)> =
-            (0..6).map(|k| (k as f64 * 20.0, 400.0, 3)).collect();
+        let users: Vec<(f64, f64, usize)> = (0..6).map(|k| (k as f64 * 20.0, 400.0, 3)).collect();
         let p = problem(40, &users);
         assert_eq!(lazy_greedy(&p), greedy(&p));
     }

@@ -149,10 +149,8 @@ impl OnlineScheduler {
         assert!(t >= self.now, "time went backwards: {} -> {t}", self.now);
         self.now = t;
         let grid = self.grid;
-        let (done, future): (Vec<_>, Vec<_>) = self
-            .planned
-            .drain(..)
-            .partition(|a| grid.time_of(InstantId(a.instant)) <= t);
+        let (done, future): (Vec<_>, Vec<_>) =
+            self.planned.drain(..).partition(|a| grid.time_of(InstantId(a.instant)) <= t);
         self.executed.extend(done);
         self.planned = future;
     }
@@ -201,18 +199,12 @@ impl OnlineScheduler {
             })
             .collect();
 
-        let problem = ScheduleProblem::from_arc(
-            self.grid,
-            Arc::clone(&self.model),
-            future_participants,
-        );
-        let seed: Vec<InstantId> =
-            self.executed.iter().map(|a| InstantId(a.instant)).collect();
+        let problem =
+            ScheduleProblem::from_arc(self.grid, Arc::clone(&self.model), future_participants);
+        let seed: Vec<InstantId> = self.executed.iter().map(|a| InstantId(a.instant)).collect();
         self.planned = greedy_seeded(&problem, &seed).assignments().to_vec();
-        self.events.push(OnlineEvent::Rescheduled {
-            at: self.now,
-            future_actions: self.planned.len(),
-        });
+        self.events
+            .push(OnlineEvent::Rescheduled { at: self.now, future_actions: self.planned.len() });
     }
 }
 

@@ -111,12 +111,7 @@ impl ScheduleProblem {
     /// budgets indexed densely by `UserId`. Users are assumed to carry
     /// dense ids `0..n`; sparse ids get budget 0.
     pub fn matroid(&self) -> BudgetMatroid {
-        let max_id = self
-            .participants
-            .iter()
-            .map(|p| p.user.0)
-            .max()
-            .map_or(0, |m| m + 1);
+        let max_id = self.participants.iter().map(|p| p.user.0).max().map_or(0, |m| m + 1);
         let mut budgets = vec![0usize; max_id];
         for p in &self.participants {
             budgets[p.user.0] = p.budget;
@@ -224,10 +219,8 @@ mod tests {
         ]);
         assert!(!p.is_feasible(&over_budget));
 
-        let outside_stay = Schedule::from_actions(vec![SenseAction {
-            user: UserId(1),
-            instant: 9,
-        }]);
+        let outside_stay =
+            Schedule::from_actions(vec![SenseAction { user: UserId(1), instant: 9 }]);
         assert!(!p.is_feasible(&outside_stay));
     }
 

@@ -6,9 +6,7 @@ use crate::matroid::SenseAction;
 use crate::time::InstantId;
 
 /// Identifier of a participating mobile user (dense index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UserId(pub usize);
 
 impl std::fmt::Display for UserId {
@@ -87,12 +85,8 @@ impl Schedule {
 
     /// The schedule `Φk` of one user: instant ids in ascending order.
     pub fn for_user(&self, user: UserId) -> Vec<InstantId> {
-        let mut v: Vec<InstantId> = self
-            .actions
-            .iter()
-            .filter(|a| a.user == user)
-            .map(|a| InstantId(a.instant))
-            .collect();
+        let mut v: Vec<InstantId> =
+            self.actions.iter().filter(|a| a.user == user).map(|a| InstantId(a.instant)).collect();
         v.sort();
         v
     }
@@ -220,9 +214,6 @@ mod tests {
     #[test]
     fn load_distribution_covers_absent_users() {
         let s = Schedule::from_actions(vec![act(0, 1), act(0, 2)]);
-        assert_eq!(
-            s.load_distribution(&[UserId(0), UserId(7)]),
-            vec![2, 0]
-        );
+        assert_eq!(s.load_distribution(&[UserId(0), UserId(7)]), vec![2, 0]);
     }
 }

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::CoreError;
 
 /// Index of a time instant within a [`TimeGrid`] (0-based).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct InstantId(pub usize);
 
 impl std::fmt::Display for InstantId {
@@ -185,14 +183,7 @@ mod tests {
     fn iter_yields_all_instants_in_order() {
         let grid = TimeGrid::new(0.0, 30.0, 3).unwrap();
         let v: Vec<_> = grid.iter().collect();
-        assert_eq!(
-            v,
-            vec![
-                (InstantId(0), 10.0),
-                (InstantId(1), 20.0),
-                (InstantId(2), 30.0)
-            ]
-        );
+        assert_eq!(v, vec![(InstantId(0), 10.0), (InstantId(1), 20.0), (InstantId(2), 30.0)]);
     }
 
     #[test]

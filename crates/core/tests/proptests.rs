@@ -30,9 +30,9 @@ fn permutation(n: usize) -> impl Strategy<Value = Ranking> {
 
 fn small_problem() -> impl Strategy<Value = ScheduleProblem> {
     (
-        2usize..=8,                                        // instants
+        2usize..=8, // instants
         proptest::collection::vec((0.0f64..50.0, 10.0f64..100.0, 0usize..4), 0..4),
-        1.0f64..30.0,                                      // sigma
+        1.0f64..30.0, // sigma
     )
         .prop_map(|(n, users, sigma)| {
             let span = 10.0 * n as f64;

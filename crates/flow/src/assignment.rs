@@ -111,12 +111,7 @@ mod tests {
 
     #[test]
     fn backends_agree_on_total_cost() {
-        let cost = vec![
-            vec![7, 2, 1, 9],
-            vec![4, 3, 6, 0],
-            vec![5, 8, 2, 2],
-            vec![1, 1, 4, 3],
-        ];
+        let cost = vec![vec![7, 2, 1, 9], vec![4, 3, 6, 0], vec![5, 8, 2, 2], vec![1, 1, 4, 3]];
         let a = solve(&cost, Backend::MinCostFlow).unwrap();
         let b = solve(&cost, Backend::Hungarian).unwrap();
         assert_eq!(a.total_cost, b.total_cost);

@@ -146,29 +146,18 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert!(matches!(
-            solve(&[]),
-            Err(FlowError::MalformedMatrix { rows: 0, cols: 0 })
-        ));
+        assert!(matches!(solve(&[]), Err(FlowError::MalformedMatrix { rows: 0, cols: 0 })));
     }
 
     #[test]
     fn rejects_ragged() {
         let cost = vec![vec![1, 2], vec![3]];
-        assert!(matches!(
-            solve(&cost),
-            Err(FlowError::MalformedMatrix { rows: 2, cols: 1 })
-        ));
+        assert!(matches!(solve(&cost), Err(FlowError::MalformedMatrix { rows: 2, cols: 1 })));
     }
 
     #[test]
     fn assignment_is_a_permutation() {
-        let cost = vec![
-            vec![7, 2, 1, 9],
-            vec![4, 3, 6, 0],
-            vec![5, 8, 2, 2],
-            vec![1, 1, 4, 3],
-        ];
+        let cost = vec![vec![7, 2, 1, 9], vec![4, 3, 6, 0], vec![5, 8, 2, 2], vec![1, 1, 4, 3]];
         let (assign, _) = solve(&cost).unwrap();
         let mut seen = [false; 4];
         for &j in &assign {
@@ -183,12 +172,7 @@ mod tests {
             vec![vec![3]],
             vec![vec![1, 2], vec![2, 1]],
             vec![vec![10, 4, 7], vec![5, 8, 3], vec![9, 6, 11]],
-            vec![
-                vec![0, 0, 0, 0],
-                vec![0, 1, 2, 3],
-                vec![3, 2, 1, 0],
-                vec![1, 3, 0, 2],
-            ],
+            vec![vec![0, 0, 0, 0], vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2]],
         ];
         for cost in matrices {
             let (_, total) = solve(&cost).unwrap();

@@ -72,7 +72,12 @@ impl MinCostFlow {
     /// - [`FlowError::InvalidNode`] if `s` or `t` is out of range.
     /// - [`FlowError::NegativeCycle`] if the initial residual network has
     ///   a negative cycle reachable from `s`.
-    pub fn solve_up_to(&mut self, s: NodeId, t: NodeId, limit: i64) -> Result<FlowResult, FlowError> {
+    pub fn solve_up_to(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        limit: i64,
+    ) -> Result<FlowResult, FlowError> {
         let n = self.graph.node_count();
         if s.0 >= n {
             return Err(FlowError::InvalidNode(s.0));
@@ -82,8 +87,7 @@ impl MinCostFlow {
         }
         // Bootstrap potentials with Bellman-Ford (handles negative costs).
         let init = bellman_ford(&self.graph, s.0)?;
-        let mut pot: Vec<i64> =
-            init.iter().map(|l| if l.reached() { l.dist } else { 0 }).collect();
+        let mut pot: Vec<i64> = init.iter().map(|l| if l.reached() { l.dist } else { 0 }).collect();
 
         let mut flow = 0i64;
         let mut cost = 0i64;
@@ -136,7 +140,12 @@ impl MinCostFlow {
     /// [`FlowError::Infeasible`] if the network saturates first; the
     /// partial flow remains applied to the graph so callers can inspect
     /// where it stopped.
-    pub fn solve_exact(&mut self, s: NodeId, t: NodeId, amount: i64) -> Result<FlowResult, FlowError> {
+    pub fn solve_exact(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        amount: i64,
+    ) -> Result<FlowResult, FlowError> {
         let res = self.solve_up_to(s, t, amount)?;
         if res.flow != amount {
             return Err(FlowError::Infeasible { routed: res.flow, requested: amount });
@@ -207,14 +216,8 @@ mod tests {
     #[test]
     fn invalid_endpoints_error() {
         let mut solver = MinCostFlow::new(Graph::new(2));
-        assert_eq!(
-            solver.solve_max(NodeId(5), NodeId(1)).unwrap_err(),
-            FlowError::InvalidNode(5)
-        );
-        assert_eq!(
-            solver.solve_max(NodeId(0), NodeId(9)).unwrap_err(),
-            FlowError::InvalidNode(9)
-        );
+        assert_eq!(solver.solve_max(NodeId(5), NodeId(1)).unwrap_err(), FlowError::InvalidNode(5));
+        assert_eq!(solver.solve_max(NodeId(0), NodeId(9)).unwrap_err(), FlowError::InvalidNode(9));
     }
 
     #[test]
@@ -222,11 +225,8 @@ mod tests {
         let mut solver = MinCostFlow::new(diamond());
         solver.solve_max(NodeId(0), NodeId(3)).unwrap();
         let g = solver.graph();
-        let total_out: i64 = g
-            .edges()
-            .filter(|&e| g.endpoints(e).0 == NodeId(0))
-            .map(|e| g.flow_on(e))
-            .sum();
+        let total_out: i64 =
+            g.edges().filter(|&e| g.endpoints(e).0 == NodeId(0)).map(|e| g.flow_on(e)).sum();
         assert_eq!(total_out, 3);
     }
 

@@ -98,11 +98,7 @@ pub fn dijkstra_with_potentials(g: &Graph, src: usize, pot: &[i64]) -> Vec<Label
                 continue;
             }
             let reduced = arc.cost + pot[u] - pot[arc.to];
-            debug_assert!(
-                reduced >= 0,
-                "negative reduced cost {reduced} on arc {u}->{}",
-                arc.to
-            );
+            debug_assert!(reduced >= 0, "negative reduced cost {reduced} on arc {u}->{}", arc.to);
             let nd = d + reduced;
             if nd < labels[arc.to].dist {
                 labels[arc.to] = Label { dist: nd, pred_arc: ai };

@@ -34,14 +34,8 @@ pub fn check_conservation(g: &Graph, s: NodeId, t: NodeId) -> ConservationReport
         balance[from.0] += f;
         balance[to.0] -= f;
     }
-    let violating_nodes = (0..n)
-        .filter(|&v| v != s.0 && v != t.0 && balance[v] != 0)
-        .collect();
-    ConservationReport {
-        source_out: balance[s.0],
-        sink_in: -balance[t.0],
-        violating_nodes,
-    }
+    let violating_nodes = (0..n).filter(|&v| v != s.0 && v != t.0 && balance[v] != 0).collect();
+    ConservationReport { source_out: balance[s.0], sink_in: -balance[t.0], violating_nodes }
 }
 
 /// Checks that no forward edge exceeds its capacity or carries negative

@@ -7,9 +7,8 @@ use sor_flow::{Graph, MinCostFlow, NodeId};
 
 /// Strategy: a random square cost matrix with n in 1..=7 and small costs.
 fn cost_matrix() -> impl Strategy<Value = Vec<Vec<i64>>> {
-    (1usize..=7).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::collection::vec(0i64..50, n), n)
-    })
+    (1usize..=7)
+        .prop_flat_map(|n| proptest::collection::vec(proptest::collection::vec(0i64..50, n), n))
 }
 
 /// Brute-force optimal assignment cost for cross-checking.

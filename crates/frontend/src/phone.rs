@@ -7,6 +7,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use sor_proto::{Message, SensedRecord};
+use sor_script::analysis::{analyze, CapabilitySet};
 use sor_script::{Interpreter, Value};
 use sor_sensors::{SensorKind, SensorManager};
 
@@ -132,11 +133,8 @@ impl MobileFrontend {
         self.now = t;
         let mut out = Vec::new();
         let manager = Arc::clone(&self.manager);
-        let allowed: HashSet<SensorKind> = SensorKind::ALL
-            .iter()
-            .copied()
-            .filter(|&k| self.prefs.is_allowed(k))
-            .collect();
+        let allowed: HashSet<SensorKind> =
+            SensorKind::ALL.iter().copied().filter(|&k| self.prefs.is_allowed(k)).collect();
         for task in &mut self.tasks {
             if task.is_done() {
                 continue;
@@ -151,10 +149,7 @@ impl MobileFrontend {
                         task.advance();
                         let records = task.drain_records();
                         if !records.is_empty() {
-                            out.push(Message::SensedDataUpload {
-                                task_id: task.task_id,
-                                records,
-                            });
+                            out.push(Message::SensedDataUpload { task_id: task.task_id, records });
                         }
                     }
                     Err(message) => {
@@ -217,15 +212,10 @@ fn execute_script(
                 // Privacy veto: the phone silently returns no data.
                 return Ok(Value::Nil);
             }
-            let n = args
-                .first()
-                .and_then(Value::as_number)
-                .map(|v| v.max(1.0) as usize)
-                .unwrap_or(1);
+            let n =
+                args.first().and_then(Value::as_number).map(|v| v.max(1.0) as usize).unwrap_or(1);
             let start = base_time + ctx.virtual_time;
-            let readings = manager
-                .acquire(kind, n, start)
-                .map_err(|e| e.to_string())?;
+            let readings = manager.acquire(kind, n, start).map_err(|e| e.to_string())?;
             let window = n as f64 * sample_interval;
             ctx.virtual_time += window;
             // Record the paper's (t, Δt, d) tuple.
@@ -260,9 +250,7 @@ fn execute_script(
                 return Ok(Value::Nil);
             }
             let start = base_time + ctx.virtual_time;
-            let fix = manager
-                .acquire(SensorKind::Gps, 1, start)
-                .map_err(|e| e.to_string())?;
+            let fix = manager.acquire(SensorKind::Gps, 1, start).map_err(|e| e.to_string())?;
             records.borrow_mut().push(SensedRecord {
                 timestamp: start,
                 window: 0.0,
@@ -275,6 +263,17 @@ fn execute_script(
             hash.insert("alt".to_string(), Value::Number(fix[0][2]));
             Ok(Value::table(Vec::new(), hash))
         });
+    }
+
+    // Pre-execution re-verification: the phone does not trust the
+    // server's admission check and re-runs the static analyzer against
+    // the exact host registry this interpreter executes under. An
+    // error-severity finding means the run is statically doomed, so no
+    // sensing effort is spent on it.
+    let verdict = analyze(script, &CapabilitySet::from_registry(interp.host()));
+    if verdict.has_errors() {
+        let findings: Vec<String> = verdict.errors().map(ToString::to_string).collect();
+        return Err(format!("script rejected before execution: {}", findings.join("; ")));
     }
 
     let run_result = interp.run(script).map_err(|e| e.to_string());
@@ -387,9 +386,7 @@ mod tests {
         "#;
         assign(&mut p, 3, script, vec![1.0]);
         let out = p.advance_to(2.0);
-        let Message::SensedDataUpload { records, .. } = &out[0] else {
-            panic!("{out:?}")
-        };
+        let Message::SensedDataUpload { records, .. } = &out[0] else { panic!("{out:?}") };
         assert!(records.iter().all(|r| r.sensor != SensorKind::Gps.wire_id()));
     }
 
@@ -406,8 +403,7 @@ mod tests {
         assert!((latitude - 43.0445).abs() < 0.01);
 
         p.preferences_mut().disallow(SensorKind::Gps);
-        let Message::ParticipationRequest { latitude, .. } = p.scan_barcode(5, 17, 1800.0)
-        else {
+        let Message::ParticipationRequest { latitude, .. } = p.scan_barcode(5, 17, 1800.0) else {
             panic!()
         };
         assert_eq!(latitude, 0.0);
@@ -439,6 +435,37 @@ mod tests {
         assert!(matches!(out[0], Message::TaskComplete { status: 1, .. }));
         let TaskStatus::Error(msg) = &p.task(6).unwrap().status else { panic!() };
         assert!(msg.contains("non-whitelisted"), "{msg}");
+    }
+
+    #[test]
+    fn standard_sensing_matches_phone_registry() {
+        // The server verifies admissions against
+        // `CapabilitySet::standard_sensing()`; the phone re-verifies
+        // against its real registry. This pins the two vocabularies
+        // together so the server can never admit a script the phone
+        // will reject (or vice versa).
+        let names: Vec<String> = {
+            let mut v: Vec<String> = ACQUISITION_FNS.iter().map(|&(n, _)| n.to_string()).collect();
+            v.push("get_location".to_string());
+            v.sort();
+            v
+        };
+        let standard: Vec<String> =
+            CapabilitySet::standard_sensing().names().map(String::from).collect();
+        assert_eq!(standard, names);
+    }
+
+    #[test]
+    fn statically_rejected_script_spends_no_sensing_effort() {
+        let mut p = phone();
+        assign(&mut p, 8, "get_light_readings(1)\nsteal_contacts()", vec![1.0]);
+        let out = p.advance_to(2.0);
+        // The analyzer rejects before execution, so even the
+        // whitelisted first line must not have sampled anything.
+        assert!(!out.iter().any(|m| matches!(m, Message::SensedDataUpload { .. })), "{out:?}");
+        assert!(matches!(out[0], Message::TaskComplete { task_id: 8, status: 1 }));
+        let TaskStatus::Error(msg) = &p.task(8).unwrap().status else { panic!() };
+        assert!(msg.contains("rejected before execution"), "{msg}");
     }
 
     #[test]

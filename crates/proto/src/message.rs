@@ -214,9 +214,8 @@ impl Message {
         }
         let body_end = frame.len() - r.remaining() + len;
         let payload = &frame[frame.len() - r.remaining()..body_end];
-        let stored_crc = u32::from_le_bytes(
-            frame[body_end..body_end + 4].try_into().expect("4 bytes"),
-        );
+        let stored_crc =
+            u32::from_le_bytes(frame[body_end..body_end + 4].try_into().expect("4 bytes"));
         let computed = crc32(&frame[..body_end]);
         if computed != stored_crc {
             return Err(ProtoError::ChecksumMismatch { computed, stored: stored_crc });
@@ -268,10 +267,7 @@ impl Message {
             }
             5 => Message::WakeUp { token: p.get_uvar()? },
             6 => Message::Ping { token: p.get_uvar()?, uptime_ms: p.get_uvar()? },
-            7 => Message::TaskComplete {
-                task_id: p.get_uvar()?,
-                status: p.get_uvar()? as u32,
-            },
+            7 => Message::TaskComplete { task_id: p.get_uvar()?, status: p.get_uvar()? as u32 },
             other => return Err(ProtoError::UnknownMessageType(other)),
         };
         if p.remaining() > 0 {
@@ -390,10 +386,7 @@ mod tests {
         w.put_uvar(0);
         let crc = crc32(w.as_slice());
         w.put_u32(crc);
-        assert_eq!(
-            Message::decode(w.as_slice()),
-            Err(ProtoError::UnknownMessageType(99))
-        );
+        assert_eq!(Message::decode(w.as_slice()), Err(ProtoError::UnknownMessageType(99)));
     }
 
     #[test]

@@ -169,9 +169,7 @@ impl<'a> Reader<'a> {
         let len = self.get_uvar()? as usize;
         // Guard against hostile lengths before allocating.
         if len.saturating_mul(8) > self.remaining() {
-            return Err(ProtoError::UnexpectedEof {
-                needed: len * 8 - self.remaining(),
-            });
+            return Err(ProtoError::UnexpectedEof { needed: len * 8 - self.remaining() });
         }
         (0..len).map(|_| self.get_f64()).collect()
     }

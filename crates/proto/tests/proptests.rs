@@ -10,12 +10,7 @@ fn finite_f64() -> impl Strategy<Value = f64> {
 }
 
 fn record() -> impl Strategy<Value = SensedRecord> {
-    (
-        finite_f64(),
-        0.0f64..60.0,
-        any::<u16>(),
-        proptest::collection::vec(finite_f64(), 0..8),
-    )
+    (finite_f64(), 0.0f64..60.0, any::<u16>(), proptest::collection::vec(finite_f64(), 0..8))
         .prop_map(|(timestamp, window, sensor, values)| SensedRecord {
             timestamp,
             window,
@@ -37,12 +32,13 @@ fn message() -> impl Strategy<Value = Message> {
                     stay_seconds,
                 }
             }),
-        (any::<u64>(), ".{0,60}", proptest::collection::vec(finite_f64(), 0..16))
-            .prop_map(|(task_id, script, sense_times)| Message::ScheduleAssignment {
+        (any::<u64>(), ".{0,60}", proptest::collection::vec(finite_f64(), 0..16)).prop_map(
+            |(task_id, script, sense_times)| Message::ScheduleAssignment {
                 task_id,
                 script,
                 sense_times,
-            }),
+            }
+        ),
         (any::<u64>(), proptest::collection::vec(record(), 0..6))
             .prop_map(|(task_id, records)| Message::SensedDataUpload { task_id, records }),
         (

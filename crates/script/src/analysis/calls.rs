@@ -1,0 +1,52 @@
+//! Pass 2: call-graph and capability checking.
+//!
+//! Every call site recorded by the resolution pass is validated in
+//! the interpreter's own lookup order: script values in scope first,
+//! then [`crate::stdlib`] builtins, then the host whitelist — modelled
+//! statically by the declared [`crate::analysis::CapabilitySet`].
+//! A named call that matches none of these *must* fail at runtime
+//! with `ForbiddenFunction`, so it is an **E003** error and blocks
+//! admission. Calls to script functions with statically known bodies
+//! also get an arity check (**W301**): extra arguments are silently
+//! dropped at runtime, which is almost always a bug in the script.
+
+use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
+use crate::analysis::resolve::{CallTarget, Resolution};
+
+/// Validates every call site, returning E003 / W301 findings.
+pub(crate) fn check(res: &Resolution<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for call in &res.calls {
+        match call.target {
+            CallTarget::Unknown => {
+                let name = call.name.as_deref().unwrap_or("<dynamic>");
+                diags.push(Diagnostic::new(
+                    DiagnosticCode::ForbiddenCall,
+                    call.pos,
+                    format!(
+                        "call to non-whitelisted function `{name}` (not a script \
+                         function, builtin, or declared capability)"
+                    ),
+                ));
+            }
+            CallTarget::Known(idx) => {
+                let f = &res.functions[idx];
+                if call.argc > f.params.len() {
+                    let name = call.name.as_deref().or(f.name).unwrap_or("<anonymous>");
+                    diags.push(Diagnostic::new(
+                        DiagnosticCode::ArityMismatch,
+                        call.pos,
+                        format!(
+                            "`{name}` takes {} parameter(s) but {} argument(s) are \
+                             passed (extras are silently ignored)",
+                            f.params.len(),
+                            call.argc
+                        ),
+                    ));
+                }
+            }
+            CallTarget::Builtin | CallTarget::Capability | CallTarget::Dynamic => {}
+        }
+    }
+    diags
+}

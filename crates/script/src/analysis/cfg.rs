@@ -1,0 +1,269 @@
+//! Pass 3: control flow and dataflow.
+//!
+//! Builds a small control-flow graph for the top-level block and for
+//! every function literal, then reports:
+//!
+//! - **W201** statements that can never execute (they follow a
+//!   `return`/`break`, or every arm of the preceding `if` leaves the
+//!   block),
+//! - **W202** functions (and the script itself — its result is the
+//!   task result) where some paths `return` a value and others fall
+//!   off the end or `return` nothing, so the consumer sometimes sees
+//!   `nil`,
+//! - **W103** locals that the resolution pass proved are never read
+//!   (the liveness half of the dataflow story).
+
+use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
+use crate::analysis::resolve::Resolution;
+use crate::ast::{Block, Stmt};
+use crate::Pos;
+
+/// Index of the synthetic exit block in every [`Cfg`].
+pub const EXIT: usize = 0;
+
+/// How control reaches the exit block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// `return expr`.
+    ValuedReturn,
+    /// Bare `return`.
+    EmptyReturn,
+    /// Execution fell off the end of the function (implicit nil), or a
+    /// top-level `break` ended the script.
+    Fallthrough,
+}
+
+/// One basic block: the statements it executes and its successors.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Positions of the statements in the block, in order.
+    pub stmts: Vec<Pos>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph. Block [`EXIT`] is the synthetic
+/// exit; `entry` is where execution starts.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All blocks; index 0 is the exit.
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block index.
+    pub entry: usize,
+    /// Every edge into the exit, with how it got there.
+    pub exits: Vec<(usize, ExitKind, Pos)>,
+}
+
+impl Cfg {
+    /// Builds the CFG for one function body (or the top-level block).
+    pub fn build(body: &Block, fn_pos: Pos) -> (Cfg, Vec<Diagnostic>) {
+        let mut b = Builder {
+            cfg: Cfg { blocks: vec![BasicBlock::default()], entry: 0, exits: Vec::new() },
+            loop_after: Vec::new(),
+            diags: Vec::new(),
+        };
+        let entry = b.new_block();
+        b.cfg.entry = entry;
+        let end = b.stmt_list(body, Some(entry));
+        if let Some(end) = end {
+            b.cfg.exits.push((end, ExitKind::Fallthrough, fn_pos));
+            b.edge(end, EXIT);
+        }
+        (b.cfg, b.diags)
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i], true) {
+                continue;
+            }
+            stack.extend(self.blocks[i].succs.iter().copied());
+        }
+        seen
+    }
+}
+
+struct Builder {
+    cfg: Cfg,
+    /// Stack of "after the innermost loop" blocks (`break` targets).
+    loop_after: Vec<usize>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.cfg.blocks.push(BasicBlock::default());
+        self.cfg.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.cfg.blocks[from].succs.push(to);
+    }
+
+    /// Lowers a statement list starting in `cur`. Returns the block
+    /// where control continues, or `None` if every path has left the
+    /// list (returned, broken, or diverged).
+    fn stmt_list(&mut self, stmts: &[Stmt], mut cur: Option<usize>) -> Option<usize> {
+        let mut reported_dead = false;
+        for stmt in stmts {
+            let c = match cur {
+                Some(c) => c,
+                None => {
+                    // Dead region: report its first statement once,
+                    // then keep lowering (nested findings still count)
+                    // in a predecessor-less block.
+                    if !reported_dead {
+                        self.diags.push(Diagnostic::new(
+                            DiagnosticCode::UnreachableCode,
+                            stmt.pos(),
+                            "unreachable statement (control cannot reach this point)",
+                        ));
+                        reported_dead = true;
+                    }
+                    self.new_block()
+                }
+            };
+            cur = self.stmt(stmt, c);
+        }
+        cur
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, cur: usize) -> Option<usize> {
+        match stmt {
+            Stmt::Local { .. }
+            | Stmt::Assign { .. }
+            | Stmt::ExprStmt(_)
+            | Stmt::LocalFunction { .. } => {
+                self.cfg.blocks[cur].stmts.push(stmt.pos());
+                Some(cur)
+            }
+            Stmt::If { arms, otherwise } => {
+                self.cfg.blocks[cur].stmts.push(stmt.pos());
+                let join = self.new_block();
+                let mut joined = false;
+                for (_, body) in arms {
+                    let arm = self.new_block();
+                    self.edge(cur, arm);
+                    if let Some(end) = self.stmt_list(body, Some(arm)) {
+                        self.edge(end, join);
+                        joined = true;
+                    }
+                }
+                match otherwise {
+                    Some(body) => {
+                        let arm = self.new_block();
+                        self.edge(cur, arm);
+                        if let Some(end) = self.stmt_list(body, Some(arm)) {
+                            self.edge(end, join);
+                            joined = true;
+                        }
+                    }
+                    None => {
+                        // No `else`: the condition may simply fail.
+                        self.edge(cur, join);
+                        joined = true;
+                    }
+                }
+                joined.then_some(join)
+            }
+            Stmt::While { body, .. }
+            | Stmt::NumericFor { body, .. }
+            | Stmt::GenericFor { body, .. } => {
+                let header = self.new_block();
+                self.cfg.blocks[header].stmts.push(stmt.pos());
+                self.edge(cur, header);
+                let after = self.new_block();
+                self.edge(header, after); // zero iterations
+                let first = self.new_block();
+                self.edge(header, first);
+                self.loop_after.push(after);
+                if let Some(end) = self.stmt_list(body, Some(first)) {
+                    self.edge(end, header); // back edge
+                }
+                self.loop_after.pop();
+                Some(after)
+            }
+            Stmt::Break(pos) => {
+                self.cfg.blocks[cur].stmts.push(*pos);
+                match self.loop_after.last() {
+                    Some(&after) => self.edge(cur, after),
+                    None => {
+                        // Top-level break: the interpreter treats it as
+                        // "end the script with nil".
+                        self.cfg.exits.push((cur, ExitKind::Fallthrough, *pos));
+                        self.edge(cur, EXIT);
+                    }
+                }
+                None
+            }
+            Stmt::Return(value, pos) => {
+                self.cfg.blocks[cur].stmts.push(*pos);
+                let kind = match value {
+                    Some(_) => ExitKind::ValuedReturn,
+                    None => ExitKind::EmptyReturn,
+                };
+                self.cfg.exits.push((cur, kind, *pos));
+                self.edge(cur, EXIT);
+                None
+            }
+        }
+    }
+}
+
+/// Runs the control-flow pass over the whole script: top level plus
+/// every function literal found by the resolution pass.
+pub(crate) fn pass(top: &Block, res: &Resolution<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    check_one(top, Pos { line: 1, col: 1 }, true, &mut diags);
+    for f in &res.functions {
+        check_one(f.body, f.pos, false, &mut diags);
+    }
+    // Anonymous function literals that are *arguments* (not bound to
+    // any name) are already in `res.functions`, so the above covers
+    // every body exactly once.
+
+    for (name, pos) in &res.unused_locals {
+        diags.push(Diagnostic::new(
+            DiagnosticCode::UnusedLocal,
+            *pos,
+            format!("local `{name}` is never read"),
+        ));
+    }
+    diags
+}
+
+fn check_one(body: &Block, fn_pos: Pos, is_top: bool, diags: &mut Vec<Diagnostic>) {
+    let (cfg, mut local_diags) = Cfg::build(body, fn_pos);
+    diags.append(&mut local_diags);
+
+    let reachable = cfg.reachable();
+    let mut valued: Option<Pos> = None;
+    let mut nil_path = false;
+    for (from, kind, pos) in &cfg.exits {
+        if !reachable[*from] {
+            continue;
+        }
+        match kind {
+            ExitKind::ValuedReturn => {
+                if valued.is_none() {
+                    valued = Some(*pos);
+                }
+            }
+            ExitKind::EmptyReturn | ExitKind::Fallthrough => nil_path = true,
+        }
+    }
+    if let (Some(pos), true) = (valued, nil_path) {
+        let what = if is_top {
+            "the script returns a value on some paths but not on others \
+             (the task result is nil on the missing paths)"
+        } else {
+            "this function returns a value on some paths but not on others \
+             (callers see nil on the missing paths)"
+        };
+        diags.push(Diagnostic::new(DiagnosticCode::InconsistentReturns, pos, what));
+    }
+}

@@ -1,0 +1,373 @@
+//! Pass 4: static instruction-cost bounding.
+//!
+//! Computes a conservative upper bound on the number of budget
+//! charges the interpreter can make while running the script: one per
+//! statement executed, one per expression node evaluated, one per
+//! loop iteration (exactly the charge sites in
+//! [`crate::interp::Interpreter`]). The bound is sound for any script
+//! the interpreter runs to completion — `break`, short-circuit
+//! evaluation, and untaken `if` arms only ever make the true count
+//! smaller.
+//!
+//! Loops are bounded when their trip count is statically known:
+//! numeric `for` with constant-foldable bounds, and generic `for`
+//! over a table literal. Everything else — `while` with a non-constant
+//! condition, recursion, iteration over dynamic tables, calls through
+//! function *values* the analyzer cannot see through — is ⊤
+//! ([`Cost::Unbounded`]) and reported as **W402**. A bounded estimate
+//! above the budget is **W401**; a constant-zero `for` step (a
+//! guaranteed runtime error) is **W302**.
+
+use std::ops::Add;
+
+use std::collections::HashMap;
+
+use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
+use crate::analysis::resolve::{CallTarget, Resolution};
+use crate::ast::{Block, Expr, Stmt, TableKey, Target, UnOp};
+use crate::Pos;
+
+/// A static instruction bound: a concrete count, or ⊤.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cost {
+    /// At most this many budget charges.
+    Bounded(u64),
+    /// The analyzer cannot bound the script.
+    Unbounded,
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    /// Saturating sum.
+    fn add(self, other: Cost) -> Cost {
+        match (self, other) {
+            (Cost::Bounded(a), Cost::Bounded(b)) => Cost::Bounded(a.saturating_add(b)),
+            _ => Cost::Unbounded,
+        }
+    }
+}
+
+impl Cost {
+    /// Saturating scale (per-iteration cost × trip count).
+    #[must_use]
+    pub fn times(self, n: u64) -> Cost {
+        match self {
+            Cost::Bounded(a) => Cost::Bounded(a.saturating_mul(n)),
+            Cost::Unbounded => Cost::Unbounded,
+        }
+    }
+
+    /// Whether the bound is finite.
+    pub fn is_bounded(self) -> bool {
+        matches!(self, Cost::Bounded(_))
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cost::Bounded(n) => write!(f, "≤ {n} instructions"),
+            Cost::Unbounded => f.write_str("statically unbounded"),
+        }
+    }
+}
+
+/// The result of the cost pass.
+#[derive(Debug)]
+pub(crate) struct CostOutcome {
+    /// The whole-script bound.
+    pub total: Cost,
+    /// W302 / W401 / W402 findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Estimates the script's instruction bound against `budget`.
+pub(crate) fn estimate(top: &Block, res: &Resolution<'_>, budget: u64) -> CostOutcome {
+    let call_targets: HashMap<(u32, u32), CallTarget> =
+        res.calls.iter().map(|c| ((c.pos.line, c.pos.col), c.target)).collect();
+    let mut est = Estimator {
+        res,
+        call_targets,
+        memo: vec![Memo::Unvisited; res.functions.len()],
+        first_unbounded: None,
+        diags: Vec::new(),
+    };
+    let total = est.block_cost(top);
+    let mut diagnostics = est.diags;
+    match total {
+        Cost::Unbounded => {
+            let (pos, why) =
+                est.first_unbounded.unwrap_or((Pos { line: 1, col: 1 }, "dynamic control flow"));
+            diagnostics.push(Diagnostic::new(
+                DiagnosticCode::UnboundedCost,
+                pos,
+                format!(
+                    "cannot statically bound the script's instruction cost \
+                     ({why}); the runtime budget of {budget} is the only limit"
+                ),
+            ));
+        }
+        Cost::Bounded(n) if n > budget => {
+            diagnostics.push(Diagnostic::new(
+                DiagnosticCode::BudgetExceeded,
+                Pos { line: 1, col: 1 },
+                format!(
+                    "static instruction bound {n} exceeds the execution budget \
+                     of {budget}; the script may be aborted mid-run"
+                ),
+            ));
+        }
+        Cost::Bounded(_) => {}
+    }
+    CostOutcome { total, diagnostics }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Memo {
+    Unvisited,
+    /// On the walk stack: a call while in progress means recursion.
+    InProgress,
+    Done(Cost),
+}
+
+struct Estimator<'a, 'r> {
+    res: &'r Resolution<'a>,
+    call_targets: HashMap<(u32, u32), CallTarget>,
+    memo: Vec<Memo>,
+    first_unbounded: Option<(Pos, &'static str)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Estimator<'_, '_> {
+    fn unbounded(&mut self, pos: Pos, why: &'static str) -> Cost {
+        if self.first_unbounded.is_none() {
+            self.first_unbounded = Some((pos, why));
+        }
+        Cost::Unbounded
+    }
+
+    fn block_cost(&mut self, block: &Block) -> Cost {
+        block.iter().fold(Cost::Bounded(0), |acc, s| acc.add(self.stmt_cost(s)))
+    }
+
+    fn stmt_cost(&mut self, stmt: &Stmt) -> Cost {
+        // Every executed statement is charged once by `exec_stmt`.
+        let base = Cost::Bounded(1);
+        match stmt {
+            Stmt::Local { init, .. } => match init {
+                Some(e) => base.add(self.expr_cost(e)),
+                None => base,
+            },
+            Stmt::LocalFunction { .. } => base,
+            Stmt::Assign { target, value, .. } => {
+                let mut c = base.add(self.expr_cost(value));
+                if let Target::Index { table, key } = target {
+                    c = c.add(self.expr_cost(table)).add(self.expr_cost(key));
+                }
+                c
+            }
+            Stmt::ExprStmt(e) => base.add(self.expr_cost(e)),
+            Stmt::If { arms, otherwise } => {
+                // Upper bound: all conditions evaluated, the most
+                // expensive body taken.
+                let mut c = base;
+                let mut worst = Cost::Bounded(0);
+                for (cond, body) in arms {
+                    c = c.add(self.expr_cost(cond));
+                    worst = worst_of(worst, self.block_cost(body));
+                }
+                if let Some(body) = otherwise {
+                    worst = worst_of(worst, self.block_cost(body));
+                }
+                c.add(worst)
+            }
+            Stmt::While { cond, body } => {
+                if const_truthy(cond) == Some(false) {
+                    // The loop never runs; only the condition is paid.
+                    return base.add(self.expr_cost(cond));
+                }
+                // Walk the body anyway so nested findings (zero steps,
+                // forbidden calls in dead loops) still surface.
+                let _ = self.expr_cost(cond);
+                let _ = self.block_cost(body);
+                let c = self.unbounded(cond.pos(), "`while` loop with a non-constant condition");
+                base.add(c)
+            }
+            Stmt::NumericFor { start, stop, step, body, .. } => {
+                let mut c = base.add(self.expr_cost(start)).add(self.expr_cost(stop));
+                if let Some(e) = step {
+                    c = c.add(self.expr_cost(e));
+                }
+                let bounds = (
+                    const_number(start),
+                    const_number(stop),
+                    step.as_ref().map_or(Some(1.0), const_number),
+                );
+                let body_cost = self.block_cost(body);
+                match bounds {
+                    (Some(_), Some(_), Some(0.0)) => {
+                        self.diags.push(Diagnostic::new(
+                            DiagnosticCode::ZeroStepFor,
+                            step.as_ref().map_or(start.pos(), Expr::pos),
+                            "numeric `for` step is constant zero (guaranteed \
+                             runtime error)",
+                        ));
+                        // The interpreter errors before iterating.
+                        c
+                    }
+                    (Some(s), Some(e), Some(st)) => {
+                        let n = trip_count(s, e, st);
+                        c.add(Cost::Bounded(1).add(body_cost).times(n))
+                    }
+                    _ => {
+                        let u =
+                            self.unbounded(start.pos(), "numeric `for` with non-constant bounds");
+                        c.add(u).add(body_cost)
+                    }
+                }
+            }
+            Stmt::GenericFor { iterable, body, .. } => {
+                let c = base.add(self.expr_cost(iterable));
+                let body_cost = self.block_cost(body);
+                if let Expr::Table { array, hash, .. } = iterable {
+                    let n = (array.len() + hash.len()) as u64;
+                    c.add(Cost::Bounded(1).add(body_cost).times(n))
+                } else {
+                    let u = self
+                        .unbounded(iterable.pos(), "generic `for` over a dynamically-sized table");
+                    c.add(u).add(body_cost)
+                }
+            }
+            Stmt::Break(_) => base,
+            Stmt::Return(e, _) => match e {
+                Some(e) => base.add(self.expr_cost(e)),
+                None => base,
+            },
+        }
+    }
+
+    fn expr_cost(&mut self, e: &Expr) -> Cost {
+        // Every evaluated expression node is charged once by `eval`.
+        let base = Cost::Bounded(1);
+        match e {
+            Expr::Nil(_)
+            | Expr::Bool(..)
+            | Expr::Number(..)
+            | Expr::Str(..)
+            | Expr::Var(..)
+            | Expr::Function { .. } => base,
+            Expr::Unary { expr, .. } => base.add(self.expr_cost(expr)),
+            Expr::Binary { lhs, rhs, .. } => base.add(self.expr_cost(lhs)).add(self.expr_cost(rhs)),
+            Expr::Index { table, key, .. } => {
+                base.add(self.expr_cost(table)).add(self.expr_cost(key))
+            }
+            Expr::Table { array, hash, .. } => {
+                let mut c = base;
+                for a in array {
+                    c = c.add(self.expr_cost(a));
+                }
+                for (k, v) in hash {
+                    if let TableKey::Expr(ke) = k {
+                        c = c.add(self.expr_cost(ke));
+                    }
+                    c = c.add(self.expr_cost(v));
+                }
+                c
+            }
+            Expr::Call { callee, args, pos } => {
+                let mut c = base;
+                for a in args {
+                    c = c.add(self.expr_cost(a));
+                }
+                let target = self.call_targets.get(&(pos.line, pos.col)).copied();
+                match target {
+                    Some(CallTarget::Known(idx)) => c.add(self.fn_cost(idx)),
+                    // Builtins and host functions never charge the
+                    // budget; unknown names error before running.
+                    Some(CallTarget::Builtin)
+                    | Some(CallTarget::Capability)
+                    | Some(CallTarget::Unknown) => c,
+                    Some(CallTarget::Dynamic) | None => {
+                        // A function value the analyzer cannot see
+                        // through could be any closure.
+                        if !matches!(callee.as_ref(), Expr::Var(..)) {
+                            c = c.add(self.expr_cost(callee));
+                        }
+                        let u = self.unbounded(*pos, "call through a dynamic function value");
+                        c.add(u)
+                    }
+                }
+            }
+        }
+    }
+
+    fn fn_cost(&mut self, idx: usize) -> Cost {
+        match self.memo[idx] {
+            Memo::Done(c) => c,
+            Memo::InProgress => self.unbounded(self.res.functions[idx].pos, "recursive function"),
+            Memo::Unvisited => {
+                self.memo[idx] = Memo::InProgress;
+                let c = self.block_cost(self.res.functions[idx].body);
+                self.memo[idx] = Memo::Done(c);
+                c
+            }
+        }
+    }
+}
+
+fn worst_of(a: Cost, b: Cost) -> Cost {
+    match (a, b) {
+        (Cost::Bounded(x), Cost::Bounded(y)) => Cost::Bounded(x.max(y)),
+        _ => Cost::Unbounded,
+    }
+}
+
+/// Trip count of `for i = start, stop, step` (the interpreter's exact
+/// iteration rule), saturated to `u64::MAX` for absurd ranges.
+fn trip_count(start: f64, stop: f64, step: f64) -> u64 {
+    let n = if step > 0.0 && start <= stop {
+        ((stop - start) / step).floor() + 1.0
+    } else if step < 0.0 && start >= stop {
+        ((start - stop) / -step).floor() + 1.0
+    } else {
+        0.0
+    };
+    if n.is_finite() && n < u64::MAX as f64 {
+        n as u64
+    } else {
+        u64::MAX
+    }
+}
+
+/// Constant-folds simple numeric expressions (literals, negation, and
+/// arithmetic on constants) — enough for real loop headers.
+fn const_number(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Number(n, _) => Some(*n),
+        Expr::Unary { op: UnOp::Neg, expr, .. } => const_number(expr).map(|n| -n),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            use crate::ast::BinOp;
+            let a = const_number(lhs)?;
+            let b = const_number(rhs)?;
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Constant truthiness of literal conditions.
+fn const_truthy(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Nil(_) => Some(false),
+        Expr::Bool(b, _) => Some(*b),
+        Expr::Number(..) | Expr::Str(..) => Some(true),
+        _ => None,
+    }
+}

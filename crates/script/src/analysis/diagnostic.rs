@@ -1,0 +1,176 @@
+//! Structured findings produced by the static analyzer.
+//!
+//! Every pass reports through the same [`Diagnostic`] shape so the
+//! server, the frontend, and `sorlint` can render and filter findings
+//! uniformly. Codes are stable strings (`E003`, `W401`, …) suitable
+//! for suppression lists and documentation tables.
+
+use crate::Pos;
+
+/// How serious a finding is.
+///
+/// `Error` findings describe scripts that will (or on the analyzed
+/// evidence must) fail at runtime; admission control rejects them.
+/// `Warning` findings are lint-grade: legal but suspicious, or
+/// "cannot prove safe" verdicts from the conservative cost pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not admission-blocking.
+    Warning,
+    /// Admission-blocking: the script is statically known to be broken.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable identifiers for every finding the analyzer can produce.
+///
+/// `E…` codes are [`Severity::Error`], `W…` codes are
+/// [`Severity::Warning`]. The numbering groups codes by pass:
+/// syntax (`E001`), name resolution (`E002`, `W1xx`), control flow
+/// (`W2xx`), call checking (`E003`, `W3xx`), and cost (`W4xx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticCode {
+    /// The script does not lex or parse.
+    SyntaxError,
+    /// A name is read but never defined anywhere reachable.
+    UndefinedName,
+    /// A call names a function that is neither script-defined, a
+    /// builtin, nor in the declared capability set.
+    ForbiddenCall,
+    /// A `local` re-declares a name already local at the same depth.
+    ShadowedLocal,
+    /// Assignment to a name never declared `local` (creates a global).
+    GlobalWrite,
+    /// A local is declared but never read.
+    UnusedLocal,
+    /// A statement can never execute.
+    UnreachableCode,
+    /// Some paths return a value, others fall off the end.
+    InconsistentReturns,
+    /// A call passes more arguments than the callee declares.
+    ArityMismatch,
+    /// A numeric `for` with a constant zero step (runtime error).
+    ZeroStepFor,
+    /// The static instruction bound exceeds the configured budget.
+    BudgetExceeded,
+    /// The cost pass could not bound the script (unbounded `while`,
+    /// recursion, or iteration/calls it cannot see through).
+    UnboundedCost,
+}
+
+impl DiagnosticCode {
+    /// The stable short code, e.g. `"E003"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagnosticCode::SyntaxError => "E001",
+            DiagnosticCode::UndefinedName => "E002",
+            DiagnosticCode::ForbiddenCall => "E003",
+            DiagnosticCode::ShadowedLocal => "W101",
+            DiagnosticCode::GlobalWrite => "W102",
+            DiagnosticCode::UnusedLocal => "W103",
+            DiagnosticCode::UnreachableCode => "W201",
+            DiagnosticCode::InconsistentReturns => "W202",
+            DiagnosticCode::ArityMismatch => "W301",
+            DiagnosticCode::ZeroStepFor => "W302",
+            DiagnosticCode::BudgetExceeded => "W401",
+            DiagnosticCode::UnboundedCost => "W402",
+        }
+    }
+
+    /// The severity implied by the code (errors block admission).
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticCode::SyntaxError
+            | DiagnosticCode::UndefinedName
+            | DiagnosticCode::ForbiddenCall => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl std::fmt::Display for DiagnosticCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: where, how bad, which rule, and a human message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Source position the finding anchors to.
+    pub pos: Pos,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The stable rule identifier.
+    pub code: DiagnosticCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic whose severity is implied by its code.
+    pub fn new(code: DiagnosticCode, pos: Pos, message: impl Into<String>) -> Self {
+        Diagnostic { pos, severity: code.severity(), code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    /// `line:col: severity[CODE]: message` — the `sorlint` line format
+    /// (the file name prefix is added by the caller).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}[{}]: {}", self.pos, self.severity, self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_imply_severity() {
+        assert_eq!(DiagnosticCode::ForbiddenCall.severity(), Severity::Error);
+        assert_eq!(DiagnosticCode::UnusedLocal.severity(), Severity::Warning);
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn display_is_lint_shaped() {
+        let d = Diagnostic::new(
+            DiagnosticCode::ForbiddenCall,
+            Pos { line: 3, col: 7 },
+            "call to non-whitelisted function `steal_contacts`",
+        );
+        assert_eq!(
+            d.to_string(),
+            "3:7: error[E003]: call to non-whitelisted function `steal_contacts`"
+        );
+    }
+
+    #[test]
+    fn all_codes_have_unique_strings() {
+        let codes = [
+            DiagnosticCode::SyntaxError,
+            DiagnosticCode::UndefinedName,
+            DiagnosticCode::ForbiddenCall,
+            DiagnosticCode::ShadowedLocal,
+            DiagnosticCode::GlobalWrite,
+            DiagnosticCode::UnusedLocal,
+            DiagnosticCode::UnreachableCode,
+            DiagnosticCode::InconsistentReturns,
+            DiagnosticCode::ArityMismatch,
+            DiagnosticCode::ZeroStepFor,
+            DiagnosticCode::BudgetExceeded,
+            DiagnosticCode::UnboundedCost,
+        ];
+        let set: std::collections::HashSet<&str> = codes.iter().map(|c| c.as_str()).collect();
+        assert_eq!(set.len(), codes.len());
+    }
+}

@@ -1,0 +1,456 @@
+//! Static analysis of SenseScript — pre-dispatch script verification.
+//!
+//! The paper's pipeline ships a script to phones and discovers
+//! problems only when a task slot has already been scheduled and
+//! spent. This module front-loads that: [`analyze`] runs a multi-pass
+//! static analyzer over the parsed AST and returns structured
+//! [`Diagnostic`]s, so the server can reject broken or forbidden
+//! scripts **at task admission**, before any scheduling work, and the
+//! frontend can re-verify before spawning a task.
+//!
+//! Passes, in order:
+//!
+//! 1. **resolve** ([`resolve`]) — lexical symbol resolution: undefined
+//!    names (E002), duplicate same-depth locals (W101), global-creating
+//!    assignments (W102).
+//! 2. **calls** ([`calls`]) — every call site checked against script
+//!    functions in scope, [`crate::stdlib`] builtins, and the declared
+//!    [`CapabilitySet`] of host functions (E003), plus arity checks on
+//!    statically known callees (W301).
+//! 3. **cfg** ([`cfg`]) — per-function control-flow graphs: unreachable
+//!    statements (W201), inconsistent returns feeding the task result
+//!    (W202), never-read locals (W103).
+//! 4. **cost** ([`cost`]) — a conservative static instruction bound
+//!    proved against the execution budget (W401), with ⊤ for loops and
+//!    calls the analyzer cannot bound (W402).
+//!
+//! Error-severity findings are reserved for scripts that are
+//! statically *known* to be broken, so admission control can reject on
+//! them without false alarms; everything heuristic is a warning.
+//!
+//! # Example
+//!
+//! ```
+//! use sor_script::analysis::{analyze, CapabilitySet};
+//!
+//! let caps = CapabilitySet::standard_sensing();
+//! let report = analyze("steal_contacts()", &caps);
+//! assert!(report.has_errors());
+//! assert!(report.diagnostics[0].message.contains("non-whitelisted"));
+//!
+//! let ok = analyze("return mean(get_light_readings(5))", &caps);
+//! assert!(!ok.has_errors());
+//! ```
+
+pub mod calls;
+pub mod cfg;
+pub mod cost;
+pub mod diagnostic;
+pub mod resolve;
+
+use std::collections::BTreeSet;
+
+use crate::ast::Block;
+use crate::host::HostRegistry;
+use crate::interp::DEFAULT_BUDGET;
+use crate::parser::parse;
+
+pub use cfg::{BasicBlock, Cfg, ExitKind, EXIT};
+pub use cost::Cost;
+pub use diagnostic::{Diagnostic, DiagnosticCode, Severity};
+
+/// The host functions a script is allowed to call — the static mirror
+/// of the runtime [`HostRegistry`] whitelist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CapabilitySet {
+    names: BTreeSet<String>,
+}
+
+impl CapabilitySet {
+    /// An empty set: only builtins and script functions are callable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set holding the given names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CapabilitySet { names: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// The exact functions a runtime registry would provide — used by
+    /// the frontend to re-verify with the registry it will execute
+    /// under.
+    pub fn from_registry(host: &HostRegistry) -> Self {
+        Self::from_names(host.names())
+    }
+
+    /// The paper's standard sensing vocabulary: one acquisition
+    /// function per sensor modality (§II-A), plus `get_location`.
+    pub fn standard_sensing() -> Self {
+        Self::from_names([
+            "get_temperature_readings",
+            "get_humidity_readings",
+            "get_light_readings",
+            "get_noise_readings",
+            "get_wifi_readings",
+            "get_pressure_readings",
+            "get_accel_readings",
+            "get_gps_readings",
+            "get_compass_readings",
+            "get_location",
+        ])
+    }
+
+    /// Adds one capability.
+    pub fn insert(&mut self, name: impl Into<String>) {
+        self.names.insert(name.into());
+    }
+
+    /// Whether `name` is a declared capability.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// The declared names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Number of declared capabilities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no capabilities are declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The analyzer's verdict on one script.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// All findings, sorted by position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The static instruction bound from the cost pass.
+    pub cost: Cost,
+    /// The budget the bound was proved against.
+    pub budget: u64,
+}
+
+impl AnalysisReport {
+    /// Whether any finding is error severity (admission must reject).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Renders the report in the classic lint format, one finding per
+    /// line: `name:line:col: severity[CODE]: message`.
+    pub fn render(&self, source_name: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(source_name);
+            out.push(':');
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Analyzes `src` against the default execution budget.
+///
+/// Syntax errors come back as a single **E001** diagnostic rather
+/// than an `Err`, so every caller handles one shape.
+pub fn analyze(src: &str, caps: &CapabilitySet) -> AnalysisReport {
+    analyze_with_budget(src, caps, DEFAULT_BUDGET)
+}
+
+/// Analyzes `src`, proving the cost bound against `budget`.
+pub fn analyze_with_budget(src: &str, caps: &CapabilitySet, budget: u64) -> AnalysisReport {
+    match parse(src) {
+        Ok(block) => analyze_block(&block, caps, budget),
+        Err(e) => AnalysisReport {
+            diagnostics: vec![Diagnostic::new(DiagnosticCode::SyntaxError, e.pos(), e.to_string())],
+            // An unparseable script has no meaningful bound.
+            cost: Cost::Unbounded,
+            budget,
+        },
+    }
+}
+
+/// Analyzes an already-parsed block (used by embedders that parse
+/// once and both verify and execute).
+pub fn analyze_block(block: &Block, caps: &CapabilitySet, budget: u64) -> AnalysisReport {
+    let res = resolve::resolve(block, caps);
+    let mut diagnostics = res.diagnostics.clone();
+    diagnostics.extend(calls::check(&res));
+    diagnostics.extend(cfg::pass(block, &res));
+    let outcome = cost::estimate(block, &res, budget);
+    diagnostics.extend(outcome.diagnostics);
+    diagnostics.sort_by_key(|d| (d.pos.line, d.pos.col, d.code.as_str()));
+    AnalysisReport { diagnostics, cost: outcome.total, budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> CapabilitySet {
+        CapabilitySet::standard_sensing()
+    }
+
+    fn codes(report: &AnalysisReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_sensing_script_has_no_findings() {
+        let src = r#"
+            local samples = {}
+            for i = 1, 3 do
+                local a = get_accel_readings(10)
+                insert(samples, stddev(a))
+                sleep(1)
+            end
+            return mean(samples)
+        "#;
+        let r = analyze(src, &caps());
+        assert!(r.diagnostics.is_empty(), "unexpected findings: {:?}", r.diagnostics);
+        assert!(r.cost.is_bounded());
+    }
+
+    #[test]
+    fn syntax_error_is_e001() {
+        let r = analyze("local = 3", &caps());
+        assert!(r.has_errors());
+        assert_eq!(codes(&r), vec!["E001"]);
+        assert_eq!(r.cost, Cost::Unbounded);
+    }
+
+    #[test]
+    fn undefined_name_is_e002() {
+        let r = analyze("return never_defined + 1", &caps());
+        assert_eq!(codes(&r), vec!["E002"]);
+        assert_eq!(r.diagnostics[0].pos.line, 1);
+    }
+
+    #[test]
+    fn assigned_global_is_not_undefined() {
+        // Assignment order is not statically known, so any assigned
+        // name counts as possibly defined — no E002, only the W102
+        // global-write lint.
+        let r = analyze("if true then g = 5 end\nreturn g", &caps());
+        assert_eq!(codes(&r), vec!["W102"]);
+    }
+
+    #[test]
+    fn builtin_referenced_as_value_is_e002_with_hint() {
+        let r = analyze("return mean", &caps());
+        assert_eq!(codes(&r), vec!["E002"]);
+        assert!(r.diagnostics[0].message.contains("only be called"));
+    }
+
+    #[test]
+    fn forbidden_call_is_e003_mentioning_non_whitelisted() {
+        let r = analyze("steal_contacts()", &caps());
+        assert!(r.has_errors());
+        assert_eq!(codes(&r), vec!["E003"]);
+        assert!(r.diagnostics[0].message.contains("non-whitelisted"));
+        assert!(r.diagnostics[0].message.contains("steal_contacts"));
+    }
+
+    #[test]
+    fn capability_and_builtin_calls_are_clean() {
+        let r = analyze("return mean(get_light_readings(5))", &caps());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn capability_set_gates_host_calls() {
+        let narrow = CapabilitySet::from_names(["get_light_readings"]);
+        assert!(!analyze("get_light_readings(1)", &narrow).has_errors());
+        assert!(analyze("get_gps_readings(1)", &narrow).has_errors());
+    }
+
+    #[test]
+    fn local_shadows_forbidden_name() {
+        // Mirrors the interpreter: scope lookup wins over the
+        // whitelist, so a local function named like a forbidden host
+        // call is fine.
+        let src = "local function steal_contacts() return 0 end\nreturn steal_contacts()";
+        assert!(!analyze(src, &caps()).has_errors());
+    }
+
+    #[test]
+    fn duplicate_local_same_depth_is_w101() {
+        let r = analyze("local x = 1\nlocal x = 2\nreturn x", &caps());
+        assert_eq!(codes(&r), vec!["W101"]);
+        // Different depths are legal shadowing, no finding.
+        let r2 = analyze("local x = 1\nif x then local x = 2\nprint(x) end\nreturn x", &caps());
+        assert!(r2.diagnostics.is_empty(), "{:?}", r2.diagnostics);
+    }
+
+    #[test]
+    fn unused_local_is_w103_with_underscore_exemption() {
+        let r = analyze("local dead = 1\nreturn 2", &caps());
+        assert_eq!(codes(&r), vec!["W103"]);
+        let r2 = analyze("local _dead = 1\nreturn 2", &caps());
+        assert!(r2.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unreachable_after_return_is_w201() {
+        let r = analyze("return 1\nprint('never')", &caps());
+        assert_eq!(codes(&r), vec!["W201"]);
+    }
+
+    #[test]
+    fn unreachable_when_all_arms_leave_is_w201() {
+        let src = r#"
+            local x = 1
+            if x then return 1 else return 2 end
+            print('never')
+        "#;
+        let r = analyze(src, &caps());
+        assert_eq!(codes(&r), vec!["W201"]);
+    }
+
+    #[test]
+    fn inconsistent_returns_is_w202() {
+        let src = r#"
+            local x = get_light_readings(1)
+            if #x > 0 then return mean(x) end
+        "#;
+        let r = analyze(src, &caps());
+        assert_eq!(codes(&r), vec!["W202"]);
+    }
+
+    #[test]
+    fn consistent_returns_are_clean() {
+        let src = r#"
+            local x = get_light_readings(1)
+            if #x > 0 then return mean(x) else return 0 end
+        "#;
+        assert!(analyze(src, &caps()).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn arity_overflow_is_w301() {
+        let src = "local function f(a) return a end\nreturn f(1, 2)";
+        let r = analyze(src, &caps());
+        assert_eq!(codes(&r), vec!["W301"]);
+        // Fewer arguments than parameters is legal nil-padding.
+        let ok = "local function f(a, b) return a end\nreturn f(1)";
+        assert!(analyze(ok, &caps()).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn zero_step_for_is_w302() {
+        let r = analyze("for i = 1, 5, 0 do print(i) end\nreturn 0", &caps());
+        assert!(codes(&r).contains(&"W302"));
+    }
+
+    #[test]
+    fn bounded_loop_over_budget_is_w401() {
+        let src = "local s = 0\nfor i = 1, 100 do s = s + i end\nreturn s";
+        let r = analyze_with_budget(src, &caps(), 50);
+        assert!(codes(&r).contains(&"W401"), "{:?}", r.diagnostics);
+        assert!(r.cost.is_bounded());
+        // The same script against the default budget is clean.
+        assert!(analyze(src, &caps()).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unbounded_while_is_w402() {
+        let r = analyze("while true do end", &caps());
+        assert_eq!(codes(&r), vec!["W402"]);
+        assert_eq!(r.cost, Cost::Unbounded);
+        assert!(!r.has_errors(), "cost findings must not block admission");
+    }
+
+    #[test]
+    fn recursion_is_w402() {
+        let src = r#"
+            local function fib(n)
+                if n < 2 then return n end
+                return fib(n - 1) + fib(n - 2)
+            end
+            return fib(10)
+        "#;
+        let r = analyze(src, &caps());
+        assert!(codes(&r).contains(&"W402"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn generic_for_over_literal_is_bounded() {
+        let src = r#"
+            local s = 0
+            for _, v in {1, 2, 3} do s = s + v end
+            return s
+        "#;
+        let r = analyze(src, &caps());
+        assert!(r.cost.is_bounded(), "{:?}", r.diagnostics);
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn generic_for_over_dynamic_table_is_w402() {
+        let src = r#"
+            local t = get_light_readings(5)
+            local s = 0
+            for _, v in t do s = s + v end
+            return s
+        "#;
+        let r = analyze(src, &caps());
+        assert!(codes(&r).contains(&"W402"));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn self_recursive_local_lambda_resolves() {
+        // `local f = function() … f() … end` recurses through the
+        // captured scope at runtime; the resolver must not flag it.
+        let src = r#"
+            local f = function(n)
+                if n == 0 then return 0 end
+                return f(n - 1)
+            end
+            return f(3)
+        "#;
+        let r = analyze(src, &caps());
+        assert!(!r.has_errors(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn report_renders_lint_lines() {
+        let r = analyze("steal_contacts()", &caps());
+        let rendered = r.render("task.lua");
+        assert!(rendered.starts_with("task.lua:1:"));
+        assert!(rendered.contains("error[E003]"));
+    }
+
+    #[test]
+    fn diagnostics_are_position_sorted() {
+        let src = "local dead = 1\nsteal_contacts()\nbad_fn()";
+        let r = analyze(src, &caps());
+        let lines: Vec<u32> = r.diagnostics.iter().map(|d| d.pos.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,515 @@
+//! Pass 1: symbol resolution.
+//!
+//! Walks the AST with a lexical scope stack mirroring the
+//! interpreter's scoping rules (`if`/loop bodies and function bodies
+//! open child scopes; `local x = x` resolves the initialiser before
+//! the new binding exists; `local function` is visible to its own
+//! body). Reports:
+//!
+//! - **E002** reads of names with no visible definition anywhere,
+//! - **W101** duplicate `local` declarations at the same scope depth,
+//! - **W102** assignments that create globals,
+//!
+//! and records, for the later passes, every call site with what its
+//! callee statically resolves to, an arena of every function literal,
+//! and the locals that are never read.
+//!
+//! The pass is deliberately conservative about globals: the
+//! interpreter creates a global on first assignment, and assignment
+//! order is not statically known, so *any* name assigned anywhere in
+//! the script is treated as a possibly-defined global at every read.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
+use crate::analysis::CapabilitySet;
+use crate::ast::{Block, Expr, Stmt, TableKey, Target};
+use crate::stdlib;
+use crate::Pos;
+
+/// What a named call site's callee statically resolves to, in the
+/// interpreter's lookup order (scope, then builtins, then host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CallTarget {
+    /// A script function whose body is statically known (index into
+    /// [`Resolution::functions`]).
+    Known(usize),
+    /// A builtin from [`stdlib`].
+    Builtin,
+    /// A host function in the declared capability set.
+    Capability,
+    /// A variable that is in scope (or a possibly-assigned global)
+    /// but whose value the analyzer cannot see through.
+    Dynamic,
+    /// Nothing matches: the call is forbidden (E003).
+    Unknown,
+}
+
+/// One call site, as seen by the calls and cost passes.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    /// Position of the call's `(`.
+    pub pos: Pos,
+    /// The callee name (`None` for computed callees like `t.f()`).
+    pub name: Option<String>,
+    /// Number of arguments passed.
+    pub argc: usize,
+    /// Static resolution of the callee.
+    pub target: CallTarget,
+}
+
+/// A function literal (anonymous or `local function`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FnDef<'a> {
+    /// Declared parameter names.
+    pub params: &'a [String],
+    /// The body block.
+    pub body: &'a Block,
+    /// Position of the `function` keyword.
+    pub pos: Pos,
+    /// The name it is bound to, when declared as one.
+    pub name: Option<&'a str>,
+}
+
+/// Everything the resolution pass learned.
+#[derive(Debug)]
+pub(crate) struct Resolution<'a> {
+    /// E002 / W101 / W102 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every call site in the script, in source order.
+    pub calls: Vec<CallSite>,
+    /// Arena of every function literal in the script.
+    pub functions: Vec<FnDef<'a>>,
+    /// Locals declared but never read (name, declaration position).
+    pub unused_locals: Vec<(String, Pos)>,
+}
+
+/// Runs the pass over a top-level block.
+pub(crate) fn resolve<'a>(block: &'a Block, caps: &CapabilitySet) -> Resolution<'a> {
+    let mut globals = HashSet::new();
+    let mut global_fn_assigns: HashMap<&'a str, Vec<&'a Expr>> = HashMap::new();
+    collect_assigned_names(block, &mut globals, &mut global_fn_assigns);
+
+    let mut r = Resolver {
+        caps,
+        globals_assigned: globals,
+        scopes: vec![HashMap::new()],
+        out: Resolution {
+            diagnostics: Vec::new(),
+            calls: Vec::new(),
+            functions: Vec::new(),
+            unused_locals: Vec::new(),
+        },
+        warned_globals: HashSet::new(),
+        global_fns: HashMap::new(),
+    };
+
+    // A name assigned a function literal exactly once (and never
+    // reassigned) has a statically known body at every call site.
+    r.seed_global_fns(&global_fn_assigns);
+
+    r.stmt_list(block);
+    r.pop_scope();
+    r.out.diagnostics.sort_by_key(|d| (d.pos.line, d.pos.col));
+    r.out
+}
+
+/// Collects every name the script assigns with `name = …` anywhere
+/// (conditionals and closures included) — the conservative
+/// "possibly a global" set — plus the function-literal assignments
+/// used to give unique global functions a known body.
+fn collect_assigned_names<'a>(
+    block: &'a Block,
+    names: &mut HashSet<&'a str>,
+    fn_assigns: &mut HashMap<&'a str, Vec<&'a Expr>>,
+) {
+    for stmt in block {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                if let Target::Name(n) = target {
+                    names.insert(n.as_str());
+                    fn_assigns.entry(n.as_str()).or_default().push(value);
+                }
+                if let Target::Index { table, key } = target {
+                    collect_in_expr(table, names, fn_assigns);
+                    collect_in_expr(key, names, fn_assigns);
+                }
+                collect_in_expr(value, names, fn_assigns);
+            }
+            Stmt::Local { init, .. } => {
+                if let Some(e) = init {
+                    collect_in_expr(e, names, fn_assigns);
+                }
+            }
+            Stmt::ExprStmt(e) => collect_in_expr(e, names, fn_assigns),
+            Stmt::If { arms, otherwise } => {
+                for (c, b) in arms {
+                    collect_in_expr(c, names, fn_assigns);
+                    collect_assigned_names(b, names, fn_assigns);
+                }
+                if let Some(b) = otherwise {
+                    collect_assigned_names(b, names, fn_assigns);
+                }
+            }
+            Stmt::While { cond, body } => {
+                collect_in_expr(cond, names, fn_assigns);
+                collect_assigned_names(body, names, fn_assigns);
+            }
+            Stmt::NumericFor { start, stop, step, body, .. } => {
+                collect_in_expr(start, names, fn_assigns);
+                collect_in_expr(stop, names, fn_assigns);
+                if let Some(e) = step {
+                    collect_in_expr(e, names, fn_assigns);
+                }
+                collect_assigned_names(body, names, fn_assigns);
+            }
+            Stmt::GenericFor { iterable, body, .. } => {
+                collect_in_expr(iterable, names, fn_assigns);
+                collect_assigned_names(body, names, fn_assigns);
+            }
+            Stmt::LocalFunction { body, .. } => {
+                collect_assigned_names(body, names, fn_assigns);
+            }
+            Stmt::Break(_) | Stmt::Return(None, _) => {}
+            Stmt::Return(Some(e), _) => collect_in_expr(e, names, fn_assigns),
+        }
+    }
+}
+
+fn collect_in_expr<'a>(
+    e: &'a Expr,
+    names: &mut HashSet<&'a str>,
+    fn_assigns: &mut HashMap<&'a str, Vec<&'a Expr>>,
+) {
+    match e {
+        Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..) | Expr::Var(..) => {}
+        Expr::Unary { expr, .. } => collect_in_expr(expr, names, fn_assigns),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_in_expr(lhs, names, fn_assigns);
+            collect_in_expr(rhs, names, fn_assigns);
+        }
+        Expr::Call { callee, args, .. } => {
+            collect_in_expr(callee, names, fn_assigns);
+            for a in args {
+                collect_in_expr(a, names, fn_assigns);
+            }
+        }
+        Expr::Index { table, key, .. } => {
+            collect_in_expr(table, names, fn_assigns);
+            collect_in_expr(key, names, fn_assigns);
+        }
+        Expr::Table { array, hash, .. } => {
+            for a in array {
+                collect_in_expr(a, names, fn_assigns);
+            }
+            for (k, v) in hash {
+                if let TableKey::Expr(ke) = k {
+                    collect_in_expr(ke, names, fn_assigns);
+                }
+                collect_in_expr(v, names, fn_assigns);
+            }
+        }
+        Expr::Function { body, .. } => collect_assigned_names(body, names, fn_assigns),
+    }
+}
+
+#[derive(Debug)]
+struct Binding {
+    pos: Pos,
+    read: bool,
+    /// Declared as a parameter or loop variable (exempt from W103).
+    param: bool,
+    /// Index into the function arena when the binding is a statically
+    /// known function literal.
+    fn_def: Option<usize>,
+}
+
+struct Resolver<'a, 'c> {
+    caps: &'c CapabilitySet,
+    globals_assigned: HashSet<&'a str>,
+    scopes: Vec<HashMap<&'a str, Binding>>,
+    out: Resolution<'a>,
+    /// Globals already reported as W102 (one report per name).
+    warned_globals: HashSet<&'a str>,
+    /// Globals assigned a function literal exactly once.
+    global_fns: HashMap<&'a str, usize>,
+}
+
+impl<'a, 'c> Resolver<'a, 'c> {
+    /// Registers FnDefs for globals that are assigned a function
+    /// literal exactly once — their bodies are statically known.
+    fn seed_global_fns(&mut self, fn_assigns: &HashMap<&'a str, Vec<&'a Expr>>) {
+        let mut names: Vec<&&'a str> = fn_assigns.keys().collect();
+        names.sort();
+        for name in names {
+            let assigns = &fn_assigns[*name];
+            if assigns.len() != 1 {
+                continue;
+            }
+            if let Expr::Function { params, body, pos } = assigns[0] {
+                let idx = self.out.functions.len();
+                self.out.functions.push(FnDef { params, body, pos: *pos, name: Some(name) });
+                self.global_fns.insert(name, idx);
+            }
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        let scope = self.scopes.pop().expect("scope underflow");
+        let mut unused: Vec<(String, Pos)> = scope
+            .into_iter()
+            .filter(|(name, b)| !b.read && !b.param && !name.starts_with('_'))
+            .map(|(name, b)| (name.to_string(), b.pos))
+            .collect();
+        unused.sort_by_key(|(_, p)| (p.line, p.col));
+        self.out.unused_locals.extend(unused);
+    }
+
+    fn declare(&mut self, name: &'a str, pos: Pos, param: bool, fn_def: Option<usize>) {
+        let scope = self.scopes.last_mut().expect("no scope");
+        if let Some(prev) = scope.get(name) {
+            let d = Diagnostic::new(
+                DiagnosticCode::ShadowedLocal,
+                pos,
+                format!(
+                    "local `{name}` shadows an earlier local declared at {} in the same block",
+                    prev.pos
+                ),
+            );
+            self.out.diagnostics.push(d);
+        }
+        scope.insert(name, Binding { pos, read: false, param, fn_def });
+    }
+
+    /// Looks `name` up through the scope stack, marking it read.
+    fn read_local(&mut self, name: &str) -> Option<&Binding> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(b) = scope.get_mut(name) {
+                b.read = true;
+                return Some(&*b);
+            }
+        }
+        None
+    }
+
+    /// Whether `name` resolves to a local, without marking it read.
+    fn is_local(&self, name: &str) -> bool {
+        self.scopes.iter().rev().any(|s| s.contains_key(name))
+    }
+
+    fn stmt_list(&mut self, block: &'a Block) {
+        for stmt in block {
+            self.stmt(stmt);
+        }
+    }
+
+    fn scoped_block(&mut self, block: &'a Block) {
+        self.push_scope();
+        self.stmt_list(block);
+        self.pop_scope();
+    }
+
+    fn function_body(&mut self, params: &'a [String], body: &'a Block, pos: Pos) {
+        self.push_scope();
+        for p in params {
+            self.declare(p, pos, true, None);
+        }
+        self.stmt_list(body);
+        self.pop_scope();
+    }
+
+    fn register_fn(
+        &mut self,
+        params: &'a [String],
+        body: &'a Block,
+        pos: Pos,
+        name: Option<&'a str>,
+    ) -> usize {
+        let idx = self.out.functions.len();
+        self.out.functions.push(FnDef { params, body, pos, name });
+        idx
+    }
+
+    fn stmt(&mut self, stmt: &'a Stmt) {
+        match stmt {
+            Stmt::Local { name, init, pos } => {
+                // `local f = function() … end` may recurse through the
+                // captured scope, so bind the name before walking the
+                // body (mirrors the `local function` rule).
+                if let Some(Expr::Function { params, body, pos: fpos }) = init {
+                    let idx = self.register_fn(params, body, *fpos, Some(name));
+                    self.declare(name, *pos, false, Some(idx));
+                    self.function_body(params, body, *fpos);
+                } else {
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    self.declare(name, *pos, false, None);
+                }
+            }
+            Stmt::LocalFunction { name, params, body, pos } => {
+                let idx = self.register_fn(params, body, *pos, Some(name));
+                self.declare(name, *pos, false, Some(idx));
+                self.function_body(params, body, *pos);
+            }
+            Stmt::Assign { target, value, pos } => {
+                self.expr(value);
+                match target {
+                    Target::Name(name) => {
+                        if !self.is_local(name) && self.warned_globals.insert(name.as_str()) {
+                            self.out.diagnostics.push(Diagnostic::new(
+                                DiagnosticCode::GlobalWrite,
+                                *pos,
+                                format!(
+                                    "assignment to undeclared name `{name}` creates a \
+                                     global (declare it with `local`)"
+                                ),
+                            ));
+                        }
+                    }
+                    Target::Index { table, key } => {
+                        self.expr(table);
+                        self.expr(key);
+                    }
+                }
+            }
+            Stmt::ExprStmt(e) => self.expr(e),
+            Stmt::If { arms, otherwise } => {
+                for (cond, body) in arms {
+                    self.expr(cond);
+                    self.scoped_block(body);
+                }
+                if let Some(body) = otherwise {
+                    self.scoped_block(body);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond);
+                self.scoped_block(body);
+            }
+            Stmt::NumericFor { var, start, stop, step, body } => {
+                self.expr(start);
+                self.expr(stop);
+                if let Some(e) = step {
+                    self.expr(e);
+                }
+                self.push_scope();
+                self.declare(var, start.pos(), true, None);
+                self.stmt_list(body);
+                self.pop_scope();
+            }
+            Stmt::GenericFor { key_var, value_var, iterable, body } => {
+                self.expr(iterable);
+                self.push_scope();
+                self.declare(key_var, iterable.pos(), true, None);
+                if let Some(v) = value_var {
+                    self.declare(v, iterable.pos(), true, None);
+                }
+                self.stmt_list(body);
+                self.pop_scope();
+            }
+            Stmt::Break(_) => {}
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &'a Expr) {
+        match e {
+            Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..) => {}
+            Expr::Var(name, pos) => self.var_read(name, *pos),
+            Expr::Unary { expr, .. } => self.expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Index { table, key, .. } => {
+                self.expr(table);
+                self.expr(key);
+            }
+            Expr::Table { array, hash, .. } => {
+                for a in array {
+                    self.expr(a);
+                }
+                for (k, v) in hash {
+                    if let TableKey::Expr(ke) = k {
+                        self.expr(ke);
+                    }
+                    self.expr(v);
+                }
+            }
+            Expr::Function { params, body, pos } => {
+                self.register_fn(params, body, *pos, None);
+                self.function_body(params, body, *pos);
+            }
+            Expr::Call { callee, args, pos } => {
+                for a in args {
+                    self.expr(a);
+                }
+                match callee.as_ref() {
+                    // Named calls follow the interpreter's lookup order:
+                    // scope, then builtins, then the host whitelist.
+                    Expr::Var(name, _) => {
+                        let target = if let Some(b) = self.read_local(name) {
+                            match b.fn_def {
+                                Some(idx) => CallTarget::Known(idx),
+                                None => CallTarget::Dynamic,
+                            }
+                        } else if let Some(&idx) = self.global_fns.get(name.as_str()) {
+                            CallTarget::Known(idx)
+                        } else if self.globals_assigned.contains(name.as_str()) {
+                            CallTarget::Dynamic
+                        } else if stdlib::is_builtin(name) {
+                            CallTarget::Builtin
+                        } else if self.caps.contains(name) {
+                            CallTarget::Capability
+                        } else {
+                            CallTarget::Unknown
+                        };
+                        self.out.calls.push(CallSite {
+                            pos: *pos,
+                            name: Some(name.clone()),
+                            argc: args.len(),
+                            target,
+                        });
+                    }
+                    other => {
+                        self.expr(other);
+                        self.out.calls.push(CallSite {
+                            pos: *pos,
+                            name: None,
+                            argc: args.len(),
+                            target: CallTarget::Dynamic,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// A plain variable read. Builtins and host functions are *not*
+    /// first-class values in SenseScript, so a bare reference to one
+    /// is still an undefined name.
+    fn var_read(&mut self, name: &'a str, pos: Pos) {
+        if self.read_local(name).is_some() || self.globals_assigned.contains(name) {
+            return;
+        }
+        let hint = if stdlib::is_builtin(name) || self.caps.contains(name) {
+            " (builtins and host functions can only be called, not referenced as values)"
+        } else {
+            ""
+        };
+        self.out.diagnostics.push(Diagnostic::new(
+            DiagnosticCode::UndefinedName,
+            pos,
+            format!("undefined name `{name}`{hint}"),
+        ));
+    }
+}

@@ -227,6 +227,27 @@ pub enum BinOp {
     Or,
 }
 
+impl Stmt {
+    /// Source position of the statement (for error messages and
+    /// diagnostics). Statements without their own stored position
+    /// report the position of their leading expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Local { pos, .. }
+            | Stmt::Assign { pos, .. }
+            | Stmt::LocalFunction { pos, .. }
+            | Stmt::Break(pos)
+            | Stmt::Return(_, pos) => *pos,
+            Stmt::ExprStmt(e) => e.pos(),
+            // The parser guarantees at least one arm.
+            Stmt::If { arms, .. } => arms.first().map(|(c, _)| c.pos()).unwrap_or_default(),
+            Stmt::While { cond, .. } => cond.pos(),
+            Stmt::NumericFor { start, .. } => start.pos(),
+            Stmt::GenericFor { iterable, .. } => iterable.pos(),
+        }
+    }
+}
+
 impl Expr {
     /// Source position of the expression (for error messages).
     pub fn pos(&self) -> Pos {

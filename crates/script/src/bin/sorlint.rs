@@ -1,0 +1,145 @@
+//! `sorlint` — the SenseScript linter.
+//!
+//! Runs the [`sor_script::analysis`] static analyzer over script
+//! files (or stdin) and prints position-annotated findings in the
+//! classic compiler format:
+//!
+//! ```text
+//! task.lua:3:7: error[E003]: call to non-whitelisted function `steal_contacts` …
+//! ```
+//!
+//! Exit status: `0` when no finding reaches the failing severity,
+//! `1` when one does (errors by default, warnings too with
+//! `--deny-warnings`), `2` on usage or I/O problems.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use sor_script::analysis::{analyze_with_budget, AnalysisReport, CapabilitySet, Severity};
+use sor_script::interp::DEFAULT_BUDGET;
+
+const USAGE: &str = "\
+usage: sorlint [options] [file ...]
+
+Statically verifies SenseScript files. With no files (or `-`), reads
+from stdin. Findings print as `file:line:col: severity[CODE]: message`.
+
+options:
+  --caps NAME[,NAME...]   declare extra host-function capabilities
+  --no-default-caps       start from an empty capability set instead of
+                          the standard sensing vocabulary
+  --budget N              instruction budget to prove the cost bound
+                          against (default 1000000)
+  --deny-warnings         exit 1 on warnings, not just errors
+  --quiet                 print nothing, only set the exit status
+  --help                  show this help";
+
+struct Options {
+    files: Vec<String>,
+    caps: CapabilitySet,
+    budget: u64,
+    deny_warnings: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        caps: CapabilitySet::standard_sensing(),
+        budget: DEFAULT_BUDGET,
+        deny_warnings: false,
+        quiet: false,
+    };
+    let mut extra_caps: Vec<String> = Vec::new();
+    let mut no_default = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--no-default-caps" => no_default = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--caps" => {
+                let v = it.next().ok_or("--caps needs a comma-separated name list")?;
+                extra_caps.extend(v.split(',').map(str::trim).map(String::from));
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a number")?;
+                opts.budget = v.parse().map_err(|_| format!("invalid budget `{v}`"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if no_default {
+        opts.caps = CapabilitySet::new();
+    }
+    for c in extra_caps {
+        if !c.is_empty() {
+            opts.caps.insert(c);
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn lint_source(name: &str, src: &str, opts: &Options) -> (AnalysisReport, bool) {
+    let report = analyze_with_budget(src, &opts.caps, opts.budget);
+    let fail_at = if opts.deny_warnings { Severity::Warning } else { Severity::Error };
+    let failed = report.diagnostics.iter().any(|d| d.severity >= fail_at);
+    if !opts.quiet {
+        print!("{}", report.render(name));
+    }
+    (report, failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("sorlint: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut any_failed = false;
+    let mut findings = 0usize;
+    let stdin_only = opts.files.is_empty() || opts.files == ["-"];
+    let inputs: Vec<String> = if stdin_only { vec!["-".to_string()] } else { opts.files.clone() };
+    for file in &inputs {
+        let (name, src) = if file == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("sorlint: reading stdin: {e}");
+                return ExitCode::from(2);
+            }
+            ("<stdin>".to_string(), buf)
+        } else {
+            match std::fs::read_to_string(file) {
+                Ok(src) => (file.clone(), src),
+                Err(e) => {
+                    eprintln!("sorlint: {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        let (report, failed) = lint_source(&name, &src, &opts);
+        findings += report.diagnostics.len();
+        any_failed |= failed;
+    }
+    if !opts.quiet && findings == 0 {
+        eprintln!("sorlint: {} input(s) clean", inputs.len());
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -164,9 +164,16 @@ impl Interpreter {
         }
     }
 
-    fn charge(&mut self) -> Result<(), ScriptError> {
+    /// Instructions consumed by the last (or current) run: one per
+    /// statement executed, expression evaluated, and loop iteration.
+    /// The static cost pass in [`crate::analysis`] upper-bounds this.
+    pub fn instructions_used(&self) -> u64 {
+        self.budget - self.remaining
+    }
+
+    fn charge(&mut self, at: Pos) -> Result<(), ScriptError> {
         if self.remaining == 0 {
-            return Err(ScriptError::BudgetExhausted { budget: self.budget });
+            return Err(ScriptError::BudgetExhausted { budget: self.budget, at });
         }
         self.remaining -= 1;
         Ok(())
@@ -183,7 +190,7 @@ impl Interpreter {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt, scope: &ScopeRef) -> Result<Flow, ScriptError> {
-        self.charge()?;
+        self.charge(stmt.pos())?;
         match stmt {
             Stmt::Local { name, init, .. } => {
                 let v = match init {
@@ -247,7 +254,7 @@ impl Interpreter {
             }
             Stmt::While { cond, body } => {
                 while self.eval(cond, scope)?.truthy() {
-                    self.charge()?;
+                    self.charge(cond.pos())?;
                     match self.exec_block(body, &child_scope(scope))? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -272,7 +279,7 @@ impl Interpreter {
                 }
                 let mut i = start_v;
                 while (step_v > 0.0 && i <= stop_v) || (step_v < 0.0 && i >= stop_v) {
-                    self.charge()?;
+                    self.charge(pos)?;
                     let inner = child_scope(scope);
                     define(&inner, var, Value::Number(i));
                     match self.exec_block(body, &inner)? {
@@ -288,10 +295,7 @@ impl Interpreter {
                 let v = self.eval(iterable, scope)?;
                 let Value::Table(t) = v else {
                     return Err(ScriptError::TypeError {
-                        message: format!(
-                            "generic for expects a table, got {}",
-                            v.type_name()
-                        ),
+                        message: format!("generic for expects a table, got {}", v.type_name()),
                         at: iterable.pos(),
                     });
                 };
@@ -317,7 +321,7 @@ impl Interpreter {
                     .map(|(i, v)| (Value::Number(i as f64 + 1.0), v))
                     .chain(hash_entries);
                 for (k, v) in entries {
-                    self.charge()?;
+                    self.charge(iterable.pos())?;
                     let inner = child_scope(scope);
                     define(&inner, key_var, k);
                     if let Some(vv) = value_var {
@@ -351,15 +355,14 @@ impl Interpreter {
     }
 
     fn eval(&mut self, e: &Expr, scope: &ScopeRef) -> Result<Value, ScriptError> {
-        self.charge()?;
+        self.charge(e.pos())?;
         match e {
             Expr::Nil(_) => Ok(Value::Nil),
             Expr::Bool(b, _) => Ok(Value::Bool(*b)),
             Expr::Number(n, _) => Ok(Value::Number(*n)),
             Expr::Str(s, _) => Ok(Value::str(s)),
-            Expr::Var(name, pos) => lookup(scope, name).ok_or_else(|| {
-                ScriptError::UndefinedVariable { name: name.clone(), at: *pos }
-            }),
+            Expr::Var(name, pos) => lookup(scope, name)
+                .ok_or_else(|| ScriptError::UndefinedVariable { name: name.clone(), at: *pos }),
             Expr::Unary { op, expr, pos } => {
                 let v = self.eval(expr, scope)?;
                 self.apply_unary(*op, v, *pos)
@@ -451,17 +454,14 @@ impl Interpreter {
                     if let Some(v) = lookup(scope, name) {
                         return self.call_value(v, &arg_vals, *pos);
                     }
-                    if let Some(res) = stdlib::call(name, &arg_vals, &mut self.ctx) {
+                    if let Some(res) = stdlib::call(name, &arg_vals, &mut self.ctx, *pos) {
                         return res;
                     }
                     if let Some(f) = self.host.get(name) {
                         return f(&mut self.ctx, &arg_vals)
-                            .map_err(|message| ScriptError::HostError { message });
+                            .map_err(|message| ScriptError::HostError { message, at: *pos });
                     }
-                    return Err(ScriptError::ForbiddenFunction {
-                        name: name.clone(),
-                        at: *pos,
-                    });
+                    return Err(ScriptError::ForbiddenFunction { name: name.clone(), at: *pos });
                 }
                 let f = self.eval(callee, scope)?;
                 self.call_value(f, &arg_vals, *pos)
@@ -473,7 +473,7 @@ impl Interpreter {
         match f {
             Value::Function(closure) => {
                 if self.depth >= self.max_depth {
-                    return Err(ScriptError::CallDepthExceeded { limit: self.max_depth });
+                    return Err(ScriptError::CallDepthExceeded { limit: self.max_depth, at: pos });
                 }
                 self.depth += 1;
                 let inner = child_scope(&closure.env);
@@ -496,12 +496,12 @@ impl Interpreter {
 
     fn apply_unary(&self, op: UnOp, v: Value, pos: Pos) -> Result<Value, ScriptError> {
         match op {
-            UnOp::Neg => v.as_number().map(|n| Value::Number(-n)).ok_or_else(|| {
-                ScriptError::TypeError {
+            UnOp::Neg => {
+                v.as_number().map(|n| Value::Number(-n)).ok_or_else(|| ScriptError::TypeError {
                     message: format!("cannot negate a {}", v.type_name()),
                     at: pos,
-                }
-            }),
+                })
+            }
             UnOp::Not => Ok(Value::Bool(!v.truthy())),
             UnOp::Len => match &v {
                 Value::Table(t) => Ok(Value::Number(t.borrow().array.len() as f64)),
@@ -674,10 +674,7 @@ mod tests {
 
     #[test]
     fn undefined_read_is_error() {
-        assert!(matches!(
-            run("return never_defined"),
-            Err(ScriptError::UndefinedVariable { .. })
-        ));
+        assert!(matches!(run("return never_defined"), Err(ScriptError::UndefinedVariable { .. })));
     }
 
     #[test]
@@ -712,10 +709,7 @@ mod tests {
 
     #[test]
     fn zero_step_for_is_error() {
-        assert!(matches!(
-            run("for i = 1, 5, 0 do end"),
-            Err(ScriptError::TypeError { .. })
-        ));
+        assert!(matches!(run("for i = 1, 5, 0 do end"), Err(ScriptError::TypeError { .. })));
     }
 
     #[test]
@@ -729,10 +723,7 @@ mod tests {
 
     #[test]
     fn sparse_write_rejected() {
-        assert!(matches!(
-            run("local t = {}\nt[100] = 1"),
-            Err(ScriptError::TypeError { .. })
-        ));
+        assert!(matches!(run("local t = {}\nt[100] = 1"), Err(ScriptError::TypeError { .. })));
     }
 
     #[test]
@@ -852,10 +843,7 @@ mod tests {
 
     #[test]
     fn generic_for_over_non_table_is_error() {
-        assert!(matches!(
-            run("for k, v in 5 do end"),
-            Err(ScriptError::TypeError { .. })
-        ));
+        assert!(matches!(run("for k, v in 5 do end"), Err(ScriptError::TypeError { .. })));
     }
 
     #[test]
@@ -878,10 +866,11 @@ mod tests {
     fn budget_stops_infinite_loop() {
         let mut interp = Interpreter::new();
         interp.set_budget(10_000);
-        assert_eq!(
+        assert!(matches!(
             interp.run("while true do end"),
-            Err(ScriptError::BudgetExhausted { budget: 10_000 })
-        );
+            Err(ScriptError::BudgetExhausted { budget: 10_000, .. })
+        ));
+        assert_eq!(interp.instructions_used(), 10_000);
     }
 
     #[test]
@@ -900,9 +889,7 @@ mod tests {
             ctx.virtual_time += n as f64 * 0.2;
             Ok(Value::number_array(&vec![420.0; n]))
         });
-        let v = interp
-            .run("local r = get_light_readings(5)\nreturn mean(r)")
-            .unwrap();
+        let v = interp.run("local r = get_light_readings(5)\nreturn mean(r)").unwrap();
         assert_eq!(v, Value::Number(420.0));
         assert!((interp.virtual_time() - 1.0).abs() < 1e-12);
     }
@@ -911,10 +898,11 @@ mod tests {
     fn host_error_surfaces() {
         let mut interp = Interpreter::new();
         interp.host_mut().register("flaky", |_, _| Err("sensor timeout".to_string()));
-        assert_eq!(
+        assert!(matches!(
             interp.run("flaky()"),
-            Err(ScriptError::HostError { message: "sensor timeout".to_string() })
-        );
+            Err(ScriptError::HostError { ref message, at: Pos { line: 1, col: 6 } })
+                if message == "sensor timeout"
+        ));
     }
 
     #[test]
@@ -965,10 +953,7 @@ mod tests {
 
     #[test]
     fn calling_non_function_value_is_type_error() {
-        assert!(matches!(
-            run("local x = 5\nx()"),
-            Err(ScriptError::TypeError { .. })
-        ));
+        assert!(matches!(run("local x = 5\nx()"), Err(ScriptError::TypeError { .. })));
     }
 
     #[test]
@@ -987,10 +972,10 @@ mod tests {
             end
             return down(100000)
         "#;
-        assert_eq!(
+        assert!(matches!(
             interp.run(src),
-            Err(ScriptError::CallDepthExceeded { limit: DEFAULT_MAX_DEPTH })
-        );
+            Err(ScriptError::CallDepthExceeded { limit: DEFAULT_MAX_DEPTH, .. })
+        ));
     }
 
     #[test]

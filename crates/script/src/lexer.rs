@@ -24,13 +24,7 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer {
-            chars: src.chars().collect(),
-            src: std::marker::PhantomData,
-            i: 0,
-            line: 1,
-            col: 1,
-        }
+        Lexer { chars: src.chars().collect(), src: std::marker::PhantomData, i: 0, line: 1, col: 1 }
     }
 
     fn pos(&self) -> Pos {
@@ -278,18 +272,10 @@ mod tests {
 
     #[test]
     fn concat_after_number_not_swallowed() {
-        assert_eq!(
-            kinds("1 .. 2")[1],
-            TokenKind::Concat
-        );
+        assert_eq!(kinds("1 .. 2")[1], TokenKind::Concat);
         assert_eq!(
             kinds("1..2"),
-            vec![
-                TokenKind::Number(1.0),
-                TokenKind::Concat,
-                TokenKind::Number(2.0),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Number(1.0), TokenKind::Concat, TokenKind::Number(2.0), TokenKind::Eof]
         );
     }
 
@@ -297,20 +283,16 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             kinds(r#""a\nb" 'c\'d'"#),
-            vec![
-                TokenKind::Str("a\nb".into()),
-                TokenKind::Str("c'd".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Str("a\nb".into()), TokenKind::Str("c'd".into()), TokenKind::Eof]
         );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("-- whole line\n1 -- trailing"), vec![
-            TokenKind::Number(1.0),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("-- whole line\n1 -- trailing"),
+            vec![TokenKind::Number(1.0), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -353,14 +335,8 @@ mod tests {
 
     #[test]
     fn unterminated_string_errors() {
-        assert!(matches!(
-            lex("\"abc"),
-            Err(ScriptError::UnterminatedString { .. })
-        ));
-        assert!(matches!(
-            lex("\"abc\ndef\""),
-            Err(ScriptError::UnterminatedString { .. })
-        ));
+        assert!(matches!(lex("\"abc"), Err(ScriptError::UnterminatedString { .. })));
+        assert!(matches!(lex("\"abc\ndef\""), Err(ScriptError::UnterminatedString { .. })));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod host;
 pub mod interp;
@@ -127,21 +128,30 @@ pub enum ScriptError {
     BudgetExhausted {
         /// The budget that was configured.
         budget: u64,
+        /// The statement or expression being charged when the budget
+        /// ran out.
+        at: Pos,
     },
     /// Script function calls nested deeper than the configured limit.
     CallDepthExceeded {
         /// The configured maximum depth.
         limit: usize,
+        /// The call site that exceeded the limit.
+        at: Pos,
     },
     /// A host function reported an error.
     HostError {
         /// Host-provided description.
         message: String,
+        /// The call site of the host function.
+        at: Pos,
     },
     /// `error("...")` was called from the script.
     Explicit {
         /// The error value rendered to text.
         message: String,
+        /// The call site of `error` / `assert`.
+        at: Pos,
     },
     /// Wrong number/type of arguments to a builtin.
     BadArguments {
@@ -149,7 +159,31 @@ pub enum ScriptError {
         function: String,
         /// Description of the problem.
         message: String,
+        /// The call site of the builtin.
+        at: Pos,
     },
+}
+
+impl ScriptError {
+    /// The source position the error is attached to. Every variant
+    /// carries one, so task logs and lint output can always point at a
+    /// line and column.
+    pub fn pos(&self) -> Pos {
+        match self {
+            ScriptError::UnexpectedChar { at, .. }
+            | ScriptError::UnterminatedString { at }
+            | ScriptError::BadNumber { at, .. }
+            | ScriptError::UnexpectedToken { at, .. }
+            | ScriptError::TypeError { at, .. }
+            | ScriptError::UndefinedVariable { at, .. }
+            | ScriptError::ForbiddenFunction { at, .. }
+            | ScriptError::BudgetExhausted { at, .. }
+            | ScriptError::CallDepthExceeded { at, .. }
+            | ScriptError::HostError { at, .. }
+            | ScriptError::Explicit { at, .. }
+            | ScriptError::BadArguments { at, .. } => *at,
+        }
+    }
 }
 
 impl std::fmt::Display for ScriptError {
@@ -174,16 +208,20 @@ impl std::fmt::Display for ScriptError {
             ScriptError::ForbiddenFunction { name, at } => {
                 write!(f, "call to non-whitelisted function `{name}` at {at}")
             }
-            ScriptError::BudgetExhausted { budget } => {
-                write!(f, "script exceeded its instruction budget of {budget}")
+            ScriptError::BudgetExhausted { budget, at } => {
+                write!(f, "script exceeded its instruction budget of {budget} at {at}")
             }
-            ScriptError::CallDepthExceeded { limit } => {
-                write!(f, "script exceeded the call-depth limit of {limit}")
+            ScriptError::CallDepthExceeded { limit, at } => {
+                write!(f, "script exceeded the call-depth limit of {limit} at {at}")
             }
-            ScriptError::HostError { message } => write!(f, "host function failed: {message}"),
-            ScriptError::Explicit { message } => write!(f, "script error: {message}"),
-            ScriptError::BadArguments { function, message } => {
-                write!(f, "bad arguments to {function}: {message}")
+            ScriptError::HostError { message, at } => {
+                write!(f, "host function failed at {at}: {message}")
+            }
+            ScriptError::Explicit { message, at } => {
+                write!(f, "script error at {at}: {message}")
+            }
+            ScriptError::BadArguments { function, message, at } => {
+                write!(f, "bad arguments to {function} at {at}: {message}")
             }
         }
     }

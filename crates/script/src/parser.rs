@@ -50,7 +50,11 @@ impl Parser {
         }
     }
 
-    fn expect_kind(&mut self, kind: &TokenKind, expected: &'static str) -> Result<Token, ScriptError> {
+    fn expect_kind(
+        &mut self,
+        kind: &TokenKind,
+        expected: &'static str,
+    ) -> Result<Token, ScriptError> {
         if self.at(kind) {
             Ok(self.bump())
         } else {
@@ -375,10 +379,7 @@ impl Parser {
                 let value = self.expr()?;
                 hash.push((TableKey::Expr(key), value));
             } else if matches!(self.peek().kind, TokenKind::Ident(_))
-                && matches!(
-                    self.tokens.get(self.i + 1).map(|t| &t.kind),
-                    Some(TokenKind::Assign)
-                )
+                && matches!(self.tokens.get(self.i + 1).map(|t| &t.kind), Some(TokenKind::Assign))
             {
                 let (name, _) = self.expect_ident("field name")?;
                 self.bump(); // `=`
@@ -448,9 +449,7 @@ mod tests {
     #[test]
     fn concat_is_right_associative() {
         let b = parse(r#"local x = "a" .. "b" .. "c""#).unwrap();
-        let Stmt::Local { init: Some(Expr::Binary { op, lhs, .. }), .. } = &b[0] else {
-            panic!()
-        };
+        let Stmt::Local { init: Some(Expr::Binary { op, lhs, .. }), .. } = &b[0] else { panic!() };
         assert_eq!(*op, BinOp::Concat);
         assert!(matches!(**lhs, Expr::Str(..)), "right assoc means lhs is the leaf");
     }
@@ -459,8 +458,7 @@ mod tests {
     fn pow_binds_tighter_than_unary_minus() {
         // -2^2 parses as -(2^2) in Lua.
         let b = parse("local x = -2^2").unwrap();
-        let Stmt::Local { init: Some(Expr::Unary { op: UnOp::Neg, expr, .. }), .. } = &b[0]
-        else {
+        let Stmt::Local { init: Some(Expr::Unary { op: UnOp::Neg, expr, .. }), .. } = &b[0] else {
             panic!("{b:?}")
         };
         assert!(matches!(**expr, Expr::Binary { op: BinOp::Pow, .. }));
@@ -468,10 +466,7 @@ mod tests {
 
     #[test]
     fn if_elseif_else_chain() {
-        let b = parse(
-            "if a then f() elseif b then g() elseif c then h() else i() end",
-        )
-        .unwrap();
+        let b = parse("if a then f() elseif b then g() elseif c then h() else i() end").unwrap();
         let Stmt::If { arms, otherwise } = &b[0] else { panic!() };
         assert_eq!(arms.len(), 3);
         assert!(otherwise.is_some());
@@ -517,18 +512,12 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(&b[0], Stmt::LocalFunction { name, .. } if name == "fib"));
-        assert!(matches!(
-            &b[1],
-            Stmt::Local { init: Some(Expr::Function { .. }), .. }
-        ));
+        assert!(matches!(&b[1], Stmt::Local { init: Some(Expr::Function { .. }), .. }));
     }
 
     #[test]
     fn bare_non_call_expression_rejected() {
-        assert!(matches!(
-            parse("1 + 2"),
-            Err(ScriptError::UnexpectedToken { .. })
-        ));
+        assert!(matches!(parse("1 + 2"), Err(ScriptError::UnexpectedToken { .. })));
     }
 
     #[test]
@@ -541,10 +530,7 @@ mod tests {
     fn missing_end_rejected() {
         // The parser keeps consuming statements looking for `end` and
         // trips on EOF: either diagnostic is an UnexpectedToken.
-        assert!(matches!(
-            parse("while true do f()"),
-            Err(ScriptError::UnexpectedToken { .. })
-        ));
+        assert!(matches!(parse("while true do f()"), Err(ScriptError::UnexpectedToken { .. })));
         assert!(matches!(
             parse("if x then f() else g()"),
             Err(ScriptError::UnexpectedToken { .. })

@@ -7,7 +7,7 @@
 
 use crate::host::HostContext;
 use crate::value::Value;
-use crate::ScriptError;
+use crate::{Pos, ScriptError};
 
 /// Dispatches a builtin by name. Returns `None` if `name` is not a
 /// builtin (the interpreter then consults the host whitelist).
@@ -15,6 +15,7 @@ pub fn call(
     name: &str,
     args: &[Value],
     ctx: &mut HostContext,
+    at: Pos,
 ) -> Option<Result<Value, ScriptError>> {
     let r = match name {
         "print" => {
@@ -29,23 +30,23 @@ pub fn call(
             _ => Value::Nil,
         }),
         "type" => Ok(Value::str(arg(args, 0).type_name())),
-        "abs" => num1(name, args, f64::abs),
-        "floor" => num1(name, args, f64::floor),
-        "ceil" => num1(name, args, f64::ceil),
-        "sqrt" => num1(name, args, f64::sqrt),
-        "exp" => num1(name, args, f64::exp),
-        "log" => num1(name, args, f64::ln),
-        "min" => fold_nums(name, args, f64::INFINITY, f64::min),
-        "max" => fold_nums(name, args, f64::NEG_INFINITY, f64::max),
-        "sum" => array_stat(name, args, |xs| xs.iter().sum()),
-        "mean" => array_stat(name, args, |xs| {
+        "abs" => num1(name, args, at, f64::abs),
+        "floor" => num1(name, args, at, f64::floor),
+        "ceil" => num1(name, args, at, f64::ceil),
+        "sqrt" => num1(name, args, at, f64::sqrt),
+        "exp" => num1(name, args, at, f64::exp),
+        "log" => num1(name, args, at, f64::ln),
+        "min" => fold_nums(name, args, at, f64::INFINITY, f64::min),
+        "max" => fold_nums(name, args, at, f64::NEG_INFINITY, f64::max),
+        "sum" => array_stat(name, args, at, |xs| xs.iter().sum()),
+        "mean" => array_stat(name, args, at, |xs| {
             if xs.is_empty() {
                 0.0
             } else {
                 xs.iter().sum::<f64>() / xs.len() as f64
             }
         }),
-        "stddev" => array_stat(name, args, |xs| {
+        "stddev" => array_stat(name, args, at, |xs| {
             if xs.len() < 2 {
                 0.0
             } else {
@@ -58,33 +59,31 @@ pub fn call(
                 t.borrow_mut().array.push(v.clone());
                 Ok(Value::Nil)
             }
-            _ => bad(name, "expected (table, value)"),
+            _ => bad(name, at, "expected (table, value)"),
         },
         "remove" => match arg(args, 0) {
             Value::Table(t) => Ok(t.borrow_mut().array.pop().unwrap_or(Value::Nil)),
-            _ => bad(name, "expected (table)"),
+            _ => bad(name, at, "expected (table)"),
         },
         "sort" => match arg(args, 0) {
             Value::Table(t) => {
                 let mut b = t.borrow_mut();
                 if b.array.iter().any(|v| v.as_number().is_none()) {
-                    return Some(bad(name, "table must contain only numbers"));
+                    return Some(bad(name, at, "table must contain only numbers"));
                 }
                 b.array.sort_by(|a, b| {
-                    a.as_number()
-                        .expect("checked")
-                        .total_cmp(&b.as_number().expect("checked"))
+                    a.as_number().expect("checked").total_cmp(&b.as_number().expect("checked"))
                 });
                 Ok(Value::Nil)
             }
-            _ => bad(name, "expected (table)"),
+            _ => bad(name, at, "expected (table)"),
         },
         "sleep" => match arg(args, 0).as_number() {
             Some(s) if s >= 0.0 => {
                 ctx.virtual_time += s;
                 Ok(Value::Nil)
             }
-            _ => bad(name, "expected non-negative seconds"),
+            _ => bad(name, at, "expected non-negative seconds"),
         },
         "clock" => Ok(Value::Number(ctx.virtual_time)),
         "assert" => {
@@ -95,22 +94,20 @@ pub fn call(
                     .get(1)
                     .map(Value::display)
                     .unwrap_or_else(|| "assertion failed".to_string());
-                Err(ScriptError::Explicit { message: msg })
+                Err(ScriptError::Explicit { message: msg, at })
             }
         }
-        "error" => Err(ScriptError::Explicit { message: arg(args, 0).display() }),
-        "round" => num1(name, args, f64::round),
-        "clamp" => match (
-            arg(args, 0).as_number(),
-            arg(args, 1).as_number(),
-            arg(args, 2).as_number(),
-        ) {
-            (Some(x), Some(lo), Some(hi)) if lo <= hi => Ok(Value::Number(x.clamp(lo, hi))),
-            _ => bad(name, "expected (x, lo, hi) with lo <= hi"),
-        },
-        "upper" => str1(name, args, |s| s.to_uppercase()),
-        "lower" => str1(name, args, |s| s.to_lowercase()),
-        "trim" => str1(name, args, |s| s.trim().to_string()),
+        "error" => Err(ScriptError::Explicit { message: arg(args, 0).display(), at }),
+        "round" => num1(name, args, at, f64::round),
+        "clamp" => {
+            match (arg(args, 0).as_number(), arg(args, 1).as_number(), arg(args, 2).as_number()) {
+                (Some(x), Some(lo), Some(hi)) if lo <= hi => Ok(Value::Number(x.clamp(lo, hi))),
+                _ => bad(name, at, "expected (x, lo, hi) with lo <= hi"),
+            }
+        }
+        "upper" => str1(name, args, at, |s| s.to_uppercase()),
+        "lower" => str1(name, args, at, |s| s.to_lowercase()),
+        "trim" => str1(name, args, at, |s| s.trim().to_string()),
         "substr" => match (arg(args, 0), arg(args, 1).as_number(), arg(args, 2).as_number()) {
             (Value::Str(s), Some(i), Some(j)) if i >= 1.0 && j >= i - 1.0 => {
                 let chars: Vec<char> = s.chars().collect();
@@ -118,13 +115,11 @@ pub fn call(
                 let hi = (j as usize).min(chars.len());
                 Ok(Value::str(chars[lo..hi].iter().collect::<String>()))
             }
-            _ => bad(name, "expected (string, i, j) with 1-based inclusive bounds"),
+            _ => bad(name, at, "expected (string, i, j) with 1-based inclusive bounds"),
         },
         "contains" => match (arg(args, 0), arg(args, 1)) {
-            (Value::Str(s), Value::Str(needle)) => {
-                Ok(Value::Bool(s.contains(needle.as_ref())))
-            }
-            _ => bad(name, "expected (string, string)"),
+            (Value::Str(s), Value::Str(needle)) => Ok(Value::Bool(s.contains(needle.as_ref()))),
+            _ => bad(name, at, "expected (string, string)"),
         },
         "keys" => match arg(args, 0) {
             Value::Table(t) => {
@@ -136,7 +131,7 @@ pub fn call(
                     std::collections::HashMap::new(),
                 ))
             }
-            _ => bad(name, "expected (table)"),
+            _ => bad(name, at, "expected (table)"),
         },
         "values" => match arg(args, 0) {
             Value::Table(t) => {
@@ -146,7 +141,7 @@ pub fn call(
                 let vs: Vec<Value> = ks.into_iter().map(|k| t.hash[k].clone()).collect();
                 Ok(Value::table(vs, std::collections::HashMap::new()))
             }
-            _ => bad(name, "expected (table)"),
+            _ => bad(name, at, "expected (table)"),
         },
         _ => return None,
     };
@@ -156,10 +151,10 @@ pub fn call(
 /// Whether `name` is a builtin (used by diagnostics).
 pub fn is_builtin(name: &str) -> bool {
     const NAMES: &[&str] = &[
-        "print", "tostring", "tonumber", "type", "abs", "floor", "ceil", "sqrt", "exp",
-        "log", "min", "max", "sum", "mean", "stddev", "insert", "remove", "sort", "sleep",
-        "clock", "assert", "error", "round", "clamp", "upper", "lower", "trim", "substr",
-        "contains", "keys", "values",
+        "print", "tostring", "tonumber", "type", "abs", "floor", "ceil", "sqrt", "exp", "log",
+        "min", "max", "sum", "mean", "stddev", "insert", "remove", "sort", "sleep", "clock",
+        "assert", "error", "round", "clamp", "upper", "lower", "trim", "substr", "contains",
+        "keys", "values",
     ];
     NAMES.contains(&name)
 }
@@ -168,56 +163,59 @@ fn arg(args: &[Value], i: usize) -> Value {
     args.get(i).cloned().unwrap_or(Value::Nil)
 }
 
-fn bad(function: &str, message: &str) -> Result<Value, ScriptError> {
+fn bad(function: &str, at: Pos, message: &str) -> Result<Value, ScriptError> {
     Err(ScriptError::BadArguments {
         function: function.to_string(),
         message: message.to_string(),
+        at,
     })
 }
 
 fn str1(
     name: &str,
     args: &[Value],
+    at: Pos,
     f: impl Fn(&str) -> String,
 ) -> Result<Value, ScriptError> {
     match arg(args, 0) {
         Value::Str(s) => Ok(Value::str(f(&s))),
-        _ => bad(name, "expected a string"),
+        _ => bad(name, at, "expected a string"),
     }
 }
 
-fn num1(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> Result<Value, ScriptError> {
+fn num1(name: &str, args: &[Value], at: Pos, f: impl Fn(f64) -> f64) -> Result<Value, ScriptError> {
     match arg(args, 0).as_number() {
         Some(n) => Ok(Value::Number(f(n))),
-        None => bad(name, "expected a number"),
+        None => bad(name, at, "expected a number"),
     }
 }
 
 fn fold_nums(
     name: &str,
     args: &[Value],
+    at: Pos,
     init: f64,
     f: impl Fn(f64, f64) -> f64,
 ) -> Result<Value, ScriptError> {
     if args.is_empty() {
-        return bad(name, "expected at least one number");
+        return bad(name, at, "expected at least one number");
     }
     // Accept either varargs of numbers or a single numeric table.
     let nums: Vec<f64> = if args.len() == 1 {
         match &args[0] {
             Value::Table(_) => match args[0].as_number_array() {
                 Some(v) if !v.is_empty() => v,
-                _ => return bad(name, "table must be a non-empty numeric array"),
+                _ => return bad(name, at, "table must be a non-empty numeric array"),
             },
             v => vec![match v.as_number() {
                 Some(n) => n,
-                None => return bad(name, "expected numbers"),
+                None => return bad(name, at, "expected numbers"),
             }],
         }
     } else {
         match args.iter().map(|v| v.as_number()).collect::<Option<Vec<_>>>() {
             Some(v) => v,
-            None => return bad(name, "expected numbers"),
+            None => return bad(name, at, "expected numbers"),
         }
     };
     Ok(Value::Number(nums.into_iter().fold(init, f)))
@@ -226,11 +224,12 @@ fn fold_nums(
 fn array_stat(
     name: &str,
     args: &[Value],
+    at: Pos,
     f: impl Fn(&[f64]) -> f64,
 ) -> Result<Value, ScriptError> {
     match arg(args, 0).as_number_array() {
         Some(xs) => Ok(Value::Number(f(&xs))),
-        None => bad(name, "expected a numeric array table"),
+        None => bad(name, at, "expected a numeric array table"),
     }
 }
 
@@ -240,7 +239,7 @@ mod tests {
 
     fn run(name: &str, args: &[Value]) -> Result<Value, ScriptError> {
         let mut ctx = HostContext::new();
-        call(name, args, &mut ctx).expect("builtin exists")
+        call(name, args, &mut ctx, Pos::default()).expect("builtin exists")
     }
 
     #[test]
@@ -267,10 +266,7 @@ mod tests {
         assert!((sd - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
         // Degenerate arrays.
         assert_eq!(run("mean", &[Value::number_array(&[])]).unwrap(), Value::Number(0.0));
-        assert_eq!(
-            run("stddev", &[Value::number_array(&[5.0])]).unwrap(),
-            Value::Number(0.0)
-        );
+        assert_eq!(run("stddev", &[Value::number_array(&[5.0])]).unwrap(), Value::Number(0.0));
     }
 
     #[test]
@@ -285,22 +281,24 @@ mod tests {
     #[test]
     fn print_captures_output() {
         let mut ctx = HostContext::new();
-        call("print", &[Value::str("a"), Value::Number(1.0)], &mut ctx).unwrap().unwrap();
+        call("print", &[Value::str("a"), Value::Number(1.0)], &mut ctx, Pos::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(ctx.output, vec!["a\t1".to_string()]);
     }
 
     #[test]
     fn sleep_advances_virtual_clock() {
         let mut ctx = HostContext::new();
-        call("sleep", &[Value::Number(2.5)], &mut ctx).unwrap().unwrap();
-        let t = call("clock", &[], &mut ctx).unwrap().unwrap();
+        call("sleep", &[Value::Number(2.5)], &mut ctx, Pos::default()).unwrap().unwrap();
+        let t = call("clock", &[], &mut ctx, Pos::default()).unwrap().unwrap();
         assert_eq!(t, Value::Number(2.5));
     }
 
     #[test]
     fn sleep_rejects_negative() {
         let mut ctx = HostContext::new();
-        assert!(call("sleep", &[Value::Number(-1.0)], &mut ctx).unwrap().is_err());
+        assert!(call("sleep", &[Value::Number(-1.0)], &mut ctx, Pos::default()).unwrap().is_err());
     }
 
     #[test]
@@ -316,12 +314,9 @@ mod tests {
         assert!(run("assert", &[Value::Bool(true)]).is_ok());
         assert!(matches!(
             run("assert", &[Value::Bool(false), Value::str("boom")]),
-            Err(ScriptError::Explicit { message }) if message == "boom"
+            Err(ScriptError::Explicit { message, .. }) if message == "boom"
         ));
-        assert!(matches!(
-            run("error", &[Value::str("bad")]),
-            Err(ScriptError::Explicit { .. })
-        ));
+        assert!(matches!(run("error", &[Value::str("bad")]), Err(ScriptError::Explicit { .. })));
     }
 
     #[test]
@@ -330,8 +325,7 @@ mod tests {
         assert_eq!(run("lower", &[Value::str("ABC")]).unwrap(), Value::str("abc"));
         assert_eq!(run("trim", &[Value::str("  x  ")]).unwrap(), Value::str("x"));
         assert_eq!(
-            run("substr", &[Value::str("sensor"), Value::Number(2.0), Value::Number(4.0)])
-                .unwrap(),
+            run("substr", &[Value::str("sensor"), Value::Number(2.0), Value::Number(4.0)]).unwrap(),
             Value::str("ens")
         );
         assert_eq!(
@@ -339,29 +333,19 @@ mod tests {
             Value::Bool(true)
         );
         assert!(run("upper", &[Value::Number(1.0)]).is_err());
-        assert!(run(
-            "substr",
-            &[Value::str("x"), Value::Number(0.0), Value::Number(1.0)]
-        )
-        .is_err());
+        assert!(run("substr", &[Value::str("x"), Value::Number(0.0), Value::Number(1.0)]).is_err());
     }
 
     #[test]
     fn numeric_extras() {
         assert_eq!(run("round", &[Value::Number(2.6)]).unwrap(), Value::Number(3.0));
         assert_eq!(
-            run(
-                "clamp",
-                &[Value::Number(9.0), Value::Number(0.0), Value::Number(5.0)]
-            )
-            .unwrap(),
+            run("clamp", &[Value::Number(9.0), Value::Number(0.0), Value::Number(5.0)]).unwrap(),
             Value::Number(5.0)
         );
-        assert!(run(
-            "clamp",
-            &[Value::Number(1.0), Value::Number(5.0), Value::Number(0.0)]
-        )
-        .is_err());
+        assert!(
+            run("clamp", &[Value::Number(1.0), Value::Number(5.0), Value::Number(0.0)]).is_err()
+        );
     }
 
     #[test]
@@ -380,7 +364,7 @@ mod tests {
     #[test]
     fn unknown_name_returns_none() {
         let mut ctx = HostContext::new();
-        assert!(call("launch_missiles", &[], &mut ctx).is_none());
+        assert!(call("launch_missiles", &[], &mut ctx, Pos::default()).is_none());
         assert!(!is_builtin("launch_missiles"));
         assert!(is_builtin("mean"));
     }

@@ -105,12 +105,9 @@ impl Value {
     /// Extracts `[f64]` from an array-shaped table.
     pub fn as_number_array(&self) -> Option<Vec<f64>> {
         match self {
-            Value::Table(t) => t
-                .borrow()
-                .array
-                .iter()
-                .map(|v| v.as_number())
-                .collect::<Option<Vec<f64>>>(),
+            Value::Table(t) => {
+                t.borrow().array.iter().map(|v| v.as_number()).collect::<Option<Vec<f64>>>()
+            }
             _ => None,
         }
     }

@@ -1,0 +1,178 @@
+//! Property tests for the static analyzer's two soundness claims:
+//!
+//! 1. **Admission soundness**: any script that *runs successfully*
+//!    under a host registry is never rejected with an error-severity
+//!    finding when analyzed against that registry's capability set.
+//!    Error diagnostics are reserved for statically-certain failures,
+//!    so a false positive here would mean the server refuses a task
+//!    that would in fact have produced data.
+//! 2. **Cost-bound soundness**: whenever the cost pass proves
+//!    `Bounded(n)`, the interpreter's actual instruction count for the
+//!    same script never exceeds `n`.
+
+use proptest::prelude::*;
+use sor_script::analysis::{analyze, CapabilitySet, Cost};
+use sor_script::{Interpreter, Value};
+
+/// An interpreter with a small sensing vocabulary, mirroring what the
+/// frontend registers before executing a task.
+fn sensing_interpreter() -> Interpreter {
+    let mut interp = Interpreter::new();
+    for name in ["get_light_readings", "get_temperature_readings", "get_noise_readings"] {
+        interp.host_mut().register(name, move |_ctx, args| {
+            let n =
+                args.first().and_then(Value::as_number).map(|v| v.max(1.0) as usize).unwrap_or(1);
+            Ok(Value::number_array(&vec![42.0; n]))
+        });
+    }
+    interp
+}
+
+fn caps() -> CapabilitySet {
+    CapabilitySet::from_names([
+        "get_light_readings",
+        "get_temperature_readings",
+        "get_noise_readings",
+    ])
+}
+
+/// Statements over a pre-declared `x` whose cost the analyzer can
+/// bound (no `while`, no recursion).
+fn bounded_stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i32..100).prop_map(|n| format!("x = x + {n}")),
+        (1i32..10).prop_map(|n| format!("local t = get_light_readings({n})\nx = x + mean(t)")),
+        (0i32..50).prop_map(|n| format!("if x > {n} then x = x - 1 else x = x + 1 end")),
+        (0u32..12, 0i32..10).prop_map(|(n, k)| format!("for i = 1, {n} do x = x + i * {k} end")),
+        (1i32..9).prop_map(|n| { format!("for _, v in {{{n}, {n}, {n}}} do x = x + v end") }),
+    ]
+}
+
+/// Adds constructs the cost pass gives up on (⊤) but that still run
+/// fine — these must produce warnings at most, never errors.
+fn any_stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        bounded_stmt(),
+        (1u32..8)
+            .prop_map(|n| { format!("local c = {n}\nwhile c > 0 do c = c - 1\nx = x + c end") }),
+    ]
+}
+
+fn program(stmts: &[String]) -> String {
+    format!("local x = 0\n{}\nreturn x", stmts.join("\n"))
+}
+
+proptest! {
+    /// Successfully-running scripts are never rejected with error
+    /// severity (the admission gate has no false positives).
+    #[test]
+    fn successful_runs_are_never_rejected(
+        stmts in proptest::collection::vec(any_stmt(), 0..6)
+    ) {
+        let src = program(&stmts);
+        let mut interp = sensing_interpreter();
+        if interp.run(&src).is_ok() {
+            let report = analyze(&src, &caps());
+            prop_assert!(
+                !report.has_errors(),
+                "script ran fine but was rejected:\n{src}\n{}",
+                report.render("<gen>")
+            );
+        }
+    }
+
+    /// A proved static bound dominates the interpreter's actual
+    /// instruction count.
+    #[test]
+    fn static_bound_dominates_actual_cost(
+        stmts in proptest::collection::vec(bounded_stmt(), 0..6)
+    ) {
+        let src = program(&stmts);
+        let report = analyze(&src, &caps());
+        let Cost::Bounded(bound) = report.cost else {
+            return Err(TestCaseError::fail(
+                format!("generator is supposed to stay bounded:\n{src}")
+            ));
+        };
+        let mut interp = sensing_interpreter();
+        interp.run(&src).expect("generated script must run");
+        let actual = interp.instructions_used();
+        prop_assert!(
+            actual <= bound,
+            "actual {actual} > static bound {bound} for:\n{src}"
+        );
+    }
+}
+
+/// Hand-written bound-vs-actual checks with known shapes, so a
+/// regression points at the construct that broke.
+#[cfg(test)]
+mod cost_bound_units {
+    use super::*;
+
+    fn bound_and_actual(src: &str) -> (u64, u64) {
+        let report = analyze(src, &caps());
+        let Cost::Bounded(bound) = report.cost else {
+            panic!("expected a bounded script: {src}\n{:?}", report.diagnostics)
+        };
+        let mut interp = sensing_interpreter();
+        interp.run(src).expect("script must run");
+        (bound, interp.instructions_used())
+    }
+
+    #[test]
+    fn straight_line_bound_is_exact() {
+        let (bound, actual) = bound_and_actual("local x = 1 + 2\nreturn x * 3");
+        assert_eq!(bound, actual, "no branches: the bound should be tight");
+    }
+
+    #[test]
+    fn numeric_for_bound_covers_all_iterations() {
+        let (bound, actual) =
+            bound_and_actual("local s = 0\nfor i = 1, 50 do s = s + i end\nreturn s");
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn nested_loops_bound_holds() {
+        let src = "local s = 0\nfor i = 1, 9 do for j = 1, 7 do s = s + i * j end end\nreturn s";
+        let (bound, actual) = bound_and_actual(src);
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn untaken_branch_makes_bound_conservative() {
+        // Only one arm executes; the static bound pays for the worst.
+        let src = "local x = 1\nif x > 0 then x = x + 1 else x = x - 1\nx = x * 2 end\nreturn x";
+        let (bound, actual) = bound_and_actual(src);
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn early_break_keeps_bound_valid() {
+        let src = "local s = 0\nfor i = 1, 100 do if i > 3 then break end\ns = s + i end\nreturn s";
+        let (bound, actual) = bound_and_actual(src);
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn script_function_calls_are_bounded() {
+        let src = "local function twice(v) return v + v end\nreturn twice(twice(5))";
+        let (bound, actual) = bound_and_actual(src);
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn host_calls_are_bounded() {
+        let src = "local t = get_light_readings(5)\nreturn mean(t) + stddev(t)";
+        let (bound, actual) = bound_and_actual(src);
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn generic_for_over_literal_is_bounded() {
+        let src = "local s = 0\nfor _, v in {1, 2, 3, 4} do s = s + v end\nreturn s";
+        let (bound, actual) = bound_and_actual(src);
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+}

@@ -20,9 +20,9 @@ use crate::kind::SensorKind;
 /// Energy to power a sensor for one sample (millijoules).
 pub fn sample_cost_mj(kind: SensorKind) -> f64 {
     match kind {
-        SensorKind::Gps => 55.0,            // cold-ish fix, the hog
-        SensorKind::WifiRssi => 12.0,       // radio scan
-        SensorKind::Microphone => 4.0,      // continuous ADC window
+        SensorKind::Gps => 55.0,       // cold-ish fix, the hog
+        SensorKind::WifiRssi => 12.0,  // radio scan
+        SensorKind::Microphone => 4.0, // continuous ADC window
         SensorKind::Light => 0.3,
         SensorKind::Accelerometer => 0.4,
         SensorKind::Compass => 0.5,

@@ -81,7 +81,9 @@ impl Environment for PlaceEnvironment {
         let tag = Self::tag(kind);
         let v = match kind {
             SensorKind::Temperature => self.spec.temperature_f.at(&self.noise, tag, t),
-            SensorKind::Humidity => self.spec.humidity_pct.at(&self.noise, tag, t).clamp(0.0, 100.0),
+            SensorKind::Humidity => {
+                self.spec.humidity_pct.at(&self.noise, tag, t).clamp(0.0, 100.0)
+            }
             SensorKind::Light => self.spec.light_lux.at(&self.noise, tag, t).max(0.0),
             SensorKind::Microphone => {
                 // Base level plus occasional loudness bursts (espresso
@@ -147,10 +149,7 @@ mod tests {
         let env = PlaceEnvironment::new(spec(), 42);
         let n = 500;
         let mean = |kind: SensorKind| {
-            (0..n)
-                .map(|i| env.sample(kind, i as f64).unwrap()[0])
-                .sum::<f64>()
-                / n as f64
+            (0..n).map(|i| env.sample(kind, i as f64).unwrap()[0]).sum::<f64>() / n as f64
         };
         assert!((mean(SensorKind::Temperature) - 71.0).abs() < 1.0);
         assert!((mean(SensorKind::Humidity) - 35.0).abs() < 1.0);
@@ -199,13 +198,7 @@ mod tests {
         let a = PlaceEnvironment::new(spec(), 1);
         let b = PlaceEnvironment::new(spec(), 1);
         let c = PlaceEnvironment::new(spec(), 2);
-        assert_eq!(
-            a.sample(SensorKind::Temperature, 9.0),
-            b.sample(SensorKind::Temperature, 9.0)
-        );
-        assert_ne!(
-            a.sample(SensorKind::Temperature, 9.0),
-            c.sample(SensorKind::Temperature, 9.0)
-        );
+        assert_eq!(a.sample(SensorKind::Temperature, 9.0), b.sample(SensorKind::Temperature, 9.0));
+        assert_ne!(a.sample(SensorKind::Temperature, 9.0), c.sample(SensorKind::Temperature, 9.0));
     }
 }

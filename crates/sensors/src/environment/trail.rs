@@ -142,11 +142,7 @@ impl TrailEnvironment {
         let along = d - self.cum_dist[i];
         let (e0, n0, u0) = self.positions[i];
         let rad = self.headings[i].to_radians();
-        (
-            e0 + along * rad.sin(),
-            n0 + along * rad.cos(),
-            u0 + along * self.spec.segments[i].grade,
-        )
+        (e0 + along * rad.sin(), n0 + along * rad.cos(), u0 + along * self.spec.segments[i].grade)
     }
 
     fn tag(kind: SensorKind) -> u64 {
@@ -189,8 +185,7 @@ impl Environment for TrailEnvironment {
                 let lon = self.spec.longitude
                     + e / m_per_deg_lon
                     + (3.0 / m_per_deg_lon) * self.noise.gaussian(tag ^ 2, t);
-                let alt =
-                    self.spec.altitude_m + u + 5.0 * self.noise.gaussian(tag ^ 3, t);
+                let alt = self.spec.altitude_m + u + 5.0 * self.noise.gaussian(tag ^ 3, t);
                 Ok(vec![lat, lon, alt])
             }
             SensorKind::Accelerometer => {
@@ -207,25 +202,21 @@ impl Environment for TrailEnvironment {
             SensorKind::Compass => {
                 let d = self.distance_at(t);
                 let heading = self.headings[self.segment_at(d)];
-                Ok(vec![
-                    (heading + 3.0 * self.noise.gaussian(tag, t)).rem_euclid(360.0),
-                ])
+                Ok(vec![(heading + 3.0 * self.noise.gaussian(tag, t)).rem_euclid(360.0)])
             }
             SensorKind::Gyroscope => {
                 let r = self.spec.roughness;
                 Ok(vec![(0.2 + 0.3 * r) * self.noise.gaussian(tag, t).abs()])
             }
-            SensorKind::Temperature => {
-                Ok(vec![self.spec.temperature_f.at(&self.noise, tag, t)])
+            SensorKind::Temperature => Ok(vec![self.spec.temperature_f.at(&self.noise, tag, t)]),
+            SensorKind::Humidity => {
+                Ok(vec![self.spec.humidity_pct.at(&self.noise, tag, t).clamp(0.0, 100.0)])
             }
-            SensorKind::Humidity => Ok(vec![
-                self.spec.humidity_pct.at(&self.noise, tag, t).clamp(0.0, 100.0),
-            ]),
             SensorKind::Pressure => {
                 // Barometric altitude: ~0.12 hPa per metre near sea level.
                 let (_, _, u) = self.position_at(t);
-                let hpa = 1013.0 - 0.12 * (self.spec.altitude_m + u)
-                    + 0.2 * self.noise.gaussian(tag, t);
+                let hpa =
+                    1013.0 - 0.12 * (self.spec.altitude_m + u) + 0.2 * self.noise.gaussian(tag, t);
                 Ok(vec![hpa])
             }
             other => Err(SensorError::Unavailable(other)),
@@ -293,14 +284,8 @@ mod tests {
 
     #[test]
     fn roughness_scales_accelerometer_variance() {
-        let rocky = TrailEnvironment::new(
-            TrailSpec { roughness: 0.8, ..straight_trail() },
-            4,
-        );
-        let smooth = TrailEnvironment::new(
-            TrailSpec { roughness: 0.05, ..straight_trail() },
-            4,
-        );
+        let rocky = TrailEnvironment::new(TrailSpec { roughness: 0.8, ..straight_trail() }, 4);
+        let smooth = TrailEnvironment::new(TrailSpec { roughness: 0.05, ..straight_trail() }, 4);
         let std_of = |env: &TrailEnvironment| {
             let vals: Vec<f64> = (0..400)
                 .map(|i| env.sample(SensorKind::Accelerometer, i as f64 * 0.25).unwrap()[2])
@@ -320,10 +305,9 @@ mod tests {
             },
             5,
         );
-        let early: f64 = (0..20)
-            .map(|i| climb.sample(SensorKind::Gps, i as f64).unwrap()[2])
-            .sum::<f64>()
-            / 20.0;
+        let early: f64 =
+            (0..20).map(|i| climb.sample(SensorKind::Gps, i as f64).unwrap()[2]).sum::<f64>()
+                / 20.0;
         let late: f64 = (0..20)
             .map(|i| climb.sample(SensorKind::Gps, 900.0 + i as f64).unwrap()[2])
             .sum::<f64>()

@@ -76,10 +76,9 @@ impl std::fmt::Display for SensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SensorError::Unsupported(k) => write!(f, "no provider registered for {k}"),
-            SensorError::Timeout { kind, latency, timeout } => write!(
-                f,
-                "{kind} acquisition took {latency:.2}s, over the {timeout:.2}s timeout"
-            ),
+            SensorError::Timeout { kind, latency, timeout } => {
+                write!(f, "{kind} acquisition took {latency:.2}s, over the {timeout:.2}s timeout")
+            }
             SensorError::Unavailable(k) => write!(f, "{k} is unavailable in this environment"),
             SensorError::EmptyRequest => write!(f, "requested zero readings"),
         }

@@ -106,11 +106,13 @@ impl SensorManager {
     /// - [`SensorError::Unsupported`] if no provider is registered.
     /// - [`SensorError::Timeout`] if the acquisition would be too slow.
     /// - Provider errors pass through.
-    pub fn acquire(&self, kind: SensorKind, n: usize, start: f64) -> Result<Vec<Reading>, SensorError> {
-        let provider = self
-            .providers
-            .get(&kind)
-            .ok_or(SensorError::Unsupported(kind))?;
+    pub fn acquire(
+        &self,
+        kind: SensorKind,
+        n: usize,
+        start: f64,
+    ) -> Result<Vec<Reading>, SensorError> {
+        let provider = self.providers.get(&kind).ok_or(SensorError::Unsupported(kind))?;
         let latency = provider.latency(n);
         if latency > self.timeout {
             return Err(SensorError::Timeout { kind, latency, timeout: self.timeout });
@@ -169,10 +171,7 @@ mod tests {
     #[test]
     fn supported_lists_kinds_sorted() {
         let m = manager();
-        assert_eq!(
-            m.supported(),
-            vec![SensorKind::Microphone, SensorKind::Temperature]
-        );
+        assert_eq!(m.supported(), vec![SensorKind::Microphone, SensorKind::Temperature]);
     }
 
     #[test]

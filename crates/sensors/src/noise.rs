@@ -95,8 +95,8 @@ mod tests {
         let n = HashNoise::new(9);
         let samples: Vec<f64> = (0..20_000).map(|i| n.gaussian(5, i as f64)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

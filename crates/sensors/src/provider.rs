@@ -86,9 +86,8 @@ impl Provider for SimulatedProvider {
         if n == 0 {
             return Err(SensorError::EmptyRequest);
         }
-        let readings: Result<Vec<Reading>, SensorError> = (0..n)
-            .map(|i| self.env.sample(self.kind, start + i as f64 * interval))
-            .collect();
+        let readings: Result<Vec<Reading>, SensorError> =
+            (0..n).map(|i| self.env.sample(self.kind, start + i as f64 * interval)).collect();
         if readings.is_ok() {
             if let Some(meter) = &self.meter {
                 meter.record(self.kind, n);
@@ -318,10 +317,7 @@ mod tests {
         let f = FlakyProvider::every(provider(), 3);
         assert!(f.acquire(1, 0.0, 1.0).is_ok());
         assert!(f.acquire(1, 1.0, 1.0).is_ok());
-        assert!(matches!(
-            f.acquire(1, 2.0, 1.0),
-            Err(SensorError::Timeout { .. })
-        ));
+        assert!(matches!(f.acquire(1, 2.0, 1.0), Err(SensorError::Timeout { .. })));
         assert!(f.acquire(1, 3.0, 1.0).is_ok());
         assert_eq!(f.calls(), 4);
     }
@@ -340,7 +336,7 @@ mod tests {
 
     #[test]
     fn meter_charges_real_acquisitions_only() {
-        let meter = crate::energy::EnergyMeter::new();
+        let meter = EnergyMeter::new();
         let p = BufferedProvider::new(provider().with_meter(meter.clone()), 5.0);
         p.acquire(4, 100.0, 1.0).unwrap();
         let after_first = meter.total_mj();
@@ -355,10 +351,9 @@ mod tests {
 
     #[test]
     fn failed_acquisition_costs_nothing() {
-        let meter = crate::energy::EnergyMeter::new();
+        let meter = EnergyMeter::new();
         // Place environments do not support GasCo.
-        let env: Arc<dyn crate::environment::Environment> =
-            Arc::new(crate::environment::presets::bn_cafe(1));
+        let env: Arc<dyn Environment> = Arc::new(presets::bn_cafe(1));
         let p = SimulatedProvider::new(SensorKind::GasCo, env).with_meter(meter.clone());
         assert!(p.acquire(3, 0.0, 1.0).is_err());
         assert_eq!(meter.total_mj(), 0.0);

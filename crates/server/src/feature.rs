@@ -193,8 +193,7 @@ impl FeatureSpec {
             Extractor::AltitudeChange { gps_sensor } => {
                 let mut window_means = Vec::new();
                 for r in records.iter().filter(|r| r.sensor == *gps_sensor) {
-                    let alts: Vec<f64> =
-                        r.values.chunks_exact(3).map(|c| c[2]).collect();
+                    let alts: Vec<f64> = r.values.chunks_exact(3).map(|c| c[2]).collect();
                     if !alts.is_empty() {
                         window_means.push(alts.iter().sum::<f64>() / alts.len() as f64);
                     }
@@ -235,10 +234,7 @@ mod tests {
     #[test]
     fn mean_requires_data() {
         let spec = FeatureSpec::new("temp", "°F", Extractor::Mean { sensor: 7 }, 60.0);
-        assert!(matches!(
-            spec.extract(&[]),
-            Err(ServerError::InsufficientData { .. })
-        ));
+        assert!(matches!(spec.extract(&[]), Err(ServerError::InsufficientData { .. })));
     }
 
     #[test]
@@ -259,21 +255,18 @@ mod tests {
 
     #[test]
     fn curvature_zero_on_straight_track() {
-        let spec =
-            FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
+        let spec = FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
         // Straight north track, 10 m steps (in degrees of latitude).
         let step = 10.0 / 111_320.0;
-        let vals: Vec<f64> = (0..20)
-            .flat_map(|i| vec![43.0 + i as f64 * step, -76.0, 100.0])
-            .collect();
+        let vals: Vec<f64> =
+            (0..20).flat_map(|i| vec![43.0 + i as f64 * step, -76.0, 100.0]).collect();
         let records = vec![rec(1, 0.0, vals)];
         assert!(spec.extract(&records).unwrap() < 1.0);
     }
 
     #[test]
     fn curvature_high_on_switchback_track() {
-        let spec =
-            FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
+        let spec = FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
         let dlat = 10.0 / 111_320.0;
         let dlon = 10.0 / (111_320.0 * 43.0f64.to_radians().cos());
         // Six 60 m legs alternating north and east: a 90° switchback
@@ -296,9 +289,8 @@ mod tests {
 
         // And it clearly separates from a straight track of the same
         // length.
-        let straight: Vec<f64> = (0..36)
-            .flat_map(|i| vec![43.0 + i as f64 * dlat, -76.0, 100.0])
-            .collect();
+        let straight: Vec<f64> =
+            (0..36).flat_map(|i| vec![43.0 + i as f64 * dlat, -76.0, 100.0]).collect();
         let c_straight = spec.extract(&[rec(1, 0.0, straight)]).unwrap();
         assert!(c > 10.0 * c_straight.max(0.1), "{c} vs {c_straight}");
     }
@@ -308,8 +300,7 @@ mod tests {
         // A straight 400 m track with ±3 m deterministic zig on every
         // fix: raw consecutive-fix headings would swing wildly, but the
         // waypoint smoothing must keep curvature small.
-        let spec =
-            FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
+        let spec = FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
         let dlat = 2.5 / 111_320.0;
         let jitter = 3.0 / (111_320.0 * 43.0f64.to_radians().cos());
         let vals: Vec<f64> = (0..160)
@@ -324,30 +315,23 @@ mod tests {
 
     #[test]
     fn curvature_needs_enough_track() {
-        let spec =
-            FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
+        let spec = FeatureSpec::new("curv", "", Extractor::Curvature { gps_sensor: 1 }, 30.0);
         // Two fixes: outright too few.
         let records = vec![rec(1, 0.0, vec![43.0, -76.0, 0.0, 43.1, -76.0, 0.0])];
         assert!(spec.extract(&records).is_err());
         // Many fixes but only ~10 m of travel: fewer than 3 waypoints.
         let step = 0.5 / 111_320.0;
-        let vals: Vec<f64> = (0..20)
-            .flat_map(|i| vec![43.0 + i as f64 * step, -76.0, 100.0])
-            .collect();
+        let vals: Vec<f64> =
+            (0..20).flat_map(|i| vec![43.0 + i as f64 * step, -76.0, 100.0]).collect();
         assert!(spec.extract(&[rec(1, 0.0, vals)]).is_err());
     }
 
     #[test]
     fn altitude_change_from_window_means() {
-        let spec = FeatureSpec::new(
-            "alt",
-            "m",
-            Extractor::AltitudeChange { gps_sensor: 1 },
-            30.0,
-        );
+        let spec = FeatureSpec::new("alt", "m", Extractor::AltitudeChange { gps_sensor: 1 }, 30.0);
         let records = vec![
             rec(1, 0.0, vec![43.0, -76.0, 100.0, 43.0, -76.0, 102.0]), // mean 101
-            rec(1, 60.0, vec![43.0, -76.0, 120.0]),                     // mean 120
+            rec(1, 60.0, vec![43.0, -76.0, 120.0]),                    // mean 120
             rec(1, 120.0, vec![43.0, -76.0, 99.0, 43.0, -76.0, 101.0]), // mean 100
         ];
         let sd = spec.extract(&records).unwrap();
@@ -357,12 +341,7 @@ mod tests {
 
     #[test]
     fn flat_trail_has_small_altitude_change() {
-        let spec = FeatureSpec::new(
-            "alt",
-            "m",
-            Extractor::AltitudeChange { gps_sensor: 1 },
-            30.0,
-        );
+        let spec = FeatureSpec::new("alt", "m", Extractor::AltitudeChange { gps_sensor: 1 }, 30.0);
         let records: Vec<RawRecord> = (0..5)
             .map(|i| rec(1, i as f64 * 60.0, vec![43.0, -76.0, 100.0 + (i % 2) as f64]))
             .collect();

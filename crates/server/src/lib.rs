@@ -35,7 +35,7 @@ pub mod viz;
 
 pub use application::{ApplicationManager, ApplicationSpec};
 pub use feature::{Extractor, FeatureSpec};
-pub use participation::{ParticipationManager, ParticipantStatus};
+pub use participation::{ParticipantStatus, ParticipationManager};
 pub use server::SensingServer;
 
 /// Errors from the sensing server.
@@ -52,6 +52,16 @@ pub enum ServerError {
     },
     /// The task id is unknown.
     UnknownTask(u64),
+    /// The application's SenseScript failed static verification at
+    /// task admission: it is statically guaranteed to fail on every
+    /// phone, so no task slot is allocated and no scheduling happens.
+    ScriptRejected {
+        /// The application whose script was rejected.
+        app_id: u64,
+        /// The analyzer's rendered findings, one `line:col:
+        /// severity[CODE]: message` per line.
+        report: String,
+    },
     /// Storage failure.
     Store(sor_store::StoreError),
     /// Core algorithm failure.
@@ -76,6 +86,9 @@ impl std::fmt::Display for ServerError {
                 "claimed location is {distance_m:.0} m from the place (radius {radius_m:.0} m)"
             ),
             ServerError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            ServerError::ScriptRejected { app_id, report } => {
+                write!(f, "script of application {app_id} rejected by static analysis:\n{report}")
+            }
             ServerError::Store(e) => write!(f, "store: {e}"),
             ServerError::Core(e) => write!(f, "core: {e}"),
             ServerError::Decode(e) => write!(f, "decode: {e}"),

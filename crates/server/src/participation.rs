@@ -161,12 +161,7 @@ mod tests {
             script: String::new(),
             period_seconds: 10800.0,
             instants: 1080,
-            features: vec![FeatureSpec::new(
-                "noise",
-                "",
-                Extractor::Mean { sensor: 2 },
-                20.0,
-            )],
+            features: vec![FeatureSpec::new("noise", "", Extractor::Mean { sensor: 2 }, 20.0)],
         }
     }
 

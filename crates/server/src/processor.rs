@@ -70,10 +70,7 @@ impl DataProcessor {
         app_id: u64,
         frame: &[u8],
     ) -> Result<(), ServerError> {
-        db.insert(
-            INBOX_TABLE,
-            vec![Value::Int(app_id as i64), Value::Bytes(frame.to_vec())],
-        )?;
+        db.insert(INBOX_TABLE, vec![Value::Int(app_id as i64), Value::Bytes(frame.to_vec())])?;
         Ok(())
     }
 
@@ -124,10 +121,7 @@ impl DataProcessor {
     ///
     /// Storage or decode errors.
     pub fn records_of(&self, db: &Database, app_id: u64) -> Result<Vec<RawRecord>, ServerError> {
-        let rows = db.scan(
-            RECORDS_TABLE,
-            &Predicate::eq("app_id", Value::Int(app_id as i64)),
-        )?;
+        let rows = db.scan(RECORDS_TABLE, &Predicate::eq("app_id", Value::Int(app_id as i64)))?;
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
             let bytes = row.values[5].as_bytes().expect("schema");

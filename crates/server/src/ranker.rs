@@ -41,11 +41,8 @@ pub fn assemble_matrix(
     let Some(first) = members.first() else {
         return Err(ServerError::UnknownApplication(0));
     };
-    let features: Vec<Feature> = first
-        .features
-        .iter()
-        .map(|f| Feature::new(f.name.clone(), f.unit.clone()))
-        .collect();
+    let features: Vec<Feature> =
+        first.features.iter().map(|f| Feature::new(f.name.clone(), f.unit.clone())).collect();
     let processor = DataProcessor;
     let mut rows = Vec::with_capacity(members.len());
     let mut names = Vec::with_capacity(members.len());
@@ -82,10 +79,8 @@ pub fn rank_category(
 ) -> Result<CategoryRanking, ServerError> {
     let (matrix, ids) = assemble_matrix(db, apps, category)?;
     let outcome = PersonalizableRanker::new().rank(&matrix, prefs)?;
-    let order: Vec<String> =
-        outcome.named_order(&matrix).iter().map(|s| s.to_string()).collect();
-    let app_order: Vec<u64> =
-        outcome.final_ranking.iter().map(|p| ids[p.0]).collect();
+    let order: Vec<String> = outcome.named_order(&matrix).iter().map(|s| s.to_string()).collect();
+    let app_order: Vec<u64> = outcome.final_ranking.iter().map(|p| ids[p.0]).collect();
     Ok(CategoryRanking { matrix, outcome, order, app_order })
 }
 
@@ -165,8 +160,7 @@ mod tests {
     fn missing_feature_value_is_error() {
         let (mut db, apps) = setup();
         // Blow away the features table contents.
-        db.delete_where(crate::processor::FEATURES_TABLE, &sor_store::Predicate::True)
-            .unwrap();
+        db.delete_where(crate::processor::FEATURES_TABLE, &sor_store::Predicate::True).unwrap();
         let prefs = UserPreferences::new("x", vec![Preference::value(70.0, 3)]);
         assert!(matches!(
             rank_category(&db, &apps, "coffee-shop", &prefs),

@@ -8,6 +8,7 @@ use sor_core::schedule::UserId;
 use sor_core::time::TimeGrid;
 use sor_core::UserPreferences;
 use sor_proto::Message;
+use sor_script::analysis::{analyze, CapabilitySet};
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
 
 use crate::application::{ApplicationManager, ApplicationSpec};
@@ -105,12 +106,8 @@ impl SensingServer {
     /// Core errors for a degenerate grid configuration.
     pub fn register_application(&mut self, spec: ApplicationSpec) -> Result<(), ServerError> {
         let grid = TimeGrid::new(0.0, spec.period_seconds, spec.instants)?;
-        let sigmas: Vec<f64> = spec
-            .features
-            .iter()
-            .map(|f| f.sigma.max(1e-6))
-            .filter(|s| s.is_finite())
-            .collect();
+        let sigmas: Vec<f64> =
+            spec.features.iter().map(|f| f.sigma.max(1e-6)).filter(|s| s.is_finite()).collect();
         let scheduler = if sigmas.is_empty() {
             OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
         } else {
@@ -170,10 +167,8 @@ impl SensingServer {
                 *stay_seconds,
             ),
             Message::SensedDataUpload { task_id, .. } => {
-                let task = self
-                    .participation
-                    .task(*task_id)
-                    .ok_or(ServerError::UnknownTask(*task_id))?;
+                let task =
+                    self.participation.task(*task_id).ok_or(ServerError::UnknownTask(*task_id))?;
                 let app_id = task.app_id;
                 // "directly store the binary message body into the
                 // database, which will be processed later".
@@ -213,11 +208,19 @@ impl SensingServer {
         budget: u32,
         stay_seconds: f64,
     ) -> Result<Vec<(u64, Message)>, ServerError> {
-        let app = self
-            .apps
-            .get(app_id)
-            .ok_or(ServerError::UnknownApplication(app_id))?
-            .clone();
+        let app = self.apps.get(app_id).ok_or(ServerError::UnknownApplication(app_id))?.clone();
+        // Pre-dispatch verification (§II-A's whitelist, enforced
+        // statically): a script with error-severity findings fails on
+        // every phone, so the task is rejected now — before a user is
+        // registered, a task slot is allocated, or the scheduler
+        // replans for an arrival that can never produce data.
+        let verdict = analyze(&app.script, &CapabilitySet::standard_sensing());
+        if verdict.has_errors() {
+            return Err(ServerError::ScriptRejected {
+                app_id,
+                report: verdict.render(&format!("app-{app_id}")),
+            });
+        }
         let user = self.users.register(&mut self.db, token, "participant")?;
         let task = self.participation.admit(
             &app,
@@ -231,12 +234,7 @@ impl SensingServer {
         let departure = task.departure;
         let sched = self.schedulers.get_mut(&app_id).expect("registered with app");
         let clamped_departure = departure.min(sched.grid().end());
-        sched.arrive(
-            UserId(user.user_id as usize),
-            self.now,
-            clamped_departure,
-            budget as usize,
-        );
+        sched.arrive(UserId(user.user_id as usize), self.now, clamped_departure, budget as usize);
         // Distribute updated schedules to every active participant of
         // this application (§II-B: "will also distribute the calculated
         // schedules along with the corresponding Lua scripts").
@@ -246,26 +244,16 @@ impl SensingServer {
     /// Builds ScheduleAssignment messages for all active tasks of one
     /// application from the scheduler's current plan.
     fn distribute_schedules(&mut self, app_id: u64) -> Result<Vec<(u64, Message)>, ServerError> {
-        let app = self
-            .apps
-            .get(app_id)
-            .ok_or(ServerError::UnknownApplication(app_id))?
-            .clone();
+        let app = self.apps.get(app_id).ok_or(ServerError::UnknownApplication(app_id))?.clone();
         let sched = self.schedulers.get(&app_id).expect("registered with app");
         let plan = sched.current_schedule();
         let grid = *sched.grid();
         let mut out = Vec::new();
-        let active: Vec<(u64, u64)> = self
-            .participation
-            .active_for(app_id)
-            .iter()
-            .map(|t| (t.task_id, t.token))
-            .collect();
+        let active: Vec<(u64, u64)> =
+            self.participation.active_for(app_id).iter().map(|t| (t.task_id, t.token)).collect();
         for (task_id, token) in active {
-            let user = self
-                .users
-                .by_token(&self.db, token)?
-                .ok_or(ServerError::UnknownTask(task_id))?;
+            let user =
+                self.users.by_token(&self.db, token)?.ok_or(ServerError::UnknownTask(task_id))?;
             let times: Vec<f64> = plan
                 .for_user(UserId(user.user_id as usize))
                 .into_iter()
@@ -283,11 +271,7 @@ impl SensingServer {
             for &t in &times {
                 self.db.insert(
                     SCHEDULES_TABLE,
-                    vec![
-                        Value::Int(task_id as i64),
-                        Value::Int(token as i64),
-                        Value::Float(t),
-                    ],
+                    vec![Value::Int(task_id as i64), Value::Int(token as i64), Value::Float(t)],
                 )?;
             }
             out.push((
@@ -323,7 +307,11 @@ impl SensingServer {
     /// # Errors
     ///
     /// Ranking/assembly errors.
-    pub fn rank(&self, category: &str, prefs: &UserPreferences) -> Result<CategoryRanking, ServerError> {
+    pub fn rank(
+        &self,
+        category: &str,
+        prefs: &UserPreferences,
+    ) -> Result<CategoryRanking, ServerError> {
         rank_category(&self.db, &self.apps, category, prefs)
     }
 
@@ -334,14 +322,10 @@ impl SensingServer {
     ///
     /// Storage errors.
     pub fn stored_schedule(&self, task_id: u64) -> Result<Vec<f64>, ServerError> {
-        let rows = self.db.scan(
-            SCHEDULES_TABLE,
-            &Predicate::eq("task_id", Value::Int(task_id as i64)),
-        )?;
-        let mut times: Vec<f64> = rows
-            .iter()
-            .map(|r| r.values[2].as_float().expect("schema"))
-            .collect();
+        let rows =
+            self.db.scan(SCHEDULES_TABLE, &Predicate::eq("task_id", Value::Int(task_id as i64)))?;
+        let mut times: Vec<f64> =
+            rows.iter().map(|r| r.values[2].as_float().expect("schema")).collect();
         times.sort_by(f64::total_cmp);
         Ok(times)
     }
@@ -358,8 +342,7 @@ impl SensingServer {
             .filter(|t| {
                 matches!(
                     t.status,
-                    crate::participation::ParticipantStatus::Running
-                        | crate::participation::ParticipantStatus::WaitingForSchedule
+                    ParticipantStatus::Running | ParticipantStatus::WaitingForSchedule
                 )
             })
             .map(|t| t.token)
@@ -482,6 +465,31 @@ mod tests {
     }
 
     #[test]
+    fn forbidden_script_rejected_at_admission() {
+        let mut s = SensingServer::new().unwrap();
+        let mut app = cafe_app(1, "rogue cafe");
+        app.script = "steal_contacts()".into();
+        s.register_application(app).unwrap();
+        let err = s
+            .handle_message(&Message::ParticipationRequest {
+                token: 7,
+                app_id: 1,
+                latitude: 43.0501,
+                longitude: -76.1501,
+                budget: 5,
+                stay_seconds: 1800.0,
+            })
+            .unwrap_err();
+        let ServerError::ScriptRejected { app_id, report } = &err else { panic!("{err:?}") };
+        assert_eq!(*app_id, 1);
+        assert!(report.contains("non-whitelisted"), "{report}");
+        // Rejected before any admission side effect: no task exists
+        // and nothing was scheduled or distributed.
+        assert!(s.participation().task(0).is_none());
+        assert!(s.stored_schedule(0).unwrap().is_empty());
+    }
+
+    #[test]
     fn far_away_user_rejected() {
         let mut s = server_with_app();
         let err = s
@@ -539,10 +547,7 @@ mod tests {
     fn upload_for_unknown_task_rejected() {
         let mut s = server_with_app();
         let upload = Message::SensedDataUpload { task_id: 42, records: vec![] };
-        assert_eq!(
-            s.handle_message(&upload).unwrap_err(),
-            ServerError::UnknownTask(42)
-        );
+        assert_eq!(s.handle_message(&upload).unwrap_err(), ServerError::UnknownTask(42));
     }
 
     #[test]
@@ -550,10 +555,7 @@ mod tests {
         let mut s = server_with_app();
         join(&mut s, 7, 5);
         s.handle_message(&Message::TaskComplete { task_id: 0, status: 0 }).unwrap();
-        assert_eq!(
-            s.participation().task(0).unwrap().status,
-            ParticipantStatus::Finished
-        );
+        assert_eq!(s.participation().task(0).unwrap().status, ParticipantStatus::Finished);
         let mut s2 = server_with_app();
         join(&mut s2, 7, 5);
         s2.handle_message(&Message::TaskComplete { task_id: 0, status: 3 }).unwrap();
@@ -565,18 +567,14 @@ mod tests {
         let mut s = server_with_app();
         join(&mut s, 7, 5); // stay 1800 s
         s.tick(2000.0);
-        assert_eq!(
-            s.participation().task(0).unwrap().status,
-            ParticipantStatus::Finished
-        );
+        assert_eq!(s.participation().task(0).unwrap().status, ParticipantStatus::Finished);
     }
 
     #[test]
     fn distributed_schedules_are_stored() {
         let mut s = server_with_app();
         let replies = join(&mut s, 7, 5);
-        let (_, Message::ScheduleAssignment { task_id, sense_times, .. }) = &replies[0]
-        else {
+        let (_, Message::ScheduleAssignment { task_id, sense_times, .. }) = &replies[0] else {
             panic!()
         };
         let mut sent = sense_times.clone();
@@ -653,10 +651,8 @@ mod tests {
             .unwrap();
         }
         s.process_data().unwrap();
-        let prefs = sor_core::UserPreferences::new(
-            "warm-lover",
-            vec![sor_core::ranking::Preference::value(75.0, 5)],
-        );
+        let prefs =
+            UserPreferences::new("warm-lover", vec![sor_core::ranking::Preference::value(75.0, 5)]);
         let ranking = s.rank("coffee-shop", &prefs).unwrap();
         assert_eq!(ranking.order, vec!["warm cafe", "cold cafe"]);
     }

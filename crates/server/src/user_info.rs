@@ -58,11 +58,7 @@ impl UserInfoManager {
         let user_id = db.table(USERS_TABLE)?.len() as u64;
         db.insert(
             USERS_TABLE,
-            vec![
-                Value::Int(user_id as i64),
-                Value::Int(token as i64),
-                Value::text(name),
-            ],
+            vec![Value::Int(user_id as i64), Value::Int(token as i64), Value::text(name)],
         )?;
         Ok(UserRecord { user_id, token, name: name.to_string() })
     }

@@ -25,12 +25,7 @@ impl FeaturePanel {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let max = self
-            .bars
-            .iter()
-            .map(|(_, v)| v.abs())
-            .fold(0.0f64, f64::max)
-            .max(1e-12);
+        let max = self.bars.iter().map(|(_, v)| v.abs()).fold(0.0f64, f64::max).max(1e-12);
         let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         for (label, value) in &self.bars {
             let n = ((value.abs() / max) * width as f64).round() as usize;
@@ -99,10 +94,8 @@ pub fn to_csv(panels: &[FeaturePanel]) -> String {
         out.push_str(&p.title.replace(',', ";"));
     }
     out.push('\n');
-    let places: Vec<&String> = panels
-        .first()
-        .map(|p| p.bars.iter().map(|(l, _)| l).collect())
-        .unwrap_or_default();
+    let places: Vec<&String> =
+        panels.first().map(|p| p.bars.iter().map(|(l, _)| l).collect()).unwrap_or_default();
     for (i, place) in places.iter().enumerate() {
         out.push_str(place);
         for p in panels {
@@ -140,11 +133,8 @@ mod tests {
     #[test]
     fn longest_bar_is_the_maximum() {
         let s = panel().render(20);
-        let bars: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.chars().filter(|&c| c == '#').count())
-            .collect();
+        let bars: Vec<usize> =
+            s.lines().skip(1).map(|l| l.chars().filter(|&c| c == '#').count()).collect();
         assert_eq!(bars.len(), 3);
         assert_eq!(*bars.iter().max().unwrap(), bars[2]); // Cliff hottest
         assert_eq!(bars[2], 20);
@@ -152,17 +142,11 @@ mod tests {
 
     #[test]
     fn negative_values_render_by_magnitude() {
-        let p = FeaturePanel::new(
-            "WiFi (dBm)",
-            vec![("A".into(), -50.0), ("B".into(), -70.0)],
-        );
+        let p = FeaturePanel::new("WiFi (dBm)", vec![("A".into(), -50.0), ("B".into(), -70.0)]);
         let s = p.render(10);
         assert!(s.contains("-50.00"));
-        let bars: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.chars().filter(|&c| c == '#').count())
-            .collect();
+        let bars: Vec<usize> =
+            s.lines().skip(1).map(|l| l.chars().filter(|&c| c == '#').count()).collect();
         assert!(bars[1] > bars[0], "stronger magnitude draws longer");
     }
 

@@ -25,10 +25,7 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; FIFO (seq) breaks time ties so
         // same-instant events run in schedule order.
-        other
-            .at
-            .total_cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.total_cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -134,10 +134,7 @@ pub fn trail_features() -> Vec<FeatureSpec> {
         FeatureSpec::new(
             "roughness",
             "m/s²",
-            Extractor::WindowedDeviation {
-                sensor: SensorKind::Accelerometer.wire_id(),
-                arity: 3,
-            },
+            Extractor::WindowedDeviation { sensor: SensorKind::Accelerometer.wire_id(), arity: 3 },
             5.0,
         ),
         FeatureSpec::new(
@@ -179,12 +176,8 @@ const COFFEE_SENSORS: &[SensorKind] = &[
     SensorKind::Gps,
 ];
 
-const TRAIL_SENSORS: &[SensorKind] = &[
-    SensorKind::Temperature,
-    SensorKind::Humidity,
-    SensorKind::Accelerometer,
-    SensorKind::Gps,
-];
+const TRAIL_SENSORS: &[SensorKind] =
+    &[SensorKind::Temperature, SensorKind::Humidity, SensorKind::Accelerometer, SensorKind::Gps];
 
 /// Runs the §V-B coffee-shop field test over the three preset shops.
 ///
@@ -258,16 +251,14 @@ fn run_field_test(
     }
 
     let mut world = SorWorld::new(server, Transport::perfect());
-    let meters: Vec<std::sync::Arc<EnergyMeter>> =
-        envs.iter().map(|_| EnergyMeter::new()).collect();
+    let meters: Vec<Arc<EnergyMeter>> = envs.iter().map(|_| EnergyMeter::new()).collect();
     for (place, env) in envs.iter().enumerate() {
         for p in 0..cfg.phones_per_place {
             let mut mgr = SensorManager::new();
             mgr.set_sample_interval(sample_interval);
             for &kind in sensors {
                 mgr.register(
-                    SimulatedProvider::new(kind, Arc::clone(env))
-                        .with_meter(meters[place].clone()),
+                    SimulatedProvider::new(kind, Arc::clone(env)).with_meter(meters[place].clone()),
                 );
             }
             let token = (place as u64 + 1) * 1000 + p as u64;
@@ -275,13 +266,7 @@ fn run_field_test(
             // Staggered arrivals across the first half of the window,
             // each staying for the remainder.
             let arrival = (p as f64 + 0.5) * cfg.duration / (2.0 * cfg.phones_per_place as f64);
-            world.schedule_scan(
-                arrival,
-                idx,
-                place as u64 + 1,
-                cfg.budget,
-                cfg.duration - arrival,
-            );
+            world.schedule_scan(arrival, idx, place as u64 + 1, cfg.budget, cfg.duration - arrival);
             world.schedule_sweeps(idx, arrival + 1.0, cfg.sweep_interval, cfg.duration);
         }
     }

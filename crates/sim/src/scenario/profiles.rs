@@ -121,10 +121,8 @@ mod tests {
 
     #[test]
     fn profiles_have_distinct_names() {
-        let names: Vec<String> = [alice(), bob(), chris(), david(), emma()]
-            .iter()
-            .map(|p| p.name.clone())
-            .collect();
+        let names: Vec<String> =
+            [alice(), bob(), chris(), david(), emma()].iter().map(|p| p.name.clone()).collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

@@ -102,8 +102,7 @@ pub fn run_scheduling_sim(cfg: SchedulingConfig) -> SchedulingOutcome {
     let mut base_ivar = Vec::with_capacity(cfg.runs);
     for _ in 0..cfg.runs {
         let participants = draw_participants(&cfg, &mut rng);
-        let problem =
-            ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
+        let problem = ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
         let g = problem.coverage_profile(&lazy_greedy(&problem));
         let b = problem.coverage_profile(&baseline(&problem));
         greedy_cov.push(g.iter().sum::<f64>() / g.len() as f64);

@@ -90,8 +90,7 @@ impl Transport {
         }
         let mut frame = msg.encode();
         if self.noise.uniform(self.counter ^ 0xC0, now) < self.cfg.corruption_rate {
-            let idx =
-                (self.noise.uniform(self.counter ^ 0xC1, now) * frame.len() as f64) as usize;
+            let idx = (self.noise.uniform(self.counter ^ 0xC1, now) * frame.len() as f64) as usize;
             let bit = (self.noise.uniform(self.counter ^ 0xC2, now) * 8.0) as u32 % 8;
             let idx = idx.min(frame.len() - 1);
             frame[idx] ^= 1 << bit;
@@ -156,10 +155,7 @@ mod tests {
 
     #[test]
     fn corruption_is_caught_by_crc() {
-        let mut t = Transport::new(TransportConfig {
-            corruption_rate: 1.0,
-            ..Default::default()
-        });
+        let mut t = Transport::new(TransportConfig { corruption_rate: 1.0, ..Default::default() });
         let mut rejected = 0;
         for i in 0..100 {
             let f = t.send(i as f64, Endpoint::Server, &msg()).unwrap();
@@ -174,11 +170,8 @@ mod tests {
     #[test]
     fn transport_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut t = Transport::new(TransportConfig {
-                loss_rate: 0.5,
-                seed,
-                ..Default::default()
-            });
+            let mut t =
+                Transport::new(TransportConfig { loss_rate: 0.5, seed, ..Default::default() });
             (0..100)
                 .map(|i| t.send(i as f64, Endpoint::Server, &msg()).is_some())
                 .collect::<Vec<bool>>()

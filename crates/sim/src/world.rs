@@ -14,27 +14,14 @@ use crate::transport::{Endpoint, InFlight, Transport};
 #[derive(Debug)]
 enum WorldEvent {
     /// A phone scans a place's barcode.
-    Scan {
-        phone: usize,
-        app_id: u64,
-        budget: u32,
-        stay: f64,
-    },
+    Scan { phone: usize, app_id: u64, budget: u32, stay: f64 },
     /// A frame arrives at its destination.
     Deliver(InFlight),
     /// A phone wakes and executes due sense times; reschedules itself.
-    PhoneSweep {
-        phone: usize,
-        interval: f64,
-        until: f64,
-    },
+    PhoneSweep { phone: usize, interval: f64, until: f64 },
     /// The server pages phones it has not heard from (§II-A's GCM
     /// fallback); reschedules itself.
-    LivenessCheck {
-        interval: f64,
-        threshold: f64,
-        until: f64,
-    },
+    LivenessCheck { interval: f64, threshold: f64, until: f64 },
 }
 
 /// Counters the scenarios assert on.
@@ -114,8 +101,7 @@ impl SorWorld {
         threshold: f64,
         until: f64,
     ) {
-        self.queue
-            .schedule(start, WorldEvent::LivenessCheck { interval, threshold, until });
+        self.queue.schedule(start, WorldEvent::LivenessCheck { interval, threshold, until });
     }
 
     fn post(&mut self, now: f64, to: Endpoint, msg: &Message) {
@@ -153,8 +139,10 @@ impl SorWorld {
                 let msgs = self.phones[phone].advance_to(now);
                 self.forward_phone_messages(now, msgs);
                 if now + interval <= until {
-                    self.queue
-                        .schedule(now + interval, WorldEvent::PhoneSweep { phone, interval, until });
+                    self.queue.schedule(
+                        now + interval,
+                        WorldEvent::PhoneSweep { phone, interval, until },
+                    );
                 }
             }
             WorldEvent::LivenessCheck { interval, threshold, until } => {
@@ -263,11 +251,7 @@ mod tests {
         let env = Arc::new(presets::bn_cafe(5));
         for token in 0..3u64 {
             let mut mgr = SensorManager::new();
-            for kind in [
-                SensorKind::Temperature,
-                SensorKind::Microphone,
-                SensorKind::Gps,
-            ] {
+            for kind in [SensorKind::Temperature, SensorKind::Microphone, SensorKind::Gps] {
                 mgr.register(SimulatedProvider::new(kind, env.clone()));
             }
             let idx = world.add_phone(MobileFrontend::new(token, mgr));

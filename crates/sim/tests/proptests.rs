@@ -12,12 +12,7 @@ use sor_server::{ApplicationSpec, SensingServer};
 use sor_sim::scenario::{coffee_features, COFFEE_SCRIPT};
 use sor_sim::{SorWorld, Transport, TransportConfig};
 
-fn build_world(
-    loss: f64,
-    corruption: f64,
-    seed: u64,
-    phones: usize,
-) -> (SorWorld, (f64, f64)) {
+fn build_world(loss: f64, corruption: f64, seed: u64, phones: usize) -> (SorWorld, (f64, f64)) {
     let env = Arc::new(presets::starbucks(seed));
     use sor_sensors::Environment;
     let (lat, lon) = env.location();

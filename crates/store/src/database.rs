@@ -61,9 +61,7 @@ impl Database {
     ///
     /// [`StoreError::UnknownTable`].
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+        self.tables.get_mut(name).ok_or_else(|| StoreError::UnknownTable(name.to_string()))
     }
 
     /// Inserts a row.
@@ -251,19 +249,10 @@ mod tests {
         )
         .unwrap();
         db.insert("users", vec![Value::Int(1), Value::text("alice"), Value::Null]).unwrap();
-        db.insert(
-            "users",
-            vec![Value::Int(2), Value::text("bob"), Value::text("b@x.io")],
-        )
-        .unwrap();
+        db.insert("users", vec![Value::Int(2), Value::text("bob"), Value::text("b@x.io")]).unwrap();
         db.insert(
             "blobs",
-            vec![
-                Value::Int(1),
-                Value::Bytes(vec![1, 2, 3]),
-                Value::Bool(true),
-                Value::Float(0.5),
-            ],
+            vec![Value::Int(1), Value::Bytes(vec![1, 2, 3]), Value::Bool(true), Value::Float(0.5)],
         )
         .unwrap();
         db
@@ -289,10 +278,7 @@ mod tests {
     #[test]
     fn unknown_table_errors() {
         let db = Database::new();
-        assert!(matches!(
-            db.scan("ghost", &Predicate::True),
-            Err(StoreError::UnknownTable(_))
-        ));
+        assert!(matches!(db.scan("ghost", &Predicate::True), Err(StoreError::UnknownTable(_))));
     }
 
     #[test]
@@ -325,10 +311,7 @@ mod tests {
         let db = sample_db();
         let mut bytes = db.snapshot();
         bytes[0] = b'X';
-        assert!(matches!(
-            Database::restore(&bytes),
-            Err(StoreError::CorruptSnapshot(_))
-        ));
+        assert!(matches!(Database::restore(&bytes), Err(StoreError::CorruptSnapshot(_))));
         // Truncations.
         for cut in [3, bytes.len() / 2] {
             assert!(Database::restore(&db.snapshot()[..cut]).is_err());

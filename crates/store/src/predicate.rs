@@ -1,7 +1,7 @@
 //! Row predicates for scans and deletes.
 
-use crate::table::Row;
 use crate::schema::Schema;
+use crate::table::Row;
 use crate::value::Value;
 use crate::StoreError;
 
@@ -113,10 +113,7 @@ mod tests {
     }
 
     fn row(id: i64, name: &str, score: f64) -> Row {
-        Row {
-            id: RowId(0),
-            values: vec![Value::Int(id), Value::text(name), Value::Float(score)],
-        }
+        Row { id: RowId(0), values: vec![Value::Int(id), Value::text(name), Value::Float(score)] }
     }
 
     #[test]
@@ -133,8 +130,7 @@ mod tests {
     fn boolean_combinators() {
         let s = schema();
         let r = row(5, "bob", 1.5);
-        let p = Predicate::eq("id", Value::Int(5))
-            .and(Predicate::gt("score", Value::Float(1.0)));
+        let p = Predicate::eq("id", Value::Int(5)).and(Predicate::gt("score", Value::Float(1.0)));
         assert!(p.matches(&s, &r).unwrap());
         let q = Predicate::eq("id", Value::Int(9)).or(Predicate::eq("name", Value::text("bob")));
         assert!(q.matches(&s, &r).unwrap());

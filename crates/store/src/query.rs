@@ -91,12 +91,11 @@ impl Query {
     pub fn run(&self, table: &Table) -> Result<Vec<Row>, StoreError> {
         let mut rows = table.scan(&self.predicate)?;
         if let Some((column, order)) = &self.order {
-            let idx = table.schema().column_index(column).ok_or_else(|| {
-                StoreError::UnknownColumn {
+            let idx =
+                table.schema().column_index(column).ok_or_else(|| StoreError::UnknownColumn {
                     table: table.schema().name().to_string(),
                     column: column.clone(),
-                }
-            })?;
+                })?;
             rows.sort_by(|a, b| {
                 let cmp = a.values[idx].total_cmp(&b.values[idx]);
                 match order {
@@ -200,10 +199,8 @@ mod tests {
             .scalar(&t)
             .unwrap();
         assert_eq!(v, Some(0.4));
-        let none = Query::new()
-            .filter(Predicate::eq("feature", Value::text("ghost")))
-            .scalar(&t)
-            .unwrap();
+        let none =
+            Query::new().filter(Predicate::eq("feature", Value::text("ghost"))).scalar(&t).unwrap();
         assert_eq!(none, None);
     }
 

@@ -116,10 +116,7 @@ impl Schema {
             } else if !col.ty.matches(v) {
                 return Err(StoreError::SchemaMismatch {
                     table: self.name.clone(),
-                    detail: format!(
-                        "column `{}` expects {:?}, got {v}",
-                        col.name, col.ty
-                    ),
+                    detail: format!("column `{}` expects {:?}, got {v}", col.name, col.ty),
                 });
             }
         }
@@ -157,9 +154,7 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected() {
-        assert!(schema()
-            .validate(&[Value::text("x"), Value::Float(0.5), Value::Null])
-            .is_err());
+        assert!(schema().validate(&[Value::text("x"), Value::Float(0.5), Value::Null]).is_err());
     }
 
     #[test]

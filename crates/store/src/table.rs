@@ -105,9 +105,7 @@ impl Table {
 
     /// Whether `column` has an index.
     pub fn has_index(&self, column: &str) -> bool {
-        self.schema
-            .column_index(column)
-            .is_some_and(|c| self.indexes.contains_key(&c))
+        self.schema.column_index(column).is_some_and(|c| self.indexes.contains_key(&c))
     }
 
     /// Rows matching a predicate, using the index fast-path for pure
@@ -124,9 +122,7 @@ impl Table {
                         return Ok(ids
                             .into_iter()
                             .filter_map(|id| {
-                                self.rows
-                                    .get(&id)
-                                    .map(|values| Row { id, values: values.clone() })
+                                self.rows.get(&id).map(|values| Row { id, values: values.clone() })
                             })
                             .collect());
                     }
@@ -257,20 +253,14 @@ mod tests {
     #[test]
     fn index_on_float_rejected() {
         let mut t = table();
-        assert!(matches!(
-            t.create_index("score"),
-            Err(StoreError::NotIndexable { .. })
-        ));
+        assert!(matches!(t.create_index("score"), Err(StoreError::NotIndexable { .. })));
     }
 
     #[test]
     fn duplicate_index_rejected() {
         let mut t = table();
         t.create_index("status").unwrap();
-        assert_eq!(
-            t.create_index("status"),
-            Err(StoreError::DuplicateIndex("status".to_string()))
-        );
+        assert_eq!(t.create_index("status"), Err(StoreError::DuplicateIndex("status".to_string())));
     }
 
     #[test]
@@ -291,10 +281,7 @@ mod tests {
         let n = t.delete_where(&Predicate::eq("status", Value::text("running"))).unwrap();
         assert_eq!(n, 2);
         assert_eq!(t.len(), 1);
-        assert!(t
-            .scan(&Predicate::eq("status", Value::text("running")))
-            .unwrap()
-            .is_empty());
+        assert!(t.scan(&Predicate::eq("status", Value::text("running"))).unwrap().is_empty());
     }
 
     #[test]
@@ -310,23 +297,15 @@ mod tests {
             )
             .unwrap();
         assert_eq!(n, 2);
-        assert_eq!(
-            t.scan(&Predicate::eq("status", Value::text("finished"))).unwrap().len(),
-            2
-        );
-        assert!(t
-            .scan(&Predicate::eq("status", Value::text("running")))
-            .unwrap()
-            .is_empty());
+        assert_eq!(t.scan(&Predicate::eq("status", Value::text("finished"))).unwrap().len(), 2);
+        assert!(t.scan(&Predicate::eq("status", Value::text("running"))).unwrap().is_empty());
     }
 
     #[test]
     fn update_validates_type() {
         let mut t = table();
         fill(&mut t);
-        assert!(t
-            .update_where(&Predicate::True, "status", Value::Int(1))
-            .is_err());
+        assert!(t.update_where(&Predicate::True, "status", Value::Int(1)).is_err());
     }
 
     #[test]
@@ -351,9 +330,7 @@ mod tests {
         let mut t = table();
         fill(&mut t);
         t.delete_where(&Predicate::True).unwrap();
-        let id = t
-            .insert(vec![Value::Int(9), Value::text("new"), Value::Float(0.0)])
-            .unwrap();
+        let id = t.insert(vec![Value::Int(9), Value::text("new"), Value::Float(0.0)]).unwrap();
         assert_eq!(id, RowId(3));
     }
 }

@@ -21,11 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sched = OnlineScheduler::new(grid, GaussianCoverage::new(10.0));
 
     println!("— online rescheduling —");
-    let arrivals = [
-        (UserId(0), 0.0, 1800.0, 8),
-        (UserId(1), 300.0, 1200.0, 6),
-        (UserId(2), 900.0, 1800.0, 6),
-    ];
+    let arrivals =
+        [(UserId(0), 0.0, 1800.0, 8), (UserId(1), 300.0, 1200.0, 6), (UserId(2), 900.0, 1800.0, 6)];
     for (user, t, dep, budget) in arrivals {
         sched.arrive(user, t, dep, budget);
         println!(
@@ -47,9 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Coverage profiles: where in the period readings actually land.
     // ------------------------------------------------------------------
     let grid = TimeGrid::new(0.0, 10_800.0, 1080)?;
-    let participants: Vec<Participant> = (0..12)
-        .map(|k| Participant::new(UserId(k), k as f64 * 800.0, 10_800.0, 17))
-        .collect();
+    let participants: Vec<Participant> =
+        (0..12).map(|k| Participant::new(UserId(k), k as f64 * 800.0, 10_800.0, 17)).collect();
     let problem = ScheduleProblem::new(grid, GaussianCoverage::new(10.0), participants);
     println!("\n— coverage profiles over the 3-hour period (12 staggered users) —");
     println!("  greedy   {}", sparkline_fit(&problem.coverage_profile(&lazy_greedy(&problem)), 72));

@@ -49,11 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Feature::new("brightness", "lux"),
             Feature::new("noise", ""),
         ],
-        vec![
-            vec![66.0, 1100.0, 0.10],
-            vec![71.0, 520.0, 0.12],
-            vec![74.0, 180.0, 0.40],
-        ],
+        vec![vec![66.0, 1100.0, 0.10], vec![71.0, 520.0, 0.12], vec![74.0, 180.0, 0.40]],
     )?;
 
     let social = UserPreferences::new(

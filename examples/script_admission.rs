@@ -1,0 +1,109 @@
+//! The script admission pipeline: static verification from the
+//! linter, the server's admission gate, and the phone's independent
+//! re-check.
+//!
+//! ```sh
+//! cargo run --example script_admission
+//! ```
+
+use std::sync::Arc;
+
+use sor::frontend::MobileFrontend;
+use sor::proto::Message;
+use sor::script::analysis::{analyze, CapabilitySet};
+use sor::sensors::environment::presets;
+use sor::sensors::{SensorKind, SensorManager, SimulatedProvider};
+use sor::server::feature::{Extractor, FeatureSpec};
+use sor::server::{ApplicationSpec, SensingServer, ServerError};
+
+fn cafe_app(app_id: u64, name: &str, script: &str) -> ApplicationSpec {
+    ApplicationSpec {
+        app_id,
+        name: name.into(),
+        creator: "owner".into(),
+        category: "coffee-shop".into(),
+        latitude: 43.05,
+        longitude: -76.15,
+        radius_m: 150.0,
+        script: script.into(),
+        period_seconds: 3600.0,
+        instants: 360,
+        features: vec![FeatureSpec::new(
+            "temperature",
+            "°F",
+            Extractor::Mean { sensor: SensorKind::Temperature.wire_id() },
+            60.0,
+        )],
+    }
+}
+
+fn join(token: u64, app_id: u64) -> Message {
+    Message::ParticipationRequest {
+        token,
+        app_id,
+        latitude: 43.0501,
+        longitude: -76.1501,
+        budget: 3,
+        stay_seconds: 1800.0,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. The analyzer on its own: what `sorlint` prints.
+    // ------------------------------------------------------------------
+    let rogue = "local t = get_temperature_readings(3)\nsteal_contacts(t)";
+    let report = analyze(rogue, &CapabilitySet::standard_sensing());
+    println!("— sorlint view of a rogue script —");
+    print!("{}", report.render("rogue.lua"));
+    println!("  static cost: {}\n", report.cost);
+
+    // ------------------------------------------------------------------
+    // 2. The server refuses the task at admission, before scheduling.
+    // ------------------------------------------------------------------
+    let mut server = SensingServer::new()?;
+    server.register_application(cafe_app(1, "rogue cafe", rogue))?;
+    server.register_application(cafe_app(
+        2,
+        "honest cafe",
+        "return mean(get_temperature_readings(5))",
+    ))?;
+
+    println!("— admission —");
+    match server.handle_message(&join(7, 1)) {
+        Err(ServerError::ScriptRejected { app_id, report }) => {
+            println!("  app {app_id} rejected before any task slot was spent:");
+            for line in report.lines() {
+                println!("    {line}");
+            }
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    let replies = server.handle_message(&join(8, 2))?;
+    let (token, assignment) = &replies[0];
+    println!("  app 2 admitted: schedule assigned to phone {token}\n");
+
+    // ------------------------------------------------------------------
+    // 3. The phone re-verifies before spending sensing effort.
+    // ------------------------------------------------------------------
+    let env = Arc::new(presets::bn_cafe(3));
+    let mut mgr = SensorManager::new();
+    mgr.register(SimulatedProvider::new(SensorKind::Temperature, env));
+    let mut phone = MobileFrontend::new(8, mgr);
+    phone.handle_message(assignment);
+    let out = phone.advance_to(3600.0);
+    println!("— phone —");
+    for m in &out {
+        match m {
+            Message::SensedDataUpload { task_id, records } => {
+                println!("  task {task_id}: uploaded {} record(s)", records.len());
+            }
+            Message::TaskComplete { task_id, status } => {
+                println!("  task {task_id}: complete with status {status}");
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, tests, lints, formatting.
+#
+# Runs entirely against the vendored dependency stubs in vendor/ — no
+# network or registry access is required (--offline makes cargo fail
+# fast instead of hanging if a lockfile change would need one).
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo fmt --check
+
+echo "==> CI OK"

@@ -1,0 +1,140 @@
+//! The script admission pipeline end to end: the server's static
+//! verification at task admission, the phone's independent
+//! re-verification before execution, and the agreement between the
+//! two capability vocabularies.
+
+use std::sync::Arc;
+
+use sor::frontend::{MobileFrontend, TaskStatus};
+use sor::proto::Message;
+use sor::script::analysis::{analyze, CapabilitySet, Severity};
+use sor::sensors::environment::presets;
+use sor::sensors::{SensorKind, SensorManager, SimulatedProvider};
+use sor::server::feature::{Extractor, FeatureSpec};
+use sor::server::{ApplicationSpec, SensingServer, ServerError};
+
+fn app_with_script(app_id: u64, script: &str) -> ApplicationSpec {
+    ApplicationSpec {
+        app_id,
+        name: format!("app-{app_id}"),
+        creator: "owner".into(),
+        category: "coffee-shop".into(),
+        latitude: 43.05,
+        longitude: -76.15,
+        radius_m: 150.0,
+        script: script.into(),
+        period_seconds: 3600.0,
+        instants: 360,
+        features: vec![FeatureSpec::new(
+            "temperature",
+            "°F",
+            Extractor::Mean { sensor: SensorKind::Temperature.wire_id() },
+            60.0,
+        )],
+    }
+}
+
+fn join_request(token: u64, app_id: u64) -> Message {
+    Message::ParticipationRequest {
+        token,
+        app_id,
+        latitude: 43.0501,
+        longitude: -76.1501,
+        budget: 3,
+        stay_seconds: 1800.0,
+    }
+}
+
+fn phone(token: u64) -> MobileFrontend {
+    let env = Arc::new(presets::bn_cafe(3));
+    let mut mgr = SensorManager::new();
+    for kind in [SensorKind::Temperature, SensorKind::Light, SensorKind::Gps] {
+        mgr.register(SimulatedProvider::new(kind, env.clone()));
+    }
+    MobileFrontend::new(token, mgr)
+}
+
+#[test]
+fn server_rejects_forbidden_script_before_scheduling() {
+    let mut server = SensingServer::new().unwrap();
+    server
+        .register_application(app_with_script(1, "get_light_readings(2)\nsteal_contacts()"))
+        .unwrap();
+
+    let err = server.handle_message(&join_request(7, 1)).unwrap_err();
+    let ServerError::ScriptRejected { app_id, report } = &err else {
+        panic!("expected ScriptRejected, got {err:?}")
+    };
+    assert_eq!(*app_id, 1);
+    assert!(report.contains("non-whitelisted"), "{report}");
+    assert!(report.contains("steal_contacts"), "{report}");
+    assert!(report.contains("E003"), "{report}");
+
+    // Rejection happened before any admission side effect: no task
+    // slot, no stored schedule, nothing to distribute.
+    assert!(server.participation().task(0).is_none());
+    assert!(server.stored_schedule(0).unwrap().is_empty());
+}
+
+#[test]
+fn server_rejects_unparseable_and_undefined_scripts() {
+    for (id, script) in [(1u64, "local = broken ("), (2, "return never_defined + 1")] {
+        let mut server = SensingServer::new().unwrap();
+        server.register_application(app_with_script(id, script)).unwrap();
+        let err = server.handle_message(&join_request(7, id)).unwrap_err();
+        assert!(
+            matches!(err, ServerError::ScriptRejected { .. }),
+            "script {script:?} should be rejected, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_script_flows_from_admission_to_upload() {
+    let mut server = SensingServer::new().unwrap();
+    let script = "return mean(get_temperature_readings(3))";
+    server.register_application(app_with_script(1, script)).unwrap();
+
+    let replies = server.handle_message(&join_request(7, 1)).unwrap();
+    assert_eq!(replies.len(), 1, "admitted and scheduled: {replies:?}");
+    let (token, assignment) = &replies[0];
+    assert_eq!(*token, 7);
+
+    // The phone re-verifies, then executes and uploads.
+    let mut p = phone(7);
+    p.handle_message(assignment);
+    let out = p.advance_to(3600.0);
+    assert!(out.iter().any(|m| matches!(m, Message::SensedDataUpload { .. })), "{out:?}");
+    assert!(matches!(out.last(), Some(Message::TaskComplete { status: 0, .. })));
+}
+
+#[test]
+fn phone_reverifies_even_when_server_is_bypassed() {
+    // A compromised or out-of-date server could ship anything; the
+    // phone's own pre-execution pass still refuses to run it.
+    let mut p = phone(7);
+    p.handle_message(&Message::ScheduleAssignment {
+        task_id: 9,
+        script: "steal_contacts()".into(),
+        sense_times: vec![1.0],
+    });
+    let out = p.advance_to(2.0);
+    assert!(matches!(out[0], Message::TaskComplete { task_id: 9, status: 1 }));
+    let TaskStatus::Error(msg) = &p.task(9).unwrap().status else { panic!() };
+    assert!(msg.contains("non-whitelisted"), "{msg}");
+    assert!(
+        !out.iter().any(|m| matches!(m, Message::SensedDataUpload { .. })),
+        "no sensing effort on a rejected script: {out:?}"
+    );
+}
+
+#[test]
+fn admission_verdict_reports_structured_positions() {
+    let caps = CapabilitySet::standard_sensing();
+    let report = analyze("local x = 1\nsteal_contacts()", &caps);
+    assert!(report.has_errors());
+    let err = report.errors().next().unwrap();
+    assert_eq!(err.severity, Severity::Error);
+    assert_eq!((err.pos.line, err.pos.col), (2, 15), "call sites anchor at the paren");
+    assert_eq!(err.code.as_str(), "E003");
+}

@@ -25,9 +25,7 @@ fn script_interpreter_drives_real_sensor_manager() {
             let n = args.first().and_then(Value::as_number).unwrap_or(1.0) as usize;
             let readings = mgr.acquire(kind, n, ctx.virtual_time).map_err(|e| e.to_string())?;
             ctx.virtual_time += n as f64 * 0.5;
-            Ok(Value::number_array(
-                &readings.iter().map(|r| r[0]).collect::<Vec<_>>(),
-            ))
+            Ok(Value::number_array(&readings.iter().map(|r| r[0]).collect::<Vec<_>>()))
         });
     }
     let v = interp
@@ -52,9 +50,7 @@ fn store_holds_proto_frames_byte_exact() {
 
     let mut db = Database::new();
     db.create_table(
-        Schema::new("inbox")
-            .column("id", ColumnType::Int)
-            .column("frame", ColumnType::Bytes),
+        Schema::new("inbox").column("id", ColumnType::Int).column("frame", ColumnType::Bytes),
     )
     .unwrap();
 
@@ -100,9 +96,7 @@ fn ranking_matches_direct_flow_solution() {
                     rankings
                         .iter()
                         .zip(weights)
-                        .map(|(r, w)| {
-                            (w as i64) * (r.position_of(PlaceId(i)).abs_diff(p) as i64)
-                        })
+                        .map(|(r, w)| (w as i64) * (r.position_of(PlaceId(i)).abs_diff(p) as i64))
                         .sum()
                 })
                 .collect()

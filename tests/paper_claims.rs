@@ -55,10 +55,8 @@ fn table_two_coffee_shop_rankings() {
 #[test]
 fn fig14_greedy_beats_baseline_substantially() {
     // The paper's mid-range point: 30 users, budget 17.
-    let out = run_scheduling_sim(SchedulingConfig {
-        runs: 5,
-        ..SchedulingConfig::paper(30, 17, 7)
-    });
+    let out =
+        run_scheduling_sim(SchedulingConfig { runs: 5, ..SchedulingConfig::paper(30, 17, 7) });
     let improvement = out.improvement();
     assert!(
         improvement > 0.35,
@@ -81,22 +79,17 @@ fn fig14_greedy_beats_baseline_substantially() {
 fn fig14_coverage_saturates_with_many_users() {
     // "when 55 users participate in sensing, our algorithm leads to
     // almost 100% coverage".
-    let out = run_scheduling_sim(SchedulingConfig {
-        runs: 3,
-        ..SchedulingConfig::paper(55, 17, 3)
-    });
+    let out =
+        run_scheduling_sim(SchedulingConfig { runs: 3, ..SchedulingConfig::paper(55, 17, 3) });
     assert!(out.greedy_mean > 0.9, "greedy coverage {:.3}", out.greedy_mean);
 }
 
 #[test]
 fn footrule_aggregation_two_approximates_kemeny_on_field_data() {
-    use sor::core::ranking::{
-        aggregate, individual_rankings, weighted_kemeny, AggregationMethod,
-    };
+    use sor::core::ranking::{aggregate, individual_rankings, weighted_kemeny, AggregationMethod};
     let out = run_coffee_field_test(FieldTestConfig::quick(13)).unwrap();
     for prefs in [david(), emma()] {
-        let gamma =
-            sor::core::ranking::distance_matrix(&out.matrix, &prefs).unwrap();
+        let gamma = sor::core::ranking::distance_matrix(&out.matrix, &prefs).unwrap();
         let rankings = individual_rankings(&gamma);
         let weights = prefs.weights();
         let foot = aggregate(&rankings, &weights, AggregationMethod::FootruleFlow).unwrap();

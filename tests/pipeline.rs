@@ -34,9 +34,7 @@ fn build_world(transport: Transport) -> SorWorld {
     for (i, shop) in shops.iter().enumerate() {
         use sor::sensors::Environment;
         let (lat, lon) = shop.location();
-        server
-            .register_application(shop_app(i as u64 + 1, shop.name(), lat, lon))
-            .unwrap();
+        server.register_application(shop_app(i as u64 + 1, shop.name(), lat, lon)).unwrap();
     }
     let mut world = SorWorld::new(server, transport);
     for (i, shop) in shops.into_iter().enumerate() {
@@ -122,11 +120,7 @@ fn pipeline_survives_lossy_network() {
     assert!(world.stats.uploads_accepted > 0);
     // With three phones per shop something still gets through for the
     // robust mean features.
-    assert!(world
-        .server
-        .feature_value(1, "temperature")
-        .unwrap()
-        .is_some());
+    assert!(world.server.feature_value(1, "temperature").unwrap().is_some());
 }
 
 #[test]

@@ -94,9 +94,7 @@ fn early_departure_cancels_future_sensing() {
     let phone = MobileFrontend::new(2, coffee_manager(&env));
     let scan = phone.scan_barcode(1, 10, 300.0); // stays 5 minutes only
     let replies = server.handle_message(&scan).unwrap();
-    let (_, Message::ScheduleAssignment { sense_times, .. }) = &replies[0] else {
-        panic!()
-    };
+    let (_, Message::ScheduleAssignment { sense_times, .. }) = &replies[0] else { panic!() };
     // All scheduled readings are inside the declared stay.
     for &t in sense_times {
         assert!(t <= 300.0 + 1e-9, "reading at {t} after departure");
@@ -164,9 +162,7 @@ fn wakeup_roundtrip_reestablishes_contact() {
     let mut phone = MobileFrontend::new(77, coffee_manager(&env));
     phone.advance_to(120.0);
     let replies = phone.handle_message(&Message::WakeUp { token: 77 });
-    let [Message::Ping { token, uptime_ms }] = replies.as_slice() else {
-        panic!("{replies:?}")
-    };
+    let [Message::Ping { token, uptime_ms }] = replies.as_slice() else { panic!("{replies:?}") };
     assert_eq!(*token, 77);
     assert_eq!(*uptime_ms, 120_000);
 }
@@ -271,8 +267,6 @@ fn budget_zero_user_contributes_nothing_but_is_admitted() {
     let phone = MobileFrontend::new(9, coffee_manager(&env));
     let scan = phone.scan_barcode(1, 0, 600.0);
     let replies = server.handle_message(&scan).unwrap();
-    let (_, Message::ScheduleAssignment { sense_times, .. }) = &replies[0] else {
-        panic!()
-    };
+    let (_, Message::ScheduleAssignment { sense_times, .. }) = &replies[0] else { panic!() };
     assert!(sense_times.is_empty());
 }

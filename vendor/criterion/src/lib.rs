@@ -1,0 +1,208 @@
+//! Offline stub of the `criterion` benchmarking crate.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and runnable
+//! without registry access. Measurement is a coarse wall-clock mean
+//! over a fixed number of iterations — enough to spot order-of-
+//! magnitude regressions by eye, not a statistics engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Iterations each benchmark body runs (after one warm-up call).
+const STUB_ITERS: u32 = 20;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts and ignores CLI configuration (API compatibility).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Accepts and ignores the warm-up time (API compatibility).
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepts and ignores the measurement time (API compatibility).
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepts and ignores the sample size (API compatibility).
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts and ignores the sample size (API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { rendered: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Timer handed to benchmark bodies.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Option<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+        self.iters = STUB_ITERS;
+    }
+
+    fn report(&self, label: &str) {
+        match self.elapsed {
+            Some(total) => {
+                let per_iter = total.as_nanos() / u128::from(self.iters.max(1));
+                println!(
+                    "bench {label:<48} ~{per_iter} ns/iter (stub criterion, {} iters)",
+                    self.iters
+                );
+            }
+            None => println!("bench {label:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a group-runner function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default().sample_size(5).configure_from_args();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+}

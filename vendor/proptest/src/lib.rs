@@ -1,0 +1,196 @@
+//! Offline stub of the `proptest` crate.
+//!
+//! A deterministic mini property-testing engine implementing the API
+//! surface the SOR workspace uses: the [`proptest!`] macro family,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`/`boxed`,
+//! range/tuple/[`strategy::Just`]/string-pattern strategies,
+//! [`collection::vec`], [`arbitrary::any`], [`sample::Index`], and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate (see `vendor/README.md`): 64 cases
+//! per property by default and no shrinking — a failure panics with
+//! the generated inputs rendered via `Debug`. Generation is
+//! deterministic per (test name, case index), so failures reproduce
+//! exactly from the test output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```no_run
+/// use proptest::prelude::*;
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __fn_seed = $crate::test_runner::fnv1a(stringify!($name).as_bytes());
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::new(__fn_seed ^ (u64::from(__case) << 17));
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __generated =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push(::std::format!(
+                        "{} = {:?}",
+                        stringify!($pat),
+                        __generated
+                    ));
+                    let $pat = __generated;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(__e)) => {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __e,
+                            __inputs.join(", "),
+                        );
+                    }
+                    ::std::result::Result::Err(__panic) => {
+                        ::std::eprintln!(
+                            "property `{}` panicked at case {}/{}\n  inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __inputs.join(", "),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with its inputs reported) instead of panicking bare.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+                            stringify!($lhs),
+                            stringify!($rhs),
+                            __l,
+                            __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{}` != `{}`\n  both: {:?}",
+                            stringify!($lhs),
+                            stringify!($rhs),
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,47 @@
+//! Index sampling (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An abstract index resolvable against any non-empty length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves against a concrete collection length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let ix = Index::arbitrary(&mut rng);
+            assert!(ix.index(7) < 7);
+            assert_eq!(ix.index(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Index::index(0)")]
+    fn zero_len_panics() {
+        Index(3).index(0);
+    }
+}

@@ -1,0 +1,139 @@
+//! String strategies from regex-like patterns.
+//!
+//! The workspace uses three pattern shapes — `".{0,200}"`, `".{0,60}"`
+//! and `"[a-e]{0,4}"` — so this module implements exactly the grammar
+//! `atom '{' lo ',' hi '}'` where `atom` is `.` (any printable char,
+//! biased to ASCII with some multibyte/control sprinkled in) or a
+//! bracket class of chars and `a-z` ranges. Patterns outside that
+//! grammar fall back to fully arbitrary strings of length 0..=32,
+//! which keeps never-panic properties meaningful.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.`: any character.
+    AnyChar,
+    /// `[...]`: explicit alternatives.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    atom: Atom,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse_pattern(pat: &str) -> Option<Pattern> {
+    let mut chars = pat.chars().peekable();
+    let atom = match chars.next()? {
+        '.' => Atom::AnyChar,
+        '[' => {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match chars.next()? {
+                    ']' => break,
+                    '-' => {
+                        let start = prev?;
+                        let end = chars.next()?;
+                        if end == ']' {
+                            return None;
+                        }
+                        for c in (start as u32 + 1)..=(end as u32) {
+                            set.push(char::from_u32(c)?);
+                        }
+                        prev = None;
+                    }
+                    c => {
+                        set.push(c);
+                        prev = Some(c);
+                    }
+                }
+            }
+            if set.is_empty() {
+                return None;
+            }
+            Atom::Class(set)
+        }
+        _ => return None,
+    };
+    if chars.next()? != '{' {
+        return None;
+    }
+    let rest: String = chars.collect();
+    let body = rest.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.parse().ok()?;
+    let hi: usize = hi.parse().ok()?;
+    if lo > hi {
+        return None;
+    }
+    Some(Pattern { atom, lo, hi })
+}
+
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 8 {
+        // Mostly printable ASCII, the lexer's common case.
+        0..=4 => (b' ' + (rng.next_u64() % 95) as u8) as char,
+        5 => ['\n', '\t', '\r', '"', '\'', '\\', '\0'][rng.below(7)],
+        6 => char::from_u32(0x80 + (rng.next_u64() % 0x700) as u32).unwrap_or('¿'),
+        _ => char::from_u32((rng.next_u64() % 0xD7FF) as u32).unwrap_or('\u{FFFD}'),
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Some(p) => {
+                let len = p.lo + rng.below(p.hi - p.lo + 1);
+                (0..len)
+                    .map(|_| match &p.atom {
+                        Atom::AnyChar => arbitrary_char(rng),
+                        Atom::Class(set) => set[rng.below(set.len())],
+                    })
+                    .collect()
+            }
+            None => {
+                let len = rng.below(33);
+                (0..len).map(|_| arbitrary_char(rng)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_pattern_respects_length() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = ".{0,60}".generate(&mut rng);
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn class_pattern_limits_alphabet() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-e]{0,4}".generate(&mut rng);
+            assert!(s.chars().count() <= 4);
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_falls_back() {
+        let mut rng = TestRng::new(4);
+        // Not in the supported grammar: still generates something.
+        let s = "(foo|bar)+".generate(&mut rng);
+        assert!(s.chars().count() <= 32);
+    }
+}

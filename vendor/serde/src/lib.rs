@@ -1,0 +1,18 @@
+//! Offline stub of the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and (behind the
+//! `derive` feature) no-op derive macros. The workspace only *derives*
+//! these traits to mark types wire-ready; nothing in-tree serializes,
+//! so empty traits suffice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
