@@ -1,0 +1,74 @@
+//! Overhead guard for the observability layer: a *disabled* recorder
+//! must cost the pipeline essentially nothing.
+//!
+//! Method: count every recorder operation one instrumented field test
+//! performs (counter bumps, histogram observations, span starts/ends,
+//! events), measure the per-operation cost of a disabled recorder in a
+//! tight loop, and project the total against the measured untraced
+//! pipeline time. The projection must stay under 2%.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sor_obs::Recorder;
+use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
+
+fn main() {
+    // 1. How many recorder operations does one run perform? Counter
+    //    values over-count (some bumps add n > 1 in one call), which
+    //    only makes the guard more conservative.
+    let rec = Recorder::enabled();
+    run_coffee_field_test_traced(FieldTestConfig::quick(3), rec.clone()).unwrap();
+    let metrics = rec.metrics_snapshot().unwrap();
+    let trace = rec.trace_snapshot().unwrap();
+    let ops: u64 = metrics.counters().map(|(_, v)| v).sum::<u64>()
+        + metrics.histograms().map(|(_, h)| h.count()).sum::<u64>()
+        + metrics.gauges().count() as u64
+        + trace.spans().len() as u64 * 3 // start + end + ~1 attr each
+        + trace.events().len() as u64;
+
+    // 2. Per-operation cost of a disabled recorder.
+    const N: u64 = 1_000_000;
+    let off = Recorder::default();
+    let span = off.span_start("x", 0.0);
+    let t0 = Instant::now();
+    for i in 0..N {
+        let r = black_box(&off);
+        r.count(black_box("bench.counter"), 1);
+        r.observe(black_box("bench.histogram"), i as f64);
+        let s = r.span_start(black_box("bench.span"), 0.0);
+        r.span_attr_with(s, "k", || unreachable!("disabled recorder must not format"));
+        r.span_end(s, 1.0);
+        black_box(span);
+    }
+    let per_op = t0.elapsed().as_secs_f64() / (N as f64 * 5.0);
+
+    // 3. The untraced pipeline itself (best of a few runs).
+    let pipeline = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(
+                run_coffee_field_test_traced(FieldTestConfig::quick(3), Recorder::default())
+                    .unwrap(),
+            );
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let projected = ops as f64 * per_op;
+    let ratio = projected / pipeline;
+    println!(
+        "bench obs_overhead/disabled_recorder: {ops} ops × {:.1} ns = {:.1} µs projected \
+         over a {:.1} ms pipeline → {:.3}%",
+        per_op * 1e9,
+        projected * 1e6,
+        pipeline * 1e3,
+        ratio * 100.0
+    );
+    assert!(
+        ratio < 0.02,
+        "disabled recorder projects to {:.2}% of the pipeline (limit 2%)",
+        ratio * 100.0
+    );
+    println!("bench obs_overhead OK (< 2%)");
+}

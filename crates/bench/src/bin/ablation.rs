@@ -28,7 +28,7 @@ use rand::{RngExt, SeedableRng};
 use sor_core::coverage::GaussianCoverage;
 use sor_core::ranking::{aggregate, weighted_kemeny, AggregationMethod, Ranking};
 use sor_core::schedule::online::OnlineScheduler;
-use sor_core::schedule::{greedy, lazy_greedy, ScheduleProblem};
+use sor_core::schedule::{greedy_seeded_stats, lazy_greedy, lazy_greedy_stats, ScheduleProblem};
 use sor_core::time::TimeGrid;
 use sor_sensors::environment::presets;
 use sor_sensors::{BufferedProvider, EnergyMeter, Provider, SensorKind, SimulatedProvider};
@@ -76,17 +76,21 @@ fn lazy_vs_plain() {
             draw_participants(&cfg, &mut rng),
         );
         let t0 = Instant::now();
-        let plain = greedy(&problem);
+        let (plain, plain_stats) = greedy_seeded_stats(&problem, &[]);
         let t_plain = t0.elapsed();
         let t0 = Instant::now();
-        let lazy = lazy_greedy(&problem);
+        let (lazy, lazy_stats) = lazy_greedy_stats(&problem);
         let t_lazy = t0.elapsed();
         assert_eq!(plain, lazy, "ablation invariant: schedules must match");
         println!(
-            "  users = {users:<3} plain {:>8.1?}  lazy {:>8.1?}  speedup {:>4.1}×",
+            "  users = {users:<3} plain {:>8.1?} ({:>8} evals)  lazy {:>8.1?} ({:>6} evals)  \
+             speedup {:>4.1}×  evals cut {:>4.1}×",
             t_plain,
+            plain_stats.gain_evaluations,
             t_lazy,
-            t_plain.as_secs_f64() / t_lazy.as_secs_f64().max(1e-9)
+            lazy_stats.gain_evaluations,
+            t_plain.as_secs_f64() / t_lazy.as_secs_f64().max(1e-9),
+            plain_stats.gain_evaluations as f64 / lazy_stats.gain_evaluations.max(1) as f64
         );
     }
     println!();

@@ -1,17 +1,24 @@
 //! Regenerates **Fig. 10**: feature data for the three coffee shops —
 //! (a) temperature, (b) brightness, (c) background noise, (d) WiFi.
 //!
+//! With `--report`, instruments the whole deployment and appends the
+//! observability report (span tree, timeline, metrics) to stderr.
+//!
 //! ```sh
 //! cargo run --release -p sor-bench --bin fig10
+//! cargo run --release -p sor-bench --bin fig10 -- --report
 //! ```
 
 use sor_bench::panels_of;
+use sor_obs::Recorder;
 use sor_server::viz::to_csv;
-use sor_sim::scenario::{run_coffee_field_test, FieldTestConfig};
+use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let want_report = std::env::args().any(|a| a == "--report");
+    let rec = if want_report { Recorder::enabled() } else { Recorder::default() };
     eprintln!("# Fig. 10 — coffee-shop feature data (3 shops × 12 phones × 3 h)");
-    let out = run_coffee_field_test(FieldTestConfig::coffee())?;
+    let out = run_coffee_field_test_traced(FieldTestConfig::coffee(), rec.clone())?;
     eprintln!(
         "# uploads accepted: {}, decode failures: {}",
         out.stats.uploads_accepted, out.stats.decode_failures
@@ -25,5 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("Fig. 10{tag} {}", p.render(40));
     }
     println!("CSV:\n{}", to_csv(&panels));
+    if let Some(report) = rec.report() {
+        eprintln!("{report}");
+    }
     Ok(())
 }

@@ -13,7 +13,8 @@
 //! cargo run --release -p sor-bench --bin fig14 -- users
 //! ```
 
-use sor_sim::scenario::{run_scheduling_sim, SchedulingConfig, SchedulingOutcome};
+use sor_obs::Recorder;
+use sor_sim::scenario::{run_scheduling_sim_traced, SchedulingConfig, SchedulingOutcome};
 
 fn row(label: &str, x: usize, out: &SchedulingOutcome) {
     println!(
@@ -26,16 +27,20 @@ fn row(label: &str, x: usize, out: &SchedulingOutcome) {
     );
 }
 
-fn sweep_users(seed: u64) -> Vec<(usize, SchedulingOutcome)> {
+fn sweep_users(seed: u64, rec: &Recorder) -> Vec<(usize, SchedulingOutcome)> {
     (10..=50)
         .step_by(5)
-        .map(|users| (users, run_scheduling_sim(SchedulingConfig::paper(users, 17, seed))))
+        .map(|users| {
+            (users, run_scheduling_sim_traced(SchedulingConfig::paper(users, 17, seed), rec))
+        })
         .collect()
 }
 
-fn sweep_budget(seed: u64) -> Vec<(usize, SchedulingOutcome)> {
+fn sweep_budget(seed: u64, rec: &Recorder) -> Vec<(usize, SchedulingOutcome)> {
     (15..=25)
-        .map(|budget| (budget, run_scheduling_sim(SchedulingConfig::paper(40, budget, seed))))
+        .map(|budget| {
+            (budget, run_scheduling_sim_traced(SchedulingConfig::paper(40, budget, seed), rec))
+        })
         .collect()
 }
 
@@ -43,16 +48,18 @@ fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let seed = 20140700; // fixed experiment seed
 
+    let off = Recorder::default();
+
     if mode == "csv" {
         // Plot-ready output for both panels.
         println!("panel,x,greedy_mean,greedy_std,baseline_mean,baseline_std");
-        for (users, out) in sweep_users(seed) {
+        for (users, out) in sweep_users(seed, &off) {
             println!(
                 "users,{users},{:.4},{:.4},{:.4},{:.4}",
                 out.greedy_mean, out.greedy_std, out.baseline_mean, out.baseline_std
             );
         }
-        for (budget, out) in sweep_budget(seed + 1) {
+        for (budget, out) in sweep_budget(seed + 1, &off) {
             println!(
                 "budget,{budget},{:.4},{:.4},{:.4},{:.4}",
                 out.greedy_mean, out.greedy_std, out.baseline_mean, out.baseline_std
@@ -63,22 +70,23 @@ fn main() {
 
     if mode == "users" || mode == "all" {
         println!("Fig. 14(a) — varying # of mobile users (budget 17, N=1080, σ=10 s, 10 runs):");
-        for (users, out) in sweep_users(seed) {
+        for (users, out) in sweep_users(seed, &off) {
             row("users", users, &out);
         }
         println!();
     }
     if mode == "budget" || mode == "all" {
         println!("Fig. 14(b) — varying budget (40 users, N=1080, σ=10 s, 10 runs):");
-        for (budget, out) in sweep_budget(seed + 1) {
+        for (budget, out) in sweep_budget(seed + 1, &off) {
             row("budget", budget, &out);
         }
         println!();
     }
     if mode == "summary" || mode == "all" {
+        let rec = Recorder::enabled();
         let mut improvements = Vec::new();
         let mut stability = Vec::new();
-        for (_, out) in sweep_users(seed).into_iter().chain(sweep_budget(seed + 1)) {
+        for (_, out) in sweep_users(seed, &rec).into_iter().chain(sweep_budget(seed + 1, &rec)) {
             improvements.push(out.improvement());
             stability.push(out.greedy_instant_var < out.baseline_instant_var);
         }
@@ -92,6 +100,16 @@ fn main() {
             "  greedy per-instant coverage variance below baseline: {}/{} points",
             stability.iter().filter(|&&b| b).count(),
             stability.len()
+        );
+        let schedules = rec.counter("sched.sim.runs");
+        let picks = rec.counter("sched.sim.iterations");
+        let evals = rec.counter("sched.sim.gain_evaluations");
+        println!("Planner work across both sweeps (lazy greedy, deterministic):");
+        println!("  schedules computed        : {schedules}");
+        println!("  readings committed        : {picks}");
+        println!(
+            "  marginal-gain evaluations : {evals}  ({:.1} per committed reading)",
+            evals as f64 / picks.max(1) as f64
         );
     }
 }

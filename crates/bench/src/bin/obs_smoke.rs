@@ -1,0 +1,49 @@
+//! CI smoke check for the observability pipeline: runs a small traced
+//! coffee-shop field test and validates that every export is well-formed
+//! and actually observed the deployment. Exits non-zero on any failure.
+//!
+//! ```sh
+//! cargo run --release -p sor-bench --bin obs_smoke
+//! ```
+
+use sor_obs::{parse_json, Recorder};
+use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
+
+fn check(cond: bool, what: &str) {
+    if cond {
+        println!("ok   {what}");
+    } else {
+        eprintln!("FAIL {what}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let rec = Recorder::enabled();
+    let out = run_coffee_field_test_traced(FieldTestConfig::quick(3), rec.clone())
+        .expect("field test runs");
+    check(out.stats.uploads_accepted > 0, "field test accepted uploads");
+
+    let metrics_json = rec.metrics_json().expect("enabled recorder exports metrics");
+    check(parse_json(&metrics_json).is_ok(), "metrics JSON snapshot parses");
+    let trace_json = rec.trace_json().expect("enabled recorder exports trace");
+    check(parse_json(&trace_json).is_ok(), "trace JSON snapshot parses");
+
+    let csv = rec.metrics_csv().unwrap();
+    check(csv.lines().count() > 10, "metrics CSV is non-trivial");
+    for name in [
+        "script.runs",
+        "phone.records_acquired",
+        "net.frames_sent.server",
+        "server.msg.sensed_data_upload",
+        "store.rows_inserted.records",
+        "server.features_computed",
+        "sched.iterations",
+    ] {
+        check(rec.counter(name) > 0, &format!("counter {name} observed the pipeline"));
+    }
+
+    let report = rec.report().unwrap();
+    check(report.contains("server.process_data"), "report covers data processing spans");
+    println!("obs smoke OK");
+}

@@ -14,6 +14,27 @@ use crate::matroid::SenseAction;
 use crate::schedule::{Schedule, ScheduleProblem, UserId};
 use crate::time::InstantId;
 
+/// Work counters for one greedy run, reported so callers can expose
+/// scheduler cost as metrics without this crate depending on any
+/// observability machinery. In a discrete-event simulation wall time is
+/// meaningless; these counts are the deterministic cost measure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyStats {
+    /// Selection rounds (actions committed to the schedule).
+    pub iterations: u64,
+    /// Marginal-gain evaluations performed.
+    pub gain_evaluations: u64,
+}
+
+impl GreedyStats {
+    /// Adds another run's counts into this one (used by the online
+    /// scheduler to accumulate cost across reschedules).
+    pub fn absorb(&mut self, other: GreedyStats) {
+        self.iterations += other.iterations;
+        self.gain_evaluations += other.gain_evaluations;
+    }
+}
+
 /// Runs plain greedy (Algorithm 1) on `problem` and returns the schedule.
 ///
 /// Determinism: ties in marginal gain break toward the earlier instant;
@@ -29,6 +50,15 @@ pub fn greedy(problem: &ScheduleProblem) -> Schedule {
 /// are not re-selectable). Used by the online scheduler to plan the
 /// future around an executed prefix.
 pub fn greedy_seeded(problem: &ScheduleProblem, seed: &[InstantId]) -> Schedule {
+    greedy_seeded_stats(problem, seed).0
+}
+
+/// [`greedy_seeded`], additionally reporting the work performed.
+pub fn greedy_seeded_stats(
+    problem: &ScheduleProblem,
+    seed: &[InstantId],
+) -> (Schedule, GreedyStats) {
+    let mut stats = GreedyStats::default();
     let n = problem.grid().len();
     // Remaining budget per user id (dense).
     let matroid = problem.matroid();
@@ -64,6 +94,7 @@ pub fn greedy_seeded(problem: &ScheduleProblem, seed: &[InstantId]) -> Schedule 
                 continue; // no present user has budget left
             }
             let gain = state.marginal_gain(InstantId(i));
+            stats.gain_evaluations += 1;
             let better = match best {
                 None => true,
                 Some((bg, _)) => gain > bg,
@@ -73,6 +104,7 @@ pub fn greedy_seeded(problem: &ScheduleProblem, seed: &[InstantId]) -> Schedule 
             }
         }
         let Some((_, i)) = best else { break };
+        stats.iterations += 1;
 
         // Attribute the instant to the feasible user with the most
         // remaining budget (ties: smallest id).
@@ -86,7 +118,7 @@ pub fn greedy_seeded(problem: &ScheduleProblem, seed: &[InstantId]) -> Schedule 
         state.add(InstantId(i));
         schedule.push(SenseAction { user, instant: i });
     }
-    schedule
+    (schedule, stats)
 }
 
 #[cfg(test)]
@@ -197,6 +229,23 @@ mod tests {
         let seed: Vec<InstantId> = (0..5).map(InstantId).collect();
         let s = greedy_seeded(&p, &seed);
         assert!(s.iter().all(|a| a.instant >= 5), "{s:?}");
+    }
+
+    #[test]
+    fn stats_count_rounds_and_evaluations() {
+        let p = simple_problem(&[(0.0, 100.0, 3), (20.0, 90.0, 2)]);
+        let (s, stats) = greedy_seeded_stats(&p, &[]);
+        assert_eq!(stats.iterations, s.len() as u64);
+        // Each selection round scans every untaken feasible instant, so
+        // at least one evaluation per committed action.
+        assert!(stats.gain_evaluations >= stats.iterations);
+        // Deterministic like the schedule itself.
+        assert_eq!(greedy_seeded_stats(&p, &[]).1, stats);
+
+        let mut total = GreedyStats::default();
+        total.absorb(stats);
+        total.absorb(stats);
+        assert_eq!(total.gain_evaluations, 2 * stats.gain_evaluations);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::matroid::SenseAction;
+use crate::schedule::greedy::GreedyStats;
 use crate::schedule::{Schedule, ScheduleProblem, UserId};
 use crate::time::InstantId;
 
@@ -45,6 +46,14 @@ impl Ord for Entry {
 /// [`crate::schedule::greedy`] (same tie-breaking) in far less time on
 /// large instances.
 pub fn lazy_greedy(problem: &ScheduleProblem) -> Schedule {
+    lazy_greedy_stats(problem).0
+}
+
+/// [`lazy_greedy`], additionally reporting the work performed. The
+/// whole point of laziness is fewer `gain_evaluations` than plain
+/// greedy for the same schedule; the stats make that claim testable.
+pub fn lazy_greedy_stats(problem: &ScheduleProblem) -> (Schedule, GreedyStats) {
+    let mut stats = GreedyStats::default();
     let n = problem.grid().len();
     let matroid = problem.matroid();
     let mut remaining: Vec<usize> =
@@ -65,7 +74,10 @@ pub fn lazy_greedy(problem: &ScheduleProblem) -> Schedule {
 
     let mut heap: BinaryHeap<Entry> = (0..n)
         .filter(|&i| !users_at[i].is_empty())
-        .map(|i| Entry { gain: state.marginal_gain(InstantId(i)), instant: i, round })
+        .map(|i| {
+            stats.gain_evaluations += 1;
+            Entry { gain: state.marginal_gain(InstantId(i)), instant: i, round }
+        })
         .collect();
 
     while let Some(top) = heap.pop() {
@@ -76,6 +88,7 @@ pub fn lazy_greedy(problem: &ScheduleProblem) -> Schedule {
         if top.round != round {
             // Stale bound: refresh and push back.
             let gain = state.marginal_gain(InstantId(i));
+            stats.gain_evaluations += 1;
             heap.push(Entry { gain, instant: i, round });
             continue;
         }
@@ -89,8 +102,9 @@ pub fn lazy_greedy(problem: &ScheduleProblem) -> Schedule {
         state.add(InstantId(i));
         schedule.push(SenseAction { user, instant: i });
         round += 1;
+        stats.iterations += 1;
     }
-    schedule
+    (schedule, stats)
 }
 
 #[cfg(test)]
@@ -146,5 +160,21 @@ mod tests {
         let users: Vec<(f64, f64, usize)> = (0..6).map(|k| (k as f64 * 20.0, 400.0, 3)).collect();
         let p = problem(40, &users);
         assert_eq!(lazy_greedy(&p), greedy(&p));
+    }
+
+    #[test]
+    fn lazy_evaluates_fewer_gains_than_plain() {
+        let users: Vec<(f64, f64, usize)> = (0..6).map(|k| (k as f64 * 20.0, 600.0, 4)).collect();
+        let p = problem(60, &users);
+        let (lazy_s, lazy_stats) = lazy_greedy_stats(&p);
+        let (plain_s, plain_stats) = greedy::greedy_seeded_stats(&p, &[]);
+        assert_eq!(lazy_s, plain_s);
+        assert_eq!(lazy_stats.iterations, plain_stats.iterations);
+        assert!(
+            lazy_stats.gain_evaluations < plain_stats.gain_evaluations,
+            "lazy {} vs plain {}",
+            lazy_stats.gain_evaluations,
+            plain_stats.gain_evaluations
+        );
     }
 }

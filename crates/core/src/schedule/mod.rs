@@ -29,7 +29,7 @@ mod types;
 
 pub use baseline::{baseline, baseline_with_interval};
 pub use brute::{brute_force, optimal_value};
-pub use greedy::{greedy, greedy_seeded};
-pub use lazy::lazy_greedy;
+pub use greedy::{greedy, greedy_seeded, greedy_seeded_stats, GreedyStats};
+pub use lazy::{lazy_greedy, lazy_greedy_stats};
 pub use problem::ScheduleProblem;
 pub use types::{Participant, Schedule, UserId};

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crate::coverage::CoverageModel;
 use crate::matroid::SenseAction;
-use crate::schedule::greedy::greedy_seeded;
+use crate::schedule::greedy::{greedy_seeded_stats, GreedyStats};
 use crate::schedule::{Participant, Schedule, ScheduleProblem, UserId};
 use crate::time::{InstantId, TimeGrid};
 
@@ -64,6 +64,8 @@ pub struct OnlineScheduler {
     planned: Vec<SenseAction>,
     now: f64,
     events: Vec<OnlineEvent>,
+    /// Greedy work accumulated across all reschedules this period.
+    stats: GreedyStats,
 }
 
 impl std::fmt::Debug for OnlineScheduler {
@@ -93,6 +95,7 @@ impl OnlineScheduler {
             planned: Vec::new(),
             now: grid.start(),
             events: Vec::new(),
+            stats: GreedyStats::default(),
         }
     }
 
@@ -126,6 +129,12 @@ impl OnlineScheduler {
     /// Event log.
     pub fn events(&self) -> &[OnlineEvent] {
         &self.events
+    }
+
+    /// Cumulative greedy work (selection rounds and marginal-gain
+    /// evaluations) across every reschedule this period.
+    pub fn stats(&self) -> GreedyStats {
+        self.stats
     }
 
     /// Objective value of the combined schedule under this period's
@@ -202,7 +211,9 @@ impl OnlineScheduler {
         let problem =
             ScheduleProblem::from_arc(self.grid, Arc::clone(&self.model), future_participants);
         let seed: Vec<InstantId> = self.executed.iter().map(|a| InstantId(a.instant)).collect();
-        self.planned = greedy_seeded(&problem, &seed).assignments().to_vec();
+        let (schedule, stats) = greedy_seeded_stats(&problem, &seed);
+        self.stats.absorb(stats);
+        self.planned = schedule.assignments().to_vec();
         self.events
             .push(OnlineEvent::Rescheduled { at: self.now, future_actions: self.planned.len() });
     }
@@ -320,5 +331,17 @@ mod tests {
         let mut s = scheduler();
         s.arrive(UserId(0), 0.0, 1000.0, 5);
         assert!(s.coverage() > 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_reschedules() {
+        let mut s = scheduler();
+        s.arrive(UserId(0), 0.0, 1000.0, 5);
+        let after_first = s.stats();
+        assert!(after_first.iterations >= 5);
+        assert!(after_first.gain_evaluations >= after_first.iterations);
+        s.arrive(UserId(1), 200.0, 900.0, 3);
+        let after_second = s.stats();
+        assert!(after_second.gain_evaluations > after_first.gain_evaluations);
     }
 }

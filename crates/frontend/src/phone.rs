@@ -6,8 +6,9 @@ use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use sor_obs::Recorder;
 use sor_proto::{Message, SensedRecord};
-use sor_script::analysis::{analyze, CapabilitySet};
+use sor_script::analysis::{analyze, CapabilitySet, Cost};
 use sor_script::{Interpreter, Value};
 use sor_sensors::{SensorKind, SensorManager};
 
@@ -21,6 +22,7 @@ pub struct MobileFrontend {
     prefs: LocalPreferenceManager,
     tasks: Vec<TaskInstance>,
     now: f64,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for MobileFrontend {
@@ -42,7 +44,15 @@ impl MobileFrontend {
             prefs: LocalPreferenceManager::new(),
             tasks: Vec::new(),
             now: 0.0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. Phone-side task
+    /// transitions, script runs, and sensor acquisitions are recorded
+    /// under `phone.*` / `script.*` names (see DESIGN.md).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The device token.
@@ -104,9 +114,18 @@ impl MobileFrontend {
                 // changes); finished tasks stay finished.
                 let fresh = TaskInstance::new(*task_id, script.clone(), sense_times.clone());
                 match self.tasks.iter_mut().find(|t| t.task_id == *task_id) {
-                    Some(existing) if !existing.is_done() => *existing = fresh,
+                    Some(existing) if !existing.is_done() => {
+                        *existing = fresh;
+                        self.recorder.count("phone.task.reassigned", 1);
+                    }
                     Some(_) => {}
-                    None => self.tasks.push(fresh),
+                    None => {
+                        self.tasks.push(fresh);
+                        self.recorder.count("phone.task.assigned", 1);
+                        self.recorder.event_with("phone.task.assigned", self.now, || {
+                            format!("task={task_id} sense_times={}", sense_times.len())
+                        });
+                    }
                 }
                 Vec::new()
             }
@@ -133,6 +152,7 @@ impl MobileFrontend {
         self.now = t;
         let mut out = Vec::new();
         let manager = Arc::clone(&self.manager);
+        let recorder = self.recorder.clone();
         let allowed: HashSet<SensorKind> =
             SensorKind::ALL.iter().copied().filter(|&k| self.prefs.is_allowed(k)).collect();
         for task in &mut self.tasks {
@@ -143,9 +163,14 @@ impl MobileFrontend {
                 if due > t {
                     break;
                 }
+                let span = recorder.span_start("phone.script_run", due);
+                recorder.span_attr_with(span, "task", || task.task_id.to_string());
+                recorder.count("script.runs", 1);
                 match execute_script(&task.script, due, &manager, &allowed) {
-                    Ok(records) => {
-                        task.pending_records.extend(records);
+                    Ok(run) => {
+                        record_script_run(&recorder, span, &run);
+                        recorder.span_end(span, due);
+                        task.pending_records.extend(run.records);
                         task.advance();
                         let records = task.drain_records();
                         if !records.is_empty() {
@@ -153,6 +178,10 @@ impl MobileFrontend {
                         }
                     }
                     Err(message) => {
+                        recorder.count("script.failed_runs", 1);
+                        recorder.span_attr(span, "error", &message);
+                        recorder.span_end(span, due);
+                        recorder.count("phone.task.error", 1);
                         task.status = TaskStatus::Error(message);
                         out.push(Message::TaskComplete { task_id: task.task_id, status: 1 });
                         break;
@@ -161,12 +190,14 @@ impl MobileFrontend {
             }
             if task.status == TaskStatus::Finished {
                 out.push(Message::TaskComplete { task_id: task.task_id, status: 0 });
+                recorder.count("phone.task.finished", 1);
                 // Mark so we do not re-announce completion next sweep.
                 task.status = TaskStatus::Finished;
             }
             // Empty schedules complete immediately.
             if task.status == TaskStatus::Pending && task.sense_times.is_empty() {
                 task.status = TaskStatus::Finished;
+                recorder.count("phone.task.finished", 1);
                 out.push(Message::TaskComplete { task_id: task.task_id, status: 0 });
             }
         }
@@ -191,6 +222,38 @@ const ACQUISITION_FNS: &[(&str, SensorKind)] = &[
     ("get_compass_readings", SensorKind::Compass),
 ];
 
+/// What one script execution produced, plus the cost evidence the
+/// observability layer reports: the interpreter's exact instruction
+/// count and the analyzer's static bound for the same script.
+struct ScriptRun {
+    records: Vec<SensedRecord>,
+    instructions_used: u64,
+    /// `analyze`'s static cost bound, when the script is bounded.
+    static_bound: Option<u64>,
+}
+
+/// Records one successful script run's metrics: instruction usage and
+/// the static-bound-over-measured ratio (≥ 1 whenever the analyzer's
+/// bound is sound — the regression test in `sor-sim` holds it there).
+fn record_script_run(recorder: &Recorder, span: sor_obs::SpanId, run: &ScriptRun) {
+    recorder.count("script.instructions_used", run.instructions_used);
+    recorder.observe("script.instructions_per_run", run.instructions_used as f64);
+    recorder.span_attr_with(span, "instructions", || run.instructions_used.to_string());
+    recorder.count("phone.records_acquired", run.records.len() as u64);
+    for r in &run.records {
+        if let Some(kind) = SensorKind::from_wire_id(r.sensor) {
+            recorder.count_labeled("phone.sensor_acquired", kind.name(), 1);
+        }
+    }
+    if let Some(bound) = run.static_bound {
+        recorder.span_attr_with(span, "static_bound", || bound.to_string());
+        if run.instructions_used > 0 {
+            recorder
+                .observe("script.bound_over_measured", bound as f64 / run.instructions_used as f64);
+        }
+    }
+}
+
 /// Runs one script execution at wall-clock `base_time`, returning the
 /// records it acquired.
 fn execute_script(
@@ -198,7 +261,7 @@ fn execute_script(
     base_time: f64,
     manager: &Arc<SensorManager>,
     allowed: &HashSet<SensorKind>,
-) -> Result<Vec<SensedRecord>, String> {
+) -> Result<ScriptRun, String> {
     let records: Rc<RefCell<Vec<SensedRecord>>> = Rc::new(RefCell::new(Vec::new()));
     let mut interp = Interpreter::new();
 
@@ -275,13 +338,19 @@ fn execute_script(
         let findings: Vec<String> = verdict.errors().map(ToString::to_string).collect();
         return Err(format!("script rejected before execution: {}", findings.join("; ")));
     }
+    let static_bound = match verdict.cost {
+        Cost::Bounded(n) => Some(n),
+        Cost::Unbounded => None,
+    };
 
     let run_result = interp.run(script).map_err(|e| e.to_string());
+    let instructions_used = interp.instructions_used();
     drop(interp); // releases the host closures' Rc clones
     run_result?;
-    Ok(Rc::try_unwrap(records)
+    let records = Rc::try_unwrap(records)
         .expect("all other Rc holders dropped with the interpreter")
-        .into_inner())
+        .into_inner();
+    Ok(ScriptRun { records, instructions_used, static_bound })
 }
 
 #[cfg(test)]
@@ -525,5 +594,48 @@ mod tests {
         let mut p = phone();
         p.advance_to(10.0);
         p.advance_to(5.0);
+    }
+
+    #[test]
+    fn recorder_observes_script_runs_and_transitions() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        assign(&mut p, 1, "get_light_readings(2)\nget_noise_readings(1)", vec![5.0, 15.0]);
+        p.advance_to(20.0);
+
+        assert_eq!(rec.counter("phone.task.assigned"), 1);
+        assert_eq!(rec.counter("phone.task.finished"), 1);
+        assert_eq!(rec.counter("script.runs"), 2);
+        assert_eq!(rec.counter("phone.records_acquired"), 4);
+        assert_eq!(rec.counter("phone.sensor_acquired.light"), 2);
+        assert_eq!(rec.counter("phone.sensor_acquired.microphone"), 2);
+        assert!(rec.counter("script.instructions_used") > 0);
+
+        // The bound/measured ratio was observed and is sound (≥ 1).
+        let m = rec.metrics_snapshot().unwrap();
+        let ratio = m.histogram("script.bound_over_measured").expect("ratio recorded");
+        assert_eq!(ratio.count(), 2);
+        assert!(ratio.min().unwrap() >= 1.0, "static bound below measured: {:?}", ratio.min());
+
+        // Spans carry the instruction attribute at the due sim-times.
+        let trace = rec.trace_snapshot().unwrap();
+        let runs: Vec<_> = trace.spans_named("phone.script_run").collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].start, 5.0);
+        assert_eq!(runs[1].start, 15.0);
+        assert!(runs[0].attrs.iter().any(|(k, _)| k == "instructions"));
+    }
+
+    #[test]
+    fn recorder_counts_failed_runs() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        assign(&mut p, 2, "error('sensor exploded')", vec![1.0]);
+        p.advance_to(2.0);
+        assert_eq!(rec.counter("script.failed_runs"), 1);
+        assert_eq!(rec.counter("phone.task.error"), 1);
+        assert_eq!(rec.counter("phone.task.finished"), 0);
     }
 }

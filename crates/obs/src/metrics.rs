@@ -1,0 +1,431 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! Everything is keyed by a flat metric name (dotted paths by
+//! convention, e.g. `server.msg.upload`) and stored in `BTreeMap`s so
+//! every export is deterministically ordered — a prerequisite for the
+//! golden-trace tests, which compare exports byte for byte.
+
+use std::collections::BTreeMap;
+
+/// A histogram over positive magnitudes with logarithmic (base-2)
+/// buckets plus exact count/sum/min/max moments.
+///
+/// Values `v > 0` land in bucket `floor(log2(v))` (clamped to
+/// `[-64, 63]`); values `v <= 0` are tallied in a dedicated
+/// `zero_or_less` bucket so lossy inputs never panic or vanish.
+/// Histograms merge by bucket-wise addition, which is commutative and
+/// preserves the total count — property-tested in this crate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    zero_or_less: u64,
+    buckets: BTreeMap<i16, u64>,
+}
+
+/// The clamp range for bucket exponents.
+const MIN_EXP: i16 = -64;
+/// Upper clamp for bucket exponents.
+const MAX_EXP: i16 = 63;
+
+/// The log2 bucket a positive value falls into.
+fn bucket_of(v: f64) -> i16 {
+    let e = v.log2().floor();
+    if e < f64::from(MIN_EXP) {
+        MIN_EXP
+    } else if e > f64::from(MAX_EXP) {
+        MAX_EXP
+    } else {
+        e as i16
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return; // NaN observations are meaningless; drop them.
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        if v > 0.0 {
+            *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        } else {
+            self.zero_or_less += 1;
+        }
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.zero_or_less += other.zero_or_less;
+        for (&exp, &n) in &other.buckets {
+            *self.buckets.entry(exp).or_insert(0) += n;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest observation seen.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation seen.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Observations that were zero or negative.
+    pub fn zero_or_less(&self) -> u64 {
+        self.zero_or_less
+    }
+
+    /// The populated `(log2-exponent, count)` buckets, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (i16, u64)> + '_ {
+        self.buckets.iter().map(|(&e, &n)| (e, n))
+    }
+
+    /// Sum of all bucket counts plus the zero-or-less bucket — always
+    /// equal to [`Histogram::count`] (a merge invariant the property
+    /// tests pin down).
+    pub fn bucketed_total(&self) -> u64 {
+        self.zero_or_less + self.buckets.values().sum::<u64>()
+    }
+}
+
+/// The registry: three deterministic namespaces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to a counter (creating it at zero).
+    pub fn count(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Counters whose name starts with `prefix`, summed — handy for
+    /// per-label families like `store.rows_inserted.<table>`.
+    pub fn counter_family_total(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, &v)| v).sum()
+    }
+
+    /// Merges another registry: counters add, gauges take the other's
+    /// value (latest-wins), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.count(k, v);
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// CSV snapshot: `kind,name,field,value` rows, deterministically
+    /// ordered (counters, then gauges, then histogram moments, then
+    /// histogram buckets).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter,{k},value,{v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge,{k},value,{v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("histogram,{k},count,{}\n", h.count));
+            out.push_str(&format!("histogram,{k},sum,{}\n", h.sum));
+            if let (Some(mn), Some(mx)) = (h.min, h.max) {
+                out.push_str(&format!("histogram,{k},min,{mn}\n"));
+                out.push_str(&format!("histogram,{k},max,{mx}\n"));
+            }
+            if h.zero_or_less > 0 {
+                out.push_str(&format!("histogram,{k},bucket_le0,{}\n", h.zero_or_less));
+            }
+            for (e, n) in h.buckets() {
+                out.push_str(&format!("histogram,{k},bucket_2^{e},{n}\n"));
+            }
+        }
+        out
+    }
+
+    /// JSON snapshot with the same deterministic ordering as the CSV.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(&mut out, self.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter().map(|(k, v)| (k, json_f64(*v))));
+        out.push_str("},\"histograms\":{");
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let mut s =
+                    format!("{}:{{\"count\":{},\"sum\":{}", json_str(k), h.count, json_f64(h.sum));
+                if let (Some(mn), Some(mx)) = (h.min, h.max) {
+                    s.push_str(&format!(",\"min\":{},\"max\":{}", json_f64(mn), json_f64(mx)));
+                }
+                s.push_str(",\"buckets\":{");
+                let mut entries: Vec<String> = Vec::new();
+                if h.zero_or_less > 0 {
+                    entries.push(format!("\"le0\":{}", h.zero_or_less));
+                }
+                for (e, n) in h.buckets() {
+                    entries.push(format!("\"2^{e}\":{n}"));
+                }
+                s.push_str(&entries.join(","));
+                s.push_str("}}");
+                s
+            })
+            .collect();
+        out.push_str(&hists.join(","));
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let parts: Vec<String> = entries.map(|(k, v)| format!("{}:{v}", json_str(k))).collect();
+    out.push_str(&parts.join(","));
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (finite values round-trip via
+/// Rust's shortest representation; non-finite values become `null`).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits the decimal point for integral floats; keep JSON
+        // numbers as-is (both 1 and 1.0 parse as numbers).
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_moments_and_buckets() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.0, 3.0, 4.0, 100.0, 0.0, -2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.zero_or_less(), 2);
+        assert_eq!(h.bucketed_total(), 7);
+        assert_eq!(h.min(), Some(-2.0));
+        assert_eq!(h.max(), Some(100.0));
+        // 0.5 → 2^-1, 1.0 → 2^0, 3.0 → 2^1, 4.0 → 2^2, 100 → 2^6.
+        let buckets: Vec<(i16, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(-1, 1), (0, 1), (1, 1), (2, 1), (6, 1)]);
+    }
+
+    #[test]
+    fn histogram_extreme_values_clamp() {
+        let mut h = Histogram::new();
+        h.record(f64::MIN_POSITIVE); // far below 2^-64
+        h.record(1e300); // above 2^63
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 2);
+        let buckets: Vec<(i16, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(-64, 1), (63, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1.0);
+        a.record(5.0);
+        b.record(5.5);
+        b.record(-1.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 4);
+        assert_eq!(ab.bucketed_total(), 4);
+        assert_eq!(ab.min(), Some(-1.0));
+        assert_eq!(ab.max(), Some(5.5));
+    }
+
+    #[test]
+    fn registry_basics() {
+        let mut m = MetricsRegistry::new();
+        m.count("a.b", 2);
+        m.count("a.b", 3);
+        m.gauge("depth", 7.5);
+        m.observe("lat", 0.05);
+        assert_eq!(m.counter("a.b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge_value("depth"), Some(7.5));
+        assert_eq!(m.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn family_totals_sum_prefixes() {
+        let mut m = MetricsRegistry::new();
+        m.count("store.rows_inserted.users", 3);
+        m.count("store.rows_inserted.records", 4);
+        m.count("store.rows_scanned.users", 9);
+        assert_eq!(m.counter_family_total("store.rows_inserted."), 7);
+        assert_eq!(m.counter_family_total("store."), 16);
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        a.count("c", 1);
+        a.gauge("g", 1.0);
+        a.observe("h", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.count("c", 2);
+        b.gauge("g", 9.0);
+        b.observe("h", 4.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge_value("g"), Some(9.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.count("z", 1);
+        m.count("a", 2);
+        m.observe("lat", 3.0);
+        let csv = m.to_csv();
+        assert_eq!(csv, m.to_csv());
+        let a = csv.find("counter,a").unwrap();
+        let z = csv.find("counter,z").unwrap();
+        assert!(a < z, "name-ordered: {csv}");
+        assert!(csv.contains("histogram,lat,count,1"));
+        assert!(csv.contains("histogram,lat,bucket_2^1,1"));
+    }
+
+    #[test]
+    fn json_escapes_and_numbers() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        let mut m = MetricsRegistry::new();
+        m.count("x", 1);
+        m.gauge("y", 2.5);
+        m.observe("z", 4.0);
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"x\":1"));
+        assert!(j.contains("\"y\":2.5"));
+        assert!(j.contains("\"2^2\":1"));
+    }
+}

@@ -1,0 +1,355 @@
+//! The span/event tracer, keyed to the **simulated** clock.
+//!
+//! Every span carries `f64` simulation seconds supplied by the caller —
+//! never wall-clock time — so a trace of a scenario run is a pure
+//! function of the scenario and its seed. Two runs with the same seed
+//! must render byte-identical traces (the golden-trace test in
+//! `sor-sim` holds this crate to that).
+
+use crate::metrics::{json_f64, json_str};
+
+/// Identifier of a span within one [`Trace`]. `SpanId(0)` is the
+/// reserved "disabled recorder" id: ending or annotating it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The id handed out by a disabled recorder.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id refers to a real recorded span.
+    pub fn is_real(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One recorded span: a named interval of simulated time with optional
+/// string attributes and a parent link (the span open when it started).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// This span's id (1-based, allocation order).
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name (dotted path by convention).
+    pub name: String,
+    /// Simulated start time (seconds).
+    pub start: f64,
+    /// Simulated end time; `None` while still open.
+    pub end: Option<f64>,
+    /// Ordered key/value annotations.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A point event on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time (seconds).
+    pub time: f64,
+    /// Event name.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The trace buffer: spans in allocation order plus point events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    spans: Vec<Span>,
+    events: Vec<TraceEvent>,
+    /// Indices (into `spans`) of currently-open spans, innermost last.
+    stack: Vec<usize>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Opens a span at simulated time `at`; its parent is the innermost
+    /// currently-open span.
+    pub fn start(&mut self, name: &str, at: f64) -> SpanId {
+        let id = SpanId(self.spans.len() as u64 + 1);
+        let parent = self.stack.last().map(|&i| self.spans[i].id);
+        self.spans.push(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        });
+        self.stack.push(self.spans.len() - 1);
+        id
+    }
+
+    /// Closes a span at simulated time `at`. Any still-open spans
+    /// nested inside it are force-closed at the same instant, so the
+    /// tree stays well-formed even if a caller forgets an inner end.
+    pub fn end(&mut self, id: SpanId, at: f64) {
+        if !id.is_real() {
+            return;
+        }
+        if let Some(pos) = self.stack.iter().rposition(|&i| self.spans[i].id == id) {
+            for &i in &self.stack[pos..] {
+                if self.spans[i].end.is_none() {
+                    self.spans[i].end = Some(at);
+                }
+            }
+            self.stack.truncate(pos);
+        } else if let Some(span) = self.span_mut(id) {
+            if span.end.is_none() {
+                span.end = Some(at);
+            }
+        }
+    }
+
+    /// Appends a key/value attribute to a span.
+    pub fn attr(&mut self, id: SpanId, key: &str, value: &str) {
+        if let Some(span) = self.span_mut(id) {
+            span.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Records a point event.
+    pub fn event(&mut self, name: &str, at: f64, detail: &str) {
+        self.events.push(TraceEvent {
+            time: at,
+            name: name.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    fn span_mut(&mut self, id: SpanId) -> Option<&mut Span> {
+        if !id.is_real() {
+            return None;
+        }
+        self.spans.get_mut(id.0 as usize - 1)
+    }
+
+    /// All spans, allocation-ordered.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All events, record-ordered.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Renders the span forest as an indented ASCII tree, one span per
+    /// line: `[start..end] name {attrs}`. Children appear under their
+    /// parent in allocation order.
+    pub fn render_tree(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len() + 1];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => children[p.0 as usize].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        let mut work: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((i, depth)) = work.pop() {
+            let s = &self.spans[i];
+            out.push_str(&"  ".repeat(depth));
+            match s.end {
+                Some(end) => out.push_str(&format!("[{:.3}..{:.3}] {}", s.start, end, s.name)),
+                None => out.push_str(&format!("[{:.3}..] {}", s.start, s.name)),
+            }
+            for (k, v) in &s.attrs {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            for &c in children[s.id.0 as usize].iter().rev() {
+                work.push((c, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Renders a fixed-width ASCII timeline: one row per span (capped
+    /// at `max_rows`, earliest first), with `#` bars positioned
+    /// proportionally between the trace's first start and last end.
+    pub fn render_timeline(&self, width: usize, max_rows: usize) -> String {
+        if self.spans.is_empty() || width == 0 {
+            return String::new();
+        }
+        let t0 = self.spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let t1 = self
+            .spans
+            .iter()
+            .map(|s| s.end.unwrap_or(s.start))
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(t0 + 1e-9);
+        let span_w = (t1 - t0).max(1e-9);
+        let label_w = self.spans.iter().take(max_rows).map(|s| s.name.len()).max().unwrap_or(0);
+        let mut out = format!("timeline {t0:.3}s .. {t1:.3}s\n");
+        for s in self.spans.iter().take(max_rows) {
+            let lo = (((s.start - t0) / span_w) * width as f64) as usize;
+            let hi = (((s.end.unwrap_or(s.start) - t0) / span_w) * width as f64) as usize;
+            let lo = lo.min(width.saturating_sub(1));
+            let hi = hi.clamp(lo + 1, width);
+            let mut bar = String::with_capacity(width);
+            bar.push_str(&" ".repeat(lo));
+            bar.push_str(&"#".repeat(hi - lo));
+            bar.push_str(&" ".repeat(width - hi));
+            out.push_str(&format!("  {:<label_w$} |{bar}|\n", s.name));
+        }
+        if self.spans.len() > max_rows {
+            out.push_str(&format!("  … {} more spans\n", self.spans.len() - max_rows));
+        }
+        out
+    }
+
+    /// JSON export: `{"spans":[…],"events":[…]}`, deterministically
+    /// ordered by allocation/record order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut j = format!(
+                    "{{\"id\":{},\"parent\":{},\"name\":{},\"start\":{},\"end\":{}",
+                    s.id.0,
+                    s.parent.map_or("null".to_string(), |p| p.0.to_string()),
+                    json_str(&s.name),
+                    json_f64(s.start),
+                    s.end.map_or("null".to_string(), json_f64),
+                );
+                if !s.attrs.is_empty() {
+                    j.push_str(",\"attrs\":{");
+                    let attrs: Vec<String> = s
+                        .attrs
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
+                        .collect();
+                    j.push_str(&attrs.join(","));
+                    j.push('}');
+                }
+                j.push('}');
+                j
+            })
+            .collect();
+        out.push_str(&spans.join(","));
+        out.push_str("],\"events\":[");
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"time\":{},\"name\":{},\"detail\":{}}}",
+                    json_f64(e.time),
+                    json_str(&e.name),
+                    json_str(&e.detail)
+                )
+            })
+            .collect();
+        out.push_str(&events.join(","));
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_open_stack() {
+        let mut t = Trace::new();
+        let a = t.start("outer", 0.0);
+        let b = t.start("inner", 1.0);
+        t.end(b, 2.0);
+        let c = t.start("sibling", 2.5);
+        t.end(c, 3.0);
+        t.end(a, 4.0);
+        assert_eq!(t.spans()[0].parent, None);
+        assert_eq!(t.spans()[1].parent, Some(a));
+        assert_eq!(t.spans()[2].parent, Some(a));
+        assert_eq!(t.spans()[1].end, Some(2.0));
+        assert_eq!(t.spans()[0].end, Some(4.0));
+    }
+
+    #[test]
+    fn ending_parent_force_closes_children() {
+        let mut t = Trace::new();
+        let a = t.start("outer", 0.0);
+        let _b = t.start("leaked", 1.0);
+        t.end(a, 5.0);
+        assert_eq!(t.spans()[1].end, Some(5.0));
+        // The stack is clean: a new span is a root.
+        let c = t.start("next", 6.0);
+        assert_eq!(t.spans()[c.0 as usize - 1].parent, None);
+    }
+
+    #[test]
+    fn disabled_ids_are_ignored() {
+        let mut t = Trace::new();
+        t.end(SpanId::NONE, 1.0);
+        t.attr(SpanId::NONE, "k", "v");
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn tree_renders_hierarchy_and_attrs() {
+        let mut t = Trace::new();
+        let a = t.start("root", 0.0);
+        let b = t.start("child", 0.5);
+        t.attr(b, "rows", "3");
+        t.end(b, 1.0);
+        t.end(a, 2.0);
+        let s = t.render_tree();
+        assert_eq!(s, "[0.000..2.000] root\n  [0.500..1.000] child rows=3\n");
+    }
+
+    #[test]
+    fn timeline_positions_bars() {
+        let mut t = Trace::new();
+        let a = t.start("early", 0.0);
+        t.end(a, 5.0);
+        let b = t.start("late", 5.0);
+        t.end(b, 10.0);
+        let s = t.render_timeline(10, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("|#####     |"), "{s}");
+        assert!(lines[2].contains("|     #####|"), "{s}");
+        // Row cap.
+        let capped = t.render_timeline(10, 1);
+        assert!(capped.contains("1 more span"), "{capped}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Trace::new();
+        let a = t.start("s", 1.0);
+        t.attr(a, "k", "v");
+        t.end(a, 2.0);
+        t.event("e", 1.5, "boom");
+        let j = t.to_json();
+        assert!(j.contains("\"name\":\"s\""));
+        assert!(j.contains("\"attrs\":{\"k\":\"v\"}"));
+        assert!(j.contains("\"detail\":\"boom\""));
+        assert_eq!(j, t.to_json());
+    }
+
+    #[test]
+    fn spans_named_filters() {
+        let mut t = Trace::new();
+        let a = t.start("x", 0.0);
+        t.end(a, 1.0);
+        let b = t.start("y", 1.0);
+        t.end(b, 2.0);
+        assert_eq!(t.spans_named("x").count(), 1);
+        assert_eq!(t.spans_named("z").count(), 0);
+    }
+}

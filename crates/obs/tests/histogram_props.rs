@@ -1,0 +1,92 @@
+//! Property tests for the metrics layer: histogram merge must commute
+//! and preserve totals, and registry merge must behave like recording
+//! every observation into one registry.
+
+use proptest::prelude::*;
+use sor_obs::{Histogram, MetricsRegistry};
+
+fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            -1e6f64..1e6,
+            Just(0.0),
+            Just(f64::NAN),
+            (-60.0f64..60.0).prop_map(|e| e.exp2()),
+        ],
+        0..32,
+    )
+}
+
+fn hist_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// `a.merge(b)` and `b.merge(a)` produce the same histogram, and
+    /// the merged count equals the sum of the parts (NaN samples are
+    /// dropped identically on both sides).
+    #[test]
+    fn merge_commutes_and_preserves_count(xs in sample_strategy(), ys in sample_strategy()) {
+        let a = hist_of(&xs);
+        let b = hist_of(&ys);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert_eq!(ab.zero_or_less(), ba.zero_or_less());
+        prop_assert_eq!(ab.buckets().collect::<Vec<_>>(), ba.buckets().collect::<Vec<_>>());
+        // Sums agree up to float reassociation.
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-6 * (1.0 + ab.sum().abs()));
+        // Every recorded sample lands in exactly one bucket
+        // (bucketed_total already includes the le-zero bucket).
+        prop_assert_eq!(ab.bucketed_total(), ab.count());
+    }
+
+    /// Merging registries is equivalent to recording everything into
+    /// one registry (counters add, histograms combine).
+    #[test]
+    fn registry_merge_matches_combined_recording(
+        xs in sample_strategy(),
+        ys in sample_strategy(),
+        n in 0u64..1000,
+        m in 0u64..1000,
+    ) {
+        let mut left = MetricsRegistry::new();
+        let mut right = MetricsRegistry::new();
+        let mut combined = MetricsRegistry::new();
+        left.count("c", n);
+        right.count("c", m);
+        combined.count("c", n + m);
+        for &v in &xs {
+            left.observe("h", v);
+            combined.observe("h", v);
+        }
+        for &v in &ys {
+            right.observe("h", v);
+            combined.observe("h", v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.counter("c"), combined.counter("c"));
+        let (lh, ch) = (left.histogram("h"), combined.histogram("h"));
+        match (lh, ch) {
+            (None, None) => {}
+            (Some(lh), Some(ch)) => {
+                prop_assert_eq!(lh.count(), ch.count());
+                prop_assert_eq!(lh.buckets().collect::<Vec<_>>(), ch.buckets().collect::<Vec<_>>());
+            }
+            _ => prop_assert!(false, "histogram presence must match"),
+        }
+        // Export stays parseable after merges.
+        sor_obs::parse_json(&left.to_json()).unwrap();
+    }
+}

@@ -4,9 +4,10 @@ use std::collections::BTreeMap;
 
 use sor_core::coverage::{CompositeCoverage, GaussianCoverage};
 use sor_core::schedule::online::OnlineScheduler;
-use sor_core::schedule::UserId;
+use sor_core::schedule::{GreedyStats, UserId};
 use sor_core::time::TimeGrid;
 use sor_core::UserPreferences;
+use sor_obs::Recorder;
 use sor_proto::Message;
 use sor_script::analysis::{analyze, CapabilitySet};
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
@@ -34,6 +35,10 @@ pub struct SensingServer {
     /// Google-Cloud-Messaging fallback).
     last_contact: BTreeMap<u64, f64>,
     now: f64,
+    recorder: Recorder,
+    /// Scheduler work already exported as counters, so deltas can be
+    /// reported after each replan without double counting.
+    sched_work_reported: GreedyStats,
 }
 
 impl std::fmt::Debug for SensingServer {
@@ -72,7 +77,17 @@ impl SensingServer {
             schedulers: BTreeMap::new(),
             last_contact: BTreeMap::new(),
             now: 0.0,
+            recorder: Recorder::disabled(),
+            sched_work_reported: GreedyStats::default(),
         })
+    }
+
+    /// Attaches an observability recorder (also wired into the
+    /// database so row traffic is counted). Span names and counters are
+    /// catalogued in DESIGN.md's Observability section.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.db.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Current server clock.
@@ -137,6 +152,30 @@ impl SensingServer {
                 sched.advance_to(now);
             }
         }
+        self.record_scheduler_work();
+    }
+
+    /// Exports the greedy work done since the last call as counters
+    /// (`sched.iterations`, `sched.gain_evaluations`). Work counts, not
+    /// wall time: the deterministic cost measure of the scheduler.
+    fn record_scheduler_work(&mut self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let mut total = GreedyStats::default();
+        for sched in self.schedulers.values() {
+            total.absorb(sched.stats());
+        }
+        let new_iters = total.iterations - self.sched_work_reported.iterations;
+        let new_evals = total.gain_evaluations - self.sched_work_reported.gain_evaluations;
+        if new_iters > 0 {
+            self.recorder.count("sched.iterations", new_iters);
+        }
+        if new_evals > 0 {
+            self.recorder.count("sched.gain_evaluations", new_evals);
+            self.recorder.observe("sched.replan_gain_evaluations", new_evals as f64);
+        }
+        self.sched_work_reported = total;
     }
 
     /// Handles one decoded message from a phone, returning the replies
@@ -147,6 +186,20 @@ impl SensingServer {
     /// Application/participation/storage errors. A location-mismatch on
     /// admission is an error the caller may surface to the phone.
     pub fn handle_message(&mut self, msg: &Message) -> Result<Vec<(u64, Message)>, ServerError> {
+        let kind = message_kind(msg);
+        let span = self.recorder.span_start("server.handle_message", self.now);
+        self.recorder.span_attr(span, "kind", kind);
+        self.recorder.count_labeled("server.msg", kind, 1);
+        let result = self.dispatch_message(msg);
+        if result.is_err() {
+            self.recorder.count_labeled("server.msg_rejected", kind, 1);
+        }
+        self.record_scheduler_work();
+        self.recorder.span_end(span, self.now);
+        result
+    }
+
+    fn dispatch_message(&mut self, msg: &Message) -> Result<Vec<(u64, Message)>, ServerError> {
         if let Some(token) = message_token(msg, &self.participation) {
             self.last_contact.insert(token, self.now);
         }
@@ -216,11 +269,13 @@ impl SensingServer {
         // replans for an arrival that can never produce data.
         let verdict = analyze(&app.script, &CapabilitySet::standard_sensing());
         if verdict.has_errors() {
+            self.recorder.count("server.admission.script_rejected", 1);
             return Err(ServerError::ScriptRejected {
                 app_id,
                 report: verdict.render(&format!("app-{app_id}")),
             });
         }
+        self.recorder.count("server.admission.admitted", 1);
         let user = self.users.register(&mut self.db, token, "participant")?;
         let task = self.participation.admit(
             &app,
@@ -244,6 +299,20 @@ impl SensingServer {
     /// Builds ScheduleAssignment messages for all active tasks of one
     /// application from the scheduler's current plan.
     fn distribute_schedules(&mut self, app_id: u64) -> Result<Vec<(u64, Message)>, ServerError> {
+        let span = self.recorder.span_start("server.distribute_schedules", self.now);
+        let result = self.distribute_schedules_inner(app_id);
+        if let Ok(out) = &result {
+            self.recorder.count("server.schedules_distributed", out.len() as u64);
+            self.recorder.span_attr_with(span, "assignments", || out.len().to_string());
+        }
+        self.recorder.span_end(span, self.now);
+        result
+    }
+
+    fn distribute_schedules_inner(
+        &mut self,
+        app_id: u64,
+    ) -> Result<Vec<(u64, Message)>, ServerError> {
         let app = self.apps.get(app_id).ok_or(ServerError::UnknownApplication(app_id))?.clone();
         let sched = self.schedulers.get(&app_id).expect("registered with app");
         let plan = sched.current_schedule();
@@ -293,12 +362,39 @@ impl SensingServer {
     ///
     /// Storage errors.
     pub fn process_data(&mut self) -> Result<(usize, usize), ServerError> {
-        let counts = self.processor.process_inbox(&mut self.db)?;
+        let span = self.recorder.span_start("server.process_data", self.now);
+        let decode = self.recorder.span_start("server.process_data.decode", self.now);
+        let counts = match self.processor.process_inbox(&mut self.db) {
+            Ok(counts) => counts,
+            Err(e) => {
+                self.recorder.span_end(span, self.now);
+                return Err(e);
+            }
+        };
+        let (stored, dropped) = counts;
+        self.recorder.count("server.records_stored", stored as u64);
+        self.recorder.count("server.inbox_dropped", dropped as u64);
+        self.recorder.span_attr_with(decode, "records", || stored.to_string());
+        self.recorder.span_end(decode, self.now);
+
+        let features = self.recorder.span_start("server.process_data.features", self.now);
         for app_id in self.apps.ids() {
             let specs = self.apps.get(app_id).expect("listed").features.clone();
             // Missing features are fine mid-experiment.
-            let _ = self.processor.compute_features(&mut self.db, app_id, &specs)?;
+            match self.processor.compute_features(&mut self.db, app_id, &specs) {
+                Ok(failures) => {
+                    self.recorder
+                        .count("server.features_computed", (specs.len() - failures.len()) as u64);
+                    self.recorder.count("server.features_skipped", failures.len() as u64);
+                }
+                Err(e) => {
+                    self.recorder.span_end(span, self.now);
+                    return Err(e);
+                }
+            }
         }
+        self.recorder.span_end(features, self.now);
+        self.recorder.span_end(span, self.now);
         Ok(counts)
     }
 
@@ -312,7 +408,15 @@ impl SensingServer {
         category: &str,
         prefs: &UserPreferences,
     ) -> Result<CategoryRanking, ServerError> {
-        rank_category(&self.db, &self.apps, category, prefs)
+        let span = self.recorder.span_start("server.rank", self.now);
+        self.recorder.span_attr(span, "category", category);
+        self.recorder.count("server.rank_requests", 1);
+        let result = rank_category(&self.db, &self.apps, category, prefs);
+        if let Ok(ranking) = &result {
+            self.recorder.count("server.rank_places_scored", ranking.order.len() as u64);
+        }
+        self.recorder.span_end(span, self.now);
+        result
     }
 
     /// The sense times stored in the database for a task, ascending —
@@ -366,6 +470,19 @@ impl SensingServer {
     /// Storage errors.
     pub fn feature_value(&self, app_id: u64, feature: &str) -> Result<Option<f64>, ServerError> {
         self.processor.feature_value(&self.db, app_id, feature)
+    }
+}
+
+/// Stable label for per-message-type counters and span attributes.
+fn message_kind(msg: &Message) -> &'static str {
+    match msg {
+        Message::ParticipationRequest { .. } => "participation_request",
+        Message::SensedDataUpload { .. } => "sensed_data_upload",
+        Message::TaskComplete { .. } => "task_complete",
+        Message::Ping { .. } => "ping",
+        Message::PreferenceUpdate { .. } => "preference_update",
+        Message::ScheduleAssignment { .. } => "schedule_assignment",
+        Message::WakeUp { .. } => "wake_up",
     }
 }
 
@@ -616,6 +733,57 @@ mod tests {
         s.handle_message(&Message::TaskComplete { task_id: 0, status: 0 }).unwrap();
         s.tick(5_000.0);
         assert!(s.page_quiet_phones(300.0).is_empty());
+    }
+
+    #[test]
+    fn recorder_observes_full_message_pipeline() {
+        let rec = Recorder::enabled();
+        let mut s = server_with_app();
+        s.set_recorder(rec.clone());
+        join(&mut s, 7, 5);
+        s.handle_message(&Message::SensedDataUpload {
+            task_id: 0,
+            records: vec![SensedRecord {
+                timestamp: 100.0,
+                window: 1.5,
+                sensor: SensorKind::Temperature.wire_id(),
+                values: vec![70.0, 72.0],
+            }],
+        })
+        .unwrap();
+        s.process_data().unwrap();
+
+        assert_eq!(rec.counter("server.msg.participation_request"), 1);
+        assert_eq!(rec.counter("server.msg.sensed_data_upload"), 1);
+        assert_eq!(rec.counter("server.admission.admitted"), 1);
+        assert_eq!(rec.counter("server.schedules_distributed"), 1);
+        assert_eq!(rec.counter("server.records_stored"), 1);
+        assert_eq!(rec.counter("server.features_computed"), 1);
+        // The greedy replan's work surfaced as counters.
+        assert!(rec.counter("sched.iterations") >= 5);
+        assert!(rec.counter("sched.gain_evaluations") >= rec.counter("sched.iterations"));
+        // Store row traffic flowed through the same recorder.
+        assert!(rec.counter("store.rows_inserted.schedules") >= 5);
+        // Spans exist for every stage.
+        let trace = rec.trace_snapshot().unwrap();
+        for name in ["server.handle_message", "server.distribute_schedules", "server.process_data"]
+        {
+            assert!(trace.spans_named(name).count() >= 1, "missing span {name}");
+        }
+        // The decode sub-span nests under process_data.
+        let parent = trace.spans_named("server.process_data").next().unwrap().id;
+        let decode = trace.spans_named("server.process_data.decode").next().unwrap();
+        assert_eq!(decode.parent, Some(parent));
+    }
+
+    #[test]
+    fn recorder_counts_rejected_messages() {
+        let rec = Recorder::enabled();
+        let mut s = server_with_app();
+        s.set_recorder(rec.clone());
+        let upload = Message::SensedDataUpload { task_id: 42, records: vec![] };
+        assert!(s.handle_message(&upload).is_err());
+        assert_eq!(rec.counter("server.msg_rejected.sensed_data_upload"), 1);
     }
 
     #[test]

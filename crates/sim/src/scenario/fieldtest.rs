@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use sor_core::ranking::FeatureMatrix;
 use sor_frontend::MobileFrontend;
+use sor_obs::Recorder;
 use sor_sensors::environment::Environment;
 use sor_sensors::{EnergyMeter, SensorKind, SensorManager, SimulatedProvider};
 use sor_server::ranker::assemble_matrix;
@@ -185,11 +186,25 @@ const TRAIL_SENSORS: &[SensorKind] =
 ///
 /// Server/storage errors while assembling the feature matrix.
 pub fn run_coffee_field_test(cfg: FieldTestConfig) -> Result<FieldTestOutcome, ServerError> {
+    run_coffee_field_test_traced(cfg, Recorder::default())
+}
+
+/// [`run_coffee_field_test`] with a recorder wired through the whole
+/// deployment (server, phones, transport, store).
+///
+/// # Errors
+///
+/// Server/storage errors while assembling the feature matrix.
+pub fn run_coffee_field_test_traced(
+    cfg: FieldTestConfig,
+    recorder: Recorder,
+) -> Result<FieldTestOutcome, ServerError> {
     let shops = sor_sensors::environment::presets::coffee_shops(cfg.seed);
     let envs: Vec<Arc<dyn Environment>> =
         shops.into_iter().map(|e| Arc::new(e) as Arc<dyn Environment>).collect();
     run_field_test(
         cfg,
+        recorder,
         envs,
         "coffee-shop",
         COFFEE_SCRIPT,
@@ -206,11 +221,25 @@ pub fn run_coffee_field_test(cfg: FieldTestConfig) -> Result<FieldTestOutcome, S
 ///
 /// Server/storage errors while assembling the feature matrix.
 pub fn run_trail_field_test(cfg: FieldTestConfig) -> Result<FieldTestOutcome, ServerError> {
+    run_trail_field_test_traced(cfg, Recorder::default())
+}
+
+/// [`run_trail_field_test`] with a recorder wired through the whole
+/// deployment (server, phones, transport, store).
+///
+/// # Errors
+///
+/// Server/storage errors while assembling the feature matrix.
+pub fn run_trail_field_test_traced(
+    cfg: FieldTestConfig,
+    recorder: Recorder,
+) -> Result<FieldTestOutcome, ServerError> {
     let trails = sor_sensors::environment::presets::hiking_trails(cfg.seed);
     let envs: Vec<Arc<dyn Environment>> =
         trails.into_iter().map(|e| Arc::new(e) as Arc<dyn Environment>).collect();
     run_field_test(
         cfg,
+        recorder,
         envs,
         "hiking-trail",
         TRAIL_SCRIPT,
@@ -224,6 +253,7 @@ pub fn run_trail_field_test(cfg: FieldTestConfig) -> Result<FieldTestOutcome, Se
 #[allow(clippy::too_many_arguments)]
 fn run_field_test(
     cfg: FieldTestConfig,
+    recorder: Recorder,
     envs: Vec<Arc<dyn Environment>>,
     category: &str,
     script: &str,
@@ -251,6 +281,7 @@ fn run_field_test(
     }
 
     let mut world = SorWorld::new(server, Transport::perfect());
+    world.set_recorder(recorder);
     let meters: Vec<Arc<EnergyMeter>> = envs.iter().map(|_| EnergyMeter::new()).collect();
     for (place, env) in envs.iter().enumerate() {
         for p in 0..cfg.phones_per_place {

@@ -14,8 +14,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use sor_core::coverage::GaussianCoverage;
-use sor_core::schedule::{baseline, lazy_greedy, Participant, ScheduleProblem, UserId};
+use sor_core::schedule::{baseline, lazy_greedy_stats, Participant, ScheduleProblem, UserId};
 use sor_core::time::TimeGrid;
+use sor_obs::Recorder;
 
 /// Simulation knobs; defaults are the paper's.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +95,12 @@ pub fn draw_participants(cfg: &SchedulingConfig, rng: &mut StdRng) -> Vec<Partic
 
 /// Runs the simulation, averaging over `cfg.runs` draws.
 pub fn run_scheduling_sim(cfg: SchedulingConfig) -> SchedulingOutcome {
+    run_scheduling_sim_traced(cfg, &Recorder::default())
+}
+
+/// [`run_scheduling_sim`] reporting per-run planner work (greedy
+/// iterations, marginal-gain evaluations) and coverage into `recorder`.
+pub fn run_scheduling_sim_traced(cfg: SchedulingConfig, recorder: &Recorder) -> SchedulingOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let grid = TimeGrid::new(0.0, cfg.period, cfg.instants).expect("valid config");
     let mut greedy_cov = Vec::with_capacity(cfg.runs);
@@ -103,10 +110,18 @@ pub fn run_scheduling_sim(cfg: SchedulingConfig) -> SchedulingOutcome {
     for _ in 0..cfg.runs {
         let participants = draw_participants(&cfg, &mut rng);
         let problem = ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
-        let g = problem.coverage_profile(&lazy_greedy(&problem));
+        let (schedule, stats) = lazy_greedy_stats(&problem);
+        recorder.count("sched.sim.runs", 1);
+        recorder.count("sched.sim.iterations", stats.iterations);
+        recorder.count("sched.sim.gain_evaluations", stats.gain_evaluations);
+        let g = problem.coverage_profile(&schedule);
         let b = problem.coverage_profile(&baseline(&problem));
-        greedy_cov.push(g.iter().sum::<f64>() / g.len() as f64);
-        base_cov.push(b.iter().sum::<f64>() / b.len() as f64);
+        let g_mean = g.iter().sum::<f64>() / g.len() as f64;
+        let b_mean = b.iter().sum::<f64>() / b.len() as f64;
+        recorder.observe("sched.sim.coverage.greedy", g_mean);
+        recorder.observe("sched.sim.coverage.baseline", b_mean);
+        greedy_cov.push(g_mean);
+        base_cov.push(b_mean);
         greedy_ivar.push(mean_std(&g).1.powi(2));
         base_ivar.push(mean_std(&b).1.powi(2));
     }

@@ -6,6 +6,7 @@
 //! receiver must decode and may reject. This makes the codec's
 //! integrity machinery load-bearing in every simulation.
 
+use sor_obs::Recorder;
 use sor_proto::Message;
 use sor_sensors::noise::HashNoise;
 
@@ -16,6 +17,16 @@ pub enum Endpoint {
     Server,
     /// Phone `i` (index into the world's phone list).
     Phone(usize),
+}
+
+impl Endpoint {
+    /// Metric label for this endpoint class.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Server => "server",
+            Endpoint::Phone(_) => "phone",
+        }
+    }
 }
 
 /// Transport behaviour knobs.
@@ -59,6 +70,7 @@ pub struct Transport {
     sent: u64,
     dropped: u64,
     corrupted: u64,
+    recorder: Recorder,
 }
 
 impl Transport {
@@ -71,7 +83,14 @@ impl Transport {
             sent: 0,
             dropped: 0,
             corrupted: 0,
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Installs a recorder; every frame reports send/drop/corrupt
+    /// counters labeled by destination class.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Perfect transport (no loss, no corruption, default latency).
@@ -84,8 +103,10 @@ impl Transport {
     pub fn send(&mut self, now: f64, to: Endpoint, msg: &Message) -> Option<InFlight> {
         self.counter += 1;
         self.sent += 1;
+        self.recorder.count_labeled("net.frames_sent", to.label(), 1);
         if self.noise.uniform(self.counter, now) < self.cfg.loss_rate {
             self.dropped += 1;
+            self.recorder.count_labeled("net.frames_dropped", to.label(), 1);
             return None;
         }
         let mut frame = msg.encode();
@@ -95,7 +116,10 @@ impl Transport {
             let idx = idx.min(frame.len() - 1);
             frame[idx] ^= 1 << bit;
             self.corrupted += 1;
+            self.recorder.count_labeled("net.frames_corrupted", to.label(), 1);
         }
+        self.recorder.observe("net.frame_bytes", frame.len() as f64);
+        self.recorder.observe("net.latency_s", self.cfg.latency);
         Some(InFlight { deliver_at: now + self.cfg.latency, to, frame })
     }
 

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use sor_frontend::MobileFrontend;
+use sor_obs::Recorder;
 use sor_proto::Message;
 use sor_server::SensingServer;
 
@@ -49,6 +50,7 @@ pub struct SorWorld {
     token_to_phone: HashMap<u64, usize>,
     /// Observable counters.
     pub stats: WorldStats,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for SorWorld {
@@ -71,11 +73,36 @@ impl SorWorld {
             queue: EventQueue::new(),
             token_to_phone: HashMap::new(),
             stats: WorldStats::default(),
+            recorder: Recorder::default(),
         }
     }
 
+    /// Installs one recorder across the whole deployment: the server
+    /// (and its database), every phone, and the transport. Phones added
+    /// afterwards inherit it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.server.set_recorder(recorder.clone());
+        for phone in &mut self.phones {
+            phone.set_recorder(recorder.clone());
+        }
+        self.transport.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The installed recorder (disabled unless [`SorWorld::set_recorder`]
+    /// was called with an enabled one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Read access to the transport's send/drop/corrupt counters.
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
     /// Adds a phone, returning its index.
-    pub fn add_phone(&mut self, phone: MobileFrontend) -> usize {
+    pub fn add_phone(&mut self, mut phone: MobileFrontend) -> usize {
+        phone.set_recorder(self.recorder.clone());
         let idx = self.phones.len();
         self.token_to_phone.insert(phone.token(), idx);
         self.phones.push(phone);
@@ -117,6 +144,8 @@ impl SorWorld {
                 break;
             }
             let (now, event) = self.queue.pop().expect("peeked");
+            self.recorder.observe("sim.queue_depth", self.queue.len() as f64);
+            self.recorder.count_labeled("sim.event", event_kind(&event), 1);
             self.dispatch(now, event);
         }
         // Settle clocks at the horizon.
@@ -151,6 +180,7 @@ impl SorWorld {
                 for (token, msg) in pages {
                     if let Some(&idx) = self.token_to_phone.get(&token) {
                         self.stats.pages_sent += 1;
+                        self.recorder.count("server.pages_sent", 1);
                         self.post(now, Endpoint::Phone(idx), &msg);
                     }
                 }
@@ -164,6 +194,7 @@ impl SorWorld {
             WorldEvent::Deliver(flight) => {
                 let Ok(msg) = Message::decode(&flight.frame) else {
                     self.stats.decode_failures += 1;
+                    self.recorder.count_labeled("net.frames_rejected", flight.to.label(), 1);
                     return;
                 };
                 match flight.to {
@@ -205,6 +236,15 @@ impl SorWorld {
         for msg in msgs {
             self.post(now, Endpoint::Server, &msg);
         }
+    }
+}
+
+fn event_kind(event: &WorldEvent) -> &'static str {
+    match event {
+        WorldEvent::Scan { .. } => "scan",
+        WorldEvent::Deliver(_) => "deliver",
+        WorldEvent::PhoneSweep { .. } => "phone_sweep",
+        WorldEvent::LivenessCheck { .. } => "liveness_check",
     }
 }
 

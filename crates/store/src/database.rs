@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use sor_obs::Recorder;
 use sor_proto::wire::{Reader, Writer};
 
 use crate::predicate::Predicate;
@@ -14,12 +15,21 @@ use crate::StoreError;
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    recorder: Recorder,
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Attaches an observability recorder. Row traffic through the
+    /// facade is counted per table (`store.rows_inserted.<table>`,
+    /// `store.rows_scanned.<table>`, `store.rows_deleted.<table>`);
+    /// the default recorder is disabled and costs one branch per op.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Creates a table.
@@ -70,7 +80,9 @@ impl Database {
     ///
     /// Unknown table or schema mismatch.
     pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<RowId, StoreError> {
-        self.table_mut(table)?.insert(values)
+        let id = self.table_mut(table)?.insert(values)?;
+        self.recorder.count_labeled("store.rows_inserted", table, 1);
+        Ok(id)
     }
 
     /// Scans a table.
@@ -79,7 +91,10 @@ impl Database {
     ///
     /// Unknown table/column.
     pub fn scan(&self, table: &str, pred: &Predicate) -> Result<Vec<Row>, StoreError> {
-        self.table(table)?.scan(pred)
+        let rows = self.table(table)?.scan(pred)?;
+        self.recorder.count_labeled("store.rows_scanned", table, rows.len() as u64);
+        self.recorder.count_labeled("store.scans", table, 1);
+        Ok(rows)
     }
 
     /// Deletes matching rows, returning the count.
@@ -88,7 +103,9 @@ impl Database {
     ///
     /// Unknown table/column.
     pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> Result<usize, StoreError> {
-        self.table_mut(table)?.delete_where(pred)
+        let n = self.table_mut(table)?.delete_where(pred)?;
+        self.recorder.count_labeled("store.rows_deleted", table, n as u64);
+        Ok(n)
     }
 
     /// Serialises every table (schema + rows, not indexes — they are
@@ -331,5 +348,22 @@ mod tests {
         let db = Database::new();
         let back = Database::restore(&db.snapshot()).unwrap();
         assert!(back.table_names().is_empty());
+    }
+
+    #[test]
+    fn recorder_counts_row_traffic_per_table() {
+        let rec = Recorder::enabled();
+        let mut db = sample_db();
+        db.set_recorder(rec.clone());
+        // sample_db inserted before the recorder was attached.
+        assert_eq!(rec.counter("store.rows_inserted.users"), 0);
+        db.insert("users", vec![Value::Int(3), Value::text("cam"), Value::Null]).unwrap();
+        db.scan("users", &Predicate::True).unwrap();
+        db.delete_where("users", &Predicate::eq("id", Value::Int(1))).unwrap();
+        assert_eq!(rec.counter("store.rows_inserted.users"), 1);
+        assert_eq!(rec.counter("store.rows_scanned.users"), 3);
+        assert_eq!(rec.counter("store.scans.users"), 1);
+        assert_eq!(rec.counter("store.rows_deleted.users"), 1);
+        assert_eq!(rec.counter("store.rows_inserted.blobs"), 0);
     }
 }

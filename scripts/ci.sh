@@ -20,4 +20,9 @@ run cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check
 
+# Observability smoke: a traced field test must produce parseable
+# exports, and the disabled recorder must stay under its overhead budget.
+run cargo run --release --offline -p sor-bench --bin obs_smoke
+run cargo bench --offline -p sor-bench --bench obs_overhead
+
 echo "==> CI OK"
