@@ -1,0 +1,56 @@
+//! Overhead guard for the durability layer: running the coffee-shop
+//! field test on a durable server (write-ahead log on a simulated
+//! disk, group commit of 1 — every ack flushed) must cost less than 5%
+//! over the ephemeral server.
+//!
+//! Method: best-of-N wall time for each configuration. Each durable
+//! iteration gets a fresh disk so no run pays for the previous run's
+//! checkpoint or log replay.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sor_sim::scenario::{
+    run_coffee_field_test, run_coffee_field_test_durable, DurableRun, FieldTestConfig,
+};
+
+const RUNS: usize = 5;
+
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let cfg = FieldTestConfig::quick(3);
+    // Warm-up: fault in code paths for both configurations.
+    black_box(run_coffee_field_test(cfg).unwrap());
+    black_box(run_coffee_field_test_durable(cfg, DurableRun::crashes_at(&cfg, vec![])).unwrap());
+
+    let ephemeral = best_of(|| {
+        black_box(run_coffee_field_test(cfg).unwrap());
+    });
+    let durable = best_of(|| {
+        let run = DurableRun::crashes_at(&cfg, vec![]);
+        black_box(run_coffee_field_test_durable(cfg, run).unwrap());
+    });
+
+    let overhead = durable / ephemeral - 1.0;
+    println!(
+        "bench wal_overhead: ephemeral {:.1} ms, durable {:.1} ms → {:+.2}% overhead",
+        ephemeral * 1e3,
+        durable * 1e3,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "write-ahead logging costs {:.2}% of the pipeline (limit 5%)",
+        overhead * 100.0
+    );
+    println!("bench wal_overhead OK (< 5%)");
+}

@@ -1,0 +1,69 @@
+//! CI smoke check for the durability layer: crashes the coffee-shop
+//! field test at evenly spaced instants, recovers from the simulated
+//! disk each time, and validates the recovery invariants. Everything is
+//! seeded, so the summary printed here is deterministic run to run.
+//! Exits non-zero on any failure.
+//!
+//! ```sh
+//! cargo run --release -p sor-bench --bin recovery_smoke
+//! cargo run --release -p sor-bench --bin recovery_smoke -- --crashes 4 --seed 11
+//! ```
+//!
+//! Flags: `--crashes <k>` server deaths, evenly spaced across the test
+//! window (default 2); `--seed <s>` environment/disk seed (default 3).
+
+use sor_sim::scenario::{
+    emma, run_coffee_field_test, run_coffee_field_test_durable, DurableRun, FieldTestConfig,
+};
+
+fn check(cond: bool, what: &str) {
+    if cond {
+        println!("ok   {what}");
+    } else {
+        eprintln!("FAIL {what}");
+        std::process::exit(1);
+    }
+}
+
+fn flag(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs an integer value"));
+        }
+    }
+    default
+}
+
+fn main() {
+    let crashes = flag("--crashes", 2) as usize;
+    let cfg = FieldTestConfig::quick(flag("--seed", 3));
+    println!("recovery smoke: {crashes} crash(es), seed {}", cfg.seed);
+
+    let crash_times: Vec<f64> =
+        (1..=crashes).map(|i| i as f64 * cfg.duration / (crashes as f64 + 1.0)).collect();
+    let crashed = run_coffee_field_test_durable(cfg, DurableRun::crashes_at(&cfg, crash_times))
+        .expect("crashed field test recovers and completes");
+
+    check(crashed.stats.server_crashes as usize == crashes, "every scheduled crash happened");
+    check(crashed.recoveries.len() == crashes, "each crash produced a recovery report");
+    for (i, summary) in crashed.recoveries.iter().enumerate() {
+        check(summary.starts_with("recovery:"), "recovery summary is well-formed");
+        println!("     crash {i}: {summary}");
+    }
+    check(crashed.stats.uploads_accepted > 0, "uploads survived across restarts");
+    check(crashed.matrix.n_places() == 3, "all three shops still rank");
+
+    let baseline = run_coffee_field_test(cfg).expect("crash-free field test runs");
+    let prefs = emma();
+    let crashed_order = crashed.server.rank("coffee-shop", &prefs).expect("rank").app_order;
+    let baseline_order = baseline.server.rank("coffee-shop", &prefs).expect("rank").app_order;
+    check(
+        crashed_order == baseline_order,
+        "ranking after crash/recover cycles matches the crash-free run",
+    );
+    println!("recovery smoke OK");
+}

@@ -13,6 +13,8 @@
 //! - [`wire`]: a cursor-style [`wire::Writer`]/[`wire::Reader`] pair for
 //!   primitives, strings and length-prefixed blobs.
 //! - [`checksum`]: CRC-32 (IEEE) integrity check over frame payloads.
+//! - [`frame`]: length + CRC record framing for append-only logs, with
+//!   torn-tail vs corruption detection for crash recovery.
 //! - [`message`]: the typed [`Message`] set exchanged between the mobile
 //!   frontend and the sensing server, with [`Message::encode`] /
 //!   [`Message::decode`] producing self-describing, checksummed frames.
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod checksum;
+pub mod frame;
 pub mod message;
 pub mod varint;
 pub mod wire;

@@ -64,6 +64,8 @@ pub enum ServerError {
     },
     /// Storage failure.
     Store(sor_store::StoreError),
+    /// The durability layer (write-ahead log / checkpoint) failed.
+    Durable(sor_durable::DurableError),
     /// Core algorithm failure.
     Core(sor_core::CoreError),
     /// A stored blob failed to decode.
@@ -90,6 +92,7 @@ impl std::fmt::Display for ServerError {
                 write!(f, "script of application {app_id} rejected by static analysis:\n{report}")
             }
             ServerError::Store(e) => write!(f, "store: {e}"),
+            ServerError::Durable(e) => write!(f, "durability: {e}"),
             ServerError::Core(e) => write!(f, "core: {e}"),
             ServerError::Decode(e) => write!(f, "decode: {e}"),
             ServerError::InsufficientData { feature, detail } => {
@@ -103,6 +106,7 @@ impl std::error::Error for ServerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServerError::Store(e) => Some(e),
+            ServerError::Durable(e) => Some(e),
             ServerError::Core(e) => Some(e),
             ServerError::Decode(e) => Some(e),
             _ => None,
@@ -113,6 +117,12 @@ impl std::error::Error for ServerError {
 impl From<sor_store::StoreError> for ServerError {
     fn from(e: sor_store::StoreError) -> Self {
         ServerError::Store(e)
+    }
+}
+
+impl From<sor_durable::DurableError> for ServerError {
+    fn from(e: sor_durable::DurableError) -> Self {
+        ServerError::Durable(e)
     }
 }
 

@@ -27,6 +27,29 @@ pub enum ParticipantStatus {
     Error,
 }
 
+impl ParticipantStatus {
+    /// Stable integer code used by the persisted tasks table.
+    pub fn wire_code(&self) -> i64 {
+        match self {
+            ParticipantStatus::WaitingForSchedule => 0,
+            ParticipantStatus::Running => 1,
+            ParticipantStatus::Finished => 2,
+            ParticipantStatus::Error => 3,
+        }
+    }
+
+    /// Inverse of [`ParticipantStatus::wire_code`].
+    pub fn from_wire_code(code: i64) -> Option<ParticipantStatus> {
+        Some(match code {
+            0 => ParticipantStatus::WaitingForSchedule,
+            1 => ParticipantStatus::Running,
+            2 => ParticipantStatus::Finished,
+            3 => ParticipantStatus::Error,
+            _ => return None,
+        })
+    }
+}
+
 /// One admitted participant (a *task* in the paper's terminology).
 #[derive(Debug, Clone)]
 pub struct ParticipantTask {
@@ -57,6 +80,17 @@ impl ParticipationManager {
     /// Empty manager.
     pub fn new() -> Self {
         ParticipationManager::default()
+    }
+
+    /// Rebuilds the manager from persisted tasks (crash recovery). The
+    /// task-id counter resumes past the highest recovered id, so ids
+    /// are never reused across a restart.
+    pub fn rebuild(tasks: Vec<ParticipantTask>) -> Self {
+        let next_task_id = tasks.iter().map(|t| t.task_id + 1).max().unwrap_or(0);
+        ParticipationManager {
+            tasks: tasks.into_iter().map(|t| (t.task_id, t)).collect(),
+            next_task_id,
+        }
     }
 
     /// Verifies the claimed location and admits the user, minting a task.

@@ -48,7 +48,7 @@ impl DataProcessor {
                 .column("dt", ColumnType::Float)
                 .column("values", ColumnType::Bytes),
         )?;
-        db.table_mut(RECORDS_TABLE)?.create_index("app_id")?;
+        db.create_index(RECORDS_TABLE, "app_id")?;
         db.create_table(
             Schema::new(FEATURES_TABLE)
                 .column("app_id", ColumnType::Int)

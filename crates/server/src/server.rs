@@ -7,6 +7,7 @@ use sor_core::schedule::online::OnlineScheduler;
 use sor_core::schedule::{GreedyStats, UserId};
 use sor_core::time::TimeGrid;
 use sor_core::UserPreferences;
+use sor_durable::{DurableDatabase, DurableOptions, RecoveryReport, Storage};
 use sor_obs::Recorder;
 use sor_proto::Message;
 use sor_script::analysis::{analyze, CapabilitySet};
@@ -22,9 +23,13 @@ use crate::ServerError;
 /// Database table holding distributed schedules (§II-B).
 pub const SCHEDULES_TABLE: &str = "schedules";
 
+/// Database table persisting participation tasks, so admissions and
+/// status transitions survive a server crash.
+pub const TASKS_TABLE: &str = "tasks";
+
 /// The sensing server.
 pub struct SensingServer {
-    db: Database,
+    db: DurableDatabase,
     users: UserInfoManager,
     apps: ApplicationManager,
     participation: ParticipationManager,
@@ -51,15 +56,67 @@ impl std::fmt::Debug for SensingServer {
 }
 
 impl SensingServer {
-    /// A fresh server with empty storage.
+    /// A fresh server with empty in-memory storage (no durability —
+    /// the default for tests and crash-free simulations).
     ///
     /// # Errors
     ///
     /// Storage errors during table installation.
     pub fn new() -> Result<Self, ServerError> {
-        let mut db = Database::new();
-        UserInfoManager::install(&mut db)?;
-        DataProcessor::install(&mut db)?;
+        Self::assemble(DurableDatabase::ephemeral(), 0.0)
+    }
+
+    /// Opens a server on durable storage, running crash recovery: the
+    /// latest checkpoint is restored, the write-ahead log replayed, and
+    /// participation state rebuilt from the persisted tasks table. The
+    /// caller re-registers applications (configuration, not data) with
+    /// [`SensingServer::register_application`], which re-arrives
+    /// recovered active tasks into fresh schedulers. `now` is the clock
+    /// to resume at (the crash instant in simulations).
+    ///
+    /// # Errors
+    ///
+    /// Durability errors from recovery, storage errors from first-boot
+    /// table installation.
+    pub fn durable(
+        storage: Box<dyn Storage>,
+        opts: DurableOptions,
+        recorder: Recorder,
+        now: f64,
+    ) -> Result<(Self, RecoveryReport), ServerError> {
+        let (ddb, report) = DurableDatabase::open(storage, opts, recorder.clone(), now)?;
+        let mut server = Self::assemble(ddb, now)?;
+        server.set_recorder(recorder);
+        // First boot: make the installed tables durable before serving.
+        server.db.commit()?;
+        Ok((server, report))
+    }
+
+    /// Builds the server around a (possibly recovered) database,
+    /// installing the table set on first boot and rebuilding the
+    /// participation manager from the persisted tasks table.
+    fn assemble(mut db: DurableDatabase, now: f64) -> Result<Self, ServerError> {
+        if db.db().table_names().is_empty() {
+            Self::install_tables(db.db_mut())?;
+        }
+        let participation = Self::load_tasks(db.db())?;
+        Ok(SensingServer {
+            db,
+            users: UserInfoManager,
+            apps: ApplicationManager::new(),
+            participation,
+            processor: DataProcessor,
+            schedulers: BTreeMap::new(),
+            last_contact: BTreeMap::new(),
+            now,
+            recorder: Recorder::disabled(),
+            sched_work_reported: GreedyStats::default(),
+        })
+    }
+
+    fn install_tables(db: &mut Database) -> Result<(), ServerError> {
+        UserInfoManager::install(db)?;
+        DataProcessor::install(db)?;
         // §II-B: distributed schedules are also stored in the database.
         db.create_table(
             Schema::new(SCHEDULES_TABLE)
@@ -67,26 +124,67 @@ impl SensingServer {
                 .column("token", ColumnType::Int)
                 .column("sense_time", ColumnType::Float),
         )?;
-        db.table_mut(SCHEDULES_TABLE)?.create_index("task_id")?;
-        Ok(SensingServer {
-            db,
-            users: UserInfoManager,
-            apps: ApplicationManager::new(),
-            participation: ParticipationManager::new(),
-            processor: DataProcessor,
-            schedulers: BTreeMap::new(),
-            last_contact: BTreeMap::new(),
-            now: 0.0,
-            recorder: Recorder::disabled(),
-            sched_work_reported: GreedyStats::default(),
-        })
+        db.create_index(SCHEDULES_TABLE, "task_id")?;
+        db.create_table(
+            Schema::new(TASKS_TABLE)
+                .column("task_id", ColumnType::Int)
+                .column("app_id", ColumnType::Int)
+                .column("token", ColumnType::Int)
+                .column("budget", ColumnType::Int)
+                .column("arrival", ColumnType::Float)
+                .column("departure", ColumnType::Float)
+                .column("status", ColumnType::Int),
+        )?;
+        db.create_index(TASKS_TABLE, "task_id")?;
+        Ok(())
+    }
+
+    /// Rebuilds the in-memory participation manager from the tasks
+    /// table (identity on a fresh database).
+    fn load_tasks(db: &Database) -> Result<ParticipationManager, ServerError> {
+        let rows = db.scan(TASKS_TABLE, &Predicate::True)?;
+        let mut tasks = Vec::with_capacity(rows.len());
+        for r in rows {
+            let v = &r.values;
+            tasks.push(crate::participation::ParticipantTask {
+                task_id: v[0].as_int().unwrap_or(0) as u64,
+                app_id: v[1].as_int().unwrap_or(0) as u64,
+                token: v[2].as_int().unwrap_or(0) as u64,
+                budget: v[3].as_int().unwrap_or(0) as u32,
+                arrival: v[4].as_float().unwrap_or(0.0),
+                departure: v[5].as_float().unwrap_or(f64::INFINITY),
+                status: ParticipantStatus::from_wire_code(v[6].as_int().unwrap_or(-1))
+                    .unwrap_or(ParticipantStatus::Error),
+            });
+        }
+        Ok(ParticipationManager::rebuild(tasks))
+    }
+
+    /// Mirrors one task's current state into the tasks table.
+    fn persist_task(&mut self, task_id: u64) -> Result<(), ServerError> {
+        let Some(t) = self.participation.task(task_id) else {
+            return Ok(());
+        };
+        let row = vec![
+            Value::Int(t.task_id as i64),
+            Value::Int(t.app_id as i64),
+            Value::Int(t.token as i64),
+            Value::Int(t.budget as i64),
+            Value::Float(t.arrival),
+            Value::Float(t.departure),
+            Value::Int(t.status.wire_code()),
+        ];
+        let db = self.db.db_mut();
+        db.delete_where(TASKS_TABLE, &Predicate::eq("task_id", Value::Int(task_id as i64)))?;
+        db.insert(TASKS_TABLE, row)?;
+        Ok(())
     }
 
     /// Attaches an observability recorder (also wired into the
     /// database so row traffic is counted). Span names and counters are
     /// catalogued in DESIGN.md's Observability section.
     pub fn set_recorder(&mut self, recorder: Recorder) {
-        self.db.set_recorder(recorder.clone());
+        self.db.db_mut().set_recorder(recorder.clone());
         self.recorder = recorder;
     }
 
@@ -97,7 +195,12 @@ impl SensingServer {
 
     /// Read access to the database (reports, tests).
     pub fn database(&self) -> &Database {
-        &self.db
+        self.db.db()
+    }
+
+    /// The durability wrapper (crash tests, shutdown hooks).
+    pub fn durable_database(&mut self) -> &mut DurableDatabase {
+        &mut self.db
     }
 
     /// The application registry.
@@ -123,11 +226,28 @@ impl SensingServer {
         let grid = TimeGrid::new(0.0, spec.period_seconds, spec.instants)?;
         let sigmas: Vec<f64> =
             spec.features.iter().map(|f| f.sigma.max(1e-6)).filter(|s| s.is_finite()).collect();
-        let scheduler = if sigmas.is_empty() {
+        let mut scheduler = if sigmas.is_empty() {
             OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
         } else {
             OnlineScheduler::new(grid, CompositeCoverage::of_sigmas(&sigmas))
         };
+        // Crash recovery: participants admitted before a crash are
+        // still active in the recovered tasks table; re-arrive them so
+        // the fresh scheduler plans for them (phones kept their
+        // distributed schedules across the outage either way).
+        let recovered: Vec<(u64, u32, f64, f64)> = self
+            .participation
+            .active_for(spec.app_id)
+            .iter()
+            .filter(|t| t.departure > t.arrival)
+            .map(|t| (t.token, t.budget, t.arrival, t.departure))
+            .collect();
+        for (token, budget, arrival, departure) in recovered {
+            if let Ok(Some(user)) = self.users.by_token(self.db.db(), token) {
+                let clamped = departure.min(scheduler.grid().end());
+                scheduler.arrive(UserId(user.user_id as usize), arrival, clamped, budget as usize);
+            }
+        }
         self.schedulers.insert(spec.app_id, scheduler);
         self.apps.register(spec);
         Ok(())
@@ -139,9 +259,12 @@ impl SensingServer {
         self.now = now;
         let gone = self.participation.sweep_departures(now);
         for task_id in gone {
+            // The tables exist by construction, so mirroring the status
+            // change cannot fail.
+            self.persist_task(task_id).expect("tasks table installed");
             let task = self.participation.task(task_id).expect("just swept");
             let (app_id, token) = (task.app_id, task.token);
-            if let Ok(Some(user)) = self.users.by_token(&self.db, token) {
+            if let Ok(Some(user)) = self.users.by_token(self.db.db(), token) {
                 if let Some(sched) = self.schedulers.get_mut(&app_id) {
                     sched.depart(UserId(user.user_id as usize), now);
                 }
@@ -195,8 +318,15 @@ impl SensingServer {
             self.recorder.count_labeled("server.msg_rejected", kind, 1);
         }
         self.record_scheduler_work();
+        // Durability point: everything this message changed is in the
+        // write-ahead log before the reply (the ack) leaves the server.
+        let committed = self.db.commit();
         self.recorder.span_end(span, self.now);
-        result
+        match (result, committed) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(e.into()),
+            (Ok(out), Ok(())) => Ok(out),
+        }
     }
 
     fn dispatch_message(&mut self, msg: &Message) -> Result<Vec<(u64, Message)>, ServerError> {
@@ -225,7 +355,7 @@ impl SensingServer {
                 let app_id = task.app_id;
                 // "directly store the binary message body into the
                 // database, which will be processed later".
-                self.processor.enqueue_raw(&mut self.db, app_id, &msg.encode())?;
+                self.processor.enqueue_raw(self.db.db_mut(), app_id, &msg.encode())?;
                 Ok(Vec::new())
             }
             Message::TaskComplete { task_id, status } => {
@@ -240,7 +370,8 @@ impl SensingServer {
                 let app_id = task.app_id;
                 let token = task.token;
                 let now = self.now;
-                if let Ok(Some(user)) = self.users.by_token(&self.db, token) {
+                self.persist_task(*task_id)?;
+                if let Ok(Some(user)) = self.users.by_token(self.db.db(), token) {
                     if let Some(sched) = self.schedulers.get_mut(&app_id) {
                         sched.depart(UserId(user.user_id as usize), now);
                     }
@@ -276,7 +407,7 @@ impl SensingServer {
             });
         }
         self.recorder.count("server.admission.admitted", 1);
-        let user = self.users.register(&mut self.db, token, "participant")?;
+        let user = self.users.register(self.db.db_mut(), token, "participant")?;
         let task = self.participation.admit(
             &app,
             token,
@@ -287,6 +418,8 @@ impl SensingServer {
             stay_seconds,
         )?;
         let departure = task.departure;
+        let task_id = task.task_id;
+        self.persist_task(task_id)?;
         let sched = self.schedulers.get_mut(&app_id).expect("registered with app");
         let clamped_departure = departure.min(sched.grid().end());
         sched.arrive(UserId(user.user_id as usize), self.now, clamped_departure, budget as usize);
@@ -321,8 +454,10 @@ impl SensingServer {
         let active: Vec<(u64, u64)> =
             self.participation.active_for(app_id).iter().map(|t| (t.task_id, t.token)).collect();
         for (task_id, token) in active {
-            let user =
-                self.users.by_token(&self.db, token)?.ok_or(ServerError::UnknownTask(task_id))?;
+            let user = self
+                .users
+                .by_token(self.db.db(), token)?
+                .ok_or(ServerError::UnknownTask(task_id))?;
             let times: Vec<f64> = plan
                 .for_user(UserId(user.user_id as usize))
                 .into_iter()
@@ -332,13 +467,14 @@ impl SensingServer {
             if let Some(t) = self.participation.task_mut(task_id) {
                 t.status = ParticipantStatus::Running;
             }
+            self.persist_task(task_id)?;
             // Replace this task's stored schedule with the new plan.
-            self.db.delete_where(
+            self.db.db_mut().delete_where(
                 SCHEDULES_TABLE,
                 &Predicate::eq("task_id", Value::Int(task_id as i64)),
             )?;
             for &t in &times {
-                self.db.insert(
+                self.db.db_mut().insert(
                     SCHEDULES_TABLE,
                     vec![Value::Int(task_id as i64), Value::Int(token as i64), Value::Float(t)],
                 )?;
@@ -364,7 +500,7 @@ impl SensingServer {
     pub fn process_data(&mut self) -> Result<(usize, usize), ServerError> {
         let span = self.recorder.span_start("server.process_data", self.now);
         let decode = self.recorder.span_start("server.process_data.decode", self.now);
-        let counts = match self.processor.process_inbox(&mut self.db) {
+        let counts = match self.processor.process_inbox(self.db.db_mut()) {
             Ok(counts) => counts,
             Err(e) => {
                 self.recorder.span_end(span, self.now);
@@ -381,7 +517,7 @@ impl SensingServer {
         for app_id in self.apps.ids() {
             let specs = self.apps.get(app_id).expect("listed").features.clone();
             // Missing features are fine mid-experiment.
-            match self.processor.compute_features(&mut self.db, app_id, &specs) {
+            match self.processor.compute_features(self.db.db_mut(), app_id, &specs) {
                 Ok(failures) => {
                     self.recorder
                         .count("server.features_computed", (specs.len() - failures.len()) as u64);
@@ -394,6 +530,9 @@ impl SensingServer {
             }
         }
         self.recorder.span_end(features, self.now);
+        // Decoded records and features are derived data, but committing
+        // them means recovery does not have to re-run the processor.
+        self.db.commit()?;
         self.recorder.span_end(span, self.now);
         Ok(counts)
     }
@@ -411,7 +550,7 @@ impl SensingServer {
         let span = self.recorder.span_start("server.rank", self.now);
         self.recorder.span_attr(span, "category", category);
         self.recorder.count("server.rank_requests", 1);
-        let result = rank_category(&self.db, &self.apps, category, prefs);
+        let result = rank_category(self.db.db(), &self.apps, category, prefs);
         if let Ok(ranking) = &result {
             self.recorder.count("server.rank_places_scored", ranking.order.len() as u64);
         }
@@ -426,8 +565,10 @@ impl SensingServer {
     ///
     /// Storage errors.
     pub fn stored_schedule(&self, task_id: u64) -> Result<Vec<f64>, ServerError> {
-        let rows =
-            self.db.scan(SCHEDULES_TABLE, &Predicate::eq("task_id", Value::Int(task_id as i64)))?;
+        let rows = self
+            .db
+            .db()
+            .scan(SCHEDULES_TABLE, &Predicate::eq("task_id", Value::Int(task_id as i64)))?;
         let mut times: Vec<f64> =
             rows.iter().map(|r| r.values[2].as_float().expect("schema")).collect();
         times.sort_by(f64::total_cmp);
@@ -469,7 +610,7 @@ impl SensingServer {
     ///
     /// Storage errors.
     pub fn feature_value(&self, app_id: u64, feature: &str) -> Result<Option<f64>, ServerError> {
-        self.processor.feature_value(&self.db, app_id, feature)
+        self.processor.feature_value(self.db.db(), app_id, feature)
     }
 }
 
@@ -784,6 +925,114 @@ mod tests {
         let upload = Message::SensedDataUpload { task_id: 42, records: vec![] };
         assert!(s.handle_message(&upload).is_err());
         assert_eq!(rec.counter("server.msg_rejected.sensed_data_upload"), 1);
+    }
+
+    #[test]
+    fn crashed_server_recovers_acked_uploads_and_tasks() {
+        use sor_durable::SimDisk;
+        let disk = SimDisk::new(99);
+        let (mut s, report) = SensingServer::durable(
+            Box::new(disk.clone()),
+            DurableOptions::default(),
+            Recorder::disabled(),
+            0.0,
+        )
+        .unwrap();
+        assert!(!report.had_checkpoint);
+        s.register_application(cafe_app(1, "cafe")).unwrap();
+        join(&mut s, 7, 5);
+        s.handle_message(&Message::SensedDataUpload {
+            task_id: 0,
+            records: vec![SensedRecord {
+                timestamp: 100.0,
+                window: 1.5,
+                sensor: SensorKind::Temperature.wire_id(),
+                values: vec![70.0, 72.0],
+            }],
+        })
+        .unwrap(); // acked: this upload must survive the crash
+        s.tick(120.0);
+        drop(s);
+        disk.crash();
+
+        let (mut s, report) = SensingServer::durable(
+            Box::new(disk.clone()),
+            DurableOptions::default(),
+            Recorder::disabled(),
+            120.0,
+        )
+        .unwrap();
+        assert!(report.replayed_records > 0, "log replayed: {}", report.summary());
+        s.register_application(cafe_app(1, "cafe")).unwrap();
+        // The admitted task came back with its id, budget and status.
+        let task = s.participation().task(0).expect("task recovered");
+        assert_eq!(task.token, 7);
+        assert_eq!(task.budget, 5);
+        // The acked upload is still in the inbox and flows to features.
+        let (stored, dropped) = s.process_data().unwrap();
+        assert_eq!((stored, dropped), (1, 0));
+        assert_eq!(s.feature_value(1, "temperature").unwrap(), Some(71.0));
+        // The recovered server keeps serving: a new participant joins
+        // and gets a fresh task id (no id reuse after recovery).
+        let replies = join(&mut s, 8, 3);
+        assert!(!replies.is_empty());
+        let new_ids: Vec<u64> = s.participation().all().map(|t| t.task_id).collect();
+        assert_eq!(new_ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn durable_server_without_crash_matches_ephemeral_ranking() {
+        use sor_durable::SimDisk;
+        let run = |durable: bool| {
+            let disk = SimDisk::new(5);
+            let mut s = if durable {
+                SensingServer::durable(
+                    Box::new(disk.clone()),
+                    DurableOptions::default(),
+                    Recorder::disabled(),
+                    0.0,
+                )
+                .unwrap()
+                .0
+            } else {
+                SensingServer::new().unwrap()
+            };
+            s.register_application(cafe_app(1, "cold cafe")).unwrap();
+            s.register_application(cafe_app(2, "warm cafe")).unwrap();
+            for (app_id, temp) in [(1u64, 64.0), (2, 74.0)] {
+                let replies = s
+                    .handle_message(&Message::ParticipationRequest {
+                        token: app_id * 10,
+                        app_id,
+                        latitude: 43.0501,
+                        longitude: -76.1501,
+                        budget: 3,
+                        stay_seconds: 600.0,
+                    })
+                    .unwrap();
+                let (_, Message::ScheduleAssignment { task_id, .. }) = &replies[replies.len() - 1]
+                else {
+                    panic!()
+                };
+                s.handle_message(&Message::SensedDataUpload {
+                    task_id: *task_id,
+                    records: vec![SensedRecord {
+                        timestamp: 10.0,
+                        window: 1.0,
+                        sensor: SensorKind::Temperature.wire_id(),
+                        values: vec![temp],
+                    }],
+                })
+                .unwrap();
+            }
+            s.process_data().unwrap();
+            let prefs = UserPreferences::new(
+                "warm-lover",
+                vec![sor_core::ranking::Preference::value(75.0, 5)],
+            );
+            s.rank("coffee-shop", &prefs).unwrap().order
+        };
+        assert_eq!(run(true), run(false), "durability must not change behaviour");
     }
 
     #[test]

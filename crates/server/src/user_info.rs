@@ -36,7 +36,7 @@ impl UserInfoManager {
                 .column("token", ColumnType::Int)
                 .column("name", ColumnType::Text),
         )?;
-        db.table_mut(USERS_TABLE)?.create_index("token")?;
+        db.create_index(USERS_TABLE, "token")?;
         Ok(())
     }
 

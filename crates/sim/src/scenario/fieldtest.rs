@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use sor_core::ranking::FeatureMatrix;
+use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
 use sor_obs::Recorder;
 use sor_sensors::environment::Environment;
@@ -81,6 +82,32 @@ pub struct FieldTestOutcome {
     /// Total sensing energy spent per place (millijoules), in app-id
     /// order — the fleet-wide cost of the collection.
     pub energy_mj_per_place: Vec<f64>,
+    /// One recovery summary per server crash (empty for crash-free or
+    /// ephemeral runs), in crash order.
+    pub recoveries: Vec<String>,
+}
+
+/// Durability knobs for a crash-injecting field test.
+#[derive(Debug, Clone)]
+pub struct DurableRun {
+    /// The simulated disk the server persists to across crashes.
+    pub disk: SimDisk,
+    /// Write-ahead-log and checkpoint knobs.
+    pub opts: DurableOptions,
+    /// Instants (seconds) at which the server dies and recovers.
+    pub crash_times: Vec<f64>,
+}
+
+impl DurableRun {
+    /// A durable run with `crash_times` crashes on a fresh disk seeded
+    /// from the field-test seed.
+    pub fn crashes_at(cfg: &FieldTestConfig, crash_times: Vec<f64>) -> Self {
+        DurableRun {
+            disk: SimDisk::new(cfg.seed ^ 0xD15C),
+            opts: DurableOptions::default(),
+            crash_times,
+        }
+    }
 }
 
 /// The coffee-shop feature set (Fig. 10): temperature, brightness,
@@ -199,6 +226,28 @@ pub fn run_coffee_field_test_traced(
     cfg: FieldTestConfig,
     recorder: Recorder,
 ) -> Result<FieldTestOutcome, ServerError> {
+    run_coffee_field_test_inner(cfg, recorder, None)
+}
+
+/// The §V-B coffee-shop field test on a durable server that crashes and
+/// recovers at each of `durable.crash_times` — every acked upload must
+/// survive each restart.
+///
+/// # Errors
+///
+/// Server/storage/durability errors while running or ranking.
+pub fn run_coffee_field_test_durable(
+    cfg: FieldTestConfig,
+    durable: DurableRun,
+) -> Result<FieldTestOutcome, ServerError> {
+    run_coffee_field_test_inner(cfg, Recorder::default(), Some(durable))
+}
+
+fn run_coffee_field_test_inner(
+    cfg: FieldTestConfig,
+    recorder: Recorder,
+    durable: Option<DurableRun>,
+) -> Result<FieldTestOutcome, ServerError> {
     let shops = sor_sensors::environment::presets::coffee_shops(cfg.seed);
     let envs: Vec<Arc<dyn Environment>> =
         shops.into_iter().map(|e| Arc::new(e) as Arc<dyn Environment>).collect();
@@ -212,6 +261,7 @@ pub fn run_coffee_field_test_traced(
         COFFEE_SENSORS,
         300.0, // shops are small; tight admission radius
         0.5,   // indoor sample interval (seconds)
+        durable,
     )
 }
 
@@ -247,6 +297,7 @@ pub fn run_trail_field_test_traced(
         TRAIL_SENSORS,
         5_000.0, // a hiker may scan anywhere along the trail
         2.0,     // outdoor sample interval: GPS fixes 2 s apart
+        None,
     )
 }
 
@@ -261,27 +312,48 @@ fn run_field_test(
     sensors: &[SensorKind],
     radius_m: f64,
     sample_interval: f64,
+    durable: Option<DurableRun>,
 ) -> Result<FieldTestOutcome, ServerError> {
-    let mut server = SensingServer::new()?;
-    for (i, env) in envs.iter().enumerate() {
-        let (latitude, longitude) = env.location();
-        server.register_application(ApplicationSpec {
-            app_id: i as u64 + 1,
-            name: env.name().to_string(),
-            creator: "field-test".into(),
-            category: category.into(),
-            latitude,
-            longitude,
-            radius_m,
-            script: script.into(),
-            period_seconds: cfg.duration,
-            instants: (cfg.duration / 10.0) as usize,
-            features: features.clone(),
-        })?;
-    }
+    let specs: Vec<ApplicationSpec> = envs
+        .iter()
+        .enumerate()
+        .map(|(i, env)| {
+            let (latitude, longitude) = env.location();
+            ApplicationSpec {
+                app_id: i as u64 + 1,
+                name: env.name().to_string(),
+                creator: "field-test".into(),
+                category: category.into(),
+                latitude,
+                longitude,
+                radius_m,
+                script: script.into(),
+                period_seconds: cfg.duration,
+                instants: (cfg.duration / 10.0) as usize,
+                features: features.clone(),
+            }
+        })
+        .collect();
 
-    let mut world = SorWorld::new(server, Transport::perfect());
-    world.set_recorder(recorder);
+    let mut world = match &durable {
+        Some(d) => {
+            SorWorld::durable(d.disk.clone(), d.opts, specs, Transport::perfect(), recorder)?
+        }
+        None => {
+            let mut server = SensingServer::new()?;
+            for spec in specs {
+                server.register_application(spec)?;
+            }
+            let mut world = SorWorld::new(server, Transport::perfect());
+            world.set_recorder(recorder);
+            world
+        }
+    };
+    if let Some(d) = &durable {
+        for &t in &d.crash_times {
+            world.schedule_crash(t);
+        }
+    }
     let meters: Vec<Arc<EnergyMeter>> = envs.iter().map(|_| EnergyMeter::new()).collect();
     for (place, env) in envs.iter().enumerate() {
         for p in 0..cfg.phones_per_place {
@@ -312,6 +384,7 @@ fn run_field_test(
         matrix,
         app_ids,
         energy_mj_per_place: meters.iter().map(|m| m.total_mj()).collect(),
+        recoveries: world.recoveries,
     })
 }
 
@@ -334,6 +407,17 @@ mod tests {
         assert!(light(0) > light(1) && light(1) > light(2));
         let noise = |i: usize| out.matrix.value(PlaceId(i), FeatureId(2));
         assert!(noise(2) > noise(0) && noise(2) > noise(1), "Starbucks loudest");
+    }
+
+    #[test]
+    fn durable_coffee_field_test_survives_a_mid_run_crash() {
+        let cfg = FieldTestConfig::quick(7);
+        let run = DurableRun::crashes_at(&cfg, vec![cfg.duration / 2.0]);
+        let out = run_coffee_field_test_durable(cfg, run).unwrap();
+        assert_eq!(out.stats.server_crashes, 1);
+        assert_eq!(out.recoveries.len(), 1);
+        assert_eq!(out.matrix.n_places(), 3);
+        assert!(out.stats.uploads_accepted > 0, "{:?}", out.stats);
     }
 
     #[test]

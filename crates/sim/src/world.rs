@@ -3,10 +3,11 @@
 
 use std::collections::HashMap;
 
+use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
 use sor_obs::Recorder;
 use sor_proto::Message;
-use sor_server::SensingServer;
+use sor_server::{ApplicationSpec, SensingServer, ServerError};
 
 use crate::engine::EventQueue;
 use crate::transport::{Endpoint, InFlight, Transport};
@@ -23,6 +24,20 @@ enum WorldEvent {
     /// The server pages phones it has not heard from (§II-A's GCM
     /// fallback); reschedules itself.
     LivenessCheck { interval: f64, threshold: f64, until: f64 },
+    /// The server process dies abruptly and restarts from its simulated
+    /// disk (only meaningful in a durable world).
+    ServerCrash,
+}
+
+/// The rebuild recipe for a durable world: the shared simulated disk,
+/// the durability knobs, and the application configuration to
+/// re-register after recovery (configuration is not data — the real
+/// deployment reads it from ops config, so the sim re-supplies it).
+#[derive(Debug, Clone)]
+struct DurableSetup {
+    disk: SimDisk,
+    opts: DurableOptions,
+    apps: Vec<ApplicationSpec>,
 }
 
 /// Counters the scenarios assert on.
@@ -37,6 +52,8 @@ pub struct WorldStats {
     pub uploads_accepted: u64,
     /// WakeUp pages the server sent to quiet phones.
     pub pages_sent: u64,
+    /// Abrupt server deaths followed by recovery from simulated disk.
+    pub server_crashes: u64,
 }
 
 /// The simulated deployment of Fig. 2: phones, server, network.
@@ -50,7 +67,12 @@ pub struct SorWorld {
     token_to_phone: HashMap<u64, usize>,
     /// Observable counters.
     pub stats: WorldStats,
+    /// One [`sor_durable::RecoveryReport`] summary per recovery, in
+    /// crash order — scenario assertions and the smoke binary read
+    /// these.
+    pub recoveries: Vec<String>,
     recorder: Recorder,
+    durable: Option<DurableSetup>,
 }
 
 impl std::fmt::Debug for SorWorld {
@@ -73,8 +95,43 @@ impl SorWorld {
             queue: EventQueue::new(),
             token_to_phone: HashMap::new(),
             stats: WorldStats::default(),
+            recoveries: Vec::new(),
             recorder: Recorder::default(),
+            durable: None,
         }
+    }
+
+    /// A world whose server persists to a [`SimDisk`], so
+    /// [`SorWorld::schedule_crash`] can kill it mid-scenario and rebuild
+    /// it from whatever the disk kept. The applications are registered
+    /// now and re-registered after every recovery.
+    ///
+    /// # Errors
+    ///
+    /// Server construction or application registration failures.
+    pub fn durable(
+        disk: SimDisk,
+        opts: DurableOptions,
+        apps: Vec<ApplicationSpec>,
+        transport: Transport,
+        recorder: Recorder,
+    ) -> Result<Self, ServerError> {
+        let (mut server, _report) =
+            SensingServer::durable(Box::new(disk.clone()), opts, recorder.clone(), 0.0)?;
+        for spec in &apps {
+            server.register_application(spec.clone())?;
+        }
+        let mut world = SorWorld::new(server, transport);
+        world.durable = Some(DurableSetup { disk, opts, apps });
+        world.set_recorder(recorder);
+        Ok(world)
+    }
+
+    /// Schedules an abrupt server death at `at`. Panics at dispatch
+    /// time if the world was not built with [`SorWorld::durable`] — a
+    /// crash without a disk to recover from is a scenario bug.
+    pub fn schedule_crash(&mut self, at: f64) {
+        self.queue.schedule(at, WorldEvent::ServerCrash);
     }
 
     /// Installs one recorder across the whole deployment: the server
@@ -191,6 +248,32 @@ impl SorWorld {
                     );
                 }
             }
+            WorldEvent::ServerCrash => {
+                let setup = self
+                    .durable
+                    .clone()
+                    .expect("ServerCrash scheduled on a world without durable storage");
+                // Kill: anything the server had not flushed is torn off
+                // by the disk's fault model. The old server object is
+                // simply dropped — nothing gets a chance to sync.
+                setup.disk.crash();
+                let (server, report) = SensingServer::durable(
+                    Box::new(setup.disk.clone()),
+                    setup.opts,
+                    self.recorder.clone(),
+                    now,
+                )
+                .expect("recovery must always yield a serving state");
+                self.server = server;
+                for spec in setup.apps {
+                    self.server
+                        .register_application(spec)
+                        .expect("re-registering a previously accepted application");
+                }
+                self.stats.server_crashes += 1;
+                self.recoveries.push(report.summary());
+                self.recorder.count("sim.server_crashes", 1);
+            }
             WorldEvent::Deliver(flight) => {
                 let Ok(msg) = Message::decode(&flight.frame) else {
                     self.stats.decode_failures += 1;
@@ -245,6 +328,7 @@ fn event_kind(event: &WorldEvent) -> &'static str {
         WorldEvent::Deliver(_) => "deliver",
         WorldEvent::PhoneSweep { .. } => "phone_sweep",
         WorldEvent::LivenessCheck { .. } => "liveness_check",
+        WorldEvent::ServerCrash => "server_crash",
     }
 }
 
@@ -257,37 +341,36 @@ mod tests {
     use sor_server::{ApplicationSpec, Extractor, FeatureSpec};
     use std::sync::Arc;
 
-    fn cafe_world(transport: Transport) -> SorWorld {
-        let mut server = SensingServer::new().unwrap();
-        server
-            .register_application(ApplicationSpec {
-                app_id: 1,
-                name: "B&N Cafe".into(),
-                creator: "owner".into(),
-                category: "coffee-shop".into(),
-                latitude: 43.0445,
-                longitude: -76.0749,
-                radius_m: 200.0,
-                script: "get_temperature_readings(5)\nget_noise_readings(5)".into(),
-                period_seconds: 3600.0,
-                instants: 360,
-                features: vec![
-                    FeatureSpec::new(
-                        "temperature",
-                        "°F",
-                        Extractor::Mean { sensor: SensorKind::Temperature.wire_id() },
-                        60.0,
-                    ),
-                    FeatureSpec::new(
-                        "noise",
-                        "",
-                        Extractor::Mean { sensor: SensorKind::Microphone.wire_id() },
-                        20.0,
-                    ),
-                ],
-            })
-            .unwrap();
-        let mut world = SorWorld::new(server, transport);
+    fn cafe_spec() -> ApplicationSpec {
+        ApplicationSpec {
+            app_id: 1,
+            name: "B&N Cafe".into(),
+            creator: "owner".into(),
+            category: "coffee-shop".into(),
+            latitude: 43.0445,
+            longitude: -76.0749,
+            radius_m: 200.0,
+            script: "get_temperature_readings(5)\nget_noise_readings(5)".into(),
+            period_seconds: 3600.0,
+            instants: 360,
+            features: vec![
+                FeatureSpec::new(
+                    "temperature",
+                    "°F",
+                    Extractor::Mean { sensor: SensorKind::Temperature.wire_id() },
+                    60.0,
+                ),
+                FeatureSpec::new(
+                    "noise",
+                    "",
+                    Extractor::Mean { sensor: SensorKind::Microphone.wire_id() },
+                    20.0,
+                ),
+            ],
+        }
+    }
+
+    fn add_cafe_phones(world: &mut SorWorld) {
         let env = Arc::new(presets::bn_cafe(5));
         for token in 0..3u64 {
             let mut mgr = SensorManager::new();
@@ -297,6 +380,13 @@ mod tests {
             let idx = world.add_phone(MobileFrontend::new(token, mgr));
             world.schedule_sweeps(idx, 1.0, 20.0, 3600.0);
         }
+    }
+
+    fn cafe_world(transport: Transport) -> SorWorld {
+        let mut server = SensingServer::new().unwrap();
+        server.register_application(cafe_spec()).unwrap();
+        let mut world = SorWorld::new(server, transport);
+        add_cafe_phones(&mut world);
         world
     }
 
@@ -371,6 +461,42 @@ mod tests {
             "pings should re-arm the liveness timer: {:?}",
             world.stats
         );
+    }
+
+    #[test]
+    fn server_crash_mid_run_recovers_and_keeps_collecting() {
+        let mut world = SorWorld::durable(
+            SimDisk::new(11),
+            DurableOptions::default(),
+            vec![cafe_spec()],
+            Transport::perfect(),
+            Recorder::default(),
+        )
+        .unwrap();
+        add_cafe_phones(&mut world);
+        for phone in 0..3 {
+            world.schedule_scan(phone as f64 * 60.0, phone, 1, 8, 3000.0);
+        }
+        world.schedule_crash(900.0);
+        world.run_until(3600.0);
+        assert_eq!(world.stats.server_crashes, 1);
+        assert_eq!(world.recoveries.len(), 1);
+        assert!(world.recoveries[0].starts_with("recovery:"), "{}", world.recoveries[0]);
+        world.server.process_data().unwrap();
+        assert!(world.stats.uploads_accepted > 0, "{:?}", world.stats);
+        // Recovered tasks survive: the participation manager still
+        // knows every admitted phone.
+        assert_eq!(world.server.participation().all().count(), 3);
+        let temp = world.server.feature_value(1, "temperature").unwrap().unwrap();
+        assert!((temp - 71.0).abs() < 2.0, "temperature {temp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "without durable storage")]
+    fn crash_on_an_ephemeral_world_is_a_scenario_bug() {
+        let mut world = cafe_world(Transport::perfect());
+        world.schedule_crash(1.0);
+        world.run_until(10.0);
     }
 
     #[test]

@@ -3,19 +3,28 @@
 use std::collections::BTreeMap;
 
 use sor_obs::Recorder;
+use sor_proto::checksum::crc32;
 use sor_proto::wire::{Reader, Writer};
 
+use crate::changelog::{ChangeLog, LogOp};
 use crate::predicate::Predicate;
 use crate::schema::{Column, ColumnType, Schema};
 use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 use crate::StoreError;
 
+/// Snapshot format version. v2 persists index definitions, row ids and
+/// each table's id counter (so restore is exact, not approximate) and
+/// ends with a CRC-32 trailer over everything before it (so *any* byte
+/// flip is rejected instead of silently decoding into wrong data).
+const SNAPSHOT_VERSION: u8 = 2;
+
 /// A named collection of tables — the sensing server's "PostgreSQL".
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     recorder: Recorder,
+    changelog: ChangeLog,
 }
 
 impl Database {
@@ -32,6 +41,17 @@ impl Database {
         self.recorder = recorder;
     }
 
+    /// Attaches a change log. Every mutation that goes through this
+    /// facade is captured as a [`LogOp`]; the durability layer drains
+    /// the buffer at commit points and appends it to its write-ahead
+    /// log. The default handle is disabled (one branch per mutation).
+    ///
+    /// Mutations through [`Database::table_mut`] bypass capture — a
+    /// durable deployment must mutate through the facade only.
+    pub fn set_changelog(&mut self, changelog: ChangeLog) {
+        self.changelog = changelog;
+    }
+
     /// Creates a table.
     ///
     /// # Errors
@@ -42,13 +62,34 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(StoreError::DuplicateTable(name));
         }
+        if self.changelog.is_enabled() {
+            self.changelog.push(LogOp::CreateTable(schema.clone()));
+        }
         self.tables.insert(name, Table::new(schema));
         Ok(())
     }
 
     /// Drops a table. Returns whether it existed.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        self.tables.remove(name).is_some()
+        let existed = self.tables.remove(name).is_some();
+        if existed {
+            self.changelog.push(LogOp::DropTable(name.to_string()));
+        }
+        existed
+    }
+
+    /// Creates a hash index on `table.column` — the facade twin of
+    /// [`Table::create_index`], so the mutation is captured by the
+    /// change log (and therefore survives crash recovery).
+    ///
+    /// # Errors
+    ///
+    /// Unknown table/column, unindexable type, duplicate index.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), StoreError> {
+        self.table_mut(table)?.create_index(column)?;
+        self.changelog
+            .push(LogOp::CreateIndex { table: table.to_string(), column: column.to_string() });
+        Ok(())
     }
 
     /// Names of all tables.
@@ -80,7 +121,13 @@ impl Database {
     ///
     /// Unknown table or schema mismatch.
     pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<RowId, StoreError> {
-        let id = self.table_mut(table)?.insert(values)?;
+        let id = if self.changelog.is_enabled() {
+            let id = self.table_mut(table)?.insert(values.clone())?;
+            self.changelog.push(LogOp::Insert { table: table.to_string(), row_id: id.0, values });
+            id
+        } else {
+            self.table_mut(table)?.insert(values)?
+        };
         self.recorder.count_labeled("store.rows_inserted", table, 1);
         Ok(id)
     }
@@ -103,17 +150,60 @@ impl Database {
     ///
     /// Unknown table/column.
     pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> Result<usize, StoreError> {
-        let n = self.table_mut(table)?.delete_where(pred)?;
+        let gone = self.table_mut(table)?.delete_where(pred)?;
+        let n = gone.len();
+        if n > 0 {
+            self.changelog.push(LogOp::Delete {
+                table: table.to_string(),
+                row_ids: gone.iter().map(|id| id.0).collect(),
+            });
+        }
         self.recorder.count_labeled("store.rows_deleted", table, n as u64);
         Ok(n)
     }
 
-    /// Serialises every table (schema + rows, not indexes — they are
-    /// rebuilt on load... by the caller re-issuing `create_index`) into
-    /// a self-contained binary snapshot.
+    /// Replays one logical op, exactly as originally applied (inserts
+    /// land under their recorded row ids). Never captured by the change
+    /// log — this *is* the log being consumed.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors if the op does not fit the current state (a log
+    /// replayed against the wrong checkpoint).
+    pub fn apply_op(&mut self, op: &LogOp) -> Result<(), StoreError> {
+        match op {
+            LogOp::CreateTable(schema) => {
+                let name = schema.name().to_string();
+                if self.tables.contains_key(&name) {
+                    return Err(StoreError::DuplicateTable(name));
+                }
+                self.tables.insert(name, Table::new(schema.clone()));
+                Ok(())
+            }
+            LogOp::DropTable(name) => {
+                self.tables.remove(name);
+                Ok(())
+            }
+            LogOp::CreateIndex { table, column } => self.table_mut(table)?.create_index(column),
+            LogOp::Insert { table, row_id, values } => {
+                self.table_mut(table)?.insert_at(RowId(*row_id), values.clone())
+            }
+            LogOp::Delete { table, row_ids } => {
+                let ids: Vec<RowId> = row_ids.iter().map(|&id| RowId(id)).collect();
+                self.table_mut(table)?.delete_ids(&ids);
+                Ok(())
+            }
+        }
+    }
+
+    /// Serialises every table — schema, index definitions, rows *with
+    /// their ids*, and the id counter — into a self-contained binary
+    /// snapshot ending in a CRC-32 trailer. [`Database::restore`] is an
+    /// exact inverse: indexes are rebuilt, ids preserved.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_raw(b"SORD");
+        w.put_u8(SNAPSHOT_VERSION);
         w.put_uvar(self.tables.len() as u64);
         for (name, table) in &self.tables {
             w.put_str(name);
@@ -121,17 +211,26 @@ impl Database {
             w.put_uvar(schema.columns().len() as u64);
             for c in schema.columns() {
                 w.put_str(&c.name);
-                w.put_u8(type_tag(c.ty));
+                w.put_u8(c.ty.wire_tag());
                 w.put_u8(c.nullable as u8);
             }
+            let indexes = table.indexed_columns();
+            w.put_uvar(indexes.len() as u64);
+            for col in &indexes {
+                w.put_str(col);
+            }
+            w.put_uvar(table.next_row_id());
             let rows: Vec<Row> = table.iter().collect();
             w.put_uvar(rows.len() as u64);
             for row in rows {
+                w.put_uvar(row.id.0);
                 for v in &row.values {
-                    write_value(&mut w, v);
+                    v.encode_into(&mut w);
                 }
             }
         }
+        let crc = crc32(w.as_slice());
+        w.put_u32(crc);
         w.into_bytes()
     }
 
@@ -139,16 +238,33 @@ impl Database {
     ///
     /// # Errors
     ///
-    /// [`StoreError::CorruptSnapshot`] on any structural problem.
+    /// [`StoreError::CorruptSnapshot`] on any structural problem or a
+    /// checksum mismatch — a flipped byte anywhere in the snapshot is
+    /// rejected, never decoded into silently wrong data.
     pub fn restore(bytes: &[u8]) -> Result<Database, StoreError> {
         let corrupt = |d: &str| StoreError::CorruptSnapshot(d.to_string());
-        let mut r = Reader::new(bytes);
+        if bytes.len() < 4 {
+            return Err(corrupt("shorter than its checksum trailer"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(corrupt(&format!(
+                "checksum mismatch: computed {computed:08x}, stored {stored:08x}"
+            )));
+        }
+        let mut r = Reader::new(body);
         let mut magic = [0u8; 4];
         for b in &mut magic {
             *b = r.get_u8().map_err(|e| corrupt(&e.to_string()))?;
         }
         if &magic != b"SORD" {
             return Err(corrupt("bad magic"));
+        }
+        let version = r.get_u8().map_err(|e| corrupt(&e.to_string()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(corrupt(&format!("unsupported snapshot version {version}")));
         }
         let n_tables = r.get_uvar().map_err(|e| corrupt(&e.to_string()))? as usize;
         let mut db = Database::new();
@@ -159,8 +275,9 @@ impl Database {
             let mut col_defs: Vec<Column> = Vec::with_capacity(n_cols);
             for _ in 0..n_cols {
                 let cname = r.get_str().map_err(|e| corrupt(&e.to_string()))?.to_string();
-                let ty = type_from_tag(r.get_u8().map_err(|e| corrupt(&e.to_string()))?)
-                    .ok_or_else(|| corrupt("bad column type tag"))?;
+                let ty =
+                    ColumnType::from_wire_tag(r.get_u8().map_err(|e| corrupt(&e.to_string()))?)
+                        .ok_or_else(|| corrupt("bad column type tag"))?;
                 let nullable = r.get_u8().map_err(|e| corrupt(&e.to_string()))? != 0;
                 col_defs.push(Column { name: cname, ty, nullable });
             }
@@ -172,76 +289,36 @@ impl Database {
                 };
             }
             db.create_table(schema).map_err(|e| corrupt(&e.to_string()))?;
+            let n_indexes = r.get_uvar().map_err(|e| corrupt(&e.to_string()))? as usize;
+            for _ in 0..n_indexes {
+                let col = r.get_str().map_err(|e| corrupt(&e.to_string()))?.to_string();
+                db.table_mut(&name)
+                    .and_then(|t| t.create_index(&col))
+                    .map_err(|e| corrupt(&e.to_string()))?;
+            }
+            let next_id = r.get_uvar().map_err(|e| corrupt(&e.to_string()))?;
             let n_rows = r.get_uvar().map_err(|e| corrupt(&e.to_string()))? as usize;
             for _ in 0..n_rows {
+                let row_id = r.get_uvar().map_err(|e| corrupt(&e.to_string()))?;
                 let mut values = Vec::with_capacity(n_cols);
                 for _ in 0..n_cols {
-                    values.push(read_value(&mut r).map_err(|e| corrupt(&e.to_string()))?);
+                    values.push(Value::decode_from(&mut r).map_err(|e| corrupt(&e.to_string()))?);
                 }
-                db.insert(&name, values).map_err(|e| corrupt(&e.to_string()))?;
+                db.table_mut(&name)
+                    .and_then(|t| t.insert_at(RowId(row_id), values))
+                    .map_err(|e| corrupt(&e.to_string()))?;
             }
+            let table = db.table(&name).map_err(|e| corrupt(&e.to_string()))?;
+            if table.next_row_id() > next_id {
+                return Err(corrupt("row id above the recorded id counter"));
+            }
+            db.table_mut(&name).expect("just created").set_next_row_id(next_id);
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after snapshot"));
         }
         Ok(db)
     }
-}
-
-fn type_tag(ty: ColumnType) -> u8 {
-    match ty {
-        ColumnType::Int => 0,
-        ColumnType::Float => 1,
-        ColumnType::Text => 2,
-        ColumnType::Bytes => 3,
-        ColumnType::Bool => 4,
-    }
-}
-
-fn type_from_tag(tag: u8) -> Option<ColumnType> {
-    Some(match tag {
-        0 => ColumnType::Int,
-        1 => ColumnType::Float,
-        2 => ColumnType::Text,
-        3 => ColumnType::Bytes,
-        4 => ColumnType::Bool,
-        _ => return None,
-    })
-}
-
-fn write_value(w: &mut Writer, v: &Value) {
-    match v {
-        Value::Null => w.put_u8(0),
-        Value::Int(i) => {
-            w.put_u8(1);
-            w.put_ivar(*i);
-        }
-        Value::Float(x) => {
-            w.put_u8(2);
-            w.put_f64(*x);
-        }
-        Value::Text(s) => {
-            w.put_u8(3);
-            w.put_str(s);
-        }
-        Value::Bytes(b) => {
-            w.put_u8(4);
-            w.put_bytes(b);
-        }
-        Value::Bool(b) => {
-            w.put_u8(5);
-            w.put_u8(*b as u8);
-        }
-    }
-}
-
-fn read_value(r: &mut Reader<'_>) -> Result<Value, sor_proto::ProtoError> {
-    Ok(match r.get_u8()? {
-        0 => Value::Null,
-        1 => Value::Int(r.get_ivar()?),
-        2 => Value::Float(r.get_f64()?),
-        3 => Value::Text(r.get_str()?.to_string()),
-        4 => Value::Bytes(r.get_bytes()?.to_vec()),
-        5 => Value::Bool(r.get_u8()? != 0),
-        _ => return Err(sor_proto::ProtoError::UnknownMessageType(255)),
-    })
 }
 
 #[cfg(test)]
@@ -314,13 +391,34 @@ mod tests {
         assert_eq!(back.table_names(), db.table_names());
         let rows_a = db.scan("users", &Predicate::True).unwrap();
         let rows_b = back.scan("users", &Predicate::True).unwrap();
-        assert_eq!(
-            rows_a.iter().map(|r| &r.values).collect::<Vec<_>>(),
-            rows_b.iter().map(|r| &r.values).collect::<Vec<_>>()
-        );
+        assert_eq!(rows_a, rows_b, "rows and their ids survive");
         let blob = back.scan("blobs", &Predicate::True).unwrap();
         assert_eq!(blob[0].values[1], Value::Bytes(vec![1, 2, 3]));
         assert_eq!(blob[0].values[3], Value::Float(0.5));
+    }
+
+    #[test]
+    fn restore_rebuilds_indexes_and_id_counter() {
+        let mut db = sample_db();
+        db.create_index("users", "id").unwrap();
+        db.create_index("users", "name").unwrap();
+        // Mint and delete a row so next_id is ahead of the row count.
+        db.insert("users", vec![Value::Int(9), Value::text("gone"), Value::Null]).unwrap();
+        db.delete_where("users", &Predicate::eq("id", Value::Int(9))).unwrap();
+
+        let back = Database::restore(&db.snapshot()).unwrap();
+        let users = back.table("users").unwrap();
+        assert!(users.has_index("id") && users.has_index("name"), "indexes rebuilt");
+        assert_eq!(users.next_row_id(), db.table("users").unwrap().next_row_id());
+        // The rebuilt index answers point lookups.
+        let rows = back.scan("users", &Predicate::eq("id", Value::Int(2))).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[1], Value::text("bob"));
+        // New inserts continue the original id sequence.
+        let mut back = back;
+        let id =
+            back.insert("users", vec![Value::Int(3), Value::text("cam"), Value::Null]).unwrap();
+        assert_eq!(id, RowId(3), "ids not reused after restore");
     }
 
     #[test]
@@ -332,6 +430,18 @@ mod tests {
         // Truncations.
         for cut in [3, bytes.len() / 2] {
             assert!(Database::restore(&db.snapshot()[..cut]).is_err());
+        }
+        // Any single-byte flip anywhere is caught by the CRC trailer —
+        // including flips inside row values that would otherwise decode
+        // into silently wrong data.
+        let clean = db.snapshot();
+        for offset in 0..clean.len() {
+            let mut flipped = clean.clone();
+            flipped[offset] ^= 0x40;
+            assert!(
+                matches!(Database::restore(&flipped), Err(StoreError::CorruptSnapshot(_))),
+                "flip at {offset} must be rejected"
+            );
         }
     }
 
@@ -348,6 +458,53 @@ mod tests {
         let db = Database::new();
         let back = Database::restore(&db.snapshot()).unwrap();
         assert!(back.table_names().is_empty());
+    }
+
+    #[test]
+    fn changelog_captures_facade_mutations() {
+        let mut db = Database::new();
+        let log = ChangeLog::enabled();
+        db.set_changelog(log.clone());
+        db.create_table(Schema::new("t").column("id", ColumnType::Int)).unwrap();
+        db.create_index("t", "id").unwrap();
+        let id = db.insert("t", vec![Value::Int(5)]).unwrap();
+        db.delete_where("t", &Predicate::eq("id", Value::Int(5))).unwrap();
+        db.drop_table("t");
+        let ops = log.drain();
+        assert_eq!(ops.len(), 5);
+        assert!(matches!(&ops[0], LogOp::CreateTable(s) if s.name() == "t"));
+        assert!(matches!(&ops[1], LogOp::CreateIndex { column, .. } if column == "id"));
+        assert!(matches!(&ops[2], LogOp::Insert { row_id, .. } if *row_id == id.0));
+        assert!(matches!(&ops[3], LogOp::Delete { row_ids, .. } if row_ids == &vec![id.0]));
+        assert!(matches!(&ops[4], LogOp::DropTable(n) if n == "t"));
+        // Failed mutations are not captured.
+        assert!(db.insert("ghost", vec![]).is_err());
+        assert!(log.drain().is_empty());
+    }
+
+    #[test]
+    fn replaying_captured_ops_reproduces_state_exactly() {
+        let log = ChangeLog::enabled();
+        let mut db = Database::new();
+        db.set_changelog(log.clone());
+        db.create_table(
+            Schema::new("t").column("id", ColumnType::Int).column("tag", ColumnType::Text),
+        )
+        .unwrap();
+        db.create_index("t", "tag").unwrap();
+        for i in 0..10 {
+            db.insert("t", vec![Value::Int(i), Value::text(if i % 2 == 0 { "a" } else { "b" })])
+                .unwrap();
+        }
+        db.delete_where("t", &Predicate::eq("tag", Value::text("a"))).unwrap();
+        db.insert("t", vec![Value::Int(99), Value::text("c")]).unwrap();
+
+        let mut replayed = Database::new();
+        for op in log.drain() {
+            replayed.apply_op(&op).unwrap();
+        }
+        assert_eq!(replayed.snapshot(), db.snapshot(), "replay is bit-exact");
+        assert!(replayed.table("t").unwrap().has_index("tag"));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod changelog;
 pub mod database;
 pub mod index;
 pub mod predicate;
@@ -40,6 +41,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use changelog::{ChangeLog, LogOp};
 pub use database::Database;
 pub use predicate::Predicate;
 pub use query::Query;

@@ -19,6 +19,29 @@ pub enum ColumnType {
 }
 
 impl ColumnType {
+    /// Stable one-byte tag used by snapshots and log records.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            ColumnType::Int => 0,
+            ColumnType::Float => 1,
+            ColumnType::Text => 2,
+            ColumnType::Bytes => 3,
+            ColumnType::Bool => 4,
+        }
+    }
+
+    /// Inverse of [`ColumnType::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<ColumnType> {
+        Some(match tag {
+            0 => ColumnType::Int,
+            1 => ColumnType::Float,
+            2 => ColumnType::Text,
+            3 => ColumnType::Bytes,
+            4 => ColumnType::Bool,
+            _ => return None,
+        })
+    }
+
     fn matches(self, v: &Value) -> bool {
         matches!(
             (self, v),

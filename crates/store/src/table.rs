@@ -108,6 +108,65 @@ impl Table {
         self.schema.column_index(column).is_some_and(|c| self.indexes.contains_key(&c))
     }
 
+    /// Names of the indexed columns, in column order — what a snapshot
+    /// must persist so restore can rebuild the indexes.
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.indexes.keys().map(|&c| self.schema.columns()[c].name.clone()).collect()
+    }
+
+    /// The id the next insert will receive. Persisted by snapshots so a
+    /// restored table keeps minting ids where the original left off
+    /// (ids are never reused, even across crash recovery).
+    pub fn next_row_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Restores the id counter from a snapshot. Never moves it below
+    /// what live rows already require (so ids cannot be re-minted).
+    pub fn set_next_row_id(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// Inserts a validated row under a caller-chosen id — the replay
+    /// path of snapshot restore and write-ahead-log recovery, where row
+    /// ids must come out exactly as they were originally minted.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::SchemaMismatch`] from validation.
+    /// - [`StoreError::SchemaMismatch`] if the id is already occupied
+    ///   (a replayed log that revisits an id is corrupt).
+    pub fn insert_at(&mut self, id: RowId, values: Vec<Value>) -> Result<(), StoreError> {
+        self.schema.validate(&values)?;
+        if self.rows.contains_key(&id) {
+            return Err(StoreError::SchemaMismatch {
+                table: self.schema.name().to_string(),
+                detail: format!("row id {} already occupied", id.0),
+            });
+        }
+        for (&col, idx) in self.indexes.iter_mut() {
+            idx.insert(&values[col], id);
+        }
+        self.rows.insert(id, values);
+        self.next_id = self.next_id.max(id.0 + 1);
+        Ok(())
+    }
+
+    /// Deletes rows by id (ids without a live row are ignored);
+    /// returns how many went away. The replay path of log recovery.
+    pub fn delete_ids(&mut self, ids: &[RowId]) -> usize {
+        let mut n = 0;
+        for id in ids {
+            if let Some(values) = self.rows.remove(id) {
+                for (&col, idx) in self.indexes.iter_mut() {
+                    idx.remove(&values[col], *id);
+                }
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Rows matching a predicate, using the index fast-path for pure
     /// point lookups on indexed columns.
     ///
@@ -144,21 +203,17 @@ impl Table {
         self.rows.get(&id).map(|values| Row { id, values: values.clone() })
     }
 
-    /// Deletes rows matching the predicate; returns how many went away.
+    /// Deletes rows matching the predicate; returns the deleted ids (so
+    /// callers like the write-ahead log can record exactly which rows
+    /// went away, not just how many).
     ///
     /// # Errors
     ///
     /// [`StoreError::UnknownColumn`] from predicate evaluation.
-    pub fn delete_where(&mut self, pred: &Predicate) -> Result<usize, StoreError> {
+    pub fn delete_where(&mut self, pred: &Predicate) -> Result<Vec<RowId>, StoreError> {
         let doomed: Vec<RowId> = self.scan(pred)?.into_iter().map(|r| r.id).collect();
-        for id in &doomed {
-            if let Some(values) = self.rows.remove(id) {
-                for (&col, idx) in self.indexes.iter_mut() {
-                    idx.remove(&values[col], *id);
-                }
-            }
-        }
-        Ok(doomed.len())
+        self.delete_ids(&doomed);
+        Ok(doomed)
     }
 
     /// Updates the named column of all rows matching the predicate;
@@ -278,8 +333,8 @@ mod tests {
         let mut t = table();
         fill(&mut t);
         t.create_index("status").unwrap();
-        let n = t.delete_where(&Predicate::eq("status", Value::text("running"))).unwrap();
-        assert_eq!(n, 2);
+        let gone = t.delete_where(&Predicate::eq("status", Value::text("running"))).unwrap();
+        assert_eq!(gone, vec![RowId(0), RowId(2)]);
         assert_eq!(t.len(), 1);
         assert!(t.scan(&Predicate::eq("status", Value::text("running"))).unwrap().is_empty());
     }

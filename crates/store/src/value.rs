@@ -1,5 +1,8 @@
 //! Cell values.
 
+use sor_proto::wire::{Reader, Writer};
+use sor_proto::ProtoError;
+
 /// One table cell.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -94,6 +97,51 @@ impl Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (a, b) => rank(a).cmp(&rank(b)),
         }
+    }
+
+    /// Appends this value to a wire buffer (tag byte + payload). The
+    /// shared cell encoding of snapshots and write-ahead-log records.
+    pub fn encode_into(&self, w: &mut Writer) {
+        match self {
+            Value::Null => w.put_u8(0),
+            Value::Int(i) => {
+                w.put_u8(1);
+                w.put_ivar(*i);
+            }
+            Value::Float(x) => {
+                w.put_u8(2);
+                w.put_f64(*x);
+            }
+            Value::Text(s) => {
+                w.put_u8(3);
+                w.put_str(s);
+            }
+            Value::Bytes(b) => {
+                w.put_u8(4);
+                w.put_bytes(b);
+            }
+            Value::Bool(b) => {
+                w.put_u8(5);
+                w.put_u8(*b as u8);
+            }
+        }
+    }
+
+    /// Reads one value written by [`Value::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation or an unknown tag.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Value, ProtoError> {
+        Ok(match r.get_u8()? {
+            0 => Value::Null,
+            1 => Value::Int(r.get_ivar()?),
+            2 => Value::Float(r.get_f64()?),
+            3 => Value::Text(r.get_str()?.to_string()),
+            4 => Value::Bytes(r.get_bytes()?.to_vec()),
+            5 => Value::Bool(r.get_u8()? != 0),
+            _ => return Err(ProtoError::UnknownMessageType(255)),
+        })
     }
 
     /// An exact hash key for indexing. Floats are excluded (equality on

@@ -86,4 +86,45 @@ proptest! {
     fn restore_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
         let _ = Database::restore(&bytes);
     }
+
+    /// Flipping any byte anywhere in a valid snapshot must make restore
+    /// fail — an `Err`, never a panic, never a silently wrong database.
+    /// The CRC-32 trailer guarantees detection of any single-byte flip.
+    #[test]
+    fn any_byte_flip_is_rejected(
+        rows in proptest::collection::vec(row_strategy(), 0..20),
+        offset in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut db = Database::new();
+        db.create_table(schema()).unwrap();
+        db.create_index("t", "tag").unwrap();
+        for r in &rows {
+            db.insert("t", r.clone()).unwrap();
+        }
+        let mut snap = db.snapshot();
+        let at = offset.index(snap.len());
+        snap[at] ^= flip;
+        prop_assert!(
+            Database::restore(&snap).is_err(),
+            "flip {flip:#04x} at byte {at}/{} was accepted",
+            snap.len()
+        );
+    }
+
+    /// Truncating a valid snapshot at any point must also fail cleanly.
+    #[test]
+    fn any_truncation_is_rejected(
+        rows in proptest::collection::vec(row_strategy(), 0..20),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut db = Database::new();
+        db.create_table(schema()).unwrap();
+        for r in &rows {
+            db.insert("t", r.clone()).unwrap();
+        }
+        let snap = db.snapshot();
+        let at = cut.index(snap.len()); // always < len: a strict prefix
+        prop_assert!(Database::restore(&snap[..at]).is_err(), "prefix of {at} bytes accepted");
+    }
 }

@@ -25,4 +25,10 @@ run cargo fmt --check
 run cargo run --release --offline -p sor-bench --bin obs_smoke
 run cargo bench --offline -p sor-bench --bench obs_overhead
 
+# Durability smoke: a field test crashed twice mid-window must recover
+# every acked upload and rank identically to the crash-free run, and
+# write-ahead logging must stay under its overhead budget.
+run cargo run --release --offline -p sor-bench --bin recovery_smoke
+run cargo bench --offline -p sor-bench --bench wal_overhead
+
 echo "==> CI OK"
