@@ -19,6 +19,9 @@ fn bench_field_test(c: &mut Criterion) {
 fn bench_rank_after_collection(c: &mut Criterion) {
     let out = run_coffee_field_test(FieldTestConfig::quick(5)).unwrap();
     let prefs = david();
+    // Identical repeated requests are warm rank-cache hits, so this is
+    // the steady-state request cost; `rank_scale/cold` measures the
+    // uncached compute.
     c.bench_function("pipeline/rank_category", |b| {
         b.iter(|| black_box(out.server.rank("coffee-shop", &prefs).unwrap()))
     });

@@ -1,0 +1,132 @@
+//! Batched-ranking scale benchmark: `rank_many` over 1/8/64 users on a
+//! 32-place × 8-feature category, sequential vs the worker pool, plus
+//! the warm [`sor_server::RankCache`] hit path against a cold rank.
+//!
+//! `scripts/ci.sh` parses this bench's output and enforces the PR's two
+//! speedup guards: 64 users on 8 workers ≥ 1.5× over sequential, and a
+//! warm cache hit ≥ 10× over a cold rank.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sor_core::ranking::Preference;
+use sor_core::UserPreferences;
+use sor_server::processor::FEATURES_TABLE;
+use sor_server::{ApplicationSpec, Extractor, FeatureSpec, SensingServer};
+use sor_store::Value;
+
+const N_PLACES: u64 = 32;
+const N_FEATURES: usize = 8;
+
+fn feature_specs() -> Vec<FeatureSpec> {
+    (0..N_FEATURES)
+        .map(|j| FeatureSpec::new(format!("f{j}"), "", Extractor::Mean { sensor: j as u16 }, 60.0))
+        .collect()
+}
+
+/// A server with 32 registered places in one category and a fully
+/// populated features table (values written directly — collection cost
+/// is not what this bench measures).
+fn populated_server() -> SensingServer {
+    let mut s = SensingServer::new().unwrap();
+    for app_id in 1..=N_PLACES {
+        s.register_application(ApplicationSpec {
+            app_id,
+            name: format!("place {app_id}"),
+            creator: "owner".into(),
+            category: "coffee-shop".into(),
+            latitude: 43.05,
+            longitude: -76.15,
+            radius_m: 150.0,
+            script: "get_temperature_readings(1)".into(),
+            period_seconds: 3600.0,
+            instants: 360,
+            features: feature_specs(),
+        })
+        .unwrap();
+    }
+    let db = s.durable_database().db_mut();
+    for app_id in 1..=N_PLACES {
+        for j in 0..N_FEATURES {
+            // Deterministic spread so every profile induces a distinct order.
+            let v = ((app_id as f64) * 1.7 + (j as f64) * 13.3) % 40.0 + 55.0;
+            db.insert(
+                FEATURES_TABLE,
+                vec![Value::Int(app_id as i64), Value::text(format!("f{j}")), Value::Float(v)],
+            )
+            .unwrap();
+        }
+    }
+    s
+}
+
+/// Monotone salt source shared by every bench in this binary: the
+/// server (and so the rank cache) is shared too, and a reused salt
+/// would turn an intended cold rank into a warm hit.
+static SALT: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_salt() -> u64 {
+    SALT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A preference profile parameterised by `salt` so every benchmark
+/// iteration is a distinct cache key (cold path stays cold). The salt
+/// lands in the f64 target at full resolution: distinct salt, distinct
+/// fingerprint.
+fn prefs(salt: u64) -> UserPreferences {
+    let target = 55.0 + (salt as f64) * 1e-6;
+    UserPreferences::new(
+        "bench",
+        (0..N_FEATURES).map(|j| Preference::value(target + j as f64, (j % 5 + 1) as u8)).collect(),
+    )
+}
+
+fn bench_rank_many(c: &mut Criterion) {
+    let server = populated_server();
+    let mut g = c.benchmark_group("rank_scale");
+    g.sample_size(10);
+    for users in [1usize, 8, 64] {
+        for (mode, threads) in [("seq", 1usize), ("par8", 8)] {
+            g.bench_function(format!("{mode}/users={users}"), |b| {
+                sor_par::set_threads(threads);
+                b.iter(|| {
+                    // Fresh profiles every iteration: every request
+                    // misses the cache and is actually computed.
+                    let salt = fresh_salt();
+                    let profiles: Vec<UserPreferences> =
+                        (0..users).map(|u| prefs(salt * 1000 + u as u64)).collect();
+                    let requests: Vec<(&str, &UserPreferences)> =
+                        profiles.iter().map(|p| ("coffee-shop", p)).collect();
+                    black_box(server.rank_many(&requests))
+                });
+                sor_par::set_threads(0);
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let server = populated_server();
+    let mut g = c.benchmark_group("rank_scale");
+    g.bench_function("cold", |b| {
+        b.iter(|| black_box(server.rank("coffee-shop", &prefs(fresh_salt() * 1000)).unwrap()))
+    });
+    let warm = prefs(0);
+    server.rank("coffee-shop", &warm).unwrap();
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(server.rank("coffee-shop", &warm).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_rank_many, bench_cache
+}
+criterion_main!(benches);

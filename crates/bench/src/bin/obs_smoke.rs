@@ -45,5 +45,15 @@ fn main() {
 
     let report = rec.report().unwrap();
     check(report.contains("server.process_data"), "report covers data processing spans");
+
+    // A digest over both exports: byte-identical run to run, and across
+    // SOR_THREADS values — scripts/ci.sh diffs this line between its
+    // SOR_THREADS=1 and SOR_THREADS=4 passes.
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in metrics_json.bytes().chain(trace_json.bytes()) {
+        digest ^= u64::from(b);
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    println!("deterministic digest: {digest:016x}");
     println!("obs smoke OK");
 }

@@ -19,14 +19,22 @@ pub fn individual_rankings(gamma: &[Vec<f64>]) -> Vec<Ranking> {
     let n = gamma.len();
     let m = gamma.first().map_or(0, |r| r.len());
     assert!(gamma.iter().all(|r| r.len() == m), "distance matrix must be rectangular");
-    (0..m)
-        .map(|j| {
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| gamma[a][j].total_cmp(&gamma[b][j]).then_with(|| a.cmp(&b)));
-            Ranking::from_order(order).expect("sorted indexes form a permutation")
-        })
-        .collect()
+    // Each column is sorted independently with a total, deterministic
+    // comparator, so columns can go to the worker pool; `par_map_min`
+    // preserves column order and the result is identical at any
+    // `SOR_THREADS`. Small matrices stay sequential.
+    let min_cols = if n.saturating_mul(m) >= PAR_RANKING_WORK_CUTOFF { 2 } else { usize::MAX };
+    let feature_ids: Vec<usize> = (0..m).collect();
+    sor_par::par_map_min(&feature_ids, min_cols, |&j| {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| gamma[a][j].total_cmp(&gamma[b][j]).then_with(|| a.cmp(&b)));
+        Ranking::from_order(order).expect("sorted indexes form a permutation")
+    })
 }
+
+/// Minimum `places × features` cell count before per-column sorting
+/// fans out to the worker pool.
+const PAR_RANKING_WORK_CUTOFF: usize = 4096;
 
 #[cfg(test)]
 mod tests {
@@ -66,6 +74,20 @@ mod tests {
     #[should_panic(expected = "rectangular")]
     fn ragged_matrix_panics() {
         individual_rankings(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn identical_rankings_at_any_thread_count() {
+        // 128 places × 64 features crosses PAR_RANKING_WORK_CUTOFF.
+        let gamma: Vec<Vec<f64>> = (0..128)
+            .map(|i| (0..64).map(|j| (((i * 31 + j * 17) % 97) as f64) * 0.5).collect())
+            .collect();
+        sor_par::set_threads(1);
+        let seq = individual_rankings(&gamma);
+        sor_par::set_threads(8);
+        let par = individual_rankings(&gamma);
+        sor_par::set_threads(0);
+        assert_eq!(seq, par);
     }
 
     #[test]

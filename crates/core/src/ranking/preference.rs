@@ -160,20 +160,36 @@ pub fn distance_matrix(
             what: "preferences",
         });
     }
-    let mut gamma = vec![vec![0.0; h.n_features()]; h.n_places()];
-    for j in 0..h.n_features() {
+    let n = h.n_places();
+    let m = h.n_features();
+    // Columns are independent, so they can be computed in parallel; each
+    // column's arithmetic is identical to the sequential pass, and
+    // `par_map_min` preserves column order, so the assembled Γ is
+    // bit-for-bit the same at any `SOR_THREADS`. Below the cutoff the
+    // scoped-spawn cost would dominate; stay sequential.
+    let min_cols = if n.saturating_mul(m) >= PAR_DISTANCE_WORK_CUTOFF { 2 } else { usize::MAX };
+    let feature_ids: Vec<usize> = (0..m).collect();
+    let columns: Vec<Vec<f64>> = sor_par::par_map_min(&feature_ids, min_cols, |&j| {
         let (min, max) = h.column_range(FeatureId(j));
         let target = match prefs.preferences[j].preferred {
             PreferredValue::Value(v) => v,
             PreferredValue::Largest => max,
             PreferredValue::Smallest => min,
         };
+        (0..n).map(|i| (h.value(PlaceId(i), FeatureId(j)) - target).abs()).collect()
+    });
+    let mut gamma = vec![vec![0.0; m]; n];
+    for (j, col) in columns.iter().enumerate() {
         for (i, row) in gamma.iter_mut().enumerate() {
-            row[j] = (h.value(PlaceId(i), FeatureId(j)) - target).abs();
+            row[j] = col[i];
         }
     }
     Ok(gamma)
 }
+
+/// Minimum `places × features` cell count before the per-column loop
+/// fans out to the worker pool.
+const PAR_DISTANCE_WORK_CUTOFF: usize = 4096;
 
 #[cfg(test)]
 mod tests {

@@ -16,6 +16,10 @@ use crate::schedule::greedy::GreedyStats;
 use crate::schedule::{Schedule, ScheduleProblem, UserId};
 use crate::time::InstantId;
 
+/// Minimum feasible-instant count before the first-round gain sweep
+/// fans out to the worker pool.
+const PAR_FIRST_ROUND_CUTOFF: usize = 64;
+
 /// Heap entry: (cached gain, instant, round the gain was computed in).
 struct Entry {
     gain: f64,
@@ -72,12 +76,20 @@ pub fn lazy_greedy_stats(problem: &ScheduleProblem) -> (Schedule, GreedyStats) {
     let mut schedule = Schedule::new();
     let mut round = 0usize;
 
-    let mut heap: BinaryHeap<Entry> = (0..n)
-        .filter(|&i| !users_at[i].is_empty())
-        .map(|i| {
-            stats.gain_evaluations += 1;
-            Entry { gain: state.marginal_gain(InstantId(i)), instant: i, round }
-        })
+    // First round: every feasible instant needs a gain bound, and the
+    // empty-solution gains are independent reads of `state`, so they
+    // can be evaluated on the worker pool. `par_map_min` preserves
+    // instant order, so the heap is built from the identical entry
+    // sequence — and therefore pops identically — at any `SOR_THREADS`.
+    let feasible: Vec<usize> = (0..n).filter(|&i| !users_at[i].is_empty()).collect();
+    let gains: Vec<f64> = sor_par::par_map_min(&feasible, PAR_FIRST_ROUND_CUTOFF, |&i| {
+        state.marginal_gain(InstantId(i))
+    });
+    stats.gain_evaluations += feasible.len() as u64;
+    let mut heap: BinaryHeap<Entry> = feasible
+        .iter()
+        .zip(&gains)
+        .map(|(&instant, &gain)| Entry { gain, instant, round })
         .collect();
 
     while let Some(top) = heap.pop() {
@@ -160,6 +172,21 @@ mod tests {
         let users: Vec<(f64, f64, usize)> = (0..6).map(|k| (k as f64 * 20.0, 400.0, 3)).collect();
         let p = problem(40, &users);
         assert_eq!(lazy_greedy(&p), greedy(&p));
+    }
+
+    #[test]
+    fn identical_schedule_at_any_thread_count() {
+        // Large enough to cross PAR_FIRST_ROUND_CUTOFF so the parallel
+        // first-round sweep actually runs.
+        let users: Vec<(f64, f64, usize)> = (0..8).map(|k| (k as f64 * 50.0, 2000.0, 5)).collect();
+        let p = problem(200, &users);
+        sor_par::set_threads(1);
+        let seq = lazy_greedy(&p);
+        sor_par::set_threads(8);
+        let par = lazy_greedy(&p);
+        sor_par::set_threads(0);
+        assert_eq!(seq, par, "lazy greedy must be bit-for-bit thread-count independent");
+        assert_eq!(seq, greedy(&p));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod application;
+pub mod cache;
 pub mod feature;
 pub mod participation;
 pub mod processor;
@@ -34,6 +35,7 @@ pub mod user_info;
 pub mod viz;
 
 pub use application::{ApplicationManager, ApplicationSpec};
+pub use cache::RankCache;
 pub use feature::{Extractor, FeatureSpec};
 pub use participation::{ParticipantStatus, ParticipationManager};
 pub use server::SensingServer;

@@ -23,6 +23,10 @@ pub const RECORDS_TABLE: &str = "records";
 /// Feature-data table.
 pub const FEATURES_TABLE: &str = "features";
 
+/// Minimum inbox depth before the decode pass fans out to the worker
+/// pool (below this the scoped-spawn cost dominates).
+const PAR_DECODE_CUTOFF: usize = 16;
+
 /// The data processor. Stateless; all state is in the database.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DataProcessor;
@@ -55,6 +59,11 @@ impl DataProcessor {
                 .column("feature", ColumnType::Text)
                 .column("value", ColumnType::Float),
         )?;
+        // assemble_matrix reads features per app (one query per app ×
+        // feature); without this index every read is a full-table scan.
+        // Snapshot v2 persists index definitions, so the index survives
+        // crash recovery like the records one.
+        db.create_index(FEATURES_TABLE, "app_id")?;
         Ok(())
     }
 
@@ -84,31 +93,43 @@ impl DataProcessor {
     /// Storage errors.
     pub fn process_inbox(&self, db: &mut Database) -> Result<(usize, usize), ServerError> {
         let blobs = db.scan(INBOX_TABLE, &Predicate::True)?;
+        // Frame decode is pure CPU with no shared state, so the drain
+        // fans it out to the worker pool; the store commit below stays
+        // sequential in inbox row order, so record row ids and WAL
+        // ordering are exactly what the sequential drain produces.
+        let decoded: Vec<Option<(i64, u64, Vec<sor_proto::SensedRecord>)>> =
+            sor_par::par_map_min(&blobs, PAR_DECODE_CUTOFF, |row| {
+                let app_id = row.values[0].as_int().expect("schema");
+                let body = row.values[1].as_bytes().expect("schema");
+                match Message::decode(body) {
+                    Ok(Message::SensedDataUpload { task_id, records }) => {
+                        Some((app_id, task_id, records))
+                    }
+                    _ => None,
+                }
+            });
         let mut stored = 0usize;
         let mut dropped = 0usize;
-        for row in &blobs {
-            let app_id = row.values[0].as_int().expect("schema");
-            let body = row.values[1].as_bytes().expect("schema");
-            match Message::decode(body) {
-                Ok(Message::SensedDataUpload { task_id, records }) => {
-                    for r in records {
-                        let mut enc = sor_proto::wire::Writer::new();
-                        enc.put_f64_seq(&r.values);
-                        db.insert(
-                            RECORDS_TABLE,
-                            vec![
-                                Value::Int(app_id),
-                                Value::Int(task_id as i64),
-                                Value::Int(r.sensor as i64),
-                                Value::Float(r.timestamp),
-                                Value::Float(r.window),
-                                Value::Bytes(enc.into_bytes()),
-                            ],
-                        )?;
-                        stored += 1;
-                    }
-                }
-                _ => dropped += 1,
+        for frame in decoded {
+            let Some((app_id, task_id, records)) = frame else {
+                dropped += 1;
+                continue;
+            };
+            for r in records {
+                let mut enc = sor_proto::wire::Writer::new();
+                enc.put_f64_seq(&r.values);
+                db.insert(
+                    RECORDS_TABLE,
+                    vec![
+                        Value::Int(app_id),
+                        Value::Int(task_id as i64),
+                        Value::Int(r.sensor as i64),
+                        Value::Float(r.timestamp),
+                        Value::Float(r.window),
+                        Value::Bytes(enc.into_bytes()),
+                    ],
+                )?;
+                stored += 1;
             }
         }
         db.delete_where(INBOX_TABLE, &Predicate::True)?;

@@ -14,6 +14,7 @@ use sor_script::analysis::{analyze, CapabilitySet};
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
 
 use crate::application::{ApplicationManager, ApplicationSpec};
+use crate::cache::RankCache;
 use crate::participation::{ParticipantStatus, ParticipationManager};
 use crate::processor::DataProcessor;
 use crate::ranker::{rank_category, CategoryRanking};
@@ -44,6 +45,10 @@ pub struct SensingServer {
     /// Scheduler work already exported as counters, so deltas can be
     /// reported after each replan without double counting.
     sched_work_reported: GreedyStats,
+    /// Cached rankings, valid for one features epoch.
+    rank_cache: RankCache,
+    /// Bumped by every Data Processor pass; invalidates `rank_cache`.
+    features_epoch: u64,
 }
 
 impl std::fmt::Debug for SensingServer {
@@ -111,6 +116,8 @@ impl SensingServer {
             now,
             recorder: Recorder::disabled(),
             sched_work_reported: GreedyStats::default(),
+            rank_cache: RankCache::new(),
+            features_epoch: 0,
         })
     }
 
@@ -530,6 +537,9 @@ impl SensingServer {
             }
         }
         self.recorder.span_end(features, self.now);
+        // The features table (potentially) changed: advance the epoch
+        // so every cached ranking from before this pass goes stale.
+        self.features_epoch += 1;
         // Decoded records and features are derived data, but committing
         // them means recovery does not have to re-run the processor.
         self.db.commit()?;
@@ -537,7 +547,10 @@ impl SensingServer {
         Ok(counts)
     }
 
-    /// Ranks the places of one category for one user (§IV).
+    /// Ranks the places of one category for one user (§IV). Answers
+    /// from the [`RankCache`] when the features table has not changed
+    /// since the same (category, preferences) request was last computed
+    /// — O(1) instead of a full matrix assembly + Algorithm 2 run.
     ///
     /// # Errors
     ///
@@ -550,12 +563,101 @@ impl SensingServer {
         let span = self.recorder.span_start("server.rank", self.now);
         self.recorder.span_attr(span, "category", category);
         self.recorder.count("server.rank_requests", 1);
-        let result = rank_category(self.db.db(), &self.apps, category, prefs);
+        let key = RankCache::fingerprint(category, prefs);
+        let result = match self.rank_cache.lookup(key, self.features_epoch, category, prefs) {
+            Some(cached) => {
+                self.recorder.count("server.rank_cache_hits", 1);
+                Ok(cached)
+            }
+            None => {
+                self.recorder.count("server.rank_cache_misses", 1);
+                let fresh = rank_category(self.db.db(), &self.apps, category, prefs);
+                if let Ok(ranking) = &fresh {
+                    self.rank_cache.store(
+                        key,
+                        self.features_epoch,
+                        category,
+                        prefs,
+                        ranking.clone(),
+                    );
+                }
+                fresh
+            }
+        };
         if let Ok(ranking) = &result {
             self.recorder.count("server.rank_places_scored", ranking.order.len() as u64);
         }
         self.recorder.span_end(span, self.now);
         result
+    }
+
+    /// Ranks a batch of concurrent requests, fanning cache misses out
+    /// to the worker pool (§IV-A serves "many users at once": each
+    /// request is an independent read of the features table). Results
+    /// come back in request order; cache hits are answered inline and
+    /// fresh results are cached for the current features epoch. With
+    /// `SOR_THREADS=1` this is exactly a loop over [`SensingServer::rank`]
+    /// minus the per-request spans.
+    pub fn rank_many(
+        &self,
+        requests: &[(&str, &UserPreferences)],
+    ) -> Vec<Result<CategoryRanking, ServerError>> {
+        let span = self.recorder.span_start("server.rank_many", self.now);
+        self.recorder.span_attr_with(span, "requests", || requests.len().to_string());
+        self.recorder.count("server.rank_requests", requests.len() as u64);
+        let epoch = self.features_epoch;
+        let mut results: Vec<Option<Result<CategoryRanking, ServerError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut misses: Vec<usize> = Vec::new();
+        let mut hits = 0u64;
+        for (k, (category, prefs)) in requests.iter().enumerate() {
+            let key = RankCache::fingerprint(category, prefs);
+            match self.rank_cache.lookup(key, epoch, category, prefs) {
+                Some(cached) => {
+                    hits += 1;
+                    results[k] = Some(Ok(cached));
+                }
+                None => misses.push(k),
+            }
+        }
+        self.recorder.count("server.rank_cache_hits", hits);
+        self.recorder.count("server.rank_cache_misses", misses.len() as u64);
+        // The misses are pure reads of the database; scans recorded
+        // inside the fan-out only bump counters (atomic, order-free),
+        // so traces and metrics stay identical at any SOR_THREADS.
+        let db = self.db.db();
+        let apps = &self.apps;
+        let computed: Vec<Result<CategoryRanking, ServerError>> =
+            sor_par::par_map_min(&misses, 2, |&k| {
+                let (category, prefs) = &requests[k];
+                rank_category(db, apps, category, prefs)
+            });
+        for (&k, res) in misses.iter().zip(computed) {
+            if let Ok(ranking) = &res {
+                let (category, prefs) = &requests[k];
+                let key = RankCache::fingerprint(category, prefs);
+                self.rank_cache.store(key, epoch, category, prefs, ranking.clone());
+            }
+            results[k] = Some(res);
+        }
+        let out: Vec<Result<CategoryRanking, ServerError>> =
+            results.into_iter().map(|r| r.expect("every request answered")).collect();
+        let scored: u64 =
+            out.iter().filter_map(|r| r.as_ref().ok()).map(|r| r.order.len() as u64).sum();
+        self.recorder.count("server.rank_places_scored", scored);
+        self.recorder.span_end(span, self.now);
+        out
+    }
+
+    /// The current features epoch (bumped by every processor pass) —
+    /// exposed for cache-invalidation tests and reports.
+    pub fn features_epoch(&self) -> u64 {
+        self.features_epoch
+    }
+
+    /// The rank cache (tests, reports).
+    pub fn rank_cache(&self) -> &RankCache {
+        &self.rank_cache
     }
 
     /// The sense times stored in the database for a task, ascending —
@@ -1035,13 +1137,11 @@ mod tests {
         assert_eq!(run(true), run(false), "durability must not change behaviour");
     }
 
-    #[test]
-    fn rank_over_two_cafes() {
+    fn two_cafe_server() -> SensingServer {
         let mut s = SensingServer::new().unwrap();
         s.register_application(cafe_app(1, "cold cafe")).unwrap();
         s.register_application(cafe_app(2, "warm cafe")).unwrap();
         for (app_id, temp) in [(1u64, 64.0), (2, 74.0)] {
-            // Admit someone so uploads have a task.
             let replies = s
                 .handle_message(&Message::ParticipationRequest {
                     token: app_id * 10,
@@ -1068,6 +1168,95 @@ mod tests {
             .unwrap();
         }
         s.process_data().unwrap();
+        s
+    }
+
+    #[test]
+    fn rank_cache_hit_and_invalidation_on_new_upload() {
+        let mut s = two_cafe_server();
+        let rec = Recorder::enabled();
+        s.set_recorder(rec.clone());
+        let prefs =
+            UserPreferences::new("warm-lover", vec![sor_core::ranking::Preference::value(75.0, 5)]);
+        let epoch_before = s.features_epoch();
+
+        let first = s.rank("coffee-shop", &prefs).unwrap();
+        assert_eq!(rec.counter("server.rank_cache_misses"), 1);
+        assert_eq!(rec.counter("server.rank_cache_hits"), 0);
+        let second = s.rank("coffee-shop", &prefs).unwrap();
+        assert_eq!(rec.counter("server.rank_cache_hits"), 1, "unchanged data must hit");
+        assert_eq!(first.order, second.order);
+        assert_eq!(first.app_order, second.app_order);
+
+        // A new upload flows through the processor: the epoch advances
+        // and the next rank recomputes against the fresh features.
+        s.handle_message(&Message::SensedDataUpload {
+            task_id: 0, // cold cafe's task
+            records: vec![SensedRecord {
+                timestamp: 200.0,
+                window: 1.0,
+                sensor: SensorKind::Temperature.wire_id(),
+                values: vec![86.0],
+            }],
+        })
+        .unwrap();
+        s.process_data().unwrap();
+        assert!(s.features_epoch() > epoch_before, "processor pass must bump the epoch");
+        let third = s.rank("coffee-shop", &prefs).unwrap();
+        assert_eq!(rec.counter("server.rank_cache_misses"), 2, "stale entry must recompute");
+        // Cold cafe's mean is now (64+86)/2 = 75 — a perfect match.
+        assert_eq!(third.order, vec!["cold cafe", "warm cafe"]);
+    }
+
+    #[test]
+    fn rank_many_matches_individual_ranks_in_order() {
+        let s = two_cafe_server();
+        let warm = UserPreferences::new("w", vec![sor_core::ranking::Preference::value(75.0, 5)]);
+        let cold = UserPreferences::new("c", vec![sor_core::ranking::Preference::value(60.0, 5)]);
+        let requests: Vec<(&str, &UserPreferences)> = vec![
+            ("coffee-shop", &warm),
+            ("coffee-shop", &cold),
+            ("museum", &warm), // empty category: an error slot
+            ("coffee-shop", &warm),
+        ];
+        sor_par::set_threads(8);
+        let batch = s.rank_many(&requests);
+        sor_par::set_threads(0);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].as_ref().unwrap().order, vec!["warm cafe", "cold cafe"]);
+        assert_eq!(batch[1].as_ref().unwrap().order, vec!["cold cafe", "warm cafe"]);
+        assert!(batch[2].is_err(), "errors surface in their slot");
+        assert_eq!(batch[3].as_ref().unwrap().order, batch[0].as_ref().unwrap().order);
+        // Against the one-at-a-time path.
+        for (i, (category, prefs)) in requests.iter().enumerate() {
+            match s.rank(category, prefs) {
+                Ok(r) => assert_eq!(r.order, batch[i].as_ref().unwrap().order, "slot {i}"),
+                Err(_) => assert!(batch[i].is_err(), "slot {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn feature_reads_use_the_app_id_index() {
+        let rec = Recorder::enabled();
+        let mut s = two_cafe_server();
+        s.set_recorder(rec.clone());
+        assert!(
+            s.database().table(crate::processor::FEATURES_TABLE).unwrap().has_index("app_id"),
+            "install must index features.app_id"
+        );
+        assert_eq!(s.feature_value(1, "temperature").unwrap(), Some(64.0));
+        assert_eq!(rec.counter("store.scans.features"), 1);
+        assert_eq!(
+            rec.counter("store.scans_indexed.features"),
+            1,
+            "the And(app_id, feature) query must be satisfied through the index"
+        );
+    }
+
+    #[test]
+    fn rank_over_two_cafes() {
+        let s = two_cafe_server();
         let prefs =
             UserPreferences::new("warm-lover", vec![sor_core::ranking::Preference::value(75.0, 5)]);
         let ranking = s.rank("coffee-shop", &prefs).unwrap();

@@ -138,9 +138,12 @@ impl Database {
     ///
     /// Unknown table/column.
     pub fn scan(&self, table: &str, pred: &Predicate) -> Result<Vec<Row>, StoreError> {
-        let rows = self.table(table)?.scan(pred)?;
+        let (rows, used_index) = self.table(table)?.scan_indexed(pred)?;
         self.recorder.count_labeled("store.rows_scanned", table, rows.len() as u64);
         self.recorder.count_labeled("store.scans", table, 1);
+        if used_index {
+            self.recorder.count_labeled("store.scans_indexed", table, 1);
+        }
         Ok(rows)
     }
 

@@ -97,6 +97,28 @@ impl Predicate {
             _ => None,
         }
     }
+
+    /// Every `column = value` conjunct reachable through a chain of
+    /// `And`s (a bare `Eq` yields itself). Each such conjunct is a
+    /// *necessary* condition, so an index on any of these columns can
+    /// prune scan candidates — the full predicate is then re-checked
+    /// per candidate row.
+    pub fn eq_conjuncts(&self) -> Vec<(&str, &Value)> {
+        let mut out = Vec::new();
+        self.collect_eq_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_eq_conjuncts<'a>(&'a self, out: &mut Vec<(&'a str, &'a Value)>) {
+        match self {
+            Predicate::Eq(c, v) => out.push((c.as_str(), v)),
+            Predicate::And(a, b) => {
+                a.collect_eq_conjuncts(out);
+                b.collect_eq_conjuncts(out);
+            }
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +175,18 @@ mod tests {
         assert!(p.as_point_lookup().is_some());
         let q = p.clone().and(Predicate::True);
         assert!(q.as_point_lookup().is_none());
+    }
+
+    #[test]
+    fn eq_conjuncts_walk_and_chains() {
+        let p = Predicate::eq("a", Value::Int(1))
+            .and(Predicate::gt("b", Value::Int(2)).and(Predicate::eq("c", Value::Int(3))));
+        let got: Vec<String> = p.eq_conjuncts().iter().map(|(c, _)| c.to_string()).collect();
+        assert_eq!(got, vec!["a", "c"]);
+        // Eq under Or/Not is not a necessary condition.
+        let q = Predicate::eq("a", Value::Int(1)).or(Predicate::eq("b", Value::Int(2)));
+        assert!(q.eq_conjuncts().is_empty());
+        assert!(Predicate::eq("a", Value::Int(1)).negate().eq_conjuncts().is_empty());
     }
 
     #[test]

@@ -167,25 +167,57 @@ impl Table {
         n
     }
 
-    /// Rows matching a predicate, using the index fast-path for pure
-    /// point lookups on indexed columns.
+    /// Rows matching a predicate, using the index fast-path where
+    /// possible (see [`Table::scan_indexed`]).
     ///
     /// # Errors
     ///
     /// [`StoreError::UnknownColumn`] from predicate evaluation.
     pub fn scan(&self, pred: &Predicate) -> Result<Vec<Row>, StoreError> {
+        Ok(self.scan_indexed(pred)?.0)
+    }
+
+    /// Like [`Table::scan`], also reporting whether an index satisfied
+    /// the lookup. Two accelerated shapes:
+    ///
+    /// - a pure point lookup (`column = value`) on an indexed column —
+    ///   the index result *is* the answer;
+    /// - an `And`-chain containing an `Eq` conjunct on an indexed
+    ///   column — the index prunes candidates and the full predicate is
+    ///   re-checked per candidate.
+    ///
+    /// Either way candidates are visited in `RowId` order, so results
+    /// come out exactly as a full scan would produce them.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownColumn`] from predicate evaluation.
+    pub fn scan_indexed(&self, pred: &Predicate) -> Result<(Vec<Row>, bool), StoreError> {
         if let Some((column, value)) = pred.as_point_lookup() {
-            if let Some(col) = self.schema.column_index(column) {
-                if let Some(idx) = self.indexes.get(&col) {
-                    if let Some(ids) = idx.lookup(value) {
-                        return Ok(ids
-                            .into_iter()
-                            .filter_map(|id| {
-                                self.rows.get(&id).map(|values| Row { id, values: values.clone() })
-                            })
-                            .collect());
+            if let Some(mut ids) = self.index_ids(column, value) {
+                ids.sort_unstable();
+                let rows = ids
+                    .into_iter()
+                    .filter_map(|id| {
+                        self.rows.get(&id).map(|values| Row { id, values: values.clone() })
+                    })
+                    .collect();
+                return Ok((rows, true));
+            }
+        } else {
+            for (column, value) in pred.eq_conjuncts() {
+                let Some(mut ids) = self.index_ids(column, value) else { continue };
+                ids.sort_unstable();
+                let mut out = Vec::new();
+                for id in ids {
+                    if let Some(values) = self.rows.get(&id) {
+                        let row = Row { id, values: values.clone() };
+                        if pred.matches(&self.schema, &row)? {
+                            out.push(row);
+                        }
                     }
                 }
+                return Ok((out, true));
             }
         }
         let mut out = Vec::new();
@@ -195,7 +227,14 @@ impl Table {
                 out.push(row);
             }
         }
-        Ok(out)
+        Ok((out, false))
+    }
+
+    /// Candidate row ids from the index on `column` for `value`, if
+    /// both the index exists and the value is indexable.
+    fn index_ids(&self, column: &str, value: &Value) -> Option<Vec<RowId>> {
+        let col = self.schema.column_index(column)?;
+        self.indexes.get(&col)?.lookup(value)
     }
 
     /// Fetches one row by id.
@@ -303,6 +342,54 @@ mod tests {
         fill(&mut plain);
         let p = Predicate::eq("status", Value::text("running"));
         assert_eq!(indexed.scan(&p).unwrap(), plain.scan(&p).unwrap());
+    }
+
+    #[test]
+    fn and_conjunct_uses_index_and_matches_full_scan() {
+        let mut indexed = table();
+        fill(&mut indexed);
+        indexed.create_index("status").unwrap();
+        let mut plain = table();
+        fill(&mut plain);
+        let p = Predicate::eq("status", Value::text("running"))
+            .and(Predicate::gt("score", Value::Float(0.2)));
+        let (rows, used) = indexed.scan_indexed(&p).unwrap();
+        assert!(used, "And-chain with an indexed Eq conjunct must use the index");
+        assert_eq!(rows, plain.scan(&p).unwrap());
+        // Conjunct order must not matter: Eq on the indexed column second.
+        let q = Predicate::gt("score", Value::Float(0.2))
+            .and(Predicate::eq("status", Value::text("running")));
+        let (rows_q, used_q) = indexed.scan_indexed(&q).unwrap();
+        assert!(used_q);
+        assert_eq!(rows_q, plain.scan(&q).unwrap());
+    }
+
+    #[test]
+    fn indexed_scan_preserves_row_id_order() {
+        let mut t = table();
+        fill(&mut t);
+        t.create_index("status").unwrap();
+        // Update row 0 away and back so its index bucket entry is
+        // re-appended out of id order; scans must still come back sorted.
+        t.update_where(&Predicate::eq("id", Value::Int(0)), "status", Value::text("paused"))
+            .unwrap();
+        t.update_where(&Predicate::eq("id", Value::Int(0)), "status", Value::text("running"))
+            .unwrap();
+        let p = Predicate::eq("status", Value::text("running"));
+        let ids: Vec<RowId> = t.scan(&p).unwrap().into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![RowId(0), RowId(2)]);
+    }
+
+    #[test]
+    fn or_predicate_does_not_use_index() {
+        let mut t = table();
+        fill(&mut t);
+        t.create_index("status").unwrap();
+        let p = Predicate::eq("status", Value::text("running"))
+            .or(Predicate::eq("status", Value::text("done")));
+        let (rows, used) = t.scan_indexed(&p).unwrap();
+        assert!(!used, "Or is not a necessary conjunct; must fall back to a full scan");
+        assert_eq!(rows.len(), 3);
     }
 
     #[test]

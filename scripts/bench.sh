@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Runs the pipeline-level benches and writes BENCH_pipeline.json at the
+# repo root: one median-ish ns figure per bench id (the vendored
+# criterion stub reports a mean over 20 iterations), plus the worker
+# count, hardware core count, and git revision the numbers came from.
+#
+# Usage: scripts/bench.sh
+#   SOR_THREADS=8 scripts/bench.sh   # pin the recorded worker count
+set -eu
+
+cd "$(dirname "$0")/.."
+
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+cores=$(nproc 2>/dev/null || echo 1)
+threads=${SOR_THREADS:-$cores}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for bench in pipeline rank_scale; do
+    echo "==> cargo bench --offline -p sor-bench --bench $bench" >&2
+    cargo bench --offline -p sor-bench --bench "$bench" | tee -a "$raw" >&2
+done
+
+# Stub criterion lines look like:
+#   bench rank_scale/seq/users=64    ~45815770 ns/iter (stub criterion, 20 iters)
+awk -v rev="$rev" -v threads="$threads" -v cores="$cores" '
+BEGIN {
+    printf "{\n  \"git_rev\": \"%s\",\n  \"threads\": %s,\n  \"cores\": %s,\n  \"benches\": {\n", rev, threads, cores
+}
+/^bench / {
+    if (n++) printf ",\n"
+    printf "    \"%s\": %s", $2, substr($3, 2)
+}
+END { printf "\n  }\n}\n" }
+' "$raw" > BENCH_pipeline.json
+
+echo "==> wrote BENCH_pipeline.json ($(grep -c ':' BENCH_pipeline.json) lines)"
+cat BENCH_pipeline.json

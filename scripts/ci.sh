@@ -16,19 +16,63 @@ run() {
 }
 
 run cargo build --release --offline --workspace
-run cargo test -q --offline --workspace
+# The whole suite at one worker and at four: SOR_THREADS must never
+# change what any test observes, only how fast it runs.
+run env SOR_THREADS=1 cargo test -q --offline --workspace
+run env SOR_THREADS=4 cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check
 
 # Observability smoke: a traced field test must produce parseable
 # exports, and the disabled recorder must stay under its overhead budget.
-run cargo run --release --offline -p sor-bench --bin obs_smoke
+# Both smokes run twice — one worker, then four — and their deterministic
+# summaries (trace/metrics digest, final ranking) must not diverge.
+smoke_diverged() {
+    # $1: binary name. Compares full stdout across SOR_THREADS=1 and 4.
+    one=$(env SOR_THREADS=1 cargo run --release --offline -p sor-bench --bin "$1")
+    four=$(env SOR_THREADS=4 cargo run --release --offline -p sor-bench --bin "$1")
+    if [ "$one" != "$four" ]; then
+        echo "FAIL $1 output diverges between SOR_THREADS=1 and 4" >&2
+        printf '%s\n--- vs ---\n%s\n' "$one" "$four" >&2
+        return 1
+    fi
+    echo "==> $1 deterministic across SOR_THREADS=1/4"
+}
+smoke_diverged obs_smoke
 run cargo bench --offline -p sor-bench --bench obs_overhead
 
 # Durability smoke: a field test crashed twice mid-window must recover
 # every acked upload and rank identically to the crash-free run, and
 # write-ahead logging must stay under its overhead budget.
-run cargo run --release --offline -p sor-bench --bin recovery_smoke
+smoke_diverged recovery_smoke
 run cargo bench --offline -p sor-bench --bench wal_overhead
+
+# Parallel-speedup guard: rank_many over 64 users on 8 workers must beat
+# the sequential path by >=1.5x, and a warm rank-cache hit must beat a
+# cold rank by >=10x. The thread-scaling check needs real hardware
+# parallelism, so it is skipped on a single-core machine; the cache
+# check always runs.
+rank_out=$(cargo bench --offline -p sor-bench --bench rank_scale)
+printf '%s\n' "$rank_out"
+ns_of() { printf '%s\n' "$rank_out" | awk -v id="$1" '$2 == id { print substr($3, 2) }'; }
+cold=$(ns_of rank_scale/cold)
+hit=$(ns_of rank_scale/cache_hit)
+if [ "$((cold / hit))" -lt 10 ]; then
+    echo "FAIL warm cache hit (${hit} ns) is not >=10x faster than cold rank (${cold} ns)" >&2
+    exit 1
+fi
+echo "==> rank cache hit speedup OK (${cold} ns cold vs ${hit} ns hit)"
+if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
+    seq64=$(ns_of rank_scale/seq/users=64)
+    par64=$(ns_of rank_scale/par8/users=64)
+    # 1.5x without floats: 2*seq >= 3*par.
+    if [ "$((2 * seq64))" -lt "$((3 * par64))" ]; then
+        echo "FAIL par8 rank_many (${par64} ns) is not >=1.5x faster than sequential (${seq64} ns)" >&2
+        exit 1
+    fi
+    echo "==> rank_many parallel speedup OK (${seq64} ns seq vs ${par64} ns par8)"
+else
+    echo "==> skipping rank_many speedup guard (single hardware thread)"
+fi
 
 echo "==> CI OK"
