@@ -3,10 +3,13 @@
 //!
 //! With `--report`, instruments the whole deployment and appends the
 //! observability report (span tree, timeline, metrics) to stderr.
+//! With `--health`, appends the SLO health grade and any alerts the
+//! online health engine fired during the run (implies instrumentation).
 //!
 //! ```sh
 //! cargo run --release -p sor-bench --bin fig10
 //! cargo run --release -p sor-bench --bin fig10 -- --report
+//! cargo run --release -p sor-bench --bin fig10 -- --health
 //! ```
 
 use sor_bench::panels_of;
@@ -16,7 +19,8 @@ use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let want_report = std::env::args().any(|a| a == "--report");
-    let rec = if want_report { Recorder::enabled() } else { Recorder::default() };
+    let want_health = std::env::args().any(|a| a == "--health");
+    let rec = if want_report || want_health { Recorder::enabled() } else { Recorder::default() };
     eprintln!("# Fig. 10 — coffee-shop feature data (3 shops × 12 phones × 3 h)");
     let out = run_coffee_field_test_traced(FieldTestConfig::coffee(), rec.clone())?;
     eprintln!(
@@ -32,8 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("Fig. 10{tag} {}", p.render(40));
     }
     println!("CSV:\n{}", to_csv(&panels));
-    if let Some(report) = rec.report() {
-        eprintln!("{report}");
+    if want_report {
+        if let Some(report) = rec.report() {
+            eprintln!("{report}");
+        }
+    }
+    if want_health {
+        if let Some(health) = &out.health {
+            eprintln!("{}", health.render());
+        }
+        for alert in &out.alerts {
+            eprintln!("ALERT t={:.1}s {}: {}", alert.time, alert.slo, alert.detail);
+        }
+        if out.alerts.is_empty() {
+            eprintln!("# no SLO alerts fired");
+        }
     }
     Ok(())
 }

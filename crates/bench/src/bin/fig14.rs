@@ -101,9 +101,9 @@ fn main() {
             stability.iter().filter(|&&b| b).count(),
             stability.len()
         );
-        let schedules = rec.counter("sched.sim.runs");
-        let picks = rec.counter("sched.sim.iterations");
-        let evals = rec.counter("sched.sim.gain_evaluations");
+        let schedules = rec.counter("sched.sim_runs");
+        let picks = rec.counter("sched.sim_iterations");
+        let evals = rec.counter("sched.sim_gain_evaluations");
         println!("Planner work across both sweeps (lazy greedy, deterministic):");
         println!("  schedules computed        : {schedules}");
         println!("  readings committed        : {picks}");

@@ -32,19 +32,22 @@ fn main() {
     let csv = rec.metrics_csv().unwrap();
     check(csv.lines().count() > 10, "metrics CSV is non-trivial");
     for name in [
-        "script.runs",
+        "script.runs_started",
         "phone.records_acquired",
         "net.frames_sent.server",
-        "server.msg.sensed_data_upload",
+        "server.msg_received.sensed_data_upload",
         "store.rows_inserted.records",
         "server.features_computed",
-        "sched.iterations",
+        "sched.iterations_run",
+        "pipeline.uploads_accepted",
     ] {
         check(rec.counter(name) > 0, &format!("counter {name} observed the pipeline"));
     }
 
     let report = rec.report().unwrap();
     check(report.contains("server.process_data"), "report covers data processing spans");
+    check(out.health.is_some(), "traced field test grades its SLO catalog");
+    check(out.alerts.is_empty(), "healthy baseline run fires no SLO alerts");
 
     // A digest over both exports: byte-identical run to run, and across
     // SOR_THREADS values — scripts/ci.sh diffs this line between its

@@ -136,10 +136,20 @@ impl DurableDatabase {
                     let mut r = Reader::new(payload);
                     let epoch = r.get_uvar().map_err(|e| corrupt(e.to_string()))?;
                     let snapshot = r.get_bytes().map_err(|e| corrupt(e.to_string()))?;
-                    if r.remaining() != 0 {
-                        return Err(corrupt("trailing bytes after snapshot".to_string()));
-                    }
                     let db = Database::restore(snapshot).map_err(|e| corrupt(e.to_string()))?;
+                    // Optional trailing field (absent in checkpoints
+                    // written before flight recording existed): the
+                    // flight recorder's ring, restored so a post-crash
+                    // post-mortem still shows pre-checkpoint activity.
+                    if r.remaining() != 0 {
+                        let flight = r.get_bytes().map_err(|e| corrupt(e.to_string()))?;
+                        if r.remaining() != 0 {
+                            return Err(corrupt("trailing bytes after flight ring".to_string()));
+                        }
+                        if let Some(restored) = sor_obs::FlightRecorder::from_bytes(flight) {
+                            recorder.flight_restore(restored);
+                        }
+                    }
                     (db, epoch, true, bytes.len())
                 }
                 None => (Database::new(), 0, false, 0),
@@ -157,14 +167,14 @@ impl DurableDatabase {
             storage.remove(&wal_file(epoch - 1))?;
         }
 
-        recorder.count("durable.recoveries", 1);
-        recorder.count("durable.recovery.replayed_records", outcome.replayed as u64);
-        recorder.count("durable.recovery.truncated_bytes", truncated as u64);
+        recorder.count("durable.recoveries_run", 1);
+        recorder.count("durable.recovery_replayed_records", outcome.replayed as u64);
+        recorder.count("durable.recovery_truncated_bytes", truncated as u64);
         if outcome.tail == TailState::Torn {
-            recorder.count("durable.recovery.torn_tails", 1);
+            recorder.count("durable.recovery_torn_tails", 1);
         }
         if outcome.tail == TailState::Corrupt {
-            recorder.count("durable.recovery.corrupt_records", 1);
+            recorder.count("durable.recovery_corrupt_records", 1);
         }
         recorder.observe("durable.recovery_ms", wall.elapsed().as_secs_f64() * 1e3);
         recorder.span_attr(span, "replayed", &outcome.replayed.to_string());
@@ -242,7 +252,7 @@ impl DurableDatabase {
             self.unflushed_commits = 0;
             self.recorder.count("durable.wal_flushes", 1);
         }
-        self.recorder.count("durable.commits", 1);
+        self.recorder.count("durable.commits_applied", 1);
         self.recorder.count("durable.wal_appends", ops.len() as u64);
         self.recorder.count("durable.wal_bytes", batch.len() as u64);
         self.ops_since_checkpoint += ops.len() as u64;
@@ -288,12 +298,17 @@ impl DurableDatabase {
         let mut w = Writer::new();
         w.put_uvar(new_epoch);
         w.put_bytes(&snapshot);
+        // Checkpoints from flight-recording deployments carry the ring
+        // as a trailing field; plain deployments keep the legacy layout.
+        if let Some(flight) = self.recorder.flight_bytes() {
+            w.put_bytes(&flight);
+        }
         storage.write_atomic(CHECKPOINT_FILE, &encode_frame(w.as_slice()))?;
         storage.remove(&wal_file(self.epoch))?;
         self.epoch = new_epoch;
         self.unflushed_commits = 0;
         self.ops_since_checkpoint = 0;
-        self.recorder.count("durable.checkpoints", 1);
+        self.recorder.count("durable.checkpoints_taken", 1);
         self.recorder.gauge("durable.checkpoint_bytes", snapshot.len() as f64);
         Ok(())
     }
@@ -475,6 +490,50 @@ mod tests {
         let rows = ddb.db().scan("t", &Predicate::True).unwrap();
         let ids: Vec<u64> = rows.iter().map(|r| r.id.0).collect();
         assert_eq!(ids, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn flight_ring_rides_the_checkpoint_and_survives_recovery() {
+        let disk = SimDisk::new(37);
+        let rec = Recorder::enabled().with_flight(8);
+        let (mut ddb, _) = DurableDatabase::open(
+            Box::new(disk.clone()),
+            DurableOptions::default(),
+            rec.clone(),
+            0.0,
+        )
+        .unwrap();
+        seed_rows(&mut ddb, 3);
+        rec.span_start("server.handle_message", 1.0);
+        ddb.checkpoint().unwrap();
+        drop(ddb);
+        disk.crash();
+        // A fresh recorder with an empty ring: recovery refills it from
+        // the checkpoint's trailing field.
+        let rec2 = Recorder::enabled().with_flight(8);
+        let (_, report) = DurableDatabase::open(
+            Box::new(disk.clone()),
+            DurableOptions::default(),
+            rec2.clone(),
+            2.0,
+        )
+        .unwrap();
+        assert!(report.had_checkpoint);
+        let dump = rec2.flight_render().unwrap();
+        assert!(dump.contains("server.handle_message"), "restored ring lost the span:\n{dump}");
+    }
+
+    #[test]
+    fn flightless_checkpoint_keeps_the_legacy_layout() {
+        let disk = SimDisk::new(41);
+        let (mut ddb, _) = open_sim(&disk, DurableOptions::default());
+        seed_rows(&mut ddb, 2);
+        ddb.checkpoint().unwrap();
+        drop(ddb);
+        disk.crash();
+        let (ddb, report) = open_sim(&disk, DurableOptions::default());
+        assert!(report.had_checkpoint);
+        assert_eq!(count(&ddb), 2);
     }
 
     #[test]

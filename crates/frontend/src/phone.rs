@@ -6,8 +6,8 @@ use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use sor_obs::Recorder;
-use sor_proto::{Message, SensedRecord};
+use sor_obs::{Recorder, SpanId};
+use sor_proto::{Message, SensedRecord, TraceContext};
 use sor_script::analysis::{analyze, CapabilitySet, Cost};
 use sor_script::{Interpreter, Value};
 use sor_sensors::{SensorKind, SensorManager};
@@ -107,26 +107,37 @@ impl MobileFrontend {
     /// Dispatches one incoming message (the Message Handler's job) and
     /// returns any immediate replies.
     pub fn handle_message(&mut self, msg: &Message) -> Vec<Message> {
+        self.handle_message_ctx(msg, None)
+    }
+
+    /// [`MobileFrontend::handle_message`] with the causal
+    /// [`TraceContext`] recovered from the wire frame: a
+    /// `ScheduleAssignment`'s context is pinned to the task instance it
+    /// creates, so every later script run and upload links back to the
+    /// server's dispatch span.
+    pub fn handle_message_ctx(&mut self, msg: &Message, ctx: Option<TraceContext>) -> Vec<Message> {
         match msg {
             Message::ScheduleAssignment { task_id, script, sense_times } => {
                 // A re-assignment for a live task replaces its remaining
                 // schedule (the server re-plans when participation
                 // changes); finished tasks stay finished.
-                let fresh = TaskInstance::new(*task_id, script.clone(), sense_times.clone());
+                let fresh = TaskInstance::new(*task_id, script.clone(), sense_times.clone())
+                    .with_origin(ctx);
                 match self.tasks.iter_mut().find(|t| t.task_id == *task_id) {
                     Some(existing) if !existing.is_done() => {
                         *existing = fresh;
-                        self.recorder.count("phone.task.reassigned", 1);
+                        self.recorder.count("phone.tasks_reassigned", 1);
                     }
                     Some(_) => {}
                     None => {
                         self.tasks.push(fresh);
-                        self.recorder.count("phone.task.assigned", 1);
-                        self.recorder.event_with("phone.task.assigned", self.now, || {
+                        self.recorder.count("phone.tasks_assigned", 1);
+                        self.recorder.event_with("phone.task_assigned", self.now, || {
                             format!("task={task_id} sense_times={}", sense_times.len())
                         });
                     }
                 }
+                self.update_queue_gauges();
                 Vec::new()
             }
             Message::WakeUp { token } if *token == self.token => {
@@ -148,6 +159,18 @@ impl MobileFrontend {
     ///
     /// Panics if time moves backwards.
     pub fn advance_to(&mut self, t: f64) -> Vec<Message> {
+        self.advance_to_ctx(t).into_iter().map(|(m, _)| m).collect()
+    }
+
+    /// [`MobileFrontend::advance_to`], returning each outgoing message
+    /// paired with the causal [`TraceContext`] to splice into its wire
+    /// frame: the task's origin trace re-parented under the script-run
+    /// span that produced the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards.
+    pub fn advance_to_ctx(&mut self, t: f64) -> Vec<(Message, Option<TraceContext>)> {
         assert!(t >= self.now, "phone time went backwards: {} -> {t}", self.now);
         self.now = t;
         let mut out = Vec::new();
@@ -163,9 +186,17 @@ impl MobileFrontend {
                 if due > t {
                     break;
                 }
-                let span = recorder.span_start("phone.script_run", due);
+                // The run span hangs off the server's dispatch span (a
+                // detached cross-component link, deterministic under
+                // any sweep interleaving), tagged with the trace id the
+                // wire context carried.
+                let parent = task.origin.map_or(SpanId::NONE, |c| SpanId(c.parent_span));
+                let span = recorder.span_start_with_parent("phone.script_run", due, parent);
                 recorder.span_attr_with(span, "task", || task.task_id.to_string());
-                recorder.count("script.runs", 1);
+                if let Some(c) = task.origin {
+                    recorder.span_attr_with(span, "trace_id", || c.trace_id.to_string());
+                }
+                recorder.count("script.runs_started", 1);
                 match execute_script(&task.script, due, &manager, &allowed) {
                     Ok(run) => {
                         record_script_run(&recorder, span, &run);
@@ -174,37 +205,60 @@ impl MobileFrontend {
                         task.advance();
                         let records = task.drain_records();
                         if !records.is_empty() {
-                            out.push(Message::SensedDataUpload { task_id: task.task_id, records });
+                            let ctx = task.origin.map(|c| c.child(span.0));
+                            out.push((
+                                Message::SensedDataUpload { task_id: task.task_id, records },
+                                ctx,
+                            ));
                         }
                     }
                     Err(message) => {
-                        recorder.count("script.failed_runs", 1);
+                        recorder.count("script.runs_failed", 1);
                         recorder.span_attr(span, "error", &message);
                         recorder.span_end(span, due);
-                        recorder.count("phone.task.error", 1);
+                        recorder.count("phone.tasks_errored", 1);
                         task.status = TaskStatus::Error(message);
-                        out.push(Message::TaskComplete { task_id: task.task_id, status: 1 });
+                        let ctx = task.origin.map(|c| c.child(span.0));
+                        out.push((Message::TaskComplete { task_id: task.task_id, status: 1 }, ctx));
                         break;
                     }
                 }
             }
             if task.status == TaskStatus::Finished {
-                out.push(Message::TaskComplete { task_id: task.task_id, status: 0 });
-                recorder.count("phone.task.finished", 1);
+                out.push((Message::TaskComplete { task_id: task.task_id, status: 0 }, task.origin));
+                recorder.count("phone.tasks_finished", 1);
                 // Mark so we do not re-announce completion next sweep.
                 task.status = TaskStatus::Finished;
             }
             // Empty schedules complete immediately.
             if task.status == TaskStatus::Pending && task.sense_times.is_empty() {
                 task.status = TaskStatus::Finished;
-                recorder.count("phone.task.finished", 1);
-                out.push(Message::TaskComplete { task_id: task.task_id, status: 0 });
+                recorder.count("phone.tasks_finished", 1);
+                out.push((Message::TaskComplete { task_id: task.task_id, status: 0 }, task.origin));
             }
         }
         // Drop finished tasks that have announced completion... keep them
         // for inspection but avoid duplicate TaskComplete by tracking the
         // announced state through `next`.
+        self.update_queue_gauges();
         out
+    }
+
+    /// Refreshes the per-task-instance queue-depth gauges
+    /// (`phone.task_queue_depth.task<id>`): records buffered on the
+    /// phone awaiting upload. Every live instance gets a gauge — the
+    /// traced field test asserts the gauge count matches the number of
+    /// task instances across all phones.
+    fn update_queue_gauges(&self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for task in &self.tasks {
+            self.recorder.gauge(
+                &format!("phone.task_queue_depth.task{}", task.task_id),
+                task.pending_records.len() as f64,
+            );
+        }
     }
 }
 
@@ -235,14 +289,14 @@ struct ScriptRun {
 /// Records one successful script run's metrics: instruction usage and
 /// the static-bound-over-measured ratio (≥ 1 whenever the analyzer's
 /// bound is sound — the regression test in `sor-sim` holds it there).
-fn record_script_run(recorder: &Recorder, span: sor_obs::SpanId, run: &ScriptRun) {
+fn record_script_run(recorder: &Recorder, span: SpanId, run: &ScriptRun) {
     recorder.count("script.instructions_used", run.instructions_used);
     recorder.observe("script.instructions_per_run", run.instructions_used as f64);
     recorder.span_attr_with(span, "instructions", || run.instructions_used.to_string());
     recorder.count("phone.records_acquired", run.records.len() as u64);
     for r in &run.records {
         if let Some(kind) = SensorKind::from_wire_id(r.sensor) {
-            recorder.count_labeled("phone.sensor_acquired", kind.name(), 1);
+            recorder.count_labeled("phone.sensor_acquired", kind.metric_label(), 1);
         }
     }
     if let Some(bound) = run.static_bound {
@@ -604,9 +658,9 @@ mod tests {
         assign(&mut p, 1, "get_light_readings(2)\nget_noise_readings(1)", vec![5.0, 15.0]);
         p.advance_to(20.0);
 
-        assert_eq!(rec.counter("phone.task.assigned"), 1);
-        assert_eq!(rec.counter("phone.task.finished"), 1);
-        assert_eq!(rec.counter("script.runs"), 2);
+        assert_eq!(rec.counter("phone.tasks_assigned"), 1);
+        assert_eq!(rec.counter("phone.tasks_finished"), 1);
+        assert_eq!(rec.counter("script.runs_started"), 2);
         assert_eq!(rec.counter("phone.records_acquired"), 4);
         assert_eq!(rec.counter("phone.sensor_acquired.light"), 2);
         assert_eq!(rec.counter("phone.sensor_acquired.microphone"), 2);
@@ -634,8 +688,56 @@ mod tests {
         p.set_recorder(rec.clone());
         assign(&mut p, 2, "error('sensor exploded')", vec![1.0]);
         p.advance_to(2.0);
-        assert_eq!(rec.counter("script.failed_runs"), 1);
-        assert_eq!(rec.counter("phone.task.error"), 1);
-        assert_eq!(rec.counter("phone.task.finished"), 0);
+        assert_eq!(rec.counter("script.runs_failed"), 1);
+        assert_eq!(rec.counter("phone.tasks_errored"), 1);
+        assert_eq!(rec.counter("phone.tasks_finished"), 0);
+    }
+
+    #[test]
+    fn assignment_context_parents_runs_and_rides_on_uploads() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        // Simulate the server's dispatch span being span 90 of trace 8.
+        let origin = TraceContext { trace_id: 8, parent_span: 90 };
+        p.handle_message_ctx(
+            &Message::ScheduleAssignment {
+                task_id: 7,
+                script: "get_light_readings(1)".into(),
+                sense_times: vec![5.0],
+            },
+            Some(origin),
+        );
+        let out = p.advance_to_ctx(10.0);
+        let (Message::SensedDataUpload { .. }, Some(upload_ctx)) = &out[0] else {
+            panic!("expected traced upload, got {out:?}");
+        };
+        assert_eq!(upload_ctx.trace_id, 8, "trace id propagates");
+        let trace = rec.trace_snapshot().unwrap();
+        let run = trace.spans_named("phone.script_run").next().unwrap();
+        assert_eq!(run.parent, Some(SpanId(90)), "run hangs off the dispatch span");
+        assert!(run.attrs.iter().any(|(k, v)| k == "trace_id" && v == "8"));
+        assert_eq!(upload_ctx.parent_span, run.id.0, "upload re-parented under the run");
+        // The completion notice carries the origin context too.
+        let (Message::TaskComplete { .. }, Some(done_ctx)) = &out[1] else { panic!("{out:?}") };
+        assert_eq!(done_ctx.trace_id, 8);
+    }
+
+    #[test]
+    fn queue_depth_gauges_cover_every_task_instance() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        assign(&mut p, 1, "get_light_readings(1)", vec![5.0]);
+        assign(&mut p, 2, "get_noise_readings(1)", vec![7.0, 30.0]);
+        p.advance_to(10.0);
+        let m = rec.metrics_snapshot().unwrap();
+        let gauges: Vec<&str> = m
+            .gauges()
+            .filter(|(k, _)| k.starts_with("phone.task_queue_depth."))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(gauges, vec!["phone.task_queue_depth.task1", "phone.task_queue_depth.task2"]);
+        assert_eq!(gauges.len(), p.tasks().len());
     }
 }

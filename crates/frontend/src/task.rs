@@ -6,7 +6,7 @@
 //! functions to acquire data from sensors, and manages data collected
 //! from sensors."
 
-use sor_proto::SensedRecord;
+use sor_proto::{SensedRecord, TraceContext};
 
 /// Lifecycle of a task instance, mirroring the paper's status list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,10 @@ pub struct TaskInstance {
     pub status: TaskStatus,
     /// Records collected so far but not yet uploaded.
     pub pending_records: Vec<SensedRecord>,
+    /// Causal context of the `ScheduleAssignment` that created this
+    /// instance (the server's dispatch span); carried back on every
+    /// upload so the server can link the cross-device trace.
+    pub origin: Option<TraceContext>,
 }
 
 impl TaskInstance {
@@ -49,7 +53,14 @@ impl TaskInstance {
             next: 0,
             status: TaskStatus::Pending,
             pending_records: Vec::new(),
+            origin: None,
         }
+    }
+
+    /// The same instance with its originating trace context attached.
+    pub fn with_origin(mut self, origin: Option<TraceContext>) -> Self {
+        self.origin = origin;
+        self
     }
 
     /// The next due sense time, if any.

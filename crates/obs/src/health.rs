@@ -1,0 +1,530 @@
+//! Online SLO/health engine.
+//!
+//! A [`HealthEngine`] holds a catalog of declarative service-level
+//! objectives ([`SloSpec`]) and grades them against a
+//! [`MetricsRegistry`] snapshot — either *online* during a run (the sim
+//! world calls [`HealthEngine::evaluate_and_emit`] on its health-check
+//! events, so breaches land in the trace as `slo.alert` events at the
+//! simulated time they were detected) or *post-hoc* against a finished
+//! run ([`HealthEngine::grade`], used by the `--health` report section
+//! and the `sor health` CLI subcommand).
+//!
+//! Determinism contract: evaluation walks the catalog in declaration
+//! order, every threshold is a pure function of the registry, and each
+//! SLO alerts at most once per engine (a fired-set suppresses repeats),
+//! so the alert stream is byte-identical across reruns and thread
+//! counts.
+
+use std::collections::BTreeSet;
+
+use crate::metrics::MetricsRegistry;
+use crate::Recorder;
+
+/// How one objective is measured against the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// The `q`-quantile (conservative upper bound) of a histogram must
+    /// stay at or below `max`.
+    HistogramQuantileMax {
+        /// Histogram metric name.
+        metric: String,
+        /// Quantile in `[0, 1]`, e.g. `0.95`.
+        q: f64,
+        /// Inclusive upper bound on the quantile.
+        max: f64,
+    },
+    /// `num / den` (counter totals, labeled families included) must
+    /// stay at or above `min`.
+    RatioMin {
+        /// Numerator counter (exact name or family prefix).
+        num: String,
+        /// Denominator counter (exact name or family prefix).
+        den: String,
+        /// Inclusive lower bound on the ratio.
+        min: f64,
+    },
+    /// `num / den` must stay at or below `max`.
+    RatioMax {
+        /// Numerator counter (exact name or family prefix).
+        num: String,
+        /// Denominator counter (exact name or family prefix).
+        den: String,
+        /// Inclusive upper bound on the ratio.
+        max: f64,
+    },
+    /// A gauge must stay at or above `min`.
+    GaugeMin {
+        /// Gauge metric name.
+        metric: String,
+        /// Inclusive lower bound on the gauge.
+        min: f64,
+    },
+}
+
+/// One declarative objective in the catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Short stable identifier, e.g. `upload_commit_p95`. Used in
+    /// alerts, reports, and the fired-set.
+    pub id: String,
+    /// The measurement rule.
+    pub kind: SloKind,
+    /// Minimum sample count (histogram observations or denominator
+    /// total) before the objective is graded at all. Early in a run
+    /// most ratios are degenerate; this guard keeps the engine quiet
+    /// until there is signal.
+    pub min_samples: u64,
+}
+
+impl SloSpec {
+    /// Convenience constructor.
+    pub fn new(id: &str, kind: SloKind, min_samples: u64) -> Self {
+        SloSpec { id: id.to_string(), kind, min_samples }
+    }
+}
+
+/// A breach detected by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The [`SloSpec::id`] that breached.
+    pub slo: String,
+    /// Simulated time of detection.
+    pub time: f64,
+    /// The observed value (quantile, ratio, or gauge).
+    pub observed: f64,
+    /// The configured bound it violated.
+    pub bound: f64,
+    /// Human-readable one-liner (also the `slo.alert` event detail).
+    pub detail: String,
+}
+
+/// Per-SLO grade in a [`HealthReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStatus {
+    /// Graded and within bound.
+    Ok,
+    /// Not enough samples yet to grade.
+    Pending,
+    /// Graded and out of bound.
+    Breached,
+}
+
+/// One graded row of a [`HealthReport`].
+#[derive(Debug, Clone)]
+pub struct SloGrade {
+    /// The objective's id.
+    pub slo: String,
+    /// The grade.
+    pub status: SloStatus,
+    /// Observed value when graded (None while pending).
+    pub observed: Option<f64>,
+    /// The configured bound.
+    pub bound: f64,
+    /// Samples available (histogram count or denominator total).
+    pub samples: u64,
+}
+
+/// A full catalog grading at one instant.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// One grade per catalog entry, in catalog order.
+    pub grades: Vec<SloGrade>,
+}
+
+impl HealthReport {
+    /// True when no graded objective is breached.
+    pub fn healthy(&self) -> bool {
+        self.grades.iter().all(|g| g.status != SloStatus::Breached)
+    }
+
+    /// The ids of breached objectives, catalog-ordered.
+    pub fn breached(&self) -> Vec<&str> {
+        self.grades
+            .iter()
+            .filter(|g| g.status == SloStatus::Breached)
+            .map(|g| g.slo.as_str())
+            .collect()
+    }
+
+    /// Deterministic ASCII rendering (the `-- health --` section body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = self.grades.iter().map(|g| g.slo.len()).max().unwrap_or(0);
+        for g in &self.grades {
+            let tag = match g.status {
+                SloStatus::Ok => "ok     ",
+                SloStatus::Pending => "pending",
+                SloStatus::Breached => "BREACH ",
+            };
+            match g.observed {
+                Some(v) => out.push_str(&format!(
+                    "  {tag} {:<w$} observed={v:.4} bound={:.4} n={}\n",
+                    g.slo, g.bound, g.samples
+                )),
+                None => out.push_str(&format!(
+                    "  {tag} {:<w$} awaiting samples (have {})\n",
+                    g.slo, g.samples
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// A counter read that falls back to summing a labeled family
+/// (`name.<label>`) when no exact counter exists.
+fn counter_total(metrics: &MetricsRegistry, name: &str) -> u64 {
+    let exact = metrics.counter(name);
+    if exact > 0 {
+        exact
+    } else {
+        metrics.counter_family_total(&format!("{name}."))
+    }
+}
+
+/// The online grader: a catalog plus emit-once alert state.
+#[derive(Debug, Clone)]
+pub struct HealthEngine {
+    catalog: Vec<SloSpec>,
+    fired: BTreeSet<String>,
+    alerts: Vec<Alert>,
+}
+
+impl HealthEngine {
+    /// An engine over an explicit catalog.
+    pub fn new(catalog: Vec<SloSpec>) -> Self {
+        HealthEngine { catalog, fired: BTreeSet::new(), alerts: Vec::new() }
+    }
+
+    /// The standard SOR pipeline catalog (documented in `DESIGN.md`):
+    ///
+    /// 1. `upload_commit_p95` — p95 of upload-arrival → processor-commit
+    ///    latency stays under 600 simulated seconds.
+    /// 2. `ack_hit_rate` — ≥ 80% of dispatched tasks produce their
+    ///    first upload within the server's ack deadline.
+    /// 3. `coverage_realized` — realized vs greedy-planned sensing
+    ///    coverage stays at or above 0.8.
+    /// 4. `transport_drop_rate` — ≤ 5% of frames dropped in flight.
+    /// 5. `transport_reject_rate` — ≤ 5% of frames rejected on decode.
+    /// 6. `rank_cache_hit_rate` — once rank traffic exists (≥ 50
+    ///    requests), the cache serves at least half of it.
+    pub fn default_catalog() -> Vec<SloSpec> {
+        vec![
+            SloSpec::new(
+                "upload_commit_p95",
+                SloKind::HistogramQuantileMax {
+                    metric: "pipeline.upload_commit_latency_s".to_string(),
+                    q: 0.95,
+                    max: 600.0,
+                },
+                5,
+            ),
+            SloSpec::new(
+                "ack_hit_rate",
+                SloKind::RatioMin {
+                    num: "pipeline.acks_on_time".to_string(),
+                    den: "pipeline.acks_measured".to_string(),
+                    min: 0.8,
+                },
+                5,
+            ),
+            SloSpec::new(
+                "coverage_realized",
+                SloKind::GaugeMin {
+                    metric: "pipeline.coverage_realized_ratio".to_string(),
+                    min: 0.8,
+                },
+                0,
+            ),
+            SloSpec::new(
+                "transport_drop_rate",
+                SloKind::RatioMax {
+                    num: "net.frames_dropped".to_string(),
+                    den: "net.frames_sent".to_string(),
+                    max: 0.05,
+                },
+                20,
+            ),
+            SloSpec::new(
+                "transport_reject_rate",
+                SloKind::RatioMax {
+                    num: "net.frames_rejected".to_string(),
+                    den: "net.frames_sent".to_string(),
+                    max: 0.05,
+                },
+                20,
+            ),
+            SloSpec::new(
+                "rank_cache_hit_rate",
+                SloKind::RatioMin {
+                    num: "server.rank_cache_hits".to_string(),
+                    den: "server.rank_requests".to_string(),
+                    min: 0.5,
+                },
+                50,
+            ),
+        ]
+    }
+
+    /// An engine preloaded with [`HealthEngine::default_catalog`].
+    pub fn with_default_catalog() -> Self {
+        HealthEngine::new(HealthEngine::default_catalog())
+    }
+
+    /// The catalog being graded.
+    pub fn catalog(&self) -> &[SloSpec] {
+        &self.catalog
+    }
+
+    /// All alerts fired so far, in firing order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Grades one spec against the registry without touching alert
+    /// state. Returns `(status, observed, bound, samples)`.
+    fn grade_spec(spec: &SloSpec, metrics: &MetricsRegistry) -> SloGrade {
+        let (status, observed, bound, samples) = match &spec.kind {
+            SloKind::HistogramQuantileMax { metric, q, max } => match metrics.histogram(metric) {
+                Some(h) if h.count() >= spec.min_samples.max(1) => {
+                    let v = h.quantile(*q).unwrap_or(0.0);
+                    let st = if v > *max { SloStatus::Breached } else { SloStatus::Ok };
+                    (st, Some(v), *max, h.count())
+                }
+                Some(h) => (SloStatus::Pending, None, *max, h.count()),
+                None => (SloStatus::Pending, None, *max, 0),
+            },
+            SloKind::RatioMin { num, den, min } => {
+                let n = counter_total(metrics, num);
+                let d = counter_total(metrics, den);
+                if d >= spec.min_samples.max(1) {
+                    let v = n as f64 / d as f64;
+                    let st = if v < *min { SloStatus::Breached } else { SloStatus::Ok };
+                    (st, Some(v), *min, d)
+                } else {
+                    (SloStatus::Pending, None, *min, d)
+                }
+            }
+            SloKind::RatioMax { num, den, max } => {
+                let n = counter_total(metrics, num);
+                let d = counter_total(metrics, den);
+                if d >= spec.min_samples.max(1) {
+                    let v = n as f64 / d as f64;
+                    let st = if v > *max { SloStatus::Breached } else { SloStatus::Ok };
+                    (st, Some(v), *max, d)
+                } else {
+                    (SloStatus::Pending, None, *max, d)
+                }
+            }
+            SloKind::GaugeMin { metric, min } => match metrics.gauge_value(metric) {
+                Some(v) => {
+                    let st = if v < *min { SloStatus::Breached } else { SloStatus::Ok };
+                    (st, Some(v), *min, 1)
+                }
+                None => (SloStatus::Pending, None, *min, 0),
+            },
+        };
+        SloGrade { slo: spec.id.clone(), status, observed, bound, samples }
+    }
+
+    /// Grades the whole catalog (pure — no alert state mutated).
+    pub fn grade(&self, metrics: &MetricsRegistry) -> HealthReport {
+        HealthReport { grades: self.catalog.iter().map(|s| Self::grade_spec(s, metrics)).collect() }
+    }
+
+    /// Online evaluation at simulated time `now`: grades the catalog in
+    /// declaration order and returns the objectives that *newly*
+    /// breached this round (each SLO alerts at most once per engine).
+    pub fn evaluate(&mut self, metrics: &MetricsRegistry, now: f64) -> Vec<Alert> {
+        let mut fresh = Vec::new();
+        for spec in &self.catalog {
+            if self.fired.contains(&spec.id) {
+                continue;
+            }
+            let g = Self::grade_spec(spec, metrics);
+            if g.status == SloStatus::Breached {
+                let observed = g.observed.unwrap_or(0.0);
+                let alert = Alert {
+                    slo: spec.id.clone(),
+                    time: now,
+                    observed,
+                    bound: g.bound,
+                    detail: format!(
+                        "{} observed={observed:.4} bound={:.4} n={}",
+                        spec.id, g.bound, g.samples
+                    ),
+                };
+                self.fired.insert(spec.id.clone());
+                self.alerts.push(alert.clone());
+                fresh.push(alert);
+            }
+        }
+        fresh
+    }
+
+    /// Online evaluation wired to a [`Recorder`]: snapshots the live
+    /// registry, evaluates, and emits each fresh breach into the trace
+    /// as an `slo.alert` event (no-op when the recorder has no
+    /// metrics). Returns the fresh alerts.
+    pub fn evaluate_and_emit(&mut self, recorder: &Recorder, now: f64) -> Vec<Alert> {
+        let Some(metrics) = recorder.metrics_snapshot() else {
+            return Vec::new();
+        };
+        let fresh = self.evaluate(&metrics, now);
+        for a in &fresh {
+            recorder.event("slo.alert", now, &a.detail);
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio_spec(min_samples: u64) -> SloSpec {
+        SloSpec::new(
+            "drop_rate",
+            SloKind::RatioMax {
+                num: "net.frames_dropped".to_string(),
+                den: "net.frames_sent".to_string(),
+                max: 0.05,
+            },
+            min_samples,
+        )
+    }
+
+    #[test]
+    fn ratio_max_breaches_and_fires_once() {
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent", 100);
+        m.count("net.frames_dropped", 30);
+        let mut eng = HealthEngine::new(vec![ratio_spec(20)]);
+        let first = eng.evaluate(&m, 10.0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].slo, "drop_rate");
+        assert!((first[0].observed - 0.3).abs() < 1e-12);
+        // Second round: same breach, already fired → silent.
+        let second = eng.evaluate(&m, 20.0);
+        assert!(second.is_empty());
+        assert_eq!(eng.alerts().len(), 1);
+    }
+
+    #[test]
+    fn min_samples_guard_keeps_engine_quiet() {
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent", 4);
+        m.count("net.frames_dropped", 4); // 100% drops, but only 4 frames
+        let mut eng = HealthEngine::new(vec![ratio_spec(20)]);
+        assert!(eng.evaluate(&m, 1.0).is_empty());
+        let report = eng.grade(&m);
+        assert_eq!(report.grades[0].status, SloStatus::Pending);
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn ratio_reads_fall_back_to_labeled_families() {
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent.server", 60);
+        m.count("net.frames_sent.phone", 40);
+        m.count("net.frames_dropped.server", 10);
+        let mut eng = HealthEngine::new(vec![ratio_spec(20)]);
+        let fired = eng.evaluate(&m, 5.0);
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0].observed - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_and_gauge_objectives() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..19 {
+            m.observe("lat", 1.0);
+        }
+        m.observe("lat", 4000.0);
+        m.gauge("cov", 0.5);
+        let catalog = vec![
+            SloSpec::new(
+                "p95",
+                SloKind::HistogramQuantileMax { metric: "lat".to_string(), q: 0.95, max: 600.0 },
+                5,
+            ),
+            SloSpec::new("cov", SloKind::GaugeMin { metric: "cov".to_string(), min: 0.8 }, 0),
+        ];
+        let mut eng = HealthEngine::new(catalog);
+        let fired = eng.evaluate(&m, 3.0);
+        // p95 rank 19 of 20 lands on the 1.0 observations → ok;
+        // only the gauge breaches.
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].slo, "cov");
+        let report = eng.grade(&m);
+        assert_eq!(report.breached(), vec!["cov"]);
+        assert!(!report.healthy());
+    }
+
+    #[test]
+    fn default_catalog_is_quiet_on_a_healthy_registry() {
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent.server", 500);
+        m.count("pipeline.acks_on_time", 9);
+        m.count("pipeline.acks_measured", 10);
+        m.gauge("pipeline.coverage_realized_ratio", 0.95);
+        for _ in 0..10 {
+            m.observe("pipeline.upload_commit_latency_s", 30.0);
+        }
+        let mut eng = HealthEngine::with_default_catalog();
+        assert!(eng.evaluate(&m, 100.0).is_empty());
+        assert!(eng.grade(&m).healthy());
+    }
+
+    #[test]
+    fn alerts_come_out_in_catalog_order() {
+        let mut m = MetricsRegistry::new();
+        m.count("b_num", 10);
+        m.count("b_den", 10);
+        m.count("a_num", 10);
+        m.count("a_den", 10);
+        let catalog = vec![
+            SloSpec::new(
+                "zeta",
+                SloKind::RatioMax { num: "b_num".to_string(), den: "b_den".to_string(), max: 0.5 },
+                1,
+            ),
+            SloSpec::new(
+                "alpha",
+                SloKind::RatioMax { num: "a_num".to_string(), den: "a_den".to_string(), max: 0.5 },
+                1,
+            ),
+        ];
+        let mut eng = HealthEngine::new(catalog);
+        let fired = eng.evaluate(&m, 0.0);
+        let ids: Vec<&str> = fired.iter().map(|a| a.slo.as_str()).collect();
+        assert_eq!(ids, vec!["zeta", "alpha"], "catalog order, not alphabetical");
+    }
+
+    #[test]
+    fn evaluate_and_emit_writes_slo_alert_events() {
+        let rec = Recorder::enabled();
+        rec.count("net.frames_sent", 100);
+        rec.count("net.frames_dropped", 50);
+        let mut eng = HealthEngine::new(vec![ratio_spec(20)]);
+        let fired = eng.evaluate_and_emit(&rec, 42.0);
+        assert_eq!(fired.len(), 1);
+        let trace = rec.trace_snapshot().unwrap();
+        let ev = trace.events().iter().find(|e| e.name == "slo.alert").unwrap();
+        assert_eq!(ev.time, 42.0);
+        assert!(ev.detail.contains("drop_rate"));
+    }
+
+    #[test]
+    fn report_render_is_deterministic_and_labeled() {
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent", 100);
+        m.count("net.frames_dropped", 30);
+        let eng = HealthEngine::with_default_catalog();
+        let r = eng.grade(&m);
+        let text = r.render();
+        assert!(text.contains("BREACH  transport_drop_rate"));
+        assert!(text.contains("pending"));
+        assert_eq!(text, eng.grade(&m).render());
+    }
+}

@@ -1,0 +1,206 @@
+//! Trace lint: structural checks over an exported trace.
+//!
+//! Run by the `trace_lint` CI step (and available in-process for
+//! tests), the lint fails a trace that violates the causal-integrity
+//! contract of the tracing layer:
+//!
+//! 1. **duplicate span ids** — ids must be unique;
+//! 2. **orphan spans** — a span's parent id must exist in the trace
+//!    (a dangling parent means a cross-component link was emitted
+//!    against a span that was never recorded);
+//! 3. **negative spans** — `end < start` is impossible under the sim
+//!    clock;
+//! 4. **untagged boundary crossings** — a span whose parent lives on
+//!    the other side of the phone ↔ server wire (component `phone`
+//!    versus `server`/`processor`) must carry a `trace_id` attribute:
+//!    those links are exactly the ones reconstructed from a
+//!    [`crate::trace::SpanId`] carried in a wire-frame
+//!    `TraceContext`, and the trace id is what makes the causal chain
+//!    auditable.
+//!
+//! In-process nesting across components (e.g. `store.*` under
+//! `server.*`) is ordinary stack inference and is *not* flagged.
+
+use crate::json;
+use crate::trace::Trace;
+
+/// A minimal span view shared by the JSON and in-memory entry points.
+struct LintSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: f64,
+    end: Option<f64>,
+    has_trace_id: bool,
+}
+
+fn component_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Whether a parent/child component pair crosses the phone ↔ server
+/// wire (the only place spans are linked via a wire-carried context).
+fn crosses_wire(parent: &str, child: &str) -> bool {
+    let server_side = |c: &str| c == "server" || c == "processor";
+    (parent == "phone" && server_side(child)) || (server_side(parent) && child == "phone")
+}
+
+fn lint_spans(spans: &[LintSpan]) -> Vec<String> {
+    let mut findings = Vec::new();
+    let mut by_id: std::collections::BTreeMap<u64, &LintSpan> = std::collections::BTreeMap::new();
+    for s in spans {
+        if by_id.insert(s.id, s).is_some() {
+            findings.push(format!("duplicate span id {} ({})", s.id, s.name));
+        }
+    }
+    for s in spans {
+        if let Some(end) = s.end {
+            if end < s.start {
+                findings.push(format!(
+                    "span {} ({}) ends before it starts: {} < {}",
+                    s.id, s.name, end, s.start
+                ));
+            }
+        }
+        let Some(pid) = s.parent else { continue };
+        let Some(parent) = by_id.get(&pid) else {
+            findings.push(format!("orphan span {} ({}): parent {pid} not in trace", s.id, s.name));
+            continue;
+        };
+        if crosses_wire(component_of(&parent.name), component_of(&s.name)) && !s.has_trace_id {
+            findings.push(format!(
+                "span {} ({}) crosses the wire from {} without a trace_id attribute",
+                s.id, s.name, parent.name
+            ));
+        }
+    }
+    findings
+}
+
+/// Lints an in-memory trace. Empty result = clean.
+pub fn lint_trace(trace: &Trace) -> Vec<String> {
+    let spans: Vec<LintSpan> = trace
+        .spans()
+        .iter()
+        .map(|s| LintSpan {
+            id: s.id.0,
+            parent: s.parent.map(|p| p.0),
+            name: s.name.clone(),
+            start: s.start,
+            end: s.end,
+            has_trace_id: s.attrs.iter().any(|(k, _)| k == "trace_id"),
+        })
+        .collect();
+    lint_spans(&spans)
+}
+
+/// Lints an exported trace JSON document (the `trace_lint` CLI path).
+/// `Err` is a parse failure; `Ok(findings)` with an empty vec = clean.
+pub fn lint_trace_json(src: &str) -> Result<Vec<String>, json::JsonError> {
+    let doc = json::parse(src)?;
+    let mut spans = Vec::new();
+    if let Some(items) = doc.get("spans").and_then(|s| s.items()) {
+        for item in items {
+            let get_f64 = |key: &str| item.get(key).and_then(|v| v.as_f64());
+            let name = match item.get("name") {
+                Some(json::Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            let has_trace_id = item
+                .get("attrs")
+                .and_then(|a| a.entries())
+                .is_some_and(|e| e.iter().any(|(k, _)| k == "trace_id"));
+            spans.push(LintSpan {
+                id: get_f64("id").unwrap_or(0.0) as u64,
+                parent: get_f64("parent").map(|p| p as u64),
+                name,
+                start: get_f64("start").unwrap_or(0.0),
+                end: get_f64("end"),
+                has_trace_id,
+            });
+        }
+    }
+    Ok(lint_spans(&spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanId;
+
+    #[test]
+    fn clean_trace_passes() {
+        let mut t = Trace::new();
+        let a = t.start("server.handle_message", 0.0);
+        let b = t.start("store.scan", 0.1);
+        t.end(b, 0.2);
+        t.end(a, 0.3);
+        assert!(lint_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn orphan_parent_is_flagged() {
+        let mut t = Trace::new();
+        let s = t.start_with_parent("server.rank", 1.0, SpanId(99));
+        t.end(s, 2.0);
+        let findings = lint_trace(&t);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("orphan"));
+    }
+
+    #[test]
+    fn wire_crossing_without_trace_id_is_flagged_and_attr_clears_it() {
+        let mut t = Trace::new();
+        let dispatch = t.start("server.task_dispatch", 0.0);
+        t.end(dispatch, 0.0);
+        let run = t.start_with_parent("phone.script_run", 5.0, dispatch);
+        t.end(run, 5.1);
+        let findings = lint_trace(&t);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("crosses the wire"));
+
+        t.attr(run, "trace_id", "7");
+        assert!(lint_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn in_process_cross_component_nesting_is_not_flagged() {
+        let mut t = Trace::new();
+        let a = t.start("server.process_data", 0.0);
+        let b = t.start("store.scan", 0.1); // nested via stack, fine
+        t.end(b, 0.2);
+        t.end(a, 0.3);
+        assert!(lint_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_lints_same_as_in_memory() {
+        let mut t = Trace::new();
+        let dispatch = t.start("server.task_dispatch", 0.0);
+        t.end(dispatch, 0.0);
+        let run = t.start_with_parent("phone.script_run", 5.0, dispatch);
+        t.end(run, 5.1);
+        let orphan = t.start_with_parent("server.rank", 9.0, SpanId(42));
+        t.end(orphan, 9.5);
+
+        let from_json = lint_trace_json(&t.to_json()).unwrap();
+        assert_eq!(from_json, lint_trace(&t));
+        assert_eq!(from_json.len(), 2);
+    }
+
+    #[test]
+    fn negative_span_and_duplicate_id_detected_via_json() {
+        let src = r#"{"spans":[
+            {"id":1,"parent":null,"name":"a.b_c","start":5.0,"end":1.0},
+            {"id":1,"parent":null,"name":"a.b_c","start":0.0,"end":0.5}
+        ],"events":[]}"#;
+        let findings = lint_trace_json(src).unwrap();
+        assert!(findings.iter().any(|f| f.contains("duplicate")));
+        assert!(findings.iter().any(|f| f.contains("ends before")));
+    }
+
+    #[test]
+    fn garbage_json_is_a_parse_error() {
+        assert!(lint_trace_json("not json").is_err());
+    }
+}

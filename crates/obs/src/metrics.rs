@@ -1,7 +1,7 @@
 //! The metrics registry: counters, gauges, and log-bucketed histograms.
 //!
 //! Everything is keyed by a flat metric name (dotted paths by
-//! convention, e.g. `server.msg.upload`) and stored in `BTreeMap`s so
+//! convention, e.g. `server.msg_received.upload`) and stored in `BTreeMap`s so
 //! every export is deterministically ordered — a prerequisite for the
 //! golden-trace tests, which compare exports byte for byte.
 
@@ -122,6 +122,34 @@ impl Histogram {
     /// tests pin down).
     pub fn bucketed_total(&self) -> u64 {
         self.zero_or_less + self.buckets.values().sum::<u64>()
+    }
+
+    /// A conservative (upper-bound) estimate of the `q`-quantile from
+    /// the log2 buckets: the upper edge `2^(e+1)` of the bucket holding
+    /// the rank, clamped to the exact observed max. Zero-or-less
+    /// observations bound from above by `0.0`. `None` when empty.
+    ///
+    /// The estimate never under-reports — an SLO alerting on
+    /// `quantile(0.95) > bound` can over-fire by at most one bucket
+    /// width but can never miss a true breach.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero_or_less;
+        if seen >= rank {
+            return Some(0.0);
+        }
+        let max = self.max.unwrap_or(f64::INFINITY);
+        for (&exp, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(2.0_f64.powi(i32::from(exp) + 1).min(max));
+            }
+        }
+        Some(max)
     }
 }
 
@@ -357,6 +385,45 @@ mod tests {
         assert_eq!(ab.bucketed_total(), 4);
         assert_eq!(ab.min(), Some(-1.0));
         assert_eq!(ab.max(), Some(5.5));
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(0.25);
+        a.record(100.0);
+        a.record(0.0);
+        let empty = Histogram::new();
+        let mut merged = a.clone();
+        merged.merge(&empty);
+        assert_eq!(merged, a, "merging an empty histogram changes nothing");
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a, "merging into an empty histogram copies it");
+        assert_eq!(from_empty.min(), Some(0.0));
+        assert_eq!(from_empty.zero_or_less(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_with_saturated_buckets_stays_clamped() {
+        // Both operands clamp into the same extreme buckets; the merge
+        // must add their counts there rather than re-bucket or overflow.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..3 {
+            a.record(1e300); // clamps to exponent 63
+            b.record(1e300);
+            b.record(f64::MIN_POSITIVE); // clamps to exponent -64
+        }
+        a.merge(&b);
+        let buckets: Vec<(i16, u64)> = a.buckets().collect();
+        assert_eq!(buckets, vec![(-64, 3), (63, 6)]);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.bucketed_total(), 9);
+        // The saturated top bucket reports its upper edge (2^64): still
+        // an upper bound for everything it holds short of the true max.
+        assert_eq!(a.quantile(1.0), Some(2.0_f64.powi(64)));
+        assert_eq!(a.quantile(0.1), Some(2.0_f64.powi(-63)));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Metric naming convention: `component.noun_verb[.label]`.
+//!
+//! Every metric name in the workspace follows one shape:
+//!
+//! - **segment 1 — component**: the subsystem that owns the metric
+//!   (`server`, `phone`, `net`, `store`, `sched`, `script`, `sim`,
+//!   `durable`, `par`, `pipeline`, …). Lowercase `[a-z0-9]+`.
+//! - **segment 2 — noun_verb**: what is being counted and what
+//!   happened to it, joined by an underscore (`frames_dropped`,
+//!   `tasks_assigned`, `rows_inserted`). The underscore is mandatory —
+//!   it is what distinguishes a measurement (`msg_received`) from a
+//!   bare namespace (`msg`). Units ride as a verb-position suffix
+//!   (`latency_s`, `busy_ms`, `frame_bytes`).
+//! - **segment 3 — label (optional)**: a dynamic family key appended
+//!   by [`crate::Recorder::count_labeled`] (`.server`, `.light`,
+//!   `.records`). Lowercase `[a-z0-9_]+`.
+//!
+//! [`audit`] walks a whole registry and returns the violations; the
+//! conformance test in `sor-sim` runs a traced field test and asserts
+//! the audit comes back empty, so a nonconforming name cannot land
+//! without failing CI.
+
+use crate::metrics::MetricsRegistry;
+
+fn segment_ok(seg: &str, allow_underscore: bool) -> bool {
+    !seg.is_empty()
+        && seg
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || (allow_underscore && c == '_'))
+        && !seg.starts_with('_')
+        && !seg.ends_with('_')
+}
+
+/// Checks one metric name against the convention. `Err` carries the
+/// reason, phrased for the audit report.
+pub fn check_name(name: &str) -> Result<(), String> {
+    let segs: Vec<&str> = name.split('.').collect();
+    if !(2..=3).contains(&segs.len()) {
+        return Err(format!("{name}: expected 2-3 dot segments, got {}", segs.len()));
+    }
+    if !segment_ok(segs[0], false) {
+        return Err(format!("{name}: component segment `{}` must be [a-z0-9]+", segs[0]));
+    }
+    if !segment_ok(segs[1], true) {
+        return Err(format!("{name}: measurement segment `{}` must be [a-z0-9_]+", segs[1]));
+    }
+    if !segs[1].contains('_') {
+        return Err(format!(
+            "{name}: measurement segment `{}` must be noun_verb (needs an underscore)",
+            segs[1]
+        ));
+    }
+    if segs.len() == 3 && !segment_ok(segs[2], true) {
+        return Err(format!("{name}: label segment `{}` must be [a-z0-9_]+", segs[2]));
+    }
+    Ok(())
+}
+
+/// Walks every counter, gauge, and histogram name in the registry and
+/// returns the convention violations (empty = conformant).
+pub fn audit(metrics: &MetricsRegistry) -> Vec<String> {
+    let mut problems = Vec::new();
+    let names = metrics
+        .counters()
+        .map(|(k, _)| k)
+        .chain(metrics.gauges().map(|(k, _)| k))
+        .chain(metrics.histograms().map(|(k, _)| k));
+    for name in names {
+        if let Err(e) = check_name(name) {
+            problems.push(e);
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforming_names_pass() {
+        for name in [
+            "net.frames_dropped",
+            "net.frames_sent.server",
+            "phone.tasks_assigned",
+            "store.rows_inserted.records",
+            "pipeline.upload_commit_latency_s",
+            "sched.sim_coverage.greedy",
+            "par.busy_ms",
+        ] {
+            assert!(check_name(name).is_ok(), "{name} should conform");
+        }
+    }
+
+    #[test]
+    fn nonconforming_names_fail_with_reasons() {
+        for name in [
+            "bare",                // one segment
+            "server.msg",          // no underscore in measurement
+            "phone.task.assigned", // ditto, with a label
+            "Server.frames_sent",  // uppercase component
+            "net.frames_sent.a.b", // too many segments
+            "net._frames",         // leading underscore
+            "net.frames_",         // trailing underscore
+        ] {
+            assert!(check_name(name).is_err(), "{name} should violate the convention");
+        }
+    }
+
+    #[test]
+    fn audit_walks_all_metric_kinds() {
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent", 1); // ok
+        m.count("server.msg", 1); // violation
+        m.gauge("sim.queue", 1.0); // violation
+        m.observe("net.latency_s", 0.1); // ok
+        let problems = audit(&m);
+        assert_eq!(problems.len(), 2);
+        assert!(problems.iter().any(|p| p.contains("server.msg")));
+        assert!(problems.iter().any(|p| p.contains("sim.queue")));
+    }
+}

@@ -84,6 +84,28 @@ impl Trace {
         id
     }
 
+    /// Opens a *detached* span with an explicit parent: it is not
+    /// pushed on the open-span stack, so it never captures later spans
+    /// as children and stack-based parent inference is unaffected.
+    ///
+    /// Pass [`SpanId::NONE`] for a detached root. This is the primitive
+    /// behind cross-component causal links (the parent id arrived over
+    /// the wire, not from this trace's stack) and behind parallel
+    /// fan-out, where children must attach to the logical parent
+    /// regardless of worker interleaving.
+    pub fn start_with_parent(&mut self, name: &str, at: f64, parent: SpanId) -> SpanId {
+        let id = SpanId(self.spans.len() as u64 + 1);
+        self.spans.push(Span {
+            id,
+            parent: parent.is_real().then_some(parent),
+            name: name.to_string(),
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
     /// Closes a span at simulated time `at`. Any still-open spans
     /// nested inside it are force-closed at the same instant, so the
     /// tree stays well-formed even if a caller forgets an inner end.
@@ -105,10 +127,17 @@ impl Trace {
         }
     }
 
-    /// Appends a key/value attribute to a span.
+    /// Sets a key/value attribute on a span. Re-setting an existing key
+    /// overwrites the value in place (last write wins), keeping the
+    /// key's original position so exports stay deterministic.
     pub fn attr(&mut self, id: SpanId, key: &str, value: &str) {
         if let Some(span) = self.span_mut(id) {
-            span.attrs.push((key.to_string(), value.to_string()));
+            if let Some(slot) = span.attrs.iter_mut().find(|(k, _)| k == key) {
+                slot.1.clear();
+                slot.1.push_str(value);
+            } else {
+                span.attrs.push((key.to_string(), value.to_string()));
+            }
         }
     }
 
@@ -151,8 +180,10 @@ impl Trace {
         let mut roots: Vec<usize> = Vec::new();
         for (i, s) in self.spans.iter().enumerate() {
             match s.parent {
-                Some(p) => children[p.0 as usize].push(i),
-                None => roots.push(i),
+                // A dangling parent id (possible after a crash truncated
+                // the trace) renders as a root rather than panicking.
+                Some(p) if (p.0 as usize) <= self.spans.len() => children[p.0 as usize].push(i),
+                _ => roots.push(i),
             }
         }
         let mut out = String::new();
@@ -300,6 +331,51 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_close_is_a_noop_after_force_close() {
+        let mut t = Trace::new();
+        let a = t.start("outer", 0.0);
+        let b = t.start("inner", 1.0);
+        t.end(a, 5.0); // force-closes b at 5.0
+        t.end(b, 9.0); // late close of an already-closed span
+        assert_eq!(t.spans()[1].end, Some(5.0), "first close wins");
+        // Closing a again is equally inert.
+        t.end(a, 11.0);
+        assert_eq!(t.spans()[0].end, Some(5.0));
+    }
+
+    #[test]
+    fn none_parent_makes_a_detached_root() {
+        let mut t = Trace::new();
+        let enclosing = t.start("enclosing", 0.0);
+        let detached = t.start_with_parent("detached", 1.0, SpanId::NONE);
+        assert_eq!(t.spans()[1].parent, None, "NONE parent means root, not stack parent");
+        t.end(detached, 2.0);
+        // The detached close never disturbs the open stack.
+        let child = t.start("child", 3.0);
+        assert_eq!(t.spans()[2].parent, Some(enclosing));
+        t.end(child, 4.0);
+        t.end(enclosing, 5.0);
+    }
+
+    #[test]
+    fn attribute_overwrite_keeps_position_and_last_value() {
+        let mut t = Trace::new();
+        let s = t.start("span", 0.0);
+        t.attr(s, "first", "1");
+        t.attr(s, "second", "2");
+        t.attr(s, "first", "overwritten");
+        t.end(s, 1.0);
+        assert_eq!(
+            t.spans()[0].attrs,
+            vec![
+                ("first".to_string(), "overwritten".to_string()),
+                ("second".to_string(), "2".to_string()),
+            ],
+            "last write wins, original key order preserved"
+        );
+    }
+
+    #[test]
     fn tree_renders_hierarchy_and_attrs() {
         let mut t = Trace::new();
         let a = t.start("root", 0.0);
@@ -340,6 +416,34 @@ mod tests {
         assert!(j.contains("\"attrs\":{\"k\":\"v\"}"));
         assert!(j.contains("\"detail\":\"boom\""));
         assert_eq!(j, t.to_json());
+    }
+
+    #[test]
+    fn detached_spans_take_explicit_parent_and_skip_the_stack() {
+        let mut t = Trace::new();
+        let a = t.start("outer", 0.0);
+        let d = t.start_with_parent("detached", 1.0, a);
+        // The stack is untouched: a stack-opened span under `outer` is
+        // still parented to `outer`, not to the detached span.
+        let b = t.start("inner", 1.5);
+        t.end(b, 2.0);
+        t.end(d, 3.0);
+        t.end(a, 4.0);
+        assert_eq!(t.spans()[1].parent, Some(a));
+        assert_eq!(t.spans()[1].end, Some(3.0));
+        assert_eq!(t.spans()[2].parent, Some(a));
+        // NONE parent makes a detached root.
+        let r = t.start_with_parent("root2", 5.0, SpanId::NONE);
+        assert_eq!(t.spans()[r.0 as usize - 1].parent, None);
+    }
+
+    #[test]
+    fn dangling_parent_renders_as_root() {
+        let mut t = Trace::new();
+        let s = t.start_with_parent("lost", 0.0, SpanId(999));
+        t.end(s, 1.0);
+        let tree = t.render_tree();
+        assert!(tree.starts_with("[0.000..1.000] lost"), "{tree}");
     }
 
     #[test]

@@ -139,8 +139,8 @@ impl Counters {
 fn record_snapshot(rec: &Recorder, s: PoolStats) {
     rec.count("par.calls_parallel", s.par_calls);
     rec.count("par.calls_sequential", s.seq_calls);
-    rec.count("par.tasks", s.tasks);
-    rec.count("par.chunks", s.chunks);
+    rec.count("par.tasks_run", s.tasks);
+    rec.count("par.chunks_run", s.chunks);
     rec.gauge("par.busy_ms", s.busy_ns as f64 / 1.0e6);
 }
 
@@ -262,6 +262,27 @@ where
 {
     let workers = if items.len() < min_len { 1 } else { current_threads() };
     map_engine(workers, &GLOBAL, items, &f)
+}
+
+/// [`par_map_min`] with a shared read-only context threaded to every
+/// worker alongside the item's index: `f(ctx, i, &items[i])`.
+///
+/// This is the parent-context plumbing the tracing layer uses for
+/// parallel fan-outs: the caller pre-allocates per-item span ids (or
+/// any other per-item state) *sequentially*, passes the lot as `ctx`,
+/// and each worker addresses its own slot by index — so annotations
+/// land on the right span no matter how workers interleave, and the
+/// result stays index-for-index identical to the sequential map.
+pub fn par_map_ctx<T, R, C, F>(items: &[T], min_len: usize, ctx: &C, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    C: Sync,
+    F: Fn(&C, usize, &T) -> R + Sync,
+{
+    let indexed: Vec<usize> = (0..items.len()).collect();
+    let workers = if items.len() < min_len { 1 } else { current_threads() };
+    map_engine(workers, &GLOBAL, &indexed, &|&i| f(ctx, i, &items[i]))
 }
 
 /// Chunked parallel map using the global thread knob: `f` maps each
@@ -509,8 +530,21 @@ mod tests {
         let rec = Recorder::enabled();
         pool.record_stats(&rec);
         let m = rec.metrics_snapshot().unwrap();
-        assert_eq!(m.counter("par.tasks"), 10);
+        assert_eq!(m.counter("par.tasks_run"), 10);
         assert_eq!(m.counter("par.calls_parallel"), 1);
+    }
+
+    #[test]
+    fn par_map_ctx_passes_context_and_index() {
+        let items: Vec<u64> = (10..20).collect();
+        let slots: Vec<Mutex<u64>> = (0..items.len()).map(|_| Mutex::new(0)).collect();
+        let out = par_map_ctx(&items, 1, &slots, |slots, i, &x| {
+            *slots[i].lock() = x; // each worker writes only its own slot
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let written: Vec<u64> = slots.iter().map(|s| *s.lock()).collect();
+        assert_eq!(written, items);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod message;
 pub mod varint;
 pub mod wire;
 
-pub use message::{Message, SensedRecord, SensorPermission};
+pub use message::{Message, SensedRecord, SensorPermission, TraceContext};
 
 /// Errors produced while decoding SOR frames.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,7 +10,19 @@
 //! +-------+------+----------------+---------+-------+
 //! ```
 //!
-//! The CRC covers magic, type, length and payload.
+//! When the high bit of the type byte ([`TRACED_FLAG`]) is set, a
+//! [`TraceContext`] (trace id + parent span id, both varints) is
+//! spliced between the type byte and the payload length:
+//!
+//! ```text
+//! +-------+-----------+----------+-------------+-----+---------+-------+
+//! | magic | type|0x80 | trace id | parent span | len | payload | crc32 |
+//! +-------+-----------+----------+-------------+-----+---------+-------+
+//! ```
+//!
+//! Untraced frames are byte-identical to the pre-context format, so the
+//! context costs nothing when tracing is off. The CRC covers everything
+//! before it: magic, type, optional context, length and payload.
 
 use crate::checksum::crc32;
 use crate::wire::{Reader, Writer};
@@ -18,6 +30,32 @@ use crate::ProtoError;
 
 /// Frame magic: "SOR1".
 pub const MAGIC: [u8; 4] = *b"SOR1";
+
+/// High bit of the frame type byte: set when a [`TraceContext`] follows.
+pub const TRACED_FLAG: u8 = 0x80;
+
+/// Causal trace context carried on a wire frame: which logical trace
+/// the message belongs to and which span caused it. Varint-encoded, so
+/// a typical context costs 2–4 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Logical trace id (e.g. derived from the originating task id).
+    pub trace_id: u64,
+    /// Span id of the causing span in the sender's trace; 0 = none.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// A context with a trace id but no causal parent.
+    pub fn root(trace_id: u64) -> Self {
+        TraceContext { trace_id, parent_span: 0 }
+    }
+
+    /// The same trace, re-parented under `parent_span`.
+    pub fn child(self, parent_span: u64) -> Self {
+        TraceContext { trace_id: self.trace_id, parent_span }
+    }
+}
 
 /// One raw acquisition record: the paper's 3-tuple `(t, Δt, d)` of §IV-A
 /// plus the sensor kind it came from.
@@ -124,6 +162,13 @@ impl Message {
 
     /// Encodes the message into a framed, checksummed byte vector.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Encodes the message, optionally splicing a [`TraceContext`] into
+    /// the frame. `encode_traced(None)` is byte-identical to
+    /// [`Message::encode`].
+    pub fn encode_traced(&self, ctx: Option<TraceContext>) -> Vec<u8> {
         let mut payload = Writer::new();
         match self {
             Message::ParticipationRequest {
@@ -178,7 +223,14 @@ impl Message {
 
         let mut frame = Writer::with_capacity(payload.len() + 16);
         frame.put_raw(&MAGIC);
-        frame.put_u8(self.type_byte());
+        match ctx {
+            Some(ctx) => {
+                frame.put_u8(self.type_byte() | TRACED_FLAG);
+                frame.put_uvar(ctx.trace_id);
+                frame.put_uvar(ctx.parent_span);
+            }
+            None => frame.put_u8(self.type_byte()),
+        }
         frame.put_uvar(payload.len() as u64);
         frame.put_raw(&payload);
         let crc = crc32(frame.as_slice());
@@ -186,13 +238,24 @@ impl Message {
         frame.into_bytes()
     }
 
-    /// Decodes a full frame.
+    /// Decodes a full frame, ignoring any embedded [`TraceContext`].
     ///
     /// # Errors
     ///
     /// Any [`ProtoError`]: bad magic, unknown type, truncation, CRC
     /// mismatch, or trailing bytes after the frame.
     pub fn decode(frame: &[u8]) -> Result<Self, ProtoError> {
+        Self::decode_traced(frame).map(|(msg, _)| msg)
+    }
+
+    /// Decodes a full frame along with its [`TraceContext`], if the
+    /// sender attached one.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`]: bad magic, unknown type, truncation, CRC
+    /// mismatch, or trailing bytes after the frame.
+    pub fn decode_traced(frame: &[u8]) -> Result<(Self, Option<TraceContext>), ProtoError> {
         let mut r = Reader::new(frame);
         let magic: [u8; 4] = {
             let mut m = [0u8; 4];
@@ -204,7 +267,13 @@ impl Message {
         if magic != MAGIC {
             return Err(ProtoError::BadMagic(magic));
         }
-        let ty = r.get_u8()?;
+        let raw_ty = r.get_u8()?;
+        let ty = raw_ty & !TRACED_FLAG;
+        let ctx = if raw_ty & TRACED_FLAG != 0 {
+            Some(TraceContext { trace_id: r.get_uvar()?, parent_span: r.get_uvar()? })
+        } else {
+            None
+        };
         let len = r.get_uvar()? as usize;
         if r.remaining() < len + 4 {
             return Err(ProtoError::LengthMismatch {
@@ -273,7 +342,7 @@ impl Message {
         if p.remaining() > 0 {
             return Err(ProtoError::TrailingBytes(p.remaining()));
         }
-        Ok(msg)
+        Ok((msg, ctx))
     }
 }
 
@@ -401,5 +470,61 @@ mod tests {
         // 1 token + 4 crc = 11 bytes.
         let frame = Message::WakeUp { token: 5 }.encode();
         assert_eq!(frame.len(), 11);
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_context() {
+        let ctx = TraceContext { trace_id: 42, parent_span: 9000 };
+        for msg in sample_messages() {
+            let frame = msg.encode_traced(Some(ctx));
+            let (back, got) = Message::decode_traced(&frame).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(got, Some(ctx));
+            // The context-oblivious decoder accepts the same frame.
+            assert_eq!(Message::decode(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn untraced_frames_are_byte_identical_to_legacy_encoding() {
+        for msg in sample_messages() {
+            assert_eq!(msg.encode_traced(None), msg.encode());
+            let (_, ctx) = Message::decode_traced(&msg.encode()).unwrap();
+            assert_eq!(ctx, None);
+        }
+    }
+
+    #[test]
+    fn trace_context_is_compact_and_crc_covered() {
+        // WakeUp + small context: 11 legacy bytes + 2 context varints.
+        let ctx = TraceContext::root(7).child(3);
+        let frame = Message::WakeUp { token: 5 }.encode_traced(Some(ctx));
+        assert_eq!(frame.len(), 13);
+        // Flipping a context byte must break the CRC.
+        let mut bad = frame.clone();
+        bad[5] ^= 0x01; // trace id varint
+        assert!(Message::decode_traced(&bad).is_err());
+    }
+
+    #[test]
+    fn traced_corruption_detected() {
+        let ctx = TraceContext { trace_id: u64::MAX, parent_span: u64::MAX };
+        for msg in sample_messages() {
+            let frame = msg.encode_traced(Some(ctx));
+            let mut bad = frame.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x40;
+            assert!(Message::decode_traced(&bad).is_err());
+            for cut in [5, frame.len() / 2, frame.len() - 1] {
+                assert!(Message::decode_traced(&frame[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_context_helpers() {
+        let root = TraceContext::root(11);
+        assert_eq!(root, TraceContext { trace_id: 11, parent_span: 0 });
+        assert_eq!(root.child(4), TraceContext { trace_id: 11, parent_span: 4 });
     }
 }

@@ -119,6 +119,18 @@ impl SensorKind {
             SensorKind::GasCo => "co-gas",
         }
     }
+
+    /// Metric label: like [`SensorKind::name`] but restricted to the
+    /// `[a-z0-9_]` alphabet the `component.noun_verb.label` metric
+    /// naming convention allows.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            SensorKind::WifiRssi => "wifi_rssi",
+            SensorKind::IrThermometer => "ir_thermometer",
+            SensorKind::GasCo => "co_gas",
+            other => other.name(),
+        }
+    }
 }
 
 impl std::fmt::Display for SensorKind {

@@ -10,6 +10,7 @@
 //! which will then be stored into the database to serve as input for
 //! the Personalizable Ranker."
 
+use sor_obs::{Recorder, SpanId};
 use sor_proto::Message;
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
 
@@ -27,6 +28,25 @@ pub const FEATURES_TABLE: &str = "features";
 /// pool (below this the scoped-spawn cost dominates).
 const PAR_DECODE_CUTOFF: usize = 16;
 
+/// What one inbox drain accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct InboxOutcome {
+    /// Records decoded and inserted.
+    pub stored: usize,
+    /// Corrupt / non-upload blobs dropped.
+    pub dropped: usize,
+    /// The last `processor.commit` span created ([`SpanId::NONE`] when
+    /// no traced blob was drained) — the causal parent for subsequent
+    /// rank work.
+    pub last_commit_span: SpanId,
+}
+
+impl Default for InboxOutcome {
+    fn default() -> Self {
+        InboxOutcome { stored: 0, dropped: 0, last_commit_span: SpanId::NONE }
+    }
+}
+
 /// The data processor. Stateless; all state is in the database.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DataProcessor;
@@ -41,6 +61,7 @@ impl DataProcessor {
         db.create_table(
             Schema::new(INBOX_TABLE)
                 .column("app_id", ColumnType::Int)
+                .column("arrival", ColumnType::Float)
                 .column("body", ColumnType::Bytes),
         )?;
         db.create_table(
@@ -68,7 +89,8 @@ impl DataProcessor {
     }
 
     /// Stores an encoded upload frame in the inbox, untouched — the
-    /// Message Handler's fast path.
+    /// Message Handler's fast path. `arrival` is the simulated receipt
+    /// time; the drain pass uses it to measure upload→commit latency.
     ///
     /// # Errors
     ///
@@ -77,9 +99,13 @@ impl DataProcessor {
         &self,
         db: &mut Database,
         app_id: u64,
+        arrival: f64,
         frame: &[u8],
     ) -> Result<(), ServerError> {
-        db.insert(INBOX_TABLE, vec![Value::Int(app_id as i64), Value::Bytes(frame.to_vec())])?;
+        db.insert(
+            INBOX_TABLE,
+            vec![Value::Int(app_id as i64), Value::Float(arrival), Value::Bytes(frame.to_vec())],
+        )?;
         Ok(())
     }
 
@@ -92,28 +118,64 @@ impl DataProcessor {
     ///
     /// Storage errors.
     pub fn process_inbox(&self, db: &mut Database) -> Result<(usize, usize), ServerError> {
+        let outcome = self.process_inbox_traced(db, &Recorder::disabled(), 0.0)?;
+        Ok((outcome.stored, outcome.dropped))
+    }
+
+    /// [`DataProcessor::process_inbox`] with causal tracing: each blob
+    /// whose stored frame carries a [`sor_proto::TraceContext`] gets a
+    /// `processor.commit` span hung off the handler span that enqueued
+    /// it, and its upload→commit latency (arrival column to `now`) is
+    /// observed. Spans are created in inbox row order *after* the
+    /// parallel decode, so the trace is identical at any `SOR_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors.
+    pub fn process_inbox_traced(
+        &self,
+        db: &mut Database,
+        recorder: &Recorder,
+        now: f64,
+    ) -> Result<InboxOutcome, ServerError> {
         let blobs = db.scan(INBOX_TABLE, &Predicate::True)?;
         // Frame decode is pure CPU with no shared state, so the drain
         // fans it out to the worker pool; the store commit below stays
-        // sequential in inbox row order, so record row ids and WAL
-        // ordering are exactly what the sequential drain produces.
-        let decoded: Vec<Option<(i64, u64, Vec<sor_proto::SensedRecord>)>> =
-            sor_par::par_map_min(&blobs, PAR_DECODE_CUTOFF, |row| {
-                let app_id = row.values[0].as_int().expect("schema");
-                let body = row.values[1].as_bytes().expect("schema");
-                match Message::decode(body) {
-                    Ok(Message::SensedDataUpload { task_id, records }) => {
-                        Some((app_id, task_id, records))
-                    }
-                    _ => None,
-                }
-            });
-        let mut stored = 0usize;
-        let mut dropped = 0usize;
+        // sequential in inbox row order, so record row ids, WAL
+        // ordering, and span allocation are exactly what the sequential
+        // drain produces.
+        type Decoded = Option<(i64, f64, u64, Vec<sor_proto::SensedRecord>, Option<u64>, u64)>;
+        let decoded: Vec<Decoded> = sor_par::par_map_min(&blobs, PAR_DECODE_CUTOFF, |row| {
+            let app_id = row.values[0].as_int().expect("schema");
+            let arrival = row.values[1].as_float().expect("schema");
+            let body = row.values[2].as_bytes().expect("schema");
+            match Message::decode_traced(body) {
+                Ok((Message::SensedDataUpload { task_id, records }, ctx)) => Some((
+                    app_id,
+                    arrival,
+                    task_id,
+                    records,
+                    ctx.map(|c| c.parent_span),
+                    ctx.map_or(0, |c| c.trace_id),
+                )),
+                _ => None,
+            }
+        });
+        let mut outcome = InboxOutcome::default();
         for frame in decoded {
-            let Some((app_id, task_id, records)) = frame else {
-                dropped += 1;
+            let Some((app_id, arrival, task_id, records, parent, trace_id)) = frame else {
+                outcome.dropped += 1;
                 continue;
+            };
+            let span = match parent {
+                Some(p) => {
+                    let s = recorder.span_start_with_parent("processor.commit", now, SpanId(p));
+                    recorder.span_attr_with(s, "task", || task_id.to_string());
+                    recorder.span_attr_with(s, "trace_id", || trace_id.to_string());
+                    recorder.observe("pipeline.upload_commit_latency_s", (now - arrival).max(0.0));
+                    s
+                }
+                None => SpanId::NONE,
             };
             for r in records {
                 let mut enc = sor_proto::wire::Writer::new();
@@ -129,11 +191,15 @@ impl DataProcessor {
                         Value::Bytes(enc.into_bytes()),
                     ],
                 )?;
-                stored += 1;
+                outcome.stored += 1;
+            }
+            if span.is_real() {
+                recorder.span_end(span, now);
+                outcome.last_commit_span = span;
             }
         }
         db.delete_where(INBOX_TABLE, &Predicate::True)?;
-        Ok((stored, dropped))
+        Ok(outcome)
     }
 
     /// Loads the decoded records of one application.
@@ -241,9 +307,9 @@ mod tests {
     fn inbox_to_records_pipeline() {
         let mut db = db();
         let p = DataProcessor;
-        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0, 71.0])).unwrap();
-        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![72.0])).unwrap();
-        p.enqueue_raw(&mut db, 2, &upload(6, 7, vec![60.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &upload(5, 7, vec![70.0, 71.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &upload(5, 7, vec![72.0])).unwrap();
+        p.enqueue_raw(&mut db, 2, 0.0, &upload(6, 7, vec![60.0])).unwrap();
         let (stored, dropped) = p.process_inbox(&mut db).unwrap();
         assert_eq!((stored, dropped), (3, 0));
         // Inbox cleared.
@@ -260,10 +326,10 @@ mod tests {
     fn corrupt_blobs_are_dropped_not_fatal() {
         let mut db = db();
         let p = DataProcessor;
-        p.enqueue_raw(&mut db, 1, b"garbage").unwrap();
-        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, b"garbage").unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &upload(5, 7, vec![70.0])).unwrap();
         // A non-upload message in the inbox is also dropped.
-        p.enqueue_raw(&mut db, 1, &Message::WakeUp { token: 1 }.encode()).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &Message::WakeUp { token: 1 }.encode()).unwrap();
         let (stored, dropped) = p.process_inbox(&mut db).unwrap();
         assert_eq!((stored, dropped), (1, 2));
     }
@@ -273,14 +339,14 @@ mod tests {
         let mut db = db();
         let p = DataProcessor;
         let spec = FeatureSpec::new("temp", "°F", Extractor::Mean { sensor: 7 }, 60.0);
-        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0, 72.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &upload(5, 7, vec![70.0, 72.0])).unwrap();
         p.process_inbox(&mut db).unwrap();
         let failures = p.compute_features(&mut db, 1, std::slice::from_ref(&spec)).unwrap();
         assert!(failures.is_empty());
         assert_eq!(p.feature_value(&db, 1, "temp").unwrap(), Some(71.0));
 
         // More data arrives; recompute replaces the value.
-        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![80.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &upload(5, 7, vec![80.0])).unwrap();
         p.process_inbox(&mut db).unwrap();
         p.compute_features(&mut db, 1, &[spec]).unwrap();
         assert_eq!(p.feature_value(&db, 1, "temp").unwrap(), Some(74.0));
@@ -294,7 +360,7 @@ mod tests {
         let p = DataProcessor;
         let good = FeatureSpec::new("temp", "°F", Extractor::Mean { sensor: 7 }, 60.0);
         let bad = FeatureSpec::new("noise", "", Extractor::Mean { sensor: 2 }, 20.0);
-        p.enqueue_raw(&mut db, 1, &upload(5, 7, vec![70.0])).unwrap();
+        p.enqueue_raw(&mut db, 1, 0.0, &upload(5, 7, vec![70.0])).unwrap();
         p.process_inbox(&mut db).unwrap();
         let failures = p.compute_features(&mut db, 1, &[good, bad]).unwrap();
         assert_eq!(failures.len(), 1);

@@ -126,7 +126,7 @@ mod tests {
                 }],
             }
             .encode();
-            DataProcessor.enqueue_raw(&mut db, id, &frame).unwrap();
+            DataProcessor.enqueue_raw(&mut db, id, 0.0, &frame).unwrap();
         }
         DataProcessor.process_inbox(&mut db).unwrap();
         for id in [1u64, 2] {

@@ -8,8 +8,8 @@ use sor_core::schedule::{GreedyStats, UserId};
 use sor_core::time::TimeGrid;
 use sor_core::UserPreferences;
 use sor_durable::{DurableDatabase, DurableOptions, RecoveryReport, Storage};
-use sor_obs::Recorder;
-use sor_proto::Message;
+use sor_obs::{Recorder, SpanId};
+use sor_proto::{Message, TraceContext};
 use sor_script::analysis::{analyze, CapabilitySet};
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
 
@@ -49,6 +49,26 @@ pub struct SensingServer {
     rank_cache: RankCache,
     /// Bumped by every Data Processor pass; invalidates `rank_cache`.
     features_epoch: u64,
+    /// Seconds after a task's first planned sense time within which its
+    /// first upload must arrive to count as an on-time ack (SLO
+    /// `ack_hit_rate`).
+    ack_deadline: f64,
+    /// Tasks whose first upload has not arrived yet → their first
+    /// planned sense time.
+    pending_acks: BTreeMap<u64, f64>,
+    /// Tasks whose first upload was already measured (so a replan does
+    /// not re-arm the ack timer).
+    acked: std::collections::BTreeSet<u64>,
+    /// Last distributed sense times per task (replaced on replan).
+    planned: BTreeMap<u64, Vec<f64>>,
+    /// Planned instants from superseded plans that were already in the
+    /// past when replaced — they stay in the coverage denominator.
+    planned_past_retired: u64,
+    /// Uploads accepted into the inbox (coverage numerator).
+    uploads_accepted: u64,
+    /// The most recent `processor.commit` span — the causal parent for
+    /// rank work until the next inbox drain.
+    last_commit_span: SpanId,
 }
 
 impl std::fmt::Debug for SensingServer {
@@ -118,6 +138,13 @@ impl SensingServer {
             sched_work_reported: GreedyStats::default(),
             rank_cache: RankCache::new(),
             features_epoch: 0,
+            ack_deadline: 120.0,
+            pending_acks: BTreeMap::new(),
+            acked: std::collections::BTreeSet::new(),
+            planned: BTreeMap::new(),
+            planned_past_retired: 0,
+            uploads_accepted: 0,
+            last_commit_span: SpanId::NONE,
         })
     }
 
@@ -286,8 +313,8 @@ impl SensingServer {
     }
 
     /// Exports the greedy work done since the last call as counters
-    /// (`sched.iterations`, `sched.gain_evaluations`). Work counts, not
-    /// wall time: the deterministic cost measure of the scheduler.
+    /// (`sched.iterations_run`, `sched.gain_evaluations`). Work counts,
+    /// not wall time: the deterministic cost measure of the scheduler.
     fn record_scheduler_work(&mut self) {
         if !self.recorder.is_enabled() {
             return;
@@ -299,13 +326,50 @@ impl SensingServer {
         let new_iters = total.iterations - self.sched_work_reported.iterations;
         let new_evals = total.gain_evaluations - self.sched_work_reported.gain_evaluations;
         if new_iters > 0 {
-            self.recorder.count("sched.iterations", new_iters);
+            self.recorder.count("sched.iterations_run", new_iters);
         }
         if new_evals > 0 {
             self.recorder.count("sched.gain_evaluations", new_evals);
             self.recorder.observe("sched.replan_gain_evaluations", new_evals as f64);
         }
         self.sched_work_reported = total;
+    }
+
+    /// Pipeline bookkeeping for one accepted upload: the coverage
+    /// numerator, and — on a task's *first* upload — the ack-deadline
+    /// measurement against its first planned sense time.
+    fn note_upload(&mut self, task_id: u64) {
+        self.uploads_accepted += 1;
+        self.recorder.count("pipeline.uploads_accepted", 1);
+        if let Some(first_planned) = self.pending_acks.remove(&task_id) {
+            self.acked.insert(task_id);
+            self.recorder.count("pipeline.acks_measured", 1);
+            if self.now <= first_planned + self.ack_deadline {
+                self.recorder.count("pipeline.acks_on_time", 1);
+            }
+        }
+    }
+
+    /// Planned sense instants at or before `now`, across current plans
+    /// and the already-past portion of superseded ones — the coverage
+    /// denominator.
+    fn planned_past(&self, now: f64) -> u64 {
+        let live: u64 =
+            self.planned.values().map(|ts| ts.iter().filter(|&&t| t <= now).count() as u64).sum();
+        self.planned_past_retired + live
+    }
+
+    /// Publishes the realized-coverage gauge: accepted uploads over
+    /// planned instants that have come due. The world's periodic health
+    /// events call this right before grading SLOs.
+    pub fn update_health_gauges(&mut self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let due = self.planned_past(self.now);
+        let ratio =
+            if due == 0 { 1.0 } else { (self.uploads_accepted as f64 / due as f64).min(1.0) };
+        self.recorder.gauge("pipeline.coverage_realized_ratio", ratio);
     }
 
     /// Handles one decoded message from a phone, returning the replies
@@ -316,11 +380,39 @@ impl SensingServer {
     /// Application/participation/storage errors. A location-mismatch on
     /// admission is an error the caller may surface to the phone.
     pub fn handle_message(&mut self, msg: &Message) -> Result<Vec<(u64, Message)>, ServerError> {
+        self.handle_message_ctx(msg, None)
+            .map(|out| out.into_iter().map(|(token, m, _)| (token, m)).collect())
+    }
+
+    /// [`SensingServer::handle_message`] with the causal context the
+    /// frame arrived with: the handler span hangs off the sender's span
+    /// (the phone's `script.run` for uploads), and every outgoing reply
+    /// carries a context rooted at the span that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensingServer::handle_message`].
+    pub fn handle_message_ctx(
+        &mut self,
+        msg: &Message,
+        ctx: Option<TraceContext>,
+    ) -> Result<Vec<(u64, Message, Option<TraceContext>)>, ServerError> {
         let kind = message_kind(msg);
-        let span = self.recorder.span_start("server.handle_message", self.now);
+        let span = match ctx {
+            Some(c) => {
+                let s = self.recorder.span_start_with_parent(
+                    "server.handle_message",
+                    self.now,
+                    SpanId(c.parent_span),
+                );
+                self.recorder.span_attr_with(s, "trace_id", || c.trace_id.to_string());
+                s
+            }
+            None => self.recorder.span_start("server.handle_message", self.now),
+        };
         self.recorder.span_attr(span, "kind", kind);
-        self.recorder.count_labeled("server.msg", kind, 1);
-        let result = self.dispatch_message(msg);
+        self.recorder.count_labeled("server.msg_received", kind, 1);
+        let result = self.dispatch_message(msg, ctx, span);
         if result.is_err() {
             self.recorder.count_labeled("server.msg_rejected", kind, 1);
         }
@@ -336,7 +428,12 @@ impl SensingServer {
         }
     }
 
-    fn dispatch_message(&mut self, msg: &Message) -> Result<Vec<(u64, Message)>, ServerError> {
+    fn dispatch_message(
+        &mut self,
+        msg: &Message,
+        ctx: Option<TraceContext>,
+        span: SpanId,
+    ) -> Result<Vec<(u64, Message, Option<TraceContext>)>, ServerError> {
         if let Some(token) = message_token(msg, &self.participation) {
             self.last_contact.insert(token, self.now);
         }
@@ -360,9 +457,14 @@ impl SensingServer {
                 let task =
                     self.participation.task(*task_id).ok_or(ServerError::UnknownTask(*task_id))?;
                 let app_id = task.app_id;
+                self.note_upload(*task_id);
                 // "directly store the binary message body into the
-                // database, which will be processed later".
-                self.processor.enqueue_raw(self.db.db_mut(), app_id, &msg.encode())?;
+                // database, which will be processed later". The handler
+                // span is spliced into the stored frame so the eventual
+                // `processor.commit` hangs off *this* receipt, however
+                // long the blob sits in the inbox.
+                let stored = msg.encode_traced(ctx.map(|c| c.child(span.0)));
+                self.processor.enqueue_raw(self.db.db_mut(), app_id, self.now, &stored)?;
                 Ok(Vec::new())
             }
             Message::TaskComplete { task_id, status } => {
@@ -398,7 +500,7 @@ impl SensingServer {
         longitude: f64,
         budget: u32,
         stay_seconds: f64,
-    ) -> Result<Vec<(u64, Message)>, ServerError> {
+    ) -> Result<Vec<(u64, Message, Option<TraceContext>)>, ServerError> {
         let app = self.apps.get(app_id).ok_or(ServerError::UnknownApplication(app_id))?.clone();
         // Pre-dispatch verification (§II-A's whitelist, enforced
         // statically): a script with error-severity findings fails on
@@ -407,13 +509,13 @@ impl SensingServer {
         // replans for an arrival that can never produce data.
         let verdict = analyze(&app.script, &CapabilitySet::standard_sensing());
         if verdict.has_errors() {
-            self.recorder.count("server.admission.script_rejected", 1);
+            self.recorder.count("server.scripts_rejected", 1);
             return Err(ServerError::ScriptRejected {
                 app_id,
                 report: verdict.render(&format!("app-{app_id}")),
             });
         }
-        self.recorder.count("server.admission.admitted", 1);
+        self.recorder.count("server.admissions_accepted", 1);
         let user = self.users.register(self.db.db_mut(), token, "participant")?;
         let task = self.participation.admit(
             &app,
@@ -437,10 +539,16 @@ impl SensingServer {
     }
 
     /// Builds ScheduleAssignment messages for all active tasks of one
-    /// application from the scheduler's current plan.
-    fn distribute_schedules(&mut self, app_id: u64) -> Result<Vec<(u64, Message)>, ServerError> {
+    /// application from the scheduler's current plan. Each assignment
+    /// gets its own `server.task_dispatch` span and rides out with a
+    /// [`TraceContext`] rooted at it (`trace_id` = task id + 1), the
+    /// root of that task's cross-device causal tree.
+    fn distribute_schedules(
+        &mut self,
+        app_id: u64,
+    ) -> Result<Vec<(u64, Message, Option<TraceContext>)>, ServerError> {
         let span = self.recorder.span_start("server.distribute_schedules", self.now);
-        let result = self.distribute_schedules_inner(app_id);
+        let result = self.distribute_schedules_inner(app_id, span);
         if let Ok(out) = &result {
             self.recorder.count("server.schedules_distributed", out.len() as u64);
             self.recorder.span_attr_with(span, "assignments", || out.len().to_string());
@@ -452,7 +560,8 @@ impl SensingServer {
     fn distribute_schedules_inner(
         &mut self,
         app_id: u64,
-    ) -> Result<Vec<(u64, Message)>, ServerError> {
+        parent: SpanId,
+    ) -> Result<Vec<(u64, Message, Option<TraceContext>)>, ServerError> {
         let app = self.apps.get(app_id).ok_or(ServerError::UnknownApplication(app_id))?.clone();
         let sched = self.schedulers.get(&app_id).expect("registered with app");
         let plan = sched.current_schedule();
@@ -486,6 +595,30 @@ impl SensingServer {
                     vec![Value::Int(task_id as i64), Value::Int(token as i64), Value::Float(t)],
                 )?;
             }
+            // Coverage bookkeeping: instants of the superseded plan
+            // that were already due stay in the denominator.
+            if let Some(old) = self.planned.remove(&task_id) {
+                self.planned_past_retired += old.iter().filter(|&&t| t <= self.now).count() as u64;
+            }
+            if !self.acked.contains(&task_id) {
+                if let Some(first) = times.iter().copied().reduce(f64::min) {
+                    self.pending_acks.entry(task_id).or_insert(first);
+                }
+            }
+            self.planned.insert(task_id, times.clone());
+            // With the recorder off no context travels, so untraced
+            // wire frames stay byte-identical to the legacy encoding.
+            let ctx = if self.recorder.is_enabled() {
+                let trace_id = task_id + 1;
+                let dispatch =
+                    self.recorder.span_start_with_parent("server.task_dispatch", self.now, parent);
+                self.recorder.span_attr_with(dispatch, "task", || task_id.to_string());
+                self.recorder.span_attr_with(dispatch, "trace_id", || trace_id.to_string());
+                self.recorder.span_end(dispatch, self.now);
+                Some(TraceContext { trace_id, parent_span: dispatch.0 })
+            } else {
+                None
+            };
             out.push((
                 token,
                 Message::ScheduleAssignment {
@@ -493,6 +626,7 @@ impl SensingServer {
                     script: app.script.clone(),
                     sense_times: times,
                 },
+                ctx,
             ));
         }
         Ok(out)
@@ -507,14 +641,18 @@ impl SensingServer {
     pub fn process_data(&mut self) -> Result<(usize, usize), ServerError> {
         let span = self.recorder.span_start("server.process_data", self.now);
         let decode = self.recorder.span_start("server.process_data.decode", self.now);
-        let counts = match self.processor.process_inbox(self.db.db_mut()) {
-            Ok(counts) => counts,
-            Err(e) => {
-                self.recorder.span_end(span, self.now);
-                return Err(e);
-            }
-        };
-        let (stored, dropped) = counts;
+        let outcome =
+            match self.processor.process_inbox_traced(self.db.db_mut(), &self.recorder, self.now) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.recorder.span_end(span, self.now);
+                    return Err(e);
+                }
+            };
+        if outcome.last_commit_span.is_real() {
+            self.last_commit_span = outcome.last_commit_span;
+        }
+        let (stored, dropped) = (outcome.stored, outcome.dropped);
         self.recorder.count("server.records_stored", stored as u64);
         self.recorder.count("server.inbox_dropped", dropped as u64);
         self.recorder.span_attr_with(decode, "records", || stored.to_string());
@@ -544,7 +682,18 @@ impl SensingServer {
         // them means recovery does not have to re-run the processor.
         self.db.commit()?;
         self.recorder.span_end(span, self.now);
-        Ok(counts)
+        Ok((stored, dropped))
+    }
+
+    /// Starts a pipeline-stage span hanging off the most recent
+    /// `processor.commit` (root when no traced blob has committed yet),
+    /// closing the dispatch → run → upload → commit → rank chain.
+    fn pipeline_span(&self, name: &str) -> SpanId {
+        if self.last_commit_span.is_real() {
+            self.recorder.span_start_with_parent(name, self.now, self.last_commit_span)
+        } else {
+            self.recorder.span_start(name, self.now)
+        }
     }
 
     /// Ranks the places of one category for one user (§IV). Answers
@@ -560,7 +709,7 @@ impl SensingServer {
         category: &str,
         prefs: &UserPreferences,
     ) -> Result<CategoryRanking, ServerError> {
-        let span = self.recorder.span_start("server.rank", self.now);
+        let span = self.pipeline_span("server.rank");
         self.recorder.span_attr(span, "category", category);
         self.recorder.count("server.rank_requests", 1);
         let key = RankCache::fingerprint(category, prefs);
@@ -595,14 +744,16 @@ impl SensingServer {
     /// to the worker pool (§IV-A serves "many users at once": each
     /// request is an independent read of the features table). Results
     /// come back in request order; cache hits are answered inline and
-    /// fresh results are cached for the current features epoch. With
-    /// `SOR_THREADS=1` this is exactly a loop over [`SensingServer::rank`]
-    /// minus the per-request spans.
+    /// fresh results are cached for the current features epoch. Each
+    /// miss gets a `server.rank_request` span allocated sequentially in
+    /// request order *before* the fan-out and annotated from whichever
+    /// worker computes it, so the trace is identical at any
+    /// `SOR_THREADS`.
     pub fn rank_many(
         &self,
         requests: &[(&str, &UserPreferences)],
     ) -> Vec<Result<CategoryRanking, ServerError>> {
-        let span = self.recorder.span_start("server.rank_many", self.now);
+        let span = self.pipeline_span("server.rank_many");
         self.recorder.span_attr_with(span, "requests", || requests.len().to_string());
         self.recorder.count("server.rank_requests", requests.len() as u64);
         let epoch = self.features_epoch;
@@ -622,17 +773,31 @@ impl SensingServer {
         }
         self.recorder.count("server.rank_cache_hits", hits);
         self.recorder.count("server.rank_cache_misses", misses.len() as u64);
-        // The misses are pure reads of the database; scans recorded
-        // inside the fan-out only bump counters (atomic, order-free),
-        // so traces and metrics stay identical at any SOR_THREADS.
+        // Per-miss spans are allocated here, sequentially, so ids are
+        // deterministic; workers only annotate their own span (and bump
+        // order-free counters), so traces and metrics stay identical at
+        // any SOR_THREADS.
+        let miss_spans: Vec<SpanId> = misses
+            .iter()
+            .map(|&k| {
+                let s = self.recorder.span_start_with_parent("server.rank_request", self.now, span);
+                self.recorder.span_attr(s, "category", requests[k].0);
+                s
+            })
+            .collect();
         let db = self.db.db();
         let apps = &self.apps;
+        let shared = (db, apps, &self.recorder, requests, &miss_spans);
         let computed: Vec<Result<CategoryRanking, ServerError>> =
-            sor_par::par_map_min(&misses, 2, |&k| {
+            sor_par::par_map_ctx(&misses, 2, &shared, |c, i, &k| {
+                let (db, apps, recorder, requests, spans) = *c;
                 let (category, prefs) = &requests[k];
-                rank_category(db, apps, category, prefs)
+                let res = rank_category(db, apps, category, prefs);
+                recorder.span_attr_with(spans[i], "ok", || res.is_ok().to_string());
+                res
             });
-        for (&k, res) in misses.iter().zip(computed) {
+        for (i, (&k, res)) in misses.iter().zip(computed).enumerate() {
+            self.recorder.span_end(miss_spans[i], self.now);
             if let Ok(ranking) = &res {
                 let (category, prefs) = &requests[k];
                 let key = RankCache::fingerprint(category, prefs);
@@ -996,15 +1161,16 @@ mod tests {
         .unwrap();
         s.process_data().unwrap();
 
-        assert_eq!(rec.counter("server.msg.participation_request"), 1);
-        assert_eq!(rec.counter("server.msg.sensed_data_upload"), 1);
-        assert_eq!(rec.counter("server.admission.admitted"), 1);
+        assert_eq!(rec.counter("server.msg_received.participation_request"), 1);
+        assert_eq!(rec.counter("server.msg_received.sensed_data_upload"), 1);
+        assert_eq!(rec.counter("server.admissions_accepted"), 1);
         assert_eq!(rec.counter("server.schedules_distributed"), 1);
         assert_eq!(rec.counter("server.records_stored"), 1);
         assert_eq!(rec.counter("server.features_computed"), 1);
+        assert_eq!(rec.counter("pipeline.uploads_accepted"), 1);
         // The greedy replan's work surfaced as counters.
-        assert!(rec.counter("sched.iterations") >= 5);
-        assert!(rec.counter("sched.gain_evaluations") >= rec.counter("sched.iterations"));
+        assert!(rec.counter("sched.iterations_run") >= 5);
+        assert!(rec.counter("sched.gain_evaluations") >= rec.counter("sched.iterations_run"));
         // Store row traffic flowed through the same recorder.
         assert!(rec.counter("store.rows_inserted.schedules") >= 5);
         // Spans exist for every stage.
@@ -1246,7 +1412,7 @@ mod tests {
             "install must index features.app_id"
         );
         assert_eq!(s.feature_value(1, "temperature").unwrap(), Some(64.0));
-        assert_eq!(rec.counter("store.scans.features"), 1);
+        assert_eq!(rec.counter("store.scans_run.features"), 1);
         assert_eq!(
             rec.counter("store.scans_indexed.features"),
             1,

@@ -92,7 +92,7 @@ proptest! {
         let mut expected = 0usize;
         for (i, batch) in batches.iter().enumerate() {
             if garbage_positions.get(i).copied().unwrap_or(false) {
-                p.enqueue_raw(&mut db, 1, b"not a frame").unwrap();
+                p.enqueue_raw(&mut db, 1, 0.0, b"not a frame").unwrap();
             }
             let records: Vec<SensedRecord> = batch
                 .iter()
@@ -105,7 +105,7 @@ proptest! {
                 .collect();
             expected += records.len();
             let frame = Message::SensedDataUpload { task_id: 1, records }.encode();
-            p.enqueue_raw(&mut db, 1, &frame).unwrap();
+            p.enqueue_raw(&mut db, 1, 0.0, &frame).unwrap();
         }
         let (stored, _dropped) = p.process_inbox(&mut db).unwrap();
         prop_assert_eq!(stored, expected);

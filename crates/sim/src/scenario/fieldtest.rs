@@ -4,16 +4,16 @@
 
 use std::sync::Arc;
 
-use sor_core::ranking::FeatureMatrix;
+use sor_core::ranking::{FeatureMatrix, Preference, UserPreferences};
 use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
-use sor_obs::Recorder;
+use sor_obs::{Alert, HealthReport, Recorder};
 use sor_sensors::environment::Environment;
 use sor_sensors::{EnergyMeter, SensorKind, SensorManager, SimulatedProvider};
 use sor_server::ranker::assemble_matrix;
 use sor_server::{ApplicationSpec, Extractor, FeatureSpec, SensingServer, ServerError};
 
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportConfig};
 use crate::world::{SorWorld, WorldStats};
 
 /// Field-test knobs. Defaults follow the paper: a 3-hour window
@@ -31,6 +31,14 @@ pub struct FieldTestConfig {
     pub sweep_interval: f64,
     /// Environment / transport noise seed.
     pub seed: u64,
+    /// Network behaviour (defaults to a perfect link; the degraded SLO
+    /// scenarios elevate `loss_rate`).
+    pub network: TransportConfig,
+    /// Interval between the server's periodic Data Processor passes
+    /// (the paper's "periodically checks … binary sensed data").
+    pub processing_interval: f64,
+    /// Interval between SLO health evaluations.
+    pub health_interval: f64,
 }
 
 impl FieldTestConfig {
@@ -42,6 +50,9 @@ impl FieldTestConfig {
             budget: 17,
             sweep_interval: 30.0,
             seed: 20131115, // Nov 15, 2013 — the coffee-shop test date
+            network: TransportConfig::default(),
+            processing_interval: 120.0,
+            health_interval: 600.0,
         }
     }
 
@@ -53,6 +64,9 @@ impl FieldTestConfig {
             budget: 17,
             sweep_interval: 30.0,
             seed: 20131117, // Nov 17, 2013 — the trail test date
+            network: TransportConfig::default(),
+            processing_interval: 120.0,
+            health_interval: 600.0,
         }
     }
 
@@ -64,7 +78,18 @@ impl FieldTestConfig {
             budget: 8,
             sweep_interval: 20.0,
             seed,
+            network: TransportConfig::default(),
+            processing_interval: 120.0,
+            health_interval: 300.0,
         }
+    }
+
+    /// The same config over a degraded network: an elevated frame drop
+    /// rate that should trip the transport-drop SLO while leaving the
+    /// pipeline functional.
+    pub fn with_loss(mut self, loss_rate: f64) -> Self {
+        self.network = TransportConfig { loss_rate, seed: self.seed, ..self.network };
+        self
     }
 }
 
@@ -85,6 +110,16 @@ pub struct FieldTestOutcome {
     /// One recovery summary per server crash (empty for crash-free or
     /// ephemeral runs), in crash order.
     pub recoveries: Vec<String>,
+    /// One rendered flight-recorder post-mortem per crash (empty
+    /// without a flight-equipped recorder), in crash order.
+    pub postmortems: Vec<String>,
+    /// Every SLO alert the health engine fired during the run, in
+    /// firing order (empty without periodic health checks or when every
+    /// objective held).
+    pub alerts: Vec<Alert>,
+    /// The final end-of-run health grade (None with a disabled
+    /// recorder).
+    pub health: Option<HealthReport>,
 }
 
 /// Durability knobs for a crash-injecting field test.
@@ -243,6 +278,20 @@ pub fn run_coffee_field_test_durable(
     run_coffee_field_test_inner(cfg, Recorder::default(), Some(durable))
 }
 
+/// [`run_coffee_field_test_durable`] with an explicit recorder — pass a
+/// flight-equipped one to collect a post-mortem at every crash.
+///
+/// # Errors
+///
+/// Server/storage/durability errors while running or ranking.
+pub fn run_coffee_field_test_durable_traced(
+    cfg: FieldTestConfig,
+    durable: DurableRun,
+    recorder: Recorder,
+) -> Result<FieldTestOutcome, ServerError> {
+    run_coffee_field_test_inner(cfg, recorder, Some(durable))
+}
+
 fn run_coffee_field_test_inner(
     cfg: FieldTestConfig,
     recorder: Recorder,
@@ -337,18 +386,24 @@ fn run_field_test(
 
     let mut world = match &durable {
         Some(d) => {
-            SorWorld::durable(d.disk.clone(), d.opts, specs, Transport::perfect(), recorder)?
+            SorWorld::durable(d.disk.clone(), d.opts, specs, Transport::new(cfg.network), recorder)?
         }
         None => {
             let mut server = SensingServer::new()?;
             for spec in specs {
                 server.register_application(spec)?;
             }
-            let mut world = SorWorld::new(server, Transport::perfect());
+            let mut world = SorWorld::new(server, Transport::new(cfg.network));
             world.set_recorder(recorder);
             world
         }
     };
+    if cfg.processing_interval > 0.0 {
+        world.schedule_processing(cfg.processing_interval, cfg.processing_interval, cfg.duration);
+    }
+    if cfg.health_interval > 0.0 {
+        world.schedule_health_checks(cfg.health_interval, cfg.health_interval, cfg.duration);
+    }
     if let Some(d) = &durable {
         for &t in &d.crash_times {
             world.schedule_crash(t);
@@ -375,6 +430,20 @@ fn run_field_test(
     }
     world.run_until(cfg.duration + 60.0);
     world.server.process_data()?;
+    // Close the causal loop in the golden trace: one neutral rank over
+    // the freshly committed features, parented on the last commit span.
+    // Errors (e.g. an empty matrix under heavy transport loss) don't
+    // fail the run — the span alone records the attempt.
+    let neutral = UserPreferences::new(
+        "field-test",
+        features.iter().map(|_| Preference::largest(3)).collect(),
+    );
+    let _ = world.server.rank(category, &neutral);
+    world.server.update_health_gauges();
+    let health = match (world.health_engine(), world.recorder().metrics_snapshot()) {
+        (Some(engine), Some(metrics)) => Some(engine.grade(&metrics)),
+        _ => None,
+    };
 
     let (matrix, app_ids) =
         assemble_matrix(world.server.database(), world.server.applications(), category)?;
@@ -385,6 +454,9 @@ fn run_field_test(
         app_ids,
         energy_mj_per_place: meters.iter().map(|m| m.total_mj()).collect(),
         recoveries: world.recoveries,
+        postmortems: world.postmortems,
+        alerts: world.alerts,
+        health,
     })
 }
 

@@ -6,8 +6,9 @@ pub mod scheduling;
 
 pub use fieldtest::{
     coffee_features, run_coffee_field_test, run_coffee_field_test_durable,
-    run_coffee_field_test_traced, run_trail_field_test, run_trail_field_test_traced,
-    trail_features, DurableRun, FieldTestConfig, FieldTestOutcome, COFFEE_SCRIPT, TRAIL_SCRIPT,
+    run_coffee_field_test_durable_traced, run_coffee_field_test_traced, run_trail_field_test,
+    run_trail_field_test_traced, trail_features, DurableRun, FieldTestConfig, FieldTestOutcome,
+    COFFEE_SCRIPT, TRAIL_SCRIPT,
 };
 pub use profiles::{alice, bob, chris, david, emma};
 pub use scheduling::{

@@ -111,15 +111,15 @@ pub fn run_scheduling_sim_traced(cfg: SchedulingConfig, recorder: &Recorder) -> 
         let participants = draw_participants(&cfg, &mut rng);
         let problem = ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
         let (schedule, stats) = lazy_greedy_stats(&problem);
-        recorder.count("sched.sim.runs", 1);
-        recorder.count("sched.sim.iterations", stats.iterations);
-        recorder.count("sched.sim.gain_evaluations", stats.gain_evaluations);
+        recorder.count("sched.sim_runs", 1);
+        recorder.count("sched.sim_iterations", stats.iterations);
+        recorder.count("sched.sim_gain_evaluations", stats.gain_evaluations);
         let g = problem.coverage_profile(&schedule);
         let b = problem.coverage_profile(&baseline(&problem));
         let g_mean = g.iter().sum::<f64>() / g.len() as f64;
         let b_mean = b.iter().sum::<f64>() / b.len() as f64;
-        recorder.observe("sched.sim.coverage.greedy", g_mean);
-        recorder.observe("sched.sim.coverage.baseline", b_mean);
+        recorder.observe("sched.sim_coverage.greedy", g_mean);
+        recorder.observe("sched.sim_coverage.baseline", b_mean);
         greedy_cov.push(g_mean);
         base_cov.push(b_mean);
         greedy_ivar.push(mean_std(&g).1.powi(2));

@@ -7,7 +7,7 @@
 //! integrity machinery load-bearing in every simulation.
 
 use sor_obs::Recorder;
-use sor_proto::Message;
+use sor_proto::{Message, TraceContext};
 use sor_sensors::noise::HashNoise;
 
 /// Who a frame is addressed to.
@@ -101,6 +101,20 @@ impl Transport {
     /// Sends a message at time `now`; returns the in-flight frame, or
     /// `None` if the network dropped it.
     pub fn send(&mut self, now: f64, to: Endpoint, msg: &Message) -> Option<InFlight> {
+        self.send_traced(now, to, msg, None)
+    }
+
+    /// [`Transport::send`] with a causal [`TraceContext`] spliced into
+    /// the frame header (see `sor-proto`); the receiver recovers it
+    /// via [`Message::decode_traced`]. Loss and corruption behave
+    /// identically to untraced sends.
+    pub fn send_traced(
+        &mut self,
+        now: f64,
+        to: Endpoint,
+        msg: &Message,
+        ctx: Option<TraceContext>,
+    ) -> Option<InFlight> {
         self.counter += 1;
         self.sent += 1;
         self.recorder.count_labeled("net.frames_sent", to.label(), 1);
@@ -109,7 +123,7 @@ impl Transport {
             self.recorder.count_labeled("net.frames_dropped", to.label(), 1);
             return None;
         }
-        let mut frame = msg.encode();
+        let mut frame = msg.encode_traced(ctx);
         if self.noise.uniform(self.counter ^ 0xC0, now) < self.cfg.corruption_rate {
             let idx = (self.noise.uniform(self.counter ^ 0xC1, now) * frame.len() as f64) as usize;
             let bit = (self.noise.uniform(self.counter ^ 0xC2, now) * 8.0) as u32 % 8;
@@ -202,5 +216,22 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn traced_send_carries_context_through_the_wire() {
+        let mut t = Transport::perfect();
+        let ctx = TraceContext { trace_id: 7, parent_span: 3 };
+        let f = t.send_traced(1.0, Endpoint::Server, &msg(), Some(ctx)).unwrap();
+        let (m, got) = Message::decode_traced(&f.frame).unwrap();
+        assert_eq!(m, msg());
+        assert_eq!(got, Some(ctx));
+    }
+
+    #[test]
+    fn untraced_send_is_byte_identical_to_send_traced_none() {
+        let a = Transport::perfect().send(1.0, Endpoint::Server, &msg()).unwrap();
+        let b = Transport::perfect().send_traced(1.0, Endpoint::Server, &msg(), None).unwrap();
+        assert_eq!(a.frame, b.frame);
     }
 }

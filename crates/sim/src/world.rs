@@ -5,8 +5,8 @@ use std::collections::HashMap;
 
 use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
-use sor_obs::Recorder;
-use sor_proto::Message;
+use sor_obs::{Alert, HealthEngine, Recorder};
+use sor_proto::{Message, TraceContext};
 use sor_server::{ApplicationSpec, SensingServer, ServerError};
 
 use crate::engine::EventQueue;
@@ -27,6 +27,12 @@ enum WorldEvent {
     /// The server process dies abruptly and restarts from its simulated
     /// disk (only meaningful in a durable world).
     ServerCrash,
+    /// The server runs a Data Processor pass (inbox drain + features);
+    /// reschedules itself.
+    ProcessData { interval: f64, until: f64 },
+    /// The server refreshes its health gauges and the SLO engine grades
+    /// every objective; reschedules itself.
+    HealthCheck { interval: f64, until: f64 },
 }
 
 /// The rebuild recipe for a durable world: the shared simulated disk,
@@ -71,8 +77,15 @@ pub struct SorWorld {
     /// crash order — scenario assertions and the smoke binary read
     /// these.
     pub recoveries: Vec<String>,
+    /// One rendered flight-recorder dump per server crash, in crash
+    /// order — the deterministic post-mortem of what the deployment was
+    /// doing when it died.
+    pub postmortems: Vec<String>,
+    /// Every SLO alert fired by the health engine, in firing order.
+    pub alerts: Vec<Alert>,
     recorder: Recorder,
     durable: Option<DurableSetup>,
+    health: Option<HealthEngine>,
 }
 
 impl std::fmt::Debug for SorWorld {
@@ -96,8 +109,11 @@ impl SorWorld {
             token_to_phone: HashMap::new(),
             stats: WorldStats::default(),
             recoveries: Vec::new(),
+            postmortems: Vec::new(),
+            alerts: Vec::new(),
             recorder: Recorder::default(),
             durable: None,
+            health: None,
         }
     }
 
@@ -188,8 +204,36 @@ impl SorWorld {
         self.queue.schedule(start, WorldEvent::LivenessCheck { interval, threshold, until });
     }
 
+    /// Schedules periodic Data Processor passes on the server — the
+    /// paper's "periodically checks if there are any binary sensed data
+    /// in the database".
+    pub fn schedule_processing(&mut self, start: f64, interval: f64, until: f64) {
+        self.queue.schedule(start, WorldEvent::ProcessData { interval, until });
+    }
+
+    /// Schedules periodic SLO evaluation with the default catalog (see
+    /// `sor_obs::HealthEngine::default_catalog`). Alerts fire into
+    /// [`SorWorld::alerts`] and — when a trace is live — as `slo.alert`
+    /// trace events.
+    pub fn schedule_health_checks(&mut self, start: f64, interval: f64, until: f64) {
+        if self.health.is_none() {
+            self.health = Some(HealthEngine::with_default_catalog());
+        }
+        self.queue.schedule(start, WorldEvent::HealthCheck { interval, until });
+    }
+
+    /// The health engine, once [`SorWorld::schedule_health_checks`] has
+    /// installed it (final-report rendering).
+    pub fn health_engine(&self) -> Option<&HealthEngine> {
+        self.health.as_ref()
+    }
+
     fn post(&mut self, now: f64, to: Endpoint, msg: &Message) {
-        if let Some(flight) = self.transport.send(now, to, msg) {
+        self.post_traced(now, to, msg, None);
+    }
+
+    fn post_traced(&mut self, now: f64, to: Endpoint, msg: &Message, ctx: Option<TraceContext>) {
+        if let Some(flight) = self.transport.send_traced(now, to, msg, ctx) {
             self.queue.schedule(flight.deliver_at, WorldEvent::Deliver(flight));
         }
     }
@@ -212,7 +256,7 @@ impl SorWorld {
             }
             let (now, event) = self.queue.pop().expect("peeked");
             self.recorder.observe("sim.queue_depth", self.queue.len() as f64);
-            self.recorder.count_labeled("sim.event", event_kind(&event), 1);
+            self.recorder.count_labeled("sim.events_dispatched", event_kind(&event), 1);
             if let WorldEvent::PhoneSweep { phone, interval, until: sweep_until } = event {
                 let batch = self.collect_sweep_batch(now, phone, interval, sweep_until);
                 self.dispatch_sweeps(now, batch);
@@ -257,14 +301,20 @@ impl SorWorld {
     /// has more than one phone), then forwards their outgoing messages
     /// and re-arms their sweep timers in the original pop order.
     fn dispatch_sweeps(&mut self, now: f64, batch: Vec<(usize, f64, f64)>) {
-        let outgoing: Vec<Vec<Message>> = if batch.len() > 1 {
+        // The batched branch only runs with the recorder off (see
+        // collect_sweep_batch), where no upload carries a context, so
+        // plain advance_to loses nothing.
+        let outgoing: Vec<Vec<(Message, Option<TraceContext>)>> = if batch.len() > 1 {
             let mut slots: Vec<Option<&mut MobileFrontend>> =
                 self.phones.iter_mut().map(Some).collect();
             let mut stepping: Vec<&mut MobileFrontend> =
                 batch.iter().map(|&(p, _, _)| slots[p].take().expect("distinct phones")).collect();
             sor_par::par_map_mut(&mut stepping, |phone| phone.advance_to(now))
+                .into_iter()
+                .map(|msgs| msgs.into_iter().map(|m| (m, None)).collect())
+                .collect()
         } else {
-            vec![self.phones[batch[0].0].advance_to(now)]
+            vec![self.phones[batch[0].0].advance_to_ctx(now)]
         };
         for (&(phone, interval, sweep_until), msgs) in batch.iter().zip(outgoing) {
             self.forward_phone_messages(now, msgs);
@@ -281,7 +331,7 @@ impl SorWorld {
         match event {
             WorldEvent::Scan { phone, app_id, budget, stay } => {
                 if self.phones[phone].now() < now {
-                    let msgs = self.phones[phone].advance_to(now);
+                    let msgs = self.phones[phone].advance_to_ctx(now);
                     self.forward_phone_messages(now, msgs);
                 }
                 let req = self.phones[phone].scan_barcode(app_id, budget, stay);
@@ -331,10 +381,32 @@ impl SorWorld {
                 }
                 self.stats.server_crashes += 1;
                 self.recoveries.push(report.summary());
+                if let Some(dump) = self.recorder.flight_render() {
+                    self.postmortems.push(dump);
+                }
                 self.recorder.count("sim.server_crashes", 1);
             }
+            WorldEvent::ProcessData { interval, until } => {
+                self.server.tick(now);
+                self.server.process_data().expect("processor pass on installed tables");
+                if now + interval <= until {
+                    self.queue
+                        .schedule(now + interval, WorldEvent::ProcessData { interval, until });
+                }
+            }
+            WorldEvent::HealthCheck { interval, until } => {
+                self.server.tick(now);
+                self.server.update_health_gauges();
+                if let Some(engine) = self.health.as_mut() {
+                    self.alerts.extend(engine.evaluate_and_emit(&self.recorder, now));
+                }
+                if now + interval <= until {
+                    self.queue
+                        .schedule(now + interval, WorldEvent::HealthCheck { interval, until });
+                }
+            }
             WorldEvent::Deliver(flight) => {
-                let Ok(msg) = Message::decode(&flight.frame) else {
+                let Ok((msg, ctx)) = Message::decode_traced(&flight.frame) else {
                     self.stats.decode_failures += 1;
                     self.recorder.count_labeled("net.frames_rejected", flight.to.label(), 1);
                     return;
@@ -342,17 +414,19 @@ impl SorWorld {
                 match flight.to {
                     Endpoint::Server => {
                         self.server.tick(now);
-                        if matches!(msg, Message::SensedDataUpload { .. }) {
-                            // counted on success below
-                        }
-                        match self.server.handle_message(&msg) {
+                        match self.server.handle_message_ctx(&msg, ctx) {
                             Ok(replies) => {
                                 if matches!(msg, Message::SensedDataUpload { .. }) {
                                     self.stats.uploads_accepted += 1;
                                 }
-                                for (token, reply) in replies {
+                                for (token, reply, reply_ctx) in replies {
                                     if let Some(&idx) = self.token_to_phone.get(&token) {
-                                        self.post(now, Endpoint::Phone(idx), &reply);
+                                        self.post_traced(
+                                            now,
+                                            Endpoint::Phone(idx),
+                                            &reply,
+                                            reply_ctx,
+                                        );
                                     }
                                 }
                             }
@@ -361,10 +435,10 @@ impl SorWorld {
                     }
                     Endpoint::Phone(idx) => {
                         if self.phones[idx].now() < now {
-                            let msgs = self.phones[idx].advance_to(now);
+                            let msgs = self.phones[idx].advance_to_ctx(now);
                             self.forward_phone_messages(now, msgs);
                         }
-                        let replies = self.phones[idx].handle_message(&msg);
+                        let replies = self.phones[idx].handle_message_ctx(&msg, ctx);
                         for reply in replies {
                             self.post(now, Endpoint::Server, &reply);
                         }
@@ -374,9 +448,9 @@ impl SorWorld {
         }
     }
 
-    fn forward_phone_messages(&mut self, now: f64, msgs: Vec<Message>) {
-        for msg in msgs {
-            self.post(now, Endpoint::Server, &msg);
+    fn forward_phone_messages(&mut self, now: f64, msgs: Vec<(Message, Option<TraceContext>)>) {
+        for (msg, ctx) in msgs {
+            self.post_traced(now, Endpoint::Server, &msg, ctx);
         }
     }
 }
@@ -388,6 +462,8 @@ fn event_kind(event: &WorldEvent) -> &'static str {
         WorldEvent::PhoneSweep { .. } => "phone_sweep",
         WorldEvent::LivenessCheck { .. } => "liveness_check",
         WorldEvent::ServerCrash => "server_crash",
+        WorldEvent::ProcessData { .. } => "process_data",
+        WorldEvent::HealthCheck { .. } => "health_check",
     }
 }
 

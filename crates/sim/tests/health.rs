@@ -1,0 +1,70 @@
+//! SLO/health engine acceptance: a healthy deployment grades clean and
+//! fires no alerts; a seeded degraded deployment fires the expected
+//! ones, deterministically.
+
+use sor_obs::Recorder;
+use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
+
+/// The healthy quick baseline holds every objective: no alerts fire and
+/// the end-of-run grade reports no breach.
+#[test]
+fn healthy_baseline_fires_no_alerts() {
+    let rec = Recorder::enabled();
+    let out = run_coffee_field_test_traced(FieldTestConfig::quick(3), rec.clone()).unwrap();
+    assert!(
+        out.alerts.is_empty(),
+        "healthy run fired alerts: {:?}",
+        out.alerts.iter().map(|a| &a.slo).collect::<Vec<_>>()
+    );
+    let health = out.health.expect("traced run is graded");
+    assert!(health.healthy(), "healthy run graded unhealthy:\n{}", health.render());
+    // The online engine also left no alert events in the trace.
+    let trace = rec.trace_snapshot().unwrap();
+    assert!(trace.events().iter().all(|e| e.name != "slo.alert"));
+}
+
+/// Elevated transport loss breaches the drop-rate objective: the online
+/// engine fires `transport_drop_rate` (and only transport objectives),
+/// and the end-of-run grade records the breach.
+#[test]
+fn degraded_transport_fires_drop_rate_alert() {
+    let rec = Recorder::enabled();
+    let cfg = FieldTestConfig::quick(3).with_loss(0.1);
+    let out = run_coffee_field_test_traced(cfg, rec.clone()).unwrap();
+    assert!(
+        out.alerts.iter().any(|a| a.slo == "transport_drop_rate"),
+        "expected a transport_drop_rate alert, got: {:?}",
+        out.alerts.iter().map(|a| &a.slo).collect::<Vec<_>>()
+    );
+    for a in &out.alerts {
+        assert!(
+            a.slo.starts_with("transport_")
+                || a.slo == "ack_hit_rate"
+                || a.slo == "coverage_realized",
+            "unexpected objective breached under pure loss: {}",
+            a.slo
+        );
+        assert!(a.detail.contains(&a.slo), "alert detail names its objective: {}", a.detail);
+    }
+    let health = out.health.expect("traced run is graded");
+    assert!(!health.healthy(), "degraded run must grade unhealthy");
+    assert!(health.breached().contains(&"transport_drop_rate"));
+}
+
+/// Alert emission is deterministic: the same degraded scenario fires the
+/// same alerts in the same order, run to run.
+#[test]
+fn degraded_alerts_are_deterministically_ordered() {
+    let run = || {
+        let rec = Recorder::enabled();
+        let cfg = FieldTestConfig::quick(3).with_loss(0.1);
+        let out = run_coffee_field_test_traced(cfg, rec).unwrap();
+        out.alerts
+            .iter()
+            .map(|a| format!("{:.1} {} {:.4}", a.time, a.slo, a.observed))
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    assert!(!a.is_empty(), "degraded scenario must alert");
+    assert_eq!(a, run(), "alert stream must be a pure function of the scenario");
+}

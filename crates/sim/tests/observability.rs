@@ -72,7 +72,7 @@ fn corrupted_frames_equal_rejected_frames_end_to_end() {
     assert_eq!(rejected, corrupted, "every corrupted frame must be rejected, nothing else");
     assert_eq!(rejected, world.stats.decode_failures);
     // Clean frames still flow: the pipeline kept working around the noise.
-    assert!(rec.counter("server.msg.sensed_data_upload") > 0);
+    assert!(rec.counter("server.msg_received.sensed_data_upload") > 0);
 }
 
 /// On a perfect transport nothing is rejected and the frame ledger
@@ -160,6 +160,34 @@ fn static_bound_dominates_measured_instructions_in_field_tests() {
     }
 }
 
+/// Satellite fix: every live task instance — including ones created by
+/// schedules assigned long after scenario start — reports a queue-depth
+/// gauge, and the gauge count matches the live instances exactly.
+#[test]
+fn queue_depth_gauges_cover_every_task_instance() {
+    let rec = Recorder::enabled();
+    let mut world = cafe_world(Transport::perfect(), rec.clone());
+    world.run_until(3600.0);
+
+    let mut expected: Vec<String> = world
+        .phones
+        .iter()
+        .flat_map(|p| p.tasks().iter().map(|t| format!("phone.task_queue_depth.task{}", t.task_id)))
+        .collect();
+    expected.sort();
+    expected.dedup();
+    assert!(!expected.is_empty(), "the cafe world must have distributed tasks");
+
+    let metrics = rec.metrics_snapshot().unwrap();
+    let mut reported: Vec<String> = metrics
+        .gauges()
+        .map(|(name, _)| name.to_string())
+        .filter(|name| name.starts_with("phone.task_queue_depth."))
+        .collect();
+    reported.sort();
+    assert_eq!(reported, expected, "one queue gauge per live task instance");
+}
+
 /// The scheduling simulation reports planner work, and lazy evaluation
 /// keeps marginal-gain evaluations well under the brute-force count
 /// (users × picks per round).
@@ -169,8 +197,8 @@ fn scheduling_sim_reports_planner_work() {
     let rec = Recorder::enabled();
     let out = run_scheduling_sim_traced(cfg, &rec);
     assert!(out.greedy_mean > 0.0);
-    let iters = rec.counter("sched.sim.iterations");
-    let evals = rec.counter("sched.sim.gain_evaluations");
+    let iters = rec.counter("sched.sim_iterations");
+    let evals = rec.counter("sched.sim_gain_evaluations");
     assert!(iters > 0, "greedy committed no picks");
     assert!(
         iters <= (cfg.runs * cfg.users * cfg.budget) as u64,
@@ -178,6 +206,6 @@ fn scheduling_sim_reports_planner_work() {
     );
     assert!(evals >= iters, "every pick needs at least one evaluation");
     let snapshot = rec.metrics_snapshot().unwrap();
-    let cov = snapshot.histogram("sched.sim.coverage.greedy").unwrap();
+    let cov = snapshot.histogram("sched.sim_coverage.greedy").unwrap();
     assert_eq!(cov.count(), cfg.runs as u64);
 }

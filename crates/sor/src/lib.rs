@@ -47,6 +47,7 @@
 pub use sor_core as core;
 pub use sor_flow as flow;
 pub use sor_frontend as frontend;
+pub use sor_obs as obs;
 pub use sor_proto as proto;
 pub use sor_script as script;
 pub use sor_sensors as sensors;

@@ -1,0 +1,140 @@
+//! `sor` — the workspace command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `sor export <dir>` — run the deterministic traced quick coffee-shop
+//!   field test and write `trace.json`, `metrics.json`, and `health.txt`
+//!   into `<dir>`. The same run backs the CI `trace_lint` step, so the
+//!   outputs are byte-stable for a given build.
+//! - `sor lint <trace.json>` — structural trace lint: duplicate span
+//!   ids, orphan parents, spans that end before they start, and
+//!   cross-component (phone ↔ server) spans missing a `trace_id`
+//!   attribute. Exits 1 when any finding is reported.
+//! - `sor health <trace.json>` — grade a finished run from its exported
+//!   trace: every `slo.alert` event the online health engine recorded
+//!   is replayed, and the run fails (exit 1) if any objective was
+//!   breached.
+
+use std::process::ExitCode;
+
+use sor_obs::lint::lint_trace_json;
+use sor_obs::{parse_json, Json, Recorder};
+use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
+
+const USAGE: &str = "usage: sor <export <dir> | lint <trace.json> | health <trace.json>>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match (args.first().map(String::as_str), args.get(1)) {
+        (Some("export"), Some(dir)) => cmd_export(dir),
+        (Some("lint"), Some(path)) => cmd_lint(path),
+        (Some("health"), Some(path)) => cmd_health(path),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs the deterministic traced field test and exports its artifacts.
+fn cmd_export(dir: &str) -> ExitCode {
+    let rec = Recorder::enabled();
+    let out = match run_coffee_field_test_traced(FieldTestConfig::quick(3), rec.clone()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("sor export: field test failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = rec.trace_json().expect("enabled recorder exports a trace");
+    let metrics = rec.metrics_json().expect("enabled recorder exports metrics");
+    let health =
+        out.health.as_ref().map_or_else(|| "health: ungraded\n".to_string(), |h| h.render());
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(format!("{dir}/trace.json"), &trace))
+        .and_then(|()| std::fs::write(format!("{dir}/metrics.json"), &metrics))
+        .and_then(|()| std::fs::write(format!("{dir}/health.txt"), &health))
+    {
+        eprintln!("sor export: cannot write {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "exported trace.json ({} bytes), metrics.json ({} bytes), health.txt to {dir}",
+        trace.len(),
+        metrics.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Lints an exported trace; any finding fails the run.
+fn cmd_lint(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("sor lint: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match lint_trace_json(&src) {
+        Ok(findings) if findings.is_empty() => {
+            println!("trace lint OK: {path}");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("lint: {f}");
+            }
+            eprintln!("sor lint: {} finding(s) in {path}", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sor lint: {path} is not valid trace JSON: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Grades a finished run from the `slo.alert` events in its trace.
+fn cmd_health(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("sor health: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match parse_json(&src) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("sor health: {path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spans = doc.get("spans").and_then(Json::items).map_or(0, <[Json]>::len);
+    let events = doc.get("events").and_then(Json::items).unwrap_or(&[]);
+    let mut alerts = 0usize;
+    for ev in events {
+        let name = match ev.get("name") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => continue,
+        };
+        if name != "slo.alert" {
+            continue;
+        }
+        alerts += 1;
+        let time = ev.get("time").and_then(Json::as_f64).unwrap_or(0.0);
+        let detail = match ev.get("detail") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => "",
+        };
+        println!("ALERT t={time:.1}s {detail}");
+    }
+    println!("{path}: {spans} spans, {} events, {alerts} SLO alert(s)", events.len());
+    if alerts == 0 {
+        println!("health OK: every objective held");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sor health: {alerts} SLO alert(s) fired");
+        ExitCode::FAILURE
+    }
+}

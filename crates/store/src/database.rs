@@ -140,7 +140,7 @@ impl Database {
     pub fn scan(&self, table: &str, pred: &Predicate) -> Result<Vec<Row>, StoreError> {
         let (rows, used_index) = self.table(table)?.scan_indexed(pred)?;
         self.recorder.count_labeled("store.rows_scanned", table, rows.len() as u64);
-        self.recorder.count_labeled("store.scans", table, 1);
+        self.recorder.count_labeled("store.scans_run", table, 1);
         if used_index {
             self.recorder.count_labeled("store.scans_indexed", table, 1);
         }
@@ -522,7 +522,7 @@ mod tests {
         db.delete_where("users", &Predicate::eq("id", Value::Int(1))).unwrap();
         assert_eq!(rec.counter("store.rows_inserted.users"), 1);
         assert_eq!(rec.counter("store.rows_scanned.users"), 3);
-        assert_eq!(rec.counter("store.scans.users"), 1);
+        assert_eq!(rec.counter("store.scans_run.users"), 1);
         assert_eq!(rec.counter("store.rows_deleted.users"), 1);
         assert_eq!(rec.counter("store.rows_inserted.blobs"), 0);
     }

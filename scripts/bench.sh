@@ -3,6 +3,9 @@
 # repo root: one median-ish ns figure per bench id (the vendored
 # criterion stub reports a mean over 20 iterations), plus the worker
 # count, hardware core count, and git revision the numbers came from.
+# Each run also appends the same record as one JSON line to
+# results/bench_history.jsonl, keyed by git SHA, so the perf trajectory
+# accumulates across PRs instead of being overwritten.
 #
 # Usage: scripts/bench.sh
 #   SOR_THREADS=8 scripts/bench.sh   # pin the recorded worker count
@@ -36,3 +39,21 @@ END { printf "\n  }\n}\n" }
 
 echo "==> wrote BENCH_pipeline.json ($(grep -c ':' BENCH_pipeline.json) lines)"
 cat BENCH_pipeline.json
+
+# Append the run to the cross-PR history as a single JSON line. The full
+# (non-short) SHA is the key; stamp is wall-clock so reruns at the same
+# revision stay distinguishable.
+mkdir -p results
+sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+awk -v sha="$sha" -v stamp="$stamp" -v threads="$threads" -v cores="$cores" '
+BEGIN {
+    printf "{\"git_sha\": \"%s\", \"recorded_at\": \"%s\", \"threads\": %s, \"cores\": %s, \"benches\": {", sha, stamp, threads, cores
+}
+/^bench / {
+    if (n++) printf ", "
+    printf "\"%s\": %s", $2, substr($3, 2)
+}
+END { printf "}}\n" }
+' "$raw" >> results/bench_history.jsonl
+echo "==> appended run $sha to results/bench_history.jsonl ($(wc -l < results/bench_history.jsonl) total)"

@@ -41,6 +41,16 @@ smoke_diverged() {
 smoke_diverged obs_smoke
 run cargo bench --offline -p sor-bench --bench obs_overhead
 
+# Trace lint: export the deterministic field-test golden trace and fail
+# on structural defects — orphan parent ids, spans that close before
+# they open, and cross-component (phone <-> server) spans missing a
+# trace id. The same export is then graded against the SLO catalog.
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+run cargo run --release --offline -p sor --bin sor -- export "$trace_dir"
+run cargo run --release --offline -p sor --bin sor -- lint "$trace_dir/trace.json"
+run cargo run --release --offline -p sor --bin sor -- health "$trace_dir/trace.json"
+
 # Durability smoke: a field test crashed twice mid-window must recover
 # every acked upload and rank identically to the crash-free run, and
 # write-ahead logging must stay under its overhead budget.
