@@ -8,7 +8,9 @@ use std::sync::Arc;
 
 use sor_obs::{Recorder, SpanId};
 use sor_proto::{Message, SensedRecord, TraceContext};
-use sor_script::analysis::{analyze, CapabilitySet, Cost};
+use sor_script::analysis::{analyze, analyze_block, CapabilitySet, Cost};
+use sor_script::optimize::optimize;
+use sor_script::parser::parse;
 use sor_script::{Interpreter, Value};
 use sor_sensors::{SensorKind, SensorManager};
 
@@ -23,6 +25,7 @@ pub struct MobileFrontend {
     tasks: Vec<TaskInstance>,
     now: f64,
     recorder: Recorder,
+    script_opt: bool,
 }
 
 impl std::fmt::Debug for MobileFrontend {
@@ -37,7 +40,14 @@ impl std::fmt::Debug for MobileFrontend {
 
 impl MobileFrontend {
     /// A phone with the given device token and sensor stack.
+    ///
+    /// The script optimizer defaults to the `SOR_SCRIPT_OPT`
+    /// environment variable (`1`/`true`/`on` enables it); use
+    /// [`MobileFrontend::set_script_optimizer`] to override per phone.
     pub fn new(token: u64, manager: SensorManager) -> Self {
+        let script_opt = std::env::var("SOR_SCRIPT_OPT")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+            .unwrap_or(false);
         MobileFrontend {
             token,
             manager: Arc::new(manager),
@@ -45,7 +55,17 @@ impl MobileFrontend {
             tasks: Vec::new(),
             now: 0.0,
             recorder: Recorder::disabled(),
+            script_opt,
         }
+    }
+
+    /// Enables or disables the AST optimizer for script runs. When on,
+    /// scripts execute through [`sor_script::optimize`] (constant
+    /// folding, dead-branch pruning, dead-store elimination) and the
+    /// rewrite counts plus statically proven instruction savings are
+    /// reported under `script.opt_*` metrics.
+    pub fn set_script_optimizer(&mut self, on: bool) {
+        self.script_opt = on;
     }
 
     /// Attaches an observability recorder. Phone-side task
@@ -197,7 +217,7 @@ impl MobileFrontend {
                     recorder.span_attr_with(span, "trace_id", || c.trace_id.to_string());
                 }
                 recorder.count("script.runs_started", 1);
-                match execute_script(&task.script, due, &manager, &allowed) {
+                match execute_script(&task.script, due, &manager, &allowed, self.script_opt) {
                     Ok(run) => {
                         record_script_run(&recorder, span, &run);
                         recorder.span_end(span, due);
@@ -284,6 +304,17 @@ struct ScriptRun {
     instructions_used: u64,
     /// `analyze`'s static cost bound, when the script is bounded.
     static_bound: Option<u64>,
+    /// Optimizer evidence, when the run executed the lowered AST.
+    opt: Option<OptRun>,
+}
+
+/// What the optimizer did to one script before execution.
+struct OptRun {
+    /// Individual rewrites applied (folds, prunes, removals).
+    rewrites: u64,
+    /// `bound(original) - bound(lowered)`, when both are finite: the
+    /// statically proven instruction saving.
+    bound_saved: Option<u64>,
 }
 
 /// Records one successful script run's metrics: instruction usage and
@@ -306,6 +337,14 @@ fn record_script_run(recorder: &Recorder, span: SpanId, run: &ScriptRun) {
                 .observe("script.bound_over_measured", bound as f64 / run.instructions_used as f64);
         }
     }
+    if let Some(opt) = &run.opt {
+        recorder.count("script.opt_runs", 1);
+        recorder.count("script.opt_rewrites", opt.rewrites);
+        recorder.span_attr_with(span, "opt_rewrites", || opt.rewrites.to_string());
+        if let Some(saved) = opt.bound_saved {
+            recorder.count("script.opt_bound_saved", saved);
+        }
+    }
 }
 
 /// Runs one script execution at wall-clock `base_time`, returning the
@@ -315,6 +354,7 @@ fn execute_script(
     base_time: f64,
     manager: &Arc<SensorManager>,
     allowed: &HashSet<SensorKind>,
+    script_opt: bool,
 ) -> Result<ScriptRun, String> {
     let records: Rc<RefCell<Vec<SensedRecord>>> = Rc::new(RefCell::new(Vec::new()));
     let mut interp = Interpreter::new();
@@ -387,7 +427,8 @@ fn execute_script(
     // the exact host registry this interpreter executes under. An
     // error-severity finding means the run is statically doomed, so no
     // sensing effort is spent on it.
-    let verdict = analyze(script, &CapabilitySet::from_registry(interp.host()));
+    let caps = CapabilitySet::from_registry(interp.host());
+    let verdict = analyze(script, &caps);
     if verdict.has_errors() {
         let findings: Vec<String> = verdict.errors().map(ToString::to_string).collect();
         return Err(format!("script rejected before execution: {}", findings.join("; ")));
@@ -397,14 +438,30 @@ fn execute_script(
         Cost::Unbounded => None,
     };
 
-    let run_result = interp.run(script).map_err(|e| e.to_string());
+    // Behind the optimizer knob, the lowered AST runs instead of the
+    // source; the lowering is semantics-preserving (see `optdiff`), so
+    // the original's static bound still dominates the measured count.
+    let (run_result, opt) = if script_opt {
+        // `verdict` carried no E001, so the script is known to parse.
+        let block = parse(script).map_err(|e| e.to_string())?;
+        let (lowered, stats) = optimize(&block);
+        let bound_saved = match (static_bound, analyze_block(&lowered, &caps, verdict.budget).cost)
+        {
+            (Some(orig), Cost::Bounded(opt)) => Some(orig.saturating_sub(opt)),
+            _ => None,
+        };
+        let opt = OptRun { rewrites: stats.total() as u64, bound_saved };
+        (interp.run_block(&lowered).map_err(|e| e.to_string()), Some(opt))
+    } else {
+        (interp.run(script).map_err(|e| e.to_string()), None)
+    };
     let instructions_used = interp.instructions_used();
     drop(interp); // releases the host closures' Rc clones
     run_result?;
     let records = Rc::try_unwrap(records)
         .expect("all other Rc holders dropped with the interpreter")
         .into_inner();
-    Ok(ScriptRun { records, instructions_used, static_bound })
+    Ok(ScriptRun { records, instructions_used, static_bound, opt })
 }
 
 #[cfg(test)]
@@ -496,6 +553,51 @@ mod tests {
         let out = p.advance_to(5.0);
         assert!(matches!(out.last(), Some(Message::TaskComplete { status: 0, .. })));
         assert_eq!(p.task(2).unwrap().status, TaskStatus::Finished);
+    }
+
+    #[test]
+    fn optimizer_knob_preserves_results_and_reports_savings() {
+        let script = r#"
+            local t = get_temperature_readings(4)
+            local scale = 2 * 3 - 5
+            if 1 > 2 then
+                t = nil
+            end
+            return mean(t) * scale
+        "#;
+        // Same script, optimizer off vs on: identical upload payloads,
+        // strictly fewer instructions, and `script.opt_*` metrics.
+        let mut plain = phone();
+        let rec_plain = Recorder::enabled();
+        plain.set_recorder(rec_plain.clone());
+        assign(&mut plain, 1, script, vec![1.0]);
+        let out_plain = plain.advance_to(2.0);
+
+        let mut opt = phone();
+        let rec_opt = Recorder::enabled();
+        opt.set_recorder(rec_opt.clone());
+        opt.set_script_optimizer(true);
+        assign(&mut opt, 1, script, vec![1.0]);
+        let out_opt = opt.advance_to(2.0);
+
+        let Message::SensedDataUpload { records: plain_records, .. } = &out_plain[0] else {
+            panic!("{out_plain:?}")
+        };
+        let Message::SensedDataUpload { records: opt_records, .. } = &out_opt[0] else {
+            panic!("{out_opt:?}")
+        };
+        assert_eq!(plain_records, opt_records, "optimizer changed the sensed data");
+        assert_eq!(opt.task(1).unwrap().status, TaskStatus::Finished);
+
+        assert_eq!(rec_plain.counter("script.opt_runs"), 0);
+        assert_eq!(rec_opt.counter("script.opt_runs"), 1);
+        assert!(rec_opt.counter("script.opt_rewrites") > 0, "folds + pruned branch expected");
+        assert!(rec_opt.counter("script.opt_bound_saved") > 0);
+        assert!(
+            rec_opt.counter("script.instructions_used")
+                < rec_plain.counter("script.instructions_used"),
+            "optimized run should execute fewer instructions"
+        );
     }
 
     #[test]

@@ -4,15 +4,21 @@
 //! every function literal, then reports:
 //!
 //! - **W201** statements that can never execute (they follow a
-//!   `return`/`break`, or every arm of the preceding `if` leaves the
-//!   block),
+//!   `return`/`break`, every arm of the preceding `if` leaves the
+//!   block, or they sit after a `while true` loop nothing breaks out
+//!   of),
 //! - **W202** functions (and the script itself — its result is the
 //!   task result) where some paths `return` a value and others fall
 //!   off the end or `return` nothing, so the consumer sometimes sees
 //!   `nil`,
 //! - **W103** locals that the resolution pass proved are never read
 //!   (the liveness half of the dataflow story).
+//!
+//! Blocks store *references* to the statements they execute, so the
+//! [`crate::analysis::dataflow`] engine can run transfer functions
+//! over them without a positions-to-AST side table.
 
+use crate::analysis::consteval::const_truthy;
 use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
 use crate::analysis::resolve::Resolution;
 use crate::ast::{Block, Stmt};
@@ -35,9 +41,11 @@ pub enum ExitKind {
 
 /// One basic block: the statements it executes and its successors.
 #[derive(Debug, Default)]
-pub struct BasicBlock {
-    /// Positions of the statements in the block, in order.
-    pub stmts: Vec<Pos>,
+pub struct BasicBlock<'a> {
+    /// The statements in the block, in execution order. Loop headers
+    /// hold exactly the loop statement; bodies live in successor
+    /// blocks (shallow lowering).
+    pub stmts: Vec<&'a Stmt>,
     /// Indices of successor blocks.
     pub succs: Vec<usize>,
 }
@@ -45,18 +53,18 @@ pub struct BasicBlock {
 /// A per-function control-flow graph. Block [`EXIT`] is the synthetic
 /// exit; `entry` is where execution starts.
 #[derive(Debug)]
-pub struct Cfg {
+pub struct Cfg<'a> {
     /// All blocks; index 0 is the exit.
-    pub blocks: Vec<BasicBlock>,
+    pub blocks: Vec<BasicBlock<'a>>,
     /// The entry block index.
     pub entry: usize,
     /// Every edge into the exit, with how it got there.
     pub exits: Vec<(usize, ExitKind, Pos)>,
 }
 
-impl Cfg {
+impl<'a> Cfg<'a> {
     /// Builds the CFG for one function body (or the top-level block).
-    pub fn build(body: &Block, fn_pos: Pos) -> (Cfg, Vec<Diagnostic>) {
+    pub fn build(body: &'a Block, fn_pos: Pos) -> (Cfg<'a>, Vec<Diagnostic>) {
         let mut b = Builder {
             cfg: Cfg { blocks: vec![BasicBlock::default()], entry: 0, exits: Vec::new() },
             loop_after: Vec::new(),
@@ -84,16 +92,28 @@ impl Cfg {
         }
         seen
     }
+
+    /// Predecessor lists, derived from the successor edges (used by
+    /// backward dataflow analyses).
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s].push(i);
+            }
+        }
+        preds
+    }
 }
 
-struct Builder {
-    cfg: Cfg,
+struct Builder<'a> {
+    cfg: Cfg<'a>,
     /// Stack of "after the innermost loop" blocks (`break` targets).
     loop_after: Vec<usize>,
     diags: Vec<Diagnostic>,
 }
 
-impl Builder {
+impl<'a> Builder<'a> {
     fn new_block(&mut self) -> usize {
         self.cfg.blocks.push(BasicBlock::default());
         self.cfg.blocks.len() - 1
@@ -103,10 +123,14 @@ impl Builder {
         self.cfg.blocks[from].succs.push(to);
     }
 
+    fn has_preds(&self, target: usize) -> bool {
+        self.cfg.blocks.iter().any(|b| b.succs.contains(&target))
+    }
+
     /// Lowers a statement list starting in `cur`. Returns the block
     /// where control continues, or `None` if every path has left the
     /// list (returned, broken, or diverged).
-    fn stmt_list(&mut self, stmts: &[Stmt], mut cur: Option<usize>) -> Option<usize> {
+    fn stmt_list(&mut self, stmts: &'a [Stmt], mut cur: Option<usize>) -> Option<usize> {
         let mut reported_dead = false;
         for stmt in stmts {
             let c = match cur {
@@ -131,17 +155,17 @@ impl Builder {
         cur
     }
 
-    fn stmt(&mut self, stmt: &Stmt, cur: usize) -> Option<usize> {
+    fn stmt(&mut self, stmt: &'a Stmt, cur: usize) -> Option<usize> {
         match stmt {
             Stmt::Local { .. }
             | Stmt::Assign { .. }
             | Stmt::ExprStmt(_)
             | Stmt::LocalFunction { .. } => {
-                self.cfg.blocks[cur].stmts.push(stmt.pos());
+                self.cfg.blocks[cur].stmts.push(stmt);
                 Some(cur)
             }
             Stmt::If { arms, otherwise } => {
-                self.cfg.blocks[cur].stmts.push(stmt.pos());
+                self.cfg.blocks[cur].stmts.push(stmt);
                 let join = self.new_block();
                 let mut joined = false;
                 for (_, body) in arms {
@@ -169,11 +193,34 @@ impl Builder {
                 }
                 joined.then_some(join)
             }
-            Stmt::While { body, .. }
-            | Stmt::NumericFor { body, .. }
-            | Stmt::GenericFor { body, .. } => {
+            Stmt::While { cond, body } => {
                 let header = self.new_block();
-                self.cfg.blocks[header].stmts.push(stmt.pos());
+                self.cfg.blocks[header].stmts.push(stmt);
+                self.edge(cur, header);
+                let after = self.new_block();
+                // A `while true` (any constant-truthy condition) loop
+                // never takes the zero-iteration edge: control only
+                // reaches `after` through a `break`. Omitting the edge
+                // makes code after an infinite loop properly dead.
+                if const_truthy(cond) != Some(true) {
+                    self.edge(header, after);
+                }
+                let first = self.new_block();
+                self.edge(header, first);
+                self.loop_after.push(after);
+                if let Some(end) = self.stmt_list(body, Some(first)) {
+                    self.edge(end, header); // back edge
+                }
+                self.loop_after.pop();
+                if self.has_preds(after) {
+                    Some(after)
+                } else {
+                    None
+                }
+            }
+            Stmt::NumericFor { body, .. } | Stmt::GenericFor { body, .. } => {
+                let header = self.new_block();
+                self.cfg.blocks[header].stmts.push(stmt);
                 self.edge(cur, header);
                 let after = self.new_block();
                 self.edge(header, after); // zero iterations
@@ -187,7 +234,7 @@ impl Builder {
                 Some(after)
             }
             Stmt::Break(pos) => {
-                self.cfg.blocks[cur].stmts.push(*pos);
+                self.cfg.blocks[cur].stmts.push(stmt);
                 match self.loop_after.last() {
                     Some(&after) => self.edge(cur, after),
                     None => {
@@ -200,7 +247,7 @@ impl Builder {
                 None
             }
             Stmt::Return(value, pos) => {
-                self.cfg.blocks[cur].stmts.push(*pos);
+                self.cfg.blocks[cur].stmts.push(stmt);
                 let kind = match value {
                     Some(_) => ExitKind::ValuedReturn,
                     None => ExitKind::EmptyReturn,
@@ -265,5 +312,138 @@ fn check_one(body: &Block, fn_pos: Pos, is_top: bool, diags: &mut Vec<Diagnostic
              (callers see nil on the missing paths)"
         };
         diags.push(Diagnostic::new(DiagnosticCode::InconsistentReturns, pos, what));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn build(src: &str) -> (Vec<Stmt>, Pos) {
+        (parse(src).expect("test script parses"), Pos { line: 1, col: 1 })
+    }
+
+    /// Statement counts per block, skipping empty synthetic blocks —
+    /// a stable shape fingerprint.
+    fn stmt_shape(cfg: &Cfg<'_>) -> Vec<usize> {
+        cfg.blocks.iter().map(|b| b.stmts.len()).collect()
+    }
+
+    #[test]
+    fn empty_body_is_entry_straight_to_exit() {
+        let (block, pos) = build("");
+        let (cfg, diags) = Cfg::build(&block, pos);
+        assert!(diags.is_empty());
+        // Exit block + one (empty) entry block.
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.entry, 1);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![EXIT]);
+        assert_eq!(cfg.exits.len(), 1);
+        assert_eq!(cfg.exits[0].1, ExitKind::Fallthrough);
+        assert!(cfg.blocks[cfg.entry].stmts.is_empty());
+    }
+
+    #[test]
+    fn empty_function_body_cfg_is_minimal() {
+        let (block, pos) = build("local function noop() end\nreturn noop()");
+        // The *function's* body is empty; build its CFG directly.
+        let Stmt::LocalFunction { body, .. } = &block[0] else { panic!("expected function") };
+        let (cfg, diags) = Cfg::build(body, pos);
+        assert!(diags.is_empty());
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![EXIT]);
+    }
+
+    #[test]
+    fn return_inside_nested_loops_exits_from_inner_body() {
+        let src = "for i = 1, 3 do\nfor j = 1, 3 do\nif i == j then return i end\nend\nend";
+        let (block, pos) = build(src);
+        let (cfg, diags) = Cfg::build(&block, pos);
+        assert!(diags.is_empty(), "{diags:?}");
+        // One valued return from inside the inner body, plus the
+        // fall-off-the-end path when the loops complete.
+        let kinds: Vec<ExitKind> = cfg.exits.iter().map(|(_, k, _)| *k).collect();
+        assert!(kinds.contains(&ExitKind::ValuedReturn));
+        assert!(kinds.contains(&ExitKind::Fallthrough));
+        // The return's block must be reachable and must edge to EXIT.
+        let (ret_block, _, _) =
+            cfg.exits.iter().find(|(_, k, _)| *k == ExitKind::ValuedReturn).unwrap();
+        assert!(cfg.reachable()[*ret_block]);
+        assert!(cfg.blocks[*ret_block].succs.contains(&EXIT));
+        // Both loop headers carry exactly their loop statement.
+        let headers: Vec<&BasicBlock<'_>> = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.stmts.len() == 1 && matches!(b.stmts[0], Stmt::NumericFor { .. }))
+            .collect();
+        assert_eq!(headers.len(), 2, "shape: {:?}", stmt_shape(&cfg));
+        // Each header has two successors: after (zero iterations) and
+        // the first body block.
+        for h in headers {
+            assert_eq!(h.succs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn infinite_loop_makes_following_code_unreachable() {
+        let (block, pos) = build("while true do sleep(1) end\nprint('never')");
+        let (cfg, diags) = Cfg::build(&block, pos);
+        // W201 for the statement after the loop.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagnosticCode::UnreachableCode);
+        assert_eq!(diags[0].pos.line, 2);
+        // The header has no zero-iteration edge: its only successor is
+        // the body, and the body's back edge is its only exit.
+        let header = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.len() == 1 && matches!(b.stmts[0], Stmt::While { .. }))
+            .expect("loop header block");
+        assert_eq!(cfg.blocks[header].succs.len(), 1, "no zero-iteration edge");
+        // Nothing reaches EXIT from reachable code: the loop diverges.
+        let reachable = cfg.reachable();
+        assert!(cfg.exits.iter().all(|(from, _, _)| !reachable[*from]));
+    }
+
+    #[test]
+    fn break_out_of_infinite_loop_keeps_after_block_live() {
+        let (block, pos) =
+            build("local i = 0\nwhile true do i = i + 1\nif i > 3 then break end end\nreturn i");
+        let (cfg, diags) = Cfg::build(&block, pos);
+        assert!(diags.is_empty(), "{diags:?}");
+        let reachable = cfg.reachable();
+        let (ret_block, kind, _) = cfg.exits.iter().find(|(from, _, _)| reachable[*from]).unwrap();
+        assert_eq!(*kind, ExitKind::ValuedReturn);
+        assert!(cfg.blocks[*ret_block].succs.contains(&EXIT));
+    }
+
+    #[test]
+    fn while_true_with_return_has_no_phantom_nil_path() {
+        // Regression: the zero-iteration edge used to make `while true
+        // do return 1 end` look like it could fall through, producing
+        // a bogus W202.
+        let src = "while true do return 1 end";
+        let (block, pos) = build(src);
+        let (cfg, _) = Cfg::build(&block, pos);
+        let reachable = cfg.reachable();
+        let live: Vec<ExitKind> =
+            cfg.exits.iter().filter(|(from, _, _)| reachable[*from]).map(|(_, k, _)| *k).collect();
+        assert_eq!(live, vec![ExitKind::ValuedReturn]);
+    }
+
+    #[test]
+    fn preds_invert_succs() {
+        let (block, pos) = build("local x = 1\nif x then x = 2 end\nreturn x");
+        let (cfg, _) = Cfg::build(&block, pos);
+        let preds = cfg.preds();
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                assert!(preds[s].contains(&i));
+            }
+        }
+        let edge_count: usize = cfg.blocks.iter().map(|b| b.succs.len()).sum();
+        let pred_count: usize = preds.iter().map(Vec::len).sum();
+        assert_eq!(edge_count, pred_count);
     }
 }

@@ -1,0 +1,57 @@
+//! Literal constant evaluation shared by the analysis passes.
+//!
+//! These helpers answer "what does this expression evaluate to, if it
+//! is built only from literals?" — enough for real loop headers and
+//! branch conditions. Anything involving a variable, call, table, or
+//! operator outside the supported set answers `None`, and callers must
+//! stay conservative.
+
+use crate::ast::{BinOp, Expr, UnOp};
+
+/// Constant-folds simple numeric expressions (literals, negation, and
+/// arithmetic on constants).
+pub(crate) fn const_number(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Number(n, _) => Some(*n),
+        Expr::Unary { op: UnOp::Neg, expr, .. } => const_number(expr).map(|n| -n),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = const_number(lhs)?;
+            let b = const_number(rhs)?;
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Constant truthiness of literal conditions (`nil` and `false` are
+/// falsy, every other literal is truthy — the interpreter's rule).
+/// Numeric comparisons between constant operands are decided with the
+/// interpreter's semantics (NaN compares false on every operator).
+pub(crate) fn const_truthy(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Nil(_) => Some(false),
+        Expr::Bool(b, _) => Some(*b),
+        Expr::Number(..) | Expr::Str(..) => Some(true),
+        Expr::Unary { op: UnOp::Not, expr, .. } => const_truthy(expr).map(|b| !b),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = const_number(lhs)?;
+            let b = const_number(rhs)?;
+            match op {
+                BinOp::Lt => Some(a < b),
+                BinOp::Le => Some(a <= b),
+                BinOp::Gt => Some(a > b),
+                BinOp::Ge => Some(a >= b),
+                BinOp::Eq => Some(a == b),
+                BinOp::Ne => Some(a != b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}

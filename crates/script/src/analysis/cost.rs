@@ -10,21 +10,29 @@
 //! smaller.
 //!
 //! Loops are bounded when their trip count is statically known:
-//! numeric `for` with constant-foldable bounds, and generic `for`
-//! over a table literal. Everything else — `while` with a non-constant
-//! condition, recursion, iteration over dynamic tables, calls through
-//! function *values* the analyzer cannot see through — is ⊤
-//! ([`Cost::Unbounded`]) and reported as **W402**. A bounded estimate
-//! above the budget is **W401**; a constant-zero `for` step (a
-//! guaranteed runtime error) is **W302**.
+//! numeric `for` with constant-foldable bounds, numeric `for` whose
+//! bounds the [`crate::analysis::dataflow::interval`] domain confined
+//! to a finite interval, and generic `for` over a table literal.
+//! Everything else — `while` with a non-constant condition, recursion,
+//! iteration over dynamic tables, calls through function *values* the
+//! analyzer cannot see through — is ⊤ ([`Cost::Unbounded`]) and
+//! reported as **W402**. A bounded estimate above the budget is
+//! **W401**; a constant-zero `for` step (a guaranteed runtime error)
+//! is **W302**.
+//!
+//! Cost arithmetic is *checked*: a sum or product that would overflow
+//! `u64` goes to ⊤ rather than saturating to a finite-but-meaningless
+//! bound — a bound the analyzer cannot represent is a bound it does
+//! not have.
 
 use std::ops::Add;
 
 use std::collections::HashMap;
 
+use crate::analysis::consteval::{const_number, const_truthy};
 use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
 use crate::analysis::resolve::{CallTarget, Resolution};
-use crate::ast::{Block, Expr, Stmt, TableKey, Target, UnOp};
+use crate::ast::{Block, Expr, Stmt, TableKey, Target};
 use crate::Pos;
 
 /// A static instruction bound: a concrete count, or ⊤.
@@ -39,21 +47,23 @@ pub enum Cost {
 impl Add for Cost {
     type Output = Cost;
 
-    /// Saturating sum.
+    /// Checked sum: overflow is ⊤, not a silently-wrong finite bound.
     fn add(self, other: Cost) -> Cost {
         match (self, other) {
-            (Cost::Bounded(a), Cost::Bounded(b)) => Cost::Bounded(a.saturating_add(b)),
+            (Cost::Bounded(a), Cost::Bounded(b)) => {
+                a.checked_add(b).map_or(Cost::Unbounded, Cost::Bounded)
+            }
             _ => Cost::Unbounded,
         }
     }
 }
 
 impl Cost {
-    /// Saturating scale (per-iteration cost × trip count).
+    /// Checked scale (per-iteration cost × trip count); overflow is ⊤.
     #[must_use]
     pub fn times(self, n: u64) -> Cost {
         match self {
-            Cost::Bounded(a) => Cost::Bounded(a.saturating_mul(n)),
+            Cost::Bounded(a) => a.checked_mul(n).map_or(Cost::Unbounded, Cost::Bounded),
             Cost::Unbounded => Cost::Unbounded,
         }
     }
@@ -83,12 +93,21 @@ pub(crate) struct CostOutcome {
 }
 
 /// Estimates the script's instruction bound against `budget`.
-pub(crate) fn estimate(top: &Block, res: &Resolution<'_>, budget: u64) -> CostOutcome {
+/// `loop_bounds` carries interval-proved trip counts (keyed by loop
+/// position) for numeric `for` loops whose bounds are not literal
+/// constants.
+pub(crate) fn estimate(
+    top: &Block,
+    res: &Resolution<'_>,
+    budget: u64,
+    loop_bounds: &HashMap<(u32, u32), u64>,
+) -> CostOutcome {
     let call_targets: HashMap<(u32, u32), CallTarget> =
         res.calls.iter().map(|c| ((c.pos.line, c.pos.col), c.target)).collect();
     let mut est = Estimator {
         res,
         call_targets,
+        loop_bounds,
         memo: vec![Memo::Unvisited; res.functions.len()],
         first_unbounded: None,
         diags: Vec::new(),
@@ -134,6 +153,7 @@ enum Memo {
 struct Estimator<'a, 'r> {
     res: &'r Resolution<'a>,
     call_targets: HashMap<(u32, u32), CallTarget>,
+    loop_bounds: &'r HashMap<(u32, u32), u64>,
     memo: Vec<Memo>,
     first_unbounded: Option<(Pos, &'static str)>,
     diags: Vec<Diagnostic>,
@@ -218,12 +238,42 @@ impl Estimator<'_, '_> {
                     }
                     (Some(s), Some(e), Some(st)) => {
                         let n = trip_count(s, e, st);
-                        c.add(Cost::Bounded(1).add(body_cost).times(n))
+                        let per = Cost::Bounded(1).add(body_cost);
+                        let scaled = per.times(n);
+                        if per.is_bounded() && !scaled.is_bounded() {
+                            let _ = self
+                                .unbounded(start.pos(), "loop bound overflows the cost arithmetic");
+                        }
+                        c.add(scaled)
                     }
                     _ => {
-                        let u =
-                            self.unbounded(start.pos(), "numeric `for` with non-constant bounds");
-                        c.add(u).add(body_cost)
+                        // Not literal constants — but the interval
+                        // domain may still have proved a finite
+                        // worst-case trip count for this loop.
+                        let key = {
+                            let p = start.pos();
+                            (p.line, p.col)
+                        };
+                        match self.loop_bounds.get(&key) {
+                            Some(&n) => {
+                                let per = Cost::Bounded(1).add(body_cost);
+                                let scaled = per.times(n);
+                                if per.is_bounded() && !scaled.is_bounded() {
+                                    let _ = self.unbounded(
+                                        start.pos(),
+                                        "loop bound overflows the cost arithmetic",
+                                    );
+                                }
+                                c.add(scaled)
+                            }
+                            None => {
+                                let u = self.unbounded(
+                                    start.pos(),
+                                    "numeric `for` with non-constant bounds",
+                                );
+                                c.add(u).add(body_cost)
+                            }
+                        }
                     }
                 }
             }
@@ -324,8 +374,9 @@ fn worst_of(a: Cost, b: Cost) -> Cost {
 }
 
 /// Trip count of `for i = start, stop, step` (the interpreter's exact
-/// iteration rule), saturated to `u64::MAX` for absurd ranges.
-fn trip_count(start: f64, stop: f64, step: f64) -> u64 {
+/// iteration rule), saturated to `u64::MAX` for absurd ranges. Shared
+/// with the interval domain, which feeds it worst-case corner bounds.
+pub(crate) fn trip_count(start: f64, stop: f64, step: f64) -> u64 {
     let n = if step > 0.0 && start <= stop {
         ((stop - start) / step).floor() + 1.0
     } else if step < 0.0 && start >= stop {
@@ -340,34 +391,21 @@ fn trip_count(start: f64, stop: f64, step: f64) -> u64 {
     }
 }
 
-/// Constant-folds simple numeric expressions (literals, negation, and
-/// arithmetic on constants) — enough for real loop headers.
-fn const_number(e: &Expr) -> Option<f64> {
-    match e {
-        Expr::Number(n, _) => Some(*n),
-        Expr::Unary { op: UnOp::Neg, expr, .. } => const_number(expr).map(|n| -n),
-        Expr::Binary { op, lhs, rhs, .. } => {
-            use crate::ast::BinOp;
-            let a = const_number(lhs)?;
-            let b = const_number(rhs)?;
-            match op {
-                BinOp::Add => Some(a + b),
-                BinOp::Sub => Some(a - b),
-                BinOp::Mul => Some(a * b),
-                BinOp::Div => Some(a / b),
-                _ => None,
-            }
-        }
-        _ => None,
-    }
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Constant truthiness of literal conditions.
-fn const_truthy(e: &Expr) -> Option<bool> {
-    match e {
-        Expr::Nil(_) => Some(false),
-        Expr::Bool(b, _) => Some(*b),
-        Expr::Number(..) | Expr::Str(..) => Some(true),
-        _ => None,
+    #[test]
+    fn cost_arithmetic_goes_top_on_overflow() {
+        // Near-u64::MAX bounds must degrade to ⊤, never wrap or
+        // silently saturate into a "valid" finite bound.
+        let near = Cost::Bounded(u64::MAX - 1);
+        assert_eq!(near + Cost::Bounded(1), Cost::Bounded(u64::MAX));
+        assert_eq!(near + Cost::Bounded(2), Cost::Unbounded);
+        assert_eq!(near.times(2), Cost::Unbounded);
+        assert_eq!(Cost::Bounded(u64::MAX).times(1), Cost::Bounded(u64::MAX));
+        assert_eq!(Cost::Bounded(2).times(u64::MAX / 2 + 1), Cost::Unbounded);
+        assert_eq!(Cost::Unbounded + Cost::Bounded(1), Cost::Unbounded);
+        assert_eq!(Cost::Unbounded.times(0), Cost::Unbounded);
     }
 }

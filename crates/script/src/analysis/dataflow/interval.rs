@@ -1,0 +1,351 @@
+//! Constant/interval propagation for numeric locals.
+//!
+//! Tracks, per plain local variable, an interval `[lo, hi]` that is
+//! guaranteed to contain every numeric value the variable can hold at
+//! that program point. The payoff is loop bounds: a numeric `for`
+//! whose `start`/`stop`/`step` evaluate to finite intervals gets a
+//! finite worst-case trip count even when the bounds are variables —
+//! `local n = 10  for i = 1, n do … end` is no longer ⊤ (W402).
+//!
+//! Soundness rules, enforced conservatively:
+//!
+//! - Only *trackable* names carry facts: globals and names assigned
+//!   inside any function literal are ⊤ everywhere (a call could
+//!   mutate them behind the analysis's back).
+//! - `local` (re-)declaration *hulls* with the previous fact instead
+//!   of overwriting: a shadowing declaration's scope is invisible at
+//!   block granularity, and the hull keeps the outer binding's value
+//!   inside the interval after the scope ends.
+//! - Plain assignment overwrites — it mutates the innermost binding
+//!   on every path through the statement, and joins at CFG merges
+//!   account for the paths that skipped it.
+//! - Widening after a few visits sends unstable bounds to ±∞, so
+//!   counting loops terminate.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::cost::trip_count;
+use crate::analysis::dataflow::{inspect, solve, Direction, Domain, NameClasses};
+use crate::ast::{BinOp, Expr, Stmt, Target, UnOp};
+
+/// A closed numeric interval; `TOP` is `[-∞, +∞]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (may be `-∞`).
+    pub lo: f64,
+    /// Upper bound (may be `+∞`).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The unconstrained interval.
+    pub const TOP: Interval = Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+
+    /// A single-point interval.
+    pub fn point(n: f64) -> Interval {
+        if n.is_nan() {
+            Interval::TOP
+        } else {
+            Interval { lo: n, hi: n }
+        }
+    }
+
+    fn of(lo: f64, hi: f64) -> Interval {
+        if lo.is_nan() || hi.is_nan() {
+            Interval::TOP
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval::of(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    fn corners(self, other: Interval, f: impl Fn(f64, f64) -> f64) -> Interval {
+        let c = [
+            f(self.lo, other.lo),
+            f(self.lo, other.hi),
+            f(self.hi, other.lo),
+            f(self.hi, other.hi),
+        ];
+        if c.iter().any(|x| x.is_nan()) {
+            return Interval::TOP;
+        }
+        Interval::of(
+            c.iter().copied().fold(f64::INFINITY, f64::min),
+            c.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}
+
+/// The abstract environment: trackable local name → interval.
+/// A missing key means "no numeric fact" and reads as ⊤.
+pub type Env = BTreeMap<String, Interval>;
+
+/// The interval domain (forward).
+#[derive(Debug)]
+pub struct IntervalDomain<'c> {
+    classes: &'c NameClasses,
+}
+
+impl<'c> IntervalDomain<'c> {
+    /// A domain instance restricted to names `classes` proves safe.
+    pub fn new(classes: &'c NameClasses) -> Self {
+        IntervalDomain { classes }
+    }
+
+    /// Abstractly evaluates an expression under `env`.
+    pub fn eval(&self, e: &Expr, env: &Env) -> Interval {
+        match e {
+            Expr::Number(n, _) => Interval::point(*n),
+            Expr::Var(name, _) => {
+                if self.classes.trackable(name) {
+                    env.get(name).copied().unwrap_or(Interval::TOP)
+                } else {
+                    Interval::TOP
+                }
+            }
+            Expr::Unary { op: UnOp::Neg, expr, .. } => {
+                let v = self.eval(expr, env);
+                Interval::of(-v.hi, -v.lo)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.eval(lhs, env);
+                let b = self.eval(rhs, env);
+                match op {
+                    BinOp::Add => a.corners(b, |x, y| x + y),
+                    BinOp::Sub => a.corners(b, |x, y| x - y),
+                    BinOp::Mul => a.corners(b, |x, y| x * y),
+                    BinOp::Div => {
+                        if b.lo <= 0.0 && b.hi >= 0.0 {
+                            Interval::TOP // divisor may be zero
+                        } else {
+                            a.corners(b, |x, y| x / y)
+                        }
+                    }
+                    _ => Interval::TOP,
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// The interval the loop variable spans while the body runs.
+    fn loop_var_range(&self, start: Interval, stop: Interval, step: Interval) -> Interval {
+        if step.lo > 0.0 {
+            Interval::of(start.lo, stop.hi)
+        } else if step.hi < 0.0 {
+            Interval::of(stop.lo, start.hi)
+        } else {
+            start.hull(stop)
+        }
+    }
+
+    fn for_parts(&self, stmt: &Stmt, env: &Env) -> Option<(Interval, Interval, Interval)> {
+        let Stmt::NumericFor { start, stop, step, .. } = stmt else { return None };
+        let s = self.eval(start, env);
+        let e = self.eval(stop, env);
+        let st = step.as_ref().map_or(Interval::point(1.0), |x| self.eval(x, env));
+        Some((s, e, st))
+    }
+}
+
+impl Domain for IntervalDomain<'_> {
+    type Fact = Env;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Env {
+        Env::new()
+    }
+
+    fn join(&self, a: &Env, b: &Env) -> Env {
+        let mut out = a.clone();
+        for (k, v) in b {
+            match out.get_mut(k) {
+                Some(cur) => *cur = cur.hull(*v),
+                // One-sided facts survive the join: on the other path
+                // the name is unbound and a read would abort the
+                // script before any loop could iterate.
+                None => {
+                    out.insert(k.clone(), *v);
+                }
+            }
+        }
+        out
+    }
+
+    fn widen(&self, old: &Env, joined: Env) -> Env {
+        joined
+            .into_iter()
+            .map(|(k, v)| {
+                let w = match old.get(&k) {
+                    Some(o) => Interval::of(
+                        if v.lo < o.lo { f64::NEG_INFINITY } else { v.lo },
+                        if v.hi > o.hi { f64::INFINITY } else { v.hi },
+                    ),
+                    None => v,
+                };
+                (k, w)
+            })
+            .collect()
+    }
+
+    fn transfer(&mut self, stmt: &Stmt, env: &mut Env) {
+        match stmt {
+            Stmt::Local { name, init, .. } if self.classes.trackable(name) => {
+                let v = init.as_ref().map_or(Interval::TOP, |e| self.eval(e, env));
+                let hulled = env.get(name).map_or(v, |old| old.hull(v));
+                env.insert(name.clone(), hulled);
+            }
+            Stmt::Assign { target: Target::Name(name), value, .. }
+                if self.classes.trackable(name) =>
+            {
+                let v = self.eval(value, env);
+                env.insert(name.clone(), v);
+            }
+            Stmt::NumericFor { var, .. } => {
+                if let Some((s, e, st)) = self.for_parts(stmt, env) {
+                    if self.classes.trackable(var) {
+                        let range = self.loop_var_range(s, e, st);
+                        let hulled = env.get(var).map_or(range, |old| old.hull(range));
+                        env.insert(var.clone(), hulled);
+                    }
+                }
+            }
+            Stmt::GenericFor { key_var, value_var, .. } => {
+                // Loop variables hold arbitrary table contents.
+                if self.classes.trackable(key_var) {
+                    env.insert(key_var.clone(), Interval::TOP);
+                }
+                if let Some(v) = value_var {
+                    if self.classes.trackable(v) {
+                        env.insert(v.clone(), Interval::TOP);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Solves the interval domain over one CFG and records, for every
+/// numeric `for` whose interval-derived worst case is finite, the
+/// maximal trip count keyed by the loop's position.
+pub(crate) fn loop_bounds(
+    cfg: &Cfg<'_>,
+    classes: &NameClasses,
+    out: &mut HashMap<(u32, u32), u64>,
+) {
+    let mut dom = IntervalDomain::new(classes);
+    let sol = solve(cfg, &mut dom);
+    inspect(cfg, &mut dom, &sol, |dom, stmt, env| {
+        let Some((s, e, st)) = dom.for_parts(stmt, env) else { return };
+        // Worst case over the step interval: the sign must be certain,
+        // and the relevant corner bounds finite.
+        let n = if st.lo > 0.0 {
+            trip_count(s.lo, e.hi, st.lo)
+        } else if st.hi < 0.0 {
+            trip_count(s.hi, e.lo, st.hi)
+        } else {
+            return; // step sign unknown (may even be the zero-step error)
+        };
+        if n < u64::MAX {
+            let pos = stmt.pos();
+            out.insert((pos.line, pos.col), n);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataflow::classify_names;
+    use crate::parser::parse;
+    use crate::Pos;
+
+    fn bounds_of(src: &str) -> HashMap<(u32, u32), u64> {
+        let block = parse(src).expect("parses");
+        let classes = classify_names(&block);
+        let (cfg, _) = Cfg::build(&block, Pos { line: 1, col: 1 });
+        let mut out = HashMap::new();
+        loop_bounds(&cfg, &classes, &mut out);
+        out
+    }
+
+    #[test]
+    fn variable_stop_with_constant_local_is_bounded() {
+        let b = bounds_of("local n = 10\nfor i = 1, n do print(i) end");
+        assert_eq!(b.values().copied().collect::<Vec<_>>(), vec![10]);
+    }
+
+    #[test]
+    fn derived_bound_through_arithmetic() {
+        let b = bounds_of("local n = 4\nlocal m = n * 2 + 1\nfor i = 1, m do print(i) end");
+        assert_eq!(b.values().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn nested_loop_over_outer_variable_is_bounded() {
+        let b = bounds_of("for i = 1, 9 do\nfor j = 1, i do print(j) end\nend");
+        let mut counts: Vec<u64> = b.values().copied().collect();
+        counts.sort_unstable();
+        // Outer: 9 trips; inner: at most 9 (i ranges over [1, 9]).
+        assert_eq!(counts, vec![9, 9]);
+    }
+
+    #[test]
+    fn branch_join_takes_the_hull() {
+        let src = "local n = 1\nif clock() > 0 then n = 5 end\nfor i = 1, n do print(i) end";
+        let b = bounds_of(src);
+        assert_eq!(b.values().copied().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn widened_counter_is_not_bounded() {
+        // `n` grows in an unbounded while loop: widening must push its
+        // upper bound to +inf, so the for loop stays ⊤.
+        let src = "local n = 1\nwhile clock() < 100 do n = n + 1 end\nfor i = 1, n do print(i) end";
+        assert!(bounds_of(src).is_empty());
+    }
+
+    #[test]
+    fn global_bound_is_untracked() {
+        assert!(bounds_of("g = 10\nfor i = 1, g do print(i) end").is_empty());
+    }
+
+    #[test]
+    fn closure_mutated_local_is_untracked() {
+        let src =
+            "local n = 2\nlocal function bump() n = 99 end\nbump()\nfor i = 1, n do print(i) end";
+        assert!(bounds_of(src).is_empty());
+    }
+
+    #[test]
+    fn downward_loop_with_variable_start_is_bounded() {
+        let b = bounds_of("local n = 6\nfor i = n, 1, -1 do print(i) end");
+        assert_eq!(b.values().copied().collect::<Vec<_>>(), vec![6]);
+    }
+
+    #[test]
+    fn unknown_step_sign_is_unbounded() {
+        let src = "local s = tonumber('1')\nfor i = 1, 10, s do print(i) end";
+        assert!(bounds_of(src).is_empty());
+    }
+
+    #[test]
+    fn interval_arithmetic_handles_nan_and_zero_division() {
+        let classes = NameClasses::default();
+        let d = IntervalDomain::new(&classes);
+        let env = Env::new();
+        let block = parse("return 1 / 0").unwrap();
+        let Stmt::Return(Some(e), _) = &block[0] else { panic!() };
+        // Divisor interval is the point 0 → TOP, not ±inf corners.
+        assert_eq!(d.eval(e, &env), Interval::TOP);
+    }
+}

@@ -1,0 +1,331 @@
+//! Backward liveness and the W204 dead-store lint.
+//!
+//! A name is *live* at a program point if some path from that point
+//! reads it before any write. A store (plain assignment, or a `local`
+//! initialiser) whose target is not live immediately afterwards is
+//! dead: the value can never be observed.
+//!
+//! Lua-style scoping makes name-keyed liveness subtle, so the pass
+//! buys soundness with three restrictions:
+//!
+//! - Names the [`NameClasses`] walk marks *store-observable* (globals,
+//!   names any function literal assigns or reads) are never killed or
+//!   reported — a later call could observe the store.
+//! - Only names with exactly **one** binding site in the body are
+//!   killed or reported. With two `local` declarations of the same
+//!   name, a kill at the inner one would erase the outer binding's
+//!   liveness across a scope boundary the block-level CFG cannot see.
+//! - Names never read anywhere in the body are left to the W103
+//!   unused-local lint; W204 is reserved for stores that are dead even
+//!   though the variable *is* used elsewhere — the classic
+//!   "initialised, then unconditionally overwritten" bug.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dataflow::{inspect, solve, Direction, Domain, NameClasses};
+use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
+use crate::ast::{Expr, Stmt, TableKey, Target};
+
+/// The liveness domain (backward). The fact is the set of live names.
+#[derive(Debug)]
+pub struct LivenessDomain {
+    /// Names a write is allowed to kill (single binding site, not
+    /// store-observable). Everything else flows through untouched.
+    killable: HashSet<String>,
+}
+
+impl LivenessDomain {
+    /// A domain that kills only the given names.
+    pub fn new(killable: HashSet<String>) -> Self {
+        LivenessDomain { killable }
+    }
+
+    fn kill(&self, name: &str, live: &mut BTreeSet<String>) {
+        if self.killable.contains(name) {
+            live.remove(name);
+        }
+    }
+}
+
+impl Domain for LivenessDomain {
+    type Fact = BTreeSet<String>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn join(&self, a: &BTreeSet<String>, b: &BTreeSet<String>) -> BTreeSet<String> {
+        a.union(b).cloned().collect()
+    }
+
+    fn transfer(&mut self, stmt: &Stmt, live: &mut BTreeSet<String>) {
+        match stmt {
+            Stmt::Local { name, init, .. } => {
+                self.kill(name, live);
+                if let Some(e) = init {
+                    gen_expr(e, live);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                match target {
+                    Target::Name(name) => self.kill(name, live),
+                    Target::Index { table, key } => {
+                        gen_expr(table, live);
+                        gen_expr(key, live);
+                    }
+                }
+                gen_expr(value, live);
+            }
+            Stmt::ExprStmt(e) => gen_expr(e, live),
+            // Shallow lowering: bodies live in successor blocks; only
+            // the expressions this statement itself evaluates count.
+            Stmt::If { arms, .. } => {
+                for (cond, _) in arms {
+                    gen_expr(cond, live);
+                }
+            }
+            Stmt::While { cond, .. } => gen_expr(cond, live),
+            Stmt::NumericFor { var, start, stop, step, .. } => {
+                self.kill(var, live);
+                gen_expr(start, live);
+                gen_expr(stop, live);
+                if let Some(e) = step {
+                    gen_expr(e, live);
+                }
+            }
+            Stmt::GenericFor { key_var, value_var, iterable, .. } => {
+                self.kill(key_var, live);
+                if let Some(v) = value_var {
+                    self.kill(v, live);
+                }
+                gen_expr(iterable, live);
+            }
+            // The function value itself reads nothing at definition
+            // time; names its body reads are store-observable and thus
+            // never killed or reported, so they need no gen here.
+            Stmt::LocalFunction { name, .. } => self.kill(name, live),
+            Stmt::Break(_) => {}
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    gen_expr(e, live);
+                }
+            }
+        }
+    }
+}
+
+/// Inserts every name `e` reads. Function-literal interiors are
+/// skipped: their free names are store-observable by construction.
+fn gen_expr(e: &Expr, live: &mut BTreeSet<String>) {
+    match e {
+        Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..) => {}
+        Expr::Var(name, _) => {
+            live.insert(name.clone());
+        }
+        Expr::Unary { expr, .. } => gen_expr(expr, live),
+        Expr::Binary { lhs, rhs, .. } => {
+            gen_expr(lhs, live);
+            gen_expr(rhs, live);
+        }
+        Expr::Call { callee, args, .. } => {
+            gen_expr(callee, live);
+            for a in args {
+                gen_expr(a, live);
+            }
+        }
+        Expr::Index { table, key, .. } => {
+            gen_expr(table, live);
+            gen_expr(key, live);
+        }
+        Expr::Table { array, hash, .. } => {
+            for a in array {
+                gen_expr(a, live);
+            }
+            for (k, v) in hash {
+                if let TableKey::Expr(ke) = k {
+                    gen_expr(ke, live);
+                }
+                gen_expr(v, live);
+            }
+        }
+        Expr::Function { .. } => {}
+    }
+}
+
+/// Per-body census used to gate kills and reports. Every statement
+/// appears in exactly one block, so one shallow walk over the blocks
+/// counts each binding once.
+fn census(cfg: &Cfg<'_>) -> (HashMap<String, usize>, BTreeSet<String>) {
+    let mut bindings: HashMap<String, usize> = HashMap::new();
+    let mut reads = BTreeSet::new();
+    let bind = |name: &String, b: &mut HashMap<String, usize>| {
+        *b.entry(name.clone()).or_insert(0) += 1;
+    };
+    for block in &cfg.blocks {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Local { name, init, .. } => {
+                    bind(name, &mut bindings);
+                    if let Some(e) = init {
+                        gen_expr(e, &mut reads);
+                    }
+                }
+                Stmt::LocalFunction { name, .. } => bind(name, &mut bindings),
+                Stmt::NumericFor { var, start, stop, step, .. } => {
+                    bind(var, &mut bindings);
+                    gen_expr(start, &mut reads);
+                    gen_expr(stop, &mut reads);
+                    if let Some(e) = step {
+                        gen_expr(e, &mut reads);
+                    }
+                }
+                Stmt::GenericFor { key_var, value_var, iterable, .. } => {
+                    bind(key_var, &mut bindings);
+                    if let Some(v) = value_var {
+                        bind(v, &mut bindings);
+                    }
+                    gen_expr(iterable, &mut reads);
+                }
+                Stmt::Assign { target, value, .. } => {
+                    if let Target::Index { table, key } = target {
+                        gen_expr(table, &mut reads);
+                        gen_expr(key, &mut reads);
+                    }
+                    gen_expr(value, &mut reads);
+                }
+                Stmt::ExprStmt(e) => gen_expr(e, &mut reads),
+                Stmt::If { arms, .. } => {
+                    for (cond, _) in arms {
+                        gen_expr(cond, &mut reads);
+                    }
+                }
+                Stmt::While { cond, .. } => gen_expr(cond, &mut reads),
+                Stmt::Break(_) => {}
+                Stmt::Return(e, _) => {
+                    if let Some(e) = e {
+                        gen_expr(e, &mut reads);
+                    }
+                }
+            }
+        }
+    }
+    (bindings, reads)
+}
+
+/// Solves liveness over one CFG and reports W204 for stores whose
+/// value is provably never read.
+pub(crate) fn dead_stores(cfg: &Cfg<'_>, classes: &NameClasses, diags: &mut Vec<Diagnostic>) {
+    let (bindings, reads) = census(cfg);
+    let reportable = |name: &str| {
+        bindings.get(name).copied() == Some(1)
+            && !classes.store_observable(name)
+            && reads.contains(name)
+    };
+    let killable: HashSet<String> = bindings
+        .keys()
+        .filter(|n| bindings[*n] == 1 && !classes.store_observable(n))
+        .cloned()
+        .collect();
+
+    let mut dom = LivenessDomain::new(killable);
+    let sol = solve(cfg, &mut dom);
+    // Backward inspection hands each statement the fact *after* it in
+    // program order — exactly the live-out a dead-store check needs.
+    inspect(cfg, &mut dom, &sol, |_, stmt, live_after| match stmt {
+        Stmt::Assign { target: Target::Name(name), pos, .. }
+            if reportable(name) && !live_after.contains(name) =>
+        {
+            diags.push(Diagnostic::new(
+                DiagnosticCode::DeadStore,
+                *pos,
+                format!("value assigned to `{name}` is never read (overwritten or out of scope before any use)"),
+            ));
+        }
+        Stmt::Local { name, init: Some(_), pos }
+            if reportable(name) && !live_after.contains(name) =>
+        {
+            diags.push(Diagnostic::new(
+                DiagnosticCode::DeadStore,
+                *pos,
+                format!("initial value of `{name}` is never read (overwritten before any use)"),
+            ));
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataflow::classify_names;
+    use crate::parser::parse;
+    use crate::Pos;
+
+    fn w204_lines(src: &str) -> Vec<u32> {
+        let block = parse(src).expect("parses");
+        let classes = classify_names(&block);
+        let (cfg, _) = Cfg::build(&block, Pos { line: 1, col: 1 });
+        let mut diags = Vec::new();
+        dead_stores(&cfg, &classes, &mut diags);
+        assert!(diags.iter().all(|d| d.code == DiagnosticCode::DeadStore));
+        let mut lines: Vec<u32> = diags.iter().map(|d| d.pos.line).collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    #[test]
+    fn overwritten_initialiser_is_dead() {
+        assert_eq!(w204_lines("local x = 1\nx = 2\nreturn x"), vec![1]);
+    }
+
+    #[test]
+    fn chain_of_overwrites_flags_each_dead_store() {
+        assert_eq!(w204_lines("local x = 1\nx = 2\nx = 3\nreturn x"), vec![1, 2]);
+    }
+
+    #[test]
+    fn live_across_branch_is_not_dead() {
+        let src = "local x = 1\nif clock() > 0 then x = 2 end\nreturn x";
+        assert!(w204_lines(src).is_empty());
+    }
+
+    #[test]
+    fn both_arms_overwrite_makes_initialiser_dead() {
+        let src = "local x = 1\nif clock() > 0 then x = 2 else x = 3 end\nreturn x";
+        assert_eq!(w204_lines(src), vec![1]);
+    }
+
+    #[test]
+    fn loop_carried_value_is_live() {
+        assert!(w204_lines("local s = 0\nfor i = 1, 3 do s = s + 1 end\nreturn s").is_empty());
+    }
+
+    #[test]
+    fn shadowed_names_are_never_reported() {
+        // Two binding sites: a kill at the inner `local` would cross a
+        // scope boundary the CFG cannot express, so the name is exempt.
+        let src = "local x = 1\nif clock() > 0 then local x = 2\nprint(x) else local x = 3\nprint(x) end\nreturn x";
+        assert!(w204_lines(src).is_empty());
+    }
+
+    #[test]
+    fn closure_read_names_are_never_reported() {
+        let src = "local x = 1\nlocal function f() return x end\nx = 2\nreturn f()";
+        assert!(w204_lines(src).is_empty());
+    }
+
+    #[test]
+    fn never_read_names_are_left_to_w103() {
+        assert!(w204_lines("local dead = 1\nreturn 2").is_empty());
+    }
+
+    #[test]
+    fn index_store_reads_its_table() {
+        assert!(w204_lines("local t = {}\nt[1] = 5\nreturn t").is_empty());
+    }
+}

@@ -1,0 +1,669 @@
+//! Sensor-taint provenance and the E004/W501 privacy lints.
+//!
+//! Every capability call that acquires sensor data stamps its result
+//! with a *raw* taint naming the capability and the read position.
+//! Raw taint flows through arithmetic, string conversion, table
+//! construction, indexing, assignments, and script-function calls.
+//! Passing a value through an **aggregating** builtin (`mean`,
+//! `stddev`, `sum`, `min`, `max`, `histogram`, or the `#` length
+//! operator) launders raw taint into *aggregate* taint: the result
+//! reveals a statistic, not the samples.
+//!
+//! The sink is the script's top-level `return` — the value shipped
+//! off the phone as the task result. A result that may carry raw
+//! **high-sensitivity** data (GPS, location, noise/audio) is **E004**
+//! and blocks admission; raw **medium-sensitivity** data (WiFi,
+//! compass, accelerometer) is the lint-grade **W501**. Aggregated
+//! data of any sensitivity is clean: that is exactly the privacy
+//! contract the paper's sensing server promises contributors.
+//!
+//! E004 is deliberately a *may*-flow verdict — the one error code
+//! whose evidence is a possible path rather than a certainty. A
+//! privacy policy that only rejected certain leaks would be trivially
+//! evadable with one `if`.
+//!
+//! Script functions get *summaries*: each body is analyzed once with
+//! its parameters bound to substitution markers, and the marker
+//! entries in the returned taint are replaced per call site with the
+//! actual argument (or captured free-variable) taints. Recursive
+//! calls conservatively pass their arguments through raw.
+//!
+//! Known false negatives, documented rather than chased: assignments
+//! *inside* function bodies to outer locals are not modeled (only
+//! return-value flow is), and a shadowed `local` re-declaration
+//! overwrites the outer name's taint for the rest of the enclosing
+//! block. Both trades keep the false-positive rate of an
+//! admission-blocking error at zero for straight-line scripts.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dataflow::{inspect, solve, Direction, Domain};
+use crate::analysis::diagnostic::{Diagnostic, DiagnosticCode};
+use crate::analysis::resolve::{CallTarget, FnDef, Resolution};
+use crate::analysis::CapabilitySet;
+use crate::ast::{Block, Expr, Stmt, TableKey, Target, UnOp};
+use crate::Pos;
+
+/// How much a leaked raw reading from a modality would reveal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sensitivity {
+    /// Ambient scalars (temperature, humidity, light, pressure).
+    Low,
+    /// Movement and radio environment (WiFi, compass, accelerometer).
+    Medium,
+    /// Position and audio (GPS, location, noise) — raw values
+    /// identify where the contributor is.
+    High,
+}
+
+/// The privacy classification of a standard sensing capability.
+/// Returns `None` for names outside the standard vocabulary (custom
+/// capabilities are not tracked).
+pub fn sensitivity(cap: &str) -> Option<Sensitivity> {
+    match cap {
+        "get_gps_readings" | "get_location" | "get_noise_readings" => Some(Sensitivity::High),
+        "get_wifi_readings" | "get_compass_readings" | "get_accel_readings" => {
+            Some(Sensitivity::Medium)
+        }
+        "get_temperature_readings"
+        | "get_humidity_readings"
+        | "get_light_readings"
+        | "get_pressure_readings" => Some(Sensitivity::Low),
+        _ => None,
+    }
+}
+
+/// Builtins that turn raw samples into a statistic.
+pub const AGGREGATORS: &[&str] = &["mean", "stddev", "sum", "min", "max", "histogram"];
+
+/// Longest transform chain kept per origin (diagnostics only).
+const VIA_CAP: usize = 4;
+
+/// Marker prefix for "parameter i of the function under summary".
+const PARAM_MARK: &str = "\u{1}p";
+/// Marker prefix for "free variable `name` captured from the caller".
+const FREE_MARK: &str = "\u{1}f:";
+
+/// Where a raw taint entered the script, plus the transforms it has
+/// passed through since (for the diagnostic's flow trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Origin {
+    /// Position of the capability call that read the data.
+    pub pos: Pos,
+    /// Pass-through functions the value flowed through, oldest first.
+    pub via: Vec<(String, Pos)>,
+}
+
+/// The taint carried by one abstract value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Taint {
+    /// Capability (or substitution marker) → origin of *raw* data the
+    /// value may contain.
+    pub raw: BTreeMap<String, Origin>,
+    /// Capabilities whose data the value may contain only in
+    /// aggregated form.
+    pub agg: BTreeSet<String>,
+}
+
+impl Taint {
+    fn is_clean(&self) -> bool {
+        self.raw.is_empty() && self.agg.is_empty()
+    }
+
+    /// Raw taint from one capability read.
+    fn from_cap(cap: &str, pos: Pos) -> Taint {
+        let mut t = Taint::default();
+        t.raw.insert(cap.to_string(), Origin { pos, via: Vec::new() });
+        t
+    }
+
+    fn marker(key: String, pos: Pos) -> Taint {
+        let mut t = Taint::default();
+        t.raw.insert(key, Origin { pos, via: Vec::new() });
+        t
+    }
+
+    /// Union, keeping the first-seen origin per capability.
+    fn absorb(&mut self, other: &Taint) {
+        for (cap, origin) in &other.raw {
+            self.raw.entry(cap.clone()).or_insert_with(|| origin.clone());
+        }
+        self.agg.extend(other.agg.iter().cloned());
+    }
+
+    /// Union with every absorbed raw origin noting one more transform.
+    fn absorb_via(&mut self, other: &Taint, step: &str, pos: Pos) {
+        for (cap, origin) in &other.raw {
+            self.raw.entry(cap.clone()).or_insert_with(|| {
+                let mut o = origin.clone();
+                if o.via.len() < VIA_CAP {
+                    o.via.push((step.to_string(), pos));
+                }
+                o
+            });
+        }
+        self.agg.extend(other.agg.iter().cloned());
+    }
+
+    /// The taint after aggregation: everything raw becomes aggregate.
+    fn aggregated(&self) -> Taint {
+        let mut t = Taint { agg: self.agg.clone(), ..Taint::default() };
+        t.agg.extend(self.raw.keys().cloned());
+        t
+    }
+}
+
+/// The abstract environment: name → taint of its current value.
+/// Missing names are clean (or, in a function-body analysis, free
+/// variables resolved at the call site).
+pub type Env = BTreeMap<String, Taint>;
+
+#[derive(Clone)]
+enum Memo {
+    Unvisited,
+    /// On the summary stack — a hit means recursion.
+    InProgress,
+    Done(Taint),
+}
+
+/// State shared between the top-level analysis and every function
+/// summary run (they must agree on call targets and memoized
+/// summaries).
+struct Shared<'a, 'r> {
+    targets: HashMap<(u32, u32), CallTarget>,
+    functions: &'r [FnDef<'a>],
+    memo: RefCell<Vec<Memo>>,
+}
+
+/// The taint domain (forward).
+pub(crate) struct TaintDomain<'a, 'r> {
+    shared: Rc<Shared<'a, 'r>>,
+    /// Fact at the entry block: empty at top level, parameter markers
+    /// for a function-body summary run.
+    boundary_env: Env,
+    /// In summary runs, unresolved names become free-variable markers
+    /// substituted with caller-side taints; at top level they are
+    /// clean globals.
+    free_markers: bool,
+}
+
+impl<'a, 'r> TaintDomain<'a, 'r> {
+    fn top_level(res: &'r Resolution<'a>) -> Self {
+        let targets = res.calls.iter().map(|c| ((c.pos.line, c.pos.col), c.target)).collect();
+        TaintDomain {
+            shared: Rc::new(Shared {
+                targets,
+                functions: &res.functions,
+                memo: RefCell::new(vec![Memo::Unvisited; res.functions.len()]),
+            }),
+            boundary_env: Env::new(),
+            free_markers: false,
+        }
+    }
+
+    fn lookup(&self, name: &str, pos: Pos, env: &Env) -> Taint {
+        match env.get(name) {
+            Some(t) => t.clone(),
+            None if self.free_markers => Taint::marker(format!("{FREE_MARK}{name}"), pos),
+            None => Taint::default(),
+        }
+    }
+
+    /// Abstractly evaluates `e`. The environment is mutable because
+    /// `insert(t, v)` taints `t` in place wherever the call appears.
+    pub fn eval(&mut self, e: &Expr, env: &mut Env) -> Taint {
+        match e {
+            Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..) => Taint::default(),
+            Expr::Var(name, pos) => self.lookup(name, *pos, env),
+            Expr::Unary { op, expr, .. } => {
+                let t = self.eval(expr, env);
+                match op {
+                    // `#samples` is a count — aggregate information.
+                    UnOp::Len => t.aggregated(),
+                    UnOp::Neg | UnOp::Not => t,
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                let mut t = self.eval(lhs, env);
+                let r = self.eval(rhs, env);
+                t.absorb(&r);
+                t
+            }
+            Expr::Index { table, key, .. } => {
+                // An element of a raw reading table is still raw.
+                let mut t = self.eval(table, env);
+                let k = self.eval(key, env);
+                t.absorb(&k);
+                t
+            }
+            Expr::Table { array, hash, .. } => {
+                let mut t = Taint::default();
+                for a in array {
+                    let e = self.eval(a, env);
+                    t.absorb(&e);
+                }
+                for (k, v) in hash {
+                    if let TableKey::Expr(ke) = k {
+                        let e = self.eval(ke, env);
+                        t.absorb(&e);
+                    }
+                    let e = self.eval(v, env);
+                    t.absorb(&e);
+                }
+                t
+            }
+            // A function value carries code, not sensor data; the data
+            // flow happens when it is called.
+            Expr::Function { .. } => Taint::default(),
+            Expr::Call { callee, args, pos } => self.eval_call(callee, args, *pos, env),
+        }
+    }
+
+    fn eval_call(&mut self, callee: &Expr, args: &[Expr], pos: Pos, env: &mut Env) -> Taint {
+        let arg_taints: Vec<Taint> = args.iter().map(|a| self.eval(a, env)).collect();
+        let name = match callee {
+            Expr::Var(n, _) => Some(n.as_str()),
+            _ => None,
+        };
+        let target = self.shared.targets.get(&(pos.line, pos.col)).copied();
+        match target {
+            Some(CallTarget::Capability) => {
+                let mut t = Taint::default();
+                for a in &arg_taints {
+                    t.absorb(a);
+                }
+                if let Some(cap) = name {
+                    if sensitivity(cap).is_some() {
+                        t.absorb(&Taint::from_cap(cap, pos));
+                    }
+                }
+                t
+            }
+            Some(CallTarget::Builtin) => {
+                let n = name.unwrap_or_default();
+                if AGGREGATORS.contains(&n) {
+                    let mut t = Taint::default();
+                    for a in &arg_taints {
+                        t.absorb(a);
+                    }
+                    t.aggregated()
+                } else if n == "insert" {
+                    // insert(t, v): v's taint lands in the table.
+                    if let (Some(Expr::Var(tname, tpos)), Some(vt)) =
+                        (args.first(), arg_taints.get(1))
+                    {
+                        if !vt.is_clean() {
+                            let mut cur = self.lookup(tname, *tpos, env);
+                            cur.absorb(vt);
+                            env.insert(tname.clone(), cur);
+                        }
+                    }
+                    Taint::default()
+                } else {
+                    // Pass-through transform: tostring(gps) still
+                    // leaks the position.
+                    let mut t = Taint::default();
+                    for a in &arg_taints {
+                        t.absorb_via(a, n, pos);
+                    }
+                    t
+                }
+            }
+            Some(CallTarget::Known(idx)) => {
+                let summary = self.summary_of(idx);
+                self.apply_summary(&summary, &arg_taints, name.unwrap_or("<fn>"), pos, env)
+            }
+            Some(CallTarget::Dynamic) | Some(CallTarget::Unknown) | None => {
+                // A callee the analyzer cannot see through: assume the
+                // arguments (and the callee value itself) flow to the
+                // result raw.
+                let mut t = self.eval(callee, env);
+                for a in &arg_taints {
+                    t.absorb_via(a, name.unwrap_or("<dynamic call>"), pos);
+                }
+                t
+            }
+        }
+    }
+
+    /// The memoized return-taint summary of script function `idx`,
+    /// expressed over parameter and free-variable markers.
+    fn summary_of(&self, idx: usize) -> Taint {
+        match self.shared.memo.borrow()[idx].clone() {
+            Memo::Done(t) => return t,
+            Memo::InProgress => {
+                // Recursion: conservatively pass every parameter
+                // through raw.
+                let f = &self.shared.functions[idx];
+                let mut t = Taint::default();
+                for i in 0..f.params.len() {
+                    t.absorb(&Taint::marker(format!("{PARAM_MARK}{i}"), f.pos));
+                }
+                return t;
+            }
+            Memo::Unvisited => {}
+        }
+        self.shared.memo.borrow_mut()[idx] = Memo::InProgress;
+        let f = &self.shared.functions[idx];
+        let mut boundary = Env::new();
+        for (i, p) in f.params.iter().enumerate() {
+            boundary.insert(p.clone(), Taint::marker(format!("{PARAM_MARK}{i}"), f.pos));
+        }
+        let mut dom = TaintDomain {
+            shared: Rc::clone(&self.shared),
+            boundary_env: boundary,
+            free_markers: true,
+        };
+        let (cfg, _) = Cfg::build(f.body, f.pos);
+        let sol = solve(&cfg, &mut dom);
+        let mut ret = Taint::default();
+        inspect(&cfg, &mut dom, &sol, |d, stmt, env| {
+            if let Stmt::Return(Some(e), _) = stmt {
+                let mut env = env.clone();
+                let t = d.eval(e, &mut env);
+                ret.absorb(&t);
+            }
+        });
+        self.shared.memo.borrow_mut()[idx] = Memo::Done(ret.clone());
+        ret
+    }
+
+    /// Substitutes a summary's markers with call-site taints.
+    fn apply_summary(
+        &self,
+        summary: &Taint,
+        args: &[Taint],
+        call_name: &str,
+        pos: Pos,
+        env: &Env,
+    ) -> Taint {
+        let resolve_marker = |cap: &str| -> Option<Taint> {
+            if let Some(i) = cap.strip_prefix(PARAM_MARK).and_then(|s| s.parse::<usize>().ok()) {
+                // Missing arguments are nil — clean.
+                Some(args.get(i).cloned().unwrap_or_default())
+            } else {
+                cap.strip_prefix(FREE_MARK).map(|name| self.lookup(name, pos, env))
+            }
+        };
+        let mut out = Taint::default();
+        for (cap, origin) in &summary.raw {
+            match resolve_marker(cap) {
+                Some(t) => out.absorb_via(&t, call_name, pos),
+                None => {
+                    out.raw.entry(cap.clone()).or_insert_with(|| origin.clone());
+                }
+            }
+        }
+        for cap in &summary.agg {
+            match resolve_marker(cap) {
+                Some(t) => out.absorb(&t.aggregated()),
+                None => {
+                    out.agg.insert(cap.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Domain for TaintDomain<'_, '_> {
+    type Fact = Env;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Env {
+        self.boundary_env.clone()
+    }
+
+    fn join(&self, a: &Env, b: &Env) -> Env {
+        let mut out = a.clone();
+        for (k, v) in b {
+            match out.get_mut(k) {
+                Some(cur) => cur.absorb(v),
+                None => {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    fn transfer(&mut self, stmt: &Stmt, env: &mut Env) {
+        match stmt {
+            Stmt::Local { name, init, .. } => {
+                let t = match init {
+                    Some(e) => self.eval(e, env),
+                    None => Taint::default(),
+                };
+                env.insert(name.clone(), t);
+            }
+            Stmt::Assign { target, value, .. } => {
+                let vt = self.eval(value, env);
+                match target {
+                    Target::Name(name) => {
+                        env.insert(name.clone(), vt);
+                    }
+                    Target::Index { table, key } => {
+                        let _ = self.eval(key, env);
+                        let _ = self.eval(table, env);
+                        // Weak update on the table's root variable:
+                        // `t[k] = gps` taints `t`.
+                        if !vt.is_clean() {
+                            if let Some((root, rpos)) = root_var(table) {
+                                let mut cur = self.lookup(root, rpos, env);
+                                cur.absorb(&vt);
+                                env.insert(root.to_string(), cur);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::ExprStmt(e) => {
+                let _ = self.eval(e, env);
+            }
+            Stmt::If { arms, .. } => {
+                for (cond, _) in arms {
+                    let _ = self.eval(cond, env);
+                }
+            }
+            Stmt::While { cond, .. } => {
+                let _ = self.eval(cond, env);
+            }
+            Stmt::NumericFor { var, start, stop, step, .. } => {
+                let mut t = self.eval(start, env);
+                let s = self.eval(stop, env);
+                t.absorb(&s);
+                if let Some(e) = step {
+                    let s = self.eval(e, env);
+                    t.absorb(&s);
+                }
+                env.insert(var.clone(), t);
+            }
+            Stmt::GenericFor { key_var, value_var, iterable, .. } => {
+                let t = self.eval(iterable, env);
+                env.insert(key_var.clone(), t.clone());
+                if let Some(v) = value_var {
+                    env.insert(v.clone(), t);
+                }
+            }
+            Stmt::LocalFunction { name, .. } => {
+                env.insert(name.clone(), Taint::default());
+            }
+            Stmt::Break(_) => {}
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    let _ = self.eval(e, env);
+                }
+            }
+        }
+    }
+}
+
+/// The root variable of a (possibly nested) index target.
+fn root_var(table: &Expr) -> Option<(&str, Pos)> {
+    match table {
+        Expr::Var(name, pos) => Some((name, *pos)),
+        Expr::Index { table, .. } => root_var(table),
+        _ => None,
+    }
+}
+
+/// Analyzes the script's return sinks and reports **E004** (raw
+/// high-sensitivity result) and **W501** (raw medium-sensitivity
+/// result) with the read position and flow trace.
+pub(crate) fn check(
+    top: &Block,
+    res: &Resolution<'_>,
+    caps: &CapabilitySet,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut dom = TaintDomain::top_level(res);
+    let (cfg, _) = Cfg::build(top, Pos { line: 1, col: 1 });
+    let sol = solve(&cfg, &mut dom);
+    inspect(&cfg, &mut dom, &sol, |d, stmt, env| {
+        let Stmt::Return(Some(e), ret_pos) = stmt else { return };
+        let mut env = env.clone();
+        let taint = d.eval(e, &mut env);
+        for (cap, origin) in &taint.raw {
+            if !caps.contains(cap) {
+                continue; // markers and undeclared capabilities
+            }
+            let (code, grade) = match sensitivity(cap) {
+                Some(Sensitivity::High) => (DiagnosticCode::TaintedReturn, "high"),
+                Some(Sensitivity::Medium) => (DiagnosticCode::RawMediumReturn, "medium"),
+                _ => continue,
+            };
+            let mut msg = format!(
+                "the task result may carry raw `{cap}` data ({grade} sensitivity) \
+                 read at {}",
+                origin.pos
+            );
+            for (step, pos) in &origin.via {
+                msg.push_str(&format!(", flowing through `{step}` at {pos}"));
+            }
+            msg.push_str(
+                "; aggregate it (mean, stddev, sum, min, max, histogram, or #) \
+                 before returning",
+            );
+            diags.push(Diagnostic::new(code, *ret_pos, msg));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::resolve;
+    use crate::parser::parse;
+
+    fn taint_codes(src: &str) -> Vec<&'static str> {
+        let block = parse(src).expect("parses");
+        let caps = CapabilitySet::standard_sensing();
+        let res = resolve::resolve(&block, &caps);
+        let mut diags = Vec::new();
+        check(&block, &res, &caps, &mut diags);
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    fn taint_msgs(src: &str) -> Vec<String> {
+        let block = parse(src).expect("parses");
+        let caps = CapabilitySet::standard_sensing();
+        let res = resolve::resolve(&block, &caps);
+        let mut diags = Vec::new();
+        check(&block, &res, &caps, &mut diags);
+        diags.iter().map(|d| d.message.clone()).collect()
+    }
+
+    #[test]
+    fn raw_high_sensitivity_return_is_e004() {
+        assert_eq!(taint_codes("return get_gps_readings(3)"), vec!["E004"]);
+        assert_eq!(taint_codes("return get_location()"), vec!["E004"]);
+        assert_eq!(taint_codes("return get_noise_readings(5)"), vec!["E004"]);
+    }
+
+    #[test]
+    fn aggregated_high_sensitivity_return_is_clean() {
+        assert!(taint_codes("return mean(get_gps_readings(3))").is_empty());
+        assert!(taint_codes("return histogram(get_noise_readings(10), 4)").is_empty());
+        assert!(taint_codes("local g = get_gps_readings(1)\nreturn #g").is_empty());
+    }
+
+    #[test]
+    fn raw_medium_sensitivity_return_is_w501() {
+        assert_eq!(taint_codes("return get_accel_readings(5)"), vec!["W501"]);
+    }
+
+    #[test]
+    fn raw_low_sensitivity_return_is_clean() {
+        assert!(taint_codes("return get_light_readings(5)").is_empty());
+        assert!(taint_codes("return get_temperature_readings(5)").is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_locals_and_indexing() {
+        assert_eq!(taint_codes("local g = get_location()\nreturn g"), vec!["E004"]);
+        assert_eq!(taint_codes("local g = get_gps_readings(2)\nreturn g[1]"), vec!["E004"]);
+    }
+
+    #[test]
+    fn transform_chain_appears_in_message() {
+        let msgs = taint_msgs("local g = get_gps_readings(2)\nreturn tostring(g)");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("get_gps_readings"), "{}", msgs[0]);
+        assert!(msgs[0].contains("read at 1:27"), "{}", msgs[0]);
+        assert!(msgs[0].contains("`tostring`"), "{}", msgs[0]);
+    }
+
+    #[test]
+    fn taint_flows_through_function_summaries() {
+        let src = "local function id(x) return x end\nreturn id(get_gps_readings(1))";
+        assert_eq!(taint_codes(src), vec!["E004"]);
+        let agg = "local function m(x) return mean(x) end\nreturn m(get_gps_readings(1))";
+        assert!(taint_codes(agg).is_empty());
+    }
+
+    #[test]
+    fn closures_capture_caller_taint() {
+        let src = "local g = get_gps_readings(1)\nlocal function f() return g end\nreturn f()";
+        assert_eq!(taint_codes(src), vec!["E004"]);
+    }
+
+    #[test]
+    fn recursion_passes_arguments_through() {
+        let src = "local function f(n)\nif n > 0 then return f(n - 1) end\nreturn get_gps_readings(1)\nend\nreturn f(2)";
+        assert_eq!(taint_codes(src), vec!["E004"]);
+    }
+
+    #[test]
+    fn insert_taints_the_table() {
+        let src = "local t = {}\ninsert(t, get_location())\nreturn t";
+        assert_eq!(taint_codes(src), vec!["E004"]);
+    }
+
+    #[test]
+    fn index_assignment_taints_the_table() {
+        let src = "local t = {}\nt[1] = get_gps_readings(1)\nreturn t";
+        assert_eq!(taint_codes(src), vec!["E004"]);
+    }
+
+    #[test]
+    fn overwrite_clears_taint() {
+        assert!(taint_codes("local x = get_gps_readings(1)\nx = 0\nreturn x").is_empty());
+    }
+
+    #[test]
+    fn may_flow_through_one_branch_is_reported() {
+        let src = "local x = 0\nif clock() > 0 then x = get_gps_readings(1) end\nreturn x";
+        assert_eq!(taint_codes(src), vec!["E004"]);
+    }
+
+    #[test]
+    fn aggregate_of_medium_is_clean() {
+        assert!(taint_codes("return stddev(get_accel_readings(20))").is_empty());
+    }
+}

@@ -55,6 +55,11 @@ pub enum DiagnosticCode {
     UnreachableCode,
     /// Some paths return a value, others fall off the end.
     InconsistentReturns,
+    /// An `if` arm (or `while` body) whose condition is a constant
+    /// makes the branch statically dead.
+    DeadBranch,
+    /// A value stored in a local is overwritten before any read.
+    DeadStore,
     /// A call passes more arguments than the callee declares.
     ArityMismatch,
     /// A numeric `for` with a constant zero step (runtime error).
@@ -64,6 +69,14 @@ pub enum DiagnosticCode {
     /// The cost pass could not bound the script (unbounded `while`,
     /// recursion, or iteration/calls it cannot see through).
     UnboundedCost,
+    /// The script's result may carry raw high-sensitivity sensor data
+    /// that never passed through an aggregating builtin. Admission
+    /// control rejects on this: the privacy policy forbids shipping
+    /// raw location/audio-grade readings off the phone.
+    TaintedReturn,
+    /// Same flow as [`DiagnosticCode::TaintedReturn`] but for
+    /// medium-sensitivity modalities — lint-grade only.
+    RawMediumReturn,
 }
 
 impl DiagnosticCode {
@@ -78,10 +91,14 @@ impl DiagnosticCode {
             DiagnosticCode::UnusedLocal => "W103",
             DiagnosticCode::UnreachableCode => "W201",
             DiagnosticCode::InconsistentReturns => "W202",
+            DiagnosticCode::DeadBranch => "W203",
+            DiagnosticCode::DeadStore => "W204",
             DiagnosticCode::ArityMismatch => "W301",
             DiagnosticCode::ZeroStepFor => "W302",
             DiagnosticCode::BudgetExceeded => "W401",
             DiagnosticCode::UnboundedCost => "W402",
+            DiagnosticCode::TaintedReturn => "E004",
+            DiagnosticCode::RawMediumReturn => "W501",
         }
     }
 
@@ -90,7 +107,8 @@ impl DiagnosticCode {
         match self {
             DiagnosticCode::SyntaxError
             | DiagnosticCode::UndefinedName
-            | DiagnosticCode::ForbiddenCall => Severity::Error,
+            | DiagnosticCode::ForbiddenCall
+            | DiagnosticCode::TaintedReturn => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -165,10 +183,14 @@ mod tests {
             DiagnosticCode::UnusedLocal,
             DiagnosticCode::UnreachableCode,
             DiagnosticCode::InconsistentReturns,
+            DiagnosticCode::DeadBranch,
+            DiagnosticCode::DeadStore,
             DiagnosticCode::ArityMismatch,
             DiagnosticCode::ZeroStepFor,
             DiagnosticCode::BudgetExceeded,
             DiagnosticCode::UnboundedCost,
+            DiagnosticCode::TaintedReturn,
+            DiagnosticCode::RawMediumReturn,
         ];
         let set: std::collections::HashSet<&str> = codes.iter().map(|c| c.as_str()).collect();
         assert_eq!(set.len(), codes.len());

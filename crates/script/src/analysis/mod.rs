@@ -20,13 +20,23 @@
 //! 3. **cfg** ([`cfg`]) — per-function control-flow graphs: unreachable
 //!    statements (W201), inconsistent returns feeding the task result
 //!    (W202), never-read locals (W103).
-//! 4. **cost** ([`cost`]) — a conservative static instruction bound
+//! 4. **dataflow** ([`dataflow`]) — worklist abstract interpretation
+//!    over the CFGs: interval analysis feeding loop bounds to the cost
+//!    pass, sensor-taint tracking for the privacy lints (E004 raw
+//!    high-sensitivity result, W501 raw medium-sensitivity result),
+//!    backward liveness for dead stores (W204), and constant-condition
+//!    dead branches (W203).
+//! 5. **cost** ([`cost`]) — a conservative static instruction bound
 //!    proved against the execution budget (W401), with ⊤ for loops and
-//!    calls the analyzer cannot bound (W402).
+//!    calls neither constant folding nor the interval domain can bound
+//!    (W402).
 //!
 //! Error-severity findings are reserved for scripts that are
 //! statically *known* to be broken, so admission control can reject on
-//! them without false alarms; everything heuristic is a warning.
+//! them without false alarms; everything heuristic is a warning. The
+//! one deliberate exception is the privacy sink check (E004): it is a
+//! *may*-flow verdict, because a privacy policy that only rejected
+//! certain leaks would be evadable with a single branch.
 //!
 //! # Example
 //!
@@ -44,7 +54,9 @@
 
 pub mod calls;
 pub mod cfg;
+pub(crate) mod consteval;
 pub mod cost;
+pub mod dataflow;
 pub mod diagnostic;
 pub mod resolve;
 
@@ -200,7 +212,9 @@ pub fn analyze_block(block: &Block, caps: &CapabilitySet, budget: u64) -> Analys
     let mut diagnostics = res.diagnostics.clone();
     diagnostics.extend(calls::check(&res));
     diagnostics.extend(cfg::pass(block, &res));
-    let outcome = cost::estimate(block, &res, budget);
+    let flow = dataflow::pass(block, &res, caps);
+    diagnostics.extend(flow.diagnostics);
+    let outcome = cost::estimate(block, &res, budget, &flow.loop_bounds);
     diagnostics.extend(outcome.diagnostics);
     diagnostics.sort_by_key(|d| (d.pos.line, d.pos.col, d.code.as_str()));
     AnalysisReport { diagnostics, cost: outcome.total, budget }
@@ -381,6 +395,62 @@ mod tests {
         assert_eq!(codes(&r), vec!["W402"]);
         assert_eq!(r.cost, Cost::Unbounded);
         assert!(!r.has_errors(), "cost findings must not block admission");
+    }
+
+    #[test]
+    fn interval_bounded_loop_is_not_w402() {
+        // The loop bound is a variable, not a literal — previously ⊤
+        // (W402); the interval domain now proves 10 trips.
+        let src = "local n = 10\nfor i = 1, n do print(i) end\nreturn n";
+        let r = analyze(src, &caps());
+        assert!(r.cost.is_bounded(), "{:?}", r.diagnostics);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn widened_loop_bound_stays_w402() {
+        let src = "local n = 1\nwhile clock() < 9 do n = n + 1 end\nfor i = 1, n do print(i) end\nreturn n";
+        let r = analyze(src, &caps());
+        assert_eq!(r.cost, Cost::Unbounded);
+        assert!(codes(&r).contains(&"W402"));
+    }
+
+    #[test]
+    fn raw_gps_return_is_e004_and_blocks_admission() {
+        let r = analyze("return get_gps_readings(3)", &caps());
+        assert!(r.has_errors());
+        assert_eq!(codes(&r), vec!["E004"]);
+    }
+
+    #[test]
+    fn aggregated_gps_return_is_admitted() {
+        let r = analyze("return mean(get_gps_readings(3))", &caps());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn histogram_launders_high_sensitivity() {
+        let r = analyze("return histogram(get_noise_readings(16), 4)", &caps());
+        assert!(!r.has_errors(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn raw_medium_sensitivity_return_is_w501() {
+        let r = analyze("return get_accel_readings(5)", &caps());
+        assert!(!r.has_errors());
+        assert_eq!(codes(&r), vec!["W501"]);
+    }
+
+    #[test]
+    fn constant_false_branch_is_w203() {
+        let r = analyze("if false then print(1) end\nreturn 0", &caps());
+        assert_eq!(codes(&r), vec!["W203"]);
+    }
+
+    #[test]
+    fn dead_store_is_w204() {
+        let r = analyze("local x = 1\nx = 2\nreturn x", &caps());
+        assert_eq!(codes(&r), vec!["W204"]);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! `optdiff` — differential tester for the SenseScript optimizer.
+//!
+//! For every corpus script, runs the unoptimized AST and the
+//! [`sor_script::optimize`] lowering of it against the same
+//! deterministic fake sensor host, across several seeds, and asserts:
+//!
+//! 1. **Observational equivalence** — both runs produce the same value
+//!    (structurally compared; `NaN` counts as equal to itself) or fail
+//!    with the same error variant. The one permitted asymmetry: the
+//!    original may exhaust the instruction budget where the cheaper
+//!    optimized form finishes.
+//! 2. **Cost monotonicity** — the optimized run never consumes more
+//!    instructions than the original.
+//!
+//! Exit status: `0` all scripts agree, `1` a divergence was found,
+//! `2` usage or I/O problems.
+
+use std::cell::Cell;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use sor_script::ast::Block;
+use sor_script::optimize::optimize;
+use sor_script::parser::parse;
+use sor_script::{HostRegistry, Interpreter, ScriptError, Value};
+
+const USAGE: &str = "\
+usage: optdiff [options] [path ...]
+
+Differentially tests the optimizer: every `.ss` script found under the
+given files/directories (default: tests/lint_corpus) runs optimized and
+unoptimized against the same deterministic fake sensors, across seeds.
+Divergent values, divergent errors, or an optimized run that costs more
+instructions than the original are failures.
+
+options:
+  --seeds N    number of host seeds to test each script under (default 3)
+  --budget N   instruction budget for both runs (default 1000000)
+  --verbose    print one line per script/seed, not just failures
+  --help       show this help
+
+exit status: 0 all equivalent, 1 divergence found, 2 usage/IO error";
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in [lo, hi) with 3 decimal digits, sensor-reading style.
+    fn reading(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        ((lo + u * (hi - lo)) * 1000.0).round() / 1000.0
+    }
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a, fixed so a capability's stream only depends on (name, seed).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A host registry serving every standard sensing capability with
+/// deterministic pseudo-readings. A fresh registry (same seed) replays
+/// the exact same stream, so optimized and unoptimized runs see
+/// identical sensor data call-for-call.
+fn fake_sensing_host(seed: u64) -> HostRegistry {
+    let mut host = HostRegistry::new();
+    const RANGES: &[(&str, f64, f64)] = &[
+        ("get_temperature_readings", 15.0, 30.0),
+        ("get_humidity_readings", 20.0, 90.0),
+        ("get_light_readings", 0.0, 1000.0),
+        ("get_noise_readings", 30.0, 100.0),
+        ("get_wifi_readings", -90.0, -30.0),
+        ("get_pressure_readings", 980.0, 1040.0),
+        ("get_accel_readings", -2.0, 2.0),
+        ("get_gps_readings", -180.0, 180.0),
+        ("get_compass_readings", 0.0, 360.0),
+    ];
+    for &(name, lo, hi) in RANGES {
+        let calls = Rc::new(Cell::new(0u64));
+        host.register(name, move |ctx, args| {
+            let n = args
+                .first()
+                .and_then(Value::as_number)
+                .map(|v| v.clamp(1.0, 4096.0) as usize)
+                .unwrap_or(1);
+            let call = calls.get();
+            calls.set(call + 1);
+            let mut rng = Rng::new(seed ^ name_hash(name) ^ call.wrapping_mul(0x9e37_79b9));
+            let vals: Vec<f64> = (0..n).map(|_| rng.reading(lo, hi)).collect();
+            ctx.virtual_time += n as f64 * 0.1;
+            Ok(Value::number_array(&vals))
+        });
+    }
+    let calls = Rc::new(Cell::new(0u64));
+    host.register("get_location", move |ctx, _args| {
+        let call = calls.get();
+        calls.set(call + 1);
+        let mut rng = Rng::new(seed ^ name_hash("get_location") ^ call.wrapping_mul(0x9e37_79b9));
+        ctx.virtual_time += 1.0;
+        Ok(Value::number_array(&[rng.reading(-90.0, 90.0), rng.reading(-180.0, 180.0)]))
+    });
+    host
+}
+
+/// Structural value equality: tables by contents (the interpreter's
+/// own `PartialEq` compares them by identity), NaN equal to NaN so a
+/// deterministic NaN result counts as reproduced.
+fn structurally_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x == y || (x.is_nan() && y.is_nan()),
+        (Value::Table(x), Value::Table(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            x.array.len() == y.array.len()
+                && x.hash.len() == y.hash.len()
+                && x.array.iter().zip(y.array.iter()).all(|(a, b)| structurally_eq(a, b))
+                && x.hash.iter().all(|(k, v)| y.hash.get(k).is_some_and(|w| structurally_eq(v, w)))
+        }
+        // Closures have no meaningful cross-run identity; a script that
+        // returns a function is equivalent if both runs return one.
+        (Value::Function(_), Value::Function(_)) => true,
+        _ => a == b,
+    }
+}
+
+fn error_kind(e: &ScriptError) -> &'static str {
+    match e {
+        ScriptError::UnexpectedChar { .. } => "UnexpectedChar",
+        ScriptError::UnterminatedString { .. } => "UnterminatedString",
+        ScriptError::BadNumber { .. } => "BadNumber",
+        ScriptError::UnexpectedToken { .. } => "UnexpectedToken",
+        ScriptError::TypeError { .. } => "TypeError",
+        ScriptError::UndefinedVariable { .. } => "UndefinedVariable",
+        ScriptError::ForbiddenFunction { .. } => "ForbiddenFunction",
+        ScriptError::BudgetExhausted { .. } => "BudgetExhausted",
+        ScriptError::CallDepthExceeded { .. } => "CallDepthExceeded",
+        ScriptError::HostError { .. } => "HostError",
+        ScriptError::Explicit { .. } => "Explicit",
+        ScriptError::BadArguments { .. } => "BadArguments",
+    }
+}
+
+struct RunResult {
+    outcome: Result<Value, ScriptError>,
+    instructions: u64,
+}
+
+fn run(block: &Block, seed: u64, budget: u64) -> RunResult {
+    let mut interp = Interpreter::with_host(fake_sensing_host(seed));
+    interp.set_budget(budget);
+    let outcome = interp.run_block(block);
+    RunResult { outcome, instructions: interp.instructions_used() }
+}
+
+/// Checks one script under one seed. Returns a description of the
+/// divergence, if any.
+fn diff_one(block: &Block, opt: &Block, seed: u64, budget: u64) -> Result<(u64, u64), String> {
+    let base = run(block, seed, budget);
+    let fast = run(opt, seed, budget);
+    if fast.instructions > base.instructions {
+        return Err(format!(
+            "optimized run cost more: {} > {} instructions",
+            fast.instructions, base.instructions
+        ));
+    }
+    match (&base.outcome, &fast.outcome) {
+        (Ok(a), Ok(b)) if structurally_eq(a, b) => Ok((base.instructions, fast.instructions)),
+        (Ok(a), Ok(b)) => Err(format!("values diverge: {} vs {}", a.display(), b.display())),
+        (Err(a), Err(b)) if error_kind(a) == error_kind(b) => {
+            Ok((base.instructions, fast.instructions))
+        }
+        // The optimized form is allowed to finish where the original
+        // ran out of budget — never the reverse.
+        (Err(ScriptError::BudgetExhausted { .. }), Ok(_)) => {
+            Ok((base.instructions, fast.instructions))
+        }
+        (a, b) => Err(format!(
+            "outcomes diverge: {} vs {}",
+            a.as_ref().map(|v| v.display()).unwrap_or_else(|e| format!("error[{}]", error_kind(e))),
+            b.as_ref().map(|v| v.display()).unwrap_or_else(|e| format!("error[{}]", error_kind(e))),
+        )),
+    }
+}
+
+fn collect_scripts(paths: &[String], out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+    for p in paths {
+        let path = std::path::Path::new(p);
+        let meta = std::fs::metadata(path).map_err(|e| format!("{p}: {e}"))?;
+        if meta.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(path)
+                .map_err(|e| format!("{p}: {e}"))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "ss"))
+                .collect();
+            entries.sort();
+            out.extend(entries);
+        } else {
+            out.push(path.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut seeds = 3u64;
+    let mut budget = 1_000_000u64;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--seeds" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n > 0 => seeds = n,
+                _ => {
+                    eprintln!("optdiff: --seeds needs a positive number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--budget" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => budget = n,
+                _ => {
+                    eprintln!("optdiff: --budget needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("optdiff: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        paths.push("tests/lint_corpus".to_string());
+    }
+
+    let mut scripts = Vec::new();
+    if let Err(e) = collect_scripts(&paths, &mut scripts) {
+        eprintln!("optdiff: {e}");
+        return ExitCode::from(2);
+    }
+    if scripts.is_empty() {
+        eprintln!("optdiff: no .ss scripts found under {paths:?}");
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    let mut saved_total: u64 = 0;
+    let mut base_total: u64 = 0;
+    for path in &scripts {
+        let name = path.display();
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("optdiff: {name}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Unparseable corpus entries exercise the linter, not the
+        // optimizer; both sides would fail identically at parse time.
+        let Ok(block) = parse(&src) else {
+            if verbose {
+                println!("optdiff: {name}: skipped (parse error)");
+            }
+            continue;
+        };
+        let (opt, stats) = optimize(&block);
+        for seed in 1..=seeds {
+            checked += 1;
+            match diff_one(&block, &opt, seed, budget) {
+                Ok((base, fast)) => {
+                    base_total += base;
+                    saved_total += base - fast;
+                    if verbose {
+                        println!(
+                            "optdiff: {name} seed {seed}: ok ({base} -> {fast} instructions, {} rewrites)",
+                            stats.total()
+                        );
+                    }
+                }
+                Err(msg) => {
+                    failures += 1;
+                    eprintln!("optdiff: FAIL {name} seed {seed}: {msg}");
+                }
+            }
+        }
+    }
+
+    let pct = (saved_total * 100).checked_div(base_total).unwrap_or(0);
+    println!(
+        "optdiff: {checked} run(s) over {} script(s), {failures} divergence(s); \
+         optimizer saved {saved_total} of {base_total} instructions ({pct}%)",
+        scripts.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -8,6 +8,10 @@
 //! task.lua:3:7: error[E003]: call to non-whitelisted function `steal_contacts` …
 //! ```
 //!
+//! With `--json`, findings are emitted as one machine-readable JSON
+//! document on stdout instead (an array of per-file objects), for CI
+//! gates and editor integrations.
+//!
 //! Exit status: `0` when no finding reaches the failing severity,
 //! `1` when one does (errors by default, warnings too with
 //! `--deny-warnings`), `2` on usage or I/O problems.
@@ -31,8 +35,19 @@ options:
   --budget N              instruction budget to prove the cost bound
                           against (default 1000000)
   --deny-warnings         exit 1 on warnings, not just errors
+  --json                  emit a JSON array of per-file reports on
+                          stdout instead of the compiler format; each
+                          entry has `file`, `cost_bound` (number or
+                          null when unbounded), and `diagnostics`
+                          ({code, severity, line, col, message})
   --quiet                 print nothing, only set the exit status
-  --help                  show this help";
+  --help                  show this help
+
+exit status:
+  0  no finding at or above the failing severity (errors by default,
+     warnings too with --deny-warnings)
+  1  at least one finding at the failing severity
+  2  usage error, unreadable file, or stdin I/O failure";
 
 struct Options {
     files: Vec<String>,
@@ -40,6 +55,57 @@ struct Options {
     budget: u64,
     deny_warnings: bool,
     quiet: bool,
+    json: bool,
+}
+
+/// Escapes a string for inclusion in a JSON string literal. The
+/// analyzer has no serde dependency, so the linter rolls the (small)
+/// amount of JSON it needs by hand.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One file's report as a JSON object.
+fn json_report(name: &str, report: &AnalysisReport) -> String {
+    let cost = match report.cost {
+        sor_script::analysis::Cost::Bounded(n) => n.to_string(),
+        sor_script::analysis::Cost::Unbounded => "null".to_string(),
+    };
+    let diags: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                d.code.as_str(),
+                match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                },
+                d.pos.line,
+                d.pos.col,
+                json_escape(&d.message),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"file\":\"{}\",\"cost_bound\":{},\"diagnostics\":[{}]}}",
+        json_escape(name),
+        cost,
+        diags.join(",")
+    )
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -49,6 +115,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         budget: DEFAULT_BUDGET,
         deny_warnings: false,
         quiet: false,
+        json: false,
     };
     let mut extra_caps: Vec<String> = Vec::new();
     let mut no_default = false;
@@ -59,6 +126,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--no-default-caps" => no_default = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--quiet" | "-q" => opts.quiet = true,
+            "--json" => opts.json = true,
             "--caps" => {
                 let v = it.next().ok_or("--caps needs a comma-separated name list")?;
                 extra_caps.extend(v.split(',').map(str::trim).map(String::from));
@@ -88,7 +156,7 @@ fn lint_source(name: &str, src: &str, opts: &Options) -> (AnalysisReport, bool) 
     let report = analyze_with_budget(src, &opts.caps, opts.budget);
     let fail_at = if opts.deny_warnings { Severity::Warning } else { Severity::Error };
     let failed = report.diagnostics.iter().any(|d| d.severity >= fail_at);
-    if !opts.quiet {
+    if !opts.quiet && !opts.json {
         print!("{}", report.render(name));
     }
     (report, failed)
@@ -111,6 +179,7 @@ fn main() -> ExitCode {
 
     let mut any_failed = false;
     let mut findings = 0usize;
+    let mut json_entries: Vec<String> = Vec::new();
     let stdin_only = opts.files.is_empty() || opts.files == ["-"];
     let inputs: Vec<String> = if stdin_only { vec!["-".to_string()] } else { opts.files.clone() };
     for file in &inputs {
@@ -131,10 +200,16 @@ fn main() -> ExitCode {
             }
         };
         let (report, failed) = lint_source(&name, &src, &opts);
+        if opts.json {
+            json_entries.push(json_report(&name, &report));
+        }
         findings += report.diagnostics.len();
         any_failed |= failed;
     }
-    if !opts.quiet && findings == 0 {
+    if opts.json && !opts.quiet {
+        println!("[{}]", json_entries.join(","));
+    }
+    if !opts.quiet && !opts.json && findings == 0 {
         eprintln!("sorlint: {} input(s) clean", inputs.len());
     }
     if any_failed {

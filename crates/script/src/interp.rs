@@ -154,11 +154,22 @@ impl Interpreter {
     /// Any [`ScriptError`] from lexing, parsing or execution.
     pub fn run(&mut self, src: &str) -> Result<Value, ScriptError> {
         let block = parse(src)?;
+        self.run_block(&block)
+    }
+
+    /// Runs an already-parsed block with a fresh context, budget, and
+    /// global scope — for embedders that parse (or transform) the AST
+    /// themselves, e.g. to execute an optimized lowering of a script.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from execution.
+    pub fn run_block(&mut self, block: &Block) -> Result<Value, ScriptError> {
         self.ctx = HostContext::new();
         self.remaining = self.budget;
         self.depth = 0;
         let globals: ScopeRef = Rc::new(RefCell::new(Scope::default()));
-        match self.exec_block(&block, &globals)? {
+        match self.exec_block(block, &globals)? {
             Flow::Return(v) => Ok(v),
             _ => Ok(Value::Nil),
         }

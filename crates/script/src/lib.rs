@@ -47,6 +47,7 @@ pub mod ast;
 pub mod host;
 pub mod interp;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
 pub mod stdlib;
 pub mod token;

@@ -1,0 +1,684 @@
+//! Optimizing AST-to-AST lowering for SenseScript.
+//!
+//! [`optimize`] rewrites a parsed block into an equivalent block that
+//! the interpreter executes with the **same observable behaviour** in
+//! **at most as many instructions**. Three rewrites are applied:
+//!
+//! 1. **Constant folding** — arithmetic, concatenation, comparisons,
+//!    `not`/negation, and short-circuit `and`/`or` over literals are
+//!    evaluated at lowering time using exactly the interpreter's value
+//!    semantics (Lua floored modulo, NaN comparisons are false, integer
+//!    display rules for concatenation).
+//! 2. **Dead-branch pruning** — `if` arms with a constant-false
+//!    condition are dropped; a constant-true condition drops every
+//!    later arm and the `else`. A surviving bare `else` is kept as
+//!    `if true then ... end` so its body stays in its own scope. A
+//!    `while false` loop is deleted; `while true` is always kept (the
+//!    budget, not the optimizer, decides its fate).
+//! 3. **Dead-store elimination** — `local x` / `local x = <literal>`
+//!    is removed only when `x` appears *nowhere else in the whole
+//!    script* (no read, no write, no shadow, no capture). Anything
+//!    weaker could silently retarget a later assignment to a global.
+//!
+//! Every rewrite either deletes work or replaces a subtree with a
+//! single literal (one charge), so the instruction count of the
+//! optimized script is bounded by the original's — a property the
+//! `optdiff` harness re-checks empirically over the whole corpus.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Block, Expr, Stmt, TableKey, Target, UnOp};
+use crate::value::Value;
+use crate::Pos;
+
+/// Counters describing what [`optimize`] changed; fed to sor-obs by the
+/// frontend so optimizer savings are visible in metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Expressions replaced by a literal (or a short-circuit operand).
+    pub folded_exprs: usize,
+    /// `if` arms, `else` blocks, and `while false` loops pruned.
+    pub pruned_branches: usize,
+    /// Whole statements deleted (dead locals, emptied `if`s).
+    pub removed_stmts: usize,
+}
+
+impl OptStats {
+    /// True when the optimizer rewrote anything at all.
+    pub fn changed(&self) -> bool {
+        self.folded_exprs + self.pruned_branches + self.removed_stmts > 0
+    }
+
+    /// Total number of individual rewrites applied.
+    pub fn total(&self) -> usize {
+        self.folded_exprs + self.pruned_branches + self.removed_stmts
+    }
+}
+
+/// Lowers a block to an equivalent, never-more-expensive block.
+pub fn optimize(block: &Block) -> (Block, OptStats) {
+    let mut stats = OptStats::default();
+    let folded = fold_block(block, &mut stats);
+    let mut counts = HashMap::new();
+    count_names_block(&folded, &mut counts);
+    let lowered = eliminate_dead_locals(folded, &counts, &mut stats);
+    (lowered, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding + branch pruning
+// ---------------------------------------------------------------------------
+
+/// Truthiness of an *atomic* literal, mirroring `Value::truthy`.
+/// Table and function literals are not atomic (constructors evaluate
+/// their element expressions), so they return `None`.
+fn literal_truthy(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Nil(_) | Expr::Bool(false, _) => Some(false),
+        Expr::Bool(true, _) | Expr::Number(..) | Expr::Str(..) => Some(true),
+        _ => None,
+    }
+}
+
+fn is_atomic_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..))
+}
+
+/// Converts an atomic literal to the interpreter value it evaluates to.
+fn literal_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Nil(_) => Some(Value::Nil),
+        Expr::Bool(b, _) => Some(Value::Bool(*b)),
+        Expr::Number(n, _) => Some(Value::Number(*n)),
+        Expr::Str(s, _) => Some(Value::str(s)),
+        _ => None,
+    }
+}
+
+fn fold_block(block: &Block, stats: &mut OptStats) -> Block {
+    let mut out = Vec::with_capacity(block.len());
+    for stmt in block {
+        fold_stmt(stmt, stats, &mut out);
+    }
+    out
+}
+
+fn fold_stmt(stmt: &Stmt, stats: &mut OptStats, out: &mut Block) {
+    match stmt {
+        Stmt::Local { name, init, pos } => out.push(Stmt::Local {
+            name: name.clone(),
+            init: init.as_ref().map(|e| fold_expr(e, stats)),
+            pos: *pos,
+        }),
+        Stmt::Assign { target, value, pos } => {
+            let target = match target {
+                Target::Name(n) => Target::Name(n.clone()),
+                Target::Index { table, key } => {
+                    Target::Index { table: fold_expr(table, stats), key: fold_expr(key, stats) }
+                }
+            };
+            out.push(Stmt::Assign { target, value: fold_expr(value, stats), pos: *pos });
+        }
+        Stmt::ExprStmt(e) => out.push(Stmt::ExprStmt(fold_expr(e, stats))),
+        Stmt::If { arms, otherwise } => fold_if(arms, otherwise.as_ref(), stats, out),
+        Stmt::While { cond, body } => {
+            let cond = fold_expr(cond, stats);
+            if literal_truthy(&cond) == Some(false) {
+                // The loop can never run and its condition is a pure
+                // literal; the whole statement is dead.
+                stats.pruned_branches += 1;
+                return;
+            }
+            out.push(Stmt::While { cond, body: fold_block(body, stats) });
+        }
+        Stmt::NumericFor { var, start, stop, step, body } => out.push(Stmt::NumericFor {
+            var: var.clone(),
+            start: fold_expr(start, stats),
+            stop: fold_expr(stop, stats),
+            step: step.as_ref().map(|e| fold_expr(e, stats)),
+            body: fold_block(body, stats),
+        }),
+        Stmt::GenericFor { key_var, value_var, iterable, body } => out.push(Stmt::GenericFor {
+            key_var: key_var.clone(),
+            value_var: value_var.clone(),
+            iterable: fold_expr(iterable, stats),
+            body: fold_block(body, stats),
+        }),
+        Stmt::LocalFunction { name, params, body, pos } => out.push(Stmt::LocalFunction {
+            name: name.clone(),
+            params: params.clone(),
+            body: fold_block(body, stats),
+            pos: *pos,
+        }),
+        Stmt::Break(p) => out.push(Stmt::Break(*p)),
+        Stmt::Return(e, p) => out.push(Stmt::Return(e.as_ref().map(|e| fold_expr(e, stats)), *p)),
+    }
+}
+
+/// Folds and prunes one `if` statement. Constant-false arms disappear;
+/// a constant-true arm truncates everything after it. If no arm
+/// survives, the `else` body (when present) is re-emitted as
+/// `if true then ... end` so its locals keep their own scope at the
+/// cost of a single condition charge — never more than the original
+/// spent evaluating the pruned conditions.
+fn fold_if(
+    arms: &[(Expr, Block)],
+    otherwise: Option<&Block>,
+    stats: &mut OptStats,
+    out: &mut Block,
+) {
+    let if_pos = arms.first().map(|(c, _)| c.pos()).unwrap_or(Pos { line: 1, col: 1 });
+    let mut new_arms: Vec<(Expr, Block)> = Vec::new();
+    let mut new_else = otherwise.map(|b| fold_block(b, stats));
+    for (i, (cond, body)) in arms.iter().enumerate() {
+        let cond = fold_expr(cond, stats);
+        match literal_truthy(&cond) {
+            Some(false) => stats.pruned_branches += 1,
+            Some(true) => {
+                new_arms.push((cond, fold_block(body, stats)));
+                // Everything after a constant-true arm is unreachable.
+                let dropped = (arms.len() - i - 1) + new_else.is_some() as usize;
+                stats.pruned_branches += dropped;
+                new_else = None;
+                break;
+            }
+            None => new_arms.push((cond, fold_block(body, stats))),
+        }
+    }
+    if new_arms.is_empty() {
+        match new_else {
+            // All conditions were constant-false: promote the `else`
+            // into `if true then ... end`, keeping its scope.
+            Some(body) => {
+                out.push(Stmt::If { arms: vec![(Expr::Bool(true, if_pos), body)], otherwise: None })
+            }
+            None => stats.removed_stmts += 1, // nothing can ever run
+        }
+        return;
+    }
+    out.push(Stmt::If { arms: new_arms, otherwise: new_else });
+}
+
+fn fold_expr(e: &Expr, stats: &mut OptStats) -> Expr {
+    match e {
+        Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..) | Expr::Var(..) => {
+            e.clone()
+        }
+        Expr::Unary { op, expr, pos } => {
+            let inner = fold_expr(expr, stats);
+            if let Some(folded) = fold_unary(*op, &inner, *pos) {
+                stats.folded_exprs += 1;
+                return folded;
+            }
+            Expr::Unary { op: *op, expr: Box::new(inner), pos: *pos }
+        }
+        Expr::Binary { op, lhs, rhs, pos } => {
+            let l = fold_expr(lhs, stats);
+            let r = fold_expr(rhs, stats);
+            if let Some(folded) = fold_binary(*op, &l, &r, *pos) {
+                stats.folded_exprs += 1;
+                return folded;
+            }
+            Expr::Binary { op: *op, lhs: Box::new(l), rhs: Box::new(r), pos: *pos }
+        }
+        Expr::Call { callee, args, pos } => Expr::Call {
+            callee: Box::new(fold_expr(callee, stats)),
+            args: args.iter().map(|a| fold_expr(a, stats)).collect(),
+            pos: *pos,
+        },
+        Expr::Index { table, key, pos } => Expr::Index {
+            table: Box::new(fold_expr(table, stats)),
+            key: Box::new(fold_expr(key, stats)),
+            pos: *pos,
+        },
+        Expr::Table { array, hash, pos } => Expr::Table {
+            array: array.iter().map(|a| fold_expr(a, stats)).collect(),
+            hash: hash
+                .iter()
+                .map(|(k, v)| {
+                    let k = match k {
+                        TableKey::Name(n) => TableKey::Name(n.clone()),
+                        TableKey::Expr(e) => TableKey::Expr(fold_expr(e, stats)),
+                    };
+                    (k, fold_expr(v, stats))
+                })
+                .collect(),
+            pos: *pos,
+        },
+        Expr::Function { params, body, pos } => {
+            Expr::Function { params: params.clone(), body: fold_block(body, stats), pos: *pos }
+        }
+    }
+}
+
+fn fold_unary(op: UnOp, inner: &Expr, pos: Pos) -> Option<Expr> {
+    match op {
+        // `-n` on a number literal is exact; any other literal would be
+        // a runtime type error, which folding must preserve.
+        UnOp::Neg => match inner {
+            Expr::Number(n, _) => Some(Expr::Number(-n, pos)),
+            _ => None,
+        },
+        UnOp::Not => literal_truthy(inner).map(|t| Expr::Bool(!t, pos)),
+        // `#` of a string literal matches the interpreter's char count.
+        UnOp::Len => match inner {
+            Expr::Str(s, _) => Some(Expr::Number(s.chars().count() as f64, pos)),
+            _ => None,
+        },
+    }
+}
+
+fn fold_binary(op: BinOp, l: &Expr, r: &Expr, pos: Pos) -> Option<Expr> {
+    use BinOp::*;
+    match op {
+        // Short-circuit operators return an *operand*; folding only
+        // needs the left side to be a pure literal.
+        And => match literal_truthy(l)? {
+            true => Some(r.clone()),
+            false => Some(l.clone()),
+        },
+        Or => match literal_truthy(l)? {
+            true => Some(l.clone()),
+            false => Some(r.clone()),
+        },
+        Add | Sub | Mul | Div | Mod | Pow => {
+            let (Expr::Number(a, _), Expr::Number(b, _)) = (l, r) else { return None };
+            let (a, b) = (*a, *b);
+            let n = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                Mod => a - (a / b).floor() * b, // Lua's floored modulo
+                Pow => a.powf(b),
+                _ => unreachable!(),
+            };
+            Some(Expr::Number(n, pos))
+        }
+        Concat => match (l, r) {
+            (Expr::Str(..) | Expr::Number(..), Expr::Str(..) | Expr::Number(..)) => {
+                let lv = literal_value(l).expect("matched literal");
+                let rv = literal_value(r).expect("matched literal");
+                Some(Expr::Str(format!("{}{}", lv.display(), rv.display()), pos))
+            }
+            _ => None,
+        },
+        Eq | Ne => {
+            if !is_atomic_literal(l) || !is_atomic_literal(r) {
+                return None;
+            }
+            let eq = literal_value(l)? == literal_value(r)?;
+            Some(Expr::Bool(if op == Eq { eq } else { !eq }, pos))
+        }
+        Lt | Le | Gt | Ge => {
+            // Only number/number and string/string compare at runtime;
+            // mixed literals would be a type error we must not erase.
+            let ord = match (l, r) {
+                (Expr::Number(a, _), Expr::Number(b, _)) => a.partial_cmp(b),
+                (Expr::Str(a, _), Expr::Str(b, _)) => Some(a.cmp(b)),
+                _ => return None,
+            };
+            let b = match ord {
+                None => false, // NaN comparisons are false
+                Some(ord) => match op {
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                },
+            };
+            Some(Expr::Bool(b, pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dead-store elimination
+// ---------------------------------------------------------------------------
+
+/// Removes `local x` / `local x = <literal>` statements whose name
+/// occurs exactly once in the whole script (the declaration itself).
+/// The census counts *every* identifier occurrence — reads, writes,
+/// shadowing declarations, loop variables, parameters — so removal can
+/// never change what any other occurrence resolves to.
+fn eliminate_dead_locals(
+    block: Block,
+    counts: &HashMap<String, usize>,
+    stats: &mut OptStats,
+) -> Block {
+    let mut out = Vec::with_capacity(block.len());
+    for stmt in block {
+        match stmt {
+            Stmt::Local { ref name, ref init, .. }
+                if counts.get(name.as_str()).copied() == Some(1)
+                    && init.as_ref().is_none_or(is_atomic_literal) =>
+            {
+                stats.removed_stmts += 1;
+            }
+            Stmt::If { arms, otherwise } => out.push(Stmt::If {
+                arms: arms
+                    .into_iter()
+                    .map(|(c, b)| (c, eliminate_dead_locals(b, counts, stats)))
+                    .collect(),
+                otherwise: otherwise.map(|b| eliminate_dead_locals(b, counts, stats)),
+            }),
+            Stmt::While { cond, body } => {
+                out.push(Stmt::While { cond, body: eliminate_dead_locals(body, counts, stats) })
+            }
+            Stmt::NumericFor { var, start, stop, step, body } => out.push(Stmt::NumericFor {
+                var,
+                start,
+                stop,
+                step,
+                body: eliminate_dead_locals(body, counts, stats),
+            }),
+            Stmt::GenericFor { key_var, value_var, iterable, body } => out.push(Stmt::GenericFor {
+                key_var,
+                value_var,
+                iterable,
+                body: eliminate_dead_locals(body, counts, stats),
+            }),
+            Stmt::LocalFunction { name, params, body, pos } => out.push(Stmt::LocalFunction {
+                name,
+                params,
+                body: eliminate_dead_locals(body, counts, stats),
+                pos,
+            }),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn count_names_block(block: &Block, counts: &mut HashMap<String, usize>) {
+    for stmt in block {
+        count_names_stmt(stmt, counts);
+    }
+}
+
+fn tally(name: &str, counts: &mut HashMap<String, usize>) {
+    *counts.entry(name.to_string()).or_insert(0) += 1;
+}
+
+fn count_names_stmt(stmt: &Stmt, counts: &mut HashMap<String, usize>) {
+    match stmt {
+        Stmt::Local { name, init, .. } => {
+            tally(name, counts);
+            if let Some(e) = init {
+                count_names_expr(e, counts);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            match target {
+                Target::Name(n) => tally(n, counts),
+                Target::Index { table, key } => {
+                    count_names_expr(table, counts);
+                    count_names_expr(key, counts);
+                }
+            }
+            count_names_expr(value, counts);
+        }
+        Stmt::ExprStmt(e) => count_names_expr(e, counts),
+        Stmt::If { arms, otherwise } => {
+            for (c, b) in arms {
+                count_names_expr(c, counts);
+                count_names_block(b, counts);
+            }
+            if let Some(b) = otherwise {
+                count_names_block(b, counts);
+            }
+        }
+        Stmt::While { cond, body } => {
+            count_names_expr(cond, counts);
+            count_names_block(body, counts);
+        }
+        Stmt::NumericFor { var, start, stop, step, body } => {
+            tally(var, counts);
+            count_names_expr(start, counts);
+            count_names_expr(stop, counts);
+            if let Some(e) = step {
+                count_names_expr(e, counts);
+            }
+            count_names_block(body, counts);
+        }
+        Stmt::GenericFor { key_var, value_var, iterable, body } => {
+            tally(key_var, counts);
+            if let Some(v) = value_var {
+                tally(v, counts);
+            }
+            count_names_expr(iterable, counts);
+            count_names_block(body, counts);
+        }
+        Stmt::LocalFunction { name, params, body, .. } => {
+            tally(name, counts);
+            for p in params {
+                tally(p, counts);
+            }
+            count_names_block(body, counts);
+        }
+        Stmt::Break(_) => {}
+        Stmt::Return(e, _) => {
+            if let Some(e) = e {
+                count_names_expr(e, counts);
+            }
+        }
+    }
+}
+
+fn count_names_expr(e: &Expr, counts: &mut HashMap<String, usize>) {
+    match e {
+        Expr::Nil(_) | Expr::Bool(..) | Expr::Number(..) | Expr::Str(..) => {}
+        Expr::Var(name, _) => tally(name, counts),
+        Expr::Unary { expr, .. } => count_names_expr(expr, counts),
+        Expr::Binary { lhs, rhs, .. } => {
+            count_names_expr(lhs, counts);
+            count_names_expr(rhs, counts);
+        }
+        Expr::Call { callee, args, .. } => {
+            count_names_expr(callee, counts);
+            for a in args {
+                count_names_expr(a, counts);
+            }
+        }
+        Expr::Index { table, key, .. } => {
+            count_names_expr(table, counts);
+            count_names_expr(key, counts);
+        }
+        Expr::Table { array, hash, .. } => {
+            for a in array {
+                count_names_expr(a, counts);
+            }
+            for (k, v) in hash {
+                if let TableKey::Expr(ke) = k {
+                    count_names_expr(ke, counts);
+                }
+                count_names_expr(v, counts);
+            }
+        }
+        Expr::Function { params, body, .. } => {
+            for p in params {
+                tally(p, counts);
+            }
+            count_names_block(body, counts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::parser::parse;
+
+    fn run_both(src: &str) -> (Value, u64, Value, u64, OptStats) {
+        let block = parse(src).expect("parses");
+        let (opt, stats) = optimize(&block);
+        let mut a = Interpreter::new();
+        let va = a.run_block(&block).expect("original runs");
+        let ia = a.instructions_used();
+        let mut b = Interpreter::new();
+        let vb = b.run_block(&opt).expect("optimized runs");
+        let ib = b.instructions_used();
+        (va, ia, vb, ib, stats)
+    }
+
+    fn assert_equiv_and_cheaper(src: &str) -> OptStats {
+        let (va, ia, vb, ib, stats) = run_both(src);
+        assert_eq!(va, vb, "values diverge for {src:?}");
+        assert!(ib <= ia, "optimized costs more ({ib} > {ia}) for {src:?}");
+        stats
+    }
+
+    #[test]
+    fn folds_arithmetic_exactly() {
+        let stats = assert_equiv_and_cheaper("return 1 + 2 * 3 - 4 / 2 + 2 ^ 3 + 7 % 3");
+        assert!(stats.folded_exprs > 0);
+    }
+
+    #[test]
+    fn folds_floored_modulo_like_interpreter() {
+        assert_equiv_and_cheaper("return -5 % 3");
+        assert_equiv_and_cheaper("return 5 % -3");
+    }
+
+    #[test]
+    fn folds_concat_with_integer_display() {
+        let block = parse("return 1 .. ' ' .. 2.5").unwrap();
+        let (opt, _) = optimize(&block);
+        let mut i = Interpreter::new();
+        assert_eq!(i.run_block(&opt).unwrap(), Value::str("1 2.5"));
+    }
+
+    #[test]
+    fn folds_comparisons_and_equality() {
+        assert_equiv_and_cheaper("return 1 < 2");
+        assert_equiv_and_cheaper("return 'a' < 'b'");
+        assert_equiv_and_cheaper("return 1 == 1.0");
+        assert_equiv_and_cheaper("return 'x' ~= 1");
+        assert_equiv_and_cheaper("return nil == nil");
+    }
+
+    #[test]
+    fn nan_comparison_folds_to_false() {
+        // 0/0 folds to a NaN literal; NaN < NaN must stay false.
+        assert_equiv_and_cheaper("return (0 / 0) < (0 / 0)");
+    }
+
+    #[test]
+    fn does_not_fold_mixed_type_errors_away() {
+        let block = parse("return 1 + 'x'").unwrap();
+        let (opt, _) = optimize(&block);
+        let mut i = Interpreter::new();
+        assert!(i.run_block(&opt).is_err(), "type error must survive optimization");
+    }
+
+    #[test]
+    fn short_circuit_folds_to_operand() {
+        assert_equiv_and_cheaper("return true and 5");
+        assert_equiv_and_cheaper("return false and clock()");
+        assert_equiv_and_cheaper("return nil or 'fallback'");
+        assert_equiv_and_cheaper("return 1 or clock()");
+    }
+
+    #[test]
+    fn folds_unary_on_literals() {
+        assert_equiv_and_cheaper("return -(2 + 3)");
+        assert_equiv_and_cheaper("return not nil");
+        assert_equiv_and_cheaper("return #'hello'");
+    }
+
+    #[test]
+    fn prunes_constant_false_branch() {
+        let src = "local x = 1\nif 1 > 2 then x = 10 end\nreturn x";
+        let stats = assert_equiv_and_cheaper(src);
+        assert!(stats.pruned_branches > 0 || stats.removed_stmts > 0);
+    }
+
+    #[test]
+    fn constant_true_arm_drops_later_arms_and_else() {
+        let src =
+            "if 2 > 1 then return 'yes' elseif clock() > 0 then return 'a' else return 'b' end";
+        let (va, _, vb, _, stats) = run_both(src);
+        assert_eq!(va, vb);
+        assert!(stats.pruned_branches >= 2);
+    }
+
+    #[test]
+    fn surviving_else_keeps_its_own_scope() {
+        // The promoted `if true` block must not leak `y` outward; `y`
+        // outside resolves to the outer local.
+        let src = "local y = 1\nif false then y = 2 else local y = 9\nprint(y) end\nreturn y";
+        let (va, _, vb, _, _) = run_both(src);
+        assert_eq!(va, Value::Number(1.0));
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn while_false_is_deleted_and_while_true_is_kept() {
+        let block = parse("while 1 > 2 do clock() end\nreturn 1").unwrap();
+        let (opt, stats) = optimize(&block);
+        assert_eq!(opt.len(), 1, "while false should be deleted");
+        assert_eq!(stats.pruned_branches, 1);
+
+        let block = parse("while true do return 7 end").unwrap();
+        let (opt, _) = optimize(&block);
+        assert!(matches!(opt[0], Stmt::While { .. }), "while true must be kept");
+    }
+
+    #[test]
+    fn removes_truly_unused_literal_locals_only() {
+        let src = "local unused = 42\nlocal kept = clock()\nreturn 1";
+        let block = parse(src).unwrap();
+        let (opt, stats) = optimize(&block);
+        // `unused` goes; `kept` has a side-effecting init and stays.
+        assert_eq!(opt.len(), 2);
+        assert_eq!(stats.removed_stmts, 1);
+        assert_equiv_and_cheaper(src);
+    }
+
+    #[test]
+    fn keeps_local_when_name_occurs_anywhere_else() {
+        // Removing the `local` would retarget the assignment below to a
+        // global; the census must prevent that.
+        let src = "local x = 1\nx = 2\nreturn x";
+        let block = parse(src).unwrap();
+        let (opt, _) = optimize(&block);
+        assert_eq!(opt.len(), block.len());
+        assert_equiv_and_cheaper(src);
+    }
+
+    #[test]
+    fn keeps_local_captured_only_by_a_closure() {
+        let src = "local x = 5\nlocal function f() return x end\nreturn f()";
+        let block = parse(src).unwrap();
+        let (opt, _) = optimize(&block);
+        assert_eq!(opt.len(), block.len());
+        assert_equiv_and_cheaper(src);
+    }
+
+    #[test]
+    fn folds_inside_function_bodies_and_loops() {
+        let src = "local function f(a) return a + (2 * 3) end\nlocal s = 0\nfor i = 1, 3 do s = s + f(i) end\nreturn s";
+        let stats = assert_equiv_and_cheaper(src);
+        assert!(stats.folded_exprs > 0);
+    }
+
+    #[test]
+    fn idempotent_on_already_optimized_output() {
+        let src = "local x = 1\nif 1 < 2 then x = 2 + 3 end\nreturn x .. ''";
+        let block = parse(src).unwrap();
+        let (once, _) = optimize(&block);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(format!("{once:?}"), format!("{twice:?}"));
+        assert!(!stats.changed(), "second pass should be a fixpoint");
+    }
+
+    #[test]
+    fn stats_total_sums_counters() {
+        let block = parse("local dead = 1\nif false then clock() end\nreturn 2 + 2").unwrap();
+        let (_, stats) = optimize(&block);
+        assert_eq!(stats.total(), stats.folded_exprs + stats.pruned_branches + stats.removed_stmts);
+        assert!(stats.changed());
+    }
+}

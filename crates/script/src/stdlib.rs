@@ -54,6 +54,37 @@ pub fn call(
                 (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
             }
         }),
+        "histogram" => {
+            let bins = match args.get(1) {
+                Some(v) => match v.as_number() {
+                    Some(b) if b >= 1.0 && b.fract() == 0.0 && b <= 1024.0 => b as usize,
+                    _ => {
+                        return Some(bad(name, at, "expected (array, integer bin count 1..=1024)"))
+                    }
+                },
+                None => 8,
+            };
+            match arg(args, 0).as_number_array() {
+                Some(xs) => {
+                    let mut counts = vec![0.0; bins];
+                    if !xs.is_empty() {
+                        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                        let width = (hi - lo) / bins as f64;
+                        for x in &xs {
+                            let i = if width > 0.0 && width.is_finite() {
+                                (((x - lo) / width) as usize).min(bins - 1)
+                            } else {
+                                0
+                            };
+                            counts[i] += 1.0;
+                        }
+                    }
+                    Ok(Value::number_array(&counts))
+                }
+                None => bad(name, at, "expected a numeric array table"),
+            }
+        }
         "insert" => match (arg(args, 0), args.get(1)) {
             (Value::Table(t), Some(v)) => {
                 t.borrow_mut().array.push(v.clone());
@@ -151,10 +182,38 @@ pub fn call(
 /// Whether `name` is a builtin (used by diagnostics).
 pub fn is_builtin(name: &str) -> bool {
     const NAMES: &[&str] = &[
-        "print", "tostring", "tonumber", "type", "abs", "floor", "ceil", "sqrt", "exp", "log",
-        "min", "max", "sum", "mean", "stddev", "insert", "remove", "sort", "sleep", "clock",
-        "assert", "error", "round", "clamp", "upper", "lower", "trim", "substr", "contains",
-        "keys", "values",
+        "print",
+        "tostring",
+        "tonumber",
+        "type",
+        "abs",
+        "floor",
+        "ceil",
+        "sqrt",
+        "exp",
+        "log",
+        "min",
+        "max",
+        "sum",
+        "mean",
+        "stddev",
+        "histogram",
+        "insert",
+        "remove",
+        "sort",
+        "sleep",
+        "clock",
+        "assert",
+        "error",
+        "round",
+        "clamp",
+        "upper",
+        "lower",
+        "trim",
+        "substr",
+        "contains",
+        "keys",
+        "values",
     ];
     NAMES.contains(&name)
 }
@@ -267,6 +326,22 @@ mod tests {
         // Degenerate arrays.
         assert_eq!(run("mean", &[Value::number_array(&[])]).unwrap(), Value::Number(0.0));
         assert_eq!(run("stddev", &[Value::number_array(&[5.0])]).unwrap(), Value::Number(0.0));
+    }
+
+    #[test]
+    fn histogram_builtin() {
+        let xs = Value::number_array(&[1.0, 2.0, 3.0, 4.0]);
+        let h = run("histogram", &[xs.clone(), Value::Number(2.0)]).unwrap();
+        assert_eq!(h.as_number_array().unwrap(), vec![2.0, 2.0]);
+        // Default bin count is 8, and constant arrays land in bin 1.
+        let flat = Value::number_array(&[5.0, 5.0, 5.0]);
+        let h = run("histogram", std::slice::from_ref(&flat)).unwrap();
+        assert_eq!(h.as_number_array().unwrap(), vec![3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // Empty arrays produce all-zero counts.
+        let h = run("histogram", &[Value::number_array(&[]), Value::Number(3.0)]).unwrap();
+        assert_eq!(h.as_number_array().unwrap(), vec![0.0, 0.0, 0.0]);
+        // Bad bin counts are rejected.
+        assert!(run("histogram", &[xs, Value::Number(0.0)]).is_err());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Golden-lint corpus gate.
+//!
+//! Every `tests/lint_corpus/*.ss` script at the repository root is
+//! analyzed and its diagnostics must match the sibling `.expected`
+//! file exactly (format: one `CODE line:col` per line, empty file =
+//! clean). A second pass executes every *clean-parsing* corpus script
+//! and checks the cost pass's bound-ratio invariant: measured
+//! instructions never exceed a finite static bound.
+
+use std::path::PathBuf;
+
+use sor_script::analysis::{analyze, CapabilitySet, Cost};
+use sor_script::{HostContext, HostRegistry, Interpreter, Value};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+fn corpus_scripts() -> Vec<PathBuf> {
+    let mut scripts: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ss"))
+        .collect();
+    scripts.sort();
+    assert!(!scripts.is_empty(), "lint corpus must not be empty");
+    scripts
+}
+
+#[test]
+fn corpus_diagnostics_match_goldens() {
+    let caps = CapabilitySet::standard_sensing();
+    let mut mismatches = Vec::new();
+    for script in corpus_scripts() {
+        let src = std::fs::read_to_string(&script).expect("corpus script reads");
+        let expected_path = script.with_extension("expected");
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("missing golden file {}", expected_path.display()));
+        let report = analyze(&src, &caps);
+        let actual: Vec<String> = report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{} {}:{}", d.code.as_str(), d.pos.line, d.pos.col))
+            .collect();
+        let want: Vec<String> =
+            expected.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from).collect();
+        if actual != want {
+            mismatches.push(format!(
+                "{}: expected {:?}, got {:?}",
+                script.file_name().unwrap().to_string_lossy(),
+                want,
+                actual
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "golden-lint mismatches:\n{}", mismatches.join("\n"));
+}
+
+/// Host that serves every standard capability a small fixed readings
+/// array — enough to execute the corpus deterministically.
+fn fixed_host() -> HostRegistry {
+    let mut host = HostRegistry::new();
+    let serve = |_: &mut HostContext, args: &[Value]| {
+        let n = args.first().and_then(Value::as_number).map(|v| v.max(1.0) as usize).unwrap_or(1);
+        let vals: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        Ok(Value::number_array(&vals))
+    };
+    for name in [
+        "get_temperature_readings",
+        "get_humidity_readings",
+        "get_light_readings",
+        "get_noise_readings",
+        "get_wifi_readings",
+        "get_pressure_readings",
+        "get_accel_readings",
+        "get_gps_readings",
+        "get_compass_readings",
+        "get_location",
+    ] {
+        host.register(name, serve);
+    }
+    host
+}
+
+#[test]
+fn bounded_corpus_scripts_respect_their_static_bound() {
+    let caps = CapabilitySet::standard_sensing();
+    let mut bounded_and_ran = 0usize;
+    for script in corpus_scripts() {
+        let src = std::fs::read_to_string(&script).expect("corpus script reads");
+        let report = analyze(&src, &caps);
+        let Cost::Bounded(bound) = report.cost else { continue };
+        let mut interp = Interpreter::with_host(fixed_host());
+        let Ok(_) = interp.run(&src) else { continue };
+        let used = interp.instructions_used();
+        assert!(
+            used <= bound,
+            "{}: measured {} instructions > static bound {}",
+            script.display(),
+            used,
+            bound
+        );
+        bounded_and_ran += 1;
+    }
+    assert!(bounded_and_ran >= 5, "expected several bounded, runnable corpus scripts");
+}
+
+#[test]
+fn interval_domain_bounds_the_previously_unbounded_loop_script() {
+    // The acceptance-criterion script: its `for` header reads a local,
+    // so only the interval domain can prove the trip count.
+    let src = std::fs::read_to_string(corpus_dir().join("loop_var_bound.ss")).unwrap();
+    let report = analyze(&src, &CapabilitySet::standard_sensing());
+    let Cost::Bounded(bound) = report.cost else {
+        panic!("loop_var_bound.ss must get a finite bound from the interval domain");
+    };
+    assert!(
+        !report.diagnostics.iter().any(|d| d.code.as_str() == "W402"),
+        "no W402 expected: {:?}",
+        report.diagnostics
+    );
+    let mut interp = Interpreter::with_host(fixed_host());
+    interp.run(&src).expect("script runs");
+    assert!(interp.instructions_used() <= bound);
+}

@@ -10,7 +10,7 @@ use sor_core::UserPreferences;
 use sor_durable::{DurableDatabase, DurableOptions, RecoveryReport, Storage};
 use sor_obs::{Recorder, SpanId};
 use sor_proto::{Message, TraceContext};
-use sor_script::analysis::{analyze, CapabilitySet};
+use sor_script::analysis::{analyze, CapabilitySet, DiagnosticCode};
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
 
 use crate::application::{ApplicationManager, ApplicationSpec};
@@ -510,6 +510,13 @@ impl SensingServer {
         let verdict = analyze(&app.script, &CapabilitySet::standard_sensing());
         if verdict.has_errors() {
             self.recorder.count("server.scripts_rejected", 1);
+            // Privacy policy: taint findings (a raw high-sensitivity
+            // sensor stream reaching the task's return sink) are
+            // tracked separately from plain broken scripts — they are
+            // the rejections §II-A's whitelist alone cannot catch.
+            if verdict.errors().any(|d| d.code == DiagnosticCode::TaintedReturn) {
+                self.recorder.count("server.scripts_rejected_privacy", 1);
+            }
             return Err(ServerError::ScriptRejected {
                 app_id,
                 report: verdict.render(&format!("app-{app_id}")),
@@ -1012,6 +1019,57 @@ mod tests {
         // and nothing was scheduled or distributed.
         assert!(s.participation().task(0).is_none());
         assert!(s.stored_schedule(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raw_sensor_return_rejected_with_taint_trace_aggregated_admitted() {
+        // The privacy policy at admission: a script uploading a raw
+        // high-sensitivity stream is rejected with a positioned
+        // taint-path diagnostic; the aggregated variant of the same
+        // acquisition is admitted.
+        let mut s = SensingServer::new().unwrap();
+        let rec = Recorder::enabled();
+        s.set_recorder(rec.clone());
+        let mut leaky = cafe_app(1, "tracker cafe");
+        leaky.script = "local track = get_gps_readings(8)\nreturn track".into();
+        s.register_application(leaky).unwrap();
+        let mut honest = cafe_app(2, "honest cafe");
+        honest.script = "local track = get_gps_readings(8)\nreturn mean(track)".into();
+        s.register_application(honest).unwrap();
+
+        let err = s
+            .handle_message(&Message::ParticipationRequest {
+                token: 7,
+                app_id: 1,
+                latitude: 43.0501,
+                longitude: -76.1501,
+                budget: 5,
+                stay_seconds: 1800.0,
+            })
+            .unwrap_err();
+        let ServerError::ScriptRejected { app_id, report } = &err else { panic!("{err:?}") };
+        assert_eq!(*app_id, 1);
+        assert!(report.contains("E004"), "{report}");
+        assert!(report.contains("app-1:2:1"), "sink position expected: {report}");
+        assert!(report.contains("read at 1:31"), "source position expected: {report}");
+        assert_eq!(rec.counter("server.scripts_rejected_privacy"), 1);
+        assert!(s.participation().task(0).is_none());
+
+        let replies = s
+            .handle_message(&Message::ParticipationRequest {
+                token: 8,
+                app_id: 2,
+                latitude: 43.0501,
+                longitude: -76.1501,
+                budget: 5,
+                stay_seconds: 1800.0,
+            })
+            .unwrap();
+        assert!(
+            matches!(replies.first(), Some((8, Message::ScheduleAssignment { .. }))),
+            "aggregated script must be admitted: {replies:?}"
+        );
+        assert_eq!(rec.counter("server.admissions_accepted"), 1);
     }
 
     #[test]

@@ -542,6 +542,47 @@ mod tests {
     }
 
     #[test]
+    fn privacy_violating_script_rejected_end_to_end() {
+        // App 1 uploads a raw GPS trace (taint-rejected at admission);
+        // app 2 aggregates the same acquisition and must sail through
+        // the whole pipeline: admission, dispatch, sensing, upload.
+        let raw_spec = ApplicationSpec {
+            app_id: 1,
+            name: "tracker".into(),
+            script: "local track = get_gps_readings(4)\nreturn track".into(),
+            ..cafe_spec()
+        };
+        let agg_spec = ApplicationSpec {
+            app_id: 2,
+            name: "aggregator".into(),
+            script: "local track = get_gps_readings(4)\nreturn mean(track)".into(),
+            features: Vec::new(),
+            ..cafe_spec()
+        };
+        let rec = Recorder::enabled();
+        let mut server = SensingServer::new().unwrap();
+        server.set_recorder(rec.clone());
+        server.register_application(raw_spec).unwrap();
+        server.register_application(agg_spec).unwrap();
+        let mut world = SorWorld::new(server, Transport::perfect());
+        add_cafe_phones(&mut world);
+
+        world.schedule_scan(10.0, 0, 1, 4, 1800.0); // privacy-violating app
+        world.schedule_scan(20.0, 1, 2, 4, 1800.0); // aggregated app
+        world.run_until(3600.0);
+
+        // The raw-return app died at admission, before any scheduling.
+        assert_eq!(rec.counter("server.scripts_rejected_privacy"), 1);
+        assert_eq!(world.stats.server_rejections, 1, "{:?}", world.stats);
+        assert!(world.server.participation().active_for(1).is_empty());
+
+        // The aggregated app ran its full sensing schedule.
+        assert_eq!(rec.counter("server.admissions_accepted"), 1);
+        assert!(world.stats.uploads_accepted > 0, "{:?}", world.stats);
+        assert!(world.server.participation().all().any(|t| t.app_id == 2));
+    }
+
+    #[test]
     fn lossy_network_still_converges() {
         let mut world = cafe_world(Transport::new(TransportConfig {
             loss_rate: 0.2,

@@ -19,7 +19,7 @@ threads=${SOR_THREADS:-$cores}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for bench in pipeline rank_scale; do
+for bench in pipeline rank_scale script_analysis; do
     echo "==> cargo bench --offline -p sor-bench --bench $bench" >&2
     cargo bench --offline -p sor-bench --bench "$bench" | tee -a "$raw" >&2
 done

@@ -23,6 +23,12 @@ run env SOR_THREADS=4 cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check
 
+# Static-analysis gates: every corpus script's diagnostics must match
+# its golden .expected file, and the optimizer must be observationally
+# equivalent (and never more expensive) on the whole corpus.
+run cargo test -q --offline -p sor-script --test lint_corpus
+run cargo run --release --offline -p sor-script --bin optdiff -- tests/lint_corpus
+
 # Observability smoke: a traced field test must produce parseable
 # exports, and the disabled recorder must stay under its overhead budget.
 # Both smokes run twice — one worker, then four — and their deterministic

@@ -1,0 +1,4 @@
+-- The same acquisition as raw_gps_return.ss, but aggregated before
+-- the sink: admitted.
+local track = get_gps_readings(8)
+return mean(track)

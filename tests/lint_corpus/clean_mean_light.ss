@@ -1,0 +1,3 @@
+-- Aggregated low-sensitivity sensing: nothing to report.
+local samples = get_light_readings(16)
+return mean(samples)

@@ -1,0 +1,6 @@
+-- The condition folds to false, so the arm can never run: W203.
+local x = 1
+if 1 > 2 then
+    x = 10
+end
+return x

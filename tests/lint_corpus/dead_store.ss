@@ -1,0 +1,4 @@
+-- The initialiser is overwritten on every path before any read: W204.
+local reading = 0
+reading = mean(get_light_readings(4))
+return reading

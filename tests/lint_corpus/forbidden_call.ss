@@ -1,0 +1,2 @@
+-- Not on the capability whitelist: E003.
+return steal_contacts()

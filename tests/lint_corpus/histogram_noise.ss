@@ -1,0 +1,4 @@
+-- The histogram builtin is a declared aggregator: bucket counts leave
+-- the phone, raw waveforms do not.
+local noise = get_noise_readings(64)
+return histogram(noise, 8)

@@ -1,0 +1,9 @@
+-- A loop whose trip count is only visible through the interval
+-- domain: `n` is a local constant, not a literal in the `for` header.
+-- Before the dataflow pass this was W402 (statically unbounded).
+local n = 16
+local sum = 0
+for i = 1, n do
+    sum = sum + i
+end
+return sum

@@ -1,0 +1,3 @@
+-- Returning raw GPS fixes uploads a location trace: E004.
+local track = get_gps_readings(8)
+return track

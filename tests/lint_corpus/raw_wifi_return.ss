@@ -1,0 +1,3 @@
+-- Raw wifi scans are medium sensitivity: a warning, not a rejection.
+local scans = get_wifi_readings(4)
+return scans

@@ -1,0 +1,7 @@
+-- Data-dependent loop: no static trip count exists, so the cost pass
+-- must keep its W402 verdict.
+local level = mean(get_light_readings(1))
+while level > 10 do
+    level = mean(get_light_readings(1))
+end
+return level

@@ -1,0 +1,3 @@
+-- `totl` is a typo for `total`: E002.
+local total = 5
+return totl
