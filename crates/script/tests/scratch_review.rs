@@ -1,0 +1,22 @@
+use sor_script::analysis::{analyze_with_budget, CapabilitySet};
+use sor_script::interp::Interpreter;
+use sor_script::parser::parse;
+
+fn probe(src: &str, budget: u64) {
+    let v = analyze_with_budget(src, &CapabilitySet::standard_sensing(), budget);
+    println!("--- budget {budget}\n{}", v.render("t"));
+    println!("has_errors: {}", v.has_errors());
+    let block = parse(src).unwrap();
+    let mut i = Interpreter::new();
+    i.set_budget(budget);
+    let r = i.run_block(&block);
+    println!("run: {:?}, instructions: {}", r.map(|x| format!("{x:?}")), i.instructions_used());
+}
+
+#[test]
+fn shadowed_local_assign_underbounds_loop() {
+    let src = "local n = 100\nif clock() > 0 then local n = 1\nn = n + 1\nelse local n = 1\nn = n + 2\nend\nfor i = 1, n do print(i) end\nreturn n";
+    // Budget 50: actual run needs ~415 instructions. If the analyzer's
+    // bound is sound it must emit W401 (bound exceeds budget) or W402.
+    probe(src, 50);
+}
