@@ -1,0 +1,106 @@
+//! Metro-scale observability guard: the always-on sampled layer must
+//! cost <2% of the field-test pipeline at 10× the quick user count.
+//!
+//! The "always-on layer" is what PR 7 adds so observability survives
+//! metro scale: the tail sampler's whole-trace keep/drop pass, the
+//! per-period window rolls, and the O(k) top-k offers. Each is measured
+//! for real (tight loops over the actual artifacts of a traced 10× run)
+//! and the summed cost is compared against the measured untraced
+//! pipeline time at the same scale. The *disabled-recorder* cost of the
+//! base tracer has its own guard (`obs_overhead`); this bench guards
+//! the new bounded machinery.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sor_obs::sample::{sample_trace, SamplePolicy};
+use sor_obs::{Recorder, SpaceSaving, WindowRing};
+use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
+
+fn main() {
+    let mut cfg = FieldTestConfig::quick(3);
+    cfg.phones_per_place *= 10; // 10× users: 30 phones per place, 90 total
+
+    // 1. The untraced pipeline at 10× (best of 3 — the denominator).
+    let pipeline = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(run_coffee_field_test_traced(cfg, Recorder::default()).unwrap());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // 2. One traced 10× run: the real artifacts the layer processes.
+    let rec = Recorder::enabled();
+    let out = run_coffee_field_test_traced(cfg, rec.clone()).unwrap();
+    let trace = rec.trace_snapshot().unwrap();
+    let metrics = rec.metrics_snapshot().unwrap();
+
+    // 3a. Tail-sampler pass over the whole 10× trace, sampling on.
+    let policy = SamplePolicy::representative(0.05, cfg.seed);
+    let reps = 10u32;
+    let t0 = Instant::now();
+    let mut kept = 0;
+    for _ in 0..reps {
+        let (sampled, stats) = sample_trace(black_box(&trace), black_box(&policy));
+        kept = stats.traces_kept;
+        black_box(sampled);
+    }
+    let sampler_pass = t0.elapsed().as_secs_f64() / f64::from(reps);
+
+    // 3b. Window rolls: cost of one roll on the run's real cumulative
+    //     snapshot, times the rolls the run actually performed.
+    let rolls = out.windows.as_ref().map_or(0, |w| w.len() as u64 + w.evicted()).max(1);
+    let t0 = Instant::now();
+    let mut ring = WindowRing::default();
+    for i in 0..reps {
+        ring.roll(f64::from(i), black_box(&metrics));
+    }
+    let per_roll = t0.elapsed().as_secs_f64() / f64::from(reps);
+
+    // 3c. Top-k offers: uploads + dispatches (server sketches) and
+    //     script runs (per-phone sketches), at the measured per-offer
+    //     cost on a warm k=8 sketch with realistic churning keys.
+    let offers = metrics.counter("pipeline.uploads_accepted")
+        + metrics.counter("server.schedules_distributed")
+        + metrics.counter("script.runs_started");
+    let mut sketch = SpaceSaving::new(8);
+    let keys: Vec<String> = (0..16).map(|i| format!("app{i}")).collect();
+    let n = 100_000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        sketch.offer(black_box(&keys[(i % 16) as usize]), 1);
+    }
+    let per_offer = t0.elapsed().as_secs_f64() / n as f64;
+    black_box(&sketch);
+
+    let obs_cost = sampler_pass + rolls as f64 * per_roll + offers as f64 * per_offer;
+    let ratio = obs_cost / pipeline;
+
+    println!("bench obs_scale/pipeline_10x ~{:.0} ns/iter (untraced, best of 3)", pipeline * 1e9);
+    println!(
+        "bench obs_scale/sampled_layer ~{:.0} ns/iter (sampler {} spans -> {} trees kept, \
+         {} rolls, {} offers)",
+        obs_cost * 1e9,
+        trace.spans().len(),
+        kept,
+        rolls,
+        offers
+    );
+    println!(
+        "obs_scale: sampler {:.1} µs + windows {:.1} µs + topk {:.1} µs = {:.1} µs \
+         over a {:.1} ms pipeline -> {:.3}%",
+        sampler_pass * 1e6,
+        rolls as f64 * per_roll * 1e6,
+        offers as f64 * per_offer * 1e6,
+        obs_cost * 1e6,
+        pipeline * 1e3,
+        ratio * 100.0
+    );
+    assert!(
+        ratio < 0.02,
+        "always-on sampled observability costs {:.2}% of the 10x pipeline (limit 2%)",
+        ratio * 100.0
+    );
+    println!("bench obs_scale OK (< 2%)");
+}

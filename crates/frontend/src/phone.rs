@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use sor_obs::{Recorder, SpanId};
+use sor_obs::{Recorder, SpaceSaving, SpanId};
 use sor_proto::{Message, SensedRecord, TraceContext};
 use sor_script::analysis::{analyze, analyze_block, CapabilitySet, Cost};
 use sor_script::optimize::optimize;
@@ -26,6 +26,10 @@ pub struct MobileFrontend {
     now: f64,
     recorder: Recorder,
     script_opt: bool,
+    /// O(k) heavy-hitter sketch over this phone's script runs, keyed by
+    /// task and weighted by instructions executed — bounded per-user
+    /// state no matter how many tasks the phone churns through.
+    hot_scripts: SpaceSaving,
 }
 
 impl std::fmt::Debug for MobileFrontend {
@@ -56,7 +60,14 @@ impl MobileFrontend {
             now: 0.0,
             recorder: Recorder::disabled(),
             script_opt,
+            hot_scripts: SpaceSaving::new(8),
         }
+    }
+
+    /// The phone's hot-script sketch: which tasks burned the most
+    /// interpreter instructions on this device (top-8, O(k) memory).
+    pub fn hot_scripts(&self) -> &SpaceSaving {
+        &self.hot_scripts
     }
 
     /// Enables or disables the AST optimizer for script runs. When on,
@@ -221,6 +232,12 @@ impl MobileFrontend {
                     Ok(run) => {
                         record_script_run(&recorder, span, &run);
                         recorder.span_end(span, due);
+                        if recorder.is_enabled() {
+                            self.hot_scripts.offer(
+                                &format!("task{}", task.task_id),
+                                run.instructions_used.max(1),
+                            );
+                        }
                         task.pending_records.extend(run.records);
                         task.advance();
                         let records = task.drain_records();

@@ -18,6 +18,7 @@
 use std::collections::BTreeSet;
 
 use crate::metrics::MetricsRegistry;
+use crate::window::WindowRing;
 use crate::Recorder;
 
 /// How one objective is measured against the registry.
@@ -58,6 +59,40 @@ pub enum SloKind {
         metric: String,
         /// Inclusive lower bound on the gauge.
         min: f64,
+    },
+    /// **Trend objective** (needs a [`WindowRing`]): the `q`-quantile
+    /// of the latest closed window must stay at or below `max_ratio`
+    /// times the mean of the same quantile over the previous (up to)
+    /// `baseline_windows` qualifying windows. Windows with fewer than
+    /// `min_samples` observations of the metric don't qualify — neither
+    /// as the latest reading nor as baseline. Without a ring, or
+    /// without both a qualifying latest window and at least one
+    /// qualifying baseline window, the objective grades `Pending`, so
+    /// cumulative-only callers are unaffected.
+    WindowQuantileDegradeMax {
+        /// Histogram metric name (graded on per-window deltas).
+        metric: String,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+        /// How many prior qualifying windows form the baseline mean.
+        baseline_windows: usize,
+        /// Inclusive upper bound on `latest / baseline-mean`. Log2
+        /// bucket quantization means one-bucket jitter reads as 2×, so
+        /// bounds below ~2 will flap.
+        max_ratio: f64,
+    },
+    /// **Trend objective** (needs a [`WindowRing`]): `num / den` over
+    /// the *latest closed window's deltas* (labeled families included)
+    /// must stay at or below `max` — a drop-rate spike in the last
+    /// period fires even when the cumulative rate is still healthy.
+    /// Grades `Pending` without a ring or a qualifying window.
+    WindowRatioMax {
+        /// Numerator counter (exact name or family prefix).
+        num: String,
+        /// Denominator counter (exact name or family prefix).
+        den: String,
+        /// Inclusive upper bound on the per-window ratio.
+        max: f64,
     },
 }
 
@@ -208,6 +243,13 @@ impl HealthEngine {
     /// 5. `transport_reject_rate` — ≤ 5% of frames rejected on decode.
     /// 6. `rank_cache_hit_rate` — once rank traffic exists (≥ 50
     ///    requests), the cache serves at least half of it.
+    /// 7. `upload_commit_p95_trend` — the per-window p95 of
+    ///    upload→commit latency must not degrade past 4× the mean of
+    ///    the previous 3 windows (trend objective; pending without a
+    ///    window ring).
+    /// 8. `transport_drop_window` — ≤ 5% of frames dropped *within the
+    ///    latest window*, catching fresh loss spikes the cumulative
+    ///    `transport_drop_rate` dilutes away.
     pub fn default_catalog() -> Vec<SloSpec> {
         vec![
             SloSpec::new(
@@ -263,6 +305,25 @@ impl HealthEngine {
                 },
                 50,
             ),
+            SloSpec::new(
+                "upload_commit_p95_trend",
+                SloKind::WindowQuantileDegradeMax {
+                    metric: "pipeline.upload_commit_latency_s".to_string(),
+                    q: 0.95,
+                    baseline_windows: 3,
+                    max_ratio: 4.0,
+                },
+                5,
+            ),
+            SloSpec::new(
+                "transport_drop_window",
+                SloKind::WindowRatioMax {
+                    num: "net.frames_dropped".to_string(),
+                    den: "net.frames_sent".to_string(),
+                    max: 0.05,
+                },
+                20,
+            ),
         ]
     }
 
@@ -281,9 +342,13 @@ impl HealthEngine {
         &self.alerts
     }
 
-    /// Grades one spec against the registry without touching alert
-    /// state. Returns `(status, observed, bound, samples)`.
-    fn grade_spec(spec: &SloSpec, metrics: &MetricsRegistry) -> SloGrade {
+    /// Grades one spec against the registry (and, for trend kinds, the
+    /// window ring) without touching alert state.
+    fn grade_spec(
+        spec: &SloSpec,
+        metrics: &MetricsRegistry,
+        windows: Option<&WindowRing>,
+    ) -> SloGrade {
         let (status, observed, bound, samples) = match &spec.kind {
             SloKind::HistogramQuantileMax { metric, q, max } => match metrics.histogram(metric) {
                 Some(h) if h.count() >= spec.min_samples.max(1) => {
@@ -323,25 +388,96 @@ impl HealthEngine {
                 }
                 None => (SloStatus::Pending, None, *min, 0),
             },
+            SloKind::WindowQuantileDegradeMax { metric, q, baseline_windows, max_ratio } => {
+                let floor = spec.min_samples.max(1);
+                let readings: Vec<(u64, f64)> = windows
+                    .map(|ring| {
+                        ring.windows()
+                            .filter_map(|w| w.delta.histogram(metric))
+                            .filter(|h| h.count() >= floor)
+                            .filter_map(|h| h.quantile(*q).map(|v| (h.count(), v)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                match readings.split_last() {
+                    Some(((latest_n, cur), baseline)) if !baseline.is_empty() => {
+                        let base_slice =
+                            &baseline[baseline.len().saturating_sub(*baseline_windows)..];
+                        let base = base_slice.iter().map(|(_, v)| v).sum::<f64>()
+                            / base_slice.len() as f64;
+                        if base > 0.0 {
+                            let v = cur / base;
+                            let st =
+                                if v > *max_ratio { SloStatus::Breached } else { SloStatus::Ok };
+                            (st, Some(v), *max_ratio, *latest_n)
+                        } else {
+                            (SloStatus::Pending, None, *max_ratio, *latest_n)
+                        }
+                    }
+                    _ => (SloStatus::Pending, None, *max_ratio, 0),
+                }
+            }
+            SloKind::WindowRatioMax { num, den, max } => {
+                match windows.and_then(|ring| ring.latest()) {
+                    Some(w) => {
+                        let n = counter_total(&w.delta, num);
+                        let d = counter_total(&w.delta, den);
+                        if d >= spec.min_samples.max(1) {
+                            let v = n as f64 / d as f64;
+                            let st = if v > *max { SloStatus::Breached } else { SloStatus::Ok };
+                            (st, Some(v), *max, d)
+                        } else {
+                            (SloStatus::Pending, None, *max, d)
+                        }
+                    }
+                    None => (SloStatus::Pending, None, *max, 0),
+                }
+            }
         };
         SloGrade { slo: spec.id.clone(), status, observed, bound, samples }
     }
 
-    /// Grades the whole catalog (pure — no alert state mutated).
+    /// Grades the whole catalog (pure — no alert state mutated). Trend
+    /// objectives grade `Pending` — use [`HealthEngine::grade_windowed`]
+    /// when a window ring is available.
     pub fn grade(&self, metrics: &MetricsRegistry) -> HealthReport {
-        HealthReport { grades: self.catalog.iter().map(|s| Self::grade_spec(s, metrics)).collect() }
+        self.grade_windowed(metrics, None)
+    }
+
+    /// Grades the whole catalog, trend objectives included.
+    pub fn grade_windowed(
+        &self,
+        metrics: &MetricsRegistry,
+        windows: Option<&WindowRing>,
+    ) -> HealthReport {
+        HealthReport {
+            grades: self.catalog.iter().map(|s| Self::grade_spec(s, metrics, windows)).collect(),
+        }
     }
 
     /// Online evaluation at simulated time `now`: grades the catalog in
     /// declaration order and returns the objectives that *newly*
     /// breached this round (each SLO alerts at most once per engine).
+    /// Trend objectives stay `Pending` — see
+    /// [`HealthEngine::evaluate_windowed`].
     pub fn evaluate(&mut self, metrics: &MetricsRegistry, now: f64) -> Vec<Alert> {
+        self.evaluate_windowed(metrics, None, now)
+    }
+
+    /// [`HealthEngine::evaluate`] with a window ring, so trend
+    /// objectives grade too.
+    pub fn evaluate_windowed(
+        &mut self,
+        metrics: &MetricsRegistry,
+        windows: Option<&WindowRing>,
+        now: f64,
+    ) -> Vec<Alert> {
         let mut fresh = Vec::new();
         for spec in &self.catalog {
             if self.fired.contains(&spec.id) {
                 continue;
             }
-            let g = Self::grade_spec(spec, metrics);
+            let g = Self::grade_spec(spec, metrics, windows);
             if g.status == SloStatus::Breached {
                 let observed = g.observed.unwrap_or(0.0);
                 let alert = Alert {
@@ -367,10 +503,21 @@ impl HealthEngine {
     /// as an `slo.alert` event (no-op when the recorder has no
     /// metrics). Returns the fresh alerts.
     pub fn evaluate_and_emit(&mut self, recorder: &Recorder, now: f64) -> Vec<Alert> {
+        self.evaluate_and_emit_windowed(recorder, None, now)
+    }
+
+    /// [`HealthEngine::evaluate_and_emit`] with a window ring, so trend
+    /// objectives can fire `slo.alert` events too.
+    pub fn evaluate_and_emit_windowed(
+        &mut self,
+        recorder: &Recorder,
+        windows: Option<&WindowRing>,
+        now: f64,
+    ) -> Vec<Alert> {
         let Some(metrics) = recorder.metrics_snapshot() else {
             return Vec::new();
         };
-        let fresh = self.evaluate(&metrics, now);
+        let fresh = self.evaluate_windowed(&metrics, windows, now);
         for a in &fresh {
             recorder.event("slo.alert", now, &a.detail);
         }
@@ -513,6 +660,125 @@ mod tests {
         let ev = trace.events().iter().find(|e| e.name == "slo.alert").unwrap();
         assert_eq!(ev.time, 42.0);
         assert!(ev.detail.contains("drop_rate"));
+    }
+
+    fn trend_spec() -> SloSpec {
+        SloSpec::new(
+            "lat_trend",
+            SloKind::WindowQuantileDegradeMax {
+                metric: "pipeline.upload_commit_latency_s".to_string(),
+                q: 0.95,
+                baseline_windows: 3,
+                max_ratio: 4.0,
+            },
+            2,
+        )
+    }
+
+    /// Rolls `values_per_window` observations into a fresh ring.
+    fn ring_of(values_per_window: &[&[f64]]) -> WindowRing {
+        let mut ring = WindowRing::new(16);
+        let mut m = MetricsRegistry::new();
+        for (i, values) in values_per_window.iter().enumerate() {
+            for &v in *values {
+                m.observe("pipeline.upload_commit_latency_s", v);
+            }
+            ring.roll((i as f64 + 1.0) * 300.0, &m);
+        }
+        ring
+    }
+
+    #[test]
+    fn trend_objective_fires_on_windowed_degradation() {
+        // Three stable windows, then a 100× degradation.
+        let ring = ring_of(&[
+            &[10.0, 11.0, 12.0],
+            &[10.0, 10.5, 11.0],
+            &[9.0, 10.0, 11.0],
+            &[1000.0, 1100.0, 1200.0],
+        ]);
+        let m = MetricsRegistry::new();
+        let mut eng = HealthEngine::new(vec![trend_spec()]);
+        // Without the ring: pending, never fires.
+        assert!(eng.evaluate(&m, 1.0).is_empty());
+        assert_eq!(eng.grade(&m).grades[0].status, SloStatus::Pending);
+        // With the ring: the latest window breached the 4× bound.
+        let fired = eng.evaluate_windowed(&m, Some(&ring), 1200.0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].slo, "lat_trend");
+        assert!(fired[0].observed > 4.0, "{}", fired[0].observed);
+    }
+
+    #[test]
+    fn trend_objective_stays_quiet_on_stable_windows() {
+        let ring = ring_of(&[
+            &[10.0, 11.0, 12.0],
+            &[10.0, 10.5, 11.0],
+            &[9.0, 10.0, 11.0],
+            &[12.0, 13.0, 14.0],
+        ]);
+        let m = MetricsRegistry::new();
+        let mut eng = HealthEngine::new(vec![trend_spec()]);
+        assert!(eng.evaluate_windowed(&m, Some(&ring), 1200.0).is_empty());
+        let report = eng.grade_windowed(&m, Some(&ring));
+        assert_eq!(report.grades[0].status, SloStatus::Ok);
+    }
+
+    #[test]
+    fn trend_objective_skips_thin_windows() {
+        // The middle window has a single (spiky) observation — below
+        // min_samples, it must qualify neither as reading nor baseline.
+        let ring = ring_of(&[&[10.0, 11.0, 12.0], &[5000.0], &[10.0, 11.0, 9.0]]);
+        let m = MetricsRegistry::new();
+        let mut eng = HealthEngine::new(vec![trend_spec()]);
+        assert!(eng.evaluate_windowed(&m, Some(&ring), 900.0).is_empty());
+        let g = &eng.grade_windowed(&m, Some(&ring)).grades[0];
+        assert_eq!(g.status, SloStatus::Ok, "spike window ignored: {g:?}");
+    }
+
+    #[test]
+    fn window_ratio_fires_on_fresh_spike_cumulative_misses() {
+        // 10k clean frames, then a lossy window: cumulative rate 4.8%
+        // stays under the 5% bound but the latest window is at 50%.
+        let mut ring = WindowRing::new(8);
+        let mut m = MetricsRegistry::new();
+        m.count("net.frames_sent", 10_000);
+        ring.roll(300.0, &m);
+        m.count("net.frames_sent", 1_000);
+        m.count("net.frames_dropped", 500);
+        ring.roll(600.0, &m);
+        let catalog = vec![
+            ratio_spec(20), // cumulative drop_rate
+            SloSpec::new(
+                "transport_drop_window",
+                SloKind::WindowRatioMax {
+                    num: "net.frames_dropped".to_string(),
+                    den: "net.frames_sent".to_string(),
+                    max: 0.05,
+                },
+                20,
+            ),
+        ];
+        let mut eng = HealthEngine::new(catalog);
+        let fired = eng.evaluate_windowed(&m, Some(&ring), 600.0);
+        let ids: Vec<&str> = fired.iter().map(|a| a.slo.as_str()).collect();
+        assert_eq!(ids, vec!["transport_drop_window"], "only the windowed objective fires");
+        assert!((fired[0].observed - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_catalog_trend_entries_pend_without_windows() {
+        let m = MetricsRegistry::new();
+        let eng = HealthEngine::with_default_catalog();
+        let report = eng.grade(&m);
+        for id in ["upload_commit_p95_trend", "transport_drop_window"] {
+            let g = report
+                .grades
+                .iter()
+                .find(|g| g.slo == id)
+                .unwrap_or_else(|| panic!("{id} missing from default catalog"));
+            assert_eq!(g.status, SloStatus::Pending, "{id}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+pub mod dashboard;
 pub mod flight;
 pub mod health;
 pub mod json;
@@ -57,13 +58,19 @@ pub mod lint;
 pub mod metrics;
 pub mod naming;
 pub mod report;
+pub mod sample;
+pub mod topk;
 pub mod trace;
+pub mod window;
 
 pub use flight::{FlightEntry, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use health::{Alert, HealthEngine, HealthReport, SloGrade, SloKind, SloSpec, SloStatus};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, DEFAULT_NAME_CAP, OVERFLOW_NAME};
+pub use sample::{sample_trace, KeepReason, SamplePolicy, SampleStats, SAMPLE_RATE_ENV};
+pub use topk::{SpaceSaving, TopKEntry};
 pub use trace::{Span, SpanId, Trace, TraceEvent};
+pub use window::{MetricsWindow, WindowRing, DEFAULT_WINDOW_CAPACITY};
 
 /// The shared recording state behind an enabled recorder.
 struct Collector {

@@ -124,6 +124,34 @@ impl Histogram {
         self.zero_or_less + self.buckets.values().sum::<u64>()
     }
 
+    /// The observations recorded since `earlier`, assuming `earlier` is
+    /// a previous snapshot of this same histogram (bucket-wise
+    /// saturating subtraction). Per-window `min`/`max` are unknowable
+    /// from cumulative snapshots, so the delta carries `None` for both —
+    /// its quantiles then report the raw bucket upper edge, which keeps
+    /// the never-under-reports guarantee.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum - earlier.sum,
+            min: None,
+            max: None,
+            zero_or_less: self.zero_or_less.saturating_sub(earlier.zero_or_less),
+            buckets: BTreeMap::new(),
+        };
+        if out.count == 0 {
+            out.sum = 0.0;
+            return out;
+        }
+        for (&exp, &n) in &self.buckets {
+            let d = n.saturating_sub(earlier.buckets.get(&exp).copied().unwrap_or(0));
+            if d > 0 {
+                out.buckets.insert(exp, d);
+            }
+        }
+        out
+    }
+
     /// A conservative (upper-bound) estimate of the `q`-quantile from
     /// the log2 buckets: the upper edge `2^(e+1)` of the bucket holding
     /// the rank, clamped to the exact observed max. Zero-or-less
@@ -153,37 +181,106 @@ impl Histogram {
     }
 }
 
+/// The rollup bucket adversarial or runaway label sets collapse into
+/// once a registry hits its name cap. Deliberately violates the
+/// `component.noun_verb` naming convention so it can never collide with
+/// a real metric; `naming::check_name` whitelists it explicitly.
+pub const OVERFLOW_NAME: &str = "__overflow__";
+
+/// Distinct metric names a registry tracks before routing new names to
+/// [`OVERFLOW_NAME`]. Far above what any current scenario emits, but a
+/// hard bound: a 10⁵-label adversarial workload stays O(cap) memory.
+pub const DEFAULT_NAME_CAP: usize = 4096;
+
 /// The registry: three deterministic namespaces.
+///
+/// Cardinality is hard-capped: once the total number of distinct names
+/// (across counters, gauges, and histograms) reaches the cap, updates
+/// to *new* names roll up into a per-kind [`OVERFLOW_NAME`] bucket and
+/// [`MetricsRegistry::overflow_routed`] counts how many updates were
+/// redirected. Routing is purely a function of insertion order, so
+/// capped registries stay deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// 0 means "use [`DEFAULT_NAME_CAP`]".
+    name_cap: usize,
+    overflow_routed: u64,
 }
 
 impl MetricsRegistry {
-    /// An empty registry.
+    /// An empty registry with the default name cap.
     pub fn new() -> Self {
         MetricsRegistry::default()
     }
 
+    /// An empty registry with an explicit name cap (clamped to ≥ 1).
+    pub fn with_name_cap(cap: usize) -> Self {
+        MetricsRegistry { name_cap: cap.max(1), ..MetricsRegistry::default() }
+    }
+
+    /// The effective name cap.
+    pub fn name_cap(&self) -> usize {
+        if self.name_cap == 0 {
+            DEFAULT_NAME_CAP
+        } else {
+            self.name_cap
+        }
+    }
+
+    /// Distinct metric names currently tracked, across all three kinds.
+    pub fn name_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Updates that were redirected to [`OVERFLOW_NAME`] because the
+    /// registry was at its name cap.
+    pub fn overflow_routed(&self) -> u64 {
+        self.overflow_routed
+    }
+
+    /// Whether `name` is new and must roll up into the overflow bucket.
+    fn overflows(&self, name: &str) -> bool {
+        name != OVERFLOW_NAME && self.name_count() >= self.name_cap()
+    }
+
     /// Adds `n` to a counter (creating it at zero).
     pub fn count(&mut self, name: &str, n: u64) {
-        match self.counters.get_mut(name) {
-            Some(c) => *c += n,
-            None => {
-                self.counters.insert(name.to_string(), n);
-            }
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+            return;
         }
+        if self.overflows(name) {
+            self.overflow_routed += 1;
+            *self.counters.entry(OVERFLOW_NAME.to_string()).or_insert(0) += n;
+            return;
+        }
+        self.counters.insert(name.to_string(), n);
     }
 
     /// Sets a gauge to its latest value.
     pub fn gauge(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+            return;
+        }
+        if self.overflows(name) {
+            self.overflow_routed += 1;
+            self.gauges.insert(OVERFLOW_NAME.to_string(), v);
+            return;
+        }
         self.gauges.insert(name.to_string(), v);
     }
 
     /// Records one histogram observation.
     pub fn observe(&mut self, name: &str, v: f64) {
+        if !self.histograms.contains_key(name) && self.overflows(name) {
+            self.overflow_routed += 1;
+            self.histograms.entry(OVERFLOW_NAME.to_string()).or_default().record(v);
+            return;
+        }
         self.histograms.entry(name.to_string()).or_default().record(v);
     }
 
@@ -224,17 +321,54 @@ impl MetricsRegistry {
     }
 
     /// Merges another registry: counters add, gauges take the other's
-    /// value (latest-wins), histograms merge bucket-wise.
+    /// value (latest-wins), histograms merge bucket-wise. The receiving
+    /// registry's name cap governs — names beyond it roll up.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, &v) in &other.counters {
             self.count(k, v);
         }
         for (k, &v) in &other.gauges {
-            self.gauges.insert(k.clone(), v);
+            self.gauge(k, v);
         }
         for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
+            if !self.histograms.contains_key(k) && self.overflows(k) {
+                self.overflow_routed += 1;
+                self.histograms.entry(OVERFLOW_NAME.to_string()).or_default().merge(h);
+            } else {
+                self.histograms.entry(k.clone()).or_default().merge(h);
+            }
         }
+        self.overflow_routed += other.overflow_routed;
+    }
+
+    /// The changes since `earlier`, assuming `earlier` is a previous
+    /// snapshot of this same registry: counters carry the (saturating)
+    /// difference and are omitted when unchanged, gauges carry their
+    /// current (point-in-time) value, histograms carry their bucket-wise
+    /// [`Histogram::delta_since`] and are omitted when no observation
+    /// landed in the interval. This is what the windowed-metrics ring
+    /// stores per period.
+    pub fn delta_since(&self, earlier: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry { name_cap: self.name_cap, ..MetricsRegistry::default() };
+        for (k, &v) in &self.counters {
+            let d = v.saturating_sub(earlier.counter(k));
+            if d > 0 {
+                out.counters.insert(k.clone(), d);
+            }
+        }
+        for (k, &v) in &self.gauges {
+            out.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &self.histograms {
+            let d = match earlier.histograms.get(k) {
+                Some(e) => h.delta_since(e),
+                None => h.clone(),
+            };
+            if d.count() > 0 {
+                out.histograms.insert(k.clone(), d);
+            }
+        }
+        out
     }
 
     /// CSV snapshot: `kind,name,field,value` rows, deterministically
@@ -478,6 +612,125 @@ mod tests {
         assert!(a < z, "name-ordered: {csv}");
         assert!(csv.contains("histogram,lat,count,1"));
         assert!(csv.contains("histogram,lat,bucket_2^1,1"));
+    }
+
+    #[test]
+    fn histogram_delta_since_subtracts_bucketwise() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(3.0);
+        let snap = h.clone();
+        h.record(3.5);
+        h.record(-1.0);
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.zero_or_less(), 1);
+        assert_eq!(d.buckets().collect::<Vec<_>>(), vec![(1, 1)]);
+        assert_eq!(d.min(), None, "per-window extremes are unknowable");
+        assert_eq!(d.max(), None);
+        // Quantile still works, reporting the bucket upper edge.
+        assert_eq!(d.quantile(1.0), Some(4.0));
+        assert_eq!(d.bucketed_total(), d.count());
+    }
+
+    #[test]
+    fn histogram_delta_since_empty_interval_is_empty() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        let d = h.delta_since(&h.clone());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.sum(), 0.0);
+        assert_eq!(d.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_delta_of_saturated_buckets() {
+        // Both snapshots hold clamped extreme-bucket counts; the delta
+        // must subtract within the clamped buckets, not re-bucket.
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(1e300); // exponent 63
+        }
+        let snap = h.clone();
+        for _ in 0..3 {
+            h.record(1e300);
+            h.record(f64::MIN_POSITIVE); // exponent -64
+        }
+        let d = h.delta_since(&snap);
+        assert_eq!(d.buckets().collect::<Vec<_>>(), vec![(-64, 3), (63, 3)]);
+        assert_eq!(d.count(), 6);
+        assert_eq!(d.bucketed_total(), 6);
+    }
+
+    #[test]
+    fn registry_delta_since() {
+        let mut m = MetricsRegistry::new();
+        m.count("a.b_c", 5);
+        m.count("a.b_d", 2);
+        m.gauge("g.h_i", 1.0);
+        m.observe("lat.x_y", 2.0);
+        let snap = m.clone();
+        m.count("a.b_c", 3);
+        m.gauge("g.h_i", 9.0);
+        m.observe("lat.x_y", 4.0);
+        m.observe("new.m_n", 1.0);
+        let d = m.delta_since(&snap);
+        assert_eq!(d.counter("a.b_c"), 3);
+        assert_eq!(d.counters().count(), 1, "unchanged counters omitted");
+        assert_eq!(d.gauge_value("g.h_i"), Some(9.0));
+        assert_eq!(d.histogram("lat.x_y").unwrap().count(), 1);
+        assert_eq!(d.histogram("new.m_n").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn name_cap_routes_new_names_to_overflow() {
+        let mut m = MetricsRegistry::with_name_cap(2);
+        m.count("a.b_c", 1);
+        m.count("d.e_f", 1);
+        // At cap: updates to existing names still land exactly.
+        m.count("a.b_c", 4);
+        assert_eq!(m.counter("a.b_c"), 5);
+        // New names of every kind roll up.
+        m.count("x.y_z", 7);
+        m.gauge("p.q_r", 3.0);
+        m.observe("s.t_u", 2.0);
+        m.observe("v.w_x", 8.0);
+        assert_eq!(m.counter(OVERFLOW_NAME), 7);
+        assert_eq!(m.gauge_value(OVERFLOW_NAME), Some(3.0));
+        assert_eq!(m.histogram(OVERFLOW_NAME).unwrap().count(), 2);
+        assert_eq!(m.overflow_routed(), 4);
+        // Bounded: cap + at most one overflow bucket per kind.
+        assert!(m.name_count() <= 2 + 3, "{}", m.name_count());
+    }
+
+    #[test]
+    fn name_cap_is_deterministic_under_identical_streams() {
+        let feed = |m: &mut MetricsRegistry| {
+            for i in 0..100 {
+                m.count(&format!("adv.k_{i}"), 1);
+                m.observe(&format!("adv.h_{i}"), i as f64);
+            }
+        };
+        let mut a = MetricsRegistry::with_name_cap(10);
+        let mut b = MetricsRegistry::with_name_cap(10);
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn merge_respects_receiver_cap() {
+        let mut big = MetricsRegistry::new();
+        for i in 0..50 {
+            big.count(&format!("adv.k_{i}"), 1);
+        }
+        let mut small = MetricsRegistry::with_name_cap(5);
+        small.merge(&big);
+        assert!(small.name_count() <= 6, "{}", small.name_count());
+        // No update is lost: the total weight is conserved.
+        let total: u64 = small.counters().map(|(_, v)| v).sum();
+        assert_eq!(total, 50);
     }
 
     #[test]

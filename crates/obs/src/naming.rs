@@ -33,7 +33,16 @@ fn segment_ok(seg: &str, allow_underscore: bool) -> bool {
 
 /// Checks one metric name against the convention. `Err` carries the
 /// reason, phrased for the audit report.
+///
+/// One sentinel is exempt: [`crate::metrics::OVERFLOW_NAME`]
+/// (`__overflow__`), the cardinality-cap rollup bucket. It
+/// *deliberately* violates the convention (leading underscores, no
+/// component) so it can never collide with or masquerade as a real
+/// metric, and the audit must not flag capped registries.
 pub fn check_name(name: &str) -> Result<(), String> {
+    if name == crate::metrics::OVERFLOW_NAME {
+        return Ok(());
+    }
     let segs: Vec<&str> = name.split('.').collect();
     if !(2..=3).contains(&segs.len()) {
         return Err(format!("{name}: expected 2-3 dot segments, got {}", segs.len()));
@@ -87,9 +96,32 @@ mod tests {
             "pipeline.upload_commit_latency_s",
             "sched.sim_coverage.greedy",
             "par.busy_ms",
+            // PR 7: sampler, top-k, and windowed-metrics names.
+            "obs.traces_sampled",
+            "obs.traces_kept.slow_decile",
+            "obs.traces_dropped.server",
+            "obs.spans_dropped.phone",
+            "obs.windows_rolled",
+            "server.topk_uploads.app3",
+            "server.topk_dispatches.app12",
+            "phone.topk_scripts.app1",
         ] {
             assert!(check_name(name).is_ok(), "{name} should conform");
         }
+    }
+
+    #[test]
+    fn overflow_sentinel_is_whitelisted() {
+        assert!(check_name(crate::metrics::OVERFLOW_NAME).is_ok());
+        // But lookalikes are not.
+        assert!(check_name("__overflow").is_err());
+        assert!(check_name("x.__overflow__").is_err());
+        // A capped registry audits clean.
+        let mut m = MetricsRegistry::with_name_cap(1);
+        m.count("net.frames_sent", 1);
+        m.count("net.frames_dropped", 1); // routed to __overflow__
+        m.observe("net.latency_s", 0.1); // routed to __overflow__
+        assert!(audit(&m).is_empty(), "{:?}", audit(&m));
     }
 
     #[test]

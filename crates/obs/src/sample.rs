@@ -1,0 +1,513 @@
+//! Tail-based trace sampling: whole-trace keep/drop decisions made
+//! after the fact, when the interesting-ness of a trace is known.
+//!
+//! A "trace" here is one span tree inside the [`Trace`] buffer (the
+//! buffer holds a forest: every root span — no parent, or a dangling
+//! parent — anchors one tree). The sampler walks the forest once and
+//! keeps a tree when any of these hold, in this precedence order:
+//!
+//! 1. **error** — any span in the tree carries an `error` attribute;
+//! 2. **slo** — the tree overlaps a `slo.alert` event on the timeline
+//!    (it was in flight while an objective was breached);
+//! 3. **slow_decile** — the tree is in the slowest
+//!    [`SamplePolicy::slow_keep_fraction`] of trees sharing its root
+//!    span name (per-family, so a slow rank can't shadow a slow
+//!    upload);
+//! 4. **representative** — a seeded FNV hash of the root's identity
+//!    falls under [`SamplePolicy::rate`], keeping a deterministic
+//!    cross-section of normal traffic.
+//!
+//! Everything else is dropped, with **exact per-component counters**
+//! ([`SampleStats`]) so dashboards can show what the sample hides. At
+//! `rate = 1.0` every tree is kept and the rebuilt trace is
+//! byte-identical to the original export — the golden-trace tests keep
+//! holding with sampling in the path.
+//!
+//! Determinism: decisions are pure functions of (trace content, policy
+//! seed). The trace buffer is already `SOR_THREADS`-invariant, so the
+//! sampled trace is too.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::MetricsRegistry;
+use crate::trace::{Span, SpanId, Trace, TraceEvent};
+
+/// Metric name for the total number of trace trees examined.
+pub const METRIC_TRACES_SAMPLED: &str = "obs.traces_sampled";
+/// Metric-name prefix for kept-trace counters (suffix: keep reason).
+pub const METRIC_TRACES_KEPT_PREFIX: &str = "obs.traces_kept.";
+/// Metric-name prefix for dropped-trace counters (suffix: component).
+pub const METRIC_TRACES_DROPPED_PREFIX: &str = "obs.traces_dropped.";
+/// Metric-name prefix for dropped-span counters (suffix: component).
+pub const METRIC_SPANS_DROPPED_PREFIX: &str = "obs.spans_dropped.";
+
+/// Why a trace tree survived sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// A span in the tree carries an `error` attribute.
+    Error,
+    /// The tree overlaps an `slo.alert` event.
+    SloViolating,
+    /// Among the slowest fraction of its root-name family.
+    SlowDecile,
+    /// Won the seeded representative-rate lottery.
+    Representative,
+}
+
+impl KeepReason {
+    /// The metric label for this reason.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeepReason::Error => "error",
+            KeepReason::SloViolating => "slo",
+            KeepReason::SlowDecile => "slow_decile",
+            KeepReason::Representative => "representative",
+        }
+    }
+}
+
+/// The sampling policy: what fraction of normal traces to keep, under
+/// which seed, and how wide the always-keep slow tail is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePolicy {
+    /// Fraction of normal (non-error, non-SLO, non-slow) traces kept,
+    /// clamped to `[0, 1]`. `1.0` keeps everything.
+    pub rate: f64,
+    /// Seed mixed into the representative hash, so different runs can
+    /// sample different cross-sections deterministically.
+    pub seed: u64,
+    /// Fraction of each root-name family always kept as "slowest"
+    /// (default 0.1 — the slowest decile).
+    pub slow_keep_fraction: f64,
+}
+
+/// Environment knob read by [`SamplePolicy::from_env`].
+pub const SAMPLE_RATE_ENV: &str = "SOR_TRACE_SAMPLE";
+
+impl SamplePolicy {
+    /// Keep every trace (the golden-trace-compatible default).
+    pub fn keep_all() -> Self {
+        SamplePolicy { rate: 1.0, seed: 0, slow_keep_fraction: 0.1 }
+    }
+
+    /// Keep error/SLO/slow traces plus `rate` of the rest.
+    pub fn representative(rate: f64, seed: u64) -> Self {
+        SamplePolicy { rate: rate.clamp(0.0, 1.0), seed, slow_keep_fraction: 0.1 }
+    }
+
+    /// Reads `SOR_TRACE_SAMPLE` (a rate in `[0, 1]`; unset or
+    /// unparsable means `1.0`, i.e. sampling disabled).
+    pub fn from_env(seed: u64) -> Self {
+        let rate = std::env::var(SAMPLE_RATE_ENV)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .map_or(1.0, |r| r.clamp(0.0, 1.0));
+        SamplePolicy::representative(rate, seed)
+    }
+}
+
+/// One span tree in the buffer, with its keep classification resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGroup {
+    /// Index (into `trace.spans()`) of the root span.
+    pub root: usize,
+    /// Indices of every span in the tree, ascending.
+    pub spans: Vec<usize>,
+    /// Earliest span start in the tree.
+    pub start: f64,
+    /// Latest span end (open spans count their start).
+    pub end: f64,
+    /// `end - start`.
+    pub duration: f64,
+    /// Whether any span carries an `error` attribute.
+    pub is_error: bool,
+    /// Whether the tree overlaps an `slo.alert` event.
+    pub slo_violating: bool,
+    /// Whether the tree is in the slowest fraction of its family.
+    pub slow: bool,
+}
+
+/// Splits the trace forest into trees and resolves the error / SLO /
+/// slowest-fraction classifications. Public so retention tests can
+/// enumerate exactly which trees must survive.
+pub fn classify(trace: &Trace, slow_keep_fraction: f64) -> Vec<TraceGroup> {
+    let spans = trace.spans();
+    // Root resolution: parents always precede children (span ids are
+    // allocation-ordered), so a single forward pass settles every span.
+    // A dangling or forward parent reference makes its span a root.
+    let mut root_of: Vec<usize> = Vec::with_capacity(spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        let root = match s.parent {
+            Some(p) => {
+                let pi = p.0 as usize - 1;
+                if pi < i {
+                    root_of[pi]
+                } else {
+                    i
+                }
+            }
+            None => i,
+        };
+        root_of.push(root);
+    }
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &r) in root_of.iter().enumerate() {
+        members.entry(r).or_default().push(i);
+    }
+    let alert_times: Vec<f64> =
+        trace.events().iter().filter(|e| e.name == "slo.alert").map(|e| e.time).collect();
+    let mut groups: Vec<TraceGroup> = members
+        .into_iter()
+        .map(|(root, idxs)| {
+            let mut start = f64::INFINITY;
+            let mut end = f64::NEG_INFINITY;
+            let mut is_error = false;
+            for &i in &idxs {
+                let s = &spans[i];
+                start = start.min(s.start);
+                end = end.max(s.end.unwrap_or(s.start));
+                is_error |= s.attrs.iter().any(|(k, _)| k == "error");
+            }
+            let slo_violating = alert_times.iter().any(|&t| t >= start && t <= end);
+            TraceGroup {
+                root,
+                spans: idxs,
+                start,
+                end,
+                duration: end - start,
+                is_error,
+                slo_violating,
+                slow: false,
+            }
+        })
+        .collect();
+    // Slowest fraction, per root-name family: rank by (duration desc,
+    // root asc) and keep the top ceil(n * fraction).
+    let mut families: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        families.entry(spans[g.root].name.as_str()).or_default().push(gi);
+    }
+    let frac = slow_keep_fraction.clamp(0.0, 1.0);
+    let mut slow_flags = vec![false; groups.len()];
+    for (_, mut gis) in families {
+        let keep = ((gis.len() as f64 * frac).ceil() as usize).min(gis.len());
+        gis.sort_by(|&a, &b| {
+            groups[b]
+                .duration
+                .partial_cmp(&groups[a].duration)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(groups[a].root.cmp(&groups[b].root))
+        });
+        for &gi in gis.iter().take(keep) {
+            slow_flags[gi] = true;
+        }
+    }
+    for (g, slow) in groups.iter_mut().zip(slow_flags) {
+        g.slow = slow;
+    }
+    groups
+}
+
+/// FNV-1a over the root's identity, mixed with the policy seed.
+fn representative_hash(name: &str, root_id: u64, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes().chain(root_id.to_le_bytes()).chain(seed.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The keep decision for one classified tree, in precedence order.
+pub fn keep_decision(
+    policy: &SamplePolicy,
+    group: &TraceGroup,
+    root_name: &str,
+) -> Option<KeepReason> {
+    if group.is_error {
+        return Some(KeepReason::Error);
+    }
+    if group.slo_violating {
+        return Some(KeepReason::SloViolating);
+    }
+    if group.slow {
+        return Some(KeepReason::SlowDecile);
+    }
+    if policy.rate >= 1.0 {
+        return Some(KeepReason::Representative);
+    }
+    let threshold = (policy.rate.clamp(0.0, 1.0) * 1_000_000.0) as u64;
+    let h = representative_hash(root_name, group.root as u64 + 1, policy.seed);
+    (h % 1_000_000 < threshold).then_some(KeepReason::Representative)
+}
+
+/// Exact sampler accounting, keyed by keep reason and by component
+/// (the first dotted segment of the tree's root span name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleStats {
+    /// Trace trees examined.
+    pub traces_total: u64,
+    /// Trace trees kept.
+    pub traces_kept: u64,
+    /// Kept trees by reason label.
+    pub kept_by_reason: BTreeMap<&'static str, u64>,
+    /// Dropped trees by component.
+    pub dropped_by_component: BTreeMap<String, u64>,
+    /// Spans examined.
+    pub spans_total: u64,
+    /// Spans kept.
+    pub spans_kept: u64,
+    /// Dropped spans by component.
+    pub spans_dropped_by_component: BTreeMap<String, u64>,
+}
+
+/// The first dotted segment of a span name (`server.rank` → `server`).
+fn component_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+impl SampleStats {
+    /// Emits the accounting as counters (`obs.traces_sampled`,
+    /// `obs.traces_kept.<reason>`, `obs.traces_dropped.<component>`,
+    /// `obs.spans_dropped.<component>`) into a registry.
+    pub fn record_into(&self, m: &mut MetricsRegistry) {
+        m.count(METRIC_TRACES_SAMPLED, self.traces_total);
+        for (reason, n) in &self.kept_by_reason {
+            m.count(&format!("{METRIC_TRACES_KEPT_PREFIX}{reason}"), *n);
+        }
+        for (comp, n) in &self.dropped_by_component {
+            m.count(&format!("{METRIC_TRACES_DROPPED_PREFIX}{comp}"), *n);
+        }
+        for (comp, n) in &self.spans_dropped_by_component {
+            m.count(&format!("{METRIC_SPANS_DROPPED_PREFIX}{comp}"), *n);
+        }
+    }
+}
+
+/// Samples a trace buffer: keeps whole trees per the policy, rebuilds a
+/// compact trace (span ids remapped to allocation order; events always
+/// kept — they are the bounded timeline, not the volume), and returns
+/// exact drop accounting. At `rate = 1.0` the output is byte-identical
+/// to the input's export.
+pub fn sample_trace(trace: &Trace, policy: &SamplePolicy) -> (Trace, SampleStats) {
+    let spans = trace.spans();
+    let groups = classify(trace, policy.slow_keep_fraction);
+    let mut stats = SampleStats { spans_total: spans.len() as u64, ..SampleStats::default() };
+    let mut keep_span = vec![false; spans.len()];
+    for g in &groups {
+        stats.traces_total += 1;
+        let root_name = spans[g.root].name.as_str();
+        match keep_decision(policy, g, root_name) {
+            Some(reason) => {
+                stats.traces_kept += 1;
+                *stats.kept_by_reason.entry(reason.label()).or_insert(0) += 1;
+                for &i in &g.spans {
+                    keep_span[i] = true;
+                }
+            }
+            None => {
+                let comp = component_of(root_name).to_string();
+                *stats.dropped_by_component.entry(comp.clone()).or_insert(0) += 1;
+                *stats.spans_dropped_by_component.entry(comp).or_insert(0) += g.spans.len() as u64;
+            }
+        }
+    }
+    // Rebuild with ids remapped to the compact allocation order. At
+    // rate 1.0 every span is kept in place, so the remap is the
+    // identity and exports stay byte-identical.
+    let mut new_id_of: Vec<Option<u64>> = vec![None; spans.len()];
+    let mut kept_spans: Vec<Span> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if !keep_span[i] {
+            continue;
+        }
+        let id = kept_spans.len() as u64 + 1;
+        new_id_of[i] = Some(id);
+        let parent = match s.parent {
+            None => None,
+            Some(p) => {
+                let pi = p.0 as usize - 1;
+                if pi >= spans.len() {
+                    // Dangling beyond the buffer (crash-truncated):
+                    // preserve the raw id, exactly as the original
+                    // export would.
+                    Some(p)
+                } else {
+                    new_id_of[pi].map(SpanId)
+                }
+            }
+        };
+        kept_spans.push(Span {
+            id: SpanId(id),
+            parent,
+            name: s.name.clone(),
+            start: s.start,
+            end: s.end,
+            attrs: s.attrs.clone(),
+        });
+    }
+    stats.spans_kept = kept_spans.len() as u64;
+    let events: Vec<TraceEvent> = trace.events().to_vec();
+    (Trace::from_parts(kept_spans, events), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A forest: an error tree, a normal fast tree, a slow tree, and a
+    /// tree overlapping an slo.alert.
+    fn fixture() -> Trace {
+        let mut t = Trace::new();
+        // Tree 1: server.rank, fast, normal.
+        let a = t.start("server.rank", 0.0);
+        let a1 = t.start("server.rank_request", 0.1);
+        t.end(a1, 0.2);
+        t.end(a, 0.5);
+        // Tree 2: phone.script_run with an error attr on a child.
+        let b = t.start_with_parent("phone.script_run", 1.0, SpanId::NONE);
+        t.attr(b, "error", "type: script");
+        t.end(b, 1.2);
+        // Tree 3: server.rank, very slow (slowest decile of its family).
+        let c = t.start_with_parent("server.rank", 2.0, SpanId::NONE);
+        t.end(c, 50.0);
+        // Tree 4: processor.commit overlapping the alert at t=101.
+        let d = t.start_with_parent("processor.commit", 100.0, SpanId::NONE);
+        t.end(d, 102.0);
+        t.event("slo.alert", 101.0, "slo: upload_commit_p95");
+        // Tree 5: processor.commit, normal.
+        let e = t.start_with_parent("processor.commit", 200.0, SpanId::NONE);
+        t.end(e, 200.5);
+        t
+    }
+
+    #[test]
+    fn classify_finds_trees_and_flags() {
+        let t = fixture();
+        let groups = classify(&t, 0.5);
+        assert_eq!(groups.len(), 5);
+        let by_root: BTreeMap<usize, &TraceGroup> = groups.iter().map(|g| (g.root, g)).collect();
+        assert_eq!(by_root[&0].spans, vec![0, 1], "child joins its root's tree");
+        assert!(by_root[&2].is_error);
+        assert!(by_root[&4].slo_violating, "alert at 101 overlaps [100,102]");
+        assert!(!by_root[&5].slo_violating);
+        // With fraction 0.5 the slower of the two server.rank trees is
+        // flagged (and so is the faster? no: ceil(2*0.5)=1).
+        assert!(by_root[&3].slow);
+        assert!(!by_root[&0].slow);
+    }
+
+    #[test]
+    fn rate_zero_keeps_exactly_the_mandatory_classes() {
+        let t = fixture();
+        let policy = SamplePolicy { rate: 0.0, seed: 7, slow_keep_fraction: 0.1 };
+        let (sampled, stats) = sample_trace(&t, &policy);
+        // Mandatory: error tree, slo tree, slowest-decile of each
+        // family (1 per family here: server.rank×2→1, phone×1→1,
+        // processor×2→1). The error/slo trees may coincide with slow.
+        assert!(stats.traces_kept >= 3);
+        assert!(sampled.spans_named("phone.script_run").count() == 1, "error tree retained");
+        let kept_names: Vec<&str> = sampled.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(kept_names.contains(&"processor.commit"), "slo tree retained");
+        // Accounting is exact.
+        assert_eq!(stats.traces_total, 5);
+        assert_eq!(
+            stats.traces_kept + stats.dropped_by_component.values().sum::<u64>(),
+            stats.traces_total
+        );
+        assert_eq!(
+            stats.spans_kept + stats.spans_dropped_by_component.values().sum::<u64>(),
+            stats.spans_total
+        );
+    }
+
+    #[test]
+    fn rate_one_is_byte_identical() {
+        let t = fixture();
+        let (sampled, stats) = sample_trace(&t, &SamplePolicy::keep_all());
+        assert_eq!(sampled.to_json(), t.to_json());
+        assert_eq!(stats.traces_kept, stats.traces_total);
+        assert!(stats.dropped_by_component.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let t = fixture();
+        let policy = SamplePolicy::representative(0.3, 42);
+        let (s1, st1) = sample_trace(&t, &policy);
+        let (s2, st2) = sample_trace(&t, &policy);
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert_eq!(st1, st2);
+    }
+
+    #[test]
+    fn different_seeds_can_sample_differently_but_total_is_conserved() {
+        // Many normal one-span trees; only representative keeps vary.
+        let mut t = Trace::new();
+        for i in 0..200 {
+            let s = t.start_with_parent(&format!("server.req_{i}"), i as f64, SpanId::NONE);
+            t.end(s, i as f64 + 0.001);
+        }
+        let (a, sa) =
+            sample_trace(&t, &SamplePolicy { rate: 0.2, seed: 1, slow_keep_fraction: 0.0 });
+        let (b, sb) =
+            sample_trace(&t, &SamplePolicy { rate: 0.2, seed: 2, slow_keep_fraction: 0.0 });
+        assert_eq!(sa.traces_total, 200);
+        assert_eq!(sb.traces_total, 200);
+        // The rate is approximate per-seed but must stay plausible.
+        assert!(sa.traces_kept > 10 && sa.traces_kept < 80, "{}", sa.traces_kept);
+        assert!(sb.traces_kept > 10 && sb.traces_kept < 80, "{}", sb.traces_kept);
+        assert!(a.spans().len() == sa.spans_kept as usize);
+        assert!(b.spans().len() == sb.spans_kept as usize);
+    }
+
+    #[test]
+    fn remapped_ids_stay_allocation_ordered_and_parents_follow() {
+        let t = fixture();
+        let policy = SamplePolicy { rate: 0.0, seed: 0, slow_keep_fraction: 0.1 };
+        let (sampled, _) = sample_trace(&t, &policy);
+        for (i, s) in sampled.spans().iter().enumerate() {
+            assert_eq!(s.id.0, i as u64 + 1);
+            if let Some(p) = s.parent {
+                assert!(p.0 < s.id.0, "parent precedes child after remap");
+            }
+        }
+        // The rebuilt trace still renders.
+        let _ = sampled.render_tree();
+    }
+
+    #[test]
+    fn dangling_parent_is_preserved_verbatim() {
+        let mut t = Trace::new();
+        let s = t.start_with_parent("server.lost_child", 0.0, SpanId(999));
+        t.attr(s, "error", "orphaned");
+        t.end(s, 1.0);
+        let (sampled, _) = sample_trace(&t, &SamplePolicy::keep_all());
+        assert_eq!(sampled.to_json(), t.to_json());
+        assert_eq!(sampled.spans()[0].parent, Some(SpanId(999)));
+    }
+
+    #[test]
+    fn stats_metric_names_conform() {
+        let t = fixture();
+        let (_, stats) =
+            sample_trace(&t, &SamplePolicy { rate: 0.0, seed: 0, slow_keep_fraction: 0.1 });
+        let mut m = MetricsRegistry::new();
+        stats.record_into(&mut m);
+        for (name, _) in m.counters() {
+            assert!(
+                crate::naming::check_name(name).is_ok(),
+                "sampler metric `{name}` violates the naming convention"
+            );
+        }
+        assert!(m.counter(METRIC_TRACES_SAMPLED) == 5);
+        assert!(m.counter_family_total(METRIC_TRACES_KEPT_PREFIX) >= 3);
+    }
+
+    #[test]
+    fn from_env_parses_and_clamps() {
+        // Not set in the test environment by default → keep-all.
+        std::env::remove_var(SAMPLE_RATE_ENV);
+        assert_eq!(SamplePolicy::from_env(0).rate, 1.0);
+    }
+}

@@ -67,6 +67,20 @@ impl Trace {
         Trace::default()
     }
 
+    /// Rebuilds a finalized trace from pre-assembled parts — the
+    /// tail-sampler's constructor for the kept subset. The open-span
+    /// stack starts empty: a rebuilt trace is read-only history, not a
+    /// buffer to record into. Callers are responsible for span ids
+    /// being consistent with allocation order (`spans[i].id == i+1`);
+    /// the sampler's remapping guarantees this.
+    pub fn from_parts(spans: Vec<Span>, events: Vec<TraceEvent>) -> Self {
+        debug_assert!(
+            spans.iter().enumerate().all(|(i, s)| s.id.0 == i as u64 + 1),
+            "span ids must match allocation order"
+        );
+        Trace { spans, events, stack: Vec::new() }
+    }
+
     /// Opens a span at simulated time `at`; its parent is the innermost
     /// currently-open span.
     pub fn start(&mut self, name: &str, at: f64) -> SpanId {

@@ -1,0 +1,91 @@
+//! Bounded-memory acceptance: a hostile workload emitting 10^5 distinct
+//! metric labels (think a buggy script interpolating user ids into
+//! metric names) must not grow the registry, the top-k sketches, or the
+//! window ring beyond their configured caps.
+
+use sor_obs::{MetricsRegistry, SpaceSaving, WindowRing, OVERFLOW_NAME};
+
+const FLOOD: usize = 100_000;
+
+/// The registry holds at most `cap` names plus one overflow bucket per
+/// metric kind, no matter how many distinct labels are thrown at it,
+/// and the rollup accounts for every redirected update.
+#[test]
+fn registry_memory_bounded_under_label_flood() {
+    let cap = 256;
+    let mut m = MetricsRegistry::with_name_cap(cap);
+    for i in 0..FLOOD {
+        m.count(&format!("adv.counter_flood.user{i}"), 1);
+        m.observe(&format!("adv.latency_flood.user{i}"), i as f64);
+    }
+    m.gauge(&format!("adv.gauge_flood.user{}", FLOOD), 1.0);
+    // Bounded: the cap, plus at most one __overflow__ entry per kind.
+    assert!(
+        m.name_count() <= cap + 3,
+        "registry grew to {} names under a {FLOOD}-label flood (cap {cap})",
+        m.name_count()
+    );
+    // Nothing was silently lost: every update past the cap landed in
+    // the rollup, and the redirect counter is exact.
+    let kept_counters = m.counters().filter(|(k, _)| k.starts_with("adv.counter_flood.")).count();
+    assert_eq!(m.counter(OVERFLOW_NAME), (FLOOD - kept_counters) as u64);
+    assert!(m.overflow_routed() > 2 * (FLOOD as u64) - 2 * (cap as u64) - 2);
+    let overflow_hist = m.histogram(OVERFLOW_NAME).expect("flooded histograms roll up");
+    assert!(overflow_hist.count() > 0);
+}
+
+/// The Space-Saving sketch never exceeds its k slots under the same
+/// flood, and a genuinely heavy key (count > total/k) is guaranteed
+/// present with a lower bound that survives the churn.
+#[test]
+fn topk_memory_bounded_and_heavy_hitter_guaranteed() {
+    let k = 16;
+    let mut sketch = SpaceSaving::new(k);
+    let heavy_offers = (FLOOD / 2) as u64;
+    for i in 0..FLOOD {
+        sketch.offer(&format!("user{i}"), 1);
+        if i % 2 == 0 {
+            sketch.offer("hot_script", 1);
+        }
+    }
+    assert!(sketch.len() <= k, "sketch grew past k={k}: {}", sketch.len());
+    assert_eq!(sketch.total(), FLOOD as u64 + heavy_offers);
+    // total/k = 9375 < 50k offers: Space-Saving guarantees presence.
+    let hot = sketch
+        .entries()
+        .into_iter()
+        .find(|e| e.key == "hot_script")
+        .expect("heavy hitter must survive a 10^5-key flood");
+    assert!(
+        hot.count >= heavy_offers,
+        "estimate is an upper bound: {} < {heavy_offers}",
+        hot.count
+    );
+    assert!(
+        hot.guaranteed() <= heavy_offers,
+        "guaranteed lower bound {} must not exceed the true count {heavy_offers}",
+        hot.guaranteed()
+    );
+}
+
+/// The window ring holds at most its capacity of windows across an
+/// unbounded stream of rolls over a capped registry; eviction is
+/// accounted and indices stay monotonic.
+#[test]
+fn window_ring_bounded_across_unbounded_rolls() {
+    let mut m = MetricsRegistry::with_name_cap(64);
+    let mut ring = WindowRing::new(8);
+    for i in 0..200u64 {
+        m.count(&format!("adv.roll_flood.user{i}"), i + 1);
+        m.observe("adv.latency_s", i as f64);
+        ring.roll(i as f64, &m);
+    }
+    assert_eq!(ring.len(), 8, "ring must cap at its capacity");
+    assert_eq!(ring.evicted(), 192);
+    let indices: Vec<u64> = ring.windows().map(|w| w.index).collect();
+    assert_eq!(indices, (192..200).collect::<Vec<u64>>(), "indices survive eviction");
+    // The deltas inside the ring are themselves capped registries.
+    for w in ring.windows() {
+        assert!(w.delta.name_count() <= 64 + 3);
+    }
+}

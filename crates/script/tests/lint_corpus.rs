@@ -123,3 +123,26 @@ fn interval_domain_bounds_the_previously_unbounded_loop_script() {
     interp.run(&src).expect("script runs");
     assert!(interp.instructions_used() <= bound);
 }
+
+#[test]
+fn tight_budget_flags_shadowed_local_loop() {
+    // Shadowed `local n` rebinds inside both `if` arms, so the loop
+    // header still reads the outer n = 100: the true run needs ~400+
+    // instructions. Against a budget of 50 the analyzer's bound must be
+    // sound enough to warn (W401 bound-exceeds-budget, or W402 if it
+    // cannot bound the loop at all) — the same script is clean under
+    // the default budget, which the golden corpus pass checks.
+    let src = std::fs::read_to_string(corpus_dir().join("shadowed_local_loop.ss")).unwrap();
+    let caps = CapabilitySet::standard_sensing();
+    let report = sor_script::analysis::analyze_with_budget(&src, &caps, 50);
+    assert!(
+        report.diagnostics.iter().any(|d| matches!(d.code.as_str(), "W401" | "W402")),
+        "tight budget must flag the shadowed-local loop: {:?}",
+        report.diagnostics
+    );
+    // And the static bound really is sound: the actual run overshoots
+    // the tight budget by an order of magnitude.
+    let mut interp = Interpreter::with_host(fixed_host());
+    interp.run(&src).expect("script runs under the default budget");
+    assert!(interp.instructions_used() > 50);
+}

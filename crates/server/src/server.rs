@@ -8,7 +8,7 @@ use sor_core::schedule::{GreedyStats, UserId};
 use sor_core::time::TimeGrid;
 use sor_core::UserPreferences;
 use sor_durable::{DurableDatabase, DurableOptions, RecoveryReport, Storage};
-use sor_obs::{Recorder, SpanId};
+use sor_obs::{Recorder, SpaceSaving, SpanId};
 use sor_proto::{Message, TraceContext};
 use sor_script::analysis::{analyze, CapabilitySet, DiagnosticCode};
 use sor_store::{ColumnType, Database, Predicate, Schema, Value};
@@ -27,6 +27,10 @@ pub const SCHEDULES_TABLE: &str = "schedules";
 /// Database table persisting participation tasks, so admissions and
 /// status transitions survive a server crash.
 pub const TASKS_TABLE: &str = "tasks";
+
+/// Slot budget for the server's heavy-hitter sketches — O(k) memory
+/// regardless of how many places or scripts the deployment serves.
+pub const TOPK_SLOTS: usize = 8;
 
 /// The sensing server.
 pub struct SensingServer {
@@ -69,6 +73,12 @@ pub struct SensingServer {
     /// The most recent `processor.commit` span — the causal parent for
     /// rank work until the next inbox drain.
     last_commit_span: SpanId,
+    /// O(k) heavy-hitter sketch over upload traffic per place
+    /// (`app<id>` keys) — which places are hottest, at any user count.
+    topk_uploads: SpaceSaving,
+    /// O(k) heavy-hitter sketch over schedule dispatches per
+    /// application — which scripts the fleet runs most.
+    topk_dispatches: SpaceSaving,
 }
 
 impl std::fmt::Debug for SensingServer {
@@ -145,6 +155,8 @@ impl SensingServer {
             planned_past_retired: 0,
             uploads_accepted: 0,
             last_commit_span: SpanId::NONE,
+            topk_uploads: SpaceSaving::new(TOPK_SLOTS),
+            topk_dispatches: SpaceSaving::new(TOPK_SLOTS),
         })
     }
 
@@ -338,9 +350,12 @@ impl SensingServer {
     /// Pipeline bookkeeping for one accepted upload: the coverage
     /// numerator, and — on a task's *first* upload — the ack-deadline
     /// measurement against its first planned sense time.
-    fn note_upload(&mut self, task_id: u64) {
+    fn note_upload(&mut self, task_id: u64, app_id: u64) {
         self.uploads_accepted += 1;
         self.recorder.count("pipeline.uploads_accepted", 1);
+        if self.recorder.is_enabled() {
+            self.topk_uploads.offer(&format!("app{app_id}"), 1);
+        }
         if let Some(first_planned) = self.pending_acks.remove(&task_id) {
             self.acked.insert(task_id);
             self.recorder.count("pipeline.acks_measured", 1);
@@ -370,6 +385,24 @@ impl SensingServer {
         let ratio =
             if due == 0 { 1.0 } else { (self.uploads_accepted as f64 / due as f64).min(1.0) };
         self.recorder.gauge("pipeline.coverage_realized_ratio", ratio);
+        // Export the heavy-hitter sketches as bounded gauge families —
+        // at most `TOPK_SLOTS` gauges each, however many places exist.
+        for e in self.topk_uploads.entries() {
+            self.recorder.gauge(&format!("server.topk_uploads.{}", e.key), e.count as f64);
+        }
+        for e in self.topk_dispatches.entries() {
+            self.recorder.gauge(&format!("server.topk_dispatches.{}", e.key), e.count as f64);
+        }
+    }
+
+    /// The upload heavy-hitter sketch (hot places, O(k) memory).
+    pub fn topk_uploads(&self) -> &SpaceSaving {
+        &self.topk_uploads
+    }
+
+    /// The dispatch heavy-hitter sketch (hot scripts, O(k) memory).
+    pub fn topk_dispatches(&self) -> &SpaceSaving {
+        &self.topk_dispatches
     }
 
     /// Handles one decoded message from a phone, returning the replies
@@ -457,7 +490,7 @@ impl SensingServer {
                 let task =
                     self.participation.task(*task_id).ok_or(ServerError::UnknownTask(*task_id))?;
                 let app_id = task.app_id;
-                self.note_upload(*task_id);
+                self.note_upload(*task_id, app_id);
                 // "directly store the binary message body into the
                 // database, which will be processed later". The handler
                 // span is spliced into the stored frame so the eventual
@@ -559,6 +592,9 @@ impl SensingServer {
         if let Ok(out) = &result {
             self.recorder.count("server.schedules_distributed", out.len() as u64);
             self.recorder.span_attr_with(span, "assignments", || out.len().to_string());
+            if self.recorder.is_enabled() && !out.is_empty() {
+                self.topk_dispatches.offer(&format!("app{app_id}"), out.len() as u64);
+            }
         }
         self.recorder.span_end(span, self.now);
         result

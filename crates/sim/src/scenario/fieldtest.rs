@@ -7,7 +7,7 @@ use std::sync::Arc;
 use sor_core::ranking::{FeatureMatrix, Preference, UserPreferences};
 use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
-use sor_obs::{Alert, HealthReport, Recorder};
+use sor_obs::{Alert, HealthReport, Recorder, WindowRing};
 use sor_sensors::environment::Environment;
 use sor_sensors::{EnergyMeter, SensorKind, SensorManager, SimulatedProvider};
 use sor_server::ranker::assemble_matrix;
@@ -120,6 +120,9 @@ pub struct FieldTestOutcome {
     /// The final end-of-run health grade (None with a disabled
     /// recorder).
     pub health: Option<HealthReport>,
+    /// The windowed-metrics ring — one window per health check (None
+    /// when the run had no periodic health checks).
+    pub windows: Option<WindowRing>,
 }
 
 /// Durability knobs for a crash-injecting field test.
@@ -440,8 +443,9 @@ fn run_field_test(
     );
     let _ = world.server.rank(category, &neutral);
     world.server.update_health_gauges();
+    let windows = world.window_ring().cloned();
     let health = match (world.health_engine(), world.recorder().metrics_snapshot()) {
-        (Some(engine), Some(metrics)) => Some(engine.grade(&metrics)),
+        (Some(engine), Some(metrics)) => Some(engine.grade_windowed(&metrics, windows.as_ref())),
         _ => None,
     };
 
@@ -457,6 +461,7 @@ fn run_field_test(
         postmortems: world.postmortems,
         alerts: world.alerts,
         health,
+        windows,
     })
 }
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
-use sor_obs::{Alert, HealthEngine, Recorder};
+use sor_obs::{Alert, HealthEngine, Recorder, WindowRing};
 use sor_proto::{Message, TraceContext};
 use sor_server::{ApplicationSpec, SensingServer, ServerError};
 
@@ -86,6 +86,7 @@ pub struct SorWorld {
     recorder: Recorder,
     durable: Option<DurableSetup>,
     health: Option<HealthEngine>,
+    windows: Option<WindowRing>,
 }
 
 impl std::fmt::Debug for SorWorld {
@@ -114,6 +115,7 @@ impl SorWorld {
             recorder: Recorder::default(),
             durable: None,
             health: None,
+            windows: None,
         }
     }
 
@@ -214,10 +216,15 @@ impl SorWorld {
     /// Schedules periodic SLO evaluation with the default catalog (see
     /// `sor_obs::HealthEngine::default_catalog`). Alerts fire into
     /// [`SorWorld::alerts`] and — when a trace is live — as `slo.alert`
-    /// trace events.
+    /// trace events. Each check also closes a metrics window, so the
+    /// check interval doubles as the window period and the catalog's
+    /// trend objectives grade against real per-period deltas.
     pub fn schedule_health_checks(&mut self, start: f64, interval: f64, until: f64) {
         if self.health.is_none() {
             self.health = Some(HealthEngine::with_default_catalog());
+        }
+        if self.windows.is_none() {
+            self.windows = Some(WindowRing::default());
         }
         self.queue.schedule(start, WorldEvent::HealthCheck { interval, until });
     }
@@ -226,6 +233,12 @@ impl SorWorld {
     /// installed it (final-report rendering).
     pub fn health_engine(&self) -> Option<&HealthEngine> {
         self.health.as_ref()
+    }
+
+    /// The metrics window ring, once [`SorWorld::schedule_health_checks`]
+    /// has installed it — one window closed per health check.
+    pub fn window_ring(&self) -> Option<&WindowRing> {
+        self.windows.as_ref()
     }
 
     fn post(&mut self, now: f64, to: Endpoint, msg: &Message) {
@@ -397,8 +410,20 @@ impl SorWorld {
             WorldEvent::HealthCheck { interval, until } => {
                 self.server.tick(now);
                 self.server.update_health_gauges();
+                // Close the window *before* grading so trend objectives
+                // see this period's deltas as the latest reading.
+                if let Some(ring) = self.windows.as_mut() {
+                    if let Some(snapshot) = self.recorder.metrics_snapshot() {
+                        ring.roll(now, &snapshot);
+                        self.recorder.count("obs.windows_rolled", 1);
+                    }
+                }
                 if let Some(engine) = self.health.as_mut() {
-                    self.alerts.extend(engine.evaluate_and_emit(&self.recorder, now));
+                    self.alerts.extend(engine.evaluate_and_emit_windowed(
+                        &self.recorder,
+                        self.windows.as_ref(),
+                        now,
+                    ));
                 }
                 if now + interval <= until {
                     self.queue

@@ -3,9 +3,11 @@
 //! Subcommands:
 //!
 //! - `sor export <dir>` — run the deterministic traced quick coffee-shop
-//!   field test and write `trace.json`, `metrics.json`, and `health.txt`
-//!   into `<dir>`. The same run backs the CI `trace_lint` step, so the
-//!   outputs are byte-stable for a given build.
+//!   field test and write `trace.json`, `metrics.json`, `windows.json`,
+//!   and `health.txt` into `<dir>`. The trace passes through the
+//!   tail-based sampler (`SOR_TRACE_SAMPLE`, default 1.0 = keep all, so
+//!   the outputs stay byte-stable for a given build); sampler keep/drop
+//!   accounting lands in `metrics.json` under `obs.*`.
 //! - `sor lint <trace.json>` — structural trace lint: duplicate span
 //!   ids, orphan parents, spans that end before they start, and
 //!   cross-component (phone ↔ server) spans missing a `trace_id`
@@ -14,14 +16,21 @@
 //!   trace: every `slo.alert` event the online health engine recorded
 //!   is replayed, and the run fails (exit 1) if any objective was
 //!   breached.
+//! - `sor top <dir>` — render the deterministic ASCII dashboard (stage
+//!   cost attribution, top-k tables, windowed trend arrows, sampler
+//!   accounting, health grades) from a directory written by
+//!   `sor export`.
 
 use std::process::ExitCode;
 
+use sor_obs::dashboard::render_dashboard;
 use sor_obs::lint::lint_trace_json;
+use sor_obs::sample::{sample_trace, SamplePolicy};
 use sor_obs::{parse_json, Json, Recorder};
 use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
 
-const USAGE: &str = "usage: sor <export <dir> | lint <trace.json> | health <trace.json>>";
+const USAGE: &str =
+    "usage: sor <export <dir> | lint <trace.json> | health <trace.json> | top <dir>>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +38,7 @@ fn main() -> ExitCode {
         (Some("export"), Some(dir)) => cmd_export(dir),
         (Some("lint"), Some(path)) => cmd_lint(path),
         (Some("health"), Some(path)) => cmd_health(path),
+        (Some("top"), Some(dir)) => cmd_top(dir),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -38,31 +48,86 @@ fn main() -> ExitCode {
 
 /// Runs the deterministic traced field test and exports its artifacts.
 fn cmd_export(dir: &str) -> ExitCode {
+    let cfg = FieldTestConfig::quick(3);
+    let policy = SamplePolicy::from_env(cfg.seed);
     let rec = Recorder::enabled();
-    let out = match run_coffee_field_test_traced(FieldTestConfig::quick(3), rec.clone()) {
+    let out = match run_coffee_field_test_traced(cfg, rec.clone()) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("sor export: field test failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let trace = rec.trace_json().expect("enabled recorder exports a trace");
-    let metrics = rec.metrics_json().expect("enabled recorder exports metrics");
+    // Tail-sample the finished trace: at the default rate 1.0 the
+    // export is byte-identical to the raw buffer; at lower rates the
+    // error/SLO/slowest-decile trees always survive and the exact drop
+    // accounting goes out with the metrics.
+    let raw_trace = rec.trace_snapshot().expect("enabled recorder exports a trace");
+    let (sampled, stats) = sample_trace(&raw_trace, &policy);
+    let mut metrics = rec.metrics_snapshot().expect("enabled recorder exports metrics");
+    stats.record_into(&mut metrics);
+    let trace = sampled.to_json();
+    let metrics = metrics.to_json();
+    let windows = out.windows.as_ref().map(sor_obs::WindowRing::summary_json);
     let health =
         out.health.as_ref().map_or_else(|| "health: ungraded\n".to_string(), |h| h.render());
     if let Err(e) = std::fs::create_dir_all(dir)
         .and_then(|()| std::fs::write(format!("{dir}/trace.json"), &trace))
         .and_then(|()| std::fs::write(format!("{dir}/metrics.json"), &metrics))
+        .and_then(|()| match &windows {
+            Some(w) => std::fs::write(format!("{dir}/windows.json"), w),
+            None => Ok(()),
+        })
         .and_then(|()| std::fs::write(format!("{dir}/health.txt"), &health))
     {
         eprintln!("sor export: cannot write {dir}: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "exported trace.json ({} bytes), metrics.json ({} bytes), health.txt to {dir}",
+        "exported trace.json ({} bytes, {}/{} trees kept), metrics.json ({} bytes), \
+         windows.json ({} windows), health.txt to {dir}",
         trace.len(),
-        metrics.len()
+        stats.traces_kept,
+        stats.traces_total,
+        metrics.len(),
+        out.windows.as_ref().map_or(0, sor_obs::WindowRing::len),
     );
+    ExitCode::SUCCESS
+}
+
+/// Renders the ASCII dashboard from an exported run directory.
+fn cmd_top(dir: &str) -> ExitCode {
+    let read_doc = |name: &str, required: bool| -> Result<Option<Json>, ExitCode> {
+        let path = format!("{dir}/{name}");
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match parse_json(&src) {
+                Ok(doc) => Ok(Some(doc)),
+                Err(e) => {
+                    eprintln!("sor top: {path} is not valid JSON: {e}");
+                    Err(ExitCode::from(2))
+                }
+            },
+            Err(e) if required => {
+                eprintln!("sor top: cannot read {path}: {e}");
+                Err(ExitCode::from(2))
+            }
+            Err(_) => Ok(None),
+        }
+    };
+    let trace = match read_doc("trace.json", true) {
+        Ok(doc) => doc.expect("required"),
+        Err(code) => return code,
+    };
+    let metrics = match read_doc("metrics.json", true) {
+        Ok(doc) => doc.expect("required"),
+        Err(code) => return code,
+    };
+    let windows = match read_doc("windows.json", false) {
+        Ok(doc) => doc,
+        Err(code) => return code,
+    };
+    let health = std::fs::read_to_string(format!("{dir}/health.txt")).ok();
+    print!("{}", render_dashboard(&trace, &metrics, windows.as_ref(), health.as_deref()));
     ExitCode::SUCCESS
 }
 

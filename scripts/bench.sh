@@ -16,19 +16,29 @@ cd "$(dirname "$0")/.."
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 cores=$(nproc 2>/dev/null || echo 1)
 threads=${SOR_THREADS:-$cores}
+# On a single hardware thread the par8 figures measure scheduling
+# overhead, not parallelism, so par8 ~= seq is expected; annotate the
+# record so cross-host comparisons don't read that as a regression.
+if [ "$cores" -eq 1 ]; then
+    note="single-core host: par8 figures approximate seq (no hardware parallelism)"
+else
+    note=""
+fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for bench in pipeline rank_scale script_analysis; do
+for bench in pipeline rank_scale script_analysis obs_scale; do
     echo "==> cargo bench --offline -p sor-bench --bench $bench" >&2
     cargo bench --offline -p sor-bench --bench "$bench" | tee -a "$raw" >&2
 done
 
 # Stub criterion lines look like:
 #   bench rank_scale/seq/users=64    ~45815770 ns/iter (stub criterion, 20 iters)
-awk -v rev="$rev" -v threads="$threads" -v cores="$cores" '
+awk -v rev="$rev" -v threads="$threads" -v cores="$cores" -v note="$note" '
 BEGIN {
-    printf "{\n  \"git_rev\": \"%s\",\n  \"threads\": %s,\n  \"cores\": %s,\n  \"benches\": {\n", rev, threads, cores
+    printf "{\n  \"git_rev\": \"%s\",\n  \"threads\": %s,\n  \"cores\": %s,\n", rev, threads, cores
+    if (note != "") printf "  \"note\": \"%s\",\n", note
+    printf "  \"benches\": {\n"
 }
 /^bench / {
     if (n++) printf ",\n"
@@ -46,9 +56,11 @@ cat BENCH_pipeline.json
 mkdir -p results
 sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-awk -v sha="$sha" -v stamp="$stamp" -v threads="$threads" -v cores="$cores" '
+awk -v sha="$sha" -v stamp="$stamp" -v threads="$threads" -v cores="$cores" -v note="$note" '
 BEGIN {
-    printf "{\"git_sha\": \"%s\", \"recorded_at\": \"%s\", \"threads\": %s, \"cores\": %s, \"benches\": {", sha, stamp, threads, cores
+    printf "{\"git_sha\": \"%s\", \"recorded_at\": \"%s\", \"threads\": %s, \"cores\": %s, ", sha, stamp, threads, cores
+    if (note != "") printf "\"note\": \"%s\", ", note
+    printf "\"benches\": {"
 }
 /^bench / {
     if (n++) printf ", "

@@ -46,16 +46,34 @@ smoke_diverged() {
 }
 smoke_diverged obs_smoke
 run cargo bench --offline -p sor-bench --bench obs_overhead
+# Metro-scale guard: the always-on sampled layer (tail sampler, window
+# rolls, top-k offers) must stay <2% of the pipeline at 10x users.
+run cargo bench --offline -p sor-bench --bench obs_scale
 
 # Trace lint: export the deterministic field-test golden trace and fail
 # on structural defects — orphan parent ids, spans that close before
 # they open, and cross-component (phone <-> server) spans missing a
 # trace id. The same export is then graded against the SLO catalog.
 trace_dir=$(mktemp -d)
-trap 'rm -rf "$trace_dir"' EXIT
-run cargo run --release --offline -p sor --bin sor -- export "$trace_dir"
+top_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir" "$top_dir"' EXIT
+run env SOR_THREADS=1 cargo run --release --offline -p sor --bin sor -- export "$trace_dir"
 run cargo run --release --offline -p sor --bin sor -- lint "$trace_dir/trace.json"
 run cargo run --release --offline -p sor --bin sor -- health "$trace_dir/trace.json"
+
+# Dashboard golden smoke: re-export at four workers and byte-compare
+# the rendered `sor top` dashboards — worker count must never change
+# what the operator sees.
+run env SOR_THREADS=4 cargo run --release --offline -p sor --bin sor -- export "$top_dir"
+top_one=$(cargo run --release --offline -p sor --bin sor -- top "$trace_dir")
+top_four=$(cargo run --release --offline -p sor --bin sor -- top "$top_dir")
+if [ "$top_one" != "$top_four" ]; then
+    echo "FAIL sor top dashboard diverges between SOR_THREADS=1 and 4 exports" >&2
+    printf '%s\n--- vs ---\n%s\n' "$top_one" "$top_four" >&2
+    exit 1
+fi
+printf '%s\n' "$top_one"
+echo "==> sor top dashboard deterministic across SOR_THREADS=1/4"
 
 # Durability smoke: a field test crashed twice mid-window must recover
 # every acked upload and rank identically to the crash-free run, and

@@ -1,0 +1,8 @@
+local n = 100
+if clock() > 0 then local n = 1
+n = n + 1
+else local n = 1
+n = n + 2
+end
+for i = 1, n do print(i) end
+return n
