@@ -46,5 +46,8 @@ pub mod preferences;
 pub mod task;
 
 pub use phone::MobileFrontend;
+// Re-exported so deployments (the sim world) can share one compilation
+// cache across a phone fleet without depending on `sor-script` directly.
 pub use preferences::LocalPreferenceManager;
+pub use sor_script::ScriptCache;
 pub use task::{TaskInstance, TaskStatus};

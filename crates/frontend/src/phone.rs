@@ -9,9 +9,10 @@ use std::sync::Arc;
 use sor_obs::{Recorder, SpaceSaving, SpanId};
 use sor_proto::{Message, SensedRecord, TraceContext};
 use sor_script::analysis::{analyze, analyze_block, CapabilitySet, Cost};
+use sor_script::interp::DEFAULT_BUDGET;
 use sor_script::optimize::optimize;
 use sor_script::parser::parse;
-use sor_script::{Interpreter, Value};
+use sor_script::{CacheOutcome, HostRegistry, Interpreter, Prepared, ScriptCache, Value, Vm};
 use sor_sensors::{SensorKind, SensorManager};
 
 use crate::preferences::LocalPreferenceManager;
@@ -26,6 +27,11 @@ pub struct MobileFrontend {
     now: f64,
     recorder: Recorder,
     script_opt: bool,
+    script_vm: bool,
+    /// Compilation cache for the bytecode path. Defaults to a private
+    /// per-phone cache; the simulation world replaces it with one
+    /// shared handle so the whole fleet compiles each script once.
+    script_cache: ScriptCache,
     /// O(k) heavy-hitter sketch over this phone's script runs, keyed by
     /// task and weighted by instructions executed — bounded per-user
     /// state no matter how many tasks the phone churns through.
@@ -48,10 +54,14 @@ impl MobileFrontend {
     /// The script optimizer defaults to the `SOR_SCRIPT_OPT`
     /// environment variable (`1`/`true`/`on` enables it); use
     /// [`MobileFrontend::set_script_optimizer`] to override per phone.
+    /// The bytecode engine likewise defaults to `SOR_SCRIPT_VM`; see
+    /// [`MobileFrontend::set_script_vm`].
     pub fn new(token: u64, manager: SensorManager) -> Self {
-        let script_opt = std::env::var("SOR_SCRIPT_OPT")
-            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
-            .unwrap_or(false);
+        let knob = |name: &str| {
+            std::env::var(name)
+                .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+                .unwrap_or(false)
+        };
         MobileFrontend {
             token,
             manager: Arc::new(manager),
@@ -59,7 +69,9 @@ impl MobileFrontend {
             tasks: Vec::new(),
             now: 0.0,
             recorder: Recorder::disabled(),
-            script_opt,
+            script_opt: knob("SOR_SCRIPT_OPT"),
+            script_vm: knob("SOR_SCRIPT_VM"),
+            script_cache: ScriptCache::new(),
             hot_scripts: SpaceSaving::new(8),
         }
     }
@@ -77,6 +89,29 @@ impl MobileFrontend {
     /// reported under `script.opt_*` metrics.
     pub fn set_script_optimizer(&mut self, on: bool) {
         self.script_opt = on;
+    }
+
+    /// Enables or disables the bytecode engine for script runs. When
+    /// on, scripts are compiled (through the phone's [`ScriptCache`])
+    /// and executed on [`sor_script::Vm`] with the static analyzer's
+    /// cost bound wired in as the fuel limit; the tree-walking
+    /// interpreter is bypassed entirely. Observable behaviour is
+    /// identical — the `optdiff` gate holds values, error kinds and
+    /// instruction counts equal across engines.
+    pub fn set_script_vm(&mut self, on: bool) {
+        self.script_vm = on;
+    }
+
+    /// Replaces this phone's compilation cache with a shared handle
+    /// (clones of one [`ScriptCache`] share storage), so a fleet of
+    /// phones dispatched the same script compiles it exactly once.
+    pub fn set_script_cache(&mut self, cache: ScriptCache) {
+        self.script_cache = cache;
+    }
+
+    /// The phone's script compilation cache handle.
+    pub fn script_cache(&self) -> &ScriptCache {
+        &self.script_cache
     }
 
     /// Attaches an observability recorder. Phone-side task
@@ -207,6 +242,11 @@ impl MobileFrontend {
         let mut out = Vec::new();
         let manager = Arc::clone(&self.manager);
         let recorder = self.recorder.clone();
+        let engine = EngineConfig {
+            script_opt: self.script_opt,
+            script_vm: self.script_vm,
+            cache: self.script_cache.clone(),
+        };
         let allowed: HashSet<SensorKind> =
             SensorKind::ALL.iter().copied().filter(|&k| self.prefs.is_allowed(k)).collect();
         for task in &mut self.tasks {
@@ -228,7 +268,7 @@ impl MobileFrontend {
                     recorder.span_attr_with(span, "trace_id", || c.trace_id.to_string());
                 }
                 recorder.count("script.runs_started", 1);
-                match execute_script(&task.script, due, &manager, &allowed, self.script_opt) {
+                match execute_script(&task.script, due, &manager, &allowed, &engine) {
                     Ok(run) => {
                         record_script_run(&recorder, span, &run);
                         recorder.span_end(span, due);
@@ -249,12 +289,17 @@ impl MobileFrontend {
                             ));
                         }
                     }
-                    Err(message) => {
+                    Err(failure) => {
+                        // Cache traffic happened even when the run did
+                        // not (e.g. a cached static rejection).
+                        if let Some(outcome) = &failure.cache {
+                            record_cache_outcome(&recorder, outcome);
+                        }
                         recorder.count("script.runs_failed", 1);
-                        recorder.span_attr(span, "error", &message);
+                        recorder.span_attr(span, "error", &failure.message);
                         recorder.span_end(span, due);
                         recorder.count("phone.tasks_errored", 1);
-                        task.status = TaskStatus::Error(message);
+                        task.status = TaskStatus::Error(failure.message);
                         let ctx = task.origin.map(|c| c.child(span.0));
                         out.push((Message::TaskComplete { task_id: task.task_id, status: 1 }, ctx));
                         break;
@@ -313,16 +358,40 @@ const ACQUISITION_FNS: &[(&str, SensorKind)] = &[
     ("get_compass_readings", SensorKind::Compass),
 ];
 
+/// Which execution engine a phone runs scripts on, plus the shared
+/// compilation cache the bytecode path draws from.
+struct EngineConfig {
+    script_opt: bool,
+    script_vm: bool,
+    cache: ScriptCache,
+}
+
 /// What one script execution produced, plus the cost evidence the
-/// observability layer reports: the interpreter's exact instruction
+/// observability layer reports: the engine's exact instruction
 /// count and the analyzer's static bound for the same script.
 struct ScriptRun {
     records: Vec<SensedRecord>,
     instructions_used: u64,
     /// `analyze`'s static cost bound, when the script is bounded.
     static_bound: Option<u64>,
-    /// Optimizer evidence, when the run executed the lowered AST.
+    /// Optimizer evidence, when the run executed the lowered program.
     opt: Option<OptRun>,
+    /// Cache bookkeeping, when the run went through the bytecode VM.
+    vm: Option<CacheOutcome>,
+}
+
+/// A failed script execution. Carries the cache outcome separately so
+/// hit/miss counters survive runs that never produce a `ScriptRun`
+/// (static rejections, runtime errors on the VM path).
+struct ScriptFailure {
+    message: String,
+    cache: Option<CacheOutcome>,
+}
+
+impl From<String> for ScriptFailure {
+    fn from(message: String) -> Self {
+        ScriptFailure { message, cache: None }
+    }
 }
 
 /// What the optimizer did to one script before execution.
@@ -362,26 +431,41 @@ fn record_script_run(recorder: &Recorder, span: SpanId, run: &ScriptRun) {
             recorder.count("script.opt_bound_saved", saved);
         }
     }
+    if let Some(outcome) = &run.vm {
+        recorder.count("script.vm_runs", 1);
+        record_cache_outcome(recorder, outcome);
+    }
 }
 
-/// Runs one script execution at wall-clock `base_time`, returning the
-/// records it acquired.
-fn execute_script(
-    script: &str,
+/// Records one compilation-cache lookup's traffic.
+fn record_cache_outcome(recorder: &Recorder, outcome: &CacheOutcome) {
+    recorder.count(if outcome.hit { "script.cache_hits" } else { "script.cache_misses" }, 1);
+    if outcome.compiled {
+        recorder.count("script.compile_runs", 1);
+    }
+    if outcome.evicted {
+        recorder.count("script.cache_evictions", 1);
+    }
+}
+
+/// Builds the host registry binding the data-acquisition vocabulary to
+/// the sensor manager and the shared record sink. Engine-agnostic: the
+/// same registry drives both the tree-walking interpreter and the
+/// bytecode VM.
+fn build_host(
     base_time: f64,
     manager: &Arc<SensorManager>,
     allowed: &HashSet<SensorKind>,
-    script_opt: bool,
-) -> Result<ScriptRun, String> {
-    let records: Rc<RefCell<Vec<SensedRecord>>> = Rc::new(RefCell::new(Vec::new()));
-    let mut interp = Interpreter::new();
+    records: &Rc<RefCell<Vec<SensedRecord>>>,
+) -> HostRegistry {
+    let mut host = HostRegistry::new();
 
     for &(name, kind) in ACQUISITION_FNS {
         let manager = Arc::clone(manager);
-        let records = Rc::clone(&records);
+        let records = Rc::clone(records);
         let permitted = allowed.contains(&kind);
         let sample_interval = manager.sample_interval();
-        interp.host_mut().register(name, move |ctx, args| {
+        host.register(name, move |ctx, args| {
             if !permitted {
                 // Privacy veto: the phone silently returns no data.
                 return Ok(Value::Nil);
@@ -417,9 +501,9 @@ fn execute_script(
     // get_location(): one GPS fix as a {lat, lon, alt} table.
     {
         let manager = Arc::clone(manager);
-        let records = Rc::clone(&records);
+        let records = Rc::clone(records);
         let permitted = allowed.contains(&SensorKind::Gps);
-        interp.host_mut().register("get_location", move |ctx, _args| {
+        host.register("get_location", move |ctx, _args| {
             if !permitted {
                 return Ok(Value::Nil);
             }
@@ -439,16 +523,36 @@ fn execute_script(
         });
     }
 
-    // Pre-execution re-verification: the phone does not trust the
-    // server's admission check and re-runs the static analyzer against
-    // the exact host registry this interpreter executes under. An
-    // error-severity finding means the run is statically doomed, so no
-    // sensing effort is spent on it.
-    let caps = CapabilitySet::from_registry(interp.host());
+    host
+}
+
+/// Runs one script execution at wall-clock `base_time`, returning the
+/// records it acquired.
+fn execute_script(
+    script: &str,
+    base_time: f64,
+    manager: &Arc<SensorManager>,
+    allowed: &HashSet<SensorKind>,
+    engine: &EngineConfig,
+) -> Result<ScriptRun, ScriptFailure> {
+    let records: Rc<RefCell<Vec<SensedRecord>>> = Rc::new(RefCell::new(Vec::new()));
+    let host = build_host(base_time, manager, allowed, &records);
+    // The phone does not trust the server's admission check: analysis
+    // re-runs against the exact host registry this run executes under.
+    let caps = CapabilitySet::from_registry(&host);
+
+    if engine.script_vm {
+        return execute_on_vm(script, host, records, engine, &caps);
+    }
+
+    let mut interp = Interpreter::with_host(host);
+
+    // Pre-execution re-verification. An error-severity finding means
+    // the run is statically doomed, so no sensing effort is spent on it.
     let verdict = analyze(script, &caps);
     if verdict.has_errors() {
         let findings: Vec<String> = verdict.errors().map(ToString::to_string).collect();
-        return Err(format!("script rejected before execution: {}", findings.join("; ")));
+        return Err(format!("script rejected before execution: {}", findings.join("; ")).into());
     }
     let static_bound = match verdict.cost {
         Cost::Bounded(n) => Some(n),
@@ -458,7 +562,7 @@ fn execute_script(
     // Behind the optimizer knob, the lowered AST runs instead of the
     // source; the lowering is semantics-preserving (see `optdiff`), so
     // the original's static bound still dominates the measured count.
-    let (run_result, opt) = if script_opt {
+    let (run_result, opt) = if engine.script_opt {
         // `verdict` carried no E001, so the script is known to parse.
         let block = parse(script).map_err(|e| e.to_string())?;
         let (lowered, stats) = optimize(&block);
@@ -478,7 +582,58 @@ fn execute_script(
     let records = Rc::try_unwrap(records)
         .expect("all other Rc holders dropped with the interpreter")
         .into_inner();
-    Ok(ScriptRun { records, instructions_used, static_bound, opt })
+    Ok(ScriptRun { records, instructions_used, static_bound, opt, vm: None })
+}
+
+/// The bytecode path: the analyze→optimize→compile pipeline runs (or
+/// hits) the shared [`ScriptCache`], then the module executes on the
+/// VM with the compiled program's static cost bound wired in as the
+/// fuel limit.
+fn execute_on_vm(
+    script: &str,
+    host: HostRegistry,
+    records: Rc<RefCell<Vec<SensedRecord>>>,
+    engine: &EngineConfig,
+    caps: &CapabilitySet,
+) -> Result<ScriptRun, ScriptFailure> {
+    let (prepared, outcome) = engine.cache.get_or_prepare(script, engine.script_opt, caps);
+    let prepared = match prepared {
+        Prepared::Ready(p) => p,
+        // Cached static rejection: same refusal (and message) as the
+        // tree-walking path, without re-running the analyzer.
+        Prepared::Rejected(findings) => {
+            return Err(ScriptFailure {
+                message: format!("script rejected before execution: {findings}"),
+                cache: Some(outcome),
+            });
+        }
+    };
+
+    let mut vm = Vm::with_host(host);
+    // Fuel: the analyzer's bound for the program as compiled, clamped
+    // to the interpreter's default budget. The bound is sound (it
+    // dominates any dynamic instruction count), so a script the
+    // tree-walker completes can never run out of fuel here — the
+    // vm_corpus suite pins that across the whole lint corpus.
+    vm.set_budget(prepared.exec_bound.unwrap_or(u64::MAX).min(DEFAULT_BUDGET));
+    let run_result = vm.run_module(&prepared.module);
+    let instructions_used = vm.instructions_used();
+    drop(vm); // releases the host closures' Rc clones
+    if let Err(e) = run_result {
+        return Err(ScriptFailure { message: e.to_string(), cache: Some(outcome) });
+    }
+    let records =
+        Rc::try_unwrap(records).expect("all other Rc holders dropped with the vm").into_inner();
+    let opt = prepared
+        .optimized
+        .then(|| OptRun { rewrites: prepared.opt_rewrites, bound_saved: prepared.bound_saved });
+    Ok(ScriptRun {
+        records,
+        instructions_used,
+        static_bound: prepared.static_bound,
+        opt,
+        vm: Some(outcome),
+    })
 }
 
 #[cfg(test)]
@@ -615,6 +770,159 @@ mod tests {
                 < rec_plain.counter("script.instructions_used"),
             "optimized run should execute fewer instructions"
         );
+    }
+
+    #[test]
+    fn vm_knob_preserves_results_and_counts_cache_traffic() {
+        let script = r#"
+            local t = get_temperature_readings(4)
+            local sum = 0
+            for i = 1, #t do
+                sum = sum + t[i]
+            end
+            return sum / #t
+        "#;
+        let mut tree = phone();
+        let rec_tree = Recorder::enabled();
+        tree.set_recorder(rec_tree.clone());
+        assign(&mut tree, 1, script, vec![1.0, 2.0, 3.0]);
+        let out_tree = tree.advance_to(4.0);
+
+        let mut vm = phone();
+        let rec_vm = Recorder::enabled();
+        vm.set_recorder(rec_vm.clone());
+        vm.set_script_vm(true);
+        assign(&mut vm, 1, script, vec![1.0, 2.0, 3.0]);
+        let out_vm = vm.advance_to(4.0);
+
+        assert_eq!(out_tree, out_vm, "engines must produce identical uploads and completions");
+        assert_eq!(
+            rec_tree.counter("script.instructions_used"),
+            rec_vm.counter("script.instructions_used"),
+            "instruction counts must agree across engines"
+        );
+
+        assert_eq!(rec_tree.counter("script.vm_runs"), 0);
+        assert_eq!(rec_vm.counter("script.vm_runs"), 3);
+        // One compile on first dispatch, then cache hits.
+        assert_eq!(rec_vm.counter("script.cache_misses"), 1);
+        assert_eq!(rec_vm.counter("script.compile_runs"), 1);
+        assert_eq!(rec_vm.counter("script.cache_hits"), 2);
+        assert_eq!(rec_vm.counter("script.cache_evictions"), 0);
+    }
+
+    #[test]
+    fn fleet_shares_one_cache_across_phones() {
+        let script = "return mean(get_light_readings(3))";
+        let cache = ScriptCache::new();
+        let rec = Recorder::enabled();
+        let mut hits = 0u64;
+        for token in 0..4 {
+            let mut p = phone();
+            p.set_recorder(rec.clone());
+            p.set_script_vm(true);
+            p.set_script_cache(cache.clone());
+            assign(&mut p, 100 + token, script, vec![1.0]);
+            p.advance_to(2.0);
+            let stats = cache.stats();
+            hits = stats.hits;
+            assert_eq!(stats.compiles, 1, "fleet must compile the script once");
+        }
+        assert_eq!(hits, 3, "phones 2..4 must hit the first phone's compilation");
+        assert_eq!(rec.counter("script.cache_hits"), 3);
+        assert_eq!(rec.counter("script.compile_runs"), 1);
+    }
+
+    #[test]
+    fn optimizer_flip_misses_the_cache() {
+        let script = "local scale = 2 * 3\nreturn scale";
+        let mut p = phone();
+        p.set_script_vm(true);
+        assign(&mut p, 1, script, vec![1.0]);
+        p.advance_to(2.0);
+        // Flip the optimizer knob: the cached unoptimized module must
+        // not serve the optimized configuration.
+        p.set_script_optimizer(true);
+        assign(&mut p, 2, script, vec![3.0]);
+        p.advance_to(4.0);
+        let stats = p.script_cache().stats();
+        assert_eq!(stats.misses, 2, "opt flip must recompile");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(p.script_cache().len(), 2);
+    }
+
+    #[test]
+    fn vm_rejection_matches_tree_walker_and_counts_cache() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        p.set_script_vm(true);
+        assign(&mut p, 8, "get_light_readings(1)\nsteal_contacts()", vec![1.0]);
+        let out = p.advance_to(2.0);
+        assert!(!out.iter().any(|m| matches!(m, Message::SensedDataUpload { .. })), "{out:?}");
+        let TaskStatus::Error(msg) = &p.task(8).unwrap().status else { panic!() };
+        assert!(msg.contains("rejected before execution"), "{msg}");
+        // The rejection itself is cached; a re-dispatch hits it.
+        assign(&mut p, 9, "get_light_readings(1)\nsteal_contacts()", vec![3.0]);
+        p.advance_to(4.0);
+        assert_eq!(rec.counter("script.cache_misses"), 1);
+        assert_eq!(rec.counter("script.cache_hits"), 1);
+        assert_eq!(rec.counter("script.compile_runs"), 0, "rejections never compile");
+        assert_eq!(rec.counter("script.vm_runs"), 0, "no run ever started");
+        assert_eq!(rec.counter("script.runs_failed"), 2);
+    }
+
+    #[test]
+    fn vm_metric_names_conform_to_convention() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        p.set_script_vm(true);
+        assign(&mut p, 1, "return mean(get_light_readings(2))", vec![1.0, 2.0]);
+        p.advance_to(3.0);
+        let m = rec.metrics_snapshot().unwrap();
+        for required in
+            ["script.vm_runs", "script.compile_runs", "script.cache_misses", "script.cache_hits"]
+        {
+            assert!(m.counters().any(|(k, _)| k == required), "missing counter {required}");
+        }
+        let violations = sor_obs::naming::audit(&m);
+        assert!(violations.is_empty(), "nonconforming names:\n{}", violations.join("\n"));
+    }
+
+    #[test]
+    fn vm_runtime_error_fails_the_task_like_the_tree_walker() {
+        let mut p = phone();
+        p.set_script_vm(true);
+        assign(&mut p, 4, "error('sensor exploded')", vec![1.0]);
+        let out = p.advance_to(2.0);
+        assert!(matches!(out[0], Message::TaskComplete { task_id: 4, status: 1 }));
+        let TaskStatus::Error(msg) = &p.task(4).unwrap().status else { panic!() };
+        assert!(msg.contains("sensor exploded"), "{msg}");
+    }
+
+    #[test]
+    fn vm_with_optimizer_reports_opt_metrics() {
+        let rec = Recorder::enabled();
+        let mut p = phone();
+        p.set_recorder(rec.clone());
+        p.set_script_vm(true);
+        p.set_script_optimizer(true);
+        let script = r#"
+            local t = get_temperature_readings(4)
+            local scale = 2 * 3 - 5
+            if 1 > 2 then
+                t = nil
+            end
+            return mean(t) * scale
+        "#;
+        assign(&mut p, 1, script, vec![1.0]);
+        let out = p.advance_to(2.0);
+        assert!(matches!(out.last(), Some(Message::TaskComplete { status: 0, .. })), "{out:?}");
+        assert_eq!(rec.counter("script.opt_runs"), 1);
+        assert!(rec.counter("script.opt_rewrites") > 0);
+        assert!(rec.counter("script.opt_bound_saved") > 0);
+        assert_eq!(rec.counter("script.vm_runs"), 1);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! - **windowed trends** — per-histogram p95 series over the metric
 //!   windows with `^`/`v`/`=` arrows;
 //! - **sampler** — the tail-sampler's keep/drop accounting;
+//! - **script engine** — bytecode VM runs and the compilation cache's
+//!   hit rate (absent counters render as a note, not an error: the
+//!   tree-walking engine exports none of them);
 //! - **health** — the exported SLO grades, embedded verbatim.
 
 use std::collections::BTreeMap;
@@ -241,6 +244,30 @@ pub fn render_dashboard(
         }
     }
 
+    // Script engine: bytecode VM and compilation-cache accounting
+    // (`script.vm_runs`, `script.cache_*`, `script.compile_runs`).
+    let counter = |name: &str| {
+        counters.iter().find(|(k, _)| k == name).and_then(|(_, v)| v.as_f64()).unwrap_or(0.0)
+    };
+    out.push_str("\n-- script engine --\n");
+    let hits = counter("script.cache_hits");
+    let misses = counter("script.cache_misses");
+    let lookups = hits + misses;
+    if lookups == 0.0 && counter("script.vm_runs") == 0.0 {
+        out.push_str("  (no bytecode-engine counters; SOR_SCRIPT_VM off or tree-walker run)\n");
+    } else {
+        out.push_str(&format!(
+            "  vm runs: {}  compiles: {}\n",
+            counter("script.vm_runs"),
+            counter("script.compile_runs")
+        ));
+        let rate = if lookups > 0.0 { 100.0 * hits / lookups } else { 0.0 };
+        out.push_str(&format!(
+            "  cache: {hits} hit / {misses} miss ({rate:.1}% hit rate), {} evicted\n",
+            counter("script.cache_evictions")
+        ));
+    }
+
     out.push_str("\n-- health --\n");
     match health {
         Some(h) if !h.trim().is_empty() => {
@@ -303,10 +330,14 @@ mod tests {
             "top-k tables",
             "windowed trends",
             "-- sampler --",
+            "-- script engine --",
             "-- health --",
         ] {
             assert!(d1.contains(section), "missing `{section}` in:\n{d1}");
         }
+        // No VM counters in the sample inputs: the section degrades to
+        // an explanatory note instead of a 0/0 hit rate.
+        assert!(d1.contains("no bytecode-engine counters"), "{d1}");
         // The child stage nests under its parent stage.
         assert!(d1.contains("server.rank  x1"), "{d1}");
         assert!(d1.contains("  server.rank_request  x1"), "{d1}");
@@ -325,6 +356,20 @@ mod tests {
         let d = render_dashboard(&t, &m, None, None);
         assert!(d.contains("(no windows exported)"), "{d}");
         assert!(d.contains("(no health export)"), "{d}");
+    }
+
+    #[test]
+    fn script_engine_section_reports_cache_hit_rate() {
+        let (t, _, _, _) = sample_inputs();
+        let mut m = MetricsRegistry::new();
+        m.count("script.vm_runs", 4);
+        m.count("script.compile_runs", 1);
+        m.count("script.cache_hits", 3);
+        m.count("script.cache_misses", 1);
+        let m = parse(&m.to_json()).unwrap();
+        let d = render_dashboard(&t, &m, None, None);
+        assert!(d.contains("vm runs: 4  compiles: 1"), "{d}");
+        assert!(d.contains("3 hit / 1 miss (75.0% hit rate), 0 evicted"), "{d}");
     }
 
     #[test]

@@ -105,6 +105,12 @@ mod tests {
             "server.topk_uploads.app3",
             "server.topk_dispatches.app12",
             "phone.topk_scripts.app1",
+            // PR 8: bytecode VM and compilation-cache names.
+            "script.vm_runs",
+            "script.compile_runs",
+            "script.cache_hits",
+            "script.cache_misses",
+            "script.cache_evictions",
         ] {
             assert!(check_name(name).is_ok(), "{name} should conform");
         }

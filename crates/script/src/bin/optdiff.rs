@@ -1,16 +1,23 @@
-//! `optdiff` — differential tester for the SenseScript optimizer.
+//! `optdiff` — three-way differential tester for the SenseScript
+//! execution engines.
 //!
-//! For every corpus script, runs the unoptimized AST and the
-//! [`sor_script::optimize`] lowering of it against the same
-//! deterministic fake sensor host, across several seeds, and asserts:
+//! For every corpus script, runs four configurations against the same
+//! deterministic fake sensor host, across several seeds: the
+//! tree-walker on the raw AST, the tree-walker on the
+//! [`sor_script::optimize`] lowering, and the bytecode [`sor_script::Vm`]
+//! on each of the two programs. Asserts:
 //!
-//! 1. **Observational equivalence** — both runs produce the same value
-//!    (structurally compared; `NaN` counts as equal to itself) or fail
-//!    with the same error variant. The one permitted asymmetry: the
+//! 1. **Optimizer equivalence** — raw and optimized runs produce the
+//!    same value (structurally compared; `NaN` counts as equal to
+//!    itself) or fail with the same error variant; the optimized run
+//!    never costs more instructions. The one permitted asymmetry: the
 //!    original may exhaust the instruction budget where the cheaper
 //!    optimized form finishes.
-//! 2. **Cost monotonicity** — the optimized run never consumes more
-//!    instructions than the original.
+//! 2. **VM equivalence** — for the *same* program, the VM must match
+//!    the tree-walker exactly: same value or error kind, same `print`
+//!    output, *equal* instruction counts on success, and never more
+//!    instructions on errors. No asymmetry is permitted — the VM runs
+//!    the identical program.
 //!
 //! Exit status: `0` all scripts agree, `1` a divergence was found,
 //! `2` usage or I/O problems.
@@ -18,20 +25,23 @@
 use std::cell::Cell;
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sor_script::ast::Block;
 use sor_script::optimize::optimize;
 use sor_script::parser::parse;
-use sor_script::{HostRegistry, Interpreter, ScriptError, Value};
+use sor_script::{compile, HostRegistry, Interpreter, ScriptError, Value, Vm};
 
 const USAGE: &str = "\
 usage: optdiff [options] [path ...]
 
-Differentially tests the optimizer: every `.ss` script found under the
-given files/directories (default: tests/lint_corpus) runs optimized and
-unoptimized against the same deterministic fake sensors, across seeds.
-Divergent values, divergent errors, or an optimized run that costs more
-instructions than the original are failures.
+Differentially tests the execution engines: every `.ss` script found
+under the given files/directories (default: tests/lint_corpus) runs
+through the tree-walker (raw and optimized AST) and the bytecode VM
+(both programs) against the same deterministic fake sensors, across
+seeds. Divergent values, divergent errors, an optimized run that costs
+more instructions than the original, or a VM run that disagrees with
+the tree-walker on the same program are failures.
 
 options:
   --seeds N    number of host seeds to test each script under (default 3)
@@ -133,8 +143,9 @@ fn structurally_eq(a: &Value, b: &Value) -> bool {
                 && x.hash.iter().all(|(k, v)| y.hash.get(k).is_some_and(|w| structurally_eq(v, w)))
         }
         // Closures have no meaningful cross-run identity; a script that
-        // returns a function is equivalent if both runs return one.
-        (Value::Function(_), Value::Function(_)) => true,
+        // returns a function is equivalent if both runs return one —
+        // whether tree-walked or compiled.
+        (Value::Function(_) | Value::Compiled(_), Value::Function(_) | Value::Compiled(_)) => true,
         _ => a == b,
     }
 }
@@ -159,13 +170,69 @@ fn error_kind(e: &ScriptError) -> &'static str {
 struct RunResult {
     outcome: Result<Value, ScriptError>,
     instructions: u64,
+    output: Vec<String>,
 }
 
 fn run(block: &Block, seed: u64, budget: u64) -> RunResult {
     let mut interp = Interpreter::with_host(fake_sensing_host(seed));
     interp.set_budget(budget);
     let outcome = interp.run_block(block);
-    RunResult { outcome, instructions: interp.instructions_used() }
+    RunResult {
+        outcome,
+        instructions: interp.instructions_used(),
+        output: interp.output().to_vec(),
+    }
+}
+
+fn run_vm(module: &Arc<sor_script::CompiledModule>, seed: u64, budget: u64) -> RunResult {
+    let mut vm = Vm::with_host(fake_sensing_host(seed));
+    vm.set_budget(budget);
+    let outcome = vm.run_module(module);
+    RunResult { outcome, instructions: vm.instructions_used(), output: vm.output().to_vec() }
+}
+
+/// Checks the VM against the tree-walker on the *same* program: exact
+/// agreement required — equal values or error kinds, equal `print`
+/// output, equal instruction counts on success (never more on errors).
+fn diff_vm(tree: &RunResult, vm: &RunResult) -> Result<(), String> {
+    if vm.output != tree.output {
+        return Err(format!("vm print output diverges: {:?} vs {:?}", tree.output, vm.output));
+    }
+    match (&tree.outcome, &vm.outcome) {
+        (Ok(a), Ok(b)) => {
+            if !structurally_eq(a, b) {
+                return Err(format!("vm value diverges: {} vs {}", a.display(), b.display()));
+            }
+            if vm.instructions != tree.instructions {
+                return Err(format!(
+                    "vm instruction count diverges: {} vs {}",
+                    tree.instructions, vm.instructions
+                ));
+            }
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            if error_kind(a) != error_kind(b) {
+                return Err(format!(
+                    "vm error kind diverges: {} vs {}",
+                    error_kind(a),
+                    error_kind(b)
+                ));
+            }
+            if vm.instructions > tree.instructions {
+                return Err(format!(
+                    "vm overcharged on error: {} > {} instructions",
+                    vm.instructions, tree.instructions
+                ));
+            }
+            Ok(())
+        }
+        (a, b) => Err(format!(
+            "vm outcome diverges: {} vs {}",
+            a.as_ref().map(|v| v.display()).unwrap_or_else(|e| format!("error[{}]", error_kind(e))),
+            b.as_ref().map(|v| v.display()).unwrap_or_else(|e| format!("error[{}]", error_kind(e))),
+        )),
+    }
 }
 
 /// Checks one script under one seed. Returns a description of the
@@ -268,6 +335,7 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     let mut checked = 0usize;
+    let mut vm_checked = 0usize;
     let mut saved_total: u64 = 0;
     let mut base_total: u64 = 0;
     for path in &scripts {
@@ -288,6 +356,8 @@ fn main() -> ExitCode {
             continue;
         };
         let (opt, stats) = optimize(&block);
+        let raw_module = Arc::new(compile(&block));
+        let opt_module = Arc::new(compile(&opt));
         for seed in 1..=seeds {
             checked += 1;
             match diff_one(&block, &opt, seed, budget) {
@@ -306,6 +376,29 @@ fn main() -> ExitCode {
                     eprintln!("optdiff: FAIL {name} seed {seed}: {msg}");
                 }
             }
+            // Three-way: the VM must agree with the tree-walker on the
+            // raw program and on the optimized program.
+            for (label, program, module) in
+                [("vm/raw", &block, &raw_module), ("vm/opt", &opt, &opt_module)]
+            {
+                vm_checked += 1;
+                let tree = run(program, seed, budget);
+                let vm = run_vm(module, seed, budget);
+                match diff_vm(&tree, &vm) {
+                    Ok(()) => {
+                        if verbose {
+                            println!(
+                                "optdiff: {name} seed {seed} {label}: ok ({} instructions)",
+                                vm.instructions
+                            );
+                        }
+                    }
+                    Err(msg) => {
+                        failures += 1;
+                        eprintln!("optdiff: FAIL {name} seed {seed} {label}: {msg}");
+                    }
+                }
+            }
         }
     }
 
@@ -315,6 +408,7 @@ fn main() -> ExitCode {
          optimizer saved {saved_total} of {base_total} instructions ({pct}%)",
         scripts.len()
     );
+    println!("optdiff: vm cross-checked on {vm_checked} run(s) (raw + optimized programs)");
     if failures > 0 {
         ExitCode::FAILURE
     } else {

@@ -1,0 +1,62 @@
+//! The compiled form of a script: constant/name pools and function
+//! prototypes.
+
+use std::sync::Arc;
+
+use super::instr::{Const, Instr};
+
+/// How a compiled function binds its variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// The function body contains no function literals, so every local
+    /// is lexically resolvable and lives in a flat slot frame — the
+    /// fast path that makes the VM worth having.
+    Slot,
+    /// The body creates closures, so locals live in chained by-name
+    /// environments that exactly replicate the tree-walker's scope
+    /// chains (closures capture an environment reference).
+    Env,
+}
+
+/// One compiled function: the main chunk (prototype 0) or a function
+/// literal.
+#[derive(Debug)]
+pub(crate) struct FnProto {
+    /// Bytecode; always ends in a `Return`/`ReturnNil`.
+    pub code: Vec<Instr>,
+    /// Parameter names (interned indices), in declaration order. Slot
+    /// mode binds them to slots `0..params.len()`; env mode defines
+    /// them by name in the call environment.
+    pub params: Vec<u32>,
+    /// Slot-frame size ([`Mode::Slot`] only; 0 in env mode).
+    pub n_slots: u16,
+    /// Variable binding strategy.
+    pub mode: Mode,
+}
+
+/// A compiled script, shareable across phones: the compilation cache
+/// hands out `Arc<CompiledModule>` clones, and every run materialises
+/// its own runtime state (a `CompiledModule` is immutable and
+/// `Send + Sync`; all mutable state lives in the [`super::Vm`]).
+#[derive(Debug)]
+pub struct CompiledModule {
+    /// Interned literals (deduplicated; numbers by bit pattern).
+    pub(crate) consts: Vec<Const>,
+    /// Interned identifiers (variable, field, and callee names).
+    pub(crate) names: Vec<Arc<str>>,
+    /// Function prototypes; index 0 is the main chunk.
+    pub(crate) protos: Vec<FnProto>,
+}
+
+impl CompiledModule {
+    /// Total number of bytecode instructions across all prototypes — a
+    /// rough code-size figure for logs and benches.
+    pub fn code_len(&self) -> usize {
+        self.protos.iter().map(|p| p.code.len()).sum()
+    }
+
+    /// Number of function prototypes (main chunk included).
+    pub fn proto_count(&self) -> usize {
+        self.protos.len()
+    }
+}

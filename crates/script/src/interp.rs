@@ -4,8 +4,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::ast::{BinOp, Block, Expr, Stmt, TableKey, Target, UnOp};
+use crate::ast::{BinOp, Block, Expr, Stmt, TableKey, Target};
 use crate::host::{HostContext, HostRegistry};
+use crate::ops;
 use crate::parser::parse;
 use crate::stdlib;
 use crate::value::{Closure, Value};
@@ -243,7 +244,7 @@ impl Interpreter {
                     Target::Index { table, key } => {
                         let t = self.eval(table, scope)?;
                         let k = self.eval(key, scope)?;
-                        self.index_set(&t, &k, v, *pos)?;
+                        ops::index_set(&t, &k, v, *pos)?;
                     }
                 }
                 Ok(Flow::Normal)
@@ -312,25 +313,7 @@ impl Interpreter {
                 };
                 // Snapshot entries so body mutations can't invalidate
                 // iteration (and can't deadlock the RefCell).
-                let (array, hash_entries) = {
-                    let t = t.borrow();
-                    let mut keys: Vec<String> = t.hash.keys().cloned().collect();
-                    keys.sort();
-                    (
-                        t.array.clone(),
-                        keys.into_iter()
-                            .map(|k| {
-                                let v = t.hash[&k].clone();
-                                (Value::str(k), v)
-                            })
-                            .collect::<Vec<_>>(),
-                    )
-                };
-                let entries = array
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, v)| (Value::Number(i as f64 + 1.0), v))
-                    .chain(hash_entries);
+                let entries = ops::iteration_snapshot(&t);
                 for (k, v) in entries {
                     self.charge(iterable.pos())?;
                     let inner = child_scope(scope);
@@ -376,7 +359,7 @@ impl Interpreter {
                 .ok_or_else(|| ScriptError::UndefinedVariable { name: name.clone(), at: *pos }),
             Expr::Unary { op, expr, pos } => {
                 let v = self.eval(expr, scope)?;
-                self.apply_unary(*op, v, *pos)
+                ops::apply_unary(*op, v, *pos)
             }
             Expr::Binary { op, lhs, rhs, pos } => match op {
                 BinOp::And => {
@@ -398,13 +381,13 @@ impl Interpreter {
                 _ => {
                     let l = self.eval(lhs, scope)?;
                     let r = self.eval(rhs, scope)?;
-                    self.apply_binary(*op, l, r, *pos)
+                    ops::apply_binary(*op, l, r, *pos)
                 }
             },
             Expr::Index { table, key, pos } => {
                 let t = self.eval(table, scope)?;
                 let k = self.eval(key, scope)?;
-                self.index_get(&t, &k, *pos)
+                ops::index_get(&t, &k, *pos)
             }
             Expr::Table { array, hash, .. } => {
                 let mut arr = Vec::with_capacity(array.len());
@@ -420,28 +403,12 @@ impl Interpreter {
                         }
                         TableKey::Expr(ke) => {
                             let kv = self.eval(ke, scope)?;
-                            match kv {
-                                Value::Str(s) => {
-                                    map.insert(s.to_string(), v);
-                                }
-                                Value::Number(n) => {
-                                    // Numeric keys in constructors extend
-                                    // the array part when contiguous.
-                                    let idx = n as usize;
-                                    if n.fract() == 0.0 && idx == arr.len() + 1 {
-                                        arr.push(v);
-                                    } else {
-                                        map.insert(Value::Number(n).display(), v);
-                                    }
-                                }
-                                other => {
-                                    return Err(ScriptError::TypeError {
-                                        message: format!(
-                                            "table key must be string or number, got {}",
-                                            other.type_name()
-                                        ),
-                                        at: ke.pos(),
-                                    })
+                            // Numeric keys in constructors extend the
+                            // array part when contiguous.
+                            match ops::constructor_slot(&kv, arr.len(), ke.pos())? {
+                                ops::ConstructorSlot::Append => arr.push(v),
+                                ops::ConstructorSlot::Hash(key) => {
+                                    map.insert(key, v);
                                 }
                             }
                         }
@@ -500,149 +467,6 @@ impl Interpreter {
             }
             other => Err(ScriptError::TypeError {
                 message: format!("attempt to call a {} value", other.type_name()),
-                at: pos,
-            }),
-        }
-    }
-
-    fn apply_unary(&self, op: UnOp, v: Value, pos: Pos) -> Result<Value, ScriptError> {
-        match op {
-            UnOp::Neg => {
-                v.as_number().map(|n| Value::Number(-n)).ok_or_else(|| ScriptError::TypeError {
-                    message: format!("cannot negate a {}", v.type_name()),
-                    at: pos,
-                })
-            }
-            UnOp::Not => Ok(Value::Bool(!v.truthy())),
-            UnOp::Len => match &v {
-                Value::Table(t) => Ok(Value::Number(t.borrow().array.len() as f64)),
-                Value::Str(s) => Ok(Value::Number(s.chars().count() as f64)),
-                other => Err(ScriptError::TypeError {
-                    message: format!("cannot take length of a {}", other.type_name()),
-                    at: pos,
-                }),
-            },
-        }
-    }
-
-    fn apply_binary(&self, op: BinOp, l: Value, r: Value, pos: Pos) -> Result<Value, ScriptError> {
-        use BinOp::*;
-        let type_err = |msg: String| ScriptError::TypeError { message: msg, at: pos };
-        match op {
-            Add | Sub | Mul | Div | Mod | Pow => {
-                let (a, b) = match (l.as_number(), r.as_number()) {
-                    (Some(a), Some(b)) => (a, b),
-                    _ => {
-                        return Err(type_err(format!(
-                            "arithmetic on {} and {}",
-                            l.type_name(),
-                            r.type_name()
-                        )))
-                    }
-                };
-                let n = match op {
-                    Add => a + b,
-                    Sub => a - b,
-                    Mul => a * b,
-                    Div => a / b,
-                    Mod => a - (a / b).floor() * b, // Lua's floored modulo
-                    Pow => a.powf(b),
-                    _ => unreachable!(),
-                };
-                Ok(Value::Number(n))
-            }
-            Concat => match (&l, &r) {
-                (Value::Str(_) | Value::Number(_), Value::Str(_) | Value::Number(_)) => {
-                    Ok(Value::str(format!("{}{}", l.display(), r.display())))
-                }
-                _ => Err(type_err(format!(
-                    "cannot concatenate {} and {}",
-                    l.type_name(),
-                    r.type_name()
-                ))),
-            },
-            Eq => Ok(Value::Bool(l == r)),
-            Ne => Ok(Value::Bool(l != r)),
-            Lt | Le | Gt | Ge => {
-                let ord = match (&l, &r) {
-                    (Value::Number(a), Value::Number(b)) => a.partial_cmp(b),
-                    (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
-                    _ => {
-                        return Err(type_err(format!(
-                            "cannot compare {} and {}",
-                            l.type_name(),
-                            r.type_name()
-                        )))
-                    }
-                };
-                let Some(ord) = ord else {
-                    return Ok(Value::Bool(false)); // NaN comparisons
-                };
-                let b = match op {
-                    Lt => ord.is_lt(),
-                    Le => ord.is_le(),
-                    Gt => ord.is_gt(),
-                    Ge => ord.is_ge(),
-                    _ => unreachable!(),
-                };
-                Ok(Value::Bool(b))
-            }
-            And | Or => unreachable!("short-circuit ops handled in eval"),
-        }
-    }
-
-    fn index_get(&self, t: &Value, k: &Value, pos: Pos) -> Result<Value, ScriptError> {
-        let Value::Table(t) = t else {
-            return Err(ScriptError::TypeError {
-                message: format!("attempt to index a {}", t.type_name()),
-                at: pos,
-            });
-        };
-        let t = t.borrow();
-        match k {
-            Value::Number(n) if n.fract() == 0.0 && *n >= 1.0 => {
-                Ok(t.array.get(*n as usize - 1).cloned().unwrap_or(Value::Nil))
-            }
-            Value::Str(s) => Ok(t.hash.get(s.as_ref()).cloned().unwrap_or(Value::Nil)),
-            other => Err(ScriptError::TypeError {
-                message: format!("invalid table key of type {}", other.type_name()),
-                at: pos,
-            }),
-        }
-    }
-
-    fn index_set(&self, t: &Value, k: &Value, v: Value, pos: Pos) -> Result<(), ScriptError> {
-        let Value::Table(t) = t else {
-            return Err(ScriptError::TypeError {
-                message: format!("attempt to index a {}", t.type_name()),
-                at: pos,
-            });
-        };
-        let mut t = t.borrow_mut();
-        match k {
-            Value::Number(n) if n.fract() == 0.0 && *n >= 1.0 => {
-                let idx = *n as usize;
-                if idx <= t.array.len() {
-                    t.array[idx - 1] = v;
-                } else if idx == t.array.len() + 1 {
-                    t.array.push(v);
-                } else {
-                    return Err(ScriptError::TypeError {
-                        message: format!(
-                            "sparse array write at index {idx} (len {})",
-                            t.array.len()
-                        ),
-                        at: pos,
-                    });
-                }
-                Ok(())
-            }
-            Value::Str(s) => {
-                t.hash.insert(s.to_string(), v);
-                Ok(())
-            }
-            other => Err(ScriptError::TypeError {
-                message: format!("invalid table key of type {}", other.type_name()),
                 at: pos,
             }),
         }

@@ -44,15 +44,18 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod bytecode;
 pub mod host;
 pub mod interp;
 pub mod lexer;
+pub mod ops;
 pub mod optimize;
 pub mod parser;
 pub mod stdlib;
 pub mod token;
 pub mod value;
 
+pub use bytecode::{compile, CacheOutcome, CacheStats, CompiledModule, Prepared, ScriptCache, Vm};
 pub use host::{HostContext, HostFn, HostRegistry};
 pub use interp::Interpreter;
 pub use value::Value;

@@ -21,6 +21,10 @@ pub enum Value {
     Table(Rc<RefCell<Table>>),
     /// Script-defined functions (closures).
     Function(Rc<Closure>),
+    /// Bytecode-compiled script functions (closures over a VM
+    /// environment; see [`crate::bytecode`]). Indistinguishable from
+    /// [`Value::Function`] to scripts: `type()` reports `function`.
+    Compiled(Rc<crate::bytecode::VmClosure>),
 }
 
 /// A table: contiguous 1-based array part plus string-keyed hash part,
@@ -82,7 +86,7 @@ impl Value {
             Value::Number(_) => "number",
             Value::Str(_) => "string",
             Value::Table(_) => "table",
-            Value::Function(_) => "function",
+            Value::Function(_) | Value::Compiled(_) => "function",
         }
     }
 
@@ -135,7 +139,7 @@ impl Value {
                 }
                 format!("{{{}}}", parts.join(", "))
             }
-            Value::Function(_) => "function".to_string(),
+            Value::Function(_) | Value::Compiled(_) => "function".to_string(),
         }
     }
 }
@@ -150,6 +154,7 @@ impl PartialEq for Value {
             // Reference equality, as in Lua.
             (Value::Table(a), Value::Table(b)) => Rc::ptr_eq(a, b),
             (Value::Function(a), Value::Function(b)) => Rc::ptr_eq(a, b),
+            (Value::Compiled(a), Value::Compiled(b)) => Rc::ptr_eq(a, b),
             _ => false,
         }
     }

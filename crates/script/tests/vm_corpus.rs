@@ -1,0 +1,190 @@
+//! VM ↔ tree-walker corpus gate.
+//!
+//! Every parseable `tests/lint_corpus/*.ss` script runs through both
+//! execution engines against the same fixed host and must agree on
+//! value, error kind, `print` output, virtual time, and — on success —
+//! the exact instruction count. A final test pins the fuel semantics:
+//! a script whose static bound is within a few instructions of its
+//! dynamic count must still complete when the VM's fuel limit is set
+//! to that bound.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sor_script::analysis::{analyze, CapabilitySet, Cost};
+use sor_script::parser::parse;
+use sor_script::{compile, HostContext, HostRegistry, Interpreter, Value, Vm};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+fn corpus_scripts() -> Vec<PathBuf> {
+    let mut scripts: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ss"))
+        .collect();
+    scripts.sort();
+    assert!(!scripts.is_empty(), "lint corpus must not be empty");
+    scripts
+}
+
+/// Same fixed host as the lint-corpus bound check: every standard
+/// capability serves a small deterministic readings array.
+fn fixed_host() -> HostRegistry {
+    let mut host = HostRegistry::new();
+    let serve = |ctx: &mut HostContext, args: &[Value]| {
+        let n = args.first().and_then(Value::as_number).map(|v| v.max(1.0) as usize).unwrap_or(1);
+        let vals: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        ctx.virtual_time += n as f64 * 0.1;
+        Ok(Value::number_array(&vals))
+    };
+    for name in [
+        "get_temperature_readings",
+        "get_humidity_readings",
+        "get_light_readings",
+        "get_noise_readings",
+        "get_wifi_readings",
+        "get_pressure_readings",
+        "get_accel_readings",
+        "get_gps_readings",
+        "get_compass_readings",
+        "get_location",
+    ] {
+        host.register(name, serve);
+    }
+    host
+}
+
+/// Structural equality good enough for corpus return values (tables by
+/// contents, NaN equal to itself, any function equals any function).
+fn structurally_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x == y || (x.is_nan() && y.is_nan()),
+        (Value::Table(x), Value::Table(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            x.array.len() == y.array.len()
+                && x.hash.len() == y.hash.len()
+                && x.array.iter().zip(y.array.iter()).all(|(a, b)| structurally_eq(a, b))
+                && x.hash.iter().all(|(k, v)| y.hash.get(k).is_some_and(|w| structurally_eq(v, w)))
+        }
+        (Value::Function(_) | Value::Compiled(_), Value::Function(_) | Value::Compiled(_)) => true,
+        _ => a == b,
+    }
+}
+
+#[test]
+fn corpus_runs_identically_on_both_engines() {
+    let mut executed = 0usize;
+    for script in corpus_scripts() {
+        let name = script.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&script).expect("corpus script reads");
+        // Unparseable corpus entries exercise the linter only; both
+        // engines would reject them in the shared parser.
+        let Ok(block) = parse(&src) else { continue };
+
+        let mut interp = Interpreter::with_host(fixed_host());
+        let tree = interp.run(&src);
+
+        let module = Arc::new(compile(&block));
+        let mut vm = Vm::with_host(fixed_host());
+        let byte = vm.run_module(&module);
+
+        assert_eq!(interp.output(), vm.output(), "{name}: print output diverges");
+        assert!(
+            (interp.virtual_time() - vm.virtual_time()).abs() < 1e-12,
+            "{name}: virtual time diverges"
+        );
+        match (&tree, &byte) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    structurally_eq(a, b),
+                    "{name}: values diverge: {} vs {}",
+                    a.display(),
+                    b.display()
+                );
+                assert_eq!(
+                    interp.instructions_used(),
+                    vm.instructions_used(),
+                    "{name}: instruction counts diverge"
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{name}: error kinds diverge: {a:?} vs {b:?}"
+                );
+                assert!(
+                    vm.instructions_used() <= interp.instructions_used(),
+                    "{name}: vm overcharged on error path"
+                );
+            }
+            (a, b) => panic!("{name}: outcomes diverge: {a:?} vs {b:?}"),
+        }
+        executed += 1;
+    }
+    assert!(executed >= 10, "expected most of the corpus to execute, got {executed}");
+}
+
+#[test]
+fn vm_completes_under_fuel_limit_pinned_to_static_bound() {
+    // A straight-line script with no host calls: the analyzer's bound
+    // counts exactly the nodes the engines charge, so the static bound
+    // sits within a few instructions of the dynamic count — the
+    // tightest fuel limit the frontend would ever impose.
+    let src = "local a = 1\nlocal b = a + 2\nlocal c = b * b\nreturn c - a";
+    let caps = CapabilitySet::standard_sensing();
+    let report = analyze(src, &caps);
+    let Cost::Bounded(bound) = report.cost else { panic!("straight-line script must bound") };
+
+    let module = Arc::new(compile(&parse(src).unwrap()));
+    let mut vm = Vm::with_host(fixed_host());
+    vm.set_budget(bound);
+    let v = vm.run_module(&module).expect("must complete within its own static bound");
+    assert_eq!(v, Value::Number(8.0));
+    let used = vm.instructions_used();
+    assert!(used <= bound, "measured {used} > bound {bound}");
+    assert!(
+        bound - used <= 4,
+        "test premise broken: bound {bound} is not near the dynamic count {used}; \
+         pick a script the cost pass counts exactly"
+    );
+
+    // One instruction less than the dynamic count must fail — the fuel
+    // limit is exact, not approximate.
+    let mut starved = Vm::with_host(fixed_host());
+    starved.set_budget(used - 1);
+    assert!(matches!(
+        starved.run_module(&module),
+        Err(sor_script::ScriptError::BudgetExhausted { .. })
+    ));
+}
+
+#[test]
+fn bounded_corpus_scripts_respect_bounds_under_vm_fuel() {
+    // The frontend clamps VM fuel to the analyzer's bound; this is only
+    // sound if every bounded, runnable corpus script completes under
+    // that exact fuel limit.
+    let caps = CapabilitySet::standard_sensing();
+    let mut checked = 0usize;
+    for script in corpus_scripts() {
+        let src = std::fs::read_to_string(&script).expect("corpus script reads");
+        let report = analyze(&src, &caps);
+        let Cost::Bounded(bound) = report.cost else { continue };
+        let Ok(block) = parse(&src) else { continue };
+        let module = Arc::new(compile(&block));
+        // Only scripts that succeed on the tree-walker participate.
+        if Interpreter::with_host(fixed_host()).run(&src).is_err() {
+            continue;
+        }
+        let mut vm = Vm::with_host(fixed_host());
+        vm.set_budget(bound);
+        vm.run_module(&module).unwrap_or_else(|e| {
+            panic!("{}: ran out of fuel under its own static bound: {e}", script.display())
+        });
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected several bounded, runnable corpus scripts, got {checked}");
+}

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use sor_durable::{DurableOptions, SimDisk};
-use sor_frontend::MobileFrontend;
+use sor_frontend::{MobileFrontend, ScriptCache};
 use sor_obs::{Alert, HealthEngine, Recorder, WindowRing};
 use sor_proto::{Message, TraceContext};
 use sor_server::{ApplicationSpec, SensingServer, ServerError};
@@ -84,6 +84,10 @@ pub struct SorWorld {
     /// Every SLO alert fired by the health engine, in firing order.
     pub alerts: Vec<Alert>,
     recorder: Recorder,
+    /// One compilation cache for the whole fleet: every phone added to
+    /// the world gets a handle, so a script dispatched to N phones is
+    /// compiled once (the bytecode engine is behind `SOR_SCRIPT_VM`).
+    script_cache: ScriptCache,
     durable: Option<DurableSetup>,
     health: Option<HealthEngine>,
     windows: Option<WindowRing>,
@@ -113,6 +117,7 @@ impl SorWorld {
             postmortems: Vec::new(),
             alerts: Vec::new(),
             recorder: Recorder::default(),
+            script_cache: ScriptCache::new(),
             durable: None,
             health: None,
             windows: None,
@@ -175,9 +180,15 @@ impl SorWorld {
         &self.transport
     }
 
+    /// The fleet-wide script compilation cache handle.
+    pub fn script_cache(&self) -> &ScriptCache {
+        &self.script_cache
+    }
+
     /// Adds a phone, returning its index.
     pub fn add_phone(&mut self, mut phone: MobileFrontend) -> usize {
         phone.set_recorder(self.recorder.clone());
+        phone.set_script_cache(self.script_cache.clone());
         let idx = self.phones.len();
         self.token_to_phone.insert(phone.token(), idx);
         self.phones.push(phone);
@@ -564,6 +575,36 @@ mod tests {
         assert!((temp - 71.0).abs() < 2.0, "temperature {temp}");
         let noise = world.server.feature_value(1, "noise").unwrap().unwrap();
         assert!((0.0..0.3).contains(&noise), "noise {noise}");
+    }
+
+    #[test]
+    fn bytecode_engine_matches_tree_walker_end_to_end() {
+        // The same deployment twice: tree-walking interpreter vs the
+        // bytecode VM fleet-wide. Every feature the server computes must
+        // be bit-identical, and the fleet must have compiled the app's
+        // one script exactly once.
+        let run = |vm: bool| {
+            let mut world = cafe_world(Transport::perfect());
+            for phone in &mut world.phones {
+                phone.set_script_vm(vm);
+            }
+            for phone in 0..3 {
+                world.schedule_scan(phone as f64 * 60.0, phone, 1, 8, 1800.0);
+            }
+            world.run_until(3600.0);
+            world.server.process_data().unwrap();
+            let temp = world.server.feature_value(1, "temperature").unwrap().unwrap();
+            let noise = world.server.feature_value(1, "noise").unwrap().unwrap();
+            (world.stats.uploads_accepted, temp, noise, world.script_cache().stats())
+        };
+        let (up_tree, temp_tree, noise_tree, cache_tree) = run(false);
+        let (up_vm, temp_vm, noise_vm, cache_vm) = run(true);
+        assert_eq!(up_tree, up_vm, "upload counts must match across engines");
+        assert_eq!(temp_tree, temp_vm, "features must be bit-identical across engines");
+        assert_eq!(noise_tree, noise_vm, "features must be bit-identical across engines");
+        assert_eq!(cache_tree.compiles, 0, "tree path never touches the cache");
+        assert_eq!(cache_vm.compiles, 1, "one script, one compilation for the whole fleet");
+        assert!(cache_vm.hits > 0, "fleet re-dispatches must hit: {cache_vm:?}");
     }
 
     #[test]

@@ -27,7 +27,7 @@ fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for bench in pipeline rank_scale script_analysis obs_scale; do
+for bench in pipeline rank_scale script_analysis script_exec obs_scale; do
     echo "==> cargo bench --offline -p sor-bench --bench $bench" >&2
     cargo bench --offline -p sor-bench --bench "$bench" | tee -a "$raw" >&2
 done
@@ -40,7 +40,7 @@ BEGIN {
     if (note != "") printf "  \"note\": \"%s\",\n", note
     printf "  \"benches\": {\n"
 }
-/^bench / {
+/^bench .*ns\/iter/ {
     if (n++) printf ",\n"
     printf "    \"%s\": %s", $2, substr($3, 2)
 }
@@ -62,7 +62,7 @@ BEGIN {
     if (note != "") printf "\"note\": \"%s\", ", note
     printf "\"benches\": {"
 }
-/^bench / {
+/^bench .*ns\/iter/ {
     if (n++) printf ", "
     printf "\"%s\": %s", $2, substr($3, 2)
 }

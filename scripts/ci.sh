@@ -24,9 +24,12 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check
 
 # Static-analysis gates: every corpus script's diagnostics must match
-# its golden .expected file, and the optimizer must be observationally
-# equivalent (and never more expensive) on the whole corpus.
+# its golden .expected file, and the three-way optdiff (tree-walker vs
+# optimized tree-walker vs bytecode VM on both programs) must report
+# zero divergences on the whole corpus — values, error kinds, print
+# output, and instruction counts all have to agree.
 run cargo test -q --offline -p sor-script --test lint_corpus
+run cargo test -q --offline -p sor-script --test vm_corpus
 run cargo run --release --offline -p sor-script --bin optdiff -- tests/lint_corpus
 
 # Observability smoke: a traced field test must produce parseable
@@ -108,5 +111,19 @@ if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
 else
     echo "==> skipping rank_many speedup guard (single hardware thread)"
 fi
+
+# Script-engine speedup guard: a warm-cache VM dispatch skips the
+# per-dispatch parse + analyze + compile entirely, so it must beat a
+# full tree-walker dispatch by >=3x.
+exec_out=$(cargo bench --offline -p sor-bench --bench script_exec)
+printf '%s\n' "$exec_out"
+exec_ns_of() { printf '%s\n' "$exec_out" | awk -v id="$1" '$2 == id { print substr($3, 2) }'; }
+tree=$(exec_ns_of script_exec/tree_walk)
+warm=$(exec_ns_of script_exec/vm_warm)
+if [ "$((tree / warm))" -lt 3 ]; then
+    echo "FAIL warm-cache VM dispatch (${warm} ns) is not >=3x faster than tree-walk dispatch (${tree} ns)" >&2
+    exit 1
+fi
+echo "==> script VM warm-cache speedup OK (${tree} ns tree vs ${warm} ns vm_warm)"
 
 echo "==> CI OK"
