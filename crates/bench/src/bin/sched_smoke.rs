@@ -1,0 +1,60 @@
+//! CI smoke check for the scheduler solver knob: runs the traced
+//! coffee-shop field test under whatever `SOR_SCHED_SOLVER` selects and
+//! prints an outcome-level digest — final ranking, transport stats,
+//! per-place energy. `scripts/ci.sh` runs it once with the exact greedy
+//! and once with CELF and byte-compares the stdout (CELF is
+//! bit-identical to plain greedy, so nothing user-visible may diverge),
+//! then once with the stochastic solver, which may schedule differently
+//! but must still pass the SLO health grade enforced here.
+//!
+//! The digest deliberately covers *outcomes only*, never `sched.*`
+//! work metrics: solvers legitimately differ in heap pops and
+//! marginal-gain evaluations — that is the point — but must agree on
+//! what the fleet actually did.
+//!
+//! ```sh
+//! SOR_SCHED_SOLVER=celf cargo run --release -p sor-bench --bin sched_smoke
+//! ```
+
+use sor_obs::Recorder;
+use sor_sim::scenario::{emma, run_coffee_field_test_traced, FieldTestConfig};
+
+fn check(cond: bool, what: &str) {
+    if cond {
+        println!("ok   {what}");
+    } else {
+        eprintln!("FAIL {what}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let rec = Recorder::enabled();
+    let out = run_coffee_field_test_traced(FieldTestConfig::quick(3), rec.clone())
+        .expect("field test runs");
+    check(out.stats.uploads_accepted > 0, "field test accepted uploads");
+    check(out.stats.decode_failures == 0, "no frames lost integrity");
+    let health = out.health.as_ref().expect("traced run grades health");
+    check(health.healthy(), "SLO health grade passes under this solver");
+
+    let order = out.server.rank("coffee-shop", &emma()).expect("rank").app_order;
+    println!("final ranking: {order:?}");
+    println!(
+        "stats: uploads={} rejections={} pages={}",
+        out.stats.uploads_accepted, out.stats.server_rejections, out.stats.pages_sent
+    );
+    // FNV over the outcome-level payloads (app ids, energy spend).
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        digest ^= u64::from(b);
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for id in &out.app_ids {
+        id.to_le_bytes().into_iter().for_each(&mut eat);
+    }
+    for e in &out.energy_mj_per_place {
+        e.to_bits().to_le_bytes().into_iter().for_each(&mut eat);
+    }
+    println!("outcome digest: {digest:016x}");
+    println!("sched smoke OK");
+}

@@ -37,10 +37,14 @@ pub struct CoverageState<'a> {
     model: &'a dyn CoverageModel,
     /// `q_j = Π (1 − p(ti, tj))` over measurements added so far.
     uncovered: Vec<f64>,
-    /// Σ_j (1 − q_j), the objective value.
+    /// Σ_j w_j·(1 − q_j), the (possibly decay-weighted) objective value.
     total: f64,
     /// Kernel support radius in whole grid cells (None = unbounded).
     window: Option<usize>,
+    /// Per-instant value weights from a decay curve. `None` means every
+    /// weight is 1 and the unweighted floating-point path is taken, so
+    /// zero-decay results are byte-identical to the original objective.
+    weights: Option<Vec<f64>>,
 }
 
 impl std::fmt::Debug for CoverageState<'_> {
@@ -56,9 +60,27 @@ impl std::fmt::Debug for CoverageState<'_> {
 impl<'a> CoverageState<'a> {
     /// Fresh state with no measurements.
     pub fn new(grid: &'a TimeGrid, model: &'a dyn CoverageModel) -> Self {
+        Self::weighted(grid, model, None)
+    }
+
+    /// Fresh state whose objective weights instant `j` by `weights[j]`
+    /// (decay-weighted value, eq. 4 generalised). `None` is the
+    /// unweighted objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight vector of the wrong length is supplied.
+    pub fn weighted(
+        grid: &'a TimeGrid,
+        model: &'a dyn CoverageModel,
+        weights: Option<Vec<f64>>,
+    ) -> Self {
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), grid.len(), "weight vector must match grid length");
+        }
         let r = model.support_radius();
         let window = if r.is_finite() { Some((r / grid.spacing()).ceil() as usize) } else { None };
-        CoverageState { grid, model, uncovered: vec![1.0; grid.len()], total: 0.0, window }
+        CoverageState { grid, model, uncovered: vec![1.0; grid.len()], total: 0.0, window, weights }
     }
 
     /// Range of instant indexes the kernel can reach from `i`.
@@ -70,14 +92,26 @@ impl<'a> CoverageState<'a> {
     }
 
     /// Objective increase from adding a measurement at instant `i`
-    /// (without committing it): `Σ_j q_j · p(ti, tj)`.
+    /// (without committing it): `Σ_j w_j · q_j · p(ti, tj)`.
     pub fn marginal_gain(&self, i: InstantId) -> f64 {
         let ti = self.grid.time_of(i);
         let mut gain = 0.0;
-        for j in self.reach(i.0) {
-            let q = self.uncovered[j];
-            if q > 0.0 {
-                gain += q * self.model.p(ti, self.grid.time_of(InstantId(j)));
+        match &self.weights {
+            None => {
+                for j in self.reach(i.0) {
+                    let q = self.uncovered[j];
+                    if q > 0.0 {
+                        gain += q * self.model.p(ti, self.grid.time_of(InstantId(j)));
+                    }
+                }
+            }
+            Some(w) => {
+                for j in self.reach(i.0) {
+                    let q = self.uncovered[j];
+                    if q > 0.0 {
+                        gain += w[j] * (q * self.model.p(ti, self.grid.time_of(InstantId(j))));
+                    }
+                }
             }
         }
         gain
@@ -95,12 +129,17 @@ impl<'a> CoverageState<'a> {
                 let before = self.uncovered[j];
                 let after = before * (1.0 - p);
                 self.uncovered[j] = after;
-                self.total += before - after;
+                let delta = before - after;
+                self.total += match &self.weights {
+                    None => delta,
+                    Some(w) => w[j] * delta,
+                };
             }
         }
     }
 
-    /// Current objective value `f(Ψ) = Σ_j p(tj, Ψ)`.
+    /// Current objective value `f(Ψ) = Σ_j w_j · p(tj, Ψ)` (weights all
+    /// 1 unless the state was built via [`CoverageState::weighted`]).
     pub fn total(&self) -> f64 {
         self.total
     }
@@ -237,6 +276,65 @@ mod tests {
         }
         assert!((state.average() - state.total() / 10.0).abs() < 1e-12);
         assert!(state.average() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn weighted_state_scales_value_not_probability() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let weights: Vec<f64> = (0..10).map(|j| 1.0 / (1.0 + j as f64)).collect();
+        let mut plain = CoverageState::new(&grid, &model);
+        let mut weighted = CoverageState::weighted(&grid, &model, Some(weights.clone()));
+        for i in [2usize, 7] {
+            plain.add(InstantId(i));
+            weighted.add(InstantId(i));
+        }
+        // Probabilities are identical; only the value of covering differs.
+        for j in 0..10 {
+            assert_eq!(
+                plain.coverage_of(InstantId(j)).to_bits(),
+                weighted.coverage_of(InstantId(j)).to_bits()
+            );
+        }
+        let manual: f64 = (0..10).map(|j| weights[j] * plain.coverage_of(InstantId(j))).sum();
+        assert!((weighted.total() - manual).abs() < 1e-9);
+        assert!(weighted.total() < plain.total());
+    }
+
+    #[test]
+    fn weighted_marginal_gain_equals_delta_total() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(15.0);
+        let weights: Vec<f64> = (0..10).map(|j| (-0.02 * 10.0 * j as f64).exp()).collect();
+        let mut state = CoverageState::weighted(&grid, &model, Some(weights));
+        state.add(InstantId(1));
+        let before = state.total();
+        let gain = state.marginal_gain(InstantId(6));
+        state.add(InstantId(6));
+        assert!((state.total() - before - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_bitwise() {
+        // `Some(vec![1.0; n])` takes the weighted code path; the result
+        // must still agree (up to the extra multiply) with unweighted.
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let mut a = CoverageState::new(&grid, &model);
+        let mut b = CoverageState::weighted(&grid, &model, Some(vec![1.0; 10]));
+        for i in 0..10 {
+            a.add(InstantId(i));
+            b.add(InstantId(i));
+        }
+        assert_eq!(a.total().to_bits(), b.total().to_bits(), "w=1 multiplies are exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector")]
+    fn wrong_length_weights_rejected() {
+        let grid = grid100();
+        let model = GaussianCoverage::new(10.0);
+        let _ = CoverageState::weighted(&grid, &model, Some(vec![1.0; 3]));
     }
 
     #[test]

@@ -135,6 +135,22 @@ mod tests {
     }
 
     #[test]
+    fn decay_changes_value_not_schedule() {
+        use crate::schedule::DecayCurve;
+        // The baseline's picks are mechanical (every 10 s from arrival),
+        // so decay must not alter the schedule — only how it is valued.
+        let p = paper_like_problem(&[(0.0, 1000.0, 4), (100.0, 800.0, 3)]);
+        let q = p.clone().with_decay(DecayCurve::exponential(0.002));
+        let sp = baseline(&p);
+        let sq = baseline(&q);
+        assert_eq!(sp, sq);
+        assert!(q.evaluate(&sq) < p.evaluate(&sp), "delayed readings must earn less");
+        // Zero decay stays byte-identical to today.
+        let z = p.clone().with_decay(DecayCurve::Constant);
+        assert_eq!(p.evaluate(&sp).to_bits(), z.evaluate(&baseline(&z)).to_bits());
+    }
+
+    #[test]
     fn late_arrival_snaps_forward() {
         // Arrival at 15 s: first instant at or after is 20 s (id 1).
         let p = paper_like_problem(&[(15.0, 1000.0, 2)]);

@@ -204,4 +204,45 @@ mod tests {
         let p = tiny(21, &[(0.0, 210.0, 1)]);
         brute_force(&p);
     }
+
+    #[test]
+    fn zero_decay_is_byte_identical_to_default() {
+        use crate::schedule::DecayCurve;
+        let p = tiny(8, &[(0.0, 80.0, 2), (20.0, 60.0, 1)]);
+        let q = p.clone().with_decay(DecayCurve::Constant);
+        let sp = brute_force(&p);
+        let sq = brute_force(&q);
+        assert_eq!(sp, sq);
+        assert_eq!(p.evaluate(&sp).to_bits(), q.evaluate(&sq).to_bits());
+    }
+
+    #[test]
+    fn decay_pulls_the_optimum_earlier() {
+        use crate::schedule::DecayCurve;
+        // One user, one pick. Unweighted, the best single instant sits
+        // mid-period; under strong exponential decay, early instants are
+        // worth far more, so the optimum must move to (or stay at) an
+        // earlier instant.
+        let p = tiny(9, &[(0.0, 90.0, 1)]);
+        let flat = brute_force(&p);
+        let decayed = brute_force(&p.clone().with_decay(DecayCurve::exponential(0.05)));
+        assert_eq!(flat.len(), 1);
+        assert_eq!(decayed.len(), 1);
+        assert!(
+            decayed.instants()[0] < flat.instants()[0],
+            "decay should pull the pick earlier: {decayed:?} vs {flat:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_keeps_half_approximation_under_decay() {
+        use crate::schedule::DecayCurve;
+        for decay in [DecayCurve::linear(0.008), DecayCurve::exponential(0.02)] {
+            let p = tiny(6, &[(0.0, 60.0, 2), (20.0, 60.0, 1)]).with_decay(decay);
+            let g = p.evaluate(&greedy(&p));
+            let opt = optimal_value(&p);
+            assert!(opt >= g - 1e-9, "{decay:?}");
+            assert!(g >= 0.5 * opt - 1e-9, "greedy below 1/2·opt under {decay:?}");
+        }
+    }
 }

@@ -11,6 +11,7 @@
 //! (the kernel window shrinks the constant dramatically in practice).
 
 use crate::matroid::SenseAction;
+use crate::schedule::celf::attribute_user;
 use crate::schedule::{Schedule, ScheduleProblem, UserId};
 use crate::time::InstantId;
 
@@ -24,6 +25,15 @@ pub struct GreedyStats {
     pub iterations: u64,
     /// Marginal-gain evaluations performed.
     pub gain_evaluations: u64,
+    /// CELF heap pops (lazy and incremental solvers; 0 for plain greedy).
+    pub heap_pops: u64,
+    /// Stale bounds refreshed and pushed back into the CELF heap.
+    pub bound_reinserts: u64,
+    /// Incremental repairs: replans that reused persisted bounds instead
+    /// of re-evaluating every candidate from scratch.
+    pub incremental_repairs: u64,
+    /// Reschedules triggered by churn events (online scheduler only).
+    pub replans: u64,
 }
 
 impl GreedyStats {
@@ -32,6 +42,10 @@ impl GreedyStats {
     pub fn absorb(&mut self, other: GreedyStats) {
         self.iterations += other.iterations;
         self.gain_evaluations += other.gain_evaluations;
+        self.heap_pops += other.heap_pops;
+        self.bound_reinserts += other.bound_reinserts;
+        self.incremental_repairs += other.incremental_repairs;
+        self.replans += other.replans;
     }
 }
 
@@ -108,11 +122,7 @@ pub fn greedy_seeded_stats(
 
         // Attribute the instant to the feasible user with the most
         // remaining budget (ties: smallest id).
-        let user = *users_at[i]
-            .iter()
-            .filter(|u| remaining[u.0] > 0)
-            .max_by_key(|u| (remaining[u.0], std::cmp::Reverse(u.0)))
-            .expect("feasibility was just checked");
+        let user = attribute_user(&users_at[i], &remaining);
         remaining[user.0] -= 1;
         taken[i] = true;
         state.add(InstantId(i));

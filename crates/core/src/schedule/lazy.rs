@@ -1,17 +1,24 @@
-//! Lazy-evaluation greedy: same output as Algorithm 1, far fewer
-//! marginal-gain evaluations.
+//! Lazy-evaluation greedy (full CELF): same output as Algorithm 1, far
+//! fewer marginal-gain evaluations.
 //!
 //! Submodularity guarantees marginal gains only shrink as the solution
 //! grows, so a stale upper bound popped from a max-heap can be
 //! re-evaluated and re-inserted; when a popped bound is already exact it
-//! must be the true maximiser (Minoux's lazy greedy). Feasibility of an
-//! instant (≥1 present user with budget) also only shrinks, so infeasible
-//! pops are discarded permanently.
+//! must be the true maximiser (Minoux's lazy greedy, the CELF
+//! acceleration). The one heap is carried across *all* selection rounds
+//! — an entry computed in round `r` serves as an upper bound in every
+//! later round until it surfaces again. Feasibility of an instant (≥1
+//! present user with budget) also only shrinks, so infeasible pops are
+//! discarded permanently.
+//!
+//! The shared tie-breaking rules live in [`crate::schedule::celf`]; the
+//! online scheduler's incremental planner reuses them so all solvers
+//! stay bit-identical to plain greedy.
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::matroid::SenseAction;
+use crate::schedule::celf::{attribute_user, Entry};
 use crate::schedule::greedy::GreedyStats;
 use crate::schedule::{Schedule, ScheduleProblem, UserId};
 use crate::time::InstantId;
@@ -19,32 +26,6 @@ use crate::time::InstantId;
 /// Minimum feasible-instant count before the first-round gain sweep
 /// fans out to the worker pool.
 const PAR_FIRST_ROUND_CUTOFF: usize = 64;
-
-/// Heap entry: (cached gain, instant, round the gain was computed in).
-struct Entry {
-    gain: f64,
-    instant: usize,
-    round: usize,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on gain; break ties toward the earlier instant so the
-        // result matches plain greedy exactly.
-        self.gain.total_cmp(&other.gain).then_with(|| other.instant.cmp(&self.instant))
-    }
-}
 
 /// Runs lazy greedy on `problem`. Produces a schedule identical to
 /// [`crate::schedule::greedy`] (same tie-breaking) in far less time on
@@ -55,7 +36,8 @@ pub fn lazy_greedy(problem: &ScheduleProblem) -> Schedule {
 
 /// [`lazy_greedy`], additionally reporting the work performed. The
 /// whole point of laziness is fewer `gain_evaluations` than plain
-/// greedy for the same schedule; the stats make that claim testable.
+/// greedy for the same schedule; the stats make that claim testable
+/// (`heap_pops` and `bound_reinserts` expose the CELF internals).
 pub fn lazy_greedy_stats(problem: &ScheduleProblem) -> (Schedule, GreedyStats) {
     let mut stats = GreedyStats::default();
     let n = problem.grid().len();
@@ -93,6 +75,7 @@ pub fn lazy_greedy_stats(problem: &ScheduleProblem) -> (Schedule, GreedyStats) {
         .collect();
 
     while let Some(top) = heap.pop() {
+        stats.heap_pops += 1;
         let i = top.instant;
         if !users_at[i].iter().any(|u| remaining[u.0] > 0) {
             continue; // permanently infeasible: budgets never regrow
@@ -101,15 +84,12 @@ pub fn lazy_greedy_stats(problem: &ScheduleProblem) -> (Schedule, GreedyStats) {
             // Stale bound: refresh and push back.
             let gain = state.marginal_gain(InstantId(i));
             stats.gain_evaluations += 1;
+            stats.bound_reinserts += 1;
             heap.push(Entry { gain, instant: i, round });
             continue;
         }
         // Exact and maximal: commit.
-        let user = *users_at[i]
-            .iter()
-            .filter(|u| remaining[u.0] > 0)
-            .max_by_key(|u| (remaining[u.0], std::cmp::Reverse(u.0)))
-            .expect("feasibility was just checked");
+        let user = attribute_user(&users_at[i], &remaining);
         remaining[user.0] -= 1;
         state.add(InstantId(i));
         schedule.push(SenseAction { user, instant: i });
@@ -123,7 +103,7 @@ pub fn lazy_greedy_stats(problem: &ScheduleProblem) -> (Schedule, GreedyStats) {
 mod tests {
     use super::*;
     use crate::coverage::GaussianCoverage;
-    use crate::schedule::{greedy, Participant};
+    use crate::schedule::{greedy, DecayCurve, Participant};
     use crate::time::TimeGrid;
 
     fn problem(n: usize, users: &[(f64, f64, usize)]) -> ScheduleProblem {
@@ -152,6 +132,15 @@ mod tests {
         // given identical tie-breaking.
         assert!((p.evaluate(&lazy) - p.evaluate(&plain)).abs() < 1e-9);
         assert_eq!(lazy, plain);
+    }
+
+    #[test]
+    fn matches_plain_greedy_under_decay() {
+        for decay in [DecayCurve::linear(0.0008), DecayCurve::exponential(0.003)] {
+            let p = problem(50, &[(0.0, 500.0, 4), (80.0, 350.0, 3), (200.0, 500.0, 5)])
+                .with_decay(decay);
+            assert_eq!(lazy_greedy(&p), greedy(&p), "decay {decay:?}");
+        }
     }
 
     #[test]
@@ -203,5 +192,21 @@ mod tests {
             lazy_stats.gain_evaluations,
             plain_stats.gain_evaluations
         );
+    }
+
+    #[test]
+    fn heap_counters_account_for_all_work() {
+        let users: Vec<(f64, f64, usize)> = (0..5).map(|k| (k as f64 * 30.0, 500.0, 3)).collect();
+        let p = problem(50, &users);
+        let (s, stats) = lazy_greedy_stats(&p);
+        assert!(stats.heap_pops > 0);
+        // Every pop either commits, discards (infeasible), or reinserts.
+        assert!(stats.heap_pops >= stats.iterations + stats.bound_reinserts);
+        // Evaluations = first-round sweep + one per reinsert.
+        assert_eq!(stats.gain_evaluations, 50 + stats.bound_reinserts);
+        assert_eq!(s.len() as u64, stats.iterations);
+        // The batch solver performs no cross-replan repair.
+        assert_eq!(stats.incremental_repairs, 0);
+        assert_eq!(stats.replans, 0);
     }
 }

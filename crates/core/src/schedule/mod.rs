@@ -10,26 +10,39 @@
 //! Solvers:
 //! - [`greedy`]: the paper's Algorithm 1 — plain greedy, `O(N²)` with
 //!   kernel windowing, 1/2-approximate.
-//! - [`lazy_greedy`]: identical output, accelerated with lazy marginal
-//!   evaluation (valid because gains only shrink as the solution grows).
+//! - [`lazy_greedy`]: identical output, accelerated with full-CELF lazy
+//!   marginal evaluation (valid because gains only shrink as the
+//!   solution grows).
+//! - [`stochastic_greedy`]: sampled greedy — `O(N·ln(1/ε))` total
+//!   evaluations for a `(1 − 1/e − ε)` guarantee; seeded and
+//!   deterministic.
 //! - [`baseline`]: the §V-C comparison — each phone senses every
 //!   `interval` seconds from its arrival until its budget is exhausted.
 //! - [`brute_force`]: exact optimum by exhaustive search, for tiny
 //!   instances only; used to validate the 1/2 approximation bound.
 //! - [`online::OnlineScheduler`]: arrival/departure-driven rescheduling
-//!   in the style of the deployed Sensing Scheduler (§II-B).
+//!   in the style of the deployed Sensing Scheduler (§II-B), with
+//!   incremental CELF repair, solver selection
+//!   ([`online::SolverKind`], env `SOR_SCHED_SOLVER`), and per-task
+//!   value decay ([`DecayCurve`]).
 
 mod baseline;
 mod brute;
+mod celf;
+mod decay;
 mod greedy;
 mod lazy;
 pub mod online;
 mod problem;
+mod stochastic;
 mod types;
 
 pub use baseline::{baseline, baseline_with_interval};
 pub use brute::{brute_force, optimal_value};
+pub use decay::DecayCurve;
 pub use greedy::{greedy, greedy_seeded, greedy_seeded_stats, GreedyStats};
 pub use lazy::{lazy_greedy, lazy_greedy_stats};
+pub use online::{OnlineScheduler, SolverKind};
 pub use problem::ScheduleProblem;
+pub use stochastic::{stochastic_greedy, stochastic_greedy_seeded_stats};
 pub use types::{Participant, Schedule, UserId};

@@ -7,18 +7,91 @@
 //! times; the scheduler must revise the future portion of the schedule
 //! while honouring readings that have already been taken.
 //!
-//! [`OnlineScheduler`] keeps the executed prefix immutable and re-runs
-//! the seeded greedy over the remaining future instants with the
-//! remaining budgets on every participation change.
+//! [`OnlineScheduler`] keeps the executed prefix immutable and re-plans
+//! the future on every participation change. Three interchangeable
+//! solvers are offered (selected by [`SolverKind`], env knob
+//! `SOR_SCHED_SOLVER`):
+//!
+//! - **Exact**: from-scratch seeded plain greedy — the reference.
+//! - **Celf** (default): *incremental* repair. Marginal gains depend
+//!   only on the executed seed set, never on who is present, and the
+//!   seed only grows (planned actions can be torn down, executed ones
+//!   cannot). So every gain ever evaluated against a seed state is a
+//!   valid CELF upper bound for all future replans. The scheduler
+//!   persists those bounds per instant (tagged with the seed length
+//!   they were computed at) and re-plans by re-heaping them with zero
+//!   evaluations: bounds at the current seed length pop as exact,
+//!   older ones refresh lazily, and instants made newly feasible by an
+//!   arrival enter at +∞ and get their first evaluation on pop. Churn
+//!   therefore costs work proportional to what actually changed, while
+//!   the output stays bit-identical to Exact (shared tie-breaking in
+//!   [`crate::schedule::celf`]).
+//! - **Stochastic**: from-scratch sampled greedy
+//!   ([`crate::schedule::stochastic_greedy`]) with a per-replan
+//!   deterministic seed — for metro-sized instances where even one
+//!   full sweep per churn event is too much; `(1 − 1/e − ε)`-quality.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use crate::coverage::CoverageModel;
+use crate::coverage::{CoverageModel, CoverageState};
 use crate::matroid::SenseAction;
+use crate::schedule::celf::{attribute_user, Entry, STALE};
 use crate::schedule::greedy::{greedy_seeded_stats, GreedyStats};
-use crate::schedule::{Participant, Schedule, ScheduleProblem, UserId};
+use crate::schedule::stochastic::stochastic_greedy_seeded_stats;
+use crate::schedule::{DecayCurve, Participant, Schedule, ScheduleProblem, UserId};
 use crate::time::{InstantId, TimeGrid};
+
+/// Which solver the online scheduler runs on each replan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// From-scratch seeded plain greedy (the reference output).
+    Exact,
+    /// Incremental CELF repair — bit-identical to `Exact`, work
+    /// proportional to change. The default.
+    #[default]
+    Celf,
+    /// From-scratch sampled greedy — approximate but `O(N·ln(1/ε))`
+    /// total evaluations per replan.
+    Stochastic,
+}
+
+impl SolverKind {
+    /// Parses a knob value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" | "greedy" => Some(SolverKind::Exact),
+            "celf" | "incremental" | "lazy" => Some(SolverKind::Celf),
+            "stochastic" | "sampled" => Some(SolverKind::Stochastic),
+            _ => None,
+        }
+    }
+
+    /// Reads `SOR_SCHED_SOLVER` (exact | celf | stochastic), defaulting
+    /// to [`SolverKind::Celf`] — safe because Celf output is
+    /// bit-identical to Exact.
+    pub fn from_env() -> Self {
+        std::env::var("SOR_SCHED_SOLVER").ok().and_then(|v| Self::parse(&v)).unwrap_or_default()
+    }
+
+    /// Stable lowercase name (used as a metric label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::Exact => "exact",
+            SolverKind::Celf => "celf",
+            SolverKind::Stochastic => "stochastic",
+        }
+    }
+}
+
+/// A marginal gain persisted across replans, tagged with the executed
+/// seed length it was evaluated at. Valid upper bound forever (the seed
+/// only grows); exact again whenever the seed length still matches.
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    gain: f64,
+    seed_len: usize,
+}
 
 /// Event log entry for observability / tests.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +139,22 @@ pub struct OnlineScheduler {
     events: Vec<OnlineEvent>,
     /// Greedy work accumulated across all reschedules this period.
     stats: GreedyStats,
+    /// Value-decay curve applied to the objective.
+    decay: DecayCurve,
+    /// Solver used on each replan.
+    solver: SolverKind,
+    /// users_at[i]: users whose (possibly truncated) stay covers instant
+    /// `i`. Maintained incrementally on arrival/departure so replans pay
+    /// for the churning user's window, not the whole problem.
+    users_at: Vec<Vec<UserId>>,
+    /// Per-instant seed-versioned gain bounds persisted across replans
+    /// (Celf solver).
+    bounds: Vec<Option<Bound>>,
+    /// Sampling slack for the stochastic solver.
+    stoch_epsilon: f64,
+    /// Base PRNG seed for the stochastic solver; each replan derives a
+    /// distinct deterministic stream from it.
+    stoch_seed: u64,
 }
 
 impl std::fmt::Debug for OnlineScheduler {
@@ -75,6 +164,8 @@ impl std::fmt::Debug for OnlineScheduler {
             .field("participants", &self.participants.len())
             .field("executed", &self.executed.len())
             .field("planned", &self.planned.len())
+            .field("solver", &self.solver)
+            .field("decay", &self.decay)
             .finish()
     }
 }
@@ -87,6 +178,7 @@ impl OnlineScheduler {
 
     /// Creates an online scheduler sharing an existing model handle.
     pub fn from_arc(grid: TimeGrid, model: Arc<dyn CoverageModel>) -> Self {
+        let n = grid.len();
         OnlineScheduler {
             grid,
             model,
@@ -96,7 +188,47 @@ impl OnlineScheduler {
             now: grid.start(),
             events: Vec::new(),
             stats: GreedyStats::default(),
+            decay: DecayCurve::Constant,
+            solver: SolverKind::from_env(),
+            users_at: vec![Vec::new(); n],
+            bounds: vec![None; n],
+            stoch_epsilon: 0.1,
+            stoch_seed: 0x5EED,
         }
+    }
+
+    /// Applies a value-decay curve. Set this before the first arrival:
+    /// persisted gain bounds are computed under the curve in force.
+    #[must_use]
+    pub fn with_decay(mut self, decay: DecayCurve) -> Self {
+        debug_assert!(self.executed.is_empty() && self.planned.is_empty());
+        self.decay = decay;
+        self
+    }
+
+    /// Selects the replan solver (overrides `SOR_SCHED_SOLVER`).
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Configures the stochastic solver's sampling slack and base seed.
+    #[must_use]
+    pub fn with_stochastic(mut self, epsilon: f64, seed: u64) -> Self {
+        self.stoch_epsilon = epsilon;
+        self.stoch_seed = seed;
+        self
+    }
+
+    /// The solver in use.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
+    }
+
+    /// The decay curve in force.
+    pub fn decay(&self) -> DecayCurve {
+        self.decay
     }
 
     /// Current simulation time.
@@ -131,20 +263,22 @@ impl OnlineScheduler {
         &self.events
     }
 
-    /// Cumulative greedy work (selection rounds and marginal-gain
-    /// evaluations) across every reschedule this period.
+    /// Cumulative solver work (selection rounds, marginal-gain
+    /// evaluations, heap traffic, replans) across every reschedule this
+    /// period.
     pub fn stats(&self) -> GreedyStats {
         self.stats
     }
 
     /// Objective value of the combined schedule under this period's
-    /// coverage model.
+    /// coverage model and decay curve.
     pub fn coverage(&self) -> f64 {
         let problem = ScheduleProblem::from_arc(
             self.grid,
             Arc::clone(&self.model),
             self.participants.clone(),
-        );
+        )
+        .with_decay(self.decay);
         problem.evaluate(&self.current_schedule())
     }
 
@@ -170,8 +304,19 @@ impl OnlineScheduler {
     /// still count against the new budget).
     pub fn arrive(&mut self, user: UserId, t: f64, departure: f64, budget: usize) {
         self.advance_to(t);
+        let grid = self.grid;
+        if let Some(prev) = self.participants.iter().find(|p| p.user == user) {
+            let old = grid.instants_within(prev.arrival, prev.departure);
+            for i in old {
+                self.users_at[i].retain(|&u| u != user);
+            }
+        }
         self.participants.retain(|p| p.user != user);
-        self.participants.push(Participant::new(user, t, departure, budget));
+        let p = Participant::new(user, t, departure, budget);
+        for i in grid.instants_within(p.arrival, p.departure) {
+            self.users_at[i].push(user);
+        }
+        self.participants.push(p);
         self.events.push(OnlineEvent::Arrived(user, t));
         self.reschedule();
     }
@@ -181,16 +326,33 @@ impl OnlineScheduler {
     /// rest of the plan is recomputed.
     pub fn depart(&mut self, user: UserId, t: f64) {
         self.advance_to(t);
+        let grid = self.grid;
         if let Some(p) = self.participants.iter_mut().find(|p| p.user == user) {
+            let old = grid.instants_within(p.arrival, p.departure);
             p.departure = p.departure.min(t);
+            let new = grid.instants_within(p.arrival, p.departure);
+            for i in new.end..old.end {
+                self.users_at[i].retain(|&u| u != user);
+            }
         }
         self.events.push(OnlineEvent::Departed(user, t));
         self.reschedule();
     }
 
-    /// Recomputes the future plan: remaining budgets over remaining
-    /// instants, seeded with the executed prefix.
+    /// Recomputes the future plan with the configured solver.
     fn reschedule(&mut self) {
+        self.stats.replans += 1;
+        match self.solver {
+            SolverKind::Celf => self.reschedule_incremental(),
+            SolverKind::Exact | SolverKind::Stochastic => self.reschedule_from_scratch(),
+        }
+        self.events
+            .push(OnlineEvent::Rescheduled { at: self.now, future_actions: self.planned.len() });
+    }
+
+    /// From-scratch replan: remaining budgets over remaining instants,
+    /// seeded with the executed prefix (Exact and Stochastic solvers).
+    fn reschedule_from_scratch(&mut self) {
         let mut executed_counts: HashMap<UserId, usize> = HashMap::new();
         for a in &self.executed {
             *executed_counts.entry(a.user).or_insert(0) += 1;
@@ -209,13 +371,122 @@ impl OnlineScheduler {
             .collect();
 
         let problem =
-            ScheduleProblem::from_arc(self.grid, Arc::clone(&self.model), future_participants);
+            ScheduleProblem::from_arc(self.grid, Arc::clone(&self.model), future_participants)
+                .with_decay(self.decay);
         let seed: Vec<InstantId> = self.executed.iter().map(|a| InstantId(a.instant)).collect();
-        let (schedule, stats) = greedy_seeded_stats(&problem, &seed);
+        let (schedule, stats) = match self.solver {
+            SolverKind::Stochastic => {
+                // `replans` was already bumped, so each replan draws a
+                // distinct — but reproducible — sample stream.
+                let rng_seed = self.stoch_seed.wrapping_add(self.stats.replans);
+                stochastic_greedy_seeded_stats(&problem, &seed, self.stoch_epsilon, rng_seed)
+            }
+            _ => greedy_seeded_stats(&problem, &seed),
+        };
         self.stats.absorb(stats);
         self.planned = schedule.assignments().to_vec();
-        self.events
-            .push(OnlineEvent::Rescheduled { at: self.now, future_actions: self.planned.len() });
+    }
+
+    /// Incremental CELF repair (the Celf solver).
+    ///
+    /// Correctness argument, in three parts:
+    ///
+    /// 1. *Bounds stay valid.* A persisted bound was evaluated against
+    ///    some historical executed-seed state. The current seed is a
+    ///    superset (executed actions are never removed), so by
+    ///    submodularity the true gain can only be ≤ the bound. Arrivals
+    ///    and departures change *feasibility* only — gains never read
+    ///    participation — so no churn event can raise a gain above its
+    ///    bound. Bounds evaluated mid-replan (after selections) are NOT
+    ///    persisted: the selections they saw may be torn down later,
+    ///    which could raise gains back above them.
+    /// 2. *Exactness is detected.* A bound tagged with the current seed
+    ///    length was evaluated against exactly this seed state (same
+    ///    prefix, same insertion order, same floats), so at round 0 it
+    ///    is the true gain and may be committed without re-evaluation.
+    /// 3. *Output matches Exact bit-for-bit.* Both build the identical
+    ///    seed state, consider the identical candidate set (instants at
+    ///    time ≥ now inside someone's clamped stay), compare gains
+    ///    produced by the identical float pipeline, and share tie-break
+    ///    rules via [`crate::schedule::celf`]; CELF's pop-exact rule
+    ///    then selects the same argmax every round.
+    fn reschedule_incremental(&mut self) {
+        let grid = self.grid;
+        let model = Arc::clone(&self.model);
+        let n = grid.len();
+        let seed_len = self.executed.len();
+
+        // Remaining budget per user: registered budget minus executed
+        // readings. Users whose stay already ended contribute nothing —
+        // mirrors the from-scratch filter `departure <= now`.
+        let max_id = self.participants.iter().map(|p| p.user.0 + 1).max().unwrap_or(0);
+        let mut remaining = vec![0usize; max_id];
+        for p in &self.participants {
+            if p.departure <= self.now {
+                continue;
+            }
+            remaining[p.user.0] = p.budget;
+        }
+        for a in &self.executed {
+            if let Some(r) = remaining.get_mut(a.user.0) {
+                *r = r.saturating_sub(1);
+            }
+        }
+
+        // Rebuild the seed coverage state: O(|executed|·window) kernel
+        // work, zero gain evaluations, same insertion order as the
+        // from-scratch path ⇒ identical floats.
+        let mut state = CoverageState::weighted(&grid, &*model, self.decay.weights(&grid));
+        let mut taken = vec![false; n];
+        for a in &self.executed {
+            taken[a.instant] = true;
+            state.add(InstantId(a.instant));
+        }
+
+        // Re-heap the persisted bounds — zero evaluations. Exact at the
+        // current seed length, stale upper bound otherwise; candidates
+        // never bounded before (e.g. an arrival opened their window)
+        // enter at +∞ and get their first evaluation on pop.
+        let mut heap: BinaryHeap<Entry> = (0..n)
+            .filter(|&i| {
+                !taken[i] && !self.users_at[i].is_empty() && grid.time_of(InstantId(i)) >= self.now
+            })
+            .map(|i| match self.bounds[i] {
+                Some(b) if b.seed_len == seed_len => Entry { gain: b.gain, instant: i, round: 0 },
+                Some(b) => Entry { gain: b.gain, instant: i, round: STALE },
+                None => Entry { gain: f64::INFINITY, instant: i, round: STALE },
+            })
+            .collect();
+
+        let mut round = 0usize;
+        let mut planned = Vec::new();
+        while let Some(top) = heap.pop() {
+            self.stats.heap_pops += 1;
+            let i = top.instant;
+            if !self.users_at[i].iter().any(|u| remaining[u.0] > 0) {
+                continue; // infeasible for the rest of this replan
+            }
+            if top.round != round {
+                let gain = state.marginal_gain(InstantId(i));
+                self.stats.gain_evaluations += 1;
+                self.stats.bound_reinserts += 1;
+                if round == 0 {
+                    // Evaluated against the pure seed state: a durable
+                    // upper bound for every future replan.
+                    self.bounds[i] = Some(Bound { gain, seed_len });
+                }
+                heap.push(Entry { gain, instant: i, round });
+                continue;
+            }
+            let user = attribute_user(&self.users_at[i], &remaining);
+            remaining[user.0] -= 1;
+            state.add(InstantId(i));
+            planned.push(SenseAction { user, instant: i });
+            round += 1;
+            self.stats.iterations += 1;
+        }
+        self.planned = planned;
+        self.stats.incremental_repairs += 1;
     }
 }
 
@@ -227,6 +498,11 @@ mod tests {
     fn scheduler() -> OnlineScheduler {
         let grid = TimeGrid::new(0.0, 1000.0, 100).unwrap();
         OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+    }
+
+    fn scheduler_with(solver: SolverKind) -> OnlineScheduler {
+        let grid = TimeGrid::new(0.0, 1000.0, 100).unwrap();
+        OnlineScheduler::new(grid, GaussianCoverage::new(10.0)).with_solver(solver)
     }
 
     #[test]
@@ -340,8 +616,144 @@ mod tests {
         let after_first = s.stats();
         assert!(after_first.iterations >= 5);
         assert!(after_first.gain_evaluations >= after_first.iterations);
+        assert_eq!(after_first.replans, 1);
         s.arrive(UserId(1), 200.0, 900.0, 3);
         let after_second = s.stats();
         assert!(after_second.gain_evaluations > after_first.gain_evaluations);
+        assert_eq!(after_second.replans, 2);
+    }
+
+    #[test]
+    fn solver_kind_parses_knob_values() {
+        assert_eq!(SolverKind::parse("exact"), Some(SolverKind::Exact));
+        assert_eq!(SolverKind::parse("CELF"), Some(SolverKind::Celf));
+        assert_eq!(SolverKind::parse("Stochastic"), Some(SolverKind::Stochastic));
+        assert_eq!(SolverKind::parse("nonsense"), None);
+        assert_eq!(SolverKind::default(), SolverKind::Celf);
+        assert_eq!(SolverKind::Celf.name(), "celf");
+    }
+
+    /// Drives two schedulers through the same churn trace and asserts
+    /// their schedules agree bit-for-bit at every step.
+    fn assert_trace_identical(mut a: OnlineScheduler, mut b: OnlineScheduler) {
+        let trace: &[(&str, usize, f64, f64, usize)] = &[
+            ("arrive", 0, 0.0, 900.0, 5),
+            ("arrive", 1, 50.0, 600.0, 4),
+            ("advance", 0, 200.0, 0.0, 0),
+            ("arrive", 2, 200.0, 1000.0, 6),
+            ("depart", 1, 350.0, 0.0, 0),
+            ("advance", 0, 500.0, 0.0, 0),
+            ("arrive", 3, 500.0, 1000.0, 3),
+            ("arrive", 0, 620.0, 1000.0, 7), // re-arrival
+            ("depart", 2, 700.0, 0.0, 0),
+            ("arrive", 4, 800.0, 1000.0, 2),
+        ];
+        for &(op, user, t, dep, budget) in trace {
+            match op {
+                "arrive" => {
+                    a.arrive(UserId(user), t, dep, budget);
+                    b.arrive(UserId(user), t, dep, budget);
+                }
+                "depart" => {
+                    a.depart(UserId(user), t);
+                    b.depart(UserId(user), t);
+                }
+                _ => {
+                    a.advance_to(t);
+                    b.advance_to(t);
+                }
+            }
+            assert_eq!(
+                a.current_schedule(),
+                b.current_schedule(),
+                "solvers diverged after {op} u{user} at t={t}"
+            );
+        }
+        assert_eq!(a.coverage().to_bits(), b.coverage().to_bits());
+    }
+
+    #[test]
+    fn celf_is_bit_identical_to_exact_over_churn() {
+        assert_trace_identical(scheduler_with(SolverKind::Exact), scheduler_with(SolverKind::Celf));
+    }
+
+    #[test]
+    fn celf_matches_exact_under_decay() {
+        let grid = TimeGrid::new(0.0, 1000.0, 100).unwrap();
+        for decay in [DecayCurve::linear(0.0008), DecayCurve::exponential(0.002)] {
+            let a = OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+                .with_solver(SolverKind::Exact)
+                .with_decay(decay);
+            let b = OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+                .with_solver(SolverKind::Celf)
+                .with_decay(decay);
+            assert_trace_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn celf_repairs_cost_far_less_than_full_replans() {
+        let mut exact = scheduler_with(SolverKind::Exact);
+        let mut celf = scheduler_with(SolverKind::Celf);
+        for s in [&mut exact, &mut celf] {
+            s.arrive(UserId(0), 0.0, 1000.0, 4);
+            s.arrive(UserId(1), 100.0, 800.0, 4);
+            s.advance_to(250.0);
+            s.arrive(UserId(2), 250.0, 1000.0, 4);
+            s.depart(UserId(1), 400.0);
+            s.arrive(UserId(3), 550.0, 1000.0, 4);
+            s.arrive(UserId(4), 700.0, 1000.0, 4);
+        }
+        assert_eq!(exact.current_schedule(), celf.current_schedule());
+        let (e, c) = (exact.stats(), celf.stats());
+        assert_eq!(c.incremental_repairs, c.replans, "every Celf replan is a repair");
+        assert_eq!(e.incremental_repairs, 0);
+        assert!(
+            c.gain_evaluations * 2 < e.gain_evaluations,
+            "incremental repair should cost far fewer evals: celf {} vs exact {}",
+            c.gain_evaluations,
+            e.gain_evaluations
+        );
+        assert!(c.heap_pops > 0 && c.bound_reinserts > 0);
+    }
+
+    #[test]
+    fn stochastic_solver_is_deterministic_and_feasible() {
+        let run = || {
+            let mut s = scheduler_with(SolverKind::Stochastic);
+            s.arrive(UserId(0), 0.0, 900.0, 5);
+            s.arrive(UserId(1), 100.0, 700.0, 4);
+            s.advance_to(300.0);
+            s.arrive(UserId(2), 300.0, 1000.0, 6);
+            s.depart(UserId(1), 450.0);
+            s
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.current_schedule(), b.current_schedule());
+        let plan = a.current_schedule();
+        assert!(plan.load_of(UserId(0)) <= 5);
+        assert!(plan.load_of(UserId(1)) <= 4);
+        assert!(plan.load_of(UserId(2)) <= 6);
+        assert!(a.coverage() > 0.0);
+    }
+
+    #[test]
+    fn stochastic_quality_close_to_exact_online() {
+        let mut exact = scheduler_with(SolverKind::Exact);
+        let mut stoch = scheduler_with(SolverKind::Stochastic);
+        for s in [&mut exact, &mut stoch] {
+            s.arrive(UserId(0), 0.0, 1000.0, 6);
+            s.arrive(UserId(1), 150.0, 850.0, 5);
+            s.advance_to(400.0);
+            s.arrive(UserId(2), 400.0, 1000.0, 4);
+        }
+        let threshold = 1.0 - (-1.0f64).exp() - 0.1;
+        assert!(
+            stoch.coverage() >= threshold * exact.coverage(),
+            "stochastic {} < {threshold:.3} × exact {}",
+            stoch.coverage(),
+            exact.coverage()
+        );
     }
 }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use crate::coverage::{CoverageModel, CoverageState};
 use crate::matroid::BudgetMatroid;
-use crate::schedule::{Participant, Schedule, UserId};
+use crate::schedule::{DecayCurve, Participant, Schedule, UserId};
 use crate::time::{InstantId, TimeGrid};
 use crate::CoreError;
 
@@ -17,6 +17,7 @@ pub struct ScheduleProblem {
     grid: TimeGrid,
     model: Arc<dyn CoverageModel>,
     participants: Vec<Participant>,
+    decay: DecayCurve,
 }
 
 impl std::fmt::Debug for ScheduleProblem {
@@ -24,6 +25,7 @@ impl std::fmt::Debug for ScheduleProblem {
         f.debug_struct("ScheduleProblem")
             .field("grid", &self.grid)
             .field("participants", &self.participants.len())
+            .field("decay", &self.decay)
             .finish()
     }
 }
@@ -47,7 +49,22 @@ impl ScheduleProblem {
         model: Arc<dyn CoverageModel>,
         participants: Vec<Participant>,
     ) -> Self {
-        ScheduleProblem { grid, model, participants }
+        ScheduleProblem { grid, model, participants, decay: DecayCurve::Constant }
+    }
+
+    /// Applies a value-decay curve to the objective: covering instant
+    /// `t_j` is worth `w(t_j − start)` instead of 1. All solvers
+    /// (greedy, lazy/CELF, stochastic, brute force) and `evaluate`
+    /// honour the curve because they share [`Self::coverage_state`].
+    #[must_use]
+    pub fn with_decay(mut self, decay: DecayCurve) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// The value-decay curve in force (default: [`DecayCurve::Constant`]).
+    pub fn decay(&self) -> DecayCurve {
+        self.decay
     }
 
     /// Shared handle to the coverage model.
@@ -136,9 +153,10 @@ impl ScheduleProblem {
         true
     }
 
-    /// Objective value `f` (eq. 4) of a schedule.
+    /// Objective value `f` (eq. 4, decay-weighted when a curve is set)
+    /// of a schedule.
     pub fn evaluate(&self, schedule: &Schedule) -> f64 {
-        let mut state = CoverageState::new(&self.grid, self.model.as_ref());
+        let mut state = self.coverage_state();
         for a in schedule.iter() {
             state.add(InstantId(a.instant));
         }
@@ -155,16 +173,17 @@ impl ScheduleProblem {
     /// analysis of §V-C: the greedy spreads coverage evenly where the
     /// baseline clusters it).
     pub fn coverage_profile(&self, schedule: &Schedule) -> Vec<f64> {
-        let mut state = CoverageState::new(&self.grid, self.model.as_ref());
+        let mut state = self.coverage_state();
         for a in schedule.iter() {
             state.add(InstantId(a.instant));
         }
         (0..self.grid.len()).map(|j| state.coverage_of(InstantId(j))).collect()
     }
 
-    /// A fresh incremental coverage state for this instance.
+    /// A fresh incremental coverage state for this instance, weighted by
+    /// the decay curve when one is set.
     pub fn coverage_state(&self) -> CoverageState<'_> {
-        CoverageState::new(&self.grid, self.model.as_ref())
+        CoverageState::weighted(&self.grid, self.model.as_ref(), self.decay.weights(&self.grid))
     }
 }
 

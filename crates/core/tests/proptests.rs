@@ -7,8 +7,10 @@ use sor_core::ranking::{
     aggregate, footrule_distance, individual_rankings, kemeny_distance, weighted_footrule,
     weighted_kemeny, AggregationMethod, Ranking,
 };
+use sor_core::schedule::online::{OnlineScheduler, SolverKind};
 use sor_core::schedule::{
-    baseline, brute_force, greedy, lazy_greedy, Participant, ScheduleProblem, UserId,
+    baseline, brute_force, greedy, lazy_greedy, stochastic_greedy, DecayCurve, Participant,
+    ScheduleProblem, UserId,
 };
 use sor_core::time::{InstantId, TimeGrid};
 
@@ -48,6 +50,59 @@ fn small_problem() -> impl Strategy<Value = ScheduleProblem> {
             let grid = TimeGrid::new(0.0, span, n).unwrap();
             ScheduleProblem::new(grid, GaussianCoverage::new(sigma), participants)
         })
+}
+
+fn decay_curve() -> impl Strategy<Value = DecayCurve> {
+    prop_oneof![
+        Just(DecayCurve::Constant),
+        (0.0f64..0.02).prop_map(DecayCurve::linear),
+        (0.0f64..0.02).prop_map(DecayCurve::exponential),
+    ]
+}
+
+/// A mid-sized problem (large enough for CELF laziness to matter) with a
+/// random decay curve applied.
+fn decayed_problem() -> impl Strategy<Value = ScheduleProblem> {
+    (
+        8usize..=40, // instants
+        proptest::collection::vec((0.0f64..200.0, 20.0f64..400.0, 0usize..5), 0..5),
+        1.0f64..30.0, // sigma
+        decay_curve(),
+    )
+        .prop_map(|(n, users, sigma, decay)| {
+            let span = 10.0 * n as f64;
+            let participants = users
+                .iter()
+                .enumerate()
+                .map(|(k, &(a, d, b))| {
+                    let arrival = a.min(span - 1.0);
+                    let departure = (arrival + d).min(span);
+                    Participant::new(UserId(k), arrival, departure, b)
+                })
+                .collect();
+            let grid = TimeGrid::new(0.0, span, n).unwrap();
+            ScheduleProblem::new(grid, GaussianCoverage::new(sigma), participants).with_decay(decay)
+        })
+}
+
+/// One churn event for the online-scheduler equivalence property.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Arrive { user: usize, dt: f64, stay: f64, budget: usize },
+    Depart { user: usize, dt: f64 },
+    Advance { dt: f64 },
+}
+
+fn churn_trace() -> impl Strategy<Value = Vec<ChurnOp>> {
+    let op = prop_oneof![
+        (0usize..5, 0.0f64..80.0, 30.0f64..400.0, 1usize..5)
+            .prop_map(|(user, dt, stay, budget)| ChurnOp::Arrive { user, dt, stay, budget }),
+        (0usize..5, 0.0f64..80.0, 30.0f64..400.0, 1usize..5)
+            .prop_map(|(user, dt, stay, budget)| ChurnOp::Arrive { user, dt, stay, budget }),
+        (0usize..5, 0.0f64..80.0).prop_map(|(user, dt)| ChurnOp::Depart { user, dt }),
+        (0.0f64..120.0).prop_map(|dt| ChurnOp::Advance { dt }),
+    ];
+    proptest::collection::vec(op, 1..10)
 }
 
 // ---------------------------------------------------------------------
@@ -153,6 +208,68 @@ proptest! {
         let opt = problem.evaluate(&brute_force(&problem));
         prop_assert!(g <= opt + 1e-9);
         prop_assert!(g >= 0.5 * opt - 1e-9, "greedy {} < half of optimum {}", g, opt);
+    }
+
+    /// CELF is *bit-identical* to plain greedy — same instants, same
+    /// user attribution, same order — on random problems with random
+    /// decay curves (the acceptance bar for the lazy solver).
+    #[test]
+    fn celf_bit_identical_to_plain_greedy(problem in decayed_problem()) {
+        prop_assert_eq!(lazy_greedy(&problem), greedy(&problem));
+    }
+
+    /// Incremental re-planning (Celf) matches from-scratch re-planning
+    /// (Exact) bit-for-bit after every event of a random churn trace,
+    /// under a random decay curve.
+    #[test]
+    fn incremental_replan_matches_from_scratch(
+        trace in churn_trace(),
+        decay in decay_curve(),
+    ) {
+        let grid = TimeGrid::new(0.0, 600.0, 60).unwrap();
+        let mut exact = OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+            .with_solver(SolverKind::Exact)
+            .with_decay(decay);
+        let mut celf = OnlineScheduler::new(grid, GaussianCoverage::new(10.0))
+            .with_solver(SolverKind::Celf)
+            .with_decay(decay);
+        let mut t = 0.0f64;
+        for op in &trace {
+            match *op {
+                ChurnOp::Arrive { user, dt, stay, budget } => {
+                    t = (t + dt).min(600.0);
+                    exact.arrive(UserId(user), t, (t + stay).min(600.0), budget);
+                    celf.arrive(UserId(user), t, (t + stay).min(600.0), budget);
+                }
+                ChurnOp::Depart { user, dt } => {
+                    t = (t + dt).min(600.0);
+                    exact.depart(UserId(user), t);
+                    celf.depart(UserId(user), t);
+                }
+                ChurnOp::Advance { dt } => {
+                    t = (t + dt).min(600.0);
+                    exact.advance_to(t);
+                    celf.advance_to(t);
+                }
+            }
+            prop_assert_eq!(
+                exact.current_schedule(),
+                celf.current_schedule(),
+                "diverged after {:?} at t={}", op, t
+            );
+        }
+        prop_assert_eq!(exact.coverage().to_bits(), celf.coverage().to_bits());
+    }
+
+    /// Stochastic greedy is deterministic per seed and always feasible
+    /// on random decayed problems (its quality floor is pinned by the
+    /// fixed-seed tests in `schedule::stochastic`).
+    #[test]
+    fn stochastic_greedy_deterministic_and_feasible(problem in decayed_problem()) {
+        let a = stochastic_greedy(&problem, 0.1, 99);
+        let b = stochastic_greedy(&problem, 0.1, 99);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(problem.is_feasible(&a));
     }
 
     /// The baseline is always feasible (budget + stay constraints). Note

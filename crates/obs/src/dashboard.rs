@@ -19,6 +19,9 @@
 //! - **script engine** — bytecode VM runs and the compilation cache's
 //!   hit rate (absent counters render as a note, not an error: the
 //!   tree-walking engine exports none of them);
+//! - **scheduler** — replan counts labelled by solver, marginal-gain
+//!   evaluations per replan, and the CELF heap/bound/repair traffic
+//!   (`sched.*` counters exported by the server's replan loop);
 //! - **health** — the exported SLO grades, embedded verbatim.
 
 use std::collections::BTreeMap;
@@ -268,6 +271,37 @@ pub fn render_dashboard(
         ));
     }
 
+    // Scheduler: replan and CELF work accounting (`sched.*` counters).
+    // The replan counter is labelled by solver, so the rows double as
+    // the "which solver is in use" display.
+    out.push_str("\n-- scheduler --\n");
+    let replan_rows: Vec<(&str, f64)> = counters
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("sched.replans_run.").and_then(|s| v.as_f64().map(|n| (s, n)))
+        })
+        .collect();
+    let replans: f64 = replan_rows.iter().map(|(_, n)| n).sum();
+    if replans == 0.0 && counter("sched.gain_evaluations") == 0.0 {
+        out.push_str("  (no scheduler counters exported)\n");
+    } else {
+        let solvers = if replan_rows.is_empty() {
+            "solver unknown".to_string()
+        } else {
+            replan_rows.iter().map(|(s, n)| format!("{s} x{n}")).collect::<Vec<_>>().join(", ")
+        };
+        out.push_str(&format!("  replans: {replans} ({solvers})\n"));
+        let evals = counter("sched.gain_evaluations");
+        let per = if replans > 0.0 { evals / replans } else { 0.0 };
+        out.push_str(&format!("  gain evals: {evals} ({per:.1} per replan)\n"));
+        out.push_str(&format!(
+            "  celf: {} heap pops, {} bounds reinserted, {} incremental repairs\n",
+            counter("sched.heap_pops"),
+            counter("sched.bounds_reinserted"),
+            counter("sched.repairs_run")
+        ));
+    }
+
     out.push_str("\n-- health --\n");
     match health {
         Some(h) if !h.trim().is_empty() => {
@@ -331,10 +365,13 @@ mod tests {
             "windowed trends",
             "-- sampler --",
             "-- script engine --",
+            "-- scheduler --",
             "-- health --",
         ] {
             assert!(d1.contains(section), "missing `{section}` in:\n{d1}");
         }
+        // No sched counters in the sample inputs either.
+        assert!(d1.contains("no scheduler counters exported"), "{d1}");
         // No VM counters in the sample inputs: the section degrades to
         // an explanatory note instead of a 0/0 hit rate.
         assert!(d1.contains("no bytecode-engine counters"), "{d1}");
@@ -370,6 +407,23 @@ mod tests {
         let d = render_dashboard(&t, &m, None, None);
         assert!(d.contains("vm runs: 4  compiles: 1"), "{d}");
         assert!(d.contains("3 hit / 1 miss (75.0% hit rate), 0 evicted"), "{d}");
+    }
+
+    #[test]
+    fn scheduler_section_reports_solver_and_eval_rate() {
+        let (t, _, _, _) = sample_inputs();
+        let mut m = MetricsRegistry::new();
+        m.count("sched.iterations_run", 12);
+        m.count("sched.gain_evaluations", 90);
+        m.count("sched.heap_pops", 40);
+        m.count("sched.bounds_reinserted", 7);
+        m.count("sched.repairs_run", 5);
+        m.count("sched.replans_run.celf", 6);
+        let m = parse(&m.to_json()).unwrap();
+        let d = render_dashboard(&t, &m, None, None);
+        assert!(d.contains("replans: 6 (celf x6)"), "{d}");
+        assert!(d.contains("gain evals: 90 (15.0 per replan)"), "{d}");
+        assert!(d.contains("40 heap pops, 7 bounds reinserted, 5 incremental repairs"), "{d}");
     }
 
     #[test]

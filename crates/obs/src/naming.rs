@@ -111,6 +111,16 @@ mod tests {
             "script.cache_hits",
             "script.cache_misses",
             "script.cache_evictions",
+            // PR 9: churn-surviving scheduler names.
+            "sched.iterations_run",
+            "sched.gain_evaluations",
+            "sched.replan_gain_evaluations",
+            "sched.heap_pops",
+            "sched.bounds_reinserted",
+            "sched.repairs_run",
+            "sched.replans_run.celf",
+            "sched.replans_run.exact",
+            "sched.replans_run.stochastic",
         ] {
             assert!(check_name(name).is_ok(), "{name} should conform");
         }

@@ -324,25 +324,47 @@ impl SensingServer {
         self.record_scheduler_work();
     }
 
-    /// Exports the greedy work done since the last call as counters
-    /// (`sched.iterations_run`, `sched.gain_evaluations`). Work counts,
-    /// not wall time: the deterministic cost measure of the scheduler.
+    /// Exports the solver work done since the last call as counters
+    /// (`sched.iterations_run`, `sched.gain_evaluations`, CELF heap
+    /// traffic, replan counts labelled by solver). Work counts, not wall
+    /// time: the deterministic cost measure of the scheduler.
     fn record_scheduler_work(&mut self) {
         if !self.recorder.is_enabled() {
             return;
         }
         let mut total = GreedyStats::default();
+        let mut solver = None;
         for sched in self.schedulers.values() {
             total.absorb(sched.stats());
+            solver.get_or_insert_with(|| sched.solver().name());
         }
-        let new_iters = total.iterations - self.sched_work_reported.iterations;
-        let new_evals = total.gain_evaluations - self.sched_work_reported.gain_evaluations;
+        let done = &self.sched_work_reported;
+        let new_iters = total.iterations - done.iterations;
+        let new_evals = total.gain_evaluations - done.gain_evaluations;
+        let new_pops = total.heap_pops - done.heap_pops;
+        let new_reinserts = total.bound_reinserts - done.bound_reinserts;
+        let new_repairs = total.incremental_repairs - done.incremental_repairs;
+        let new_replans = total.replans - done.replans;
         if new_iters > 0 {
             self.recorder.count("sched.iterations_run", new_iters);
         }
         if new_evals > 0 {
             self.recorder.count("sched.gain_evaluations", new_evals);
             self.recorder.observe("sched.replan_gain_evaluations", new_evals as f64);
+        }
+        if new_pops > 0 {
+            self.recorder.count("sched.heap_pops", new_pops);
+        }
+        if new_reinserts > 0 {
+            self.recorder.count("sched.bounds_reinserted", new_reinserts);
+        }
+        if new_repairs > 0 {
+            self.recorder.count("sched.repairs_run", new_repairs);
+        }
+        if new_replans > 0 {
+            // Labelled by solver so `sor top` can show what's in use.
+            let label = solver.unwrap_or("celf");
+            self.recorder.count_labeled("sched.replans_run", label, new_replans);
         }
         self.sched_work_reported = total;
     }

@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use sor_core::coverage::GaussianCoverage;
-use sor_core::schedule::{baseline, lazy_greedy_stats, Participant, ScheduleProblem, UserId};
+use sor_core::schedule::{
+    baseline, lazy_greedy_stats, DecayCurve, GreedyStats, OnlineScheduler, Participant,
+    ScheduleProblem, SolverKind, UserId,
+};
 use sor_core::time::TimeGrid;
 use sor_obs::Recorder;
 
@@ -35,6 +38,9 @@ pub struct SchedulingConfig {
     pub runs: usize,
     /// RNG seed.
     pub seed: u64,
+    /// How task value decays with delay ([`DecayCurve::Constant`] is
+    /// the paper's unweighted objective).
+    pub decay: DecayCurve,
 }
 
 impl SchedulingConfig {
@@ -49,6 +55,7 @@ impl SchedulingConfig {
             sigma: 10.0,
             runs: 10,
             seed,
+            decay: DecayCurve::Constant,
         }
     }
 }
@@ -109,7 +116,8 @@ pub fn run_scheduling_sim_traced(cfg: SchedulingConfig, recorder: &Recorder) -> 
     let mut base_ivar = Vec::with_capacity(cfg.runs);
     for _ in 0..cfg.runs {
         let participants = draw_participants(&cfg, &mut rng);
-        let problem = ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants);
+        let problem = ScheduleProblem::new(grid, GaussianCoverage::new(cfg.sigma), participants)
+            .with_decay(cfg.decay);
         let (schedule, stats) = lazy_greedy_stats(&problem);
         recorder.count("sched.sim_runs", 1);
         recorder.count("sched.sim_iterations", stats.iterations);
@@ -137,6 +145,119 @@ pub fn run_scheduling_sim_traced(cfg: SchedulingConfig, recorder: &Recorder) -> 
     }
 }
 
+/// Knobs for the churn simulation: a population under arrival/departure
+/// churn, re-planned online after every event. Defaults come from
+/// [`ChurnConfig::at_scale`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Grid instants `N` (the scale axis of the `sched_churn` bench).
+    pub instants: usize,
+    /// Period length (seconds).
+    pub period: f64,
+    /// Initial population present at `t = 0`.
+    pub users: usize,
+    /// Per-user sensing budget.
+    pub budget: usize,
+    /// Gaussian coverage σ (seconds).
+    pub sigma: f64,
+    /// Churn events (each an arrival or a departure, with the clock
+    /// advancing between events).
+    pub events: usize,
+    /// RNG seed; the event trace depends only on the seed and sizing
+    /// knobs, never on the solver, so outcomes are comparable across
+    /// solvers.
+    pub seed: u64,
+    /// Which replanner handles each event.
+    pub solver: SolverKind,
+    /// Task-value decay applied to the online objective.
+    pub decay: DecayCurve,
+}
+
+impl ChurnConfig {
+    /// A scale point for the `sched_churn` bench: population and churn
+    /// proportional to the grid size, paper-like 10 s spacing.
+    pub fn at_scale(instants: usize, solver: SolverKind) -> Self {
+        ChurnConfig {
+            instants,
+            period: instants as f64 * 10.0,
+            // Proportional to the grid but capped: every arrival is a
+            // replan, so an uncapped population makes the full-replan
+            // arm quadratic in `instants` before churn even starts.
+            users: (instants / 16).clamp(4, 64),
+            budget: 4,
+            sigma: 10.0,
+            events: 32,
+            seed: 0xC0FFEE,
+            solver,
+            decay: DecayCurve::Constant,
+        }
+    }
+}
+
+/// What one churn run did and what it cost, in deterministic work
+/// counts (the same measure `sched.*` metrics export).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnOutcome {
+    /// Planner work over the whole run.
+    pub stats: GreedyStats,
+    /// Decayed objective value of executed ∪ planned at the end.
+    pub final_coverage: f64,
+    /// Actions in the final schedule (executed + still planned).
+    pub schedule_len: usize,
+}
+
+impl ChurnOutcome {
+    /// Marginal-gain evaluations per churn event — the headline cost
+    /// metric of the incremental replanner.
+    pub fn evals_per_event(&self) -> f64 {
+        if self.stats.replans == 0 {
+            return 0.0;
+        }
+        self.stats.gain_evaluations as f64 / self.stats.replans as f64
+    }
+}
+
+/// Drives an [`OnlineScheduler`] through a deterministic churn trace:
+/// an initial population at `t = 0`, then `cfg.events` steps that each
+/// advance the clock and either admit a new user or retire a present
+/// one. Returns the planner's work counters and the final objective.
+pub fn run_churn_sim(cfg: ChurnConfig) -> ChurnOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let grid = TimeGrid::new(0.0, cfg.period, cfg.instants).expect("valid config");
+    let mut sched = OnlineScheduler::new(grid, GaussianCoverage::new(cfg.sigma))
+        .with_decay(cfg.decay)
+        .with_solver(cfg.solver);
+    let mut present: Vec<(UserId, f64)> = Vec::new();
+    for k in 0..cfg.users {
+        let departure = rng.random_range(cfg.period * 0.25..=cfg.period);
+        sched.arrive(UserId(k), 0.0, departure, cfg.budget);
+        present.push((UserId(k), departure));
+    }
+    let mut next_user = cfg.users;
+    for e in 0..cfg.events {
+        // Stop at 80% of the period so late arrivals still have room.
+        let now = cfg.period * 0.8 * (e + 1) as f64 / cfg.events as f64;
+        sched.advance_to(now);
+        present.retain(|&(_, d)| d > now);
+        if present.is_empty() || rng.random_range(0.0..1.0) < 0.6 {
+            let lo = (now + grid.spacing()).min(cfg.period);
+            let departure = rng.random_range(lo..=cfg.period);
+            sched.arrive(UserId(next_user), now, departure, cfg.budget);
+            present.push((UserId(next_user), departure));
+            next_user += 1;
+        } else {
+            let i = rng.random_range(0..present.len());
+            let (u, _) = present.swap_remove(i);
+            sched.depart(u, now);
+        }
+    }
+    ChurnOutcome {
+        stats: sched.stats(),
+        final_coverage: sched.coverage(),
+        schedule_len: sched.current_schedule().len(),
+    }
+}
+
 fn mean_std(xs: &[f64]) -> (f64, f64) {
     let m = xs.iter().sum::<f64>() / xs.len() as f64;
     let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
@@ -156,6 +277,7 @@ mod tests {
             sigma: 10.0,
             runs: 3,
             seed: 42,
+            decay: DecayCurve::Constant,
         }
     }
 
@@ -206,6 +328,55 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(run_scheduling_sim(small(15, 10)), run_scheduling_sim(small(15, 10)));
+    }
+
+    #[test]
+    fn decay_lowers_measured_value_but_keeps_ordering() {
+        let flat = run_scheduling_sim(small(20, 10));
+        let decayed = run_scheduling_sim(SchedulingConfig {
+            decay: DecayCurve::exponential(0.0005),
+            ..small(20, 10)
+        });
+        // coverage_profile reports probabilities (decay scales value,
+        // not probability), so the means match; the greedy still beats
+        // the baseline under the decayed objective.
+        assert!(decayed.greedy_mean > decayed.baseline_mean);
+        assert!(flat.greedy_mean > 0.0);
+    }
+
+    #[test]
+    fn churn_outcome_identical_across_exact_and_celf() {
+        let exact = run_churn_sim(ChurnConfig::at_scale(128, SolverKind::Exact));
+        let celf = run_churn_sim(ChurnConfig::at_scale(128, SolverKind::Celf));
+        assert_eq!(exact.schedule_len, celf.schedule_len);
+        assert_eq!(
+            exact.final_coverage.to_bits(),
+            celf.final_coverage.to_bits(),
+            "CELF must be bit-identical: {} vs {}",
+            exact.final_coverage,
+            celf.final_coverage
+        );
+    }
+
+    #[test]
+    fn incremental_replanning_is_much_cheaper() {
+        let exact = run_churn_sim(ChurnConfig::at_scale(256, SolverKind::Exact));
+        let celf = run_churn_sim(ChurnConfig::at_scale(256, SolverKind::Celf));
+        assert_eq!(exact.stats.replans, celf.stats.replans);
+        assert!(celf.stats.incremental_repairs > 0);
+        assert!(
+            celf.stats.gain_evaluations * 4 < exact.stats.gain_evaluations,
+            "incremental {} evals vs full {}",
+            celf.stats.gain_evaluations,
+            exact.stats.gain_evaluations
+        );
+        assert!(celf.evals_per_event() < exact.evals_per_event());
+    }
+
+    #[test]
+    fn churn_sim_is_deterministic() {
+        let cfg = ChurnConfig::at_scale(64, SolverKind::Stochastic);
+        assert_eq!(run_churn_sim(cfg), run_churn_sim(cfg));
     }
 
     #[test]

@@ -126,4 +126,36 @@ if [ "$((tree / warm))" -lt 3 ]; then
 fi
 echo "==> script VM warm-cache speedup OK (${tree} ns tree vs ${warm} ns vm_warm)"
 
+# Scheduler solver gate: CELF must be invisible at the outcome level —
+# the field test under SOR_SCHED_SOLVER=exact and =celf must print
+# byte-identical outcome digests (CELF is bit-identical to the plain
+# greedy by construction). The stochastic solver may schedule
+# differently but must still pass the SLO health grade the smoke
+# enforces internally.
+exact_out=$(env SOR_SCHED_SOLVER=exact cargo run --release --offline -p sor-bench --bin sched_smoke)
+celf_out=$(env SOR_SCHED_SOLVER=celf cargo run --release --offline -p sor-bench --bin sched_smoke)
+if [ "$exact_out" != "$celf_out" ]; then
+    echo "FAIL sched_smoke outcomes diverge between exact and CELF solvers" >&2
+    printf '%s\n--- vs ---\n%s\n' "$exact_out" "$celf_out" >&2
+    exit 1
+fi
+printf '%s\n' "$celf_out"
+echo "==> sched_smoke outcome identical across exact/celf solvers"
+run env SOR_SCHED_SOLVER=stochastic cargo run --release --offline -p sor-bench --bin sched_smoke
+
+# Churn-replanning guard: incremental CELF re-planning must do at most
+# 10% of the full-replan marginal-gain evaluations at n=4096. The
+# `*_evals` lines are deterministic work counts, not wall time, so the
+# guard is safe on single-core hosts.
+churn_out=$(cargo bench --offline -p sor-bench --bench sched_churn)
+printf '%s\n' "$churn_out"
+churn_ns_of() { printf '%s\n' "$churn_out" | awk -v id="$1" '$2 == id { print substr($3, 2) }'; }
+full_evals=$(churn_ns_of sched_churn/full_evals/n=4096)
+incr_evals=$(churn_ns_of sched_churn/incr_evals/n=4096)
+if [ "$((incr_evals * 10))" -gt "$full_evals" ]; then
+    echo "FAIL incremental re-planning (${incr_evals} evals) exceeds 10% of full re-plan (${full_evals} evals) at n=4096" >&2
+    exit 1
+fi
+echo "==> churn guard OK (${incr_evals} incremental vs ${full_evals} full-replan evals at n=4096)"
+
 echo "==> CI OK"
