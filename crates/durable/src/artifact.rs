@@ -1,0 +1,152 @@
+//! CRC-sealed artifact files: run archives and other one-shot blobs.
+//!
+//! The WAL ([`crate::wal`]) frames a *stream* of records; an artifact
+//! is the degenerate case — exactly one payload, written once, read
+//! whole. `sor export` seals its [`sor_obs::RunArchive`] bytes this way
+//! so a later `sor diff`/`sor query` can trust what it loads: a
+//! magic-prefixed, CRC-framed envelope that detects truncation, bit
+//! rot, and appended garbage before any archive parsing runs.
+//!
+//! Layout: `b"SORSEAL\x01"` (8 bytes: product tag + envelope version)
+//! followed by one [`sor_proto::frame`] record (`[len][payload][crc]`).
+//! Nothing may follow the frame — a sealed artifact is exactly one
+//! payload, so trailing bytes are corruption, not extensibility.
+
+use std::fs;
+use std::path::Path;
+
+use sor_proto::frame::{decode_frame, encode_frame_into, FrameError};
+
+/// The 8-byte envelope prefix: product tag plus envelope version.
+pub const SEAL_MAGIC: &[u8; 8] = b"SORSEAL\x01";
+
+/// Why a sealed artifact could not be opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Reading or writing the file failed.
+    Io(String),
+    /// The file does not start with [`SEAL_MAGIC`] — not a sealed
+    /// artifact (or a future envelope version).
+    BadMagic,
+    /// The CRC frame inside the envelope is torn or corrupt.
+    Frame(FrameError),
+    /// Valid frame, but bytes follow it — the file was appended to or
+    /// spliced; a sealed artifact holds exactly one payload.
+    TrailingBytes {
+        /// How many unexpected bytes follow the frame.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(d) => write!(f, "artifact i/o error: {d}"),
+            ArtifactError::BadMagic => write!(f, "not a sealed SOR artifact (bad magic)"),
+            ArtifactError::Frame(e) => write!(f, "sealed payload unreadable: {e}"),
+            ArtifactError::TrailingBytes { extra } => {
+                write!(f, "{extra} byte(s) after the sealed payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Seals `payload` into a self-verifying artifact blob.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEAL_MAGIC.len() + payload.len() + 8);
+    out.extend_from_slice(SEAL_MAGIC);
+    encode_frame_into(&mut out, payload);
+    out
+}
+
+/// Verifies and unwraps a sealed blob, returning the payload slice.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
+    let body = bytes.strip_prefix(SEAL_MAGIC.as_slice()).ok_or(ArtifactError::BadMagic)?;
+    let (payload, consumed) = decode_frame(body).map_err(ArtifactError::Frame)?;
+    if consumed != body.len() {
+        return Err(ArtifactError::TrailingBytes { extra: body.len() - consumed });
+    }
+    Ok(payload)
+}
+
+/// Seals `payload` and writes it to `path` (via a same-directory temp
+/// file + rename, so readers never observe a half-written artifact).
+pub fn write_sealed(path: &Path, payload: &[u8]) -> Result<(), ArtifactError> {
+    let blob = seal(payload);
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &blob).map_err(|e| ArtifactError::Io(format!("{}: {e}", tmp.display())))?;
+    fs::rename(&tmp, path)
+        .map_err(|e| ArtifactError::Io(format!("{} -> {}: {e}", tmp.display(), path.display())))
+}
+
+/// Reads `path` and returns the verified payload.
+pub fn read_sealed(path: &Path) -> Result<Vec<u8>, ArtifactError> {
+    let bytes =
+        fs::read(path).map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
+    unseal(&bytes).map(<[u8]>::to_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        for payload in [&b""[..], b"x", b"run archive bytes \x00\xff"] {
+            let sealed = seal(payload);
+            assert_eq!(unseal(&sealed).expect("roundtrip"), payload);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(unseal(b""), Err(ArtifactError::BadMagic));
+        assert_eq!(unseal(b"SORSEAL"), Err(ArtifactError::BadMagic), "truncated magic");
+        let mut sealed = seal(b"payload");
+        sealed[7] = 2; // future envelope version
+        assert_eq!(unseal(&sealed), Err(ArtifactError::BadMagic));
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_rejected() {
+        let sealed = seal(b"payload");
+        // Torn: drop the last byte.
+        match unseal(&sealed[..sealed.len() - 1]) {
+            Err(ArtifactError::Frame(FrameError::Torn { .. })) => {}
+            other => panic!("torn seal accepted: {other:?}"),
+        }
+        // Corrupt: flip a payload bit under the CRC.
+        let mut flipped = sealed.clone();
+        let mid = SEAL_MAGIC.len() + 4 + 2;
+        flipped[mid] ^= 0x40;
+        match unseal(&flipped) {
+            Err(ArtifactError::Frame(FrameError::Corrupt { .. })) => {}
+            other => panic!("corrupt seal accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut sealed = seal(b"payload");
+        sealed.push(0);
+        assert_eq!(unseal(&sealed), Err(ArtifactError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn file_roundtrip_and_io_errors() {
+        let dir = std::env::temp_dir().join("sor_artifact_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.sorar");
+        write_sealed(&path, b"archived run").expect("write");
+        assert_eq!(read_sealed(&path).expect("read"), b"archived run");
+        // The temp file did not survive the rename.
+        assert!(!path.with_extension("tmp").exists());
+        match read_sealed(&dir.join("absent.sorar")) {
+            Err(ArtifactError::Io(_)) => {}
+            other => panic!("missing file: {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod db;
 pub mod storage;
 pub mod wal;
 
+pub use artifact::{read_sealed, seal, unseal, write_sealed, ArtifactError, SEAL_MAGIC};
 pub use db::{DurableDatabase, DurableOptions, RecoveryReport};
 pub use storage::{FileStorage, SimDisk, Storage};
 pub use wal::TailState;

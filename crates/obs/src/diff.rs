@@ -1,0 +1,565 @@
+//! Noise-aware cross-run regression detection (`sor diff`).
+//!
+//! Two archived runs of the same scenario/seed should look identical;
+//! two runs across a code change should differ only where the change
+//! intends. This module compares archives (and bench history) with
+//! **per-metric tolerance bands** tuned to the noise floor of each
+//! signal:
+//!
+//! - Histogram quantiles come from log₂ buckets, so a value landing one
+//!   bucket over reads as a 2× jump with no real change underneath.
+//!   The default quantile band (2.5×) sits above that granularity
+//!   jitter but well below the 5× degradation the CI gate injects.
+//! - Counters compare with a ratio band *and* an absolute slack so
+//!   tiny counters (3 → 7) don't page anyone.
+//! - `*_ratio` gauges (coverage and friends) are already normalized;
+//!   they compare on absolute drop.
+//! - SLO verdicts regress only on a transition *into* `Breached` —
+//!   Pending→Ok and Ok→Pending are churn, not regressions.
+//! - Bench history entries (nanoseconds from the stub-criterion
+//!   harness) compare at 2× and only against a baseline recorded on a
+//!   comparable host (same schema/host/threads/cores/skew) — a laptop
+//!   number diffed against a CI-container number is noise by
+//!   construction.
+//!
+//! Reports render deterministically (sorted findings) so CI logs diff
+//! cleanly; [`DiffReport::has_regressions`] drives the nonzero exit.
+
+use crate::archive::RunArchive;
+use crate::health::SloStatus;
+use crate::json::{parse as parse_json, Json};
+use crate::metrics::{json_f64, MetricsRegistry};
+
+/// Counter: individual metric comparisons performed.
+pub const METRIC_DIFF_COMPARISONS: &str = "diff.comparisons_run";
+/// Counter: regressions found across all comparisons.
+pub const METRIC_DIFF_REGRESSIONS: &str = "diff.regressions_found";
+/// Counter: comparisons skipped (below sample floor, one-sided, or
+/// incomparable baseline).
+pub const METRIC_DIFF_SKIPPED: &str = "diff.comparisons_skipped";
+
+/// Per-signal tolerance bands. Defaults encode the noise model above.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffConfig {
+    /// Histogram-quantile regression band: candidate/base ratio above
+    /// this flags. Must exceed the 2× log-bucket granularity.
+    pub quantile_ratio: f64,
+    /// Counter growth band (candidate/base ratio).
+    pub counter_ratio: f64,
+    /// Absolute counter slack: growth below this never flags,
+    /// whatever the ratio says.
+    pub counter_slack: u64,
+    /// Absolute drop that flags a `*_ratio` gauge.
+    pub ratio_gauge_drop: f64,
+    /// Bench time regression band (candidate/base ns ratio).
+    pub bench_ratio: f64,
+    /// Histograms with fewer samples than this on either side are
+    /// skipped — quantiles of 3 samples are noise.
+    pub min_count: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            quantile_ratio: 2.5,
+            counter_ratio: 1.5,
+            counter_slack: 10,
+            ratio_gauge_drop: 0.1,
+            bench_ratio: 2.0,
+            min_count: 5,
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffFinding {
+    /// The metric / SLO / bench id that regressed.
+    pub metric: String,
+    /// What kind of signal it is (`"p50"`, `"p95"`, `"counter"`,
+    /// `"gauge"`, `"slo"`, `"bench"`).
+    pub kind: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub cand: f64,
+    /// Human-readable explanation including the band that tripped.
+    pub detail: String,
+}
+
+/// The outcome of one diff: findings plus accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Regressions, sorted by (metric, kind).
+    pub findings: Vec<DiffFinding>,
+    /// Comparisons performed.
+    pub comparisons: u64,
+    /// Comparisons skipped (sample floor, one-sided, incomparable).
+    pub skipped: u64,
+    /// Context notes (e.g. why a baseline was not comparable).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether any finding crossed its band — drives the exit code.
+    pub fn has_regressions(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Renders the deterministic report CI logs and humans both read.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "no regressions ({} comparison(s), {} skipped)\n",
+                self.comparisons, self.skipped
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "{} regression(s) over {} comparison(s) ({} skipped)\n",
+            self.findings.len(),
+            self.comparisons,
+            self.skipped
+        ));
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  REGRESSION [{}] {}: {} -> {} ({})\n",
+                f.kind,
+                f.metric,
+                json_f64(f.base),
+                json_f64(f.cand),
+                f.detail
+            ));
+        }
+        out
+    }
+
+    /// Emits `diff.*` accounting counters into `registry`.
+    pub fn record_into(&self, registry: &mut MetricsRegistry) {
+        registry.count(METRIC_DIFF_COMPARISONS, self.comparisons);
+        registry.count(METRIC_DIFF_REGRESSIONS, self.findings.len() as u64);
+        registry.count(METRIC_DIFF_SKIPPED, self.skipped);
+    }
+
+    fn sort(&mut self) {
+        self.findings.sort_by(|a, b| a.metric.cmp(&b.metric).then_with(|| a.kind.cmp(&b.kind)));
+    }
+}
+
+/// Compares two archived runs, `base` → `cand`, under `cfg`'s bands.
+pub fn diff_archives(base: &RunArchive, cand: &RunArchive, cfg: &DiffConfig) -> DiffReport {
+    let mut r = DiffReport::default();
+    if base.meta.scenario != cand.meta.scenario {
+        r.notes.push(format!(
+            "scenario mismatch: {} vs {} — comparing anyway",
+            base.meta.scenario, cand.meta.scenario
+        ));
+    }
+    if base.meta.seed != cand.meta.seed {
+        r.notes.push(format!("seed differs: {} vs {}", base.meta.seed, cand.meta.seed));
+    }
+
+    // Histogram quantiles: p50 and p95 per shared histogram.
+    for (name, bh) in base.metrics.histograms() {
+        let Some(ch) = cand.metrics.histogram(name) else {
+            r.skipped += 1;
+            continue;
+        };
+        if bh.count() < cfg.min_count || ch.count() < cfg.min_count {
+            r.skipped += 1;
+            continue;
+        }
+        for (kind, q) in [("p50", 0.50), ("p95", 0.95)] {
+            r.comparisons += 1;
+            let (Some(bq), Some(cq)) = (bh.quantile(q), ch.quantile(q)) else {
+                continue;
+            };
+            if bq <= 0.0 {
+                r.skipped += 1;
+                continue;
+            }
+            if cq / bq > cfg.quantile_ratio {
+                r.findings.push(DiffFinding {
+                    metric: name.to_string(),
+                    kind: kind.to_string(),
+                    base: bq,
+                    cand: cq,
+                    detail: format!("{:.2}x > {:.2}x band", cq / bq, cfg.quantile_ratio),
+                });
+            }
+        }
+    }
+
+    // Counters: growth past ratio band AND absolute slack.
+    for (name, bv) in base.metrics.counters() {
+        let cv = cand.metrics.counter(name);
+        r.comparisons += 1;
+        if cv <= bv || cv - bv <= cfg.counter_slack {
+            continue;
+        }
+        if bv > 0 && (cv as f64 / bv as f64) > cfg.counter_ratio {
+            r.findings.push(DiffFinding {
+                metric: name.to_string(),
+                kind: "counter".to_string(),
+                base: bv as f64,
+                cand: cv as f64,
+                detail: format!(
+                    "{:.2}x > {:.2}x band (+{} > {} slack)",
+                    cv as f64 / bv as f64,
+                    cfg.counter_ratio,
+                    cv - bv,
+                    cfg.counter_slack
+                ),
+            });
+        }
+    }
+
+    // Normalized `*_ratio` gauges: absolute drops.
+    for (name, bv) in base.metrics.gauges() {
+        if !name.ends_with("_ratio") {
+            continue;
+        }
+        r.comparisons += 1;
+        let Some(cv) = cand.metrics.gauge_value(name) else {
+            r.skipped += 1;
+            continue;
+        };
+        if bv - cv > cfg.ratio_gauge_drop {
+            r.findings.push(DiffFinding {
+                metric: name.to_string(),
+                kind: "gauge".to_string(),
+                base: bv,
+                cand: cv,
+                detail: format!("dropped {:.3} > {:.3} band", bv - cv, cfg.ratio_gauge_drop),
+            });
+        }
+    }
+
+    // SLO verdicts: only transitions *into* Breached regress.
+    if let (Some(bh), Some(ch)) = (&base.health, &cand.health) {
+        for bg in &bh.grades {
+            let Some(cg) = ch.grades.iter().find(|g| g.slo == bg.slo) else {
+                r.skipped += 1;
+                continue;
+            };
+            r.comparisons += 1;
+            if bg.status != SloStatus::Breached && cg.status == SloStatus::Breached {
+                r.findings.push(DiffFinding {
+                    metric: bg.slo.clone(),
+                    kind: "slo".to_string(),
+                    base: bg.observed.unwrap_or(f64::NAN),
+                    cand: cg.observed.unwrap_or(f64::NAN),
+                    detail: format!("{:?} -> Breached (bound {})", bg.status, json_f64(cg.bound)),
+                });
+            }
+        }
+    }
+
+    r.sort();
+    r
+}
+
+/// The comparability key of one bench-history entry: two entries diff
+/// only when every field matches. Legacy entries (pre-schema) infer the
+/// skew flag from the single-core note `bench.sh` used to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HostKey {
+    schema_version: i64,
+    host: String,
+    threads: i64,
+    cores: i64,
+    single_core_skew: bool,
+}
+
+struct HistoryEntry {
+    git_sha: String,
+    key: HostKey,
+    benches: Vec<(String, f64)>,
+}
+
+fn parse_entry(line: &str) -> Option<HistoryEntry> {
+    let j = parse_json(line).ok()?;
+    let str_of = |k: &str| match j.get(k) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let num_of = |k: &str| j.get(k).and_then(Json::as_f64);
+    let skew = match j.get("single_core_skew") {
+        Some(Json::Bool(b)) => *b,
+        _ => str_of("note").is_some_and(|n| n.contains("single-core")),
+    };
+    let benches = j
+        .get("benches")?
+        .entries()?
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+        .collect();
+    Some(HistoryEntry {
+        git_sha: str_of("git_sha").unwrap_or_else(|| "unknown".to_string()),
+        key: HostKey {
+            schema_version: num_of("schema_version").unwrap_or(0.0) as i64,
+            host: str_of("host").unwrap_or_default(),
+            threads: num_of("threads").unwrap_or(-1.0) as i64,
+            cores: num_of("cores").unwrap_or(-1.0) as i64,
+            single_core_skew: skew,
+        },
+        benches,
+    })
+}
+
+/// Diffs the newest bench-history entry against the nearest earlier
+/// entry recorded on a *comparable* host (same schema version, host
+/// descriptor, thread count, core count, and skew flag). When no
+/// comparable baseline exists the report carries a note and zero
+/// findings — cross-host comparisons are skipped, not failed.
+pub fn diff_history_jsonl(text: &str, cfg: &DiffConfig) -> Result<DiffReport, String> {
+    let entries: Vec<HistoryEntry> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_entry(l).ok_or_else(|| format!("unparseable history line: {l}")))
+        .collect::<Result<_, _>>()?;
+    let Some(cand) = entries.last() else {
+        return Err("bench history is empty".to_string());
+    };
+    let mut r = DiffReport::default();
+    let Some(base) = entries[..entries.len() - 1].iter().rev().find(|e| e.key == cand.key) else {
+        r.notes.push(format!(
+            "no comparable baseline for {} (host key {:?}) — skipping",
+            cand.git_sha, cand.key
+        ));
+        r.skipped += 1;
+        return Ok(r);
+    };
+    r.notes.push(format!("baseline {} -> candidate {}", base.git_sha, cand.git_sha));
+    for (id, bv) in &base.benches {
+        let Some((_, cv)) = cand.benches.iter().find(|(k, _)| k == id) else {
+            r.skipped += 1;
+            continue;
+        };
+        r.comparisons += 1;
+        if *bv > 0.0 && cv / bv > cfg.bench_ratio {
+            r.findings.push(DiffFinding {
+                metric: id.clone(),
+                kind: "bench".to_string(),
+                base: *bv,
+                cand: *cv,
+                detail: format!("{:.2}x > {:.2}x band (ns/iter)", cv / bv, cfg.bench_ratio),
+            });
+        }
+    }
+    r.sort();
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{RunArchive, RunMeta, ARCHIVE_SCHEMA_VERSION};
+    use crate::health::{HealthReport, SloGrade, SloStatus};
+    use crate::trace::Trace;
+
+    fn archive_with(build: impl FnOnce(&mut MetricsRegistry)) -> RunArchive {
+        let mut metrics = MetricsRegistry::new();
+        build(&mut metrics);
+        RunArchive {
+            meta: RunMeta {
+                schema_version: ARCHIVE_SCHEMA_VERSION,
+                git_sha: "sha".to_string(),
+                scenario: "coffee_field_test".to_string(),
+                seed: 7,
+                threads: 1,
+                knobs: Vec::new(),
+            },
+            trace: Trace::new(),
+            metrics,
+            windows: None,
+            topk: Vec::new(),
+            health: None,
+        }
+    }
+
+    #[test]
+    fn identical_archives_diff_clean() {
+        let a = archive_with(|m| {
+            for _ in 0..20 {
+                m.observe("pipeline.upload_commit_latency_s", 10.0);
+            }
+            m.count("server.msg_received.upload", 100);
+            m.gauge("pipeline.coverage_realized_ratio", 0.9);
+        });
+        let r = diff_archives(&a, &a.clone(), &DiffConfig::default());
+        assert!(!r.has_regressions(), "{}", r.render());
+        assert!(r.comparisons > 0);
+        assert!(r.render().contains("no regressions"), "{}", r.render());
+    }
+
+    #[test]
+    fn quantile_band_tolerates_bucket_jitter_but_flags_5x() {
+        let base = archive_with(|m| {
+            for _ in 0..20 {
+                m.observe("pipeline.upload_commit_latency_s", 10.0);
+            }
+        });
+        // One log2 bucket over (~2x): inside the band.
+        let jitter = archive_with(|m| {
+            for _ in 0..20 {
+                m.observe("pipeline.upload_commit_latency_s", 17.0);
+            }
+        });
+        let r = diff_archives(&base, &jitter, &DiffConfig::default());
+        assert!(!r.has_regressions(), "bucket jitter flagged: {}", r.render());
+        // 5x: over the band.
+        let bad = archive_with(|m| {
+            for _ in 0..20 {
+                m.observe("pipeline.upload_commit_latency_s", 50.0);
+            }
+        });
+        let r = diff_archives(&base, &bad, &DiffConfig::default());
+        assert!(r.has_regressions(), "5x degradation missed");
+        assert!(r.findings.iter().any(|f| f.kind == "p95"), "{}", r.render());
+        assert!(r.render().contains("REGRESSION"), "{}", r.render());
+    }
+
+    #[test]
+    fn small_histograms_are_skipped_not_flagged() {
+        let base = archive_with(|m| {
+            m.observe("pipeline.sweep_latency_s", 1.0);
+        });
+        let bad = archive_with(|m| {
+            m.observe("pipeline.sweep_latency_s", 500.0);
+        });
+        let r = diff_archives(&base, &bad, &DiffConfig::default());
+        assert!(!r.has_regressions(), "1-sample quantile flagged: {}", r.render());
+        assert!(r.skipped > 0);
+    }
+
+    #[test]
+    fn counter_band_needs_ratio_and_slack() {
+        let base = archive_with(|m| m.count("store.upload_rejected", 4));
+        // 2x ratio but only +4 absolute: inside slack.
+        let small = archive_with(|m| m.count("store.upload_rejected", 8));
+        let cfg = DiffConfig::default();
+        assert!(!diff_archives(&base, &small, &cfg).has_regressions());
+        // 10x and +36: flags.
+        let big = archive_with(|m| m.count("store.upload_rejected", 40));
+        let r = diff_archives(&base, &big, &cfg);
+        assert!(r.has_regressions(), "{}", r.render());
+        assert_eq!(r.findings[0].kind, "counter");
+    }
+
+    #[test]
+    fn ratio_gauge_drop_and_slo_breach_transitions_flag() {
+        let mut base = archive_with(|m| m.gauge("pipeline.coverage_realized_ratio", 0.9));
+        let mut cand = archive_with(|m| m.gauge("pipeline.coverage_realized_ratio", 0.6));
+        base.health = Some(HealthReport {
+            grades: vec![SloGrade {
+                slo: "coverage_realized".to_string(),
+                status: SloStatus::Ok,
+                observed: Some(0.9),
+                bound: 0.8,
+                samples: 1,
+            }],
+        });
+        cand.health = Some(HealthReport {
+            grades: vec![SloGrade {
+                slo: "coverage_realized".to_string(),
+                status: SloStatus::Breached,
+                observed: Some(0.6),
+                bound: 0.8,
+                samples: 1,
+            }],
+        });
+        let r = diff_archives(&base, &cand, &DiffConfig::default());
+        let kinds: Vec<&str> = r.findings.iter().map(|f| f.kind.as_str()).collect();
+        assert!(kinds.contains(&"gauge"), "{}", r.render());
+        assert!(kinds.contains(&"slo"), "{}", r.render());
+        // Breached -> Breached is not a *new* regression.
+        base.health = cand.health.clone();
+        let again = diff_archives(&base, &cand, &DiffConfig::default());
+        assert!(!again.findings.iter().any(|f| f.kind == "slo"), "{}", again.render());
+    }
+
+    #[test]
+    fn report_accounting_and_determinism() {
+        let base = archive_with(|m| {
+            for _ in 0..20 {
+                m.observe("pipeline.upload_commit_latency_s", 10.0);
+            }
+        });
+        let bad = archive_with(|m| {
+            for _ in 0..20 {
+                m.observe("pipeline.upload_commit_latency_s", 100.0);
+            }
+        });
+        let r1 = diff_archives(&base, &bad, &DiffConfig::default());
+        let r2 = diff_archives(&base, &bad, &DiffConfig::default());
+        assert_eq!(r1, r2);
+        assert_eq!(r1.render(), r2.render());
+        let mut m = MetricsRegistry::new();
+        r1.record_into(&mut m);
+        assert_eq!(m.counter(METRIC_DIFF_REGRESSIONS), r1.findings.len() as u64);
+        assert!(m.counter(METRIC_DIFF_COMPARISONS) >= 2);
+    }
+
+    const HIST: &str = concat!(
+        r#"{"git_sha": "aaa", "recorded_at": "t0", "threads": 1, "cores": 1, "benches": {"pipeline/run": 1000, "rank/seq": 500}}"#,
+        "\n",
+        r#"{"git_sha": "bbb", "recorded_at": "t1", "threads": 4, "cores": 8, "benches": {"pipeline/run": 100}}"#,
+        "\n",
+        r#"{"git_sha": "ccc", "recorded_at": "t2", "threads": 1, "cores": 1, "benches": {"pipeline/run": 1100, "rank/seq": 5000}}"#,
+        "\n"
+    );
+
+    #[test]
+    fn history_diff_picks_comparable_baseline_and_flags() {
+        // Candidate ccc (threads=1) must skip bbb (threads=4) and
+        // baseline against aaa.
+        let r = diff_history_jsonl(HIST, &DiffConfig::default()).expect("parse");
+        assert!(r.notes.iter().any(|n| n.contains("aaa")), "{:?}", r.notes);
+        assert!(r.has_regressions(), "{}", r.render());
+        assert_eq!(r.findings[0].metric, "rank/seq"); // 10x
+        assert_eq!(r.findings.len(), 1); // pipeline/run 1.1x is in band
+    }
+
+    #[test]
+    fn history_diff_without_comparable_baseline_is_clean() {
+        let only = r#"{"git_sha": "zzz", "threads": 2, "cores": 2, "benches": {"x/y": 5}}"#;
+        let two = format!(
+            "{}\n{}\n",
+            r#"{"git_sha": "aaa", "threads": 1, "cores": 1, "benches": {"x/y": 5}}"#,
+            r#"{"git_sha": "zzz", "threads": 2, "cores": 2, "benches": {"x/y": 500}}"#
+        );
+        let r = diff_history_jsonl(&two, &DiffConfig::default()).expect("parse");
+        assert!(!r.has_regressions(), "cross-host compared: {}", r.render());
+        assert!(r.notes[0].contains("no comparable baseline"), "{:?}", r.notes);
+        let r = diff_history_jsonl(only, &DiffConfig::default()).expect("parse");
+        assert!(!r.has_regressions());
+        assert!(diff_history_jsonl("", &DiffConfig::default()).is_err());
+    }
+
+    #[test]
+    fn legacy_single_core_note_counts_as_skew() {
+        let hist = format!(
+            "{}\n{}\n",
+            r#"{"git_sha": "old", "threads": 1, "cores": 1, "note": "single-core host: par8 figures approximate seq", "benches": {"x/y": 10}}"#,
+            r#"{"git_sha": "new", "threads": 1, "cores": 1, "schema_version": 2, "single_core_skew": true, "benches": {"x/y": 10}}"#
+        );
+        // Schema versions differ (0 vs 2) so these are NOT comparable
+        // even though both are skewed — schema is part of the key.
+        let r = diff_history_jsonl(&hist, &DiffConfig::default()).expect("parse");
+        assert!(r.notes[0].contains("no comparable baseline"), "{:?}", r.notes);
+        // But two legacy noted lines ARE comparable with each other.
+        let legacy = format!(
+            "{}\n{}\n",
+            r#"{"git_sha": "old1", "threads": 1, "cores": 1, "note": "single-core host", "benches": {"x/y": 10}}"#,
+            r#"{"git_sha": "old2", "threads": 1, "cores": 1, "note": "single-core host", "benches": {"x/y": 12}}"#
+        );
+        let r = diff_history_jsonl(&legacy, &DiffConfig::default()).expect("parse");
+        assert!(r.notes[0].contains("old1"), "{:?}", r.notes);
+        assert!(!r.has_regressions());
+    }
+}

@@ -17,6 +17,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::bytes::{get_str, get_u32, get_u64, get_u8, put_str, put_u32, put_u64, put_u8};
+
 /// What a ring slot records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlightKind {
@@ -220,11 +222,11 @@ impl FlightRecorder {
         put_u32(&mut out, self.rings.len() as u32);
         for (comp, ring) in &self.rings {
             put_str(&mut out, comp);
-            out.extend_from_slice(&ring.pushed.to_le_bytes());
+            put_u64(&mut out, ring.pushed);
             put_u32(&mut out, ring.entries.len() as u32);
             for e in ring.ordered() {
-                out.extend_from_slice(&e.time.to_bits().to_le_bytes());
-                out.push(e.kind.to_byte());
+                put_u64(&mut out, e.time.to_bits());
+                put_u8(&mut out, e.kind.to_byte());
                 put_str(&mut out, &e.name);
                 put_str(&mut out, &e.detail);
             }
@@ -241,7 +243,7 @@ impl FlightRecorder {
         let mut rings = BTreeMap::new();
         for _ in 0..n_rings {
             let comp = get_str(bytes, &mut pos)?;
-            let pushed = u64::from_le_bytes(get_array(bytes, &mut pos)?);
+            let pushed = get_u64(bytes, &mut pos)?;
             let n = get_u32(bytes, &mut pos)? as usize;
             if n > capacity {
                 return None;
@@ -249,9 +251,8 @@ impl FlightRecorder {
             let mut ring = Ring::new();
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let time = f64::from_bits(u64::from_le_bytes(get_array(bytes, &mut pos)?));
-                let kind = FlightKind::from_byte(*bytes.get(pos)?)?;
-                pos += 1;
+                let time = f64::from_bits(get_u64(bytes, &mut pos)?);
+                let kind = FlightKind::from_byte(get_u8(bytes, &mut pos)?)?;
                 let name = get_str(bytes, &mut pos)?;
                 let detail = get_str(bytes, &mut pos)?;
                 entries.push(FlightEntry { time, kind, name, detail });
@@ -268,34 +269,6 @@ impl FlightRecorder {
         }
         Some(FlightRecorder { capacity, rings })
     }
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn get_array<const N: usize>(bytes: &[u8], pos: &mut usize) -> Option<[u8; N]> {
-    let end = pos.checked_add(N)?;
-    let arr: [u8; N] = bytes.get(*pos..end)?.try_into().ok()?;
-    *pos = end;
-    Some(arr)
-}
-
-fn get_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
-    get_array(bytes, pos).map(u32::from_le_bytes)
-}
-
-fn get_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
-    let len = get_u32(bytes, pos)? as usize;
-    let end = pos.checked_add(len)?;
-    let s = std::str::from_utf8(bytes.get(*pos..end)?).ok()?.to_string();
-    *pos = end;
-    Some(s)
 }
 
 #[cfg(test)]

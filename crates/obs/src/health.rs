@@ -17,6 +17,10 @@
 
 use std::collections::BTreeSet;
 
+use crate::bytes::{
+    get_f64, get_opt_f64, get_str, get_u32, get_u64, get_u8, put_f64, put_opt_f64, put_str,
+    put_u32, put_u64, put_u8,
+};
 use crate::metrics::MetricsRegistry;
 use crate::window::WindowRing;
 use crate::Recorder;
@@ -144,6 +148,25 @@ pub enum SloStatus {
     Breached,
 }
 
+impl SloStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            SloStatus::Ok => 0,
+            SloStatus::Pending => 1,
+            SloStatus::Breached => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(SloStatus::Ok),
+            1 => Some(SloStatus::Pending),
+            2 => Some(SloStatus::Breached),
+            _ => None,
+        }
+    }
+}
+
 /// One graded row of a [`HealthReport`].
 #[derive(Debug, Clone)]
 pub struct SloGrade {
@@ -203,6 +226,49 @@ impl HealthReport {
             }
         }
         out
+    }
+
+    /// Appends this report's archive serialization to `out`.
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.grades.len() as u32);
+        for g in &self.grades {
+            put_str(out, &g.slo);
+            put_u8(out, g.status.to_byte());
+            put_opt_f64(out, g.observed);
+            put_f64(out, g.bound);
+            put_u64(out, g.samples);
+        }
+    }
+
+    /// Reads a report written by [`HealthReport::write_into`], advancing
+    /// `pos`. `None` on any structural inconsistency.
+    pub(crate) fn read_from(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let n = get_u32(bytes, pos)? as usize;
+        let mut grades = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            let slo = get_str(bytes, pos)?;
+            let status = SloStatus::from_byte(get_u8(bytes, pos)?)?;
+            let observed = get_opt_f64(bytes, pos)?;
+            let bound = get_f64(bytes, pos)?;
+            let samples = get_u64(bytes, pos)?;
+            grades.push(SloGrade { slo, status, observed, bound, samples });
+        }
+        Some(HealthReport { grades })
+    }
+
+    /// The report as a self-contained archive blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Restores a report from [`HealthReport::to_bytes`] output. `None`
+    /// on any structural inconsistency, trailing bytes included.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let r = Self::read_from(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(r)
     }
 }
 
@@ -528,6 +594,60 @@ impl HealthEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_bytes_roundtrip_renders_identically() {
+        let report = HealthReport {
+            grades: vec![
+                SloGrade {
+                    slo: "upload_commit_p95".to_string(),
+                    status: SloStatus::Ok,
+                    observed: Some(128.0),
+                    bound: 600.0,
+                    samples: 42,
+                },
+                SloGrade {
+                    slo: "coverage_realized".to_string(),
+                    status: SloStatus::Breached,
+                    observed: Some(0.31),
+                    bound: 0.8,
+                    samples: 7,
+                },
+                SloGrade {
+                    slo: "quiet".to_string(),
+                    status: SloStatus::Pending,
+                    observed: None,
+                    bound: 1.0,
+                    samples: 0,
+                },
+            ],
+        };
+        let back = HealthReport::from_bytes(&report.to_bytes()).expect("roundtrip");
+        assert_eq!(back.render(), report.render());
+        assert_eq!(back.grades[1].status, SloStatus::Breached);
+        assert!(!back.healthy());
+    }
+
+    #[test]
+    fn report_bytes_reject_garbage() {
+        assert!(HealthReport::from_bytes(&[1, 2, 3]).is_none());
+        let report = HealthReport {
+            grades: vec![SloGrade {
+                slo: "x".to_string(),
+                status: SloStatus::Ok,
+                observed: None,
+                bound: 1.0,
+                samples: 1,
+            }],
+        };
+        let mut bytes = report.to_bytes();
+        bytes.push(0);
+        assert!(HealthReport::from_bytes(&bytes).is_none(), "trailing byte accepted");
+        // An unknown status byte: grade count (4) + slo ("x": 4+1) → offset 9.
+        let mut bytes = report.to_bytes();
+        bytes[9] = 9;
+        assert!(HealthReport::from_bytes(&bytes).is_none(), "bad status byte accepted");
+    }
 
     fn ratio_spec(min_samples: u64) -> SloSpec {
         SloSpec::new(

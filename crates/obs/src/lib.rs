@@ -50,19 +50,25 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+pub mod archive;
+mod bytes;
 pub mod dashboard;
+pub mod diff;
 pub mod flight;
 pub mod health;
 pub mod json;
 pub mod lint;
 pub mod metrics;
 pub mod naming;
+pub mod query;
 pub mod report;
 pub mod sample;
 pub mod topk;
 pub mod trace;
 pub mod window;
 
+pub use archive::{ArchiveStats, RunArchive, RunMeta, ARCHIVE_SCHEMA_VERSION};
+pub use diff::{DiffConfig, DiffFinding, DiffReport};
 pub use flight::{FlightEntry, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use health::{Alert, HealthEngine, HealthReport, SloGrade, SloKind, SloSpec, SloStatus};
 pub use json::{parse as parse_json, Json, JsonError};

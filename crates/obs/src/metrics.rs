@@ -7,6 +7,11 @@
 
 use std::collections::BTreeMap;
 
+use crate::bytes::{
+    get_f64, get_i16, get_opt_f64, get_str, get_u32, get_u64, put_f64, put_i16, put_opt_f64,
+    put_str, put_u32, put_u64,
+};
+
 /// A histogram over positive magnitudes with logarithmic (base-2)
 /// buckets plus exact count/sum/min/max moments.
 ///
@@ -178,6 +183,64 @@ impl Histogram {
             }
         }
         Some(max)
+    }
+
+    /// A synthetic copy with every recorded value multiplied by
+    /// `factor` (positive, finite): each bucket moves to wherever its
+    /// lower-edge representative `2^e * factor` lands, and
+    /// `sum`/`min`/`max` scale exactly. This powers `sor degrade`,
+    /// which injects a known latency regression into an archived run
+    /// so the CI diff gate can prove it would catch a real one.
+    pub fn scaled(&self, factor: f64) -> Histogram {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        let mut buckets = BTreeMap::new();
+        for (&e, &n) in &self.buckets {
+            let rep = 2.0_f64.powi(i32::from(e)) * factor;
+            *buckets.entry(bucket_of(rep)).or_insert(0) += n;
+        }
+        Histogram {
+            count: self.count,
+            sum: self.sum * factor,
+            min: self.min.map(|m| m * factor),
+            max: self.max.map(|m| m * factor),
+            zero_or_less: self.zero_or_less,
+            buckets,
+        }
+    }
+
+    /// Appends this histogram's archive serialization (little-endian,
+    /// length-prefixed; `f64`s stored bit-exactly) to `out`.
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.count);
+        put_f64(out, self.sum);
+        put_opt_f64(out, self.min);
+        put_opt_f64(out, self.max);
+        put_u64(out, self.zero_or_less);
+        put_u32(out, self.buckets.len() as u32);
+        for (&exp, &n) in &self.buckets {
+            put_i16(out, exp);
+            put_u64(out, n);
+        }
+    }
+
+    /// Reads a histogram written by [`Histogram::write_into`], advancing
+    /// `pos`. `None` on any structural inconsistency.
+    pub(crate) fn read_from(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let count = get_u64(bytes, pos)?;
+        let sum = get_f64(bytes, pos)?;
+        let min = get_opt_f64(bytes, pos)?;
+        let max = get_opt_f64(bytes, pos)?;
+        let zero_or_less = get_u64(bytes, pos)?;
+        let n_buckets = get_u32(bytes, pos)? as usize;
+        let mut buckets = BTreeMap::new();
+        for _ in 0..n_buckets {
+            let exp = get_i16(bytes, pos)?;
+            let n = get_u64(bytes, pos)?;
+            buckets.insert(exp, n);
+        }
+        let h = Histogram { count, sum, min, max, zero_or_less, buckets };
+        // A well-formed histogram buckets every observation exactly once.
+        (h.bucketed_total() == h.count).then_some(h)
     }
 }
 
@@ -371,6 +434,19 @@ impl MetricsRegistry {
         out
     }
 
+    /// Replaces the named histogram with a [`Histogram::scaled`] copy
+    /// — the `sor degrade` injection point. `false` when no histogram
+    /// by that name exists (nothing is created).
+    pub fn scale_histogram(&mut self, name: &str, factor: f64) -> bool {
+        match self.histograms.get_mut(name) {
+            Some(h) => {
+                *h = h.scaled(factor);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// CSV snapshot: `kind,name,field,value` rows, deterministically
     /// ordered (counters, then gauges, then histogram moments, then
     /// histogram buckets).
@@ -431,6 +507,73 @@ impl MetricsRegistry {
         out.push_str(&hists.join(","));
         out.push_str("}}");
         out
+    }
+
+    /// Appends this registry's archive serialization to `out`. The
+    /// name cap and overflow accounting ride along, so a restored
+    /// registry keeps behaving identically under further updates.
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.name_cap as u64);
+        put_u64(out, self.overflow_routed);
+        put_u32(out, self.counters.len() as u32);
+        for (k, &v) in &self.counters {
+            put_str(out, k);
+            put_u64(out, v);
+        }
+        put_u32(out, self.gauges.len() as u32);
+        for (k, &v) in &self.gauges {
+            put_str(out, k);
+            put_f64(out, v);
+        }
+        put_u32(out, self.histograms.len() as u32);
+        for (k, h) in &self.histograms {
+            put_str(out, k);
+            h.write_into(out);
+        }
+    }
+
+    /// Reads a registry written by [`MetricsRegistry::write_into`],
+    /// advancing `pos`. `None` on any structural inconsistency.
+    pub(crate) fn read_from(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let name_cap = get_u64(bytes, pos)? as usize;
+        let overflow_routed = get_u64(bytes, pos)?;
+        let n_counters = get_u32(bytes, pos)? as usize;
+        let mut counters = BTreeMap::new();
+        for _ in 0..n_counters {
+            let k = get_str(bytes, pos)?;
+            let v = get_u64(bytes, pos)?;
+            counters.insert(k, v);
+        }
+        let n_gauges = get_u32(bytes, pos)? as usize;
+        let mut gauges = BTreeMap::new();
+        for _ in 0..n_gauges {
+            let k = get_str(bytes, pos)?;
+            let v = get_f64(bytes, pos)?;
+            gauges.insert(k, v);
+        }
+        let n_hists = get_u32(bytes, pos)? as usize;
+        let mut histograms = BTreeMap::new();
+        for _ in 0..n_hists {
+            let k = get_str(bytes, pos)?;
+            let h = Histogram::read_from(bytes, pos)?;
+            histograms.insert(k, h);
+        }
+        Some(MetricsRegistry { counters, gauges, histograms, name_cap, overflow_routed })
+    }
+
+    /// The registry as a self-contained archive blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Restores a registry from [`MetricsRegistry::to_bytes`] output.
+    /// `None` on any structural inconsistency, trailing bytes included.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let m = Self::read_from(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(m)
     }
 }
 
@@ -731,6 +874,75 @@ mod tests {
         // No update is lost: the total weight is conserved.
         let total: u64 = small.counters().map(|(_, v)| v).sum();
         assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn registry_bytes_roundtrip_preserves_everything() {
+        let mut m = MetricsRegistry::with_name_cap(3);
+        m.count("net.frames_sent", 9);
+        m.gauge("pipeline.coverage_realized_ratio", 0.875);
+        m.observe("pipeline.upload_commit_latency_s", 12.5);
+        m.observe("pipeline.upload_commit_latency_s", -1.0);
+        m.count("a.b_c", 1);
+        m.count("x.y_z", 2); // routed to overflow at cap 3
+        let back = MetricsRegistry::from_bytes(&m.to_bytes()).expect("roundtrip");
+        assert_eq!(back, m);
+        assert_eq!(back.to_json(), m.to_json(), "exports byte-identical");
+        assert_eq!(back.to_csv(), m.to_csv());
+        assert_eq!(back.name_cap(), 3);
+        assert!(m.overflow_routed() > 0, "cap never tripped — test is vacuous");
+        assert_eq!(back.overflow_routed(), m.overflow_routed());
+        // Restored registries keep capping identically.
+        let mut a = m.clone();
+        let mut b = back;
+        a.count("fresh.name_here", 1);
+        b.count("fresh.name_here", 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_histogram_shifts_quantiles_by_the_factor() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..20 {
+            m.observe("pipeline.upload_commit_latency_s", 10.0);
+        }
+        m.observe("pipeline.upload_commit_latency_s", 0.0);
+        let base_p95 = m.histogram("pipeline.upload_commit_latency_s").unwrap().quantile(0.95);
+        assert!(m.scale_histogram("pipeline.upload_commit_latency_s", 5.0));
+        let h = m.histogram("pipeline.upload_commit_latency_s").unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        assert!(p95 / base_p95.unwrap() >= 4.0, "5x scale produced only {p95} from {base_p95:?}");
+        assert_eq!(h.count(), 21, "scaling must not change the sample count");
+        assert_eq!(h.zero_or_less(), 1);
+        assert_eq!(h.max(), Some(50.0));
+        assert_eq!(h.bucketed_total(), h.count(), "merge invariant broken");
+        assert!(!m.scale_histogram("no.such_metric", 5.0));
+    }
+
+    #[test]
+    fn registry_bytes_rejects_garbage() {
+        assert!(MetricsRegistry::from_bytes(&[]).is_none());
+        assert!(MetricsRegistry::from_bytes(&[1, 2, 3]).is_none());
+        let mut m = MetricsRegistry::new();
+        m.observe("lat.x_y", 3.0);
+        let mut bytes = m.to_bytes();
+        bytes.push(0);
+        assert!(MetricsRegistry::from_bytes(&bytes).is_none(), "trailing byte accepted");
+        let bytes = m.to_bytes();
+        assert!(MetricsRegistry::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn histogram_bytes_reject_count_bucket_mismatch() {
+        let mut h = Histogram::new();
+        h.record(4.0);
+        let mut out = Vec::new();
+        h.write_into(&mut out);
+        // Inflate the count field (first 8 bytes) without touching the
+        // buckets: the bucketed-total invariant must catch it.
+        out[0] = out[0].wrapping_add(1);
+        let mut pos = 0;
+        assert!(Histogram::read_from(&out, &mut pos).is_none());
     }
 
     #[test]

@@ -121,9 +121,34 @@ mod tests {
             "sched.replans_run.celf",
             "sched.replans_run.exact",
             "sched.replans_run.stochastic",
+            // PR 10: run-archive and cross-run diff names.
+            "archive.bytes_written",
+            "archive.spans_archived",
+            "archive.events_archived",
+            "archive.windows_archived",
+            "archive.runs_sealed",
+            "diff.comparisons_run",
+            "diff.regressions_found",
+            "diff.comparisons_skipped",
         ] {
             assert!(check_name(name).is_ok(), "{name} should conform");
         }
+    }
+
+    #[test]
+    fn archive_and_diff_constants_pass_audit() {
+        let mut m = MetricsRegistry::new();
+        crate::archive::ArchiveStats {
+            bytes_written: 10,
+            spans_archived: 2,
+            events_archived: 1,
+            windows_archived: 1,
+        }
+        .record_into(&mut m);
+        crate::diff::DiffReport::default().record_into(&mut m);
+        assert!(m.counters().count() >= 8, "constants did not all record");
+        let findings = audit(&m);
+        assert!(findings.is_empty(), "archive/diff names fail audit: {findings:?}");
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! A query engine over archived runs: span filters, causal trees, and
+//! latency roll-ups.
+//!
+//! Archives ([`crate::archive::RunArchive`]) are only useful if they
+//! can be interrogated without replaying the scenario. This module
+//! answers the questions a regression hunt actually asks:
+//!
+//! - *Which spans matched?* — [`SpanFilter`] selects by name substring,
+//!   attribute equality, and minimum duration; [`filter_spans`] applies
+//!   it, [`render_spans`] prints the result deterministically.
+//! - *What caused what?* — [`causal_tree`] reconstructs the span forest
+//!   (same renderer as the live `Trace::render_tree`, so the full tree
+//!   is byte-identical to what the running process would print) and can
+//!   restrict output to subtrees whose root name matches a pattern.
+//! - *How slow is each family?* — [`family_latencies`] groups finished
+//!   spans by root-span name and reports count/mean/p50/p95/max with
+//!   exact quantiles (sorted durations, not histogram buckets — the
+//!   archive has every sampled span, so there is no need to
+//!   approximate).
+//! - *How did a metric move?* — [`metric_series`] extracts a
+//!   per-window quantile time-series from the archived [`WindowRing`].
+//!
+//! Everything here is read-only, allocation-light, and deterministic:
+//! same archive bytes in, same report bytes out.
+
+use crate::metrics::json_f64;
+use crate::trace::{Span, Trace};
+use crate::window::WindowRing;
+
+/// Span selection criteria; all populated criteria must match.
+#[derive(Debug, Clone, Default)]
+pub struct SpanFilter {
+    /// Substring the span name must contain.
+    pub name_contains: Option<String>,
+    /// `(key, value)` pairs the span's attrs must all carry exactly.
+    pub attrs: Vec<(String, String)>,
+    /// Minimum duration in simulated seconds; unfinished spans never
+    /// match when this is set.
+    pub min_duration: Option<f64>,
+}
+
+impl SpanFilter {
+    /// Whether `span` satisfies every populated criterion.
+    pub fn matches(&self, span: &Span) -> bool {
+        if let Some(needle) = &self.name_contains {
+            if !span.name.contains(needle.as_str()) {
+                return false;
+            }
+        }
+        for (k, v) in &self.attrs {
+            if !span.attrs.iter().any(|(sk, sv)| sk == k && sv == v) {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_duration {
+            match span.end {
+                Some(end) if end - span.start >= min => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The spans matching `filter`, in allocation order.
+pub fn filter_spans<'a>(trace: &'a Trace, filter: &SpanFilter) -> Vec<&'a Span> {
+    trace.spans().iter().filter(|s| filter.matches(s)).collect()
+}
+
+/// Renders matched spans one per line: `#id [start..end] name {attrs}`,
+/// finishing with a match count.
+pub fn render_spans(spans: &[&Span]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        match s.end {
+            Some(end) => {
+                out.push_str(&format!("#{} [{:.3}..{:.3}] {}", s.id.0, s.start, end, s.name))
+            }
+            None => out.push_str(&format!("#{} [{:.3}..] {}", s.id.0, s.start, s.name)),
+        }
+        for (k, v) in &s.attrs {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{} span(s) matched\n", spans.len()));
+    out
+}
+
+/// Reconstructs the causal span forest from an archived trace.
+///
+/// With `root_filter: None` the output is **byte-identical** to the
+/// live [`Trace::render_tree`] — the contract the CI gate checks. With
+/// a pattern, only subtrees whose *root* span name contains the pattern
+/// are rendered (children are kept regardless of their own names: the
+/// question is "what did dispatch cause", not "which spans mention
+/// dispatch").
+pub fn causal_tree(trace: &Trace, root_filter: Option<&str>) -> String {
+    let full = trace.render_tree();
+    let Some(pattern) = root_filter else {
+        return full;
+    };
+    // Walk the rendered tree line-wise: a root line has zero indent; we
+    // keep a matching root and every deeper (indented) line under it.
+    let mut out = String::new();
+    let mut keeping = false;
+    for line in full.lines() {
+        let is_root = !line.starts_with("  ");
+        if is_root {
+            // `[a..b] name attrs…` — match against the name token.
+            let name = line
+                .split_once("] ")
+                .map(|(_, rest)| rest.split(' ').next().unwrap_or(rest))
+                .unwrap_or(line);
+            keeping = name.contains(pattern);
+        }
+        if keeping {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Latency roll-up for one root-span family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyLatency {
+    /// The root span name the family groups by.
+    pub name: String,
+    /// Finished spans in the family.
+    pub count: usize,
+    /// Mean duration in simulated seconds.
+    pub mean: f64,
+    /// Exact median duration.
+    pub p50: f64,
+    /// Exact 95th-percentile duration (nearest-rank).
+    pub p95: f64,
+    /// Slowest duration observed.
+    pub max: f64,
+}
+
+/// Exact nearest-rank quantile of an ascending-sorted slice.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Groups finished *root* spans (no parent) by name and reports exact
+/// latency statistics per family, sorted by name. Quantiles are exact
+/// nearest-rank over the archived durations — unlike the log-bucketed
+/// histogram quantiles, these carry no 2× bucket granularity.
+pub fn family_latencies(trace: &Trace) -> Vec<FamilyLatency> {
+    let mut families: Vec<(String, Vec<f64>)> = Vec::new();
+    for s in trace.spans() {
+        if s.parent.is_some() {
+            continue;
+        }
+        let Some(end) = s.end else { continue };
+        let d = end - s.start;
+        match families.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, ds)) => ds.push(d),
+            None => families.push((s.name.clone(), vec![d])),
+        }
+    }
+    families.sort_by(|(a, _), (b, _)| a.cmp(b));
+    families
+        .into_iter()
+        .map(|(name, mut ds)| {
+            ds.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            let count = ds.len();
+            let mean = ds.iter().sum::<f64>() / count as f64;
+            FamilyLatency {
+                name,
+                count,
+                mean,
+                p50: exact_quantile(&ds, 0.50),
+                p95: exact_quantile(&ds, 0.95),
+                max: *ds.last().expect("non-empty family"),
+            }
+        })
+        .collect()
+}
+
+/// Renders family roll-ups as a deterministic aligned table.
+pub fn render_families(families: &[FamilyLatency]) -> String {
+    if families.is_empty() {
+        return "no finished root spans\n".to_string();
+    }
+    let w = families.iter().map(|f| f.name.len()).max().unwrap_or(0);
+    let mut out = format!("{:<w$}  count     mean      p50      p95      max\n", "family");
+    for f in families {
+        out.push_str(&format!(
+            "{:<w$}  {:>5}  {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}\n",
+            f.name, f.count, f.mean, f.p50, f.p95, f.max
+        ));
+    }
+    out
+}
+
+/// Extracts a per-window quantile time-series for `metric` from an
+/// archived ring, rendered one window per line (`-` when the window has
+/// no samples). `q` is the quantile (e.g. `0.95`).
+pub fn metric_series(ring: &WindowRing, metric: &str, q: f64) -> String {
+    let mut out = format!("{metric} p{:.0} per window\n", q * 100.0);
+    let series = ring.quantile_series(metric, q);
+    for (w, v) in ring.windows().zip(series) {
+        match v {
+            Some(v) => out.push_str(&format!(
+                "  w{} [{:.1}..{:.1}] {}\n",
+                w.index,
+                w.start,
+                w.end,
+                json_f64(v)
+            )),
+            None => out.push_str(&format!("  w{} [{:.1}..{:.1}] -\n", w.index, w.start, w.end)),
+        }
+    }
+    if ring.evicted() > 0 {
+        out.push_str(&format!("  ({} earlier window(s) evicted)\n", ring.evicted()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        let d1 = t.start("server.dispatch_tasks", 0.0);
+        let c1 = t.start("store.commit_upload", 0.2);
+        t.attr(c1, "place", "p1");
+        t.end(c1, 0.7);
+        t.end(d1, 1.0);
+        let r = t.start("server.rank_places", 2.0);
+        t.end(r, 2.1);
+        let d2 = t.start("server.dispatch_tasks", 3.0);
+        let c2 = t.start("store.commit_upload", 3.1);
+        t.attr(c2, "place", "p2");
+        t.end(c2, 3.9);
+        t.end(d2, 4.0);
+        t
+    }
+
+    #[test]
+    fn filters_compose_and_render_deterministically() {
+        let t = sample_trace();
+        let all = filter_spans(&t, &SpanFilter::default());
+        assert_eq!(all.len(), 5);
+
+        let by_name =
+            SpanFilter { name_contains: Some("commit".to_string()), ..SpanFilter::default() };
+        assert_eq!(filter_spans(&t, &by_name).len(), 2);
+
+        let by_attr = SpanFilter {
+            name_contains: Some("commit".to_string()),
+            attrs: vec![("place".to_string(), "p2".to_string())],
+            ..SpanFilter::default()
+        };
+        let hits = filter_spans(&t, &by_attr);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].start, 3.1);
+
+        let slow = SpanFilter { min_duration: Some(0.6), ..SpanFilter::default() };
+        let hits = filter_spans(&t, &slow);
+        // 1.0s + 0.8s + 1.0s dispatches/commit; the 0.5s commit and
+        // 0.1s rank are excluded.
+        assert_eq!(hits.len(), 3);
+
+        let rendered = render_spans(&hits);
+        assert!(rendered.contains("3 span(s) matched"), "{rendered}");
+        assert!(rendered.contains("place=p2"), "{rendered}");
+        assert_eq!(rendered, render_spans(&hits));
+    }
+
+    #[test]
+    fn min_duration_excludes_unfinished_spans() {
+        let mut t = Trace::new();
+        t.start("open.span_running", 0.0);
+        let f = SpanFilter { min_duration: Some(0.0), ..SpanFilter::default() };
+        assert!(filter_spans(&t, &f).is_empty());
+        // Without the duration criterion the open span matches.
+        assert_eq!(filter_spans(&t, &SpanFilter::default()).len(), 1);
+    }
+
+    #[test]
+    fn causal_tree_unfiltered_matches_live_renderer_exactly() {
+        let t = sample_trace();
+        assert_eq!(causal_tree(&t, None), t.render_tree());
+    }
+
+    #[test]
+    fn causal_tree_filters_by_root_and_keeps_children() {
+        let t = sample_trace();
+        let sub = causal_tree(&t, Some("dispatch"));
+        assert!(sub.contains("server.dispatch_tasks"), "{sub}");
+        assert!(sub.contains("store.commit_upload"), "{sub}");
+        assert!(!sub.contains("rank_places"), "{sub}");
+        let none = causal_tree(&t, Some("no_such_root"));
+        assert!(none.is_empty(), "{none}");
+    }
+
+    #[test]
+    fn family_latencies_are_exact_and_sorted() {
+        let t = sample_trace();
+        let fams = family_latencies(&t);
+        // Only roots: 2 dispatches + 1 rank; child commits are excluded.
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].name, "server.dispatch_tasks");
+        assert_eq!(fams[0].count, 2);
+        assert!((fams[0].p50 - 1.0).abs() < 1e-12, "{:?}", fams[0]);
+        assert!((fams[0].max - 1.0).abs() < 1e-12);
+        assert_eq!(fams[1].name, "server.rank_places");
+        assert!((fams[1].mean - 0.1).abs() < 1e-9);
+        let table = render_families(&fams);
+        assert!(table.contains("server.dispatch_tasks"), "{table}");
+        assert_eq!(table, render_families(&fams));
+        assert_eq!(render_families(&[]), "no finished root spans\n");
+    }
+
+    #[test]
+    fn metric_series_reports_per_window_quantiles() {
+        let mut m = MetricsRegistry::new();
+        let mut ring = WindowRing::new(8);
+        m.observe("pipeline.upload_commit_latency_s", 10.0);
+        ring.roll(60.0, &m);
+        ring.roll(120.0, &m); // empty window: no new samples
+        m.observe("pipeline.upload_commit_latency_s", 100.0);
+        ring.roll(180.0, &m);
+        let s = metric_series(&ring, "pipeline.upload_commit_latency_s", 0.95);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "{s}");
+        assert!(lines[1].starts_with("  w0"), "{s}");
+        assert!(lines[2].ends_with("-"), "empty window should be dashed: {s}");
+        assert!(lines[3].starts_with("  w2"), "{s}");
+        assert_eq!(s, metric_series(&ring, "pipeline.upload_commit_latency_s", 0.95));
+    }
+}

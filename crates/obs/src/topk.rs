@@ -19,6 +19,8 @@
 //! pipeline paths (message handling, dispatch), never inside worker
 //! fan-outs.
 
+use crate::bytes::{get_str, get_u32, get_u64, put_str, put_u32, put_u64};
+
 /// One tracked heavy hitter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopKEntry {
@@ -123,6 +125,58 @@ impl SpaceSaving {
         }
         out
     }
+
+    /// Appends this sketch's archive serialization to `out`. Slots are
+    /// written in their live (insertion) order so a restored sketch
+    /// evicts identically under further offers.
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.k as u32);
+        put_u64(out, self.total);
+        put_u32(out, self.slots.len() as u32);
+        for s in &self.slots {
+            put_str(out, &s.key);
+            put_u64(out, s.count);
+            put_u64(out, s.err);
+        }
+    }
+
+    /// Reads a sketch written by [`SpaceSaving::write_into`], advancing
+    /// `pos`. `None` on structural inconsistency (more slots than `k`,
+    /// an error bound exceeding its count, or a zero `k`).
+    pub(crate) fn read_from(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let k = get_u32(bytes, pos)? as usize;
+        let total = get_u64(bytes, pos)?;
+        let n = get_u32(bytes, pos)? as usize;
+        if k == 0 || n > k {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = get_str(bytes, pos)?;
+            let count = get_u64(bytes, pos)?;
+            let err = get_u64(bytes, pos)?;
+            if err > count {
+                return None;
+            }
+            slots.push(TopKEntry { key, count, err });
+        }
+        Some(SpaceSaving { k, slots, total })
+    }
+
+    /// The sketch as a self-contained archive blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Restores a sketch from [`SpaceSaving::to_bytes`] output. `None`
+    /// on any structural inconsistency, trailing bytes included.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let s = Self::read_from(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(s)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +248,37 @@ mod tests {
         assert_eq!(r, s.render("hot places"));
         let first = r.lines().nth(1).unwrap();
         assert!(first.contains("app1"), "heaviest first: {r}");
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_slots_and_eviction_behavior() {
+        let mut s = SpaceSaving::new(2);
+        for (k, w) in [("x", 2), ("y", 2), ("z", 3), ("x", 1)] {
+            s.offer(k, w);
+        }
+        let back = SpaceSaving::from_bytes(&s.to_bytes()).expect("roundtrip");
+        assert_eq!(back, s);
+        assert_eq!(back.render("t"), s.render("t"), "render byte-identical");
+        // Further offers evict identically.
+        let mut a = s.clone();
+        let mut b = back;
+        a.offer("fresh", 1);
+        b.offer("fresh", 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bytes_reject_garbage() {
+        assert!(SpaceSaving::from_bytes(&[]).is_none());
+        let mut s = SpaceSaving::new(1);
+        s.offer("a", 3);
+        let mut bytes = s.to_bytes();
+        bytes.push(0);
+        assert!(SpaceSaving::from_bytes(&bytes).is_none(), "trailing byte accepted");
+        // More slots than k.
+        let mut bytes = s.to_bytes();
+        bytes[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(SpaceSaving::from_bytes(&bytes).is_none());
     }
 
     #[test]

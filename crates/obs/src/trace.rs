@@ -6,6 +6,10 @@
 //! must render byte-identical traces (the golden-trace test in
 //! `sor-sim` holds this crate to that).
 
+use crate::bytes::{
+    get_f64, get_opt_f64, get_str, get_u32, get_u64, put_f64, put_opt_f64, put_str, put_u32,
+    put_u64,
+};
 use crate::metrics::{json_f64, json_str};
 
 /// Identifier of a span within one [`Trace`]. `SpanId(0)` is the
@@ -302,6 +306,85 @@ impl Trace {
         out.push_str("]}");
         out
     }
+
+    /// Appends this trace's archive serialization to `out`. Span ids
+    /// are implicit (allocation order, `i + 1`); parents are stored as
+    /// raw ids with 0 meaning "none", so dangling parent references
+    /// (possible after a crash truncated the buffer) survive verbatim.
+    /// Only finalized traces (empty open-span stack) may be archived.
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.stack.is_empty(), "archived traces must be finalized");
+        put_u32(out, self.spans.len() as u32);
+        for s in &self.spans {
+            put_u64(out, s.parent.map_or(0, |p| p.0));
+            put_str(out, &s.name);
+            put_f64(out, s.start);
+            put_opt_f64(out, s.end);
+            put_u32(out, s.attrs.len() as u32);
+            for (k, v) in &s.attrs {
+                put_str(out, k);
+                put_str(out, v);
+            }
+        }
+        put_u32(out, self.events.len() as u32);
+        for e in &self.events {
+            put_f64(out, e.time);
+            put_str(out, &e.name);
+            put_str(out, &e.detail);
+        }
+    }
+
+    /// Reads a trace written by [`Trace::write_into`], advancing `pos`.
+    /// `None` on any structural inconsistency.
+    pub(crate) fn read_from(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let n_spans = get_u32(bytes, pos)? as usize;
+        let mut spans = Vec::with_capacity(n_spans.min(4096));
+        for i in 0..n_spans {
+            let parent = get_u64(bytes, pos)?;
+            let name = get_str(bytes, pos)?;
+            let start = get_f64(bytes, pos)?;
+            let end = get_opt_f64(bytes, pos)?;
+            let n_attrs = get_u32(bytes, pos)? as usize;
+            let mut attrs = Vec::with_capacity(n_attrs.min(64));
+            for _ in 0..n_attrs {
+                let k = get_str(bytes, pos)?;
+                let v = get_str(bytes, pos)?;
+                attrs.push((k, v));
+            }
+            spans.push(Span {
+                id: SpanId(i as u64 + 1),
+                parent: (parent != 0).then_some(SpanId(parent)),
+                name,
+                start,
+                end,
+                attrs,
+            });
+        }
+        let n_events = get_u32(bytes, pos)? as usize;
+        let mut events = Vec::with_capacity(n_events.min(4096));
+        for _ in 0..n_events {
+            let time = get_f64(bytes, pos)?;
+            let name = get_str(bytes, pos)?;
+            let detail = get_str(bytes, pos)?;
+            events.push(TraceEvent { time, name, detail });
+        }
+        Some(Trace::from_parts(spans, events))
+    }
+
+    /// The trace as a self-contained archive blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Restores a trace from [`Trace::to_bytes`] output. `None` on any
+    /// structural inconsistency, trailing bytes included.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let t = Self::read_from(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(t)
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +541,40 @@ mod tests {
         t.end(s, 1.0);
         let tree = t.render_tree();
         assert!(tree.starts_with("[0.000..1.000] lost"), "{tree}");
+    }
+
+    #[test]
+    fn bytes_roundtrip_is_export_identical() {
+        let mut t = Trace::new();
+        let a = t.start("server.rank", 0.0);
+        t.attr(a, "users", "3");
+        let b = t.start("server.rank_request", 0.125);
+        t.end(b, 0.25);
+        t.end(a, 1.0);
+        let d = t.start_with_parent("processor.commit", 2.0, SpanId(999)); // dangling
+        t.end(d, 3.0);
+        t.event("slo.alert", 2.5, "detail \"quoted\"");
+        let back = Trace::from_bytes(&t.to_bytes()).expect("roundtrip");
+        assert_eq!(back.to_json(), t.to_json(), "JSON export byte-identical");
+        assert_eq!(back.render_tree(), t.render_tree());
+        assert_eq!(back.spans(), t.spans());
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.spans()[2].parent, Some(SpanId(999)), "dangling parent verbatim");
+        // Re-serialization is stable.
+        assert_eq!(back.to_bytes(), t.to_bytes());
+    }
+
+    #[test]
+    fn bytes_reject_garbage_and_trailing() {
+        assert!(Trace::from_bytes(&[1, 2, 3]).is_none());
+        let mut t = Trace::new();
+        let a = t.start("x", 0.0);
+        t.end(a, 1.0);
+        let mut bytes = t.to_bytes();
+        bytes.push(7);
+        assert!(Trace::from_bytes(&bytes).is_none(), "trailing byte accepted");
+        let bytes = t.to_bytes();
+        assert!(Trace::from_bytes(&bytes[..bytes.len() - 2]).is_none());
     }
 
     #[test]

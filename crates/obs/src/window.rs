@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use crate::bytes::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
 use crate::metrics::{json_f64, json_str, MetricsRegistry};
 
 /// How many closed windows a ring keeps by default.
@@ -169,6 +170,63 @@ impl WindowRing {
         out.push_str("]}");
         out
     }
+
+    /// Appends this ring's archive serialization to `out` — every
+    /// closed window's delta registry plus the cumulative snapshot and
+    /// roll state, so a restored ring keeps rolling identically.
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.capacity as u32);
+        put_u64(out, self.evicted);
+        put_u64(out, self.next_index);
+        put_f64(out, self.last_roll);
+        self.last_snapshot.write_into(out);
+        put_u32(out, self.windows.len() as u32);
+        for w in &self.windows {
+            put_u64(out, w.index);
+            put_f64(out, w.start);
+            put_f64(out, w.end);
+            w.delta.write_into(out);
+        }
+    }
+
+    /// Reads a ring written by [`WindowRing::write_into`], advancing
+    /// `pos`. `None` on any structural inconsistency (held windows
+    /// beyond capacity included).
+    pub(crate) fn read_from(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let capacity = get_u32(bytes, pos)? as usize;
+        let evicted = get_u64(bytes, pos)?;
+        let next_index = get_u64(bytes, pos)?;
+        let last_roll = get_f64(bytes, pos)?;
+        let last_snapshot = MetricsRegistry::read_from(bytes, pos)?;
+        let n = get_u32(bytes, pos)? as usize;
+        if capacity == 0 || n > capacity {
+            return None;
+        }
+        let mut windows = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let index = get_u64(bytes, pos)?;
+            let start = get_f64(bytes, pos)?;
+            let end = get_f64(bytes, pos)?;
+            let delta = MetricsRegistry::read_from(bytes, pos)?;
+            windows.push_back(MetricsWindow { index, start, end, delta });
+        }
+        Some(WindowRing { capacity, windows, last_snapshot, last_roll, next_index, evicted })
+    }
+
+    /// The ring as a self-contained archive blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Restores a ring from [`WindowRing::to_bytes`] output. `None` on
+    /// any structural inconsistency, trailing bytes included.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let r = Self::read_from(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(r)
+    }
 }
 
 impl Default for WindowRing {
@@ -292,6 +350,104 @@ mod tests {
         assert_eq!(w.get("counters").unwrap().get("a.b_c").unwrap().as_f64(), Some(3.0));
         let h = w.get("histograms").unwrap().get("lat.x_y").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn delta_at_exact_capacity_boundary_is_not_lost() {
+        // The roll that lands exactly on capacity must evict the oldest
+        // window *and* still store the new delta intact — the eviction
+        // happens after the diff, never instead of it.
+        let mut ring = WindowRing::new(3);
+        let mut m = MetricsRegistry::new();
+        for i in 1..=3u64 {
+            m.count("a.b_c", i);
+            ring.roll(i as f64 * 10.0, &m);
+        }
+        assert_eq!(ring.len(), 3, "exactly at capacity, nothing evicted yet");
+        assert_eq!(ring.evicted(), 0);
+        // The boundary roll: window 3 arrives, window 0 leaves.
+        m.count("a.b_c", 100);
+        ring.roll(40.0, &m);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 1);
+        assert_eq!(ring.counter_series("a.b_c"), vec![2, 3, 100]);
+        let w = ring.latest().unwrap();
+        assert_eq!((w.index, w.start, w.end), (3, 30.0, 40.0));
+    }
+
+    #[test]
+    fn empty_registry_delta_closes_empty_windows() {
+        // Rolling against a never-touched registry is legal: the closed
+        // windows carry empty deltas, and quantile/counter series read
+        // as "nothing happened" rather than fabricating data.
+        let mut ring = WindowRing::new(4);
+        let m = MetricsRegistry::new();
+        ring.roll(10.0, &m);
+        ring.roll(20.0, &m);
+        assert_eq!(ring.len(), 2);
+        for w in ring.windows() {
+            assert_eq!(w.delta.counters().count(), 0);
+            assert_eq!(w.delta.histograms().count(), 0);
+        }
+        assert_eq!(ring.counter_series("any.name_here"), vec![0, 0]);
+        assert_eq!(ring.quantile_series("any.name_here", 0.95), vec![None, None]);
+    }
+
+    #[test]
+    fn indices_stay_monotonic_after_multiple_evictions() {
+        let mut ring = WindowRing::new(2);
+        let mut m = MetricsRegistry::new();
+        for i in 1..=7u64 {
+            m.count("a.b_c", 1);
+            ring.roll(i as f64, &m);
+        }
+        assert_eq!(ring.evicted(), 5);
+        let indices: Vec<u64> = ring.windows().map(|w| w.index).collect();
+        assert_eq!(indices, vec![5, 6]);
+        for pair in indices.windows(2) {
+            assert!(pair[0] < pair[1], "indices must stay strictly increasing");
+        }
+        // The next roll continues the sequence — eviction never resets it.
+        ring.roll(8.0, &m);
+        assert_eq!(ring.latest().unwrap().index, 7);
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_ring_and_roll_state() {
+        let mut ring = WindowRing::new(2);
+        let mut m = MetricsRegistry::new();
+        for i in 1..=4u64 {
+            m.count("net.frames_sent", i);
+            m.observe("lat.x_y", i as f64);
+            ring.roll(i as f64 * 5.0, &m);
+        }
+        let back = WindowRing::from_bytes(&ring.to_bytes()).expect("roundtrip");
+        assert_eq!(back, ring);
+        assert_eq!(back.summary_json(), ring.summary_json(), "export byte-identical");
+        // A restored ring rolls on identically to the original.
+        m.count("net.frames_sent", 9);
+        let mut a = ring.clone();
+        let mut b = back;
+        a.roll(50.0, &m);
+        b.roll(50.0, &m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bytes_reject_garbage() {
+        assert!(WindowRing::from_bytes(&[]).is_none());
+        let ring = WindowRing::new(4);
+        let mut bytes = ring.to_bytes();
+        bytes.push(0);
+        assert!(WindowRing::from_bytes(&bytes).is_none(), "trailing byte accepted");
+        // Declared windows beyond the declared capacity.
+        let mut evil = WindowRing::new(1);
+        let mut m = MetricsRegistry::new();
+        m.count("a.b_c", 1);
+        evil.roll(1.0, &m);
+        let mut bytes = evil.to_bytes();
+        bytes[..4].copy_from_slice(&0u32.to_le_bytes()); // capacity = 0
+        assert!(WindowRing::from_bytes(&bytes).is_none());
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::sync::Arc;
 use sor_core::ranking::{FeatureMatrix, Preference, UserPreferences};
 use sor_durable::{DurableOptions, SimDisk};
 use sor_frontend::MobileFrontend;
-use sor_obs::{Alert, HealthReport, Recorder, WindowRing};
+use sor_obs::{
+    sample_trace, Alert, HealthReport, Recorder, RunArchive, RunMeta, SamplePolicy, SampleStats,
+    WindowRing, ARCHIVE_SCHEMA_VERSION,
+};
 use sor_sensors::environment::Environment;
 use sor_sensors::{EnergyMeter, SensorKind, SensorManager, SimulatedProvider};
 use sor_server::ranker::assemble_matrix;
@@ -123,6 +126,59 @@ pub struct FieldTestOutcome {
     /// The windowed-metrics ring — one window per health check (None
     /// when the run had no periodic health checks).
     pub windows: Option<WindowRing>,
+}
+
+/// Environment knobs captured into every run archive: anything that
+/// can change scenario behaviour and therefore comparability.
+pub const ARCHIVED_KNOBS: &[&str] =
+    &["SOR_SCHED_SOLVER", "SOR_SCRIPT_OPT", "SOR_SCRIPT_VM", "SOR_THREADS", "SOR_TRACE_SAMPLE"];
+
+impl FieldTestOutcome {
+    /// Bundles this run's observability artifacts into a [`RunArchive`]
+    /// ready for sealing: the trace (sampled under the run seed via
+    /// [`SamplePolicy::from_env`]), the metric registry *including* the
+    /// sampling counters (so a re-export from the archive is
+    /// byte-identical to the live export), the windowed deltas, the
+    /// server's top-k sketches, the SLO report card, and provenance
+    /// metadata. `None` with a disabled recorder — there is nothing to
+    /// archive.
+    pub fn archive(
+        &self,
+        recorder: &Recorder,
+        cfg: &FieldTestConfig,
+        scenario: &str,
+        git_sha: &str,
+    ) -> Option<(RunArchive, SampleStats)> {
+        let full = recorder.trace_snapshot()?;
+        let mut metrics = recorder.metrics_snapshot()?;
+        let policy = SamplePolicy::from_env(cfg.seed);
+        let (trace, stats) = sample_trace(&full, &policy);
+        stats.record_into(&mut metrics);
+        let mut knobs: Vec<(String, String)> = ARCHIVED_KNOBS
+            .iter()
+            .filter_map(|name| std::env::var(name).ok().map(|v| (name.to_string(), v)))
+            .collect();
+        knobs.sort();
+        let archive = RunArchive {
+            meta: RunMeta {
+                schema_version: ARCHIVE_SCHEMA_VERSION,
+                git_sha: git_sha.to_string(),
+                scenario: scenario.to_string(),
+                seed: cfg.seed,
+                threads: sor_par::current_threads() as u32,
+                knobs,
+            },
+            trace,
+            metrics,
+            windows: self.windows.clone(),
+            topk: vec![
+                ("hot upload places".to_string(), self.server.topk_uploads().clone()),
+                ("hot dispatch scripts".to_string(), self.server.topk_dispatches().clone()),
+            ],
+            health: self.health.clone(),
+        };
+        Some((archive, stats))
+    }
 }
 
 /// Durability knobs for a crash-injecting field test.

@@ -20,17 +20,47 @@
 //!   cost attribution, top-k tables, windowed trend arrows, sampler
 //!   accounting, health grades) from a directory written by
 //!   `sor export`.
+//! - `sor query <run.sorar> …` — interrogate a sealed run archive:
+//!   metadata, raw trace JSON, causal span trees, span filters,
+//!   per-family latency roll-ups, windowed metric series, or a full
+//!   re-export of the original `sor export` artifact directory.
+//! - `sor diff <a.sorar> <b.sorar>` / `sor diff --against <history>` —
+//!   noise-aware cross-run regression detection; exits 1 when any
+//!   tolerance band is breached.
+//! - `sor degrade <in> <out> <metric> <factor>` — copy an archive with
+//!   one latency histogram synthetically scaled, so CI can prove the
+//!   diff gate catches a real regression.
 
+use std::path::Path;
 use std::process::ExitCode;
 
+use sor_durable::{read_sealed, write_sealed};
 use sor_obs::dashboard::render_dashboard;
 use sor_obs::lint::lint_trace_json;
-use sor_obs::sample::{sample_trace, SamplePolicy};
-use sor_obs::{parse_json, Json, Recorder};
+use sor_obs::query::{
+    causal_tree, family_latencies, filter_spans, metric_series, render_families, render_spans,
+    SpanFilter,
+};
+use sor_obs::{
+    diff, parse_json, ArchiveStats, DiffConfig, Json, MetricsRegistry, Recorder, RunArchive,
+};
 use sor_sim::scenario::{run_coffee_field_test_traced, FieldTestConfig};
 
-const USAGE: &str =
-    "usage: sor <export <dir> | lint <trace.json> | health <trace.json> | top <dir>>";
+const USAGE: &str = "usage: sor <command>\n\
+     \x20 export <dir>                      run the quick field test, write artifacts + run.sorar\n\
+     \x20 lint <trace.json>                 structural trace lint\n\
+     \x20 health <trace.json>               replay SLO alerts from an exported trace\n\
+     \x20 top <dir>                         ASCII dashboard over an exported run\n\
+     \x20 query <run.sorar> meta            archive provenance (sha, seed, threads, knobs)\n\
+     \x20 query <run.sorar> trace           raw trace JSON (byte-identical to trace.json)\n\
+     \x20 query <run.sorar> tree [pattern]  causal span forest, optionally root-filtered\n\
+     \x20 query <run.sorar> spans [--name S] [--attr K=V] [--min-duration SECS]\n\
+     \x20 query <run.sorar> families        per-root-family latency roll-up (exact quantiles)\n\
+     \x20 query <run.sorar> series <metric> [q]   per-window quantile time-series\n\
+     \x20 query <run.sorar> export <dir>    rewrite the full artifact directory from the archive\n\
+     \x20 diff <a.sorar> <b.sorar> [--tolerance R]   compare two archived runs (exit 1 on regression)\n\
+     \x20 diff --against <history.jsonl>    newest bench entry vs nearest comparable baseline\n\
+     \x20 degrade <in> <out> <metric> <factor>      copy archive with one histogram scaled";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +69,9 @@ fn main() -> ExitCode {
         (Some("lint"), Some(path)) => cmd_lint(path),
         (Some("health"), Some(path)) => cmd_health(path),
         (Some("top"), Some(dir)) => cmd_top(dir),
+        (Some("query"), Some(_)) => cmd_query(&args[1..]),
+        (Some("diff"), Some(_)) => cmd_diff(&args[1..]),
+        (Some("degrade"), Some(_)) => cmd_degrade(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -46,10 +79,47 @@ fn main() -> ExitCode {
     }
 }
 
-/// Runs the deterministic traced field test and exports its artifacts.
+/// The commit the running binary should stamp into archives: the
+/// `SOR_RUN_SHA` override (CI), else `git rev-parse HEAD`, else
+/// `"unknown"` outside a repository.
+fn run_sha() -> String {
+    if let Ok(sha) = std::env::var("SOR_RUN_SHA") {
+        return sha;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Writes the four human-readable artifacts (plus `windows.json` when
+/// present) derived *from the archive*, so the files on disk and the
+/// sealed blob can never disagree.
+fn write_artifacts(dir: &str, archive: &RunArchive) -> std::io::Result<(usize, usize)> {
+    let trace = archive.trace.to_json();
+    let metrics = archive.metrics.to_json();
+    let windows = archive.windows.as_ref().map(sor_obs::WindowRing::summary_json);
+    let health =
+        archive.health.as_ref().map_or_else(|| "health: ungraded\n".to_string(), |h| h.render());
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(format!("{dir}/trace.json"), &trace)?;
+    std::fs::write(format!("{dir}/metrics.json"), &metrics)?;
+    if let Some(w) = &windows {
+        std::fs::write(format!("{dir}/windows.json"), w)?;
+    }
+    std::fs::write(format!("{dir}/health.txt"), &health)?;
+    Ok((trace.len(), metrics.len()))
+}
+
+/// Runs the deterministic traced field test, seals the run archive, and
+/// exports its artifacts.
 fn cmd_export(dir: &str) -> ExitCode {
     let cfg = FieldTestConfig::quick(3);
-    let policy = SamplePolicy::from_env(cfg.seed);
     let rec = Recorder::enabled();
     let out = match run_coffee_field_test_traced(cfg, rec.clone()) {
         Ok(out) => out,
@@ -58,40 +128,247 @@ fn cmd_export(dir: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Tail-sample the finished trace: at the default rate 1.0 the
-    // export is byte-identical to the raw buffer; at lower rates the
-    // error/SLO/slowest-decile trees always survive and the exact drop
-    // accounting goes out with the metrics.
-    let raw_trace = rec.trace_snapshot().expect("enabled recorder exports a trace");
-    let (sampled, stats) = sample_trace(&raw_trace, &policy);
-    let mut metrics = rec.metrics_snapshot().expect("enabled recorder exports metrics");
-    stats.record_into(&mut metrics);
-    let trace = sampled.to_json();
-    let metrics = metrics.to_json();
-    let windows = out.windows.as_ref().map(sor_obs::WindowRing::summary_json);
-    let health =
-        out.health.as_ref().map_or_else(|| "health: ungraded\n".to_string(), |h| h.render());
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(format!("{dir}/trace.json"), &trace))
-        .and_then(|()| std::fs::write(format!("{dir}/metrics.json"), &metrics))
-        .and_then(|()| match &windows {
-            Some(w) => std::fs::write(format!("{dir}/windows.json"), w),
-            None => Ok(()),
-        })
-        .and_then(|()| std::fs::write(format!("{dir}/health.txt"), &health))
-    {
-        eprintln!("sor export: cannot write {dir}: {e}");
+    // The archive hook tail-samples the trace (SOR_TRACE_SAMPLE,
+    // default 1.0 = keep all) and folds the sampler accounting into the
+    // archived registry; every on-disk artifact below derives from the
+    // archive, so `sor query … export` reproduces this directory
+    // byte-for-byte.
+    let Some((archive, stats)) = out.archive(&rec, &cfg, "coffee_field_test", &run_sha()) else {
+        eprintln!("sor export: recorder produced no artifacts");
+        return ExitCode::FAILURE;
+    };
+    let payload = archive.to_bytes();
+    let (trace_len, metrics_len) = match write_artifacts(dir, &archive) {
+        Ok(sizes) => sizes,
+        Err(e) => {
+            eprintln!("sor export: cannot write {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sorar = format!("{dir}/run.sorar");
+    if let Err(e) = write_sealed(Path::new(&sorar), &payload) {
+        eprintln!("sor export: cannot seal {sorar}: {e}");
         return ExitCode::FAILURE;
     }
+    // Archive accounting lives in a side registry, never the archived
+    // one — the sealed payload must stay byte-identical to a re-export.
+    let astats = archive.stats(payload.len());
+    let mut accounting = MetricsRegistry::new();
+    astats.record_into(&mut accounting);
+    if let Err(e) = std::fs::write(format!("{dir}/archive_metrics.json"), accounting.to_json()) {
+        eprintln!("sor export: cannot write {dir}/archive_metrics.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let ArchiveStats { bytes_written, spans_archived, .. } = astats;
     println!(
-        "exported trace.json ({} bytes, {}/{} trees kept), metrics.json ({} bytes), \
-         windows.json ({} windows), health.txt to {dir}",
-        trace.len(),
+        "exported trace.json ({trace_len} bytes, {}/{} trees kept), metrics.json \
+         ({metrics_len} bytes), windows.json ({} windows), health.txt, run.sorar \
+         ({bytes_written} payload bytes, {spans_archived} spans) to {dir}",
         stats.traces_kept,
         stats.traces_total,
-        metrics.len(),
         out.windows.as_ref().map_or(0, sor_obs::WindowRing::len),
     );
+    ExitCode::SUCCESS
+}
+
+/// Loads and unseals a run archive, reporting failures on stderr.
+fn load_archive(path: &str) -> Result<RunArchive, ExitCode> {
+    let payload = read_sealed(Path::new(path)).map_err(|e| {
+        eprintln!("sor: cannot open archive {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    RunArchive::from_bytes(&payload).ok_or_else(|| {
+        eprintln!("sor: {path}: sealed payload is not a readable run archive");
+        ExitCode::from(2)
+    })
+}
+
+/// `sor query <run.sorar> <verb> …` — interrogate a sealed archive.
+fn cmd_query(args: &[String]) -> ExitCode {
+    let archive = match load_archive(&args[0]) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some("meta"), None) => {
+            print!("{}", archive.meta.render());
+            ExitCode::SUCCESS
+        }
+        (Some("trace"), None) => {
+            print!("{}", archive.trace.to_json());
+            ExitCode::SUCCESS
+        }
+        (Some("tree"), pattern) => {
+            print!("{}", causal_tree(&archive.trace, pattern.map(String::as_str)));
+            ExitCode::SUCCESS
+        }
+        (Some("spans"), _) => {
+            let mut filter = SpanFilter::default();
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                let Some(value) = rest.next() else {
+                    eprintln!("sor query spans: {flag} needs a value");
+                    return ExitCode::from(2);
+                };
+                match flag.as_str() {
+                    "--name" => filter.name_contains = Some(value.clone()),
+                    "--attr" => match value.split_once('=') {
+                        Some((k, v)) => filter.attrs.push((k.to_string(), v.to_string())),
+                        None => {
+                            eprintln!("sor query spans: --attr wants K=V, got {value}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--min-duration" => match value.parse::<f64>() {
+                        Ok(secs) => filter.min_duration = Some(secs),
+                        Err(_) => {
+                            eprintln!("sor query spans: bad --min-duration {value}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("sor query spans: unknown flag {other}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            print!("{}", render_spans(&filter_spans(&archive.trace, &filter)));
+            ExitCode::SUCCESS
+        }
+        (Some("families"), None) => {
+            print!("{}", render_families(&family_latencies(&archive.trace)));
+            ExitCode::SUCCESS
+        }
+        (Some("series"), Some(metric)) => {
+            let q = match args.get(3).map(|s| s.parse::<f64>()) {
+                None => 0.95,
+                Some(Ok(q)) if (0.0..=1.0).contains(&q) => q,
+                Some(_) => {
+                    eprintln!("sor query series: quantile must be in [0,1]");
+                    return ExitCode::from(2);
+                }
+            };
+            match &archive.windows {
+                Some(ring) => {
+                    print!("{}", metric_series(ring, metric, q));
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("sor query series: archive has no windowed metrics");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        (Some("export"), Some(dir)) => match write_artifacts(dir, &archive) {
+            Ok(_) => {
+                println!("re-exported {} to {dir}", args[0]);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sor query export: cannot write {dir}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `sor diff` — archive-vs-archive or newest-vs-baseline bench history.
+/// Exits 0 on a clean report, 1 on any regression, 2 on usage/IO.
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut cfg = DiffConfig::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut against: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--against" => match it.next() {
+                Some(p) => against = Some(p),
+                None => {
+                    eprintln!("sor diff: --against needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--tolerance" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(r)) if r > 1.0 => {
+                    cfg.quantile_ratio = r;
+                    cfg.bench_ratio = r;
+                }
+                _ => {
+                    eprintln!("sor diff: --tolerance wants a ratio > 1.0");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => positional.push(a),
+        }
+    }
+    let report = match (against, positional.as_slice()) {
+        (Some(history), []) => {
+            let text = match std::fs::read_to_string(history) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sor diff: cannot read {history}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match diff::diff_history_jsonl(&text, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("sor diff: {history}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (None, [base, cand]) => {
+            let (base, cand) = match (load_archive(base), load_archive(cand)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            diff::diff_archives(&base, &cand, &cfg)
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    if report.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `sor degrade <in> <out> <metric> <factor>` — reseal a copy of an
+/// archive with one latency histogram synthetically scaled.
+fn cmd_degrade(args: &[String]) -> ExitCode {
+    let [input, output, metric, factor] = args else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let factor = match factor.parse::<f64>() {
+        Ok(f) if f > 0.0 && f.is_finite() => f,
+        _ => {
+            eprintln!("sor degrade: factor must be a positive number");
+            return ExitCode::from(2);
+        }
+    };
+    let mut archive = match load_archive(input) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    if !archive.metrics.scale_histogram(metric, factor) {
+        eprintln!("sor degrade: {input} has no histogram named {metric}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_sealed(Path::new(output), &archive.to_bytes()) {
+        eprintln!("sor degrade: cannot seal {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("degraded {metric} by {factor}x: {input} -> {output}");
     ExitCode::SUCCESS
 }
 

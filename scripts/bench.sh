@@ -16,13 +16,21 @@ cd "$(dirname "$0")/.."
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 cores=$(nproc 2>/dev/null || echo 1)
 threads=${SOR_THREADS:-$cores}
+# History schema: bump when the line format changes incompatibly.
+# `sor diff --against` only baselines across entries with equal
+# schema_version/host/threads/cores/skew, so cross-host (or
+# cross-schema) comparisons are skipped instead of mis-flagged.
+schema_version=2
+host=$(uname -sm 2>/dev/null | tr ' ' '-' || echo unknown)
 # On a single hardware thread the par8 figures measure scheduling
 # overhead, not parallelism, so par8 ~= seq is expected; annotate the
 # record so cross-host comparisons don't read that as a regression.
 if [ "$cores" -eq 1 ]; then
     note="single-core host: par8 figures approximate seq (no hardware parallelism)"
+    skew=true
 else
     note=""
+    skew=false
 fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -56,9 +64,10 @@ cat BENCH_pipeline.json
 mkdir -p results
 sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-awk -v sha="$sha" -v stamp="$stamp" -v threads="$threads" -v cores="$cores" -v note="$note" '
+awk -v sha="$sha" -v stamp="$stamp" -v threads="$threads" -v cores="$cores" -v note="$note" \
+    -v schema="$schema_version" -v host="$host" -v skew="$skew" '
 BEGIN {
-    printf "{\"git_sha\": \"%s\", \"recorded_at\": \"%s\", \"threads\": %s, \"cores\": %s, ", sha, stamp, threads, cores
+    printf "{\"git_sha\": \"%s\", \"recorded_at\": \"%s\", \"schema_version\": %s, \"host\": \"%s\", \"threads\": %s, \"cores\": %s, \"single_core_skew\": %s, ", sha, stamp, schema, host, threads, cores, skew
     if (note != "") printf "\"note\": \"%s\", ", note
     printf "\"benches\": {"
 }

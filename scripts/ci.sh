@@ -78,6 +78,43 @@ fi
 printf '%s\n' "$top_one"
 echo "==> sor top dashboard deterministic across SOR_THREADS=1/4"
 
+# Run-archive gates. Both exports above sealed a run.sorar; the two runs
+# share a seed, so:
+#  1. `sor diff` across them must report zero regressions and exit 0
+#     (worker count is provenance, not behaviour);
+#  2. `sor query trace` must re-emit the live trace.json byte-for-byte;
+#  3. the archived causal tree must reconstruct the dispatch -> commit
+#     chain and the rank pass from the sealed blob alone;
+#  4. a synthetic 5x upload_commit_p95 degradation injected with
+#     `sor degrade` must flip the diff gate to a nonzero exit.
+run cargo run --release --offline -p sor --bin sor -- diff "$trace_dir/run.sorar" "$top_dir/run.sorar"
+cargo run --release --offline -p sor --bin sor -- query "$trace_dir/run.sorar" trace > "$trace_dir/reexport.json"
+if ! cmp -s "$trace_dir/reexport.json" "$trace_dir/trace.json"; then
+    echo "FAIL archived trace re-export is not byte-identical to the live trace.json" >&2
+    exit 1
+fi
+echo "==> archived trace re-export byte-identical to live export"
+tree_out=$(cargo run --release --offline -p sor --bin sor -- query "$trace_dir/run.sorar" tree handle_message)
+for span in server.task_dispatch processor.commit; do
+    if ! printf '%s\n' "$tree_out" | grep -q "$span"; then
+        echo "FAIL archived causal tree is missing the $span span" >&2
+        exit 1
+    fi
+done
+full_tree=$(cargo run --release --offline -p sor --bin sor -- query "$trace_dir/run.sorar" tree)
+if ! printf '%s\n' "$full_tree" | grep -q "server.rank"; then
+    echo "FAIL archived causal tree is missing the server.rank span" >&2
+    exit 1
+fi
+echo "==> archived causal tree reconstructs dispatch -> commit -> rank"
+run cargo run --release --offline -p sor --bin sor -- degrade "$trace_dir/run.sorar" \
+    "$trace_dir/degraded.sorar" pipeline.upload_commit_latency_s 5
+if cargo run --release --offline -p sor --bin sor -- diff "$trace_dir/run.sorar" "$trace_dir/degraded.sorar"; then
+    echo "FAIL sor diff did not flag a synthetic 5x upload_commit_latency_s degradation" >&2
+    exit 1
+fi
+echo "==> diff gate catches an injected 5x latency degradation"
+
 # Durability smoke: a field test crashed twice mid-window must recover
 # every acked upload and rank identically to the crash-free run, and
 # write-ahead logging must stay under its overhead budget.
